@@ -1,0 +1,108 @@
+// Ablation A2 — Bloom-filter directory summaries (§4).
+//
+// Two questions the paper's design hinges on:
+//   (a) how the false-positive rate — the probability a directory is
+//       needlessly queried — depends on filter size m and hash count k,
+//       and how close measurement is to the (1 - e^{-kn/m})^k theory;
+//   (b) how many forwarded request messages Bloom-selective forwarding
+//       saves against flooding every directory, at various backbone sizes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "bloom/bloom_filter.hpp"
+
+using namespace sariadne;
+using bloom::BloomFilter;
+using bloom::BloomParams;
+
+int main() {
+    bench::print_header(
+        "Ablation A2: Bloom summary false positives and forwarding savings",
+        "k and m can be chosen so that the probability of a false positive "
+        "is minimized (§4)");
+
+    constexpr std::size_t kInsertions = 64;  // ontology sets per directory
+    std::printf("\nfalse-positive rate, %zu inserted ontology sets:\n",
+                kInsertions);
+    std::printf("%8s %4s %14s %14s\n", "m_bits", "k", "measured", "theory");
+
+    double measured_512_4 = 0;
+    double measured_4096_4 = 0;
+    for (const BloomParams params :
+         {BloomParams{512, 2}, BloomParams{512, 4}, BloomParams{1024, 4},
+          BloomParams{2048, 4}, BloomParams{4096, 4}, BloomParams{4096, 8}}) {
+        BloomFilter filter(params);
+        for (std::size_t i = 0; i < kInsertions; ++i) {
+            filter.insert(
+                BloomFilter::element_key("member-" + std::to_string(i)));
+        }
+        int false_positives = 0;
+        constexpr int kProbes = 50000;
+        for (int i = 0; i < kProbes; ++i) {
+            if (filter.possibly_contains(
+                    BloomFilter::element_key("absent-" + std::to_string(i)))) {
+                ++false_positives;
+            }
+        }
+        const double measured = static_cast<double>(false_positives) / kProbes;
+        const double theory =
+            BloomFilter::expected_false_positive_rate(params, kInsertions);
+        std::printf("%8u %4u %14.4f %14.4f\n", params.bits, params.hash_count,
+                    measured, theory);
+        if (params.bits == 512 && params.hash_count == 4) {
+            measured_512_4 = measured;
+        }
+        if (params.bits == 4096 && params.hash_count == 4) {
+            measured_4096_4 = measured;
+        }
+    }
+
+    // (b) forwarding savings: D directories, each specializing in a few
+    // ontologies out of a universe of 22; requests target one ontology.
+    std::printf("\nforwarded messages per request, Bloom-selective vs flood:\n");
+    std::printf("%12s %16s %10s %12s\n", "directories", "bloom_forwards",
+                "flood", "saved");
+    constexpr std::size_t kOntologies = 22;
+    double saved_at_8 = 0;
+    for (const std::size_t dirs : {2ul, 4ul, 8ul, 16ul}) {
+        std::vector<BloomFilter> summaries(dirs, BloomFilter(BloomParams{1024, 4}));
+        // Directory d caches services over ontologies {d, d+dirs, ...}.
+        for (std::size_t d = 0; d < dirs; ++d) {
+            for (std::size_t o = d; o < kOntologies; o += dirs) {
+                const std::vector<std::string> uris{
+                    "http://onto/" + std::to_string(o)};
+                summaries[d].insert_ontology_set(uris);
+            }
+        }
+        std::size_t bloom_forwards = 0;
+        std::size_t requests = 0;
+        for (std::size_t o = 0; o < kOntologies; ++o) {
+            const std::vector<std::string> uris{"http://onto/" +
+                                                std::to_string(o)};
+            for (std::size_t d = 0; d < dirs; ++d) {
+                if (summaries[d].possibly_covers(uris)) ++bloom_forwards;
+            }
+            ++requests;
+        }
+        const double per_request =
+            static_cast<double>(bloom_forwards) / static_cast<double>(requests);
+        const double flood = static_cast<double>(dirs);
+        std::printf("%12zu %16.2f %10.0f %11.0f%%\n", dirs, per_request, flood,
+                    100.0 * (1.0 - per_request / flood));
+        if (dirs == 8) saved_at_8 = 1.0 - per_request / flood;
+    }
+
+    std::printf("\n");
+    bench::ShapeChecks checks;
+    checks.check(measured_512_4 > measured_4096_4,
+                 "larger filters yield fewer false positives");
+    checks.check(measured_4096_4 < 0.01,
+                 "a 4096-bit filter keeps false positives under 1%");
+    checks.check(saved_at_8 > 0.5,
+                 "Bloom-selective forwarding saves >50% of forwards at 8 "
+                 "directories");
+    std::printf("\n");
+    return checks.finish("ablation_bloom");
+}

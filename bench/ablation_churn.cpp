@@ -1,0 +1,136 @@
+// Ablation A6 — discovery availability under directory churn.
+//
+// The election mechanism exists because pervasive networks lose nodes
+// (§4: directories are "dynamically deployed ... to deal with the
+// dynamics of pervasive networks"). This bench kills the serving
+// directory mid-run and measures how long discovery stays degraded as a
+// function of the providers' re-publication period: clients issue a
+// matching request every second; availability is the fraction answered
+// satisfied, and recovery time the gap until the first satisfied answer
+// after the failure.
+#include <cstdio>
+#include <vector>
+
+#include "ariadne/protocol.hpp"
+#include "bench_util.hpp"
+#include "description/amigos_io.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
+
+using namespace sariadne;
+
+namespace {
+
+struct ChurnResult {
+    double availability = 0;      ///< satisfied / issued over the whole run
+    double recovery_ms = -1;      ///< failure -> first satisfied answer
+};
+
+ChurnResult run(double republish_period_ms,
+                workload::ServiceWorkload& workload,
+                encoding::KnowledgeBase& kb) {
+    ariadne::ProtocolConfig config;
+    config.adv_period_ms = 500;
+    config.adv_timeout_ms = 1500;
+    config.election_wait_ms = 30;
+    config.republish_period_ms = republish_period_ms;
+    config.request_timeout_ms = 2000;
+    config.max_request_retries = 5;
+
+    ariadne::DiscoveryNetwork network(net::Topology::grid(4, 4), config, kb);
+    network.appoint_directory(5);
+    network.start();
+    network.run_for(500);
+    for (std::size_t i = 0; i < 8; ++i) {
+        network.publish_service(static_cast<net::NodeId>(i),
+                                workload.service_xml(i));
+    }
+    network.run_for(2000);
+
+    constexpr double kFailureAt = 10000;
+    constexpr double kRunUntil = 40000;
+    std::vector<std::pair<std::uint64_t, double>> issued;  // id, time
+
+    double now = network.simulator().now();
+    bool failed = false;
+    std::size_t tick = 0;
+    while (now < kRunUntil) {
+        if (!failed && now >= kFailureAt) {
+            network.simulator().topology().set_up(5, false);
+            failed = true;
+        }
+        issued.emplace_back(
+            network.discover(static_cast<net::NodeId>(10 + tick % 6),
+                             workload.matching_request_xml(tick % 8)),
+            now);
+        ++tick;
+        network.run_for(1000);
+        now = network.simulator().now();
+        if (network.simulator().idle()) break;
+    }
+    network.run_for(30000);  // drain
+
+    ChurnResult result;
+    std::size_t satisfied = 0;
+    double first_recovery = -1;
+    for (const auto& [id, at] : issued) {
+        const auto& outcome = network.outcome(id);
+        if (outcome.answered && outcome.satisfied) {
+            ++satisfied;
+            if (at >= kFailureAt &&
+                (first_recovery < 0 || outcome.answered_at < first_recovery)) {
+                first_recovery = outcome.answered_at;
+            }
+        }
+    }
+    result.availability =
+        static_cast<double>(satisfied) / static_cast<double>(issued.size());
+    result.recovery_ms = first_recovery < 0 ? -1 : first_recovery - kFailureAt;
+    return result;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header(
+        "Ablation A6: availability under directory failure",
+        "re-election plus periodic re-publication restores discovery; "
+        "faster re-publication shortens the outage");
+
+    workload::OntologyGenConfig onto_config;
+    onto_config.class_count = 30;
+    workload::ServiceWorkload workload(
+        workload::generate_universe(8, onto_config, 31415));
+    encoding::KnowledgeBase kb;
+    for (const auto& o : workload.ontologies()) kb.register_ontology(o);
+    for (onto::OntologyIndex i = 0; i < kb.registry().size(); ++i) {
+        (void)kb.code_table(i);
+    }
+
+    std::printf("\n%20s %14s %14s\n", "republish_period", "availability",
+                "recovery_ms");
+    double avail_fast = 0;
+    double avail_slow = 0;
+    double recovery_fast = -1;
+    for (const double period : {2000.0, 5000.0, 10000.0}) {
+        const ChurnResult result = run(period, workload, kb);
+        std::printf("%17.0f ms %13.0f%% %14.0f\n", period,
+                    100 * result.availability, result.recovery_ms);
+        if (period == 2000.0) {
+            avail_fast = result.availability;
+            recovery_fast = result.recovery_ms;
+        }
+        if (period == 10000.0) avail_slow = result.availability;
+    }
+
+    std::printf("\n");
+    bench::ShapeChecks checks;
+    checks.check(recovery_fast >= 0, "discovery recovers after the failure");
+    checks.check(avail_fast >= avail_slow,
+                 "faster re-publication gives availability at least as good");
+    checks.check(avail_fast > 0.7,
+                 "availability above 70% across the whole run with 2 s "
+                 "re-publication");
+    std::printf("\n");
+    return checks.finish("ablation_churn");
+}

@@ -1,0 +1,62 @@
+// Shared utilities for the figure-reproduction benches: repeated-median
+// timing, CSV-ish series printing, and qualitative shape checks. Every
+// bench prints the series the corresponding paper figure plots, then a
+// PASS/FAIL line per qualitative claim; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/stopwatch.hpp"
+
+namespace sariadne::bench {
+
+/// Median of `repetitions` timed runs of `body`, in milliseconds.
+/// `prepare` runs untimed before each repetition.
+inline double median_ms(int repetitions, const std::function<void()>& body,
+                        const std::function<void()>& prepare = {}) {
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(repetitions));
+    for (int i = 0; i < repetitions; ++i) {
+        if (prepare) prepare();
+        Stopwatch stopwatch;
+        body();
+        samples.push_back(stopwatch.elapsed_ms());
+    }
+    std::sort(samples.begin(), samples.end());
+    return samples[samples.size() / 2];
+}
+
+struct ShapeChecks {
+    int passed = 0;
+    int failed = 0;
+
+    void check(bool condition, const std::string& claim) {
+        std::printf("  [%s] %s\n", condition ? "PASS" : "FAIL", claim.c_str());
+        if (condition) {
+            ++passed;
+        } else {
+            ++failed;
+        }
+    }
+
+    /// Prints the summary line and returns the process exit code.
+    int finish(const char* bench_name) const {
+        std::printf("%s: %d shape check(s) passed, %d failed\n", bench_name,
+                    passed, failed);
+        return failed == 0 ? 0 : 1;
+    }
+};
+
+inline void print_header(const char* title, const char* paper_claim) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title);
+    std::printf("paper claim: %s\n", paper_claim);
+    std::printf("==============================================================\n");
+}
+
+}  // namespace sariadne::bench

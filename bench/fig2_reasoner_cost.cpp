@@ -1,0 +1,100 @@
+// Figure 2 — "Time taken to match a requested and a provided capability".
+//
+// The paper matches two capabilities (7 inputs, 3 outputs each) over an
+// ontology of 99 OWL classes and 39 properties with Racer, FaCT++ and
+// Pellet on a 1.6 GHz Centrino: every reasoner lands at ~4-5 s per match,
+// with 76-78 % of the time spent loading and classifying the ontology.
+//
+// Substitution (DESIGN.md §2): full SHIQ reasoners are emulated by cost
+// profiles wrapping our real classification engines; the bench reports
+//   (a) the real, measured cost of the full online pipeline
+//       (parse → load+classify → query) using our engines, and
+//   (b) the modeled 2006-scale cost per profile, which must reproduce the
+//       published structure (4-5 s total, 76-78 % load+classify).
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "matching/online_matcher.hpp"
+#include "ontology/loader.hpp"
+#include "reasoner/profiles.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
+
+using namespace sariadne;
+
+namespace {
+
+std::unique_ptr<reasoner::Reasoner> engine_for(const std::string& name) {
+    if (name == "Racer") return std::make_unique<reasoner::TableauLiteReasoner>();
+    if (name == "FaCT++") return std::make_unique<reasoner::NaiveClosureReasoner>();
+    return std::make_unique<reasoner::RuleReasoner>();
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header(
+        "Figure 2: cost of matching two capabilities with a DL reasoner",
+        "4-5 s per match; loading+classifying ontologies is 76-78% of it");
+
+    const onto::Ontology fig2 = workload::fig2_ontology();
+    std::printf("workload: ontology with %zu classes, %zu properties; "
+                "capabilities with 7 inputs, 3 outputs\n\n",
+                fig2.class_count(), fig2.property_count());
+    const auto [provided, required] = workload::fig2_capabilities(fig2);
+    const std::string fig2_xml = onto::save_ontology(fig2);
+
+    bench::ShapeChecks checks;
+
+    std::printf("%-8s | %14s | %12s | %10s | %7s || real pipeline (measured on this host)\n",
+                "reasoner", "load+classify", "matching", "total(ms)", "load%");
+    std::printf("%-8s | %14s | %12s | %10s | %7s || %12s %18s %12s\n", "", "(modeled ms)",
+                "(modeled ms)", "", "", "parse(ms)", "load+classify(ms)", "query(ms)");
+    std::printf("---------+----------------+--------------+------------+---------++---------------------------------------------\n");
+
+    std::vector<reasoner::DlReasonerProfile> profiles;
+    profiles.push_back(reasoner::DlReasonerProfile::racer_like());
+    profiles.push_back(reasoner::DlReasonerProfile::factpp_like());
+    profiles.push_back(reasoner::DlReasonerProfile::pellet_like());
+
+    for (auto& profile : profiles) {
+        // Real measured pipeline with the profile's engine (medians of 5).
+        matching::OnlineMatcher matcher({fig2_xml}, engine_for(profile.name()));
+        matching::OnlineMatchTiming timing;
+        double total_real = 1e18;
+        std::size_t queries = 0;
+        for (int rep = 0; rep < 5; ++rep) {
+            const auto outcome = matcher.match(provided, required);
+            if (!outcome.matched) {
+                std::fprintf(stderr, "fig2 capabilities failed to match!\n");
+                return 1;
+            }
+            if (matcher.last_timing().total_ms() < total_real) {
+                total_real = matcher.last_timing().total_ms();
+                timing = matcher.last_timing();
+            }
+            queries = matcher.last_timing().subsumption_queries;
+        }
+
+        const auto modeled = profile.model_match(fig2, queries);
+        std::printf("%-8s | %14.0f | %12.0f | %10.0f | %6.1f%% || %12.3f %18.3f %12.3f\n",
+                    profile.name().c_str(), modeled.load_classify_ms,
+                    modeled.matching_ms, modeled.total_ms(),
+                    100.0 * modeled.load_fraction(), timing.parse_ms,
+                    timing.load_classify_ms, timing.query_ms);
+
+        checks.check(modeled.total_ms() >= 3500 && modeled.total_ms() <= 5500,
+                     profile.name() + ": modeled total in the 4-5 s band");
+        checks.check(modeled.load_fraction() >= 0.72 &&
+                         modeled.load_fraction() <= 0.82,
+                     profile.name() + ": load+classify is 76-78% (+/-4) of total");
+        checks.check(timing.load_classify_ms > timing.query_ms,
+                     profile.name() +
+                         ": real pipeline also dominated by load+classify");
+    }
+
+    std::printf("\ncontext: the paper cites ~160 ms for a syntactic UDDI "
+                "registry lookup — 25-30x below any DL-reasoner match.\n\n");
+    return checks.finish("fig2_reasoner_cost");
+}

@@ -1,0 +1,83 @@
+// Figure 7 — "Time to create graphs".
+//
+// Scenario: a freshly elected directory must ingest all service
+// descriptions of its vicinity: parse each Amigo-S document and classify
+// its capabilities into the ontology-indexed capability DAGs. The paper
+// plots, for 1..100 services over 22 ontologies (one provided capability
+// per description): time to parse, time to create the graphs, and the
+// total — finding that graph creation is negligible next to XML parsing.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "directory/semantic_directory.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
+
+using namespace sariadne;
+
+int main() {
+    bench::print_header(
+        "Figure 7: time to create capability graphs in an empty directory",
+        "graph creation is negligible compared to XML parsing; both grow "
+        "linearly with the number of services");
+
+    workload::OntologyGenConfig onto_config;
+    onto_config.class_count = 30;
+    workload::ServiceWorkload workload(
+        workload::generate_universe(22, onto_config, 2006));
+
+    encoding::KnowledgeBase kb;
+    for (const auto& o : workload.ontologies()) kb.register_ontology(o);
+    // Pre-warm code tables: classification is an offline, once-per-ontology
+    // cost, not part of the per-directory graph-creation path.
+    for (onto::OntologyIndex i = 0; i < kb.registry().size(); ++i) {
+        (void)kb.code_table(i);
+    }
+
+    std::printf("\n%8s %16s %18s %12s\n", "services", "parse_ms", "create_graphs_ms",
+                "total_ms");
+
+    std::vector<std::string> documents;
+    for (std::size_t i = 0; i < 100; ++i) {
+        documents.push_back(workload.service_xml(i));
+    }
+
+    double parse_at_100 = 0;
+    double create_at_100 = 0;
+    double total_at_10 = 0;
+    double total_at_100 = 0;
+    for (std::size_t count = 10; count <= 100; count += 10) {
+        double parse_ms = 0;
+        double insert_ms = 0;
+        const double total = bench::median_ms(5, [&] {
+            directory::SemanticDirectory directory(kb);
+            parse_ms = 0;
+            insert_ms = 0;
+            for (std::size_t i = 0; i < count; ++i) {
+                const auto [id, timing] = directory.publish_xml(documents[i]);
+                parse_ms += timing.parse_ms;
+                insert_ms += timing.insert_ms;
+            }
+        });
+        std::printf("%8zu %16.3f %18.3f %12.3f\n", count, parse_ms, insert_ms,
+                    total);
+        if (count == 10) total_at_10 = total;
+        if (count == 100) {
+            parse_at_100 = parse_ms;
+            create_at_100 = insert_ms;
+            total_at_100 = total;
+        }
+    }
+
+    std::printf("\n");
+    bench::ShapeChecks checks;
+    checks.check(create_at_100 < parse_at_100,
+                 "graph creation cheaper than XML parsing at 100 services");
+    checks.check(create_at_100 < 0.5 * parse_at_100,
+                 "graph creation well under half the parse cost (paper: negligible)");
+    checks.check(total_at_100 > 4.0 * total_at_10,
+                 "total grows roughly linearly with the number of services");
+    std::printf("\n");
+    return checks.finish("fig7_graph_creation");
+}

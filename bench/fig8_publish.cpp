@@ -1,0 +1,86 @@
+// Figure 8 — "Time to publish a service advertisement".
+//
+// A directory already caching N services receives one more advertisement.
+// The paper plots parse time, insertion (classification into the DAGs)
+// and total for N = 1..100, finding insertion (a) negligible next to
+// parsing and (b) nearly constant in N — because the ontology index
+// preselects candidate DAGs, the number of semantic matches performed for
+// an insertion does not depend on directory size.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "directory/semantic_directory.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
+
+using namespace sariadne;
+
+int main() {
+    bench::print_header(
+        "Figure 8: time to publish one new service advertisement",
+        "insertion is negligible vs parsing and nearly constant in the "
+        "number of already-cached services");
+
+    workload::OntologyGenConfig onto_config;
+    onto_config.class_count = 30;
+    workload::ServiceWorkload workload(
+        workload::generate_universe(22, onto_config, 2006));
+
+    encoding::KnowledgeBase kb;
+    for (const auto& o : workload.ontologies()) kb.register_ontology(o);
+    for (onto::OntologyIndex i = 0; i < kb.registry().size(); ++i) {
+        (void)kb.code_table(i);
+    }
+
+    std::printf("\n%8s %12s %12s %12s %18s\n", "cached", "parse_ms", "insert_ms",
+                "total_ms", "matches_performed");
+
+    double insert_at_10 = 0;
+    double insert_at_100 = 0;
+    double parse_at_100 = 0;
+    for (std::size_t cached = 10; cached <= 100; cached += 10) {
+        directory::SemanticDirectory directory(kb);
+        for (std::size_t i = 0; i < cached; ++i) {
+            directory.publish(workload.service(i));
+        }
+
+        // Publish (and withdraw) fresh services repeatedly; median timing.
+        double parse_ms = 0;
+        double insert_ms = 0;
+        std::uint64_t matches = 0;
+        std::vector<double> inserts;
+        std::vector<double> parses;
+        for (int rep = 0; rep < 9; ++rep) {
+            const std::size_t fresh = 100 + (cached + static_cast<std::size_t>(rep)) % 60;
+            const std::string xml = workload.service_xml(fresh);
+            const auto before = directory.lifetime_stats().capability_matches;
+            const auto [id, timing] = directory.publish_xml(xml);
+            matches += directory.lifetime_stats().capability_matches - before;
+            parses.push_back(timing.parse_ms);
+            inserts.push_back(timing.insert_ms);
+            directory.remove(id);
+        }
+        std::sort(parses.begin(), parses.end());
+        std::sort(inserts.begin(), inserts.end());
+        parse_ms = parses[parses.size() / 2];
+        insert_ms = inserts[inserts.size() / 2];
+
+        std::printf("%8zu %12.3f %12.3f %12.3f %18.1f\n", cached, parse_ms,
+                    insert_ms, parse_ms + insert_ms,
+                    static_cast<double>(matches) / 9.0);
+        if (cached == 10) insert_at_10 = insert_ms;
+        if (cached == 100) {
+            insert_at_100 = insert_ms;
+            parse_at_100 = parse_ms;
+        }
+    }
+
+    std::printf("\n");
+    bench::ShapeChecks checks;
+    checks.check(insert_at_100 < parse_at_100,
+                 "insertion cheaper than parsing at 100 cached services");
+    checks.check(insert_at_100 < 4.0 * insert_at_10 + 0.05,
+                 "insertion time nearly constant in directory size");
+    std::printf("\n");
+    return checks.finish("fig8_publish");
+}

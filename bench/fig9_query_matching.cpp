@@ -1,0 +1,115 @@
+// Figure 9 — "Time to match a service request".
+//
+// The same encoded semantic matching run against two directory layouts:
+// capabilities classified into ontology-indexed DAGs (optimized) versus a
+// flat list matched linearly (non-optimized). The paper reports, XML
+// parsing excluded: the non-optimized time exceeding the optimized one by
+// ~50 % on average and growing with directory size, the optimized time
+// almost constant, and absolute times of a few milliseconds.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "directory/flat_directory.hpp"
+#include "directory/semantic_directory.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
+
+using namespace sariadne;
+
+int main() {
+    bench::print_header(
+        "Figure 9: request matching, classified DAGs vs no classification",
+        "non-optimized matching ~+50% and growing; optimized nearly "
+        "constant, a few ms at most (XML parsing excluded)");
+
+    workload::OntologyGenConfig onto_config;
+    onto_config.class_count = 30;
+    workload::ServiceWorkload workload(
+        workload::generate_universe(22, onto_config, 2006));
+
+    encoding::KnowledgeBase kb;
+    for (const auto& o : workload.ontologies()) kb.register_ontology(o);
+    for (onto::OntologyIndex i = 0; i < kb.registry().size(); ++i) {
+        (void)kb.code_table(i);
+    }
+
+    std::printf("\n%8s %16s %20s %14s %14s\n", "services", "optimized_ms",
+                "non_optimized_ms", "dag_matches", "flat_matches");
+
+    constexpr int kRequestsPerPoint = 20;
+    double opt_at_10 = 0;
+    double opt_at_100 = 0;
+    double flat_at_10 = 0;
+    double flat_at_100 = 0;
+    double overhead_sum = 0;
+    int overhead_points = 0;
+
+    for (std::size_t count = 10; count <= 100; count += 10) {
+        directory::SemanticDirectory semantic(kb);
+        directory::FlatDirectory flat(kb);
+        for (std::size_t i = 0; i < count; ++i) {
+            semantic.publish(workload.service(i));
+            flat.publish(workload.service(i));
+        }
+
+        // Pre-resolve requests: Figure 9 excludes XML parsing.
+        std::vector<std::vector<desc::ResolvedCapability>> requests;
+        for (int r = 0; r < kRequestsPerPoint; ++r) {
+            requests.push_back(desc::resolve_request(
+                workload.matching_request((static_cast<std::size_t>(r) * 13) % count),
+                kb.registry()));
+        }
+
+        std::uint64_t dag_matches = 0;
+        const double optimized = bench::median_ms(7, [&] {
+            dag_matches = 0;
+            for (const auto& request : requests) {
+                const auto result = semantic.query_resolved(request);
+                dag_matches += result.stats.capability_matches;
+            }
+        }) / kRequestsPerPoint;
+
+        std::uint64_t flat_matches = 0;
+        const double non_optimized = bench::median_ms(7, [&] {
+            flat_matches = 0;
+            for (const auto& request : requests) {
+                directory::MatchStats stats;
+                directory::QueryTiming timing;
+                (void)flat.query(request, stats, timing);
+                flat_matches += stats.capability_matches;
+            }
+        }) / kRequestsPerPoint;
+
+        std::printf("%8zu %16.4f %20.4f %14.1f %14.1f\n", count, optimized,
+                    non_optimized,
+                    static_cast<double>(dag_matches) / kRequestsPerPoint,
+                    static_cast<double>(flat_matches) / kRequestsPerPoint);
+
+        if (count == 10) {
+            opt_at_10 = optimized;
+            flat_at_10 = non_optimized;
+        }
+        if (count == 100) {
+            opt_at_100 = optimized;
+            flat_at_100 = non_optimized;
+        }
+        overhead_sum += non_optimized / (optimized > 0 ? optimized : 1e-9);
+        ++overhead_points;
+    }
+
+    std::printf("\naverage non-optimized / optimized ratio: %.2fx\n",
+                overhead_sum / overhead_points);
+
+    bench::ShapeChecks checks;
+    checks.check(flat_at_100 > flat_at_10,
+                 "non-optimized matching grows with directory size");
+    checks.check(flat_at_100 > 1.4 * opt_at_100,
+                 "non-optimized at least ~40% above optimized at 100 services "
+                 "(paper: ~50% average overhead)");
+    checks.check(opt_at_100 < 5.0,
+                 "optimized matching stays within a few milliseconds");
+    checks.check(opt_at_100 < 3.0 * opt_at_10 + 0.05,
+                 "optimized matching nearly constant in directory size");
+    std::printf("\n");
+    return checks.finish("fig9_query_matching");
+}

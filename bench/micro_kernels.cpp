@@ -1,0 +1,189 @@
+// Google-benchmark microbenchmarks of the discovery fast-path kernels:
+// interval-code subsumption/distance, capability matching, DAG queries,
+// Bloom operations, and the XML parse that dominates publish cost.
+// Complements the figure benches with per-operation numbers.
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloom_filter.hpp"
+#include "description/conversation.hpp"
+#include "directory/flat_directory.hpp"
+#include "directory/semantic_directory.hpp"
+#include "matching/oracles.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
+#include "xml/parser.hpp"
+
+namespace {
+
+using namespace sariadne;
+
+struct Fixture {
+    Fixture() : workload(make_universe()) {
+        for (const auto& o : workload.ontologies()) kb.register_ontology(o);
+        for (onto::OntologyIndex i = 0; i < kb.registry().size(); ++i) {
+            (void)kb.code_table(i);
+        }
+    }
+
+    static std::vector<onto::Ontology> make_universe() {
+        workload::OntologyGenConfig config;
+        config.class_count = 30;
+        return workload::generate_universe(22, config, 2006);
+    }
+
+    encoding::KnowledgeBase kb;
+    workload::ServiceWorkload workload;
+};
+
+Fixture& fixture() {
+    static Fixture instance;
+    return instance;
+}
+
+void BM_EncodedSubsumption(benchmark::State& state) {
+    auto& f = fixture();
+    const auto& table = f.kb.code_table(0);
+    const auto n = static_cast<onto::ConceptId>(table.class_count());
+    onto::ConceptId a = 0;
+    onto::ConceptId b = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.subsumes(a, b));
+        a = (a + 1) % n;
+        b = (b + 7) % n;
+    }
+}
+BENCHMARK(BM_EncodedSubsumption);
+
+void BM_EncodedDistance(benchmark::State& state) {
+    auto& f = fixture();
+    const auto& table = f.kb.code_table(0);
+    const auto n = static_cast<onto::ConceptId>(table.class_count());
+    onto::ConceptId a = 0;
+    onto::ConceptId b = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.distance(a, b));
+        a = (a + 1) % n;
+        b = (b + 7) % n;
+    }
+}
+BENCHMARK(BM_EncodedDistance);
+
+void BM_TaxonomyDistance(benchmark::State& state) {
+    auto& f = fixture();
+    const auto& taxonomy = f.kb.taxonomy(0);
+    const auto n = static_cast<onto::ConceptId>(taxonomy.class_count());
+    onto::ConceptId a = 0;
+    onto::ConceptId b = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(taxonomy.distance(a, b));
+        a = (a + 1) % n;
+        b = (b + 7) % n;
+    }
+}
+BENCHMARK(BM_TaxonomyDistance);
+
+void BM_CapabilityMatch(benchmark::State& state) {
+    auto& f = fixture();
+    matching::EncodedOracle oracle(f.kb);
+    const auto provided = desc::resolve_capability(
+        f.workload.service(0).profile.capabilities.front(), f.kb.registry());
+    const auto required = desc::resolve_capability(
+        f.workload.matching_request(0).capabilities.front(), f.kb.registry());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            matching::match_capability(provided, required, oracle));
+    }
+}
+BENCHMARK(BM_CapabilityMatch);
+
+void BM_DirectoryQuery(benchmark::State& state) {
+    auto& f = fixture();
+    directory::SemanticDirectory directory(f.kb);
+    const auto services = static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 0; i < services; ++i) {
+        directory.publish(f.workload.service(i));
+    }
+    const auto resolved =
+        desc::resolve_request(f.workload.matching_request(3), f.kb.registry());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(directory.query_resolved(resolved));
+    }
+    state.counters["services"] = static_cast<double>(services);
+}
+BENCHMARK(BM_DirectoryQuery)->Arg(10)->Arg(100);
+
+void BM_FlatQuery(benchmark::State& state) {
+    auto& f = fixture();
+    directory::FlatDirectory directory(f.kb);
+    const auto services = static_cast<std::size_t>(state.range(0));
+    for (std::size_t i = 0; i < services; ++i) {
+        directory.publish(f.workload.service(i));
+    }
+    const auto resolved =
+        desc::resolve_request(f.workload.matching_request(3), f.kb.registry());
+    for (auto _ : state) {
+        directory::MatchStats stats;
+        directory::QueryTiming timing;
+        benchmark::DoNotOptimize(directory.query(resolved, stats, timing));
+    }
+}
+BENCHMARK(BM_FlatQuery)->Arg(10)->Arg(100);
+
+void BM_ServiceXmlParse(benchmark::State& state) {
+    auto& f = fixture();
+    const std::string xml = f.workload.service_xml(5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(xml::parse(xml));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_ServiceXmlParse);
+
+void BM_PublishClassify(benchmark::State& state) {
+    auto& f = fixture();
+    for (auto _ : state) {
+        state.PauseTiming();
+        directory::SemanticDirectory directory(f.kb);
+        for (std::size_t i = 0; i < 50; ++i) {
+            directory.publish(f.workload.service(i));
+        }
+        const auto service = f.workload.service(60);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(directory.publish(service));
+    }
+}
+BENCHMARK(BM_PublishClassify);
+
+void BM_ConversationContainment(benchmark::State& state) {
+    using desc::Process;
+    const Process provider = Process::sequence(
+        {Process::atomic("login"),
+         Process::repeat(Process::choice(
+             {Process::atomic("browse"), Process::atomic("addItem"),
+              Process::atomic("removeItem")})),
+         Process::choice(
+             {Process::atomic("checkout"), Process::atomic("cancel")})});
+    const Process client = Process::sequence(
+        {Process::atomic("login"), Process::atomic("browse"),
+         Process::atomic("addItem"), Process::atomic("checkout")});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            desc::conversation_compatible(client, provider));
+    }
+}
+BENCHMARK(BM_ConversationContainment);
+
+void BM_BloomInsertAndProbe(benchmark::State& state) {
+    bloom::BloomFilter filter;
+    const std::vector<std::string> uris{"http://onto/a", "http://onto/b"};
+    for (auto _ : state) {
+        filter.insert_ontology_set(uris);
+        benchmark::DoNotOptimize(filter.possibly_covers(uris));
+    }
+}
+BENCHMARK(BM_BloomInsertAndProbe);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Peer-to-peer composition from required capabilities (§2.2): Amigo-S
+// services declare not only what they PROVIDE but what they REQUIRE from
+// other networked services. The planner resolves a whole dependency tree
+// against the semantic directory.
+//
+// Scenario — an ambient slideshow on the living-room wall screen:
+//   WallScreen       requires a photo stream and ambient music
+//   PhotoFrameSvc    provides the photo stream, requires a photo archive
+//   MusicBox         provides ambient music
+//   HomeNas          provides the photo archive
+// Planning wires: HomeNas → PhotoFrameSvc → WallScreen and
+// MusicBox → WallScreen, in dependency order.
+#include <cstdio>
+
+#include "core/composition.hpp"
+#include "core/discovery_engine.hpp"
+#include "description/amigos_io.hpp"
+
+namespace {
+
+constexpr const char* kOntology = R"(
+  <ontology uri="http://home.example/onto/ambient" version="1">
+    <class name="Media"/>
+    <class name="Photo"><subClassOf name="Media"/></class>
+    <class name="Music"><subClassOf name="Media"/></class>
+    <class name="AmbientMusic"><subClassOf name="Music"/></class>
+    <class name="Archive"/>
+    <class name="PhotoArchive"><subClassOf name="Archive"/></class>
+    <class name="StreamHandle"/>
+    <class name="AmbientService"/>
+    <class name="DisplayService"><subClassOf name="AmbientService"/></class>
+    <class name="AudioService"><subClassOf name="AmbientService"/></class>
+    <class name="StorageService"><subClassOf name="AmbientService"/></class>
+  </ontology>)";
+
+const char* kNetworkedServices[] = {
+    R"(<service name="PhotoFrameSvc" provider="frame-co">
+         <grounding protocol="SOAP" address="http://frame.local/photos"/>
+         <capability name="StreamPhotos" kind="provided">
+           <category concept="http://home.example/onto/ambient#DisplayService"/>
+           <output name="stream" concept="http://home.example/onto/ambient#StreamHandle"/>
+         </capability>
+         <!-- the archive is NOT a client-supplied input: the frame obtains
+              it itself through its required capability below -->
+         <capability name="NeedArchive" kind="required">
+           <category concept="http://home.example/onto/ambient#StorageService"/>
+           <output name="archive" concept="http://home.example/onto/ambient#PhotoArchive"/>
+         </capability>
+       </service>)",
+    R"(<service name="MusicBox" provider="audio-co">
+         <grounding protocol="UPnP" address="http://musicbox.local/play"/>
+         <capability name="PlayAmbient" kind="provided">
+           <category concept="http://home.example/onto/ambient#AudioService"/>
+           <output name="music" concept="http://home.example/onto/ambient#AmbientMusic"/>
+         </capability>
+       </service>)",
+    R"(<service name="HomeNas" provider="nas-co">
+         <grounding protocol="SOAP" address="http://nas.local/archive"/>
+         <capability name="ServeArchive" kind="provided">
+           <category concept="http://home.example/onto/ambient#StorageService"/>
+           <output name="archive" concept="http://home.example/onto/ambient#PhotoArchive"/>
+         </capability>
+       </service>)",
+};
+
+// The root: the wall screen's own description, with two requirements. Note
+// the vocabulary gaps — it asks generically for Music, the MusicBox offers
+// AmbientMusic.
+constexpr const char* kWallScreen = R"(
+  <service name="WallScreen" provider="screen-co">
+    <grounding protocol="UPnP" address="http://wall.local/show"/>
+    <capability name="ShowSlideshow" kind="provided">
+      <category concept="http://home.example/onto/ambient#DisplayService"/>
+      <output name="session" concept="http://home.example/onto/ambient#StreamHandle"/>
+    </capability>
+    <capability name="NeedPhotoStream" kind="required">
+      <category concept="http://home.example/onto/ambient#DisplayService"/>
+      <output name="stream" concept="http://home.example/onto/ambient#StreamHandle"/>
+    </capability>
+    <capability name="NeedMusic" kind="required">
+      <category concept="http://home.example/onto/ambient#AudioService"/>
+      <output name="music" concept="http://home.example/onto/ambient#AmbientMusic"/>
+    </capability>
+  </service>)";
+
+}  // namespace
+
+int main() {
+    sariadne::DiscoveryEngine engine;
+    engine.register_ontology_xml(kOntology);
+    for (const char* service : kNetworkedServices) engine.publish(service);
+
+    const auto root = sariadne::desc::parse_service(kWallScreen);
+    sariadne::CompositionPlanner planner(engine.directory());
+    const sariadne::CompositionPlan plan = planner.plan(root);
+
+    std::printf("=== composition plan for WallScreen (%zu steps, %zu gaps) ===\n\n",
+                plan.steps.size(), plan.gaps.size());
+    int step_no = 1;
+    for (const auto& step : plan.steps) {
+        std::printf("%d. %-14s needs %-16s -> %-14s / %-13s (d=%d) at %s\n",
+                    step_no++, step.consumer_service.c_str(),
+                    step.required_capability.c_str(),
+                    step.provider_service.c_str(),
+                    step.provided_capability.c_str(), step.semantic_distance,
+                    step.grounding.address.c_str());
+    }
+    for (const auto& gap : plan.gaps) {
+        std::printf("!! %s needs %s: %s\n", gap.consumer_service.c_str(),
+                    gap.required_capability.c_str(), gap.reason.c_str());
+    }
+
+    std::printf("\nexecuting front-to-back wires leaf services first: the NAS\n"
+                "feeds the photo frame before the frame feeds the screen.\n");
+    return plan.complete() ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Quickstart: the three-verb API in ~60 lines.
+//
+//   1. register ontologies      (classification + encoding happen offline)
+//   2. publish a service        (parsed once, classified into capability DAGs)
+//   3. discover by capability   (numeric code matching, ranked by distance)
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/discovery_engine.hpp"
+
+int main() {
+    sariadne::DiscoveryEngine engine;
+
+    // 1. An ontology of printing devices, as an XML document.
+    engine.register_ontology_xml(R"(
+      <ontology uri="http://home.example/devices" version="1">
+        <class name="Device"/>
+        <class name="Printer"><subClassOf name="Device"/></class>
+        <class name="ColorPrinter"><subClassOf name="Printer"/></class>
+        <class name="Document"/>
+        <class name="PdfDocument"><subClassOf name="Document"/></class>
+        <class name="PrintJob"/>
+      </ontology>)");
+
+    // 2. A networked printer advertises its capability: it accepts *any*
+    //    Document and produces a PrintJob.
+    engine.publish(R"(
+      <service name="HallwayPrinter" provider="acme" middleware="UPnP">
+        <grounding protocol="SOAP" address="http://printer.local/print"/>
+        <capability name="PrintDocument" kind="provided">
+          <category concept="http://home.example/devices#Printer"/>
+          <input name="doc" concept="http://home.example/devices#Document"/>
+          <output name="job" concept="http://home.example/devices#PrintJob"/>
+        </capability>
+      </service>)");
+
+    // 3. A client wants to print a *PDF*. There is no syntactic agreement —
+    //    the request says PdfDocument, the advertisement says Document —
+    //    but Document subsumes PdfDocument, so semantic matching bridges
+    //    the gap (a WSDL string comparison would simply fail).
+    const auto results = engine.discover(R"(
+      <request requester="laptop-17">
+        <capability name="NeedPrinting">
+          <category concept="http://home.example/devices#Printer"/>
+          <input name="doc" concept="http://home.example/devices#PdfDocument"/>
+          <output name="job" concept="http://home.example/devices#PrintJob"/>
+        </capability>
+      </request>)");
+
+    for (const auto& row : results) {
+        if (row.empty()) {
+            std::printf("no provider found\n");
+            continue;
+        }
+        for (const auto& hit : row) {
+            std::printf("matched: %s / %s  (semantic distance %d)  invoke at %s\n",
+                        hit.service_name.c_str(), hit.capability_name.c_str(),
+                        hit.semantic_distance, hit.grounding.address.c_str());
+        }
+    }
+    return results.empty() || results[0].empty() ? 1 : 0;
+}

@@ -1,0 +1,125 @@
+// A second application domain: pervasive e-health (the kind of ambient-
+// intelligence scenario the Amigo project targeted). A hospital ward runs
+// heterogeneous devices — a vital-signs monitor, an EHR repository, an
+// alert dispatcher — described against a clinical ontology. A nurse's
+// tablet issues one request with THREE required capabilities; discovery
+// must satisfy all of them across different services, demonstrating
+// multi-capability requests, QoS attributes and middleware heterogeneity.
+#include <cstdio>
+
+#include "core/discovery_engine.hpp"
+
+namespace {
+
+constexpr const char* kClinicalOntology = R"(
+  <ontology uri="http://hospital.example/onto/clinical" version="1">
+    <class name="Observation"/>
+    <class name="VitalSign"><subClassOf name="Observation"/></class>
+    <class name="HeartRate"><subClassOf name="VitalSign"/></class>
+    <class name="BloodPressure"><subClassOf name="VitalSign"/></class>
+    <class name="SpO2"><subClassOf name="VitalSign"/></class>
+    <class name="Record"/>
+    <class name="PatientRecord"><subClassOf name="Record"/></class>
+    <class name="PatientId"/>
+    <class name="Notification"/>
+    <class name="UrgentNotification"><subClassOf name="Notification"/></class>
+    <class name="ClinicalService"/>
+    <class name="MonitoringService"><subClassOf name="ClinicalService"/></class>
+    <class name="RecordService"><subClassOf name="ClinicalService"/></class>
+    <class name="AlertService"><subClassOf name="ClinicalService"/></class>
+    <class name="TelemetryService"><equivalentTo name="MonitoringService"/></class>
+  </ontology>)";
+
+const char* kWardServices[] = {
+    // Bedside monitor: provides any vital sign for a patient. Advertised
+    // under the TelemetryService alias — equivalence still matches requests
+    // phrased as MonitoringService.
+    R"(<service name="BedsideMonitor" provider="medtech" middleware="UPnP">
+         <grounding protocol="SOAP" address="http://monitor-12.ward/vitals"/>
+         <capability name="StreamVitals" kind="provided">
+           <category concept="http://hospital.example/onto/clinical#TelemetryService"/>
+           <input name="patient" concept="http://hospital.example/onto/clinical#PatientId"/>
+           <output name="vitals" concept="http://hospital.example/onto/clinical#VitalSign"/>
+         </capability>
+         <qos name="sampleRateHz" value="4"/>
+       </service>)",
+    // EHR repository: fetches patient records.
+    R"(<service name="EhrStore" provider="hospital-it" middleware="WS">
+         <grounding protocol="SOAP" address="http://ehr.hospital/records"/>
+         <capability name="FetchRecord" kind="provided">
+           <category concept="http://hospital.example/onto/clinical#RecordService"/>
+           <input name="patient" concept="http://hospital.example/onto/clinical#PatientId"/>
+           <output name="record" concept="http://hospital.example/onto/clinical#PatientRecord"/>
+         </capability>
+         <qos name="latencyMs" value="80"/>
+       </service>)",
+    // Alert dispatcher: turns observations into notifications.
+    R"(<service name="AlertDispatcher" provider="medtech" middleware="RMI">
+         <grounding protocol="SOAP" address="http://alerts.ward/dispatch"/>
+         <capability name="RaiseAlert" kind="provided">
+           <category concept="http://hospital.example/onto/clinical#AlertService"/>
+           <input name="obs" concept="http://hospital.example/onto/clinical#Observation"/>
+           <output name="note" concept="http://hospital.example/onto/clinical#Notification"/>
+         </capability>
+       </service>)",
+};
+
+// The nurse's tablet: one request, three required capabilities, each
+// phrased in vocabulary that nowhere equals the advertisements' —
+// HeartRate vs VitalSign, MonitoringService vs TelemetryService,
+// HeartRate observations into an Observation-typed alert input.
+constexpr const char* kNurseRequest = R"(
+  <request requester="nurse-tablet-3">
+    <capability name="WatchHeartRate">
+      <category concept="http://hospital.example/onto/clinical#MonitoringService"/>
+      <input name="patient" concept="http://hospital.example/onto/clinical#PatientId"/>
+      <output name="hr" concept="http://hospital.example/onto/clinical#HeartRate"/>
+    </capability>
+    <capability name="PullRecord">
+      <category concept="http://hospital.example/onto/clinical#RecordService"/>
+      <input name="patient" concept="http://hospital.example/onto/clinical#PatientId"/>
+      <output name="record" concept="http://hospital.example/onto/clinical#PatientRecord"/>
+    </capability>
+    <capability name="GetAlerted">
+      <category concept="http://hospital.example/onto/clinical#AlertService"/>
+      <input name="obs" concept="http://hospital.example/onto/clinical#HeartRate"/>
+      <output name="note" concept="http://hospital.example/onto/clinical#Notification"/>
+    </capability>
+  </request>)";
+
+}  // namespace
+
+int main() {
+    sariadne::DiscoveryEngine engine;
+    engine.register_ontology_xml(kClinicalOntology);
+    for (const char* service : kWardServices) engine.publish(service);
+
+    std::printf("=== smart hospital ward: %zu services cached ===\n\n",
+                engine.directory().service_count());
+
+    const auto results = engine.discover(kNurseRequest);
+    const char* const names[] = {"WatchHeartRate", "PullRecord", "GetAlerted"};
+    bool all = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        std::printf("%-16s:", names[i]);
+        if (results[i].empty()) {
+            std::printf(" UNSATISFIED\n");
+            all = false;
+            continue;
+        }
+        for (const auto& hit : results[i]) {
+            std::printf(" %s/%s (d=%d, %s)", hit.service_name.c_str(),
+                        hit.capability_name.c_str(), hit.semantic_distance,
+                        hit.grounding.address.c_str());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nhighlights:\n");
+    std::printf(" * WatchHeartRate matched StreamVitals although the request says\n"
+                "   MonitoringService/HeartRate and the monitor says\n"
+                "   TelemetryService/VitalSign — equivalence + subsumption.\n");
+    std::printf(" * GetAlerted matched although the alert service accepts any\n"
+                "   Observation, not specifically a HeartRate.\n");
+    return all ? 0 : 1;
+}

@@ -1,0 +1,829 @@
+#include "ariadne/protocol.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "description/amigos_io.hpp"
+#include "description/resolved.hpp"
+#include "directory/state_transfer.hpp"
+#include "support/contracts.hpp"
+#include "support/hash.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sariadne::ariadne {
+
+using directory::MatchHit;
+using net::kNoNode;
+using net::Message;
+using net::NodeId;
+using net::SimTime;
+
+namespace {
+
+// --- message payloads ----------------------------------------------------
+
+struct DirAdv {
+    NodeId directory;
+};
+
+struct ElectCall {
+    NodeId initiator;
+};
+
+struct ElectCandidate {
+    NodeId candidate;
+    double fitness;
+};
+
+struct PublishDoc {
+    std::string document;
+};
+
+struct Request {
+    std::uint64_t request_id;
+    NodeId client;
+    std::string document;
+};
+
+struct QueryHits {
+    std::uint64_t request_id;
+    std::vector<std::vector<MatchHit>> per_capability;
+    double compute_ms;
+};
+
+struct Response {
+    std::uint64_t request_id;
+    std::vector<MatchHit> hits;
+    bool satisfied;
+    double compute_ms;
+    std::uint32_t directories_asked;
+};
+
+struct Forward {
+    std::uint64_t request_id;
+    NodeId origin;
+    std::string document;
+};
+
+struct SummaryPush {
+    NodeId from;
+    std::vector<std::uint64_t> wire;
+};
+
+struct Handover {
+    std::string state_xml;
+};
+
+constexpr std::uint32_t kHitWireBytes = 64;
+
+}  // namespace
+
+// --- node state ------------------------------------------------------------
+
+struct DiscoveryNetwork::NodeState {
+    bool is_directory = false;
+    SimTime last_adv = -1e18;
+    NodeId known_directory = kNoNode;
+    bool election_pending = false;
+    SimTime election_started = 0;
+    std::vector<ElectCandidate> candidates;
+
+    std::unique_ptr<directory::SemanticDirectory> semdir;
+    std::unique_ptr<directory::SyntacticDirectory> syndir;
+    std::unordered_map<NodeId, bloom::BloomFilter> peer_summaries;
+    std::unordered_map<NodeId, std::size_t> peer_false_positives;
+    std::size_t publishes_since_push = 0;
+
+    std::unordered_map<std::uint64_t, PendingRequest> pending;
+
+    std::vector<std::string> deferred_publishes;
+    std::vector<std::pair<std::uint64_t, std::string>> deferred_requests;
+
+    /// Provider-side: documents this node owns and re-advertises.
+    std::vector<std::string> owned_services;
+    bool republish_scheduled = false;
+
+    /// Resigned-directory state awaiting a successor (empty when none).
+    std::string pending_handover;
+
+    /// Set on resignation (e.g. low battery): the node no longer stands
+    /// as an election candidate.
+    bool declines_role = false;
+};
+
+class DiscoveryNetwork::App final : public net::NodeApp {
+public:
+    explicit App(DiscoveryNetwork& network) : network_(&network) {}
+
+    void on_start(net::Simulator&, NodeId) override {}
+
+    void on_message(net::Simulator&, NodeId self, const Message& msg) override {
+        network_->handle_message(self, msg);
+    }
+
+private:
+    DiscoveryNetwork* network_;
+};
+
+// --- construction ------------------------------------------------------------
+
+DiscoveryNetwork::DiscoveryNetwork(net::Topology topology, ProtocolConfig config,
+                                   encoding::KnowledgeBase& kb)
+    : sim_(std::make_unique<net::Simulator>(std::move(topology))),
+      config_(config),
+      kb_(&kb) {
+    const std::size_t n = sim_->topology().node_count();
+    nodes_.reserve(n);
+    apps_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        nodes_.push_back(std::make_unique<NodeState>());
+        apps_.push_back(std::make_unique<App>(*this));
+        sim_->attach(static_cast<NodeId>(i), apps_.back().get());
+    }
+}
+
+DiscoveryNetwork::~DiscoveryNetwork() = default;
+
+double DiscoveryNetwork::fitness(NodeId node) const {
+    // Deterministic pseudo-battery in [0.25, 1.0] plus radio coverage: the
+    // paper elects on "network coverage, mobility and remaining/available
+    // resources". Mains-powered infrastructure nodes (hybrid networks)
+    // report full battery and zero mobility, so the backbone naturally
+    // gravitates onto access points when they exist.
+    const double battery =
+        sim_->topology().is_infrastructure(node)
+            ? 1.0
+            : 0.25 + 0.75 * static_cast<double>(
+                                mix64(node * 0x9E3779B97F4A7C15ULL +
+                                      0xBA77E21ULL) %
+                                1000) /
+                         1000.0;
+    const double stability = sim_->topology().is_infrastructure(node) ? 2.0 : 1.0;
+    const double degree =
+        static_cast<double>(sim_->topology().neighbors(node).size());
+    return battery * stability * (1.0 + 0.1 * degree);
+}
+
+void DiscoveryNetwork::start() {
+    for (NodeId node = 0; node < nodes_.size(); ++node) {
+        // Stagger the first check so simultaneous elections are rare but
+        // still exercised.
+        const double jitter =
+            1.0 + 0.05 * static_cast<double>(node % 11);
+        sim_->schedule(config_.adv_timeout_ms * jitter,
+                       [this, node] { node_check_advertisement(node); });
+    }
+}
+
+void DiscoveryNetwork::node_check_advertisement(NodeId node) {
+    NodeState& state = *nodes_[node];
+    if (sim_->topology().is_up(node) && !state.is_directory &&
+        !state.election_pending &&
+        sim_->now() - state.last_adv > config_.adv_timeout_ms) {
+        node_start_election(node);
+    }
+    sim_->schedule(config_.adv_timeout_ms,
+                   [this, node] { node_check_advertisement(node); });
+}
+
+void DiscoveryNetwork::node_start_election(NodeId node) {
+    NodeState& state = *nodes_[node];
+    state.election_pending = true;
+    state.election_started = sim_->now();
+    state.candidates.clear();
+    if (!state.declines_role) {
+        state.candidates.push_back(ElectCandidate{node, fitness(node)});
+    }
+
+    Message call;
+    call.type = "elect-call";
+    call.payload = ElectCall{node};
+    call.size_bytes = 16;
+    sim_->broadcast(node, config_.election_ttl, std::move(call));
+
+    sim_->schedule(config_.election_wait_ms,
+                   [this, node] { close_election(node); });
+}
+
+void DiscoveryNetwork::close_election(NodeId initiator) {
+    NodeState& state = *nodes_[initiator];
+    if (!state.election_pending) return;  // suppressed by an advertisement
+    state.election_pending = false;
+    // A directory advertisement heard since the call aborts the election.
+    if (state.last_adv >= state.election_started) return;
+
+    if (state.candidates.empty()) return;  // everyone declined; retry later
+    const auto best = std::max_element(
+        state.candidates.begin(), state.candidates.end(),
+        [](const ElectCandidate& a, const ElectCandidate& b) {
+            return a.fitness != b.fitness ? a.fitness < b.fitness
+                                          : a.candidate > b.candidate;
+        });
+    if (best->candidate == initiator) {
+        become_directory(initiator);
+    } else {
+        Message appoint;
+        appoint.type = "elect-appoint";
+        appoint.size_bytes = 8;
+        sim_->unicast(initiator, best->candidate, std::move(appoint));
+    }
+}
+
+void DiscoveryNetwork::appoint_directory(NodeId node) {
+    become_directory(node);
+}
+
+void DiscoveryNetwork::resign_directory(NodeId node) {
+    NodeState& state = *nodes_[node];
+    if (!state.is_directory) return;
+    std::string exported;
+    if (state.semdir != nullptr) {
+        exported = directory::export_state(*state.semdir);
+    }
+    state.is_directory = false;
+    state.declines_role = true;  // it resigned for a reason (resources)
+    state.semdir.reset();
+    state.syndir.reset();
+    state.peer_summaries.clear();
+    state.last_adv = -1e18;  // eligible to detect a directory-less vicinity
+
+    if (exported.empty()) return;  // syntactic mode: providers re-publish
+
+    NodeId successor = directory_for(node);
+    if (successor != kNoNode) {
+        Message msg;
+        msg.type = "handover";
+        msg.size_bytes = static_cast<std::uint32_t>(exported.size());
+        msg.payload = Handover{std::move(exported)};
+        sim_->unicast(node, successor, std::move(msg));
+        return;
+    }
+    // Last directory standing: elect a successor, hand over when its
+    // advertisement arrives (see the dir-adv handler).
+    state.pending_handover = std::move(exported);
+    node_start_election(node);
+}
+
+void DiscoveryNetwork::become_directory(NodeId node) {
+    NodeState& state = *nodes_[node];
+    if (state.is_directory) return;
+    state.is_directory = true;
+    state.election_pending = false;
+    if (config_.protocol == Protocol::kSAriadne) {
+        state.semdir = std::make_unique<directory::SemanticDirectory>(
+            *kb_, config_.bloom);
+    } else {
+        state.syndir = std::make_unique<directory::SyntacticDirectory>();
+    }
+    directory_advertise(node);
+    if (config_.protocol == Protocol::kSAriadne) {
+        // §4: "the exchange of Bloom filters is done when new directories
+        // are elected" — both ways: announce our (empty) summary and pull
+        // the existing peers' summaries, so a late-elected directory learns
+        // where established content lives.
+        push_summary(node);
+        for (const NodeId peer : directories()) {
+            if (peer == node) continue;
+            Message pull;
+            pull.type = "summary-pull";
+            pull.size_bytes = 8;
+            sim_->unicast(node, peer, std::move(pull));
+        }
+    }
+}
+
+void DiscoveryNetwork::directory_advertise(NodeId node) {
+    NodeState& state = *nodes_[node];
+    if (!state.is_directory) return;
+    if (sim_->topology().is_up(node)) {
+        Message adv;
+        adv.type = "dir-adv";
+        adv.payload = DirAdv{node};
+        adv.size_bytes = 16;
+        sim_->broadcast(node, config_.vicinity_hops, std::move(adv));
+        state.last_adv = sim_->now();  // a directory never elects
+    }
+    sim_->schedule(config_.adv_period_ms,
+                   [this, node] { directory_advertise(node); });
+}
+
+void DiscoveryNetwork::push_summary(NodeId directory_node) {
+    NodeState& state = *nodes_[directory_node];
+    if (state.semdir == nullptr) return;
+    const auto wire = state.semdir->summary().serialize();
+    for (const NodeId peer : directories()) {
+        if (peer == directory_node) continue;
+        Message push;
+        push.type = "summary-push";
+        push.payload = SummaryPush{directory_node, wire};
+        push.size_bytes = static_cast<std::uint32_t>(wire.size() * 8);
+        sim_->unicast(directory_node, peer, std::move(push));
+    }
+    state.publishes_since_push = 0;
+}
+
+std::vector<NodeId> DiscoveryNetwork::directories() const {
+    std::vector<NodeId> result;
+    for (NodeId node = 0; node < nodes_.size(); ++node) {
+        if (nodes_[node]->is_directory) result.push_back(node);
+    }
+    return result;
+}
+
+bool DiscoveryNetwork::is_directory(NodeId node) const {
+    return nodes_[node]->is_directory;
+}
+
+NodeId DiscoveryNetwork::directory_for(NodeId node) const {
+    const auto dist = sim_->topology().hop_distances(node);
+    NodeId best = kNoNode;
+    int best_hops = std::numeric_limits<int>::max();
+    for (const NodeId dir : directories()) {
+        if (dist[dir] >= 0 && dist[dir] < best_hops) {
+            best_hops = dist[dir];
+            best = dir;
+        }
+    }
+    return best;
+}
+
+// --- publish -----------------------------------------------------------------
+
+void DiscoveryNetwork::publish_service(NodeId provider, std::string document_xml) {
+    NodeState& state = *nodes_[provider];
+    state.owned_services.push_back(document_xml);
+    if (config_.republish_period_ms > 0 && !state.republish_scheduled) {
+        state.republish_scheduled = true;
+        sim_->schedule(config_.republish_period_ms,
+                       [this, provider] { republish(provider); });
+    }
+    NodeId target = state.known_directory;
+    if (target == kNoNode || !nodes_[target]->is_directory ||
+        !sim_->topology().is_up(target)) {
+        target = directory_for(provider);
+    }
+    if (target == kNoNode) {
+        state.deferred_publishes.push_back(std::move(document_xml));
+        return;
+    }
+    Message pub;
+    pub.type = "pub";
+    pub.size_bytes = static_cast<std::uint32_t>(document_xml.size());
+    pub.payload = PublishDoc{std::move(document_xml)};
+    sim_->unicast(provider, target, std::move(pub));
+}
+
+void DiscoveryNetwork::handle_publish(NodeId self, const Message& msg) {
+    NodeState& state = *nodes_[self];
+    if (!state.is_directory) return;  // stale routing; drop
+    const auto& doc = std::any_cast<const PublishDoc&>(msg.payload);
+    if (state.semdir != nullptr) {
+        const std::size_t bits_before = state.semdir->summary().set_bit_count();
+        state.semdir->publish_xml(doc.document);
+        // Push the summary whenever it gained bits — i.e. this publish
+        // introduced ontology coverage the backbone does not know about.
+        // Peers testing a stale filter would otherwise get false
+        // *negatives*, which (unlike false positives) the reactive
+        // exchange cannot repair. Pushes are bounded by the number of
+        // distinct ontology sets, and the batch threshold still forces a
+        // periodic refresh.
+        const bool coverage_grew =
+            state.semdir->summary().set_bit_count() > bits_before;
+        if (++state.publishes_since_push >= config_.summary_push_every ||
+            coverage_grew) {
+            push_summary(self);
+        }
+    } else {
+        state.syndir->publish_xml(doc.document);
+    }
+}
+
+// --- discovery ----------------------------------------------------------------
+
+std::uint64_t DiscoveryNetwork::discover(NodeId client, std::string request_xml) {
+    const std::uint64_t id = next_request_id_++;
+    DiscoveryOutcome outcome;
+    outcome.issued_at = sim_->now();
+    outcomes_.emplace(id, outcome);
+    if (config_.request_timeout_ms > 0) {
+        retry_state_.emplace(
+            id, RetryState{client, request_xml, config_.max_request_retries});
+        sim_->schedule(config_.request_timeout_ms,
+                       [this, id] { check_request_timeout(id); });
+    }
+
+    NodeState& state = *nodes_[client];
+    NodeId target = state.known_directory;
+    if (target == kNoNode || !nodes_[target]->is_directory ||
+        !sim_->topology().is_up(target)) {
+        target = directory_for(client);
+    }
+    if (target == kNoNode) {
+        state.deferred_requests.emplace_back(id, std::move(request_xml));
+        return id;
+    }
+    Message req;
+    req.type = "req";
+    req.size_bytes = static_cast<std::uint32_t>(request_xml.size());
+    req.payload = Request{id, client, std::move(request_xml)};
+    sim_->unicast(client, target, std::move(req));
+    return id;
+}
+
+namespace {
+
+/// Runs the local query of one directory; returns per-capability hits and
+/// fills `compute_ms` with the real time spent.
+std::vector<std::vector<MatchHit>> local_query(
+    DiscoveryNetwork&, directory::SemanticDirectory* semdir,
+    directory::SyntacticDirectory* syndir, const std::string& document,
+    double& compute_ms) {
+    if (semdir != nullptr) {
+        auto result = semdir->query_xml(document);
+        compute_ms = result.timing.total_ms();
+        return std::move(result.per_capability);
+    }
+    directory::QueryTiming timing;
+    auto hits = syndir->query_xml(document, timing);
+    compute_ms = timing.total_ms();
+    std::vector<std::vector<MatchHit>> per_capability;
+    per_capability.push_back(std::move(hits));
+    return per_capability;
+}
+
+bool all_satisfied(const std::vector<std::vector<MatchHit>>& per_capability) {
+    if (per_capability.empty()) return false;
+    for (const auto& hits : per_capability) {
+        if (hits.empty()) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+std::vector<NodeId> DiscoveryNetwork::forward_targets(
+    NodeId self, const std::string& request_xml) {
+    std::vector<NodeId> targets;
+    NodeState& state = *nodes_[self];
+    if (config_.protocol == Protocol::kAriadne) {
+        for (const NodeId dir : directories()) {
+            if (dir != self) targets.push_back(dir);
+        }
+        return targets;
+    }
+    // S-Ariadne: only peers whose Bloom summary covers the request's
+    // ontology URIs.
+    std::vector<std::string> uris;
+    try {
+        const desc::ServiceRequest request = desc::parse_request(request_xml);
+        const auto resolved = desc::resolve_request(request, kb_->registry());
+        FlatSet<onto::OntologyIndex> all;
+        for (const auto& cap : resolved) {
+            all = all.united_with(cap.ontologies);
+        }
+        for (const onto::OntologyIndex index : all) {
+            uris.push_back(kb_->registry().at(index).uri());
+        }
+    } catch (const Error&) {
+        return targets;  // unresolvable request: nothing to forward
+    }
+    for (const auto& [peer, summary] : state.peer_summaries) {
+        if (nodes_[peer]->is_directory && summary.possibly_covers(uris)) {
+            targets.push_back(peer);
+        }
+    }
+    std::sort(targets.begin(), targets.end());
+    return targets;
+}
+
+void DiscoveryNetwork::handle_request(NodeId self, const Message& msg) {
+    NodeState& state = *nodes_[self];
+    const auto& request = std::any_cast<const Request&>(msg.payload);
+    if (!state.is_directory) {
+        // Stale routing: answer unsatisfied so the client is not left hanging.
+        Message resp;
+        resp.type = "resp";
+        resp.payload = Response{request.request_id, {}, false, 0.0, 0};
+        resp.size_bytes = 16;
+        sim_->unicast(self, request.client, std::move(resp));
+        return;
+    }
+
+    PendingRequest pending;
+    pending.request_id = request.request_id;
+    pending.client = request.client;
+    pending.request_xml = request.document;
+
+    double compute_ms = 0;
+    auto per_capability = local_query(*this, state.semdir.get(),
+                                      state.syndir.get(), request.document,
+                                      compute_ms);
+    pending.compute_ms = compute_ms;
+    pending.local_satisfied = all_satisfied(per_capability);
+    for (auto& hits : per_capability) {
+        pending.hits.insert(pending.hits.end(), hits.begin(), hits.end());
+    }
+
+    const std::uint64_t id = request.request_id;
+    if (pending.local_satisfied) {
+        // Answer after the (virtual) service time equal to the real compute.
+        state.pending.emplace(id, std::move(pending));
+        sim_->schedule(compute_ms, [this, self, id] {
+            auto& stored = nodes_[self]->pending;
+            const auto it = stored.find(id);
+            if (it == stored.end()) return;
+            finish_request(self, it->second);
+            stored.erase(it);
+        });
+        return;
+    }
+
+    const auto targets = forward_targets(self, request.document);
+    pending.outstanding = targets.size();
+    pending.directories_asked = static_cast<std::uint32_t>(targets.size());
+    state.pending.emplace(id, std::move(pending));
+
+    sim_->schedule(compute_ms, [this, self, id, targets] {
+        auto& stored = nodes_[self]->pending;
+        const auto it = stored.find(id);
+        if (it == stored.end()) return;
+        if (targets.empty()) {
+            finish_request(self, it->second);
+            stored.erase(it);
+            return;
+        }
+        for (const NodeId target : targets) {
+            Message fwd;
+            fwd.type = "fwd";
+            fwd.size_bytes =
+                static_cast<std::uint32_t>(it->second.request_xml.size());
+            fwd.payload = Forward{id, self, it->second.request_xml};
+            sim_->unicast(self, target, std::move(fwd));
+        }
+    });
+}
+
+void DiscoveryNetwork::handle_forward(NodeId self, const Message& msg) {
+    NodeState& state = *nodes_[self];
+    const auto& forward = std::any_cast<const Forward&>(msg.payload);
+    QueryHits reply;
+    reply.request_id = forward.request_id;
+    reply.compute_ms = 0;
+    if (state.is_directory) {
+        reply.per_capability =
+            local_query(*this, state.semdir.get(), state.syndir.get(),
+                        forward.document, reply.compute_ms);
+    }
+    const double compute = reply.compute_ms;
+    const NodeId origin = forward.origin;
+    std::uint32_t hit_count = 0;
+    for (const auto& hits : reply.per_capability) {
+        hit_count += static_cast<std::uint32_t>(hits.size());
+    }
+    sim_->schedule(compute, [this, self, origin, reply = std::move(reply),
+                             hit_count] {
+        Message resp;
+        resp.type = "fwd-resp";
+        resp.size_bytes = 16 + hit_count * kHitWireBytes;
+        resp.payload = reply;
+        sim_->unicast(self, origin, std::move(resp));
+    });
+}
+
+void DiscoveryNetwork::handle_forward_reply(NodeId self, const Message& msg) {
+    NodeState& state = *nodes_[self];
+    const auto& reply = std::any_cast<const QueryHits&>(msg.payload);
+    const auto it = state.pending.find(reply.request_id);
+
+    // False-positive accounting drives the reactive summary exchange.
+    bool any_hit = false;
+    for (const auto& hits : reply.per_capability) {
+        if (!hits.empty()) any_hit = true;
+    }
+    if (!any_hit && config_.protocol == Protocol::kSAriadne) {
+        if (++state.peer_false_positives[msg.source] >=
+            config_.false_positive_pull_threshold) {
+            state.peer_false_positives[msg.source] = 0;
+            Message pull;
+            pull.type = "summary-pull";
+            pull.size_bytes = 8;
+            sim_->unicast(self, msg.source, std::move(pull));
+        }
+    }
+
+    if (it == state.pending.end()) return;  // already answered
+    PendingRequest& pending = it->second;
+    pending.compute_ms += reply.compute_ms;
+    for (const auto& hits : reply.per_capability) {
+        pending.hits.insert(pending.hits.end(), hits.begin(), hits.end());
+    }
+    if (pending.outstanding > 0) --pending.outstanding;
+    if (pending.outstanding == 0) {
+        finish_request(self, pending);
+        state.pending.erase(it);
+    }
+}
+
+void DiscoveryNetwork::finish_request(NodeId directory_node,
+                                      PendingRequest& pending) {
+    Message resp;
+    resp.type = "resp";
+    resp.size_bytes =
+        16 + static_cast<std::uint32_t>(pending.hits.size()) * kHitWireBytes;
+    resp.payload =
+        Response{pending.request_id, pending.hits,
+                 pending.local_satisfied || !pending.hits.empty(),
+                 pending.compute_ms, pending.directories_asked};
+    sim_->unicast(directory_node, pending.client, std::move(resp));
+}
+
+void DiscoveryNetwork::republish(NodeId provider) {
+    NodeState& state = *nodes_[provider];
+    if (!sim_->topology().is_up(provider)) {
+        // Node is down; keep the timer alive so it resumes on recovery.
+        sim_->schedule(config_.republish_period_ms,
+                       [this, provider] { republish(provider); });
+        return;
+    }
+    NodeId target = state.known_directory;
+    if (target == kNoNode || !nodes_[target]->is_directory ||
+        !sim_->topology().is_up(target)) {
+        target = directory_for(provider);
+    }
+    if (target != kNoNode) {
+        for (const std::string& doc : state.owned_services) {
+            Message pub;
+            pub.type = "pub";
+            pub.size_bytes = static_cast<std::uint32_t>(doc.size());
+            pub.payload = PublishDoc{doc};
+            sim_->unicast(provider, target, std::move(pub));
+        }
+    }
+    sim_->schedule(config_.republish_period_ms,
+                   [this, provider] { republish(provider); });
+}
+
+void DiscoveryNetwork::check_request_timeout(std::uint64_t request_id) {
+    const auto it = outcomes_.find(request_id);
+    if (it == outcomes_.end()) return;
+    // Keep retrying while the request is unanswered OR only answered
+    // unsatisfied — under churn an early "nothing found" often comes from a
+    // freshly elected directory that has not been repopulated yet.
+    if (it->second.answered && it->second.satisfied) return;
+    const auto retry_it = retry_state_.find(request_id);
+    if (retry_it == retry_state_.end()) return;
+    RetryState& retry = retry_it->second;
+    if (retry.retries_left <= 0) return;  // give up silently
+    --retry.retries_left;
+
+    NodeId target = directory_for(retry.client);
+    if (target != kNoNode) {
+        Message req;
+        req.type = "req";
+        req.size_bytes = static_cast<std::uint32_t>(retry.document.size());
+        req.payload = Request{request_id, retry.client, retry.document};
+        sim_->unicast(retry.client, target, std::move(req));
+    }
+    sim_->schedule(config_.request_timeout_ms,
+                   [this, request_id] { check_request_timeout(request_id); });
+}
+
+// --- dispatch -----------------------------------------------------------------
+
+void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
+    NodeState& state = *nodes_[self];
+
+    if (msg.type == "dir-adv") {
+        const auto& adv = std::any_cast<const DirAdv&>(msg.payload);
+        state.last_adv = sim_->now();
+        state.election_pending = false;  // suppress a pending election
+        state.known_directory = adv.directory;
+        if (!state.pending_handover.empty()) {
+            Message msg;
+            msg.type = "handover";
+            msg.size_bytes =
+                static_cast<std::uint32_t>(state.pending_handover.size());
+            msg.payload = Handover{std::move(state.pending_handover)};
+            state.pending_handover.clear();
+            sim_->unicast(self, adv.directory, std::move(msg));
+        }
+        // Flush work deferred for lack of a directory.
+        auto publishes = std::move(state.deferred_publishes);
+        state.deferred_publishes.clear();
+        for (auto& doc : publishes) publish_service(self, std::move(doc));
+        auto requests = std::move(state.deferred_requests);
+        state.deferred_requests.clear();
+        for (auto& [id, doc] : requests) {
+            Message req;
+            req.type = "req";
+            req.size_bytes = static_cast<std::uint32_t>(doc.size());
+            req.payload = Request{id, self, std::move(doc)};
+            sim_->unicast(self, adv.directory, std::move(req));
+        }
+        return;
+    }
+    if (msg.type == "elect-call") {
+        if (state.is_directory) {
+            // A live directory answers an election call with an immediate
+            // advertisement, suppressing the election.
+            Message adv;
+            adv.type = "dir-adv";
+            adv.payload = DirAdv{self};
+            adv.size_bytes = 16;
+            sim_->broadcast(self, config_.vicinity_hops, std::move(adv));
+            return;
+        }
+        if (state.declines_role) return;  // resigned: not a candidate
+        const auto& call = std::any_cast<const ElectCall&>(msg.payload);
+        Message cand;
+        cand.type = "elect-cand";
+        cand.payload = ElectCandidate{self, fitness(self)};
+        cand.size_bytes = 24;
+        sim_->unicast(self, call.initiator, std::move(cand));
+        return;
+    }
+    if (msg.type == "elect-cand") {
+        if (state.election_pending) {
+            state.candidates.push_back(
+                std::any_cast<const ElectCandidate&>(msg.payload));
+        }
+        return;
+    }
+    if (msg.type == "elect-appoint") {
+        become_directory(self);
+        return;
+    }
+    if (msg.type == "pub") {
+        handle_publish(self, msg);
+        return;
+    }
+    if (msg.type == "req") {
+        handle_request(self, msg);
+        return;
+    }
+    if (msg.type == "fwd") {
+        handle_forward(self, msg);
+        return;
+    }
+    if (msg.type == "fwd-resp") {
+        handle_forward_reply(self, msg);
+        return;
+    }
+    if (msg.type == "handover") {
+        if (state.semdir != nullptr) {
+            const auto& handover = std::any_cast<const Handover&>(msg.payload);
+            (void)directory::import_state(*state.semdir, handover.state_xml);
+            push_summary(self);
+        }
+        return;
+    }
+    if (msg.type == "summary-pull") {
+        if (state.semdir != nullptr) {
+            const auto wire = state.semdir->summary().serialize();
+            Message push;
+            push.type = "summary-push";
+            push.payload = SummaryPush{self, wire};
+            push.size_bytes = static_cast<std::uint32_t>(wire.size() * 8);
+            sim_->unicast(self, msg.source, std::move(push));
+        }
+        return;
+    }
+    if (msg.type == "summary-push") {
+        const auto& push = std::any_cast<const SummaryPush&>(msg.payload);
+        state.peer_summaries.insert_or_assign(
+            push.from, bloom::BloomFilter::deserialize(push.wire));
+        return;
+    }
+    if (msg.type == "resp") {
+        const auto& response = std::any_cast<const Response&>(msg.payload);
+        const auto it = outcomes_.find(response.request_id);
+        if (it == outcomes_.end()) return;
+        DiscoveryOutcome& outcome = it->second;
+        // A satisfied answer is final; an unsatisfied one never downgrades
+        // a satisfied outcome obtained from an earlier attempt.
+        if (outcome.answered && outcome.satisfied) return;
+        outcome.answered = true;
+        outcome.satisfied = response.satisfied;
+        outcome.hits = response.hits;
+        outcome.answered_at = sim_->now();
+        outcome.directory_compute_ms = response.compute_ms;
+        outcome.directories_asked = response.directories_asked;
+        return;
+    }
+}
+
+void DiscoveryNetwork::run_for(SimTime duration_ms) {
+    sim_->run(sim_->now() + duration_ms);
+}
+
+const DiscoveryOutcome& DiscoveryNetwork::outcome(
+    std::uint64_t request_id) const {
+    const auto it = outcomes_.find(request_id);
+    if (it == outcomes_.end()) {
+        throw LookupError("unknown discovery request id " +
+                          std::to_string(request_id));
+    }
+    return it->second;
+}
+
+}  // namespace sariadne::ariadne

@@ -1,0 +1,188 @@
+// The S-Ariadne discovery protocol (§4) and its syntactic ancestor Ariadne,
+// implemented over the discrete-event simulator.
+//
+// Roles and flows:
+//   * Directory backbone — nodes elected on the fly: a node that has not
+//     heard a directory advertisement within `adv_timeout_ms` broadcasts an
+//     election call (TTL `election_ttl`); candidates answer with a fitness
+//     score (coverage/resources model); the best candidate is appointed,
+//     becomes a directory, and advertises periodically within
+//     `vicinity_hops`.
+//   * Publish — each provider registers its description with the nearest
+//     directory, which parses and classifies it into its capability DAGs
+//     (semantic mode) or stores the WSDL document (syntactic mode), and
+//     summarizes content as a Bloom filter over ontology URIs.
+//   * Discover — the client queries its vicinity directory. The directory
+//     answers locally; if the request is not fully satisfied it forwards it
+//     — in S-Ariadne only to peer directories whose Bloom summaries cover
+//     the request's ontology set; in Ariadne to every directory — then
+//     aggregates replies and responds.
+//
+// Local directory compute (parse/classify/match) is measured in real
+// milliseconds and charged as virtual service time, so end-to-end response
+// times combine protocol latency with the very matching costs Figures 9/10
+// measure. Directory membership is bootstrapped through a shared context
+// (the paper's "virtual network" of directories); all data still moves in
+// messages, so traffic accounting is faithful.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "directory/semantic_directory.hpp"
+#include "directory/syntactic_directory.hpp"
+#include "encoding/knowledge_base.hpp"
+#include "net/simulator.hpp"
+
+namespace sariadne::ariadne {
+
+enum class Protocol : std::uint8_t {
+    kAriadne,   ///< syntactic WSDL directories, flood forwarding
+    kSAriadne,  ///< semantic DAG directories, Bloom-selective forwarding
+};
+
+struct ProtocolConfig {
+    Protocol protocol = Protocol::kSAriadne;
+    double adv_period_ms = 2000;    ///< directory advertisement period
+    double adv_timeout_ms = 5000;   ///< silence before a node calls an election
+    double election_wait_ms = 60;   ///< time to collect candidacies
+    std::uint32_t vicinity_hops = 2;
+    std::uint32_t election_ttl = 2;
+    bloom::BloomParams bloom{};     ///< summary parameters (semantic mode)
+    std::size_t summary_push_every = 8;  ///< publishes between summary pushes
+    /// Forwarded requests answered empty before a fresh summary is pulled
+    /// (the paper's reactive exchange on false-positive threshold).
+    std::size_t false_positive_pull_threshold = 3;
+    /// Providers re-advertise their services this often (0 = never). The
+    /// paper's directories "cache the descriptions of the services
+    /// available in their vicinity"; periodic re-publication is what
+    /// repopulates a freshly elected directory after churn.
+    double republish_period_ms = 0;
+    /// Clients re-send unanswered requests after this long (0 = never).
+    double request_timeout_ms = 0;
+    int max_request_retries = 2;
+};
+
+/// Result of one discovery request, as observed by the client.
+struct DiscoveryOutcome {
+    bool answered = false;
+    bool satisfied = false;
+    std::vector<directory::MatchHit> hits;
+    net::SimTime issued_at = 0;
+    net::SimTime answered_at = 0;
+    double directory_compute_ms = 0;  ///< summed real matching time
+    std::uint32_t directories_asked = 0;
+
+    net::SimTime response_time_ms() const noexcept {
+        return answered_at - issued_at;
+    }
+};
+
+class DiscoveryNetwork {
+public:
+    /// `kb` must outlive the network and contain every ontology the
+    /// workload references (semantic mode).
+    DiscoveryNetwork(net::Topology topology, ProtocolConfig config,
+                     encoding::KnowledgeBase& kb);
+    ~DiscoveryNetwork();
+
+    DiscoveryNetwork(const DiscoveryNetwork&) = delete;
+    DiscoveryNetwork& operator=(const DiscoveryNetwork&) = delete;
+
+    net::Simulator& simulator() noexcept { return *sim_; }
+
+    /// Starts node timers; call once before run().
+    void start();
+
+    /// Statically appoints a directory (tests / controlled benches); the
+    /// normal path is timeout-driven election.
+    void appoint_directory(net::NodeId node);
+
+    /// Graceful directory resignation (low battery, planned departure):
+    /// the directory exports its cached descriptions and hands them to the
+    /// nearest peer directory — or, if it was the last one, calls an
+    /// election and hands over to the winner once it advertises. This is
+    /// the paper's Figure 7 scenario ("a directory leaves ... another one
+    /// is elected and has to host the set of service descriptions").
+    void resign_directory(net::NodeId node);
+
+    /// Provider-side publish: ships the description document to the
+    /// nearest directory.
+    void publish_service(net::NodeId provider, std::string document_xml);
+
+    /// Client-side discovery; returns the request id whose outcome can be
+    /// read after the simulation ran.
+    std::uint64_t discover(net::NodeId client, std::string request_xml);
+
+    /// Runs the simulation for `duration_ms` of virtual time.
+    void run_for(net::SimTime duration_ms);
+
+    const DiscoveryOutcome& outcome(std::uint64_t request_id) const;
+
+    std::vector<net::NodeId> directories() const;
+    bool is_directory(net::NodeId node) const;
+
+    /// Directory serving a node (nearest by hops), kNoNode when none.
+    net::NodeId directory_for(net::NodeId node) const;
+
+    const net::TrafficStats& traffic() const noexcept { return sim_->stats(); }
+
+    /// Node fitness used by elections (deterministic pseudo-battery ×
+    /// degree); exposed for tests.
+    double fitness(net::NodeId node) const;
+
+private:
+    struct NodeState;
+    class App;
+
+    struct PendingRequest {
+        std::uint64_t request_id = 0;
+        net::NodeId client = net::kNoNode;
+        std::string request_xml;
+        std::vector<directory::MatchHit> hits;
+        bool local_satisfied = false;
+        std::size_t outstanding = 0;
+        double compute_ms = 0;
+        std::uint32_t directories_asked = 0;
+    };
+
+    struct RetryState {
+        net::NodeId client = net::kNoNode;
+        std::string document;
+        int retries_left = 0;
+    };
+
+    void node_check_advertisement(net::NodeId node);
+    void republish(net::NodeId provider);
+    void check_request_timeout(std::uint64_t request_id);
+    void node_start_election(net::NodeId node);
+    void close_election(net::NodeId initiator);
+    void become_directory(net::NodeId node);
+    void directory_advertise(net::NodeId node);
+    void push_summary(net::NodeId directory);
+    void handle_message(net::NodeId self, const net::Message& msg);
+    void handle_publish(net::NodeId self, const net::Message& msg);
+    void handle_request(net::NodeId self, const net::Message& msg);
+    void handle_forward(net::NodeId self, const net::Message& msg);
+    void handle_forward_reply(net::NodeId self, const net::Message& msg);
+    void finish_request(net::NodeId directory_node, PendingRequest& pending);
+    std::vector<net::NodeId> forward_targets(net::NodeId self,
+                                             const std::string& request_xml);
+
+    std::unique_ptr<net::Simulator> sim_;
+    ProtocolConfig config_;
+    encoding::KnowledgeBase* kb_;
+    std::vector<std::unique_ptr<NodeState>> nodes_;
+    std::vector<std::unique_ptr<App>> apps_;
+    std::unordered_map<std::uint64_t, DiscoveryOutcome> outcomes_;
+    std::unordered_map<std::uint64_t, RetryState> retry_state_;
+    std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace sariadne::ariadne

@@ -1,0 +1,126 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "support/contracts.hpp"
+#include "support/errors.hpp"
+
+namespace sariadne::bloom {
+
+BloomFilter::BloomFilter(BloomParams params)
+    : params_(params), words_((params.bits + 63) / 64, 0) {
+    SARIADNE_EXPECTS(params.bits >= 64);
+    SARIADNE_EXPECTS(params.hash_count >= 1 && params.hash_count <= 32);
+}
+
+void BloomFilter::insert(const Hash128& key) {
+    for (std::uint32_t i = 0; i < params_.hash_count; ++i) {
+        const std::uint64_t bit = double_hash(key, i, params_.bits);
+        words_[bit / 64] |= std::uint64_t{1} << (bit % 64);
+    }
+}
+
+bool BloomFilter::possibly_contains(const Hash128& key) const noexcept {
+    for (std::uint32_t i = 0; i < params_.hash_count; ++i) {
+        const std::uint64_t bit = double_hash(key, i, params_.bits);
+        if (((words_[bit / 64] >> (bit % 64)) & 1u) == 0) return false;
+    }
+    return true;
+}
+
+Hash128 BloomFilter::element_key(std::string_view uri) noexcept {
+    return murmur3_128(uri);
+}
+
+Hash128 BloomFilter::set_key(std::span<const std::string> uris) noexcept {
+    std::uint64_t acc1 = 0x0B10F11E00000001ULL;
+    std::uint64_t acc2 = 0x0B10F11E00000002ULL;
+    for (const std::string& uri : uris) {
+        const Hash128 h = murmur3_128(uri);
+        acc1 = combine_unordered(acc1, h.h1);
+        acc2 = combine_unordered(acc2, h.h2);
+    }
+    return Hash128{mix64(acc1), mix64(acc2) | 1u};  // odd h2: full-period stride
+}
+
+void BloomFilter::insert_ontology_set(std::span<const std::string> uris) {
+    for (const std::string& uri : uris) insert(element_key(uri));
+    insert(set_key(uris));
+}
+
+bool BloomFilter::possibly_covers(
+    std::span<const std::string> uris) const noexcept {
+    for (const std::string& uri : uris) {
+        if (!possibly_contains(element_key(uri))) return false;
+    }
+    return true;
+}
+
+void BloomFilter::merge(const BloomFilter& other) {
+    if (other.params_ != params_) {
+        throw Error("cannot merge Bloom filters with different parameters");
+    }
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+double BloomFilter::fill_ratio() const noexcept {
+    return static_cast<double>(set_bit_count()) /
+           static_cast<double>(params_.bits);
+}
+
+double BloomFilter::false_positive_rate() const noexcept {
+    return std::pow(fill_ratio(), params_.hash_count);
+}
+
+double BloomFilter::expected_false_positive_rate(
+    const BloomParams& params, std::size_t insertions) noexcept {
+    const double k = params.hash_count;
+    const double exponent = -k * static_cast<double>(insertions) /
+                            static_cast<double>(params.bits);
+    return std::pow(1.0 - std::exp(exponent), k);
+}
+
+std::uint32_t BloomFilter::optimal_hash_count(std::uint32_t bits,
+                                              std::size_t insertions) noexcept {
+    if (insertions == 0) return 1;
+    const double k = std::round(static_cast<double>(bits) /
+                                static_cast<double>(insertions) * std::log(2.0));
+    if (k < 1.0) return 1;
+    if (k > 32.0) return 32;
+    return static_cast<std::uint32_t>(k);
+}
+
+void BloomFilter::clear() noexcept {
+    for (auto& word : words_) word = 0;
+}
+
+std::size_t BloomFilter::set_bit_count() const noexcept {
+    std::size_t count = 0;
+    for (const auto word : words_) count += std::popcount(word);
+    return count;
+}
+
+std::vector<std::uint64_t> BloomFilter::serialize() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(words_.size() + 1);
+    out.push_back((std::uint64_t{params_.bits} << 32) | params_.hash_count);
+    out.insert(out.end(), words_.begin(), words_.end());
+    return out;
+}
+
+BloomFilter BloomFilter::deserialize(std::span<const std::uint64_t> data) {
+    if (data.empty()) throw Error("empty Bloom filter wire data");
+    BloomParams params{static_cast<std::uint32_t>(data[0] >> 32),
+                       static_cast<std::uint32_t>(data[0] & 0xFFFFFFFFu)};
+    BloomFilter filter(params);
+    if (data.size() - 1 != filter.words_.size()) {
+        throw Error("Bloom filter wire data has wrong length");
+    }
+    for (std::size_t i = 0; i < filter.words_.size(); ++i) {
+        filter.words_[i] = data[i + 1];
+    }
+    return filter;
+}
+
+}  // namespace sariadne::bloom

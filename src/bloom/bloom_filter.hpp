@@ -1,0 +1,94 @@
+// Bloom filters for directory content summaries (§4). Each S-Ariadne
+// directory summarizes, for every cached capability, the *set of ontology
+// URIs* its description draws from: the set is hashed with k derived hash
+// functions (Kirsch–Mitzenmacher double hashing over a 128-bit Murmur3
+// base) and the corresponding bits are set in an m-bit vector. A remote
+// directory tests a request's ontology set against the filter: any clear
+// bit proves absence; all-set means "likely cached", triggering a real
+// forward. Filters are tiny, mergeable and serializable, so exchanging
+// them is how the directory backbone learns where to route requests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace sariadne::bloom {
+
+struct BloomParams {
+    std::uint32_t bits = 1024;     ///< m: filter size in bits
+    std::uint32_t hash_count = 4;  ///< k: derived hash functions
+
+    friend bool operator==(const BloomParams&, const BloomParams&) noexcept =
+        default;
+};
+
+class BloomFilter {
+public:
+    explicit BloomFilter(BloomParams params = {});
+
+    const BloomParams& params() const noexcept { return params_; }
+
+    /// Inserts an *ontology set key*: the order-independent hash of a set
+    /// of ontology URIs (see set_key).
+    void insert(const Hash128& key);
+
+    /// True if the key may have been inserted (no false negatives).
+    bool possibly_contains(const Hash128& key) const noexcept;
+
+    /// Inserts every element key and the combined set key of `uris`.
+    /// Inserting the elements too lets membership tests succeed for
+    /// requests using a *subset* of an advertisement's ontologies.
+    void insert_ontology_set(std::span<const std::string> uris);
+
+    /// May the directory behind this filter cache a capability relevant to
+    /// a request drawing on `uris`? True iff every URI's element key is
+    /// possibly present.
+    bool possibly_covers(std::span<const std::string> uris) const noexcept;
+
+    /// Order-independent key of a set of URIs.
+    static Hash128 set_key(std::span<const std::string> uris) noexcept;
+
+    /// Key of a single URI.
+    static Hash128 element_key(std::string_view uri) noexcept;
+
+    /// Union with a filter of identical parameters.
+    void merge(const BloomFilter& other);
+
+    /// Fraction of bits set — drives the reactive re-exchange policy.
+    double fill_ratio() const noexcept;
+
+    /// Expected false-positive probability given the current fill ratio:
+    /// fill^k.
+    double false_positive_rate() const noexcept;
+
+    /// Theoretical false-positive rate after n insertions:
+    /// (1 - e^{-kn/m})^k.
+    static double expected_false_positive_rate(const BloomParams& params,
+                                               std::size_t insertions) noexcept;
+
+    /// Optimal k for a given m and expected n: (m/n) ln 2.
+    static std::uint32_t optimal_hash_count(std::uint32_t bits,
+                                            std::size_t insertions) noexcept;
+
+    void clear() noexcept;
+
+    /// Compact wire form (params + bit words) and its inverse.
+    std::vector<std::uint64_t> serialize() const;
+    static BloomFilter deserialize(std::span<const std::uint64_t> data);
+
+    std::size_t set_bit_count() const noexcept;
+
+    friend bool operator==(const BloomFilter&, const BloomFilter&) noexcept =
+        default;
+
+private:
+    BloomParams params_;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace sariadne::bloom

@@ -1,0 +1,81 @@
+#include "core/composition.hpp"
+
+#include <algorithm>
+
+namespace sariadne {
+
+CompositionPlan CompositionPlanner::plan(const desc::ServiceDescription& root) {
+    CompositionPlan result;
+    std::vector<std::string> path{root.profile.service_name};
+    resolve_requirements(root, 0, path, result);
+    return result;
+}
+
+void CompositionPlanner::resolve_requirements(
+    const desc::ServiceDescription& service, int depth,
+    std::vector<std::string>& path, CompositionPlan& plan) {
+    if (depth >= max_depth_) {
+        for (const auto* cap :
+             service.profile.capabilities_of(desc::CapabilityKind::kRequired)) {
+            plan.gaps.push_back(CompositionGap{service.profile.service_name,
+                                               cap->name,
+                                               "max composition depth reached"});
+        }
+        return;
+    }
+
+    for (const auto* required :
+         service.profile.capabilities_of(desc::CapabilityKind::kRequired)) {
+        desc::ServiceRequest request;
+        request.requester = service.profile.service_name;
+        request.capabilities.push_back(*required);
+
+        const directory::QueryResult result = directory_->query(request);
+        const auto& hits = result.per_capability.front();
+        if (hits.empty()) {
+            plan.gaps.push_back(CompositionGap{
+                service.profile.service_name, required->name,
+                "no networked capability matches"});
+            continue;
+        }
+
+        // Among equally-close hits, prefer a provider not already on the
+        // resolution path (avoids self-composition); fall back to the first.
+        const directory::MatchHit* chosen = &hits.front();
+        for (const auto& hit : hits) {
+            if (std::find(path.begin(), path.end(), hit.service_name) ==
+                path.end()) {
+                chosen = &hit;
+                break;
+            }
+        }
+        if (std::find(path.begin(), path.end(), chosen->service_name) !=
+            path.end()) {
+            plan.gaps.push_back(CompositionGap{
+                service.profile.service_name, required->name,
+                "only cyclic providers available ('" + chosen->service_name +
+                    "' is already part of the composition)"});
+            continue;
+        }
+
+        const desc::ServiceDescription* provider =
+            directory_->service(chosen->service);
+        // Resolve the provider's own requirements first (dependency order).
+        if (provider != nullptr) {
+            path.push_back(chosen->service_name);
+            resolve_requirements(*provider, depth + 1, path, plan);
+            path.pop_back();
+        }
+
+        CompositionStep step;
+        step.consumer_service = service.profile.service_name;
+        step.required_capability = required->name;
+        step.provider_service = chosen->service_name;
+        step.provided_capability = chosen->capability_name;
+        step.semantic_distance = chosen->semantic_distance;
+        if (provider != nullptr) step.grounding = provider->grounding;
+        plan.steps.push_back(std::move(step));
+    }
+}
+
+}  // namespace sariadne

@@ -1,0 +1,67 @@
+// Composition planning over required capabilities (§2.2). Amigo-S models
+// *required* capabilities explicitly — functionality a service needs from
+// other networked services — "enabling any service composition scheme".
+// The planner implements the centrally-coordinated scheme: starting from a
+// root service description, it resolves every required capability against
+// a semantic directory, then recursively resolves the *providers'* own
+// required capabilities, producing a dependency-ordered plan (or a precise
+// failure description). Cycles are broken by refusing to expand a service
+// already on the current resolution path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "directory/semantic_directory.hpp"
+
+namespace sariadne {
+
+/// One resolved dependency edge of the plan.
+struct CompositionStep {
+    std::string consumer_service;      ///< who needs the capability
+    std::string required_capability;   ///< what it needs
+    std::string provider_service;      ///< who supplies it
+    std::string provided_capability;   ///< the matched provided capability
+    int semantic_distance = 0;
+    desc::Grounding grounding;         ///< how to reach the provider
+};
+
+/// A requirement the directory could not satisfy.
+struct CompositionGap {
+    std::string consumer_service;
+    std::string required_capability;
+    std::string reason;
+};
+
+struct CompositionPlan {
+    /// Dependency order: a step appears after the steps resolving its
+    /// provider's own requirements, so executing front-to-back wires leaf
+    /// services first.
+    std::vector<CompositionStep> steps;
+    std::vector<CompositionGap> gaps;
+
+    bool complete() const noexcept { return gaps.empty(); }
+};
+
+class CompositionPlanner {
+public:
+    /// `max_depth` bounds transitive resolution (root = depth 0).
+    explicit CompositionPlanner(directory::SemanticDirectory& directory,
+                                int max_depth = 8)
+        : directory_(&directory), max_depth_(max_depth) {}
+
+    /// Plans the composition rooted at `root`: resolves each of its
+    /// required capabilities and, transitively, those of every chosen
+    /// provider.
+    CompositionPlan plan(const desc::ServiceDescription& root);
+
+private:
+    void resolve_requirements(const desc::ServiceDescription& service,
+                              int depth, std::vector<std::string>& path,
+                              CompositionPlan& plan);
+
+    directory::SemanticDirectory* directory_;
+    int max_depth_;
+};
+
+}  // namespace sariadne

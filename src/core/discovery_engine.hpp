@@ -1,0 +1,110 @@
+// DiscoveryEngine — the library's top-level facade. Wraps a knowledge base
+// and a semantic directory behind a three-verb API:
+//
+//   register_ontology(xml)  — load an ontology (classification + interval
+//                             encoding happen offline, lazily per version)
+//   publish(xml)            — advertise an Amigo-S service description
+//   discover(xml)           — match a service request, ranked by semantic
+//                             distance
+//
+// This is the single-node embodiment of the paper's contribution: all
+// semantic reasoning is front-loaded, discovery is numeric code
+// comparison over classified capability DAGs. For the distributed
+// protocol, see ariadne::DiscoveryNetwork, which composes the same
+// directory per elected node.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "directory/semantic_directory.hpp"
+#include "encoding/knowledge_base.hpp"
+#include "ontology/loader.hpp"
+
+namespace sariadne {
+
+/// One ranked discovery answer.
+struct Discovery {
+    std::string service_name;
+    std::string capability_name;
+    int semantic_distance = 0;
+    /// Grounding of the advertised service (how to invoke it).
+    desc::Grounding grounding;
+};
+
+class DiscoveryEngine {
+public:
+    explicit DiscoveryEngine(encoding::EncodingParams params = {})
+        : kb_(std::make_unique<encoding::KnowledgeBase>(params)),
+          directory_(std::make_unique<directory::SemanticDirectory>(*kb_)) {}
+
+    /// Loads an ontology document; re-registering a URI upgrades it.
+    void register_ontology_xml(std::string_view ontology_xml) {
+        kb_->register_ontology(onto::load_ontology(ontology_xml));
+    }
+
+    void register_ontology(onto::Ontology ontology) {
+        kb_->register_ontology(std::move(ontology));
+    }
+
+    /// Publishes an Amigo-S service description. Returns its handle.
+    directory::ServiceId publish(std::string_view service_xml) {
+        return directory_->publish_xml(service_xml).first;
+    }
+
+    directory::ServiceId publish(desc::ServiceDescription service) {
+        return directory_->publish(std::move(service));
+    }
+
+    /// Withdraws a previously published service.
+    bool withdraw(directory::ServiceId service) {
+        return directory_->remove(service);
+    }
+
+    /// Matches a request document; per requested capability, the hits with
+    /// minimal semantic distance (empty inner vector = unsatisfied).
+    std::vector<std::vector<Discovery>> discover(std::string_view request_xml) {
+        return to_discoveries(directory_->query_xml(request_xml));
+    }
+
+    std::vector<std::vector<Discovery>> discover(
+        const desc::ServiceRequest& request) {
+        return to_discoveries(directory_->query(request));
+    }
+
+    encoding::KnowledgeBase& knowledge_base() noexcept { return *kb_; }
+    directory::SemanticDirectory& directory() noexcept { return *directory_; }
+    const directory::SemanticDirectory& directory() const noexcept {
+        return *directory_;
+    }
+
+private:
+    std::vector<std::vector<Discovery>> to_discoveries(
+        const directory::QueryResult& result) const {
+        std::vector<std::vector<Discovery>> out;
+        out.reserve(result.per_capability.size());
+        for (const auto& hits : result.per_capability) {
+            std::vector<Discovery> row;
+            row.reserve(hits.size());
+            for (const auto& hit : hits) {
+                Discovery discovery;
+                discovery.service_name = hit.service_name;
+                discovery.capability_name = hit.capability_name;
+                discovery.semantic_distance = hit.semantic_distance;
+                if (const auto* service = directory_->service(hit.service)) {
+                    discovery.grounding = service->grounding;
+                }
+                row.push_back(std::move(discovery));
+            }
+            out.push_back(std::move(row));
+        }
+        return out;
+    }
+
+    std::unique_ptr<encoding::KnowledgeBase> kb_;
+    std::unique_ptr<directory::SemanticDirectory> directory_;
+};
+
+}  // namespace sariadne

@@ -1,0 +1,270 @@
+#include "description/amigos_io.hpp"
+
+#include <charconv>
+
+#include "support/errors.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace sariadne::desc {
+
+namespace {
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+        throw ParseError("malformed " + std::string(what) + " '" +
+                         std::string(text) + "'");
+    }
+    return value;
+}
+
+double parse_double(std::string_view text, std::string_view what) {
+    double value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+        throw ParseError("malformed " + std::string(what) + " '" +
+                         std::string(text) + "'");
+    }
+    return value;
+}
+
+Capability parse_capability(const xml::XmlNode& node) {
+    Capability cap;
+    cap.name = node.required_attribute("name");
+    const std::string_view kind = node.attribute_or("kind", "provided");
+    if (kind == "provided") {
+        cap.kind = CapabilityKind::kProvided;
+    } else if (kind == "required") {
+        cap.kind = CapabilityKind::kRequired;
+    } else {
+        throw ParseError("unknown capability kind '" + std::string(kind) + "'");
+    }
+    if (const auto version = node.attribute("codeVersion")) {
+        cap.code_version = parse_u64(*version, "codeVersion");
+    }
+    for (const auto& item : node.children()) {
+        if (item.name() == "category") {
+            if (!cap.category_qname.empty()) {
+                throw ParseError("capability '" + cap.name +
+                                 "' has multiple <category> elements");
+            }
+            cap.category_qname = item.required_attribute("concept");
+        } else if (item.name() == "input") {
+            cap.inputs.push_back(
+                Parameter{std::string(item.attribute_or("name", "")),
+                          std::string(item.required_attribute("concept"))});
+        } else if (item.name() == "output") {
+            cap.outputs.push_back(
+                Parameter{std::string(item.attribute_or("name", "")),
+                          std::string(item.required_attribute("concept"))});
+        } else if (item.name() == "property") {
+            cap.property_qnames.emplace_back(item.required_attribute("concept"));
+        } else if (item.name() == "includes") {
+            cap.includes.emplace_back(item.required_attribute("name"));
+        } else {
+            throw ParseError("unexpected element <" + item.name() +
+                             "> inside <capability>");
+        }
+    }
+    return cap;
+}
+
+xml::XmlNode serialize_capability(const Capability& cap) {
+    xml::XmlNode node("capability");
+    node.set_attribute("name", cap.name);
+    node.set_attribute(
+        "kind", cap.kind == CapabilityKind::kProvided ? "provided" : "required");
+    if (cap.code_version != 0) {
+        node.set_attribute("codeVersion", std::to_string(cap.code_version));
+    }
+    if (!cap.category_qname.empty()) {
+        xml::XmlNode category("category");
+        category.set_attribute("concept", cap.category_qname);
+        node.add_child(std::move(category));
+    }
+    for (const auto& param : cap.inputs) {
+        xml::XmlNode input("input");
+        if (!param.name.empty()) input.set_attribute("name", param.name);
+        input.set_attribute("concept", param.concept_qname);
+        node.add_child(std::move(input));
+    }
+    for (const auto& param : cap.outputs) {
+        xml::XmlNode output("output");
+        if (!param.name.empty()) output.set_attribute("name", param.name);
+        output.set_attribute("concept", param.concept_qname);
+        node.add_child(std::move(output));
+    }
+    for (const auto& prop : cap.property_qnames) {
+        xml::XmlNode property("property");
+        property.set_attribute("concept", prop);
+        node.add_child(std::move(property));
+    }
+    for (const auto& included : cap.includes) {
+        xml::XmlNode includes("includes");
+        includes.set_attribute("name", included);
+        node.add_child(std::move(includes));
+    }
+    return node;
+}
+
+}  // namespace
+
+ServiceDescription parse_service(const xml::XmlNode& root) {
+    if (root.name() != "service") {
+        throw ParseError("expected <service> root element, got <" + root.name() +
+                         ">");
+    }
+    ServiceDescription service;
+    service.profile.service_name = root.required_attribute("name");
+    service.profile.provider = root.attribute_or("provider", "");
+    service.middleware = root.attribute_or("middleware", "WS");
+
+    for (const auto& node : root.children()) {
+        if (node.name() == "grounding") {
+            service.grounding.protocol = node.attribute_or("protocol", "SOAP");
+            service.grounding.address = node.attribute_or("address", "");
+        } else if (node.name() == "capability") {
+            service.profile.capabilities.push_back(parse_capability(node));
+        } else if (node.name() == "qos") {
+            service.profile.qos.push_back(
+                QosAttribute{std::string(node.required_attribute("name")),
+                             parse_double(node.required_attribute("value"),
+                                          "qos value")});
+        } else if (node.name() == "context") {
+            service.profile.context.push_back(
+                ContextAttribute{std::string(node.required_attribute("name")),
+                                 std::string(node.required_attribute("value"))});
+        } else if (node.name() == "process") {
+            if (service.process.has_value()) {
+                throw ParseError("service has multiple <process> elements");
+            }
+            service.process = parse_process(node);
+        } else {
+            throw ParseError("unexpected element <" + node.name() +
+                             "> inside <service>");
+        }
+    }
+    return service;
+}
+
+ServiceDescription parse_service(std::string_view xml_text) {
+    return parse_service(xml::parse(xml_text).root);
+}
+
+ServiceRequest parse_request(const xml::XmlNode& root) {
+    if (root.name() != "request") {
+        throw ParseError("expected <request> root element, got <" + root.name() +
+                         ">");
+    }
+    ServiceRequest request;
+    request.requester = root.attribute_or("requester", "");
+    for (const auto& node : root.children()) {
+        if (node.name() == "capability") {
+            Capability cap = parse_capability(node);
+            cap.kind = CapabilityKind::kRequired;  // requests always seek
+            request.capabilities.push_back(std::move(cap));
+        } else if (node.name() == "qos") {
+            QosConstraint constraint;
+            constraint.name = node.required_attribute("name");
+            if (const auto lo = node.attribute("min")) {
+                constraint.min_value = parse_double(*lo, "qos min");
+            }
+            if (const auto hi = node.attribute("max")) {
+                constraint.max_value = parse_double(*hi, "qos max");
+            }
+            request.qos_constraints.push_back(std::move(constraint));
+        } else if (node.name() == "context") {
+            request.context_constraints.push_back(
+                ContextConstraint{std::string(node.required_attribute("name")),
+                                  std::string(node.required_attribute("value"))});
+        } else if (node.name() == "process") {
+            if (request.process.has_value()) {
+                throw ParseError("request has multiple <process> elements");
+            }
+            request.process = parse_process(node);
+        } else {
+            throw ParseError("unexpected element <" + node.name() +
+                             "> inside <request>");
+        }
+    }
+    if (request.capabilities.empty()) {
+        throw ParseError("request contains no capabilities");
+    }
+    return request;
+}
+
+ServiceRequest parse_request(std::string_view xml_text) {
+    return parse_request(xml::parse(xml_text).root);
+}
+
+std::string serialize_service(const ServiceDescription& service) {
+    xml::XmlNode root("service");
+    root.set_attribute("name", service.profile.service_name);
+    if (!service.profile.provider.empty()) {
+        root.set_attribute("provider", service.profile.provider);
+    }
+    root.set_attribute("middleware", service.middleware);
+
+    if (!service.grounding.protocol.empty() || !service.grounding.address.empty()) {
+        xml::XmlNode grounding("grounding");
+        grounding.set_attribute("protocol", service.grounding.protocol);
+        grounding.set_attribute("address", service.grounding.address);
+        root.add_child(std::move(grounding));
+    }
+    for (const auto& cap : service.profile.capabilities) {
+        root.add_child(serialize_capability(cap));
+    }
+    for (const auto& qos : service.profile.qos) {
+        xml::XmlNode node("qos");
+        node.set_attribute("name", qos.name);
+        node.set_attribute("value", std::to_string(qos.value));
+        root.add_child(std::move(node));
+    }
+    for (const auto& ctx : service.profile.context) {
+        xml::XmlNode node("context");
+        node.set_attribute("name", ctx.name);
+        node.set_attribute("value", ctx.value);
+        root.add_child(std::move(node));
+    }
+    if (service.process.has_value()) {
+        root.add_child(serialize_process(*service.process));
+    }
+    return xml::write(root);
+}
+
+std::string serialize_request(const ServiceRequest& request) {
+    xml::XmlNode root("request");
+    if (!request.requester.empty()) {
+        root.set_attribute("requester", request.requester);
+    }
+    for (const auto& cap : request.capabilities) {
+        root.add_child(serialize_capability(cap));
+    }
+    for (const auto& constraint : request.qos_constraints) {
+        xml::XmlNode node("qos");
+        node.set_attribute("name", constraint.name);
+        if (constraint.min_value > -1e299) {
+            node.set_attribute("min", std::to_string(constraint.min_value));
+        }
+        if (constraint.max_value < 1e299) {
+            node.set_attribute("max", std::to_string(constraint.max_value));
+        }
+        root.add_child(std::move(node));
+    }
+    for (const auto& constraint : request.context_constraints) {
+        xml::XmlNode node("context");
+        node.set_attribute("name", constraint.name);
+        node.set_attribute("value", constraint.value);
+        root.add_child(std::move(node));
+    }
+    if (request.process.has_value()) {
+        root.add_child(serialize_process(*request.process));
+    }
+    return xml::write(root);
+}
+
+}  // namespace sariadne::desc

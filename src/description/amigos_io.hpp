@@ -1,0 +1,41 @@
+// Amigo-S XML (de)serialization. Document shapes:
+//
+//   <service name="MediaServer" provider="acme" middleware="WS">
+//     <grounding protocol="SOAP" address="http://host/media"/>
+//     <capability name="SendDigitalStream" kind="provided" codeVersion="...">
+//       <category concept="http://o/servers#DigitalServer"/>
+//       <input  name="resource" concept="http://o/media#DigitalResource"/>
+//       <output name="stream"   concept="http://o/media#Stream"/>
+//       <property concept="http://o/qos#Streaming"/>
+//       <includes name="ProvideGame"/>
+//     </capability>
+//     <qos name="latencyMs" value="15"/>
+//     <context name="location" value="livingRoom"/>
+//   </service>
+//
+//   <request requester="pda-7">
+//     <capability name="GetVideoStream"> ... as above ... </capability>
+//   </request>
+//
+// Parsing these documents is exactly the "time to parse" component of the
+// paper's Figures 7 and 8.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "description/service.hpp"
+#include "xml/node.hpp"
+
+namespace sariadne::desc {
+
+ServiceDescription parse_service(std::string_view xml_text);
+ServiceDescription parse_service(const xml::XmlNode& root);
+
+ServiceRequest parse_request(std::string_view xml_text);
+ServiceRequest parse_request(const xml::XmlNode& root);
+
+std::string serialize_service(const ServiceDescription& service);
+std::string serialize_request(const ServiceRequest& request);
+
+}  // namespace sariadne::desc

@@ -1,0 +1,52 @@
+// The Amigo-S capability model (§2.2). A capability is a specific
+// functionality a service provides or requires, described as a semantic
+// concept (its service category) plus sets of semantic inputs, outputs and
+// additional properties — all referencing ontology concepts by qualified
+// name ("<ontology-uri>#<LocalName>"). Unlike plain OWL-S profiles,
+// capabilities are first-class: one service may expose several, possibly
+// dependent ones (`includes` records composition, e.g. SendDigitalStream
+// includes ProvideGame in the paper's Figure 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sariadne::desc {
+
+enum class CapabilityKind : std::uint8_t {
+    kProvided,  ///< offered by the service
+    kRequired,  ///< sought from other networked services
+};
+
+/// A named input or output parameter typed by an ontology concept.
+struct Parameter {
+    std::string name;               ///< parameter label (informational)
+    std::string concept_qname;      ///< "uri#Concept"
+};
+
+struct Capability {
+    std::string name;
+    CapabilityKind kind = CapabilityKind::kProvided;
+
+    /// Service category concept ("uri#VideoServer"). The paper folds the
+    /// category into the property set for matching; we keep it distinguished
+    /// in the model and fold it during resolution.
+    std::string category_qname;
+
+    std::vector<Parameter> inputs;
+    std::vector<Parameter> outputs;
+
+    /// Additional semantic properties beyond the category (non-functional
+    /// requirements, etc.).
+    std::vector<std::string> property_qnames;
+
+    /// Names of simpler capabilities of the same service this one includes.
+    std::vector<std::string> includes;
+
+    /// Encoding version tag the codes in this description were computed
+    /// against (0 = unspecified). See CodeTable::version_tag().
+    std::uint64_t code_version = 0;
+};
+
+}  // namespace sariadne::desc

@@ -1,0 +1,179 @@
+#include "description/conversation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace sariadne::desc {
+
+namespace {
+
+/// ε-NFA with symbols interned as indices into a shared alphabet.
+struct Nfa {
+    struct State {
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> moves;  // (symbol, to)
+        std::vector<std::uint32_t> epsilon;
+    };
+
+    std::vector<State> states;
+    std::uint32_t start = 0;
+    std::uint32_t accept = 0;
+
+    std::uint32_t add_state() {
+        states.push_back({});
+        return static_cast<std::uint32_t>(states.size() - 1);
+    }
+};
+
+std::uint32_t intern(std::vector<std::string>& alphabet,
+                     const std::string& symbol) {
+    const auto it = std::find(alphabet.begin(), alphabet.end(), symbol);
+    if (it != alphabet.end()) {
+        return static_cast<std::uint32_t>(it - alphabet.begin());
+    }
+    alphabet.push_back(symbol);
+    return static_cast<std::uint32_t>(alphabet.size() - 1);
+}
+
+/// Thompson construction. Returns (start, accept) fragment in `nfa`.
+std::pair<std::uint32_t, std::uint32_t> build(const Process& process, Nfa& nfa,
+                                              std::vector<std::string>& alphabet) {
+    switch (process.kind) {
+        case ProcessKind::kAtomic: {
+            const auto from = nfa.add_state();
+            const auto to = nfa.add_state();
+            nfa.states[from].moves.emplace_back(intern(alphabet, process.operation),
+                                                to);
+            return {from, to};
+        }
+        case ProcessKind::kSequence: {
+            const auto from = nfa.add_state();
+            std::uint32_t current = from;
+            for (const auto& child : process.children) {
+                const auto [s, a] = build(*child, nfa, alphabet);
+                nfa.states[current].epsilon.push_back(s);
+                current = a;
+            }
+            return {from, current};
+        }
+        case ProcessKind::kChoice: {
+            const auto from = nfa.add_state();
+            const auto to = nfa.add_state();
+            for (const auto& child : process.children) {
+                const auto [s, a] = build(*child, nfa, alphabet);
+                nfa.states[from].epsilon.push_back(s);
+                nfa.states[a].epsilon.push_back(to);
+            }
+            return {from, to};
+        }
+        case ProcessKind::kRepeat: {
+            const auto from = nfa.add_state();
+            const auto to = nfa.add_state();
+            SARIADNE_ASSERT(process.children.size() == 1);
+            const auto [s, a] = build(*process.children.front(), nfa, alphabet);
+            nfa.states[from].epsilon.push_back(s);
+            nfa.states[from].epsilon.push_back(to);
+            nfa.states[a].epsilon.push_back(s);
+            nfa.states[a].epsilon.push_back(to);
+            return {from, to};
+        }
+    }
+    SARIADNE_ASSERT(false);
+    return {0, 0};
+}
+
+using StateSet = std::set<std::uint32_t>;
+
+StateSet epsilon_closure(const Nfa& nfa, StateSet seed) {
+    std::queue<std::uint32_t> frontier;
+    for (const auto s : seed) frontier.push(s);
+    while (!frontier.empty()) {
+        const auto s = frontier.front();
+        frontier.pop();
+        for (const auto t : nfa.states[s].epsilon) {
+            if (seed.insert(t).second) frontier.push(t);
+        }
+    }
+    return seed;
+}
+
+StateSet step(const Nfa& nfa, const StateSet& from, std::uint32_t symbol) {
+    StateSet out;
+    for (const auto s : from) {
+        for (const auto& [sym, to] : nfa.states[s].moves) {
+            if (sym == symbol) out.insert(to);
+        }
+    }
+    return epsilon_closure(nfa, std::move(out));
+}
+
+/// Searches for a client-acceptable trace the provider cannot accept.
+/// Product of (client ε-closed state set, provider ε-closed state set);
+/// BFS over the joint alphabet; accepting-client × non-accepting-provider
+/// is a witness. Symbols outside the provider's alphabet lead the provider
+/// to the dead set (∅), which is never accepting.
+std::vector<std::string> search_witness(const Process& client,
+                                        const Process& provider) {
+    std::vector<std::string> alphabet;
+    Nfa client_nfa;
+    Nfa provider_nfa;
+    std::tie(client_nfa.start, client_nfa.accept) =
+        build(client, client_nfa, alphabet);
+    std::tie(provider_nfa.start, provider_nfa.accept) =
+        build(provider, provider_nfa, alphabet);
+
+    using Product = std::pair<StateSet, StateSet>;
+    std::map<Product, std::vector<std::string>> visited;
+    std::queue<Product> frontier;
+
+    const Product initial{
+        epsilon_closure(client_nfa, {client_nfa.start}),
+        epsilon_closure(provider_nfa, {provider_nfa.start})};
+    visited.emplace(initial, std::vector<std::string>{});
+    frontier.push(initial);
+
+    while (!frontier.empty()) {
+        const Product current = frontier.front();
+        frontier.pop();
+        const auto& trace = visited.at(current);
+
+        const bool client_accepts = current.first.count(client_nfa.accept) > 0;
+        const bool provider_accepts =
+            current.second.count(provider_nfa.accept) > 0;
+        if (client_accepts && !provider_accepts) {
+            if (trace.empty()) return {"<empty>"};
+            return trace;
+        }
+
+        for (std::uint32_t sym = 0; sym < alphabet.size(); ++sym) {
+            StateSet next_client = step(client_nfa, current.first, sym);
+            if (next_client.empty()) continue;  // client never drives this
+            StateSet next_provider = step(provider_nfa, current.second, sym);
+            Product next{std::move(next_client), std::move(next_provider)};
+            if (visited.count(next)) continue;
+            auto next_trace = trace;
+            next_trace.push_back(alphabet[sym]);
+            frontier.push(next);
+            visited.emplace(std::move(next), std::move(next_trace));
+        }
+    }
+    return {};  // contained
+}
+
+}  // namespace
+
+bool conversation_compatible(const Process& client, const Process& provider) {
+    return search_witness(client, provider).empty();
+}
+
+std::vector<std::string> incompatibility_witness(const Process& client,
+                                                 const Process& provider) {
+    return search_witness(client, provider);
+}
+
+}  // namespace sariadne::desc

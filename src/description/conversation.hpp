@@ -1,0 +1,31 @@
+// Conversation compatibility: can a provider's process realize every
+// conversation the client may attempt? Process trees denote regular
+// languages over operation names, so the question is language containment
+//   L(client) ⊆ L(provider)
+// decided exactly: Thompson construction to an ε-NFA, ε-closure subset
+// construction to determinize the provider, and an emptiness check of
+// L(client) ∩ complement(L(provider)) via a product search. Sizes are
+// conversation-protocol sized (tens of states), so the subset construction
+// is nowhere near its worst case.
+#pragma once
+
+#include "description/process.hpp"
+
+namespace sariadne::desc {
+
+/// True iff every operation sequence the client process may produce is
+/// accepted by the provider process.
+bool conversation_compatible(const Process& client, const Process& provider);
+
+/// True iff the two processes denote exactly the same language.
+inline bool conversation_equivalent(const Process& a, const Process& b) {
+    return conversation_compatible(a, b) && conversation_compatible(b, a);
+}
+
+/// A counterexample conversation: a sequence of operations the client may
+/// drive that the provider cannot accept; empty when compatible (note an
+/// *empty trace* counterexample is reported as {"<empty>"}).
+std::vector<std::string> incompatibility_witness(const Process& client,
+                                                 const Process& provider);
+
+}  // namespace sariadne::desc

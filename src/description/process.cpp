@@ -1,0 +1,139 @@
+#include "description/process.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+#include "support/errors.hpp"
+
+namespace sariadne::desc {
+
+Process& Process::operator=(const Process& other) {
+    if (this == &other) return *this;
+    kind = other.kind;
+    operation = other.operation;
+    children.clear();
+    children.reserve(other.children.size());
+    for (const auto& child : other.children) {
+        children.push_back(std::make_unique<Process>(*child));
+    }
+    return *this;
+}
+
+Process Process::atomic(std::string op) {
+    SARIADNE_EXPECTS(!op.empty());
+    Process p;
+    p.kind = ProcessKind::kAtomic;
+    p.operation = std::move(op);
+    return p;
+}
+
+Process Process::sequence(std::vector<Process> parts) {
+    Process p;
+    p.kind = ProcessKind::kSequence;
+    for (auto& part : parts) {
+        p.children.push_back(std::make_unique<Process>(std::move(part)));
+    }
+    return p;
+}
+
+Process Process::choice(std::vector<Process> alternatives) {
+    SARIADNE_EXPECTS(!alternatives.empty());
+    Process p;
+    p.kind = ProcessKind::kChoice;
+    for (auto& alt : alternatives) {
+        p.children.push_back(std::make_unique<Process>(std::move(alt)));
+    }
+    return p;
+}
+
+Process Process::repeat(Process body) {
+    Process p;
+    p.kind = ProcessKind::kRepeat;
+    p.children.push_back(std::make_unique<Process>(std::move(body)));
+    return p;
+}
+
+namespace {
+
+void collect_alphabet(const Process& process, std::vector<std::string>& out) {
+    if (process.kind == ProcessKind::kAtomic) {
+        out.push_back(process.operation);
+        return;
+    }
+    for (const auto& child : process.children) collect_alphabet(*child, out);
+}
+
+Process parse_node(const xml::XmlNode& node) {
+    if (node.name() == "atomic") {
+        return Process::atomic(std::string(node.required_attribute("op")));
+    }
+    if (node.name() == "sequence" || node.name() == "choice" ||
+        node.name() == "repeat") {
+        std::vector<Process> parts;
+        for (const auto& child : node.children()) {
+            parts.push_back(parse_node(child));
+        }
+        if (node.name() == "sequence") return Process::sequence(std::move(parts));
+        if (node.name() == "choice") {
+            if (parts.empty()) {
+                throw ParseError("<choice> needs at least one alternative");
+            }
+            return Process::choice(std::move(parts));
+        }
+        if (parts.size() != 1) {
+            throw ParseError("<repeat> needs exactly one child");
+        }
+        return Process::repeat(std::move(parts.front()));
+    }
+    throw ParseError("unknown process element <" + node.name() + ">");
+}
+
+xml::XmlNode serialize_node(const Process& process) {
+    switch (process.kind) {
+        case ProcessKind::kAtomic: {
+            xml::XmlNode node("atomic");
+            node.set_attribute("op", process.operation);
+            return node;
+        }
+        case ProcessKind::kSequence:
+        case ProcessKind::kChoice:
+        case ProcessKind::kRepeat: {
+            xml::XmlNode node(process.kind == ProcessKind::kSequence ? "sequence"
+                              : process.kind == ProcessKind::kChoice ? "choice"
+                                                                     : "repeat");
+            for (const auto& child : process.children) {
+                node.add_child(serialize_node(*child));
+            }
+            return node;
+        }
+    }
+    throw Error("corrupt process node");
+}
+
+}  // namespace
+
+std::vector<std::string> Process::alphabet() const {
+    std::vector<std::string> out;
+    collect_alphabet(*this, out);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+Process parse_process(const xml::XmlNode& node) {
+    if (node.name() != "process") {
+        throw ParseError("expected <process> element, got <" + node.name() + ">");
+    }
+    if (node.children().size() != 1) {
+        throw ParseError("<process> needs exactly one root child");
+    }
+    return parse_node(node.children().front());
+}
+
+xml::XmlNode serialize_process(const Process& process) {
+    xml::XmlNode node("process");
+    node.add_child(serialize_node(process));
+    return node;
+}
+
+}  // namespace sariadne::desc

@@ -1,0 +1,66 @@
+// Service process models (§2.1: the OWL-S "process model is a
+// representation of the service conversation, i.e., the interaction
+// protocol between a service and its client"). A process is a tree over
+//   atomic(op)   — one operation invocation
+//   sequence     — children in order
+//   choice       — exactly one child
+//   repeat       — child zero or more times
+// which denotes a regular language over operation names. XML shape
+// (child of <service> or <request>):
+//
+//   <process>
+//     <sequence>
+//       <atomic op="browse"/>
+//       <repeat><atomic op="addItem"/></repeat>
+//       <choice><atomic op="checkout"/><atomic op="cancel"/></choice>
+//     </sequence>
+//   </process>
+//
+// conversation.hpp decides whether every conversation a client may drive
+// is realizable by a provider's process (regular-language containment).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/node.hpp"
+
+namespace sariadne::desc {
+
+enum class ProcessKind : std::uint8_t {
+    kAtomic,
+    kSequence,
+    kChoice,
+    kRepeat,
+};
+
+/// Immutable process tree node. Root-owned via unique_ptr; value-like
+/// deep copy provided because descriptions are copied around directories.
+struct Process {
+    ProcessKind kind = ProcessKind::kAtomic;
+    std::string operation;                    ///< kAtomic only
+    std::vector<std::unique_ptr<Process>> children;
+
+    Process() = default;
+    Process(const Process& other) { *this = other; }
+    Process& operator=(const Process& other);
+    Process(Process&&) noexcept = default;
+    Process& operator=(Process&&) noexcept = default;
+
+    static Process atomic(std::string op);
+    static Process sequence(std::vector<Process> parts);
+    static Process choice(std::vector<Process> alternatives);
+    static Process repeat(Process body);
+
+    /// All operation names appearing in the tree (the alphabet).
+    std::vector<std::string> alphabet() const;
+};
+
+/// Parses a <process> element. Throws ParseError on malformed trees.
+Process parse_process(const xml::XmlNode& node);
+
+/// Serializes to a <process> element.
+xml::XmlNode serialize_process(const Process& process);
+
+}  // namespace sariadne::desc

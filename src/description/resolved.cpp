@@ -1,0 +1,67 @@
+#include "description/resolved.hpp"
+
+namespace sariadne::desc {
+
+ResolvedCapability resolve_capability(const Capability& capability,
+                                      const onto::OntologyRegistry& registry,
+                                      std::string service_name) {
+    ResolvedCapability resolved;
+    resolved.name = capability.name;
+    resolved.service_name = std::move(service_name);
+    resolved.kind = capability.kind;
+    resolved.code_version = capability.code_version;
+
+    const auto resolve_into = [&](const std::string& qname,
+                                  std::vector<ConceptRef>& out) {
+        const ConceptRef ref = registry.resolve(qname);
+        out.push_back(ref);
+        resolved.ontologies.insert(ref.ontology);
+    };
+
+    for (const auto& param : capability.inputs) {
+        resolve_into(param.concept_qname, resolved.inputs);
+    }
+    for (const auto& param : capability.outputs) {
+        resolve_into(param.concept_qname, resolved.outputs);
+    }
+    if (!capability.category_qname.empty()) {
+        resolve_into(capability.category_qname, resolved.properties);
+    }
+    for (const auto& prop : capability.property_qnames) {
+        resolve_into(prop, resolved.properties);
+    }
+    return resolved;
+}
+
+std::vector<ResolvedCapability> resolve_provided(
+    const ServiceDescription& service, const onto::OntologyRegistry& registry) {
+    std::vector<ResolvedCapability> result;
+    for (const auto& cap : service.profile.capabilities) {
+        if (cap.kind != CapabilityKind::kProvided) continue;
+        result.push_back(
+            resolve_capability(cap, registry, service.profile.service_name));
+    }
+    return result;
+}
+
+std::vector<ResolvedCapability> resolve_request(
+    const ServiceRequest& request, const onto::OntologyRegistry& registry) {
+    std::vector<ResolvedCapability> result;
+    result.reserve(request.capabilities.size());
+    for (const auto& cap : request.capabilities) {
+        result.push_back(resolve_capability(cap, registry, request.requester));
+    }
+    return result;
+}
+
+std::vector<std::string> ontology_uris(const ResolvedCapability& capability,
+                                       const onto::OntologyRegistry& registry) {
+    std::vector<std::string> uris;
+    uris.reserve(capability.ontologies.size());
+    for (const OntologyIndex index : capability.ontologies) {
+        uris.push_back(registry.at(index).uri());
+    }
+    return uris;
+}
+
+}  // namespace sariadne::desc

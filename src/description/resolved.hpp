@@ -1,0 +1,57 @@
+// ResolvedCapability — a capability whose qualified concept names have been
+// resolved against an ontology registry into ConceptRefs, with the set of
+// ontologies it draws from precomputed. This is the form the matchers and
+// directory DAGs operate on: resolution happens once at publish (or
+// request-build) time, never during matching.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "description/service.hpp"
+#include "ontology/registry.hpp"
+#include "support/flat_set.hpp"
+
+namespace sariadne::desc {
+
+using onto::ConceptRef;
+using onto::OntologyIndex;
+
+struct ResolvedCapability {
+    std::string name;           ///< capability name (diagnostics)
+    std::string service_name;   ///< owning service (empty for requests)
+    CapabilityKind kind = CapabilityKind::kProvided;
+
+    std::vector<ConceptRef> inputs;
+    std::vector<ConceptRef> outputs;
+    /// Properties with the category folded in (paper §2.3: the category is
+    /// matched as one of the required/provided properties).
+    std::vector<ConceptRef> properties;
+
+    /// Ontologies referenced by any concept above — the DAG index key and
+    /// the Bloom-filter summary unit (§3.3, §4).
+    FlatSet<OntologyIndex> ontologies;
+
+    std::uint64_t code_version = 0;
+};
+
+/// Resolves every concept mention. Throws LookupError on unknown ontology
+/// URIs or class names. `service_name` tags the result for diagnostics.
+ResolvedCapability resolve_capability(const Capability& capability,
+                                      const onto::OntologyRegistry& registry,
+                                      std::string service_name = {});
+
+/// Resolves all provided capabilities of a service description.
+std::vector<ResolvedCapability> resolve_provided(
+    const ServiceDescription& service, const onto::OntologyRegistry& registry);
+
+/// Resolves all capabilities of a request (all are required).
+std::vector<ResolvedCapability> resolve_request(
+    const ServiceRequest& request, const onto::OntologyRegistry& registry);
+
+/// The URIs of the ontologies a resolved capability draws from, in
+/// registry order — used to key Bloom-filter summaries.
+std::vector<std::string> ontology_uris(const ResolvedCapability& capability,
+                                       const onto::OntologyRegistry& registry);
+
+}  // namespace sariadne::desc

@@ -1,0 +1,30 @@
+#include "description/service.hpp"
+
+namespace sariadne::desc {
+
+bool satisfies_constraints(const ServiceProfile& profile,
+                           const ServiceRequest& request) {
+    for (const QosConstraint& constraint : request.qos_constraints) {
+        bool admitted = false;
+        for (const QosAttribute& attr : profile.qos) {
+            if (attr.name == constraint.name) {
+                admitted = constraint.admits(attr.value);
+                break;
+            }
+        }
+        if (!admitted) return false;
+    }
+    for (const ContextConstraint& constraint : request.context_constraints) {
+        bool admitted = false;
+        for (const ContextAttribute& attr : profile.context) {
+            if (attr.name == constraint.name) {
+                admitted = attr.value == constraint.value;
+                break;
+            }
+        }
+        if (!admitted) return false;
+    }
+    return true;
+}
+
+}  // namespace sariadne::desc

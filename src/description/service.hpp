@@ -1,0 +1,104 @@
+// Amigo-S service descriptions and service requests. A description couples
+// the service profile (identity + capabilities + QoS/context attributes)
+// with a grounding (how to invoke it) and the middleware the service runs
+// on — the pervasive-environment specifics Amigo-S adds over OWL-S. A
+// request is the client-side mirror: the set of capabilities sought.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <optional>
+
+#include "description/capability.hpp"
+#include "description/process.hpp"
+
+namespace sariadne::desc {
+
+/// Numeric quality-of-service attribute (latency budget, battery draw...).
+struct QosAttribute {
+    std::string name;
+    double value = 0.0;
+};
+
+/// Free-form context attribute (location, user, modality...).
+struct ContextAttribute {
+    std::string name;
+    std::string value;
+};
+
+/// Invocation information (the OWL-S grounding role). Enough structure for
+/// examples and protocol payloads; invocation itself is out of scope.
+struct Grounding {
+    std::string protocol;  ///< e.g. "SOAP", "UPnP"
+    std::string address;   ///< endpoint URL
+};
+
+struct ServiceProfile {
+    std::string service_name;
+    std::string provider;
+    std::vector<Capability> capabilities;  ///< provided and required mixed
+
+    std::vector<QosAttribute> qos;
+    std::vector<ContextAttribute> context;
+
+    /// Capabilities of the given kind, in declaration order.
+    std::vector<const Capability*> capabilities_of(CapabilityKind kind) const {
+        std::vector<const Capability*> result;
+        for (const auto& cap : capabilities) {
+            if (cap.kind == kind) result.push_back(&cap);
+        }
+        return result;
+    }
+};
+
+struct ServiceDescription {
+    ServiceProfile profile;
+    Grounding grounding;
+    std::string middleware;  ///< underlying platform (e.g. "WS", "UPnP", "RMI")
+    /// Interaction protocol of the service (the OWL-S process model role).
+    std::optional<Process> process;
+};
+
+/// Numeric QoS constraint on candidate services: the advertised attribute
+/// `name` must exist and lie within [min_value, max_value]. Part of the
+/// QoS-awareness Amigo-S adds over OWL-S (§2.2 of the paper).
+struct QosConstraint {
+    std::string name;
+    double min_value = -1e300;
+    double max_value = 1e300;
+
+    bool admits(double value) const noexcept {
+        return value >= min_value && value <= max_value;
+    }
+};
+
+/// Context constraint: the advertised context attribute `name` must equal
+/// `value` exactly (e.g. location = livingRoom).
+struct ContextConstraint {
+    std::string name;
+    std::string value;
+};
+
+/// A discovery request: the capabilities a client seeks, plus optional
+/// QoS/context constraints every candidate service must satisfy. Matching
+/// treats each capability as the paper's C2 (required capability).
+struct ServiceRequest {
+    std::string requester;
+    std::vector<Capability> capabilities;
+    std::vector<QosConstraint> qos_constraints;
+    std::vector<ContextConstraint> context_constraints;
+    /// The conversation the client intends to drive; a provider is
+    /// conversation-compatible when its process can realize it (see
+    /// conversation.hpp).
+    std::optional<Process> process;
+};
+
+/// True iff `profile` satisfies every constraint in `request`: each QoS
+/// constraint admits the advertised numeric value, each context constraint
+/// matches the advertised string value; an absent attribute fails its
+/// constraint.
+bool satisfies_constraints(const ServiceProfile& profile,
+                           const ServiceRequest& request);
+
+}  // namespace sariadne::desc

@@ -1,0 +1,56 @@
+// WSDL subset for the syntactic baseline (original Ariadne). A service is
+// a set of operations whose message parts are typed by *strings*; two
+// descriptions match only by exact syntactic conformance of operation
+// signatures — precisely the limitation the paper's semantic matching
+// removes. Document shape:
+//
+//   <wsdl name="MediaServer">
+//     <operation name="getVideoStream">
+//       <input  name="title"  type="xs:string"/>
+//       <output name="stream" type="tns:mediaStream"/>
+//     </operation>
+//   </wsdl>
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/node.hpp"
+
+namespace sariadne::desc {
+
+struct WsdlPart {
+    std::string name;
+    std::string type;
+
+    friend bool operator==(const WsdlPart&, const WsdlPart&) = default;
+};
+
+struct WsdlOperation {
+    std::string name;
+    std::vector<WsdlPart> inputs;
+    std::vector<WsdlPart> outputs;
+};
+
+struct WsdlDescription {
+    std::string service_name;
+    std::vector<WsdlOperation> operations;
+};
+
+WsdlDescription parse_wsdl(std::string_view xml_text);
+WsdlDescription parse_wsdl(const xml::XmlNode& root);
+std::string serialize_wsdl(const WsdlDescription& wsdl);
+
+/// Syntactic operation conformance: same operation name, and every input
+/// and output part of `required` present in `provided` with exactly equal
+/// name and type strings.
+bool operation_conforms(const WsdlOperation& provided,
+                        const WsdlOperation& required);
+
+/// Syntactic service conformance: every required operation conforms to
+/// some provided operation.
+bool wsdl_conforms(const WsdlDescription& provided,
+                   const WsdlDescription& required);
+
+}  // namespace sariadne::desc

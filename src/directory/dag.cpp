@@ -1,0 +1,332 @@
+#include "directory/dag.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/contracts.hpp"
+
+namespace sariadne::directory {
+
+namespace {
+
+bool contains(const std::vector<VertexId>& items, VertexId value) {
+    return std::find(items.begin(), items.end(), value) != items.end();
+}
+
+void erase_value(std::vector<VertexId>& items, VertexId value) {
+    items.erase(std::remove(items.begin(), items.end(), value), items.end());
+}
+
+}  // namespace
+
+void CapabilityDag::add_edge(VertexId from, VertexId to) {
+    SARIADNE_EXPECTS(from != to);
+    if (!contains(vertices_[from].children, to)) {
+        vertices_[from].children.push_back(to);
+        vertices_[to].parents.push_back(from);
+    }
+}
+
+void CapabilityDag::remove_edge(VertexId from, VertexId to) {
+    erase_value(vertices_[from].children, to);
+    erase_value(vertices_[to].parents, from);
+}
+
+VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
+                               MatchStats& stats) {
+    const ResolvedCapability& cap = entry.capability;
+
+    // Phase 1 — find the lowest matching ancestors: descend from every
+    // matching root; a vertex is a direct predecessor of the new capability
+    // if Match(vertex, cap) holds but no child of it also matches.
+    // Transitivity makes pruning at non-matching vertices sound.
+    std::vector<VertexId> predecessors;
+    std::vector<char> visited_down(vertices_.size(), 0);
+    std::queue<VertexId> frontier;
+
+    const auto match_down = [&](VertexId v) {
+        ++stats.capability_matches;
+        return matching::match_capability(representative(v), cap, oracle);
+    };
+    const auto match_up = [&](VertexId v) {
+        ++stats.capability_matches;
+        return matching::match_capability(cap, representative(v), oracle);
+    };
+
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+        if (!vertices_[v].alive || !vertices_[v].parents.empty()) continue;
+        const auto outcome = match_down(v);
+        if (!outcome.matched) continue;
+        // Equivalence short-circuit at the root itself.
+        if (outcome.semantic_distance == 0) {
+            const auto backward = match_up(v);
+            if (backward.matched && backward.semantic_distance == 0) {
+                vertices_[v].entries.push_back(std::move(entry));
+                return v;
+            }
+        }
+        visited_down[v] = 1;
+        frontier.push(v);
+    }
+
+    while (!frontier.empty()) {
+        const VertexId v = frontier.front();
+        frontier.pop();
+        bool has_matching_child = false;
+        for (const VertexId child : vertices_[v].children) {
+            if (visited_down[child]) {
+                has_matching_child = true;
+                continue;
+            }
+            const auto outcome = match_down(child);
+            if (!outcome.matched) continue;
+            if (outcome.semantic_distance == 0) {
+                const auto backward = match_up(child);
+                if (backward.matched && backward.semantic_distance == 0) {
+                    vertices_[child].entries.push_back(std::move(entry));
+                    return child;
+                }
+            }
+            has_matching_child = true;
+            visited_down[child] = 1;
+            frontier.push(child);
+        }
+        if (!has_matching_child) predecessors.push_back(v);
+    }
+
+    // Phase 2 — find the highest matched descendants: ascend from every
+    // leaf the new capability matches; a vertex is a direct successor if
+    // Match(cap, vertex) holds but no parent of it also matches.
+    std::vector<VertexId> successors;
+    std::vector<char> visited_up(vertices_.size(), 0);
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+        if (!vertices_[v].alive || !vertices_[v].children.empty()) continue;
+        if (visited_up[v]) continue;
+        if (!match_up(v).matched) continue;
+        visited_up[v] = 1;
+        frontier.push(v);
+    }
+    while (!frontier.empty()) {
+        const VertexId v = frontier.front();
+        frontier.pop();
+        bool has_matching_parent = false;
+        for (const VertexId parent : vertices_[v].parents) {
+            if (visited_up[parent]) {
+                has_matching_parent = true;
+                continue;
+            }
+            if (match_up(parent).matched) {
+                has_matching_parent = true;
+                visited_up[parent] = 1;
+                frontier.push(parent);
+            }
+        }
+        if (!has_matching_parent) successors.push_back(v);
+    }
+
+    // Mutual-match guard: a vertex v with Match(v, cap) AND Match(cap, v)
+    // at nonzero distance would create a cycle if wired below the new
+    // vertex. Every vertex matching cap downward was flagged in Phase 1
+    // (all such vertices sit under a matching root, by transitivity), so
+    // dropping flagged successors removes exactly the cycle-forming edges;
+    // reachability is preserved because those vertices already sit above.
+    std::erase_if(successors,
+                  [&](VertexId s) { return visited_down[s] != 0; });
+
+    // Phase 3 — wire the new vertex in, removing parent→successor edges
+    // that the new vertex now mediates.
+    const auto id = static_cast<VertexId>(vertices_.size());
+    vertices_.push_back(Vertex{});
+    vertices_.back().entries.push_back(std::move(entry));
+    for (const VertexId pred : predecessors) {
+        for (const VertexId succ : successors) {
+            remove_edge(pred, succ);
+        }
+        add_edge(pred, id);
+    }
+    for (const VertexId succ : successors) add_edge(id, succ);
+    return id;
+}
+
+std::size_t CapabilityDag::remove_service(ServiceId service) {
+    std::size_t removed = 0;
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+        Vertex& vertex = vertices_[v];
+        if (!vertex.alive) continue;
+        const auto old_size = vertex.entries.size();
+        vertex.entries.erase(
+            std::remove_if(vertex.entries.begin(), vertex.entries.end(),
+                           [&](const DagEntry& e) { return e.service == service; }),
+            vertex.entries.end());
+        removed += old_size - vertex.entries.size();
+        if (!vertex.entries.empty()) continue;
+
+        // Vertex died: splice parents to children to preserve reachability.
+        for (const VertexId parent : vertex.parents) {
+            erase_value(vertices_[parent].children, v);
+            for (const VertexId child : vertex.children) {
+                add_edge(parent, child);
+            }
+        }
+        for (const VertexId child : vertex.children) {
+            erase_value(vertices_[child].parents, v);
+        }
+        vertex.parents.clear();
+        vertex.children.clear();
+        vertex.alive = false;
+    }
+    return removed;
+}
+
+std::vector<MatchHit> CapabilityDag::query_all(
+    const ResolvedCapability& request, matching::DistanceOracle& oracle,
+    MatchStats& stats) const {
+    // Collect all matching vertices reachable from matching roots, pruning
+    // sub-hierarchies whose top fails (sound by transitivity of Match).
+    std::vector<char> visited(vertices_.size(), 0);
+    std::queue<VertexId> frontier;
+    std::vector<MatchHit> hits;
+
+    const auto try_vertex = [&](VertexId v) {
+        visited[v] = 1;
+        ++stats.capability_matches;
+        const auto outcome =
+            matching::match_capability(representative(v), request, oracle);
+        if (outcome.matched) {
+            for (const DagEntry& entry : vertices_[v].entries) {
+                hits.push_back(MatchHit{entry.service,
+                                        entry.capability.service_name,
+                                        entry.capability.name,
+                                        outcome.semantic_distance});
+            }
+            frontier.push(v);
+        }
+    };
+
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+        if (vertices_[v].alive && vertices_[v].parents.empty()) try_vertex(v);
+    }
+    while (!frontier.empty()) {
+        const VertexId v = frontier.front();
+        frontier.pop();
+        for (const VertexId child : vertices_[v].children) {
+            if (!visited[child]) try_vertex(child);
+        }
+    }
+    return hits;
+}
+
+std::vector<MatchHit> CapabilityDag::query(const ResolvedCapability& request,
+                                           matching::DistanceOracle& oracle,
+                                           MatchStats& stats) const {
+    std::vector<MatchHit> all = query_all(request, oracle, stats);
+    if (all.empty()) return all;
+    int best = all.front().semantic_distance;
+    for (const MatchHit& hit : all) best = std::min(best, hit.semantic_distance);
+    std::erase_if(all,
+                  [best](const MatchHit& hit) {
+                      return hit.semantic_distance != best;
+                  });
+    return all;
+}
+
+std::vector<VertexId> CapabilityDag::root_ids() const {
+    std::vector<VertexId> roots;
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+        if (vertices_[v].alive && vertices_[v].parents.empty()) roots.push_back(v);
+    }
+    return roots;
+}
+
+std::vector<VertexId> CapabilityDag::leaf_ids() const {
+    std::vector<VertexId> leaves;
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+        if (vertices_[v].alive && vertices_[v].children.empty()) {
+            leaves.push_back(v);
+        }
+    }
+    return leaves;
+}
+
+std::size_t CapabilityDag::vertex_count() const noexcept {
+    std::size_t count = 0;
+    for (const Vertex& v : vertices_) count += v.alive ? 1 : 0;
+    return count;
+}
+
+std::size_t CapabilityDag::entry_count() const noexcept {
+    std::size_t count = 0;
+    for (const Vertex& v : vertices_) {
+        if (v.alive) count += v.entries.size();
+    }
+    return count;
+}
+
+const std::vector<DagEntry>& CapabilityDag::entries(VertexId vertex) const {
+    SARIADNE_EXPECTS(vertex < vertices_.size() && vertices_[vertex].alive);
+    return vertices_[vertex].entries;
+}
+
+const std::vector<VertexId>& CapabilityDag::parents(VertexId vertex) const {
+    SARIADNE_EXPECTS(vertex < vertices_.size() && vertices_[vertex].alive);
+    return vertices_[vertex].parents;
+}
+
+const std::vector<VertexId>& CapabilityDag::children(VertexId vertex) const {
+    SARIADNE_EXPECTS(vertex < vertices_.size() && vertices_[vertex].alive);
+    return vertices_[vertex].children;
+}
+
+bool CapabilityDag::validate(matching::DistanceOracle& oracle) const {
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+        const Vertex& vertex = vertices_[v];
+        if (!vertex.alive) {
+            if (!vertex.parents.empty() || !vertex.children.empty()) return false;
+            continue;
+        }
+        if (vertex.entries.empty()) return false;
+        for (const VertexId child : vertex.children) {
+            if (child == v) return false;
+            if (child >= vertices_.size() || !vertices_[child].alive) return false;
+            if (!contains(vertices_[child].parents, v)) return false;
+            // Edge semantics: Match(parent, child) must hold.
+            if (!matching::matches(representative(v), representative(child),
+                                   oracle)) {
+                return false;
+            }
+        }
+        for (const VertexId parent : vertex.parents) {
+            if (!contains(vertices_[parent].children, v)) return false;
+        }
+        // Entries sharing the vertex must be equivalent to the representative.
+        for (const DagEntry& entry : vertex.entries) {
+            if (!matching::equivalent_capabilities(representative(v),
+                                                   entry.capability, oracle)) {
+                return false;
+            }
+        }
+    }
+
+    // Acyclicity via Kahn's algorithm over live vertices.
+    std::vector<std::size_t> pending(vertices_.size(), 0);
+    std::queue<VertexId> ready;
+    std::size_t live = 0;
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+        if (!vertices_[v].alive) continue;
+        ++live;
+        pending[v] = vertices_[v].parents.size();
+        if (pending[v] == 0) ready.push(v);
+    }
+    std::size_t processed = 0;
+    while (!ready.empty()) {
+        const VertexId v = ready.front();
+        ready.pop();
+        ++processed;
+        for (const VertexId child : vertices_[v].children) {
+            if (--pending[child] == 0) ready.push(child);
+        }
+    }
+    return processed == live;
+}
+
+}  // namespace sariadne::directory

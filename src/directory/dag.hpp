@@ -1,0 +1,110 @@
+// CapabilityDag — one directed acyclic graph of related capabilities
+// (§3.3). Vertices are *equivalence classes*: capabilities where Match
+// holds both ways with semantic distance 0 share a vertex. A directed edge
+// u → v means Match(u, v): u is more generic and can substitute v. Roots
+// (no predecessors) are the most generic capabilities; the paper's query
+// algorithm only probes roots and descends, and its insertion algorithm
+// probes roots downward and leaves upward.
+//
+// Both algorithms rely on the transitivity of Match (provable from the
+// transitivity of concept subsumption, see matching/match.hpp): if
+// Match(v, C) fails, it fails for every successor of v, so whole
+// sub-hierarchies are pruned without evaluation — that is where the "few
+// semantic matches per request" of Figure 9 comes from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "description/resolved.hpp"
+#include "directory/types.hpp"
+#include "matching/match.hpp"
+#include "support/flat_set.hpp"
+
+namespace sariadne::directory {
+
+using desc::ResolvedCapability;
+using onto::OntologyIndex;
+
+/// One advertised capability instance living in the DAG.
+struct DagEntry {
+    ResolvedCapability capability;
+    ServiceId service = 0;
+};
+
+using VertexId = std::uint32_t;
+inline constexpr VertexId kNoVertex = 0xFFFFFFFFu;
+
+class CapabilityDag {
+public:
+    explicit CapabilityDag(FlatSet<OntologyIndex> signature)
+        : signature_(std::move(signature)) {}
+
+    /// The ontology set indexing this DAG (§3.3 "graphs are indexed
+    /// according to the ontologies being used in the capabilities").
+    const FlatSet<OntologyIndex>& signature() const noexcept { return signature_; }
+
+    /// Inserts an advertised capability, merging into an equivalent vertex
+    /// when one exists, otherwise wiring the new vertex between its lowest
+    /// matching ancestors and highest matched descendants.
+    VertexId insert(DagEntry entry, matching::DistanceOracle& oracle,
+                    MatchStats& stats);
+
+    /// Removes every entry advertised by `service`; empty vertices are
+    /// dropped and their parents reconnected to their children. Returns the
+    /// number of entries removed.
+    std::size_t remove_service(ServiceId service);
+
+    /// The paper's query algorithm: probe roots; on a match descend through
+    /// successors collecting matching vertices; return the hits with the
+    /// minimum semantic distance (all entries of the best vertices).
+    std::vector<MatchHit> query(const ResolvedCapability& request,
+                                matching::DistanceOracle& oracle,
+                                MatchStats& stats) const;
+
+    /// Same traversal, but returns the entries of *every* matching vertex
+    /// (still pruning non-matching sub-hierarchies). Used when hits must
+    /// additionally pass QoS/context constraints, so the closest admissible
+    /// advertisement may not be the globally closest one.
+    std::vector<MatchHit> query_all(const ResolvedCapability& request,
+                                    matching::DistanceOracle& oracle,
+                                    MatchStats& stats) const;
+
+    std::vector<VertexId> root_ids() const;
+    std::vector<VertexId> leaf_ids() const;
+
+    std::size_t vertex_count() const noexcept;  ///< live vertices
+    std::size_t entry_count() const noexcept;   ///< advertised capabilities
+
+    bool empty() const noexcept { return entry_count() == 0; }
+
+    /// Entries of one vertex (test access).
+    const std::vector<DagEntry>& entries(VertexId vertex) const;
+    const std::vector<VertexId>& parents(VertexId vertex) const;
+    const std::vector<VertexId>& children(VertexId vertex) const;
+
+    /// Structural invariant check for tests: every edge implies Match, no
+    /// cycles, no self-edges, parent/child lists mirror each other.
+    /// Returns true when all invariants hold.
+    bool validate(matching::DistanceOracle& oracle) const;
+
+private:
+    struct Vertex {
+        std::vector<DagEntry> entries;
+        std::vector<VertexId> parents;
+        std::vector<VertexId> children;
+        bool alive = true;
+    };
+
+    const ResolvedCapability& representative(VertexId vertex) const {
+        return vertices_[vertex].entries.front().capability;
+    }
+
+    void add_edge(VertexId from, VertexId to);
+    void remove_edge(VertexId from, VertexId to);
+
+    FlatSet<OntologyIndex> signature_;
+    std::vector<Vertex> vertices_;
+};
+
+}  // namespace sariadne::directory

@@ -1,0 +1,71 @@
+#include "directory/dag_index.hpp"
+
+#include <algorithm>
+
+namespace sariadne::directory {
+
+CapabilityDag& DagIndex::dag_for(const FlatSet<OntologyIndex>& signature) {
+    for (const auto& dag : dags_) {
+        if (dag->signature() == signature) return *dag;
+    }
+    dags_.push_back(std::make_unique<CapabilityDag>(signature));
+    return *dags_.back();
+}
+
+void DagIndex::insert(DagEntry entry, matching::DistanceOracle& oracle,
+                      MatchStats& stats) {
+    CapabilityDag& dag = dag_for(entry.capability.ontologies);
+    dag.insert(std::move(entry), oracle, stats);
+}
+
+std::size_t DagIndex::remove_service(ServiceId service) {
+    std::size_t removed = 0;
+    for (const auto& dag : dags_) removed += dag->remove_service(service);
+    dags_.erase(std::remove_if(dags_.begin(), dags_.end(),
+                               [](const std::unique_ptr<CapabilityDag>& dag) {
+                                   return dag->empty();
+                               }),
+                dags_.end());
+    return removed;
+}
+
+std::vector<MatchHit> DagIndex::query_all(const ResolvedCapability& request,
+                                          matching::DistanceOracle& oracle,
+                                          MatchStats& stats) const {
+    std::vector<MatchHit> all;
+    for (const auto& dag : dags_) {
+        if (!dag->signature().intersects(request.ontologies)) {
+            ++stats.dags_pruned;
+            continue;
+        }
+        ++stats.dags_visited;
+        const auto hits = dag->query_all(request, oracle, stats);
+        all.insert(all.end(), hits.begin(), hits.end());
+    }
+    return all;
+}
+
+std::vector<MatchHit> DagIndex::query(const ResolvedCapability& request,
+                                      matching::DistanceOracle& oracle,
+                                      MatchStats& stats) const {
+    std::vector<MatchHit> best;
+    for (const auto& dag : dags_) {
+        if (!dag->signature().intersects(request.ontologies)) {
+            ++stats.dags_pruned;
+            continue;
+        }
+        ++stats.dags_visited;
+        std::vector<MatchHit> hits = dag->query(request, oracle, stats);
+        if (hits.empty()) continue;
+        if (best.empty() || hits.front().semantic_distance <
+                                best.front().semantic_distance) {
+            best = std::move(hits);
+        } else if (hits.front().semantic_distance ==
+                   best.front().semantic_distance) {
+            best.insert(best.end(), hits.begin(), hits.end());
+        }
+    }
+    return best;
+}
+
+}  // namespace sariadne::directory

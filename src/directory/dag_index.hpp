@@ -1,0 +1,60 @@
+// DagIndex — the collection of capability DAGs of one directory, indexed
+// by ontology signature (§3.3). A new capability joins the DAG whose
+// signature equals its own ontology set (creating one if needed); a query
+// preselects the DAGs whose signature shares at least one ontology with
+// the request — the paper's Figure 5 filtering step ("the requested
+// capability uses O1, which filters out DAG2 as it is indexed with only
+// O3") — and probes only their roots.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "directory/dag.hpp"
+
+namespace sariadne::directory {
+
+class DagIndex {
+public:
+    DagIndex() = default;
+
+    /// Inserts a provided capability into its signature's DAG.
+    void insert(DagEntry entry, matching::DistanceOracle& oracle,
+                MatchStats& stats);
+
+    /// Removes all capabilities of a service across DAGs; empty DAGs are
+    /// dropped. Returns the number of capability entries removed.
+    std::size_t remove_service(ServiceId service);
+
+    /// Queries all candidate DAGs (signature intersects the request's
+    /// ontology set) and returns the hits with the globally minimal
+    /// semantic distance.
+    std::vector<MatchHit> query(const ResolvedCapability& request,
+                                matching::DistanceOracle& oracle,
+                                MatchStats& stats) const;
+
+    /// All matching hits across candidate DAGs, any distance (for
+    /// constraint-filtered selection).
+    std::vector<MatchHit> query_all(const ResolvedCapability& request,
+                                    matching::DistanceOracle& oracle,
+                                    MatchStats& stats) const;
+
+    std::size_t dag_count() const noexcept { return dags_.size(); }
+
+    std::size_t entry_count() const noexcept {
+        std::size_t count = 0;
+        for (const auto& dag : dags_) count += dag->entry_count();
+        return count;
+    }
+
+    const std::vector<std::unique_ptr<CapabilityDag>>& dags() const noexcept {
+        return dags_;
+    }
+
+private:
+    CapabilityDag& dag_for(const FlatSet<OntologyIndex>& signature);
+
+    std::vector<std::unique_ptr<CapabilityDag>> dags_;
+};
+
+}  // namespace sariadne::directory

@@ -1,0 +1,60 @@
+#include "directory/flat_directory.hpp"
+
+#include <limits>
+
+#include "support/stopwatch.hpp"
+
+namespace sariadne::directory {
+
+std::pair<ServiceId, PublishTiming> FlatDirectory::publish_xml(
+    std::string_view xml_text) {
+    Stopwatch stopwatch;
+    const desc::ServiceDescription service = desc::parse_service(xml_text);
+    PublishTiming timing;
+    timing.parse_ms = stopwatch.elapsed_ms();
+    stopwatch.restart();
+    const ServiceId id = publish(service);
+    timing.insert_ms = stopwatch.elapsed_ms();
+    return {id, timing};
+}
+
+ServiceId FlatDirectory::publish(const desc::ServiceDescription& service) {
+    const ServiceId id = next_id_++;
+    for (auto& cap : desc::resolve_provided(service, kb_->registry())) {
+        entries_.push_back(Entry{std::move(cap), id});
+    }
+    return id;
+}
+
+std::vector<std::vector<MatchHit>> FlatDirectory::query(
+    const std::vector<desc::ResolvedCapability>& request, MatchStats& stats,
+    QueryTiming& timing) {
+    Stopwatch stopwatch;
+    std::vector<std::vector<MatchHit>> result;
+    result.reserve(request.size());
+    for (const auto& wanted : request) {
+        int best = std::numeric_limits<int>::max();
+        std::vector<MatchHit> hits;
+        for (const Entry& entry : entries_) {
+            ++stats.capability_matches;
+            const auto outcome =
+                matching::match_capability(entry.capability, wanted, oracle_);
+            if (!outcome.matched) continue;
+            if (outcome.semantic_distance < best) {
+                best = outcome.semantic_distance;
+                hits.clear();
+            }
+            if (outcome.semantic_distance == best) {
+                hits.push_back(MatchHit{entry.service,
+                                        entry.capability.service_name,
+                                        entry.capability.name, best});
+            }
+        }
+        result.push_back(std::move(hits));
+    }
+    timing.match_ms = stopwatch.elapsed_ms();
+    stats.concept_queries = oracle_.queries();
+    return result;
+}
+
+}  // namespace sariadne::directory

@@ -1,0 +1,47 @@
+// FlatDirectory — the "without classification" baseline of Figure 9: the
+// same encoded semantic matching as SemanticDirectory, but advertisements
+// are kept in a flat list, so every query evaluates Match against *every*
+// cached capability instead of probing DAG roots. The paper measures the
+// flat variant at roughly +50 % matching time, growing with directory
+// size.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "description/amigos_io.hpp"
+#include "description/resolved.hpp"
+#include "directory/types.hpp"
+#include "encoding/knowledge_base.hpp"
+#include "matching/oracles.hpp"
+
+namespace sariadne::directory {
+
+class FlatDirectory {
+public:
+    explicit FlatDirectory(encoding::KnowledgeBase& kb) : kb_(&kb), oracle_(kb) {}
+
+    std::pair<ServiceId, PublishTiming> publish_xml(std::string_view xml_text);
+    ServiceId publish(const desc::ServiceDescription& service);
+
+    /// Linear-scan matching: every cached capability is evaluated; hits
+    /// with the minimum distance are returned per requested capability.
+    std::vector<std::vector<MatchHit>> query(
+        const std::vector<desc::ResolvedCapability>& request, MatchStats& stats,
+        QueryTiming& timing);
+
+    std::size_t capability_count() const noexcept { return entries_.size(); }
+
+private:
+    struct Entry {
+        desc::ResolvedCapability capability;
+        ServiceId service;
+    };
+
+    encoding::KnowledgeBase* kb_;
+    matching::EncodedOracle oracle_;
+    std::vector<Entry> entries_;
+    ServiceId next_id_ = 1;
+};
+
+}  // namespace sariadne::directory

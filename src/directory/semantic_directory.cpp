@@ -1,0 +1,157 @@
+#include "directory/semantic_directory.hpp"
+
+#include <algorithm>
+
+#include "description/conversation.hpp"
+#include "support/errors.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sariadne::directory {
+
+std::pair<ServiceId, PublishTiming> SemanticDirectory::publish_xml(
+    std::string_view xml_text) {
+    Stopwatch stopwatch;
+    desc::ServiceDescription service = desc::parse_service(xml_text);
+    PublishTiming timing;
+    timing.parse_ms = stopwatch.elapsed_ms();
+    const ServiceId id = publish(std::move(service), &timing);
+    return {id, timing};
+}
+
+ServiceId SemanticDirectory::publish(desc::ServiceDescription service,
+                                     PublishTiming* timing) {
+    Stopwatch stopwatch;
+    // Re-advertisement: a service is identified by its name; a fresh
+    // description replaces the cached one (services periodically re-publish
+    // to their vicinity directory in the protocol).
+    for (const auto& [existing_id, existing] : services_) {
+        if (existing.profile.service_name == service.profile.service_name) {
+            remove(existing_id);
+            break;
+        }
+    }
+    const ServiceId id = next_id_++;
+
+    std::vector<desc::ResolvedCapability> provided =
+        desc::resolve_provided(service, kb_->registry());
+    MatchStats stats;
+    for (auto& cap : provided) {
+        // §3.2 consistency: a description carrying pre-computed codes must
+        // have been encoded against the current ontology versions.
+        if (cap.code_version != 0 &&
+            cap.code_version != kb_->environment_tag(cap.ontologies)) {
+            throw VersionMismatchError(
+                "capability '" + cap.name + "' of service '" +
+                service.profile.service_name +
+                "' carries codes for a stale ontology version — the "
+                "advertiser must refresh its codes");
+        }
+        const std::vector<std::string> uris =
+            desc::ontology_uris(cap, kb_->registry());
+        summary_.insert_ontology_set(uris);
+        dags_.insert(DagEntry{std::move(cap), id}, oracle_, stats);
+    }
+    lifetime_stats_.capability_matches += stats.capability_matches;
+    services_.emplace(id, std::move(service));
+    if (timing != nullptr) timing->insert_ms = stopwatch.elapsed_ms();
+    return id;
+}
+
+bool SemanticDirectory::remove(ServiceId service) {
+    const auto it = services_.find(service);
+    if (it == services_.end()) return false;
+    dags_.remove_service(service);
+    services_.erase(it);
+    rebuild_summary();
+    return true;
+}
+
+QueryResult SemanticDirectory::query_xml(std::string_view xml_text) {
+    Stopwatch stopwatch;
+    const desc::ServiceRequest request = desc::parse_request(xml_text);
+    const double parse_ms = stopwatch.elapsed_ms();
+    QueryResult result = query(request);
+    result.timing.parse_ms = parse_ms;
+    return result;
+}
+
+QueryResult SemanticDirectory::query(const desc::ServiceRequest& request) {
+    const bool constrained = !request.qos_constraints.empty() ||
+                             !request.context_constraints.empty() ||
+                             request.process.has_value();
+    if (!constrained) {
+        return query_resolved(desc::resolve_request(request, kb_->registry()));
+    }
+
+    // Constraint-aware path: gather every semantic match, drop hits whose
+    // advertised profile violates a QoS/context constraint or whose
+    // published process cannot realize the client's conversation, then
+    // keep the closest admissible hits per capability. A provider that
+    // publishes no process model claims nothing about its conversation and
+    // is kept (lenient default).
+    const auto resolved = desc::resolve_request(request, kb_->registry());
+    QueryResult result;
+    Stopwatch stopwatch;
+    result.per_capability.reserve(resolved.size());
+    for (const auto& cap : resolved) {
+        std::vector<MatchHit> hits = dags_.query_all(cap, oracle_, result.stats);
+        std::erase_if(hits, [&](const MatchHit& hit) {
+            const desc::ServiceDescription* advertised = service(hit.service);
+            if (advertised == nullptr ||
+                !desc::satisfies_constraints(advertised->profile, request)) {
+                return true;
+            }
+            if (request.process.has_value() && advertised->process.has_value() &&
+                !desc::conversation_compatible(*request.process,
+                                               *advertised->process)) {
+                return true;
+            }
+            return false;
+        });
+        if (!hits.empty()) {
+            int best = hits.front().semantic_distance;
+            for (const MatchHit& hit : hits) {
+                best = std::min(best, hit.semantic_distance);
+            }
+            std::erase_if(hits, [best](const MatchHit& hit) {
+                return hit.semantic_distance != best;
+            });
+        }
+        result.per_capability.push_back(std::move(hits));
+    }
+    result.timing.match_ms = stopwatch.elapsed_ms();
+    result.stats.concept_queries = oracle_.queries();
+    lifetime_stats_.capability_matches += result.stats.capability_matches;
+    return result;
+}
+
+QueryResult SemanticDirectory::query_resolved(
+    const std::vector<desc::ResolvedCapability>& capabilities) {
+    QueryResult result;
+    Stopwatch stopwatch;
+    result.per_capability.reserve(capabilities.size());
+    for (const auto& cap : capabilities) {
+        result.per_capability.push_back(dags_.query(cap, oracle_, result.stats));
+    }
+    result.timing.match_ms = stopwatch.elapsed_ms();
+    result.stats.concept_queries = oracle_.queries();
+    lifetime_stats_.capability_matches += result.stats.capability_matches;
+    return result;
+}
+
+const desc::ServiceDescription* SemanticDirectory::service(ServiceId id) const {
+    const auto it = services_.find(id);
+    return it == services_.end() ? nullptr : &it->second;
+}
+
+void SemanticDirectory::rebuild_summary() {
+    summary_.clear();
+    for (const auto& [id, service] : services_) {
+        const auto provided = desc::resolve_provided(service, kb_->registry());
+        for (const auto& cap : provided) {
+            summary_.insert_ontology_set(desc::ontology_uris(cap, kb_->registry()));
+        }
+    }
+}
+
+}  // namespace sariadne::directory

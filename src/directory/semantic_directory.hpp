@@ -1,0 +1,110 @@
+// SemanticDirectory — the S-Ariadne local directory (§3.3, §4): caches
+// Amigo-S service descriptions, classifies their provided capabilities
+// into ontology-indexed capability DAGs at *publish* time (parse once,
+// resolve once, no reasoning on the query path), and answers requests by
+// probing DAG roots with interval-code matching. Also maintains the
+// Bloom-filter summary of its content that the distributed protocol
+// exchanges between directories.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "description/amigos_io.hpp"
+#include "description/resolved.hpp"
+#include "directory/dag_index.hpp"
+#include "directory/types.hpp"
+#include "encoding/knowledge_base.hpp"
+#include "matching/oracles.hpp"
+
+namespace sariadne::directory {
+
+/// Result of a request against one directory.
+struct QueryResult {
+    /// Best hits per requested capability, in request order. An empty
+    /// inner vector means that capability could not be satisfied.
+    std::vector<std::vector<MatchHit>> per_capability;
+    MatchStats stats;
+    QueryTiming timing;
+
+    bool fully_satisfied() const noexcept {
+        for (const auto& hits : per_capability) {
+            if (hits.empty()) return false;
+        }
+        return !per_capability.empty();
+    }
+};
+
+class SemanticDirectory {
+public:
+    /// The directory consults (and shares) a knowledge base of ontologies;
+    /// the caller keeps ownership (several directories of one simulated
+    /// node set typically share one KB).
+    explicit SemanticDirectory(encoding::KnowledgeBase& kb,
+                               bloom::BloomParams bloom_params = {})
+        : kb_(&kb), oracle_(kb), summary_(bloom_params) {}
+
+    // --- publish --------------------------------------------------------
+    /// Parses and publishes an Amigo-S service description document.
+    /// Returns the service handle and the Figure 7/8 timing breakdown.
+    std::pair<ServiceId, PublishTiming> publish_xml(std::string_view xml_text);
+
+    /// Publishes an already-parsed description (no parse timing).
+    ServiceId publish(desc::ServiceDescription service, PublishTiming* timing = nullptr);
+
+    /// Withdraws a service (departure from the vicinity). Returns false if
+    /// the handle is unknown.
+    bool remove(ServiceId service);
+
+    // --- query ----------------------------------------------------------
+    /// Parses a request document and matches it (timing includes parse).
+    QueryResult query_xml(std::string_view xml_text);
+
+    /// Matches a request. When the request carries QoS/context
+    /// constraints, hits are additionally filtered by the advertised
+    /// service profiles (Amigo-S QoS-/context-awareness), and the best
+    /// *admissible* distance wins per capability.
+    QueryResult query(const desc::ServiceRequest& request);
+
+    /// Matches pre-resolved capabilities (protocol-internal fast path).
+    QueryResult query_resolved(
+        const std::vector<desc::ResolvedCapability>& capabilities);
+
+    // --- introspection ---------------------------------------------------
+    std::size_t service_count() const noexcept { return services_.size(); }
+    std::size_t capability_count() const noexcept { return dags_.entry_count(); }
+    std::size_t dag_count() const noexcept { return dags_.dag_count(); }
+    const DagIndex& dags() const noexcept { return dags_; }
+
+    const desc::ServiceDescription* service(ServiceId id) const;
+
+    /// One past the largest handle ever issued (state-transfer iteration).
+    ServiceId next_service_id() const noexcept { return next_id_; }
+
+    /// Bloom summary of the ontology sets used by cached capabilities (§4).
+    const bloom::BloomFilter& summary() const noexcept { return summary_; }
+
+    /// Rebuilds the summary from live content (after removals — Bloom
+    /// filters do not support deletion).
+    void rebuild_summary();
+
+    /// Cumulative match statistics across all queries.
+    const MatchStats& lifetime_stats() const noexcept { return lifetime_stats_; }
+
+    encoding::KnowledgeBase& knowledge_base() noexcept { return *kb_; }
+
+private:
+    encoding::KnowledgeBase* kb_;
+    matching::EncodedOracle oracle_;
+    DagIndex dags_;
+    std::unordered_map<ServiceId, desc::ServiceDescription> services_;
+    ServiceId next_id_ = 1;
+    bloom::BloomFilter summary_;
+    MatchStats lifetime_stats_;
+};
+
+}  // namespace sariadne::directory

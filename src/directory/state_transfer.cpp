@@ -1,0 +1,43 @@
+#include "directory/state_transfer.hpp"
+
+#include "description/amigos_io.hpp"
+#include "support/errors.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace sariadne::directory {
+
+std::string export_state(const SemanticDirectory& directory) {
+    xml::XmlNode root("directory-state");
+    std::size_t count = 0;
+    // ServiceId handles are directory-local; only the descriptions travel.
+    for (ServiceId id = 1; id < directory.next_service_id(); ++id) {
+        const desc::ServiceDescription* service = directory.service(id);
+        if (service == nullptr) continue;
+        // Re-parse the serialized form into a DOM subtree so the bundle is
+        // one well-formed document.
+        const std::string text = desc::serialize_service(*service);
+        root.add_child(xml::parse(text).root);
+        ++count;
+    }
+    root.set_attribute("services", std::to_string(count));
+    return xml::write(root);
+}
+
+std::size_t import_state(SemanticDirectory& directory,
+                         std::string_view state_xml) {
+    const xml::XmlDocument doc = xml::parse(state_xml);
+    if (doc.root.name() != "directory-state") {
+        throw ParseError("expected <directory-state> root element, got <" +
+                         doc.root.name() + ">");
+    }
+    std::size_t imported = 0;
+    for (const auto& node : doc.root.children()) {
+        desc::ServiceDescription service = desc::parse_service(node);
+        directory.publish(std::move(service));
+        ++imported;
+    }
+    return imported;
+}
+
+}  // namespace sariadne::directory

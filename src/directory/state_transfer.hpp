@@ -1,0 +1,33 @@
+// Directory state transfer. The paper's Figure 7 scenario — "a directory
+// leaves the network and ... another one is elected and has to host the
+// set of service descriptions available in its vicinity" — needs the
+// cached descriptions to move between directories. A state document is a
+// single XML bundle of service descriptions:
+//
+//   <directory-state services="N">
+//     <service .../>  ...
+//   </directory-state>
+//
+// Import re-parses and re-classifies each description (that is precisely
+// the cost Figure 7 measures). Export/import are also what the protocol's
+// graceful handover ships when a directory resigns.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "directory/semantic_directory.hpp"
+
+namespace sariadne::directory {
+
+/// Serializes every cached service description of `directory` into one
+/// state document.
+std::string export_state(const SemanticDirectory& directory);
+
+/// Imports a state document into `directory` (existing content is kept;
+/// same-name services are replaced per re-advertisement semantics).
+/// Returns the number of services imported.
+std::size_t import_state(SemanticDirectory& directory,
+                         std::string_view state_xml);
+
+}  // namespace sariadne::directory

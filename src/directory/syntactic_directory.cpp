@@ -1,0 +1,46 @@
+#include "directory/syntactic_directory.hpp"
+
+#include "support/stopwatch.hpp"
+#include "xml/parser.hpp"
+
+namespace sariadne::directory {
+
+ServiceId SyntacticDirectory::publish_xml(std::string xml_text) {
+    const desc::WsdlDescription parsed = desc::parse_wsdl(xml_text);
+    // Re-advertisement replaces the stored document of the same service.
+    std::erase_if(documents_, [&](const StoredService& stored) {
+        return stored.service_name == parsed.service_name;
+    });
+    const ServiceId id = next_id_++;
+    documents_.push_back(
+        StoredService{id, parsed.service_name, std::move(xml_text)});
+    return id;
+}
+
+std::vector<MatchHit> SyntacticDirectory::query(
+    const desc::WsdlDescription& request, QueryTiming& timing) {
+    Stopwatch stopwatch;
+    std::vector<MatchHit> hits;
+    for (const StoredService& stored : documents_) {
+        const desc::WsdlDescription provided = desc::parse_wsdl(stored.document);
+        if (desc::wsdl_conforms(provided, request)) {
+            hits.push_back(MatchHit{stored.id, provided.service_name,
+                                    request.operations.empty()
+                                        ? std::string()
+                                        : request.operations.front().name,
+                                    0});
+        }
+    }
+    timing.match_ms = stopwatch.elapsed_ms();
+    return hits;
+}
+
+std::vector<MatchHit> SyntacticDirectory::query_xml(std::string_view request_xml,
+                                                    QueryTiming& timing) {
+    Stopwatch stopwatch;
+    const desc::WsdlDescription request = desc::parse_wsdl(request_xml);
+    timing.parse_ms = stopwatch.elapsed_ms();
+    return query(request, timing);
+}
+
+}  // namespace sariadne::directory

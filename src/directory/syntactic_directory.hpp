@@ -1,0 +1,47 @@
+// SyntacticDirectory — the original Ariadne baseline (Figure 10): services
+// are advertised as WSDL documents kept in their textual form; answering a
+// request re-parses every stored document and checks exact syntactic
+// conformance of operation signatures. Response time therefore grows
+// linearly with the number of cached services — the behaviour the paper
+// contrasts with S-Ariadne's near-constant classified/encoded matching.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "description/wsdl.hpp"
+#include "directory/types.hpp"
+
+namespace sariadne::directory {
+
+class SyntacticDirectory {
+public:
+    SyntacticDirectory() = default;
+
+    /// Stores the raw WSDL document (validated by a parse).
+    ServiceId publish_xml(std::string xml_text);
+
+    /// Matches a WSDL request against every stored document, re-parsing
+    /// each — Ariadne keeps descriptions as documents and compares them
+    /// syntactically, which is precisely its measured cost.
+    std::vector<MatchHit> query(const desc::WsdlDescription& request,
+                                QueryTiming& timing);
+
+    std::vector<MatchHit> query_xml(std::string_view request_xml,
+                                    QueryTiming& timing);
+
+    std::size_t service_count() const noexcept { return documents_.size(); }
+
+private:
+    struct StoredService {
+        ServiceId id;
+        std::string service_name;  ///< for O(1) re-advertisement dedup
+        std::string document;
+    };
+
+    std::vector<StoredService> documents_;
+    ServiceId next_id_ = 1;
+};
+
+}  // namespace sariadne::directory

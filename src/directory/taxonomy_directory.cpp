@@ -1,0 +1,149 @@
+#include "directory/taxonomy_directory.hpp"
+
+#include "description/amigos_io.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "matching/oracles.hpp"
+
+namespace sariadne::directory {
+
+namespace {
+
+/// Visits every representative subsumed by `top` (including itself), with
+/// its BFS level distance from `top`.
+template <typename Visitor>
+void for_each_descendant(const reasoner::Taxonomy& taxonomy,
+                         onto::ConceptId top, Visitor&& visit) {
+    const onto::ConceptId start = taxonomy.canonical(top);
+    std::vector<int> seen(taxonomy.class_count(), -1);
+    std::queue<onto::ConceptId> frontier;
+    seen[start] = 0;
+    frontier.push(start);
+    while (!frontier.empty()) {
+        const onto::ConceptId node = frontier.front();
+        frontier.pop();
+        visit(node, seen[node]);
+        for (const onto::ConceptId kid : taxonomy.direct_children(node)) {
+            if (seen[kid] == -1) {
+                seen[kid] = seen[node] + 1;
+                frontier.push(kid);
+            }
+        }
+    }
+}
+
+}  // namespace
+
+std::size_t TaxonomyDirectory::publish_xml(std::string_view xml_text) {
+    return publish(desc::parse_service(xml_text));
+}
+
+std::size_t TaxonomyDirectory::publish(const desc::ServiceDescription& service) {
+    const ServiceId service_id = next_service_++;
+    std::size_t annotations = 0;
+
+    for (auto& cap : desc::resolve_provided(service, kb_->registry())) {
+        const std::uint32_t entry_index = next_entry_++;
+
+        const auto annotate_descendants = [&](AnnotationMap& map,
+                                              onto::ConceptRef top) {
+            const reasoner::Taxonomy& taxonomy = kb_->taxonomy(top.ontology);
+            for_each_descendant(
+                taxonomy, top.concept_id,
+                [&](onto::ConceptId c, int level) {
+                    map[onto::ConceptRef{top.ontology, c}].push_back(
+                        Annotation{entry_index, level});
+                    ++annotations;
+                });
+        };
+
+        for (const onto::ConceptRef out : cap.outputs) {
+            annotate_descendants(output_lists_, out);
+        }
+        for (const onto::ConceptRef prop : cap.properties) {
+            annotate_descendants(property_lists_, prop);
+        }
+        for (const onto::ConceptRef in : cap.inputs) {
+            annotate_descendants(input_lists_, in);
+        }
+
+        entries_.push_back(StoredCapability{std::move(cap), service_id});
+    }
+    return annotations;
+}
+
+std::vector<MatchHit> TaxonomyDirectory::query(
+    const desc::ResolvedCapability& request, MatchStats& stats) {
+    // Candidate set: entries present in the annotation list of *every*
+    // requested output and property concept (lookups + intersections, the
+    // paper's description of [13]'s query phase). Lists are keyed by the
+    // request's concept canonicalized.
+    std::vector<std::uint32_t> candidates;
+    bool first = true;
+
+    const auto intersect_with = [&](const AnnotationMap& map,
+                                    onto::ConceptRef concept_ref) {
+        const reasoner::Taxonomy& taxonomy = kb_->taxonomy(concept_ref.ontology);
+        const onto::ConceptRef key{concept_ref.ontology,
+                                   taxonomy.canonical(concept_ref.concept_id)};
+        std::vector<std::uint32_t> found;
+        if (const auto it = map.find(key); it != map.end()) {
+            for (const Annotation& annotation : it->second) {
+                found.push_back(annotation.entry);
+            }
+            std::sort(found.begin(), found.end());
+            found.erase(std::unique(found.begin(), found.end()), found.end());
+        }
+        if (first) {
+            candidates = std::move(found);
+            first = false;
+        } else {
+            std::vector<std::uint32_t> merged;
+            std::set_intersection(candidates.begin(), candidates.end(),
+                                  found.begin(), found.end(),
+                                  std::back_inserter(merged));
+            candidates = std::move(merged);
+        }
+    };
+
+    for (const onto::ConceptRef out : request.outputs) {
+        intersect_with(output_lists_, out);
+    }
+    for (const onto::ConceptRef prop : request.properties) {
+        intersect_with(property_lists_, prop);
+    }
+    if (first) {
+        // Output/property-free request: every entry is a candidate.
+        candidates.resize(entries_.size());
+        for (std::uint32_t i = 0; i < entries_.size(); ++i) candidates[i] = i;
+    }
+
+    // Final verification (covers the input direction, which annotation
+    // lists can only approximate) and distance ranking.
+    matching::EncodedOracle oracle(*kb_);
+    int best = std::numeric_limits<int>::max();
+    std::vector<MatchHit> hits;
+    for (const std::uint32_t index : candidates) {
+        const StoredCapability& stored = entries_[index];
+        ++stats.capability_matches;
+        const auto outcome =
+            matching::match_capability(stored.capability, request, oracle);
+        if (!outcome.matched) continue;
+        if (outcome.semantic_distance < best) {
+            best = outcome.semantic_distance;
+            hits.clear();
+        }
+        if (outcome.semantic_distance == best) {
+            hits.push_back(MatchHit{stored.service,
+                                    stored.capability.service_name,
+                                    stored.capability.name, best});
+        }
+    }
+    stats.concept_queries += oracle.queries();
+    return hits;
+}
+
+}  // namespace sariadne::directory

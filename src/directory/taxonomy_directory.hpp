@@ -1,0 +1,66 @@
+// TaxonomyDirectory — the annotated-taxonomy baseline in the style of
+// Srinivasan, Paolucci & Sycara's OWL-S/UDDI matcher ([13] in the paper,
+// discussed in §3.1). Publishing pre-computes, for every concept of every
+// classified ontology, which advertisements would match a request pointing
+// at that concept (and at what degree/distance): the concept taxonomy is
+// annotated with per-concept advertisement lists for outputs and inputs.
+// Publishing therefore walks concept neighbourhoods (the measured ~7x
+// publish overhead), while queries reduce to list lookups + intersections
+// — milliseconds, no reasoning. Used by the ablation bench to compare the
+// paper's DAG classification against this alternative design point.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "description/resolved.hpp"
+#include "directory/types.hpp"
+#include "encoding/knowledge_base.hpp"
+
+namespace sariadne::directory {
+
+class TaxonomyDirectory {
+public:
+    explicit TaxonomyDirectory(encoding::KnowledgeBase& kb) : kb_(&kb) {}
+
+    /// Annotates the taxonomy with the service's provided capabilities.
+    /// Returns the publish work done (concept annotations written).
+    std::size_t publish(const desc::ServiceDescription& service);
+
+    /// Full publish pipeline from a document: parse + resolve + annotate.
+    std::size_t publish_xml(std::string_view xml_text);
+
+    /// Answers one requested capability via annotation-list intersection.
+    std::vector<MatchHit> query(const desc::ResolvedCapability& request,
+                                MatchStats& stats);
+
+    std::size_t capability_count() const noexcept {
+        return static_cast<std::size_t>(next_entry_);
+    }
+
+private:
+    struct Annotation {
+        std::uint32_t entry;  ///< advertised capability index
+        int distance;         ///< subsumption level distance to the concept
+    };
+
+    struct StoredCapability {
+        desc::ResolvedCapability capability;
+        ServiceId service;
+    };
+
+    // Per-concept advertisement lists. Key: (ontology, concept).
+    using AnnotationMap =
+        std::unordered_map<onto::ConceptRef, std::vector<Annotation>>;
+
+    encoding::KnowledgeBase* kb_;
+    AnnotationMap output_lists_;    ///< request output concept -> candidates
+    AnnotationMap input_lists_;     ///< request input concept  -> candidates
+    AnnotationMap property_lists_;  ///< request property concept -> candidates
+    std::vector<StoredCapability> entries_;
+    std::uint32_t next_entry_ = 0;
+    ServiceId next_service_ = 1;
+};
+
+}  // namespace sariadne::directory

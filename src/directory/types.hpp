@@ -1,0 +1,49 @@
+// Shared vocabulary of the directory layer: match hits, statistics and
+// timing breakdowns used by the evaluation harness (Figures 7-10 plot
+// exactly these quantities).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sariadne::directory {
+
+/// Handle of a published service inside one directory.
+using ServiceId = std::uint32_t;
+
+/// One advertisement capability matching a requested capability.
+struct MatchHit {
+    ServiceId service = 0;
+    std::string service_name;
+    std::string capability_name;
+    int semantic_distance = 0;
+};
+
+/// Work counters for one directory operation. `capability_matches` is the
+/// paper's "number of semantic matches performed" (capability-level Match
+/// evaluations); `concept_queries` counts d() evaluations underneath.
+struct MatchStats {
+    std::uint64_t capability_matches = 0;
+    std::uint64_t concept_queries = 0;
+    std::uint64_t dags_visited = 0;
+    std::uint64_t dags_pruned = 0;
+};
+
+/// Wall-clock breakdown of a publish operation (Figure 7/8 series).
+struct PublishTiming {
+    double parse_ms = 0;   ///< XML parsing of the service description
+    double insert_ms = 0;  ///< classification into the capability DAGs
+
+    double total_ms() const noexcept { return parse_ms + insert_ms; }
+};
+
+/// Wall-clock breakdown of a query (Figure 9/10 series; parse reported
+/// separately because the paper excludes it in Figure 9).
+struct QueryTiming {
+    double parse_ms = 0;
+    double match_ms = 0;
+
+    double total_ms() const noexcept { return parse_ms + match_ms; }
+};
+
+}  // namespace sariadne::directory

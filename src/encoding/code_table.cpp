@@ -1,0 +1,114 @@
+#include "encoding/code_table.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/contracts.hpp"
+#include "support/errors.hpp"
+#include "support/hash.hpp"
+
+namespace sariadne::encoding {
+
+namespace {
+
+struct Builder {
+    const reasoner::Taxonomy& taxonomy;
+    const EncodingParams& params;
+    std::vector<ConceptCode>& codes;
+    std::size_t total = 0;
+
+    void place(ConceptId rep, const Interval& slot, std::int32_t depth) {
+        if (slot.empty()) {
+            throw Error("interval encoding precision exhausted at depth " +
+                        std::to_string(depth) +
+                        " — hierarchy too deep for p=" + std::to_string(params.p) +
+                        ", k=" + std::to_string(params.k));
+        }
+        if (++total > CodeTable::kMaxTotalOccurrences) {
+            throw Error("interval replication budget exhausted — the classified "
+                        "hierarchy has too many multi-parent unfoldings");
+        }
+        codes[rep].occurrences.push_back(CodedInterval{slot, depth});
+        const auto& kids = taxonomy.direct_children(rep);
+        for (std::size_t i = 0; i < kids.size(); ++i) {
+            place(kids[i], slot.project(sibling_slot(i, params)), depth + 1);
+        }
+    }
+};
+
+}  // namespace
+
+CodeTable CodeTable::build(const onto::Ontology& ontology,
+                           const reasoner::Taxonomy& taxonomy,
+                           const EncodingParams& params) {
+    SARIADNE_EXPECTS(taxonomy.class_count() == ontology.class_count());
+
+    CodeTable table;
+    table.ontology_uri_ = ontology.uri();
+    table.ontology_version_ = ontology.version();
+    table.params_ = params;
+    table.version_tag_ = mix64(fnv1a64(ontology.uri()) ^
+                               (std::uint64_t{ontology.version()} << 32) ^
+                               (std::uint64_t{params.p} << 8) ^ params.k);
+
+    const std::size_t n = taxonomy.class_count();
+    table.canonical_.resize(n);
+    for (ConceptId c = 0; c < n; ++c) table.canonical_[c] = taxonomy.canonical(c);
+
+    table.codes_.assign(n, {});
+    Builder builder{taxonomy, params, table.codes_, 0};
+    const auto& roots = taxonomy.roots();
+    const Interval unit{0.0, 1.0};
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+        builder.place(roots[i], unit.project(sibling_slot(i, params)), 0);
+    }
+    table.total_occurrences_ = builder.total;
+
+    // Keep occurrence lists sorted by depth so distance() can early-exit.
+    for (auto& code : table.codes_) {
+        std::sort(code.occurrences.begin(), code.occurrences.end(),
+                  [](const CodedInterval& a, const CodedInterval& b) {
+                      return a.depth < b.depth;
+                  });
+    }
+    return table;
+}
+
+const ConceptCode& CodeTable::code(ConceptId id) const {
+    SARIADNE_EXPECTS(id < canonical_.size());
+    return codes_[canonical_[id]];
+}
+
+bool CodeTable::subsumes(ConceptId subsumer, ConceptId subsumee) const {
+    SARIADNE_EXPECTS(subsumer < canonical_.size() && subsumee < canonical_.size());
+    const ConceptId a = canonical_[subsumer];
+    const ConceptId b = canonical_[subsumee];
+    if (a == b) return true;
+    for (const CodedInterval& outer : codes_[a].occurrences) {
+        for (const CodedInterval& inner : codes_[b].occurrences) {
+            if (outer.interval.contains(inner.interval)) return true;
+        }
+    }
+    return false;
+}
+
+std::optional<int> CodeTable::distance(ConceptId subsumer,
+                                       ConceptId subsumee) const {
+    SARIADNE_EXPECTS(subsumer < canonical_.size() && subsumee < canonical_.size());
+    const ConceptId a = canonical_[subsumer];
+    const ConceptId b = canonical_[subsumee];
+    if (a == b) return 0;
+    int best = std::numeric_limits<int>::max();
+    for (const CodedInterval& outer : codes_[a].occurrences) {
+        for (const CodedInterval& inner : codes_[b].occurrences) {
+            if (inner.depth <= outer.depth) continue;  // can't be nested below
+            if (outer.interval.contains(inner.interval)) {
+                best = std::min(best, inner.depth - outer.depth);
+            }
+        }
+    }
+    if (best == std::numeric_limits<int>::max()) return std::nullopt;
+    return best;
+}
+
+}  // namespace sariadne::encoding

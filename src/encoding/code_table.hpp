@@ -1,0 +1,88 @@
+// CodeTable — the offline-computed numeric codes of one classified
+// ontology (§3.2). Every concept owns a set of nested intervals: one per
+// occurrence in the spanning-tree unfolding of the classified DAG (a pure
+// tree yields exactly one interval per concept; a concept with multiple
+// direct subsumers is replicated under each, the standard treatment in
+// Constantinescu & Faltings). At discovery time:
+//
+//   subsumes(A, B)  ⇔  some interval of B lies inside some interval of A
+//   distance(A, B)  =   min depth(B-occurrence) − depth(A-occurrence)
+//                       over containing pairs (equals the taxonomy's
+//                       min-path level distance)
+//
+// Code tables carry a version tag derived from (ontology URI, ontology
+// version, encoding parameters); advertisements and requests embed the tag
+// so stale codes are detected after ontology evolution, per the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "encoding/interval.hpp"
+#include "encoding/lin_encoding.hpp"
+#include "ontology/ontology.hpp"
+#include "reasoner/taxonomy.hpp"
+
+namespace sariadne::encoding {
+
+using onto::ConceptId;
+
+/// One interval occurrence of a concept, tagged with its tree depth.
+struct CodedInterval {
+    Interval interval;
+    std::int32_t depth = 0;
+};
+
+/// All interval occurrences of one concept. Equivalent concepts share the
+/// same occurrence list (their representative's).
+struct ConceptCode {
+    std::vector<CodedInterval> occurrences;
+};
+
+class CodeTable {
+public:
+    CodeTable() = default;
+
+    /// Encodes a classified ontology. Throws sariadne::Error when interval
+    /// precision or the replication budget is exhausted (pathological DAGs).
+    static CodeTable build(const onto::Ontology& ontology,
+                           const reasoner::Taxonomy& taxonomy,
+                           const EncodingParams& params = {});
+
+    /// True iff `subsumer` subsumes `subsumee` (reflexive).
+    bool subsumes(ConceptId subsumer, ConceptId subsumee) const;
+
+    /// The paper's d() computed from codes: 0 when equivalent, minimum
+    /// level distance when subsumption holds, std::nullopt otherwise.
+    std::optional<int> distance(ConceptId subsumer, ConceptId subsumee) const;
+
+    const ConceptCode& code(ConceptId id) const;
+
+    std::size_t class_count() const noexcept { return codes_.size(); }
+
+    /// Total interval occurrences across all concepts (replication metric).
+    std::size_t total_occurrences() const noexcept { return total_occurrences_; }
+
+    /// Version tag embedded in advertisements/requests (§3.2 consistency).
+    std::uint64_t version_tag() const noexcept { return version_tag_; }
+
+    const std::string& ontology_uri() const noexcept { return ontology_uri_; }
+    std::uint32_t ontology_version() const noexcept { return ontology_version_; }
+    const EncodingParams& params() const noexcept { return params_; }
+
+    /// Replication budget: maximum interval occurrences per table.
+    static constexpr std::size_t kMaxTotalOccurrences = 1u << 20;
+
+private:
+    std::vector<ConceptId> canonical_;  // concept -> representative
+    std::vector<ConceptCode> codes_;    // indexed by representative id
+    std::size_t total_occurrences_ = 0;
+    std::uint64_t version_tag_ = 0;
+    std::string ontology_uri_;
+    std::uint32_t ontology_version_ = 0;
+    EncodingParams params_;
+};
+
+}  // namespace sariadne::encoding

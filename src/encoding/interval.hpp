@@ -1,0 +1,41 @@
+// Numeric interval used to encode classified concept hierarchies (§3.2 of
+// the paper, after Constantinescu & Faltings). Intervals are half-open
+// [lo, hi) sub-ranges of the unit interval; by construction they are either
+// nested or disjoint, never partially overlapping, so subsumption checking
+// reduces to containment — "a numeric comparison of codes".
+#pragma once
+
+namespace sariadne::encoding {
+
+struct Interval {
+    double lo = 0.0;
+    double hi = 0.0;
+
+    /// Width of the interval; zero width means encoding precision ran out.
+    double width() const noexcept { return hi - lo; }
+
+    bool empty() const noexcept { return hi <= lo; }
+
+    /// True iff `inner` is fully contained in (or equal to) this interval.
+    bool contains(const Interval& inner) const noexcept {
+        return lo <= inner.lo && inner.hi <= hi;
+    }
+
+    bool contains_point(double x) const noexcept { return lo <= x && x < hi; }
+
+    /// True iff the two intervals share at least one point.
+    bool overlaps(const Interval& other) const noexcept {
+        return lo < other.hi && other.lo < hi;
+    }
+
+    /// Maps `inner` (given in unit-interval coordinates) into this
+    /// interval's coordinate frame.
+    Interval project(const Interval& inner) const noexcept {
+        const double w = width();
+        return Interval{lo + inner.lo * w, lo + inner.hi * w};
+    }
+
+    friend bool operator==(const Interval&, const Interval&) noexcept = default;
+};
+
+}  // namespace sariadne::encoding

@@ -1,0 +1,29 @@
+#include "encoding/knowledge_base.hpp"
+
+namespace sariadne::encoding {
+
+const CodeTable& KnowledgeBase::code_table(OntologyIndex index) {
+    const onto::Ontology& ontology = registry_.at(index);
+    TableEntry& entry = tables_[ontology.uri()];
+    if (!entry.table || entry.version != ontology.version()) {
+        entry.table = std::make_unique<CodeTable>(
+            CodeTable::build(ontology, taxonomy(index), params_));
+        entry.version = ontology.version();
+    }
+    return *entry.table;
+}
+
+bool KnowledgeBase::subsumes(ConceptRef subsumer, ConceptRef subsumee) {
+    if (subsumer.ontology != subsumee.ontology) return false;
+    return code_table(subsumer.ontology)
+        .subsumes(subsumer.concept_id, subsumee.concept_id);
+}
+
+std::optional<int> KnowledgeBase::distance(ConceptRef subsumer,
+                                           ConceptRef subsumee) {
+    if (subsumer.ontology != subsumee.ontology) return std::nullopt;
+    return code_table(subsumer.ontology)
+        .distance(subsumer.concept_id, subsumee.concept_id);
+}
+
+}  // namespace sariadne::encoding

@@ -1,0 +1,101 @@
+// KnowledgeBase — the per-node semantic substrate: an ontology registry
+// plus lazily maintained classified taxonomies and interval code tables,
+// keyed by (URI, version). This is what a directory consults when it
+// publishes or matches capabilities: all reasoning happened offline when
+// the table was built, so the discovery-time operations are code
+// comparisons (§3.2) — the paper's central performance claim.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "encoding/code_table.hpp"
+#include "ontology/registry.hpp"
+#include "support/flat_set.hpp"
+#include "reasoner/taxonomy_cache.hpp"
+
+namespace sariadne::encoding {
+
+using onto::ConceptRef;
+using onto::OntologyIndex;
+
+class KnowledgeBase {
+public:
+    explicit KnowledgeBase(EncodingParams params = {},
+                           std::unique_ptr<reasoner::Reasoner> engine = nullptr)
+        : params_(params), taxonomies_(std::move(engine)) {}
+
+    /// Registers (or upgrades) an ontology; classification and encoding
+    /// happen lazily on first use.
+    OntologyIndex register_ontology(onto::Ontology ontology) {
+        return registry_.add(std::move(ontology));
+    }
+
+    const onto::OntologyRegistry& registry() const noexcept { return registry_; }
+
+    const onto::Ontology& ontology(OntologyIndex index) const {
+        return registry_.at(index);
+    }
+
+    /// Resolves "uri#LocalName"; throws LookupError when unknown.
+    ConceptRef resolve(std::string_view qualified_name) const {
+        return registry_.resolve(qualified_name);
+    }
+
+    std::string qualified_name(ConceptRef ref) const {
+        return registry_.qualified_name(ref);
+    }
+
+    /// Classified taxonomy of an ontology (cached per version).
+    const reasoner::Taxonomy& taxonomy(OntologyIndex index) {
+        return taxonomies_.taxonomy_of(registry_.at(index));
+    }
+
+    /// Interval code table of an ontology (cached per version).
+    const CodeTable& code_table(OntologyIndex index);
+
+    /// Subsumption across the knowledge base. Concepts from different
+    /// ontologies are unrelated by definition (the paper matches concepts
+    /// within the ontology they belong to).
+    bool subsumes(ConceptRef subsumer, ConceptRef subsumee);
+
+    /// The paper's d(concept1, concept2) evaluated on codes.
+    std::optional<int> distance(ConceptRef subsumer, ConceptRef subsumee);
+
+    /// Combined code-version tag of a set of ontologies: the tag a
+    /// description computed against this knowledge-base state should embed
+    /// (§3.2 "service advertisements and service requests specify the
+    /// version of the codes being used"). Changes whenever any referenced
+    /// ontology's version or the encoding parameters change.
+    std::uint64_t environment_tag(const FlatSet<OntologyIndex>& ontologies) {
+        std::uint64_t acc = 0x5EED0C0DE5ULL;
+        for (const OntologyIndex index : ontologies) {
+            acc = combine_unordered(acc, code_table(index).version_tag());
+        }
+        return mix64(acc);
+    }
+
+    /// Number of classification runs performed so far (cache misses) —
+    /// lets tests assert that the discovery fast path does no reasoning.
+    std::uint64_t classification_runs() const noexcept {
+        return taxonomies_.classifications();
+    }
+
+    const EncodingParams& params() const noexcept { return params_; }
+
+private:
+    struct TableEntry {
+        std::unique_ptr<CodeTable> table;
+        std::uint32_t version = 0;
+    };
+
+    EncodingParams params_;
+    onto::OntologyRegistry registry_;
+    reasoner::TaxonomyCache taxonomies_;
+    std::unordered_map<std::string, TableEntry> tables_;
+};
+
+}  // namespace sariadne::encoding

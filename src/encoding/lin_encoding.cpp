@@ -1,0 +1,75 @@
+#include "encoding/lin_encoding.hpp"
+
+#include <cmath>
+
+namespace sariadne::encoding {
+
+namespace {
+
+/// 1 / p^j computed by repeated division so the value degrades gracefully
+/// into the subnormal range instead of calling pow() (which may flush).
+double inv_pow(std::uint32_t p, std::uint64_t j) noexcept {
+    double value = 1.0;
+    const double base = static_cast<double>(p);
+    for (std::uint64_t i = 0; i < j && value > 0.0; ++i) value /= base;
+    return value;
+}
+
+}  // namespace
+
+double lin_k_invexp_p(std::uint64_t x, const EncodingParams& params) noexcept {
+    const std::uint64_t j = x / params.k;
+    const std::uint64_t r = x % params.k;
+    const double scale = inv_pow(params.p, j);
+    return scale + static_cast<double>(r) *
+                       (1.0 / static_cast<double>(params.k)) * scale;
+}
+
+Interval sibling_slot(std::uint64_t x, const EncodingParams& params) noexcept {
+    const std::uint64_t j = x / params.k;
+    const std::uint64_t r = x % params.k;
+    const double lo = lin_k_invexp_p(x, params) / 2.0;
+    // The high edge must be bit-identical to the next sibling's low edge or
+    // rounding (for p other than 2) makes adjacent slots overlap by one
+    // ulp. Within a block that is lin(x+1)/2 by construction; the last slot
+    // of block j ends exactly at the block top 1/p^j.
+    const double hi = (r + 1 == params.k) ? inv_pow(params.p, j)
+                                          : lin_k_invexp_p(x + 1, params) / 2.0;
+    return Interval{lo, hi};
+}
+
+std::uint64_t max_entries_per_level(const EncodingParams& params) noexcept {
+    // Walk x upward until the slot collapses (zero width) or stops being
+    // distinguishable from its successor (equal left edges).
+    std::uint64_t x = 0;
+    for (;;) {
+        const Interval slot = sibling_slot(x, params);
+        if (slot.empty()) return x;
+        // Within a block slots ascend by `step`; precision loss shows up as
+        // a successor in the same block landing on the same left edge.
+        const bool same_block = (x + 1) / params.k == x / params.k;
+        if (same_block && sibling_slot(x + 1, params).lo == slot.lo) return x + 1;
+        ++x;
+        if (x > 1u << 20) return x;  // defensive cap; never hit with sane params
+    }
+}
+
+std::uint64_t max_nesting_depth(const EncodingParams& params) noexcept {
+    // Chain of first-entry children: each level projects slot(0) into the
+    // previous interval. Stop when the interval collapses.
+    Interval current{0.0, 1.0};
+    const Interval first = sibling_slot(0, params);
+    std::uint64_t depth = 0;
+    for (;;) {
+        const Interval next = current.project(first);
+        if (next.empty() || next.width() <= 0.0) return depth;
+        // Also require the interval to remain distinguishable from its
+        // parent (strictly smaller), else containment tests degenerate.
+        if (next.lo == current.lo && next.hi == current.hi) return depth;
+        current = next;
+        ++depth;
+        if (depth > 1u << 20) return depth;  // defensive cap
+    }
+}
+
+}  // namespace sariadne::encoding

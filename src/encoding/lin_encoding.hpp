@@ -1,0 +1,47 @@
+// The paper's linear inverse exponential slot function (§3.2):
+//
+//   linKinvexpP(x) = 1/p^⌊x/k⌋ + (x mod k) · (1/k) · (1/p^⌊x/k⌋)
+//
+// With p = 2, k = 5 the sequence enumerates, for x = 0, 1, 2, …, the left
+// edges (scaled by 2) of an unbounded family of pairwise-disjoint slots
+// packed into the unit interval: block j = ⌊x/k⌋ tiles [1/(2·p^j), 1/p^j)
+// into k equal slots. A hierarchy node with sibling index x takes slot(x)
+// projected into its parent's interval, so arbitrarily many siblings fit
+// at every level without re-encoding existing nodes — the property the
+// paper needs for incremental service advertisement.
+#pragma once
+
+#include <cstdint>
+
+#include "encoding/interval.hpp"
+
+namespace sariadne::encoding {
+
+/// Encoding parameters. The paper evaluates p = 2, k = 5.
+struct EncodingParams {
+    std::uint32_t p = 2;  ///< per-block exponential decay base (>= 2)
+    std::uint32_t k = 5;  ///< slots per block (>= 1)
+
+    friend bool operator==(const EncodingParams&, const EncodingParams&) noexcept =
+        default;
+};
+
+/// The paper's linKinvexpP(x) value, in (0, 2].
+double lin_k_invexp_p(std::uint64_t x, const EncodingParams& params = {}) noexcept;
+
+/// Slot of sibling index x within the unit interval: half-open, pairwise
+/// disjoint across all x, and of width (1/k)·(1/p^⌊x/k⌋)/2. Returns an
+/// empty interval once double precision is exhausted.
+Interval sibling_slot(std::uint64_t x, const EncodingParams& params = {}) noexcept;
+
+/// Capacity analysis (§3.2): how many sibling slots are representable at
+/// one level before slots collapse to zero width or stop being
+/// distinguishable from their neighbours.
+std::uint64_t max_entries_per_level(const EncodingParams& params = {}) noexcept;
+
+/// Capacity analysis (§3.2): how deep a chain of first-entry children can
+/// nest before the innermost interval collapses. The paper reports 462
+/// levels for p = 2, k = 5 with 64-bit doubles.
+std::uint64_t max_nesting_depth(const EncodingParams& params = {}) noexcept;
+
+}  // namespace sariadne::encoding

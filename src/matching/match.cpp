@@ -1,0 +1,70 @@
+#include "matching/match.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace sariadne::matching {
+
+namespace {
+
+/// For every concept in `expected`, finds the minimum d(subsumer, subsumee)
+/// over `offered` — with the provider-side concept passed as `subsumer`
+/// according to `provider_expects`. Accumulates the sum into `total`;
+/// returns false as soon as one expected concept has no partner.
+bool cover_all(const std::vector<ConceptRef>& expected,
+               const std::vector<ConceptRef>& offered, bool provider_expects,
+               DistanceOracle& oracle, int& total) {
+    for (const ConceptRef want : expected) {
+        int best = std::numeric_limits<int>::max();
+        for (const ConceptRef have : offered) {
+            // Provider-side concept is always the subsumer (see header).
+            const auto d = provider_expects ? oracle.distance(want, have)
+                                            : oracle.distance(have, want);
+            if (d && *d < best) {
+                best = *d;
+                if (best == 0) break;  // cannot improve
+            }
+        }
+        if (best == std::numeric_limits<int>::max()) return false;
+        total += best;
+    }
+    return true;
+}
+
+}  // namespace
+
+MatchOutcome match_capability(const ResolvedCapability& provided,
+                              const ResolvedCapability& required,
+                              DistanceOracle& oracle) {
+    int total = 0;
+    // Inputs: the provider's expected inputs must all be supplied; the
+    // provider-side (expected) concept subsumes the offered one.
+    if (!cover_all(provided.inputs, required.inputs, /*provider_expects=*/true,
+                   oracle, total)) {
+        return {false, 0};
+    }
+    // Outputs: the requester's expected outputs must all be delivered; the
+    // provider-side (offered) concept subsumes the expected one.
+    if (!cover_all(required.outputs, provided.outputs, /*provider_expects=*/false,
+                   oracle, total)) {
+        return {false, 0};
+    }
+    // Properties (service category folded in): required ones must be
+    // provided; the provided concept subsumes the required one.
+    if (!cover_all(required.properties, provided.properties,
+                   /*provider_expects=*/false, oracle, total)) {
+        return {false, 0};
+    }
+    return {true, total};
+}
+
+bool equivalent_capabilities(const ResolvedCapability& a,
+                             const ResolvedCapability& b,
+                             DistanceOracle& oracle) {
+    const MatchOutcome forward = match_capability(a, b, oracle);
+    if (!forward.matched || forward.semantic_distance != 0) return false;
+    const MatchOutcome backward = match_capability(b, a, oracle);
+    return backward.matched && backward.semantic_distance == 0;
+}
+
+}  // namespace sariadne::matching

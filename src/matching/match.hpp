@@ -1,0 +1,79 @@
+// The paper's semantic matching relation (§2.3).
+//
+// Match(C1, C2) — C1 a provided capability, C2 a required one — holds iff
+//   * every input C1 expects is offered by C2: the expected (more generic)
+//     input concept subsumes some offered input concept,
+//   * every output C2 expects is offered by C1: the provided output concept
+//     subsumes the expected output concept, and
+//   * every property C2 requires (service category included) is provided by
+//     C1: the provided property concept subsumes the required one.
+//
+// (The paper's prose writes d(in, in') for the input clause; the worked
+// Figure 1 example — provided SendDigitalStream expecting DigitalResource
+// matching requested GetVideoStream offering VideoResource — fixes the
+// intended argument order: the *provider-side* concept is the subsumer in
+// all three clauses. We implement that order.)
+//
+// SemanticDistance(C1, C2) sums, over the matched pairs, the subsumption
+// level distance d(), taking for each expected element its best (minimum
+// distance) partner; it scores how closely an advertisement fits a request
+// (0 = exact fit) and orders capabilities inside the directory DAGs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "description/resolved.hpp"
+#include "ontology/ids.hpp"
+
+namespace sariadne::matching {
+
+using desc::ResolvedCapability;
+using onto::ConceptRef;
+
+/// Subsumption-distance provider: d(subsumer, subsumee) — 0 when
+/// equivalent, the number of classified-hierarchy levels when subsumption
+/// holds, std::nullopt (the paper's NULL) otherwise. Implementations:
+/// EncodedOracle (interval codes, the fast path) and TaxonomyOracle
+/// (reasoner output, used by the online matcher and as a test reference).
+class DistanceOracle {
+public:
+    virtual ~DistanceOracle() = default;
+
+    virtual std::optional<int> distance(ConceptRef subsumer,
+                                        ConceptRef subsumee) = 0;
+
+    /// Number of d() evaluations performed — the paper's "number of
+    /// semantic matches" cost metric at concept granularity.
+    std::uint64_t queries() const noexcept { return queries_; }
+
+protected:
+    std::uint64_t queries_ = 0;
+};
+
+/// Result of one capability match.
+struct MatchOutcome {
+    bool matched = false;
+    int semantic_distance = 0;  ///< meaningful only when matched
+};
+
+/// Evaluates Match(provided, required) and, when it holds, the semantic
+/// distance. Returns {false, 0} otherwise.
+MatchOutcome match_capability(const ResolvedCapability& provided,
+                              const ResolvedCapability& required,
+                              DistanceOracle& oracle);
+
+/// Convenience: true iff Match(provided, required) holds.
+inline bool matches(const ResolvedCapability& provided,
+                    const ResolvedCapability& required, DistanceOracle& oracle) {
+    return match_capability(provided, required, oracle).matched;
+}
+
+/// True iff the two capabilities are equivalent in the paper's §3.3 sense:
+/// Match holds both ways with distance 0 both ways (they collapse into one
+/// DAG vertex).
+bool equivalent_capabilities(const ResolvedCapability& a,
+                             const ResolvedCapability& b,
+                             DistanceOracle& oracle);
+
+}  // namespace sariadne::matching

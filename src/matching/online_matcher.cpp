@@ -1,0 +1,75 @@
+#include "matching/online_matcher.hpp"
+
+#include "ontology/loader.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sariadne::matching {
+
+namespace {
+
+/// Oracle over freshly classified taxonomies, one per registered ontology.
+class FreshTaxonomyOracle final : public DistanceOracle {
+public:
+    explicit FreshTaxonomyOracle(std::vector<reasoner::Taxonomy> taxonomies)
+        : taxonomies_(std::move(taxonomies)) {}
+
+    std::optional<int> distance(ConceptRef subsumer, ConceptRef subsumee) override {
+        ++queries_;
+        if (subsumer.ontology != subsumee.ontology) return std::nullopt;
+        return taxonomies_[subsumer.ontology].distance(subsumer.concept_id,
+                                                       subsumee.concept_id);
+    }
+
+private:
+    std::vector<reasoner::Taxonomy> taxonomies_;
+};
+
+}  // namespace
+
+OnlineMatcher::OnlineMatcher(std::vector<std::string> ontology_documents,
+                             std::unique_ptr<reasoner::Reasoner> engine)
+    : documents_(std::move(ontology_documents)), engine_(std::move(engine)) {}
+
+OnlineMatcher::~OnlineMatcher() = default;
+OnlineMatcher::OnlineMatcher(OnlineMatcher&&) noexcept = default;
+OnlineMatcher& OnlineMatcher::operator=(OnlineMatcher&&) noexcept = default;
+
+MatchOutcome OnlineMatcher::match(const desc::Capability& provided,
+                                  const desc::Capability& required) {
+    timing_ = OnlineMatchTiming{};
+
+    // Step 1: parse ontology documents (every time — nothing is cached).
+    Stopwatch stopwatch;
+    std::vector<onto::Ontology> parsed;
+    parsed.reserve(documents_.size());
+    for (const std::string& doc : documents_) {
+        parsed.push_back(onto::load_ontology(doc));
+    }
+    timing_.parse_ms = stopwatch.elapsed_ms();
+
+    // Step 2: load into a fresh registry and classify with the reasoner.
+    stopwatch.restart();
+    onto::OntologyRegistry registry;
+    for (auto& ontology : parsed) registry.add(std::move(ontology));
+    std::vector<reasoner::Taxonomy> taxonomies;
+    taxonomies.reserve(registry.size());
+    for (onto::OntologyIndex i = 0; i < registry.size(); ++i) {
+        taxonomies.push_back(engine_->classify(registry.at(i)));
+    }
+    timing_.load_classify_ms = stopwatch.elapsed_ms();
+
+    // Step 3: resolve and query subsumption between the paired concepts.
+    stopwatch.restart();
+    const desc::ResolvedCapability resolved_provided =
+        desc::resolve_capability(provided, registry);
+    const desc::ResolvedCapability resolved_required =
+        desc::resolve_capability(required, registry);
+    FreshTaxonomyOracle oracle(std::move(taxonomies));
+    const MatchOutcome outcome =
+        match_capability(resolved_provided, resolved_required, oracle);
+    timing_.query_ms = stopwatch.elapsed_ms();
+    timing_.subsumption_queries = oracle.queries();
+    return outcome;
+}
+
+}  // namespace sariadne::matching

@@ -1,0 +1,49 @@
+// DistanceOracle implementations.
+//
+//   EncodedOracle  — interval-code comparison against a KnowledgeBase; no
+//                    reasoning at query time (the paper's optimized path).
+//   TaxonomyOracle — BFS level distance on classified taxonomies; used as
+//                    the correctness reference (encoded results must agree)
+//                    and by the online matcher.
+#pragma once
+
+#include "encoding/knowledge_base.hpp"
+#include "matching/match.hpp"
+#include "ontology/registry.hpp"
+#include "reasoner/taxonomy_cache.hpp"
+
+namespace sariadne::matching {
+
+class EncodedOracle final : public DistanceOracle {
+public:
+    explicit EncodedOracle(encoding::KnowledgeBase& kb) noexcept : kb_(&kb) {}
+
+    std::optional<int> distance(ConceptRef subsumer, ConceptRef subsumee) override {
+        ++queries_;
+        return kb_->distance(subsumer, subsumee);
+    }
+
+private:
+    encoding::KnowledgeBase* kb_;
+};
+
+class TaxonomyOracle final : public DistanceOracle {
+public:
+    TaxonomyOracle(const onto::OntologyRegistry& registry,
+                   reasoner::TaxonomyCache& taxonomies) noexcept
+        : registry_(&registry), taxonomies_(&taxonomies) {}
+
+    std::optional<int> distance(ConceptRef subsumer, ConceptRef subsumee) override {
+        ++queries_;
+        if (subsumer.ontology != subsumee.ontology) return std::nullopt;
+        const reasoner::Taxonomy& taxonomy =
+            taxonomies_->taxonomy_of(registry_->at(subsumer.ontology));
+        return taxonomy.distance(subsumer.concept_id, subsumee.concept_id);
+    }
+
+private:
+    const onto::OntologyRegistry* registry_;
+    reasoner::TaxonomyCache* taxonomies_;
+};
+
+}  // namespace sariadne::matching

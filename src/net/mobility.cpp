@@ -1,0 +1,52 @@
+#include "net/mobility.hpp"
+
+#include <cmath>
+
+namespace sariadne::net {
+
+RandomWaypointMobility::RandomWaypointMobility(Simulator& sim,
+                                               MobilityConfig config)
+    : sim_(&sim), config_(config), rng_(config.seed) {
+    motion_.resize(sim.topology().node_count());
+    for (auto& m : motion_) {
+        m.waypoint = Position{rng_.uniform(), rng_.uniform()};
+    }
+}
+
+void RandomWaypointMobility::start() {
+    sim_->schedule(config_.step_ms, [this] { step(); });
+}
+
+void RandomWaypointMobility::step() {
+    ++steps_;
+    Topology& topo = sim_->topology();
+    const double stride = config_.speed * config_.step_ms / 1000.0;
+    bool moved = false;
+
+    for (NodeId node = 0; node < topo.node_count(); ++node) {
+        if (topo.is_infrastructure(node) || !topo.is_up(node)) continue;
+        NodeMotion& m = motion_[node];
+        if (sim_->now() < m.pause_until_ms) continue;
+
+        const Position at = topo.position(node);
+        const double dx = m.waypoint.x - at.x;
+        const double dy = m.waypoint.y - at.y;
+        const double remaining = std::sqrt(dx * dx + dy * dy);
+        if (remaining <= stride) {
+            topo.set_position(node, m.waypoint);
+            travelled_ += remaining;
+            m.waypoint = Position{rng_.uniform(), rng_.uniform()};
+            m.pause_until_ms = sim_->now() + config_.pause_ms;
+        } else {
+            topo.set_position(node, Position{at.x + dx / remaining * stride,
+                                             at.y + dy / remaining * stride});
+            travelled_ += stride;
+        }
+        moved = true;
+    }
+
+    if (moved) topo.rebuild_radio_links(config_.radio_range);
+    sim_->schedule(config_.step_ms, [this] { step(); });
+}
+
+}  // namespace sariadne::net

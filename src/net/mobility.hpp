@@ -1,0 +1,55 @@
+// Random-waypoint mobility — the standard MANET motion model. Every
+// battery node picks a waypoint uniformly in the unit square, moves toward
+// it at its speed, pauses briefly, then picks the next one. Infrastructure
+// nodes (access points) never move. Each step advances positions by
+// speed × step and re-derives the radio links, so routes, vicinities and
+// directory coverage genuinely change under the discovery protocol — the
+// dynamics the paper's election scheme is built for.
+#pragma once
+
+#include <vector>
+
+#include "net/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace sariadne::net {
+
+struct MobilityConfig {
+    double speed = 0.01;        ///< unit-square lengths per second
+    double step_ms = 500;       ///< simulation step between updates
+    double radio_range = 0.25;  ///< range used when re-deriving links
+    double pause_ms = 1000;     ///< dwell time at each waypoint
+    std::uint64_t seed = 42;
+};
+
+/// Drives random-waypoint motion on a simulator's topology. Construct,
+/// then start(); steps self-schedule until the simulator stops running.
+class RandomWaypointMobility {
+public:
+    RandomWaypointMobility(Simulator& sim, MobilityConfig config);
+
+    /// Schedules the first step.
+    void start();
+
+    /// Total distance travelled by all nodes so far (diagnostics).
+    double distance_travelled() const noexcept { return travelled_; }
+
+    std::uint64_t steps() const noexcept { return steps_; }
+
+private:
+    struct NodeMotion {
+        Position waypoint;
+        double pause_until_ms = 0;
+    };
+
+    void step();
+
+    Simulator* sim_;
+    MobilityConfig config_;
+    Rng rng_;
+    std::vector<NodeMotion> motion_;
+    double travelled_ = 0;
+    std::uint64_t steps_ = 0;
+};
+
+}  // namespace sariadne::net

@@ -1,0 +1,122 @@
+// Network topology for the discrete-event simulator: nodes with planar
+// positions and bidirectional radio links. Two standard constructions are
+// provided — a connected random geometric graph (the usual MANET model:
+// nodes scattered in the unit square, linked when within radio range) and
+// a grid (deterministic worst-case diameter). Nodes can go down and come
+// back, modelling the churn that drives directory re-election.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace sariadne::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+struct Position {
+    double x = 0;
+    double y = 0;
+};
+
+class Topology {
+public:
+    /// Connected random geometric graph: `count` nodes uniform in the unit
+    /// square, linked when within `radio_range`. Re-samples (bounded
+    /// retries) until the graph is connected; grows the range slightly if
+    /// connectivity cannot be reached at the requested one.
+    static Topology random_geometric(std::size_t count, double radio_range,
+                                     Rng& rng);
+
+    /// width x height grid with unit spacing scaled into the unit square;
+    /// 4-neighbour links.
+    static Topology grid(std::size_t width, std::size_t height);
+
+    /// Hybrid ad-hoc + infrastructure network (the paper's setting):
+    /// `wireless_count` mobile nodes as a random geometric graph, plus
+    /// `ap_count` mains-powered access points on a regular grid, wired to
+    /// each other in a full mesh with `wired_weight`-cheap links (< 1 radio
+    /// hop each) and reachable over radio from nearby mobiles. Access
+    /// points occupy the first `ap_count` node ids and are flagged
+    /// infrastructure.
+    static Topology hybrid(std::size_t wireless_count, std::size_t ap_count,
+                           double radio_range, Rng& rng,
+                           double wired_weight = 0.2);
+
+    /// True for mains-powered infrastructure nodes (access points).
+    bool is_infrastructure(NodeId node) const {
+        SARIADNE_EXPECTS(node < infrastructure_.size());
+        return infrastructure_[node] != 0;
+    }
+
+    void set_infrastructure(NodeId node, bool value) {
+        SARIADNE_EXPECTS(node < infrastructure_.size());
+        infrastructure_[node] = value ? 1 : 0;
+    }
+
+    /// Latency-weighted distance between up-nodes (radio hop = 1.0, wired
+    /// link = its weight); -1 when unreachable. This is what the
+    /// simulator charges for unicasts.
+    double path_cost(NodeId from, NodeId to) const;
+
+    /// Weighted costs from `from` to every node (-1 when unreachable).
+    std::vector<double> path_costs(NodeId from) const;
+
+    std::size_t node_count() const noexcept { return adjacency_.size(); }
+
+    const std::vector<NodeId>& neighbors(NodeId node) const {
+        SARIADNE_EXPECTS(node < adjacency_.size());
+        return adjacency_[node];
+    }
+
+    Position position(NodeId node) const {
+        SARIADNE_EXPECTS(node < positions_.size());
+        return positions_[node];
+    }
+
+    bool is_up(NodeId node) const {
+        SARIADNE_EXPECTS(node < up_.size());
+        return up_[node];
+    }
+
+    void set_up(NodeId node, bool up) {
+        SARIADNE_EXPECTS(node < up_.size());
+        up_[node] = up;
+    }
+
+    /// Hop distance between two up-nodes through up-nodes only;
+    /// -1 when unreachable.
+    int hop_distance(NodeId from, NodeId to) const;
+
+    /// Hop distances from `from` to every node (-1 when unreachable).
+    std::vector<int> hop_distances(NodeId from) const;
+
+    /// True if all up-nodes form one connected component.
+    bool connected() const;
+
+    void add_link(NodeId a, NodeId b, double weight = 1.0);
+
+    /// Moves a node (mobility models drive this through the simulator).
+    void set_position(NodeId node, Position pos) {
+        SARIADNE_EXPECTS(node < positions_.size());
+        positions_[node] = pos;
+    }
+
+    /// Drops all radio links and re-derives them from current positions
+    /// (nodes within `radio_range` link). Wired infrastructure links
+    /// (weight != 1.0 between infrastructure nodes) survive — mobility
+    /// never rewires the mains-powered backbone.
+    void rebuild_radio_links(double radio_range);
+
+private:
+    std::vector<Position> positions_;
+    std::vector<std::vector<NodeId>> adjacency_;
+    std::vector<std::vector<double>> weights_;  // parallel to adjacency_
+    std::vector<char> up_;
+    std::vector<char> infrastructure_;
+};
+
+}  // namespace sariadne::net

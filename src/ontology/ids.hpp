@@ -1,0 +1,76 @@
+// Identifier vocabulary for the ontology layer. Concepts and properties are
+// dense per-ontology indices; a QualifiedName ("<ontology-uri>#<local>")
+// is the wire-format reference used inside service descriptions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/errors.hpp"
+
+namespace sariadne::onto {
+
+/// Index of a class within one ontology.
+using ConceptId = std::uint32_t;
+
+/// Index of a property within one ontology.
+using PropertyId = std::uint32_t;
+
+/// Index of an ontology within a registry / knowledge base.
+using OntologyIndex = std::uint32_t;
+
+inline constexpr ConceptId kNoConcept = 0xFFFFFFFFu;
+inline constexpr OntologyIndex kNoOntology = 0xFFFFFFFFu;
+
+/// A concept fully qualified across ontologies: which registered ontology
+/// it lives in and its index there. Comparable and hashable so it can key
+/// directory structures.
+struct ConceptRef {
+    OntologyIndex ontology = kNoOntology;
+    ConceptId concept_id = kNoConcept;
+
+    bool valid() const noexcept {
+        return ontology != kNoOntology && concept_id != kNoConcept;
+    }
+
+    friend bool operator==(ConceptRef, ConceptRef) noexcept = default;
+    friend auto operator<=>(ConceptRef, ConceptRef) noexcept = default;
+};
+
+/// Splits "uri#Local" into its two parts. Throws ParseError when the '#'
+/// separator is missing or either side is empty.
+struct QualifiedName {
+    std::string_view ontology_uri;
+    std::string_view local_name;
+
+    static QualifiedName split(std::string_view qualified) {
+        const auto hash_pos = qualified.rfind('#');
+        if (hash_pos == std::string_view::npos || hash_pos == 0 ||
+            hash_pos + 1 == qualified.size()) {
+            throw ParseError("malformed qualified concept name '" +
+                             std::string(qualified) +
+                             "' (expected '<ontology-uri>#<local-name>')");
+        }
+        return QualifiedName{qualified.substr(0, hash_pos),
+                             qualified.substr(hash_pos + 1)};
+    }
+
+    static std::string join(std::string_view uri, std::string_view local) {
+        std::string out;
+        out.reserve(uri.size() + 1 + local.size());
+        out += uri;
+        out += '#';
+        out += local;
+        return out;
+    }
+};
+
+}  // namespace sariadne::onto
+
+template <>
+struct std::hash<sariadne::onto::ConceptRef> {
+    std::size_t operator()(const sariadne::onto::ConceptRef& ref) const noexcept {
+        return (static_cast<std::size_t>(ref.ontology) << 32) ^ ref.concept_id;
+    }
+};

@@ -1,0 +1,167 @@
+#include "ontology/loader.hpp"
+
+#include <charconv>
+
+#include "support/errors.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace sariadne::onto {
+
+namespace {
+
+std::uint32_t parse_version(std::string_view text) {
+    std::uint32_t value = 1;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+        throw ParseError("malformed ontology version '" + std::string(text) + "'");
+    }
+    return value;
+}
+
+ConceptId resolve_class(const Ontology& ontology, const xml::XmlNode& node) {
+    return ontology.require_class(node.required_attribute("name"));
+}
+
+}  // namespace
+
+Ontology load_ontology(const xml::XmlNode& root) {
+    if (root.name() != "ontology") {
+        throw ParseError("expected <ontology> root element, got <" + root.name() +
+                         ">");
+    }
+    Ontology ontology(std::string(root.required_attribute("uri")),
+                      parse_version(root.attribute_or("version", "1")));
+
+    // Pass 1: declare every class and property so axioms may forward-reference.
+    for (const auto& node : root.children()) {
+        if (node.name() == "class") {
+            ontology.add_class(node.required_attribute("name"));
+        } else if (node.name() == "property") {
+            ontology.add_property(node.required_attribute("name"));
+        } else {
+            throw ParseError("unexpected element <" + node.name() +
+                             "> inside <ontology>");
+        }
+    }
+
+    // Pass 2: resolve axioms.
+    for (const auto& node : root.children()) {
+        if (node.name() == "class") {
+            const ConceptId self = ontology.require_class(node.required_attribute("name"));
+            for (const auto& axiom : node.children()) {
+                if (axiom.name() == "subClassOf") {
+                    ontology.add_subclass_of(self, resolve_class(ontology, axiom));
+                } else if (axiom.name() == "equivalentTo") {
+                    ontology.add_equivalent(self, resolve_class(ontology, axiom));
+                } else if (axiom.name() == "disjointWith") {
+                    ontology.add_disjoint(self, resolve_class(ontology, axiom));
+                } else if (axiom.name() == "equivalentToIntersection") {
+                    std::vector<ConceptId> parts;
+                    for (const auto& part : axiom.children()) {
+                        if (part.name() != "of") {
+                            throw ParseError("expected <of> inside "
+                                             "<equivalentToIntersection>");
+                        }
+                        parts.push_back(resolve_class(ontology, part));
+                    }
+                    ontology.define_intersection(self, std::move(parts));
+                } else {
+                    throw ParseError("unknown class axiom <" + axiom.name() + ">");
+                }
+            }
+        } else {  // property
+            const PropertyId self =
+                ontology.add_property(node.required_attribute("name"));
+            for (const auto& axiom : node.children()) {
+                if (axiom.name() == "domain") {
+                    ontology.set_property_domain(self, resolve_class(ontology, axiom));
+                } else if (axiom.name() == "range") {
+                    ontology.set_property_range(self, resolve_class(ontology, axiom));
+                } else if (axiom.name() == "subPropertyOf") {
+                    const PropertyId parent =
+                        ontology.find_property(axiom.required_attribute("name"));
+                    if (parent == kNoConcept) {
+                        throw LookupError("unknown property '" +
+                                          std::string(axiom.required_attribute("name")) +
+                                          "'");
+                    }
+                    ontology.add_subproperty_of(self, parent);
+                } else {
+                    throw ParseError("unknown property axiom <" + axiom.name() + ">");
+                }
+            }
+        }
+    }
+    return ontology;
+}
+
+Ontology load_ontology(std::string_view xml_text) {
+    const xml::XmlDocument doc = xml::parse(xml_text);
+    return load_ontology(doc.root);
+}
+
+std::string save_ontology(const Ontology& ontology) {
+    xml::XmlNode root("ontology");
+    root.set_attribute("uri", ontology.uri());
+    root.set_attribute("version", std::to_string(ontology.version()));
+
+    for (const auto& decl : ontology.classes()) {
+        xml::XmlNode node("class");
+        node.set_attribute("name", decl.name);
+        for (const ConceptId parent : decl.told_parents) {
+            xml::XmlNode axiom("subClassOf");
+            axiom.set_attribute("name", std::string(ontology.class_name(parent)));
+            node.add_child(std::move(axiom));
+        }
+        for (const ConceptId eq : decl.equivalents) {
+            // Equivalence is stored symmetrically; emit each pair once.
+            if (eq < ontology.find_class(decl.name)) continue;
+            xml::XmlNode axiom("equivalentTo");
+            axiom.set_attribute("name", std::string(ontology.class_name(eq)));
+            node.add_child(std::move(axiom));
+        }
+        for (const ConceptId dis : decl.disjoints) {
+            if (dis < ontology.find_class(decl.name)) continue;
+            xml::XmlNode axiom("disjointWith");
+            axiom.set_attribute("name", std::string(ontology.class_name(dis)));
+            node.add_child(std::move(axiom));
+        }
+        if (!decl.intersection_of.empty()) {
+            xml::XmlNode axiom("equivalentToIntersection");
+            for (const ConceptId part : decl.intersection_of) {
+                xml::XmlNode of("of");
+                of.set_attribute("name", std::string(ontology.class_name(part)));
+                axiom.add_child(std::move(of));
+            }
+            node.add_child(std::move(axiom));
+        }
+        root.add_child(std::move(node));
+    }
+
+    for (const auto& decl : ontology.properties()) {
+        xml::XmlNode node("property");
+        node.set_attribute("name", decl.name);
+        if (decl.domain != kNoConcept) {
+            xml::XmlNode axiom("domain");
+            axiom.set_attribute("name", std::string(ontology.class_name(decl.domain)));
+            node.add_child(std::move(axiom));
+        }
+        if (decl.range != kNoConcept) {
+            xml::XmlNode axiom("range");
+            axiom.set_attribute("name", std::string(ontology.class_name(decl.range)));
+            node.add_child(std::move(axiom));
+        }
+        for (const PropertyId parent : decl.told_parents) {
+            xml::XmlNode axiom("subPropertyOf");
+            axiom.set_attribute("name", ontology.property_decl(parent).name);
+            node.add_child(std::move(axiom));
+        }
+        root.add_child(std::move(node));
+    }
+
+    return xml::write(root);
+}
+
+}  // namespace sariadne::onto

@@ -1,0 +1,42 @@
+// XML (de)serialization of ontologies. Document shape:
+//
+//   <ontology uri="http://example.org/media" version="3">
+//     <class name="Resource"/>
+//     <class name="VideoResource">
+//       <subClassOf name="DigitalResource"/>
+//     </class>
+//     <class name="HDMovie">
+//       <equivalentToIntersection>
+//         <of name="VideoResource"/> <of name="HighDefinition"/>
+//       </equivalentToIntersection>
+//       <disjointWith name="AudioResource"/>
+//     </class>
+//     <class name="Film"><equivalentTo name="Movie"/></class>
+//     <property name="hasTitle">
+//       <domain name="Resource"/> <range name="Title"/>
+//       <subPropertyOf name="hasLabel"/>
+//     </property>
+//   </ontology>
+//
+// Forward references are allowed: all names are declared in a first pass
+// and axioms resolved in a second.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ontology/ontology.hpp"
+#include "xml/node.hpp"
+
+namespace sariadne::onto {
+
+/// Parses an ontology from XML text. Throws ParseError / LookupError.
+Ontology load_ontology(std::string_view xml_text);
+
+/// Builds an ontology from an already-parsed DOM subtree.
+Ontology load_ontology(const xml::XmlNode& root);
+
+/// Serializes an ontology back to XML.
+std::string save_ontology(const Ontology& ontology);
+
+}  // namespace sariadne::onto

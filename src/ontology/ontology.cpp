@@ -1,0 +1,130 @@
+#include "ontology/ontology.hpp"
+
+#include <algorithm>
+
+namespace sariadne::onto {
+
+namespace {
+
+void push_unique(std::vector<ConceptId>& items, ConceptId value) {
+    if (std::find(items.begin(), items.end(), value) == items.end()) {
+        items.push_back(value);
+    }
+}
+
+void push_unique_prop(std::vector<PropertyId>& items, PropertyId value) {
+    if (std::find(items.begin(), items.end(), value) == items.end()) {
+        items.push_back(value);
+    }
+}
+
+}  // namespace
+
+ConceptId Ontology::add_class(std::string_view name) {
+    SARIADNE_EXPECTS(!name.empty());
+    if (const ConceptId existing = find_class(name); existing != kNoConcept) {
+        return existing;
+    }
+    classes_.push_back(ClassDecl{std::string(name), {}, {}, {}, {}});
+    const auto id = static_cast<ConceptId>(classes_.size() - 1);
+    class_index_.emplace(std::string(name), id);
+    return id;
+}
+
+PropertyId Ontology::add_property(std::string_view name) {
+    SARIADNE_EXPECTS(!name.empty());
+    if (const PropertyId existing = find_property(name); existing != kNoConcept) {
+        return existing;
+    }
+    properties_.push_back(PropertyDecl{std::string(name), kNoConcept, kNoConcept, {}});
+    const auto id = static_cast<PropertyId>(properties_.size() - 1);
+    property_index_.emplace(std::string(name), id);
+    return id;
+}
+
+void Ontology::add_subclass_of(ConceptId child, ConceptId parent) {
+    SARIADNE_EXPECTS(child < classes_.size() && parent < classes_.size());
+    SARIADNE_EXPECTS(child != parent);
+    push_unique(classes_[child].told_parents, parent);
+}
+
+void Ontology::add_equivalent(ConceptId a, ConceptId b) {
+    SARIADNE_EXPECTS(a < classes_.size() && b < classes_.size());
+    SARIADNE_EXPECTS(a != b);
+    push_unique(classes_[a].equivalents, b);
+    push_unique(classes_[b].equivalents, a);
+}
+
+void Ontology::add_disjoint(ConceptId a, ConceptId b) {
+    SARIADNE_EXPECTS(a < classes_.size() && b < classes_.size());
+    SARIADNE_EXPECTS(a != b);
+    push_unique(classes_[a].disjoints, b);
+    push_unique(classes_[b].disjoints, a);
+}
+
+void Ontology::define_intersection(ConceptId defined,
+                                   std::vector<ConceptId> parts) {
+    SARIADNE_EXPECTS(defined < classes_.size());
+    for (const ConceptId part : parts) {
+        SARIADNE_EXPECTS(part < classes_.size());
+        SARIADNE_EXPECTS(part != defined);
+    }
+    // Deduplicate: downstream engines count distinct satisfied parts.
+    std::sort(parts.begin(), parts.end());
+    parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+    SARIADNE_EXPECTS(parts.size() >= 2);
+    classes_[defined].intersection_of = std::move(parts);
+}
+
+void Ontology::set_property_domain(PropertyId prop, ConceptId domain) {
+    SARIADNE_EXPECTS(prop < properties_.size() && domain < classes_.size());
+    properties_[prop].domain = domain;
+}
+
+void Ontology::set_property_range(PropertyId prop, ConceptId range) {
+    SARIADNE_EXPECTS(prop < properties_.size() && range < classes_.size());
+    properties_[prop].range = range;
+}
+
+void Ontology::add_subproperty_of(PropertyId child, PropertyId parent) {
+    SARIADNE_EXPECTS(child < properties_.size() && parent < properties_.size());
+    SARIADNE_EXPECTS(child != parent);
+    push_unique_prop(properties_[child].told_parents, parent);
+}
+
+ConceptId Ontology::find_class(std::string_view name) const noexcept {
+    const auto it = class_index_.find(std::string(name));
+    return it == class_index_.end() ? kNoConcept : it->second;
+}
+
+ConceptId Ontology::require_class(std::string_view name) const {
+    const ConceptId id = find_class(name);
+    if (id == kNoConcept) {
+        throw LookupError("ontology '" + uri_ + "' has no class named '" +
+                          std::string(name) + "'");
+    }
+    return id;
+}
+
+PropertyId Ontology::find_property(std::string_view name) const noexcept {
+    const auto it = property_index_.find(std::string(name));
+    return it == property_index_.end() ? kNoConcept : it->second;
+}
+
+std::size_t Ontology::axiom_count() const noexcept {
+    std::size_t count = 0;
+    for (const auto& decl : classes_) {
+        count += decl.told_parents.size();
+        count += decl.equivalents.size();  // counted from both sides; fine for costing
+        count += decl.disjoints.size();
+        count += decl.intersection_of.size();
+    }
+    for (const auto& decl : properties_) {
+        count += decl.told_parents.size();
+        count += (decl.domain != kNoConcept ? 1u : 0u);
+        count += (decl.range != kNoConcept ? 1u : 0u);
+    }
+    return count;
+}
+
+}  // namespace sariadne::onto

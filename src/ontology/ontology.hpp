@@ -1,0 +1,121 @@
+// The ontology TBox model: named classes and properties plus the axiom
+// fragment the discovery system reasons over. The fragment is an OWL-Lite
+// style subset —
+//   * told subsumption:        SubClassOf(A, B)
+//   * class equivalence:       EquivalentClass(A, B)
+//   * complete definitions:    EquivalentToIntersection(A, {B1..Bn})
+//   * disjointness:            DisjointWith(A, B)
+//   * object properties with domain/range and property subsumption
+// — which is what Amigo-S service profiles in the paper draw on, and is
+// rich enough that classification (reasoner/) performs non-trivial
+// inference (intersection introduction, equivalence merging, disjointness
+// consistency checking).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ontology/ids.hpp"
+#include "support/contracts.hpp"
+
+namespace sariadne::onto {
+
+/// A named class declaration.
+struct ClassDecl {
+    std::string name;
+    /// Told direct superclasses (SubClassOf axioms with this class on the left).
+    std::vector<ConceptId> told_parents;
+    /// Classes declared equivalent to this one.
+    std::vector<ConceptId> equivalents;
+    /// Classes declared disjoint with this one.
+    std::vector<ConceptId> disjoints;
+    /// If non-empty: this class is *defined* as the intersection of these
+    /// classes (a complete definition, enabling subsumer introduction).
+    std::vector<ConceptId> intersection_of;
+};
+
+/// A named object property declaration.
+struct PropertyDecl {
+    std::string name;
+    ConceptId domain = kNoConcept;
+    ConceptId range = kNoConcept;
+    std::vector<PropertyId> told_parents;
+};
+
+/// One ontology document: a URI-named, versioned collection of class and
+/// property declarations. Pure data; classification lives in reasoner/.
+class Ontology {
+public:
+    Ontology() = default;
+    Ontology(std::string uri, std::uint32_t version = 1)
+        : uri_(std::move(uri)), version_(version) {}
+
+    const std::string& uri() const noexcept { return uri_; }
+    std::uint32_t version() const noexcept { return version_; }
+    void set_version(std::uint32_t version) noexcept { version_ = version; }
+
+    // --- construction ---------------------------------------------------
+    /// Declares a class; returns its id. Re-declaring a name returns the
+    /// existing id (declarations are idempotent).
+    ConceptId add_class(std::string_view name);
+
+    /// Declares an object property; returns its id (idempotent by name).
+    PropertyId add_property(std::string_view name);
+
+    void add_subclass_of(ConceptId child, ConceptId parent);
+    void add_equivalent(ConceptId a, ConceptId b);
+    void add_disjoint(ConceptId a, ConceptId b);
+    void define_intersection(ConceptId defined, std::vector<ConceptId> parts);
+
+    void set_property_domain(PropertyId prop, ConceptId domain);
+    void set_property_range(PropertyId prop, ConceptId range);
+    void add_subproperty_of(PropertyId child, PropertyId parent);
+
+    // --- lookup -----------------------------------------------------------
+    /// Id of the named class, or kNoConcept.
+    ConceptId find_class(std::string_view name) const noexcept;
+
+    /// Id of the named class; throws LookupError if absent.
+    ConceptId require_class(std::string_view name) const;
+
+    PropertyId find_property(std::string_view name) const noexcept;
+
+    const ClassDecl& class_decl(ConceptId id) const {
+        SARIADNE_EXPECTS(id < classes_.size());
+        return classes_[id];
+    }
+
+    const PropertyDecl& property_decl(PropertyId id) const {
+        SARIADNE_EXPECTS(id < properties_.size());
+        return properties_[id];
+    }
+
+    std::string_view class_name(ConceptId id) const { return class_decl(id).name; }
+
+    std::size_t class_count() const noexcept { return classes_.size(); }
+    std::size_t property_count() const noexcept { return properties_.size(); }
+
+    /// Total number of class axioms (subclass + equivalence + disjointness +
+    /// intersection parts) — used by reasoner cost accounting.
+    std::size_t axiom_count() const noexcept;
+
+    const std::vector<ClassDecl>& classes() const noexcept { return classes_; }
+    const std::vector<PropertyDecl>& properties() const noexcept {
+        return properties_;
+    }
+
+private:
+    std::string uri_;
+    std::uint32_t version_ = 1;
+    std::vector<ClassDecl> classes_;
+    std::vector<PropertyDecl> properties_;
+    // Name lookup index: resolution happens per concept mention during
+    // publishing, so O(1) lookup matters for Figure 7/8 realism.
+    std::unordered_map<std::string, ConceptId> class_index_;
+    std::unordered_map<std::string, PropertyId> property_index_;
+};
+
+}  // namespace sariadne::onto

@@ -1,0 +1,55 @@
+#include "ontology/registry.hpp"
+
+#include "support/errors.hpp"
+
+namespace sariadne::onto {
+
+OntologyIndex OntologyRegistry::add(Ontology ontology) {
+    ++epoch_;
+    const auto it = by_uri_.find(ontology.uri());
+    if (it != by_uri_.end()) {
+        *ontologies_[it->second] = std::move(ontology);
+        return it->second;
+    }
+    const auto index = static_cast<OntologyIndex>(ontologies_.size());
+    by_uri_.emplace(ontology.uri(), index);
+    ontologies_.push_back(std::make_unique<Ontology>(std::move(ontology)));
+    return index;
+}
+
+OntologyIndex OntologyRegistry::find(std::string_view uri) const noexcept {
+    // Transparent lookup would avoid the temporary string; the registry is
+    // tiny and cold, so keep the simple map interface.
+    const auto it = by_uri_.find(std::string(uri));
+    return it == by_uri_.end() ? kNoOntology : it->second;
+}
+
+const Ontology& OntologyRegistry::at(OntologyIndex index) const {
+    SARIADNE_EXPECTS(index < ontologies_.size());
+    return *ontologies_[index];
+}
+
+const Ontology& OntologyRegistry::require(std::string_view uri) const {
+    const OntologyIndex index = find(uri);
+    if (index == kNoOntology) {
+        throw LookupError("unknown ontology '" + std::string(uri) + "'");
+    }
+    return *ontologies_[index];
+}
+
+ConceptRef OntologyRegistry::resolve(std::string_view qualified_name) const {
+    const QualifiedName parts = QualifiedName::split(qualified_name);
+    const OntologyIndex index = find(parts.ontology_uri);
+    if (index == kNoOntology) {
+        throw LookupError("unknown ontology '" + std::string(parts.ontology_uri) +
+                          "' referenced by '" + std::string(qualified_name) + "'");
+    }
+    return ConceptRef{index, ontologies_[index]->require_class(parts.local_name)};
+}
+
+std::string OntologyRegistry::qualified_name(ConceptRef ref) const {
+    const Ontology& ontology = at(ref.ontology);
+    return QualifiedName::join(ontology.uri(), ontology.class_name(ref.concept_id));
+}
+
+}  // namespace sariadne::onto

@@ -1,0 +1,63 @@
+// OntologyRegistry — the set of ontologies a directory (or client) knows
+// about, keyed by URI. Registering a newer version of an existing URI
+// replaces it and bumps the registry epoch; dependents (taxonomies, code
+// tables) key their caches on (uri, version) so stale codes are detected,
+// matching the paper's "services periodically check the version of codes
+// that they are using" (§3.2).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ontology/ids.hpp"
+#include "ontology/ontology.hpp"
+
+namespace sariadne::onto {
+
+class OntologyRegistry {
+public:
+    OntologyRegistry() = default;
+
+    /// Registers (or upgrades) an ontology. Returns its stable index.
+    /// Re-registering the same URI keeps the index and replaces the content;
+    /// the registry epoch is bumped whenever content changes.
+    OntologyIndex add(Ontology ontology);
+
+    /// Index of the ontology with this URI, or kNoOntology.
+    OntologyIndex find(std::string_view uri) const noexcept;
+
+    /// True if an ontology with this URI is registered.
+    bool contains(std::string_view uri) const noexcept {
+        return find(uri) != kNoOntology;
+    }
+
+    const Ontology& at(OntologyIndex index) const;
+
+    /// Ontology by URI; throws LookupError if unknown.
+    const Ontology& require(std::string_view uri) const;
+
+    /// Resolves "uri#LocalName" to a ConceptRef. Throws LookupError when
+    /// either the ontology or the class is unknown.
+    ConceptRef resolve(std::string_view qualified_name) const;
+
+    /// Fully qualified name of a concept.
+    std::string qualified_name(ConceptRef ref) const;
+
+    std::size_t size() const noexcept { return ontologies_.size(); }
+
+    /// Monotonic counter incremented on every content change; cache key
+    /// component for taxonomy / code-table layers.
+    std::uint64_t epoch() const noexcept { return epoch_; }
+
+private:
+    // unique_ptr: Ontology addresses stay stable across registry growth so
+    // callers may hold `const Ontology&` while continuing to register.
+    std::vector<std::unique_ptr<Ontology>> ontologies_;
+    std::unordered_map<std::string, OntologyIndex> by_uri_;
+    std::uint64_t epoch_ = 0;
+};
+
+}  // namespace sariadne::onto

@@ -1,0 +1,55 @@
+#include "reasoner/profiles.hpp"
+
+namespace sariadne::reasoner {
+
+ModeledMatchCost DlReasonerProfile::model_match(const onto::Ontology& ontology,
+                                                std::size_t match_queries) {
+    // Real classification run: the derived-fact count feeds the model, so
+    // harder ontologies genuinely model as more expensive.
+    (void)engine_->classify(ontology);
+    const ReasonerStats& stats = engine_->last_stats();
+
+    ModeledMatchCost cost;
+    cost.load_classify_ms =
+        costs_.load_base_ms +
+        costs_.per_class_ms * static_cast<double>(ontology.class_count()) +
+        costs_.per_axiom_ms * static_cast<double>(ontology.axiom_count()) +
+        costs_.per_fact_us * static_cast<double>(stats.facts_derived) / 1000.0;
+    cost.matching_ms = costs_.match_base_ms +
+                       costs_.per_query_ms * static_cast<double>(match_queries);
+    return cost;
+}
+
+// Coefficients are calibrated so that, on the paper's Figure 2 workload
+// (99 classes / 39 properties, capabilities with 7 inputs and 3 outputs),
+// each profile lands in the 4-5 s total range with 76-78 % of the time in
+// load+classify — matching the published measurements of Racer, FaCT++
+// and Pellet on a 1.6 GHz Centrino.
+
+DlReasonerProfile DlReasonerProfile::racer_like() {
+    return DlReasonerProfile(
+        "Racer", std::make_unique<TableauLiteReasoner>(),
+        ProfileCosts{/*load_base_ms=*/1150, /*per_class_ms=*/13.0,
+                     /*per_axiom_ms=*/5.0, /*per_fact_us=*/650,
+                     /*match_base_ms=*/760, /*per_query_ms=*/7.5});
+}
+
+DlReasonerProfile DlReasonerProfile::factpp_like() {
+    return DlReasonerProfile(
+        "FaCT++", std::make_unique<NaiveClosureReasoner>(),
+        ProfileCosts{/*load_base_ms=*/1000, /*per_class_ms=*/12.0,
+                     /*per_axiom_ms=*/4.5, /*per_fact_us=*/600,
+                     /*match_base_ms=*/700, /*per_query_ms=*/7.5});
+    // FaCT++ is emulated over the closure engine: its classification builds
+    // a complete subsumption matrix the way FaCT++ builds its taxonomy.
+}
+
+DlReasonerProfile DlReasonerProfile::pellet_like() {
+    return DlReasonerProfile(
+        "Pellet", std::make_unique<RuleReasoner>(),
+        ProfileCosts{/*load_base_ms=*/1245, /*per_class_ms=*/13.3,
+                     /*per_axiom_ms=*/5.3, /*per_fact_us=*/620,
+                     /*match_base_ms=*/950, /*per_query_ms=*/5.0});
+}
+
+}  // namespace sariadne::reasoner

@@ -1,0 +1,82 @@
+// DL-reasoner cost profiles — the documented substitution for Racer,
+// FaCT++ and Pellet in the Figure 2 motivation experiment (see DESIGN.md §2).
+//
+// The paper measures ~4-5 s to match two capabilities with any of the three
+// reasoners on 2006 hardware, with 76-78 % of the time spent loading and
+// classifying ontologies. Full SHIQ reasoners are out of scope, so each
+// profile pairs one of our real classification engines with per-operation
+// cost coefficients calibrated to reproduce that *structure*: a profile's
+// modeled time is
+//
+//   load+classify = load_base_ms + per_class_ms * |classes|
+//                 + per_axiom_ms * |axioms| + per_fact_us * facts_derived
+//   matching      = match_base_ms + per_query_ms * |subsumption queries|
+//
+// where facts_derived comes from the engine's actual run on the actual
+// ontology — the modeled time scales with real reasoning work, it is not a
+// constant. Benchmarks report modeled 2006-scale milliseconds alongside
+// the real measured microseconds of our engines.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ontology/ontology.hpp"
+#include "reasoner/reasoner.hpp"
+
+namespace sariadne::reasoner {
+
+/// Cost coefficients of one emulated DL reasoner.
+struct ProfileCosts {
+    double load_base_ms = 0;    ///< fixed ontology load / parse overhead
+    double per_class_ms = 0;    ///< per named class
+    double per_axiom_ms = 0;    ///< per TBox axiom
+    double per_fact_us = 0;     ///< per subsumption fact actually derived
+    double match_base_ms = 0;   ///< fixed per-match overhead
+    double per_query_ms = 0;    ///< per subsumption query during matching
+};
+
+/// Modeled cost breakdown of one capability match (Figure 2 bars).
+struct ModeledMatchCost {
+    double load_classify_ms = 0;
+    double matching_ms = 0;
+
+    double total_ms() const noexcept { return load_classify_ms + matching_ms; }
+    double load_fraction() const noexcept {
+        const double total = total_ms();
+        return total > 0 ? load_classify_ms / total : 0;
+    }
+};
+
+/// One emulated reasoner: a name, a real classification engine and cost
+/// coefficients.
+class DlReasonerProfile {
+public:
+    DlReasonerProfile(std::string name, std::unique_ptr<Reasoner> engine,
+                      const ProfileCosts& costs)
+        : name_(std::move(name)), engine_(std::move(engine)), costs_(costs) {}
+
+    const std::string& name() const noexcept { return name_; }
+    Reasoner& engine() noexcept { return *engine_; }
+    const ProfileCosts& costs() const noexcept { return costs_; }
+
+    /// Runs a real classification of `ontology` and returns the modeled
+    /// 2006-scale cost of matching two capabilities that perform
+    /// `match_queries` subsumption queries against it.
+    ModeledMatchCost model_match(const onto::Ontology& ontology,
+                                 std::size_t match_queries);
+
+    /// Racer 1.8-like: heavyweight load, moderate query cost.
+    static DlReasonerProfile racer_like();
+    /// FaCT++-like: cheaper load, slightly costlier queries.
+    static DlReasonerProfile factpp_like();
+    /// Pellet-like: costliest load (Java/OWL parsing), cheap queries.
+    static DlReasonerProfile pellet_like();
+
+private:
+    std::string name_;
+    std::unique_ptr<Reasoner> engine_;
+    ProfileCosts costs_;
+};
+
+}  // namespace sariadne::reasoner

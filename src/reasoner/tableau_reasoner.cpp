@@ -1,0 +1,120 @@
+// TableauLiteReasoner: goal-directed classification in the spirit of
+// tableau-based DL systems (FaCT++/Racer), restricted to our axiom
+// fragment. For each class it expands the set of its subsumers by memoized
+// depth-first traversal of told edges; the intersection-introduction rule
+// can invalidate memoized ancestor sets, so expansion runs in rounds until
+// no definition fires anymore. Unlike the worklist engine, work here is
+// organized per-class (cache-friendly, mirrors how tableau systems reuse
+// satisfiability caches between subsumption tests).
+#include <vector>
+
+#include "reasoner/closure_util.hpp"
+#include "reasoner/reasoner.hpp"
+
+namespace sariadne::reasoner {
+
+using detail::BitMatrix;
+using onto::ConceptId;
+
+namespace {
+
+/// Per-round memoized ancestor expansion over an edge list.
+class AncestorExpander {
+public:
+    AncestorExpander(std::size_t n,
+                     const std::vector<std::vector<ConceptId>>& edges,
+                     BitMatrix& closure, ReasonerStats& stats)
+        : edges_(edges), closure_(closure), stats_(stats), state_(n, State::kFresh) {}
+
+    /// Ensures row x of the closure contains all ancestors reachable via
+    /// edges_ (transitively), reusing rows already expanded this round.
+    void expand(ConceptId x) {
+        if (state_[x] == State::kDone) return;
+        // A told cycle (mutual subsumption) would revisit an in-progress
+        // node; the bits already merged are exactly the cycle's shared
+        // ancestors, so treating it as done is sound — the outer fixpoint
+        // re-runs until stable.
+        if (state_[x] == State::kExpanding) return;
+        state_[x] = State::kExpanding;
+        closure_.set(x, x);
+        for (const ConceptId parent : edges_[x]) {
+            ++stats_.subsumption_tests;
+            closure_.set(x, parent);
+            expand(parent);
+            if (closure_.merge_row(x, parent)) ++stats_.facts_derived;
+        }
+        state_[x] = State::kDone;
+    }
+
+private:
+    enum class State : std::uint8_t { kFresh, kExpanding, kDone };
+
+    const std::vector<std::vector<ConceptId>>& edges_;
+    BitMatrix& closure_;
+    ReasonerStats& stats_;
+    std::vector<State> state_;
+};
+
+}  // namespace
+
+Taxonomy TableauLiteReasoner::classify(const onto::Ontology& ontology) {
+    stats_ = ReasonerStats{};
+    const std::size_t n = ontology.class_count();
+    BitMatrix closure(n);
+
+    // Edge list grows as intersection definitions fire; rounds repeat until
+    // no new edge is added.
+    auto edges = detail::told_edges(ontology);
+
+    struct Definition {
+        ConceptId defined;
+        const std::vector<ConceptId>* parts;
+    };
+    std::vector<Definition> definitions;
+    for (ConceptId c = 0; c < n; ++c) {
+        const auto& parts = ontology.class_decl(c).intersection_of;
+        if (!parts.empty()) definitions.push_back({c, &parts});
+    }
+
+    bool changed = true;
+    while (changed) {
+        ++stats_.iterations;
+        changed = false;
+
+        // A told cycle (equivalence) can leave an in-progress row incomplete
+        // within a single pass; repeat expansion until no new fact appears.
+        std::uint64_t before_facts;
+        do {
+            before_facts = stats_.facts_derived;
+            AncestorExpander expander(n, edges, closure, stats_);
+            for (ConceptId c = 0; c < n; ++c) expander.expand(c);
+        } while (stats_.facts_derived != before_facts);
+
+        // Fire intersection introductions as new *edges* so the next round's
+        // expansion propagates them transitively.
+        for (const auto& [defined, parts] : definitions) {
+            for (ConceptId x = 0; x < n; ++x) {
+                if (closure.test(x, defined)) continue;
+                bool all = true;
+                for (const ConceptId part : *parts) {
+                    ++stats_.subsumption_tests;
+                    if (!closure.test(x, part)) {
+                        all = false;
+                        break;
+                    }
+                }
+                if (all) {
+                    edges[x].push_back(defined);
+                    closure.set(x, defined);
+                    ++stats_.facts_derived;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    detail::check_consistency(ontology, closure);
+    return Taxonomy::from_closure(n, closure.data(), closure.words_per_row());
+}
+
+}  // namespace sariadne::reasoner

@@ -1,0 +1,154 @@
+#include "reasoner/taxonomy.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace sariadne::reasoner {
+
+bool Taxonomy::subsumes(ConceptId subsumer, ConceptId subsumee) const {
+    const ConceptId a = canonical(subsumer);
+    const ConceptId b = canonical(subsumee);
+    return closure_bit(b, a);
+}
+
+std::optional<int> Taxonomy::distance(ConceptId subsumer,
+                                      ConceptId subsumee) const {
+    const ConceptId target = canonical(subsumer);
+    const ConceptId start = canonical(subsumee);
+    if (start == target) return 0;
+    if (!closure_bit(start, target)) return std::nullopt;
+
+    // BFS upward along direct-parent edges; the closure test above
+    // guarantees reachability, so this always terminates with an answer.
+    std::vector<int> dist(canonical_.size(), -1);
+    std::queue<ConceptId> frontier;
+    dist[start] = 0;
+    frontier.push(start);
+    while (!frontier.empty()) {
+        const ConceptId node = frontier.front();
+        frontier.pop();
+        for (const ConceptId parent : parents_[node]) {
+            if (dist[parent] != -1) continue;
+            dist[parent] = dist[node] + 1;
+            if (parent == target) return dist[parent];
+            frontier.push(parent);
+        }
+    }
+    return std::nullopt;  // unreachable, defensive
+}
+
+std::vector<ConceptId> Taxonomy::equivalence_class(ConceptId id) const {
+    const ConceptId rep = canonical(id);
+    std::vector<ConceptId> members;
+    for (ConceptId c = 0; c < canonical_.size(); ++c) {
+        if (canonical_[c] == rep) members.push_back(c);
+    }
+    return members;
+}
+
+Taxonomy Taxonomy::from_closure(std::size_t class_count,
+                                const std::vector<std::uint64_t>& closure,
+                                std::size_t words_per_row) {
+    SARIADNE_EXPECTS(closure.size() == class_count * words_per_row);
+
+    Taxonomy tax;
+    const auto n = static_cast<ConceptId>(class_count);
+    tax.words_ = words_per_row;
+    tax.canonical_.resize(class_count);
+
+    const auto bit = [&](ConceptId row, ConceptId col) {
+        return (closure[row * words_per_row + col / 64] >> (col % 64)) & 1u;
+    };
+
+    // 1. Equivalence classes: i ~ j iff each subsumes the other. The
+    // canonical representative is the smallest member.
+    for (ConceptId i = 0; i < n; ++i) {
+        ConceptId rep = i;
+        for (ConceptId j = 0; j < i; ++j) {
+            if (bit(i, j) && bit(j, i)) {
+                rep = tax.canonical_[j];
+                break;
+            }
+        }
+        tax.canonical_[i] = rep;
+    }
+
+    tax.rep_count_ = 0;
+    for (ConceptId i = 0; i < n; ++i) {
+        if (tax.canonical_[i] == i) ++tax.rep_count_;
+    }
+
+    // 2. Canonicalized closure over representatives (stored dense over all
+    // class ids for O(1) lookup; non-representative rows mirror their rep).
+    tax.closure_.assign(class_count * words_per_row, 0);
+    for (ConceptId i = 0; i < n; ++i) {
+        const ConceptId irep = tax.canonical_[i];
+        for (ConceptId j = 0; j < n; ++j) {
+            if (bit(irep, j)) {
+                const ConceptId jrep = tax.canonical_[j];
+                tax.closure_[i * words_per_row + jrep / 64] |=
+                    std::uint64_t{1} << (jrep % 64);
+            }
+        }
+        // Reflexivity on the representative.
+        tax.closure_[i * words_per_row + irep / 64] |= std::uint64_t{1}
+                                                       << (irep % 64);
+    }
+
+    // 3. Direct parents: strict subsumers with no strict subsumer in between
+    // (transitive reduction over representatives).
+    tax.parents_.assign(class_count, {});
+    tax.children_.assign(class_count, {});
+    for (ConceptId i = 0; i < n; ++i) {
+        if (tax.canonical_[i] != i) continue;  // representatives only
+        std::vector<ConceptId> strict;
+        for (ConceptId j = 0; j < n; ++j) {
+            if (j == i || tax.canonical_[j] != j) continue;
+            if (tax.closure_bit(i, j)) strict.push_back(j);
+        }
+        for (const ConceptId cand : strict) {
+            bool direct = true;
+            for (const ConceptId mid : strict) {
+                if (mid == cand) continue;
+                // cand subsumes mid (strictly) => cand not a direct parent.
+                if (tax.closure_bit(mid, cand)) {
+                    direct = false;
+                    break;
+                }
+            }
+            if (direct) {
+                tax.parents_[i].push_back(cand);
+                tax.children_[cand].push_back(i);
+            }
+        }
+        std::sort(tax.parents_[i].begin(), tax.parents_[i].end());
+    }
+    for (auto& kids : tax.children_) std::sort(kids.begin(), kids.end());
+
+    // 4. Roots and depths (min depth over parents).
+    tax.depths_.assign(class_count, 0);
+    std::vector<ConceptId> order;
+    std::vector<std::size_t> pending(class_count, 0);
+    for (ConceptId i = 0; i < n; ++i) {
+        if (tax.canonical_[i] != i) continue;
+        pending[i] = tax.parents_[i].size();
+        if (pending[i] == 0) {
+            tax.roots_.push_back(i);
+            order.push_back(i);
+        }
+    }
+    for (std::size_t head = 0; head < order.size(); ++head) {
+        const ConceptId node = order[head];
+        for (const ConceptId kid : tax.children_[node]) {
+            const int candidate = tax.depths_[node] + 1;
+            if (tax.depths_[kid] == 0 || candidate < tax.depths_[kid]) {
+                tax.depths_[kid] = candidate;
+            }
+            if (--pending[kid] == 0) order.push_back(kid);
+        }
+    }
+
+    return tax;
+}
+
+}  // namespace sariadne::reasoner

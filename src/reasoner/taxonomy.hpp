@@ -1,0 +1,92 @@
+// Taxonomy — the result of classifying an ontology: the complete
+// subsumption relation over named classes, with equivalence classes merged,
+// direct (transitively reduced) parent/child links, and level depths. This
+// is the single interchange type between the reasoners (which produce it)
+// and the interval encoder / matchers (which consume it). The paper's
+// d(concept1, concept2) function (§2.3) is Taxonomy::distance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ontology/ids.hpp"
+#include "support/contracts.hpp"
+
+namespace sariadne::reasoner {
+
+using onto::ConceptId;
+
+class Taxonomy {
+public:
+    Taxonomy() = default;
+
+    /// Number of named classes in the classified ontology (not merged).
+    std::size_t class_count() const noexcept { return canonical_.size(); }
+
+    /// Canonical representative of a class's equivalence class.
+    ConceptId canonical(ConceptId id) const {
+        SARIADNE_EXPECTS(id < canonical_.size());
+        return canonical_[id];
+    }
+
+    bool is_representative(ConceptId id) const {
+        return canonical(id) == id;
+    }
+
+    /// True iff `subsumer` subsumes `subsumee` (subsumee ⊑ subsumer).
+    /// Reflexive: every class subsumes itself (and its equivalents).
+    bool subsumes(ConceptId subsumer, ConceptId subsumee) const;
+
+    /// The paper's semantic distance d(subsumer, subsumee): the number of
+    /// hierarchy levels separating the two concepts in the classified
+    /// hierarchy — 0 when equivalent, the minimum direct-edge path length
+    /// when subsumption holds, std::nullopt (the paper's NULL) otherwise.
+    std::optional<int> distance(ConceptId subsumer, ConceptId subsumee) const;
+
+    /// Direct (transitively reduced) superclasses of a class, as
+    /// representatives. For a non-representative, its representative's.
+    const std::vector<ConceptId>& direct_parents(ConceptId id) const {
+        return parents_[canonical(id)];
+    }
+
+    const std::vector<ConceptId>& direct_children(ConceptId id) const {
+        return children_[canonical(id)];
+    }
+
+    /// Representatives with no parents (top-level concepts).
+    const std::vector<ConceptId>& roots() const noexcept { return roots_; }
+
+    /// Depth of a class: 0 for roots, else 1 + min depth over parents.
+    int depth(ConceptId id) const { return depths_[canonical(id)]; }
+
+    /// All members (including itself) of a class's equivalence class.
+    std::vector<ConceptId> equivalence_class(ConceptId id) const;
+
+    /// Number of distinct representatives.
+    std::size_t representative_count() const noexcept { return rep_count_; }
+
+    /// Builder used by the reasoners: constructs a Taxonomy from the full
+    /// subsumption closure given as row-major bitset rows — bit j of row i
+    /// set means "class j subsumes class i" (i ⊑ j), reflexive bits set.
+    /// Performs SCC merging, transitive reduction and depth computation.
+    static Taxonomy from_closure(std::size_t class_count,
+                                 const std::vector<std::uint64_t>& closure,
+                                 std::size_t words_per_row);
+
+private:
+    bool closure_bit(ConceptId row, ConceptId col) const {
+        return (closure_[row * words_ + col / 64] >> (col % 64)) & 1u;
+    }
+
+    std::vector<ConceptId> canonical_;           // class -> representative
+    std::vector<std::vector<ConceptId>> parents_;   // representative -> reps
+    std::vector<std::vector<ConceptId>> children_;  // representative -> reps
+    std::vector<int> depths_;                    // representative -> depth
+    std::vector<ConceptId> roots_;               // representatives
+    std::vector<std::uint64_t> closure_;         // canonicalized closure
+    std::size_t words_ = 0;
+    std::size_t rep_count_ = 0;
+};
+
+}  // namespace sariadne::reasoner

@@ -1,0 +1,52 @@
+// TaxonomyCache — classified hierarchies per (ontology URI, version).
+// Classification runs once per ontology version, offline relative to the
+// discovery fast path (the paper's central optimization: "semantic
+// reasoning is performed off-line", §3). Re-registering a newer ontology
+// version invalidates its entry lazily.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "ontology/registry.hpp"
+#include "reasoner/reasoner.hpp"
+
+namespace sariadne::reasoner {
+
+class TaxonomyCache {
+public:
+    /// The cache owns its reasoner. Defaults to the worklist engine, which
+    /// is the cheapest on typical discovery ontologies.
+    explicit TaxonomyCache(std::unique_ptr<Reasoner> engine = nullptr)
+        : engine_(engine ? std::move(engine) : std::make_unique<RuleReasoner>()) {}
+
+    /// Classified taxonomy of `ontology`, computed on first use per
+    /// (uri, version). The reference stays valid while the cache lives.
+    const Taxonomy& taxonomy_of(const onto::Ontology& ontology) {
+        Entry& entry = entries_[ontology.uri()];
+        if (!entry.taxonomy || entry.version != ontology.version()) {
+            entry.taxonomy = std::make_unique<Taxonomy>(engine_->classify(ontology));
+            entry.version = ontology.version();
+            ++classifications_;
+        }
+        return *entry.taxonomy;
+    }
+
+    /// Number of actual classification runs (cache misses) so far.
+    std::uint64_t classifications() const noexcept { return classifications_; }
+
+    Reasoner& engine() noexcept { return *engine_; }
+
+private:
+    struct Entry {
+        std::unique_ptr<Taxonomy> taxonomy;
+        std::uint32_t version = 0;
+    };
+
+    std::unique_ptr<Reasoner> engine_;
+    std::unordered_map<std::string, Entry> entries_;
+    std::uint64_t classifications_ = 0;
+};
+
+}  // namespace sariadne::reasoner

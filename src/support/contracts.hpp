@@ -1,0 +1,49 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", GSL). Violations throw ContractViolation so that
+// tests can assert on them; they are never compiled out because discovery
+// directories are long-lived network-facing components where silent
+// corruption is worse than the cost of a branch.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sariadne {
+
+/// Thrown when a precondition, postcondition or invariant is violated.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+    throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                            file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace sariadne
+
+#define SARIADNE_EXPECTS(cond)                                              \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::sariadne::detail::contract_fail("precondition", #cond,        \
+                                              __FILE__, __LINE__);          \
+    } while (false)
+
+#define SARIADNE_ENSURES(cond)                                              \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::sariadne::detail::contract_fail("postcondition", #cond,       \
+                                              __FILE__, __LINE__);          \
+    } while (false)
+
+#define SARIADNE_ASSERT(cond)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::sariadne::detail::contract_fail("invariant", #cond,           \
+                                              __FILE__, __LINE__);          \
+    } while (false)

@@ -1,0 +1,57 @@
+// Error taxonomy for the sariadne library. All recoverable failures are
+// reported through these exception types; contract violations (programming
+// errors) use ContractViolation from contracts.hpp.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sariadne {
+
+/// Base class of all recoverable sariadne errors.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what_arg)
+        : std::runtime_error(what_arg) {}
+};
+
+/// A document (XML, ontology, service description) could not be parsed.
+class ParseError : public Error {
+public:
+    ParseError(const std::string& what_arg, std::size_t line, std::size_t column)
+        : Error(what_arg + " (line " + std::to_string(line) + ", column " +
+                std::to_string(column) + ")"),
+          line_(line),
+          column_(column) {}
+
+    explicit ParseError(const std::string& what_arg)
+        : Error(what_arg), line_(0), column_(0) {}
+
+    std::size_t line() const noexcept { return line_; }
+    std::size_t column() const noexcept { return column_; }
+
+private:
+    std::size_t line_;
+    std::size_t column_;
+};
+
+/// A referenced entity (ontology URI, concept, capability) is unknown.
+class LookupError : public Error {
+public:
+    using Error::Error;
+};
+
+/// An ontology is semantically inconsistent (e.g. cyclic strict subsumption
+/// that cannot be collapsed, subsumption between disjoint classes).
+class InconsistencyError : public Error {
+public:
+    using Error::Error;
+};
+
+/// A code table and a description disagree on the encoding version.
+class VersionMismatchError : public Error {
+public:
+    using Error::Error;
+};
+
+}  // namespace sariadne

@@ -1,0 +1,95 @@
+// Sorted-vector set with the operations the matcher and DAG index need:
+// subset tests, intersection emptiness, and order-independent hashing.
+// Ontology sets attached to capabilities are tiny (1-5 elements), so a
+// sorted vector beats node-based sets on every axis (Core Guidelines
+// Per.19: prefer compact data).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "support/hash.hpp"
+
+namespace sariadne {
+
+template <typename T>
+class FlatSet {
+public:
+    using const_iterator = typename std::vector<T>::const_iterator;
+
+    FlatSet() = default;
+
+    FlatSet(std::initializer_list<T> items) : items_(items) { normalize(); }
+
+    explicit FlatSet(std::vector<T> items) : items_(std::move(items)) {
+        normalize();
+    }
+
+    /// Inserts a value; returns true if it was not already present.
+    bool insert(const T& value) {
+        const auto it = std::lower_bound(items_.begin(), items_.end(), value);
+        if (it != items_.end() && *it == value) return false;
+        items_.insert(it, value);
+        return true;
+    }
+
+    bool contains(const T& value) const noexcept {
+        return std::binary_search(items_.begin(), items_.end(), value);
+    }
+
+    /// True if every element of this set is in `other`.
+    bool subset_of(const FlatSet& other) const noexcept {
+        return std::includes(other.items_.begin(), other.items_.end(),
+                             items_.begin(), items_.end());
+    }
+
+    /// True if the two sets share at least one element.
+    bool intersects(const FlatSet& other) const noexcept {
+        auto a = items_.begin();
+        auto b = other.items_.begin();
+        while (a != items_.end() && b != other.items_.end()) {
+            if (*a < *b) ++a;
+            else if (*b < *a) ++b;
+            else return true;
+        }
+        return false;
+    }
+
+    /// Set union, returned by value.
+    FlatSet united_with(const FlatSet& other) const {
+        FlatSet result;
+        result.items_.reserve(items_.size() + other.items_.size());
+        std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                       other.items_.end(), std::back_inserter(result.items_));
+        return result;
+    }
+
+    std::size_t size() const noexcept { return items_.size(); }
+    bool empty() const noexcept { return items_.empty(); }
+    const_iterator begin() const noexcept { return items_.begin(); }
+    const_iterator end() const noexcept { return items_.end(); }
+    const std::vector<T>& items() const noexcept { return items_; }
+
+    friend bool operator==(const FlatSet& a, const FlatSet& b) = default;
+
+private:
+    void normalize() {
+        std::sort(items_.begin(), items_.end());
+        items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+    }
+
+    std::vector<T> items_;
+};
+
+/// Order-independent 64-bit hash of a FlatSet whose elements expose a
+/// `hash_value()`-compatible projection supplied by the caller.
+template <typename T, typename Projection>
+std::uint64_t hash_set(const FlatSet<T>& set, Projection&& project) noexcept {
+    std::uint64_t acc = 0x5E7A5E7A5E7A5E7AULL;
+    for (const auto& item : set) acc = combine_unordered(acc, project(item));
+    return mix64(acc);
+}
+
+}  // namespace sariadne

@@ -1,0 +1,71 @@
+#include "support/hash.hpp"
+
+#include <cstring>
+
+namespace sariadne {
+
+namespace {
+
+std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
+    return (x << r) | (x >> (64 - r));
+}
+
+std::uint64_t load64(const char* p) noexcept {
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+}  // namespace
+
+Hash128 murmur3_128(std::string_view data, std::uint64_t seed) noexcept {
+    // MurmurHash3 x64 128-bit, adapted from Austin Appleby's public-domain
+    // reference implementation.
+    const std::size_t nblocks = data.size() / 16;
+    std::uint64_t h1 = seed;
+    std::uint64_t h2 = seed;
+    constexpr std::uint64_t c1 = 0x87C37B91114253D5ULL;
+    constexpr std::uint64_t c2 = 0x4CF5AD432745937FULL;
+
+    const char* blocks = data.data();
+    for (std::size_t i = 0; i < nblocks; ++i) {
+        std::uint64_t k1 = load64(blocks + i * 16);
+        std::uint64_t k2 = load64(blocks + i * 16 + 8);
+
+        k1 *= c1; k1 = rotl64(k1, 31); k1 *= c2; h1 ^= k1;
+        h1 = rotl64(h1, 27); h1 += h2; h1 = h1 * 5 + 0x52DCE729;
+        k2 *= c2; k2 = rotl64(k2, 33); k2 *= c1; h2 ^= k2;
+        h2 = rotl64(h2, 31); h2 += h1; h2 = h2 * 5 + 0x38495AB5;
+    }
+
+    const char* tail = data.data() + nblocks * 16;
+    const std::size_t tail_len = data.size() & 15;
+    std::uint64_t k1 = 0;
+    std::uint64_t k2 = 0;
+    for (std::size_t i = tail_len; i > 8; --i) {
+        k2 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[i - 1]))
+              << ((i - 9) * 8);
+    }
+    if (tail_len > 8) {
+        k2 *= c2; k2 = rotl64(k2, 33); k2 *= c1; h2 ^= k2;
+    }
+    for (std::size_t i = (tail_len > 8 ? 8 : tail_len); i > 0; --i) {
+        k1 ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(tail[i - 1]))
+              << ((i - 1) * 8);
+    }
+    if (tail_len > 0) {
+        k1 *= c1; k1 = rotl64(k1, 31); k1 *= c2; h1 ^= k1;
+    }
+
+    h1 ^= static_cast<std::uint64_t>(data.size());
+    h2 ^= static_cast<std::uint64_t>(data.size());
+    h1 += h2;
+    h2 += h1;
+    h1 = mix64(h1);
+    h2 = mix64(h2);
+    h1 += h2;
+    h2 += h1;
+    return Hash128{h1, h2};
+}
+
+}  // namespace sariadne

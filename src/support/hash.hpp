@@ -1,0 +1,55 @@
+// Hash functions used across the library: FNV-1a for cheap interning and
+// map keys, MurmurHash3 (x64 128-bit finalizer variant) for Bloom filters,
+// and the Kirsch–Mitzenmacher double-hashing scheme that derives k
+// independent-enough hash functions from two base hashes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sariadne {
+
+/// 64-bit FNV-1a over a byte string. Stable across platforms.
+constexpr std::uint64_t fnv1a64(std::string_view data) noexcept {
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    for (const char c : data) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 0x00000100000001B3ULL;
+    }
+    return hash;
+}
+
+/// MurmurHash3 64-bit finalizer (fmix64) — a strong bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t k) noexcept {
+    k ^= k >> 33;
+    k *= 0xFF51AFD7ED558CCDULL;
+    k ^= k >> 33;
+    k *= 0xC4CEB9FE1A85EC53ULL;
+    k ^= k >> 33;
+    return k;
+}
+
+/// 128-bit hash of a byte string, returned as two 64-bit halves. Built from
+/// a Murmur3-style block mix; used as the base pair for double hashing.
+struct Hash128 {
+    std::uint64_t h1;
+    std::uint64_t h2;
+};
+
+Hash128 murmur3_128(std::string_view data, std::uint64_t seed = 0) noexcept;
+
+/// Kirsch–Mitzenmacher: the i-th derived hash g_i(x) = h1 + i*h2 (mod m).
+/// Deriving k functions this way preserves Bloom-filter asymptotics.
+constexpr std::uint64_t double_hash(const Hash128& base, std::uint32_t i,
+                                    std::uint64_t modulus) noexcept {
+    return (base.h1 + static_cast<std::uint64_t>(i) * base.h2) % modulus;
+}
+
+/// Order-independent combination of element hashes — used to hash *sets*
+/// (e.g. the set of ontology URIs a capability draws from).
+constexpr std::uint64_t combine_unordered(std::uint64_t acc,
+                                          std::uint64_t element) noexcept {
+    return acc + mix64(element);  // addition commutes: order independent
+}
+
+}  // namespace sariadne

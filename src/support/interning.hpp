@@ -1,0 +1,94 @@
+// String interning. Ontology concept names and URIs are compared and hashed
+// constantly during matching; interning turns those comparisons into integer
+// comparisons and keeps the capability DAGs compact. A Symbol is an index
+// into its pool; pools are values (no global interner) so independent
+// directories never contend or share lifetime.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "support/contracts.hpp"
+
+namespace sariadne {
+
+/// An interned string handle. Only meaningful relative to the StringPool
+/// that produced it; the pool's accessors check bounds.
+class Symbol {
+public:
+    constexpr Symbol() noexcept : index_(kInvalid) {}
+    constexpr explicit Symbol(std::uint32_t index) noexcept : index_(index) {}
+
+    constexpr bool valid() const noexcept { return index_ != kInvalid; }
+    constexpr std::uint32_t index() const noexcept { return index_; }
+
+    friend constexpr bool operator==(Symbol a, Symbol b) noexcept = default;
+    friend constexpr auto operator<=>(Symbol a, Symbol b) noexcept = default;
+
+private:
+    static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+    std::uint32_t index_;
+};
+
+/// Owning interner. Insertion is amortized O(1); lookup of text by Symbol is
+/// O(1). Symbols are dense indices, so they double as array subscripts.
+class StringPool {
+public:
+    StringPool() = default;
+
+    /// Interns `text`, returning the existing Symbol if already present.
+    Symbol intern(std::string_view text) {
+        if (const auto it = index_.find(text); it != index_.end()) {
+            return it->second;
+        }
+        const Symbol sym(static_cast<std::uint32_t>(strings_.size()));
+        strings_.emplace_back(text);
+        index_.emplace(strings_.back(), sym);
+        return sym;
+    }
+
+    /// Returns the Symbol for `text` if interned, or an invalid Symbol.
+    Symbol find(std::string_view text) const noexcept {
+        const auto it = index_.find(text);
+        return it == index_.end() ? Symbol() : it->second;
+    }
+
+    /// Text of an interned symbol. Precondition: sym came from this pool.
+    std::string_view text(Symbol sym) const {
+        SARIADNE_EXPECTS(sym.valid() && sym.index() < strings_.size());
+        return strings_[sym.index()];
+    }
+
+    std::size_t size() const noexcept { return strings_.size(); }
+
+    // The index map stores string_views into strings_; moving the pool would
+    // dangle them on small-string-optimized entries, so pools are pinned.
+    StringPool(const StringPool&) = delete;
+    StringPool& operator=(const StringPool&) = delete;
+    StringPool(StringPool&&) = delete;
+    StringPool& operator=(StringPool&&) = delete;
+
+private:
+    struct ViewHash {
+        using is_transparent = void;
+        std::size_t operator()(std::string_view s) const noexcept {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+    struct ViewEq {
+        using is_transparent = void;
+        bool operator()(std::string_view a, std::string_view b) const noexcept {
+            return a == b;
+        }
+    };
+
+    // deque: growth never moves stored strings, so the string_view keys in
+    // index_ stay valid even for SSO-sized entries.
+    std::deque<std::string> strings_;
+    std::unordered_map<std::string_view, Symbol, ViewHash, ViewEq> index_;
+};
+
+}  // namespace sariadne

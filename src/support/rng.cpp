@@ -1,0 +1,14 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace sariadne {
+
+double Rng::exponential(double mean) noexcept {
+    // Inverse transform sampling; guard against log(0).
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+}  // namespace sariadne

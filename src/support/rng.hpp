@@ -1,0 +1,118 @@
+// Deterministic pseudo-random number generation for workload synthesis and
+// the network simulator. We implement SplitMix64 (seeding) and xoshiro256**
+// (bulk generation) from scratch so results are reproducible across
+// platforms and standard-library versions — std::mt19937 would also be
+// portable, but xoshiro is faster and the seeding discipline here is
+// explicit (Core Guidelines: avoid hidden global state).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace sariadne {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256**: the library's workhorse generator. Satisfies
+/// std::uniform_random_bit_generator so it composes with <random>
+/// distributions if ever needed, but the members below cover our needs
+/// without distribution-object portability concerns.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+    explicit Rng(std::uint64_t seed = 0x5EEDBA5EDEADBEEFULL) noexcept {
+        SplitMix64 sm(seed);
+        for (auto& word : state_) word = sm.next();
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+    /// method to avoid modulo bias. bound must be nonzero.
+    std::uint64_t below(std::uint64_t bound) noexcept {
+        // Debiased multiply: retry while in the biased low range.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(below(span));
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli trial with probability p of returning true.
+    bool chance(double p) noexcept { return uniform() < p; }
+
+    /// Exponentially distributed double with the given mean (> 0).
+    double exponential(double mean) noexcept;
+
+    /// Fisher-Yates shuffle of a random-access range.
+    template <typename RandomIt>
+    void shuffle(RandomIt first, RandomIt last) noexcept {
+        const auto n = static_cast<std::uint64_t>(last - first);
+        for (std::uint64_t i = n; i > 1; --i) {
+            const std::uint64_t j = below(i);
+            using std::swap;
+            swap(first[i - 1], first[j]);
+        }
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace sariadne

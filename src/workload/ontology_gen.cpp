@@ -1,0 +1,145 @@
+#include "workload/ontology_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace sariadne::workload {
+
+using onto::ConceptId;
+using onto::Ontology;
+using onto::PropertyId;
+
+namespace {
+
+/// Picks a parent index in [0, existing) biased toward small indices
+/// (earlier classes are shallower, so the bias flattens the tree).
+std::size_t pick_parent(std::size_t existing, double bias, Rng& rng) {
+    SARIADNE_EXPECTS(existing >= 1);
+    const double u = std::pow(rng.uniform(), bias);
+    auto index = static_cast<std::size_t>(u * static_cast<double>(existing));
+    if (index >= existing) index = existing - 1;
+    return index;
+}
+
+}  // namespace
+
+Ontology generate_ontology(const std::string& uri,
+                           const OntologyGenConfig& config, Rng& rng) {
+    SARIADNE_EXPECTS(config.class_count >= 2);
+    Ontology ontology(uri);
+
+    // Tree skeleton: class 0 is the root; class i attaches under a random
+    // earlier class.
+    std::vector<ConceptId> ids;
+    ids.reserve(config.class_count);
+    std::vector<std::vector<ConceptId>> children(config.class_count);
+    for (std::size_t i = 0; i < config.class_count; ++i) {
+        ids.push_back(ontology.add_class("C" + std::to_string(i)));
+        if (i > 0) {
+            const std::size_t parent = pick_parent(i, config.shallow_bias, rng);
+            ontology.add_subclass_of(ids[i], ids[parent]);
+            children[parent].push_back(ids[i]);
+        }
+    }
+
+    // Optional second parents: pick an earlier class that is not an
+    // ancestor-by-index of the first parent chain; subsumption stays
+    // acyclic because parents always have smaller indices.
+    if (config.multi_parent_rate > 0.0) {
+        for (std::size_t i = 2; i < config.class_count; ++i) {
+            if (!rng.chance(config.multi_parent_rate)) continue;
+            const std::size_t second = pick_parent(i, config.shallow_bias, rng);
+            const auto& parents = ontology.class_decl(ids[i]).told_parents;
+            if (std::find(parents.begin(), parents.end(), ids[second]) ==
+                parents.end()) {
+                ontology.add_subclass_of(ids[i], ids[second]);
+            }
+        }
+    }
+
+    // Equivalence aliases: alias classes declared equivalent to a random
+    // tree class (classification must merge them).
+    for (std::size_t i = 0; i < config.alias_count; ++i) {
+        const ConceptId alias = ontology.add_class("Alias" + std::to_string(i));
+        const ConceptId target =
+            ids[rng.below(config.class_count)];
+        ontology.add_equivalent(alias, target);
+    }
+
+    // Intersection-defined classes: D ≡ A ⊓ B with A, B random tree
+    // classes. No disjointness is emitted alongside, so the ontology is
+    // consistent by construction.
+    for (std::size_t i = 0; i < config.intersection_count; ++i) {
+        const ConceptId defined = ontology.add_class("Def" + std::to_string(i));
+        ConceptId a = ids[rng.below(config.class_count)];
+        ConceptId b = ids[rng.below(config.class_count)];
+        if (a == b) b = ids[(b + 1) % config.class_count];
+        ontology.define_intersection(defined, {a, b});
+    }
+
+    // Disjoint sibling pairs: only for pure trees (no intersections, no
+    // second parents) — sibling subtrees of a tree are disjoint by
+    // construction, so these axioms can never make a named class
+    // unsatisfiable; a DAG edge could put a class below both siblings.
+    if (config.intersection_count == 0 && config.multi_parent_rate == 0.0) {
+        std::size_t declared = 0;
+        for (std::size_t parent = 0;
+             parent < config.class_count && declared < config.disjoint_pairs;
+             ++parent) {
+            if (children[parent].size() < 2) continue;
+            ontology.add_disjoint(children[parent][0], children[parent][1]);
+            ++declared;
+        }
+    }
+
+    // Properties with domain/range over tree classes and a shallow property
+    // hierarchy.
+    std::vector<PropertyId> props;
+    for (std::size_t i = 0; i < config.property_count; ++i) {
+        const PropertyId prop = ontology.add_property("p" + std::to_string(i));
+        ontology.set_property_domain(prop, ids[rng.below(config.class_count)]);
+        ontology.set_property_range(prop, ids[rng.below(config.class_count)]);
+        if (!props.empty() && rng.chance(0.3)) {
+            ontology.add_subproperty_of(prop, props[rng.below(props.size())]);
+        }
+        props.push_back(prop);
+    }
+
+    return ontology;
+}
+
+Ontology fig2_ontology() {
+    // Deterministic: 95 tree classes + 2 aliases + 2 intersection-defined
+    // classes = 99 OWL classes; 39 properties. Matches the experimental
+    // setup of the paper's §2.4 ("99 OWL classes ... and 39 properties").
+    OntologyGenConfig config;
+    config.class_count = 95;
+    config.property_count = 39;
+    config.alias_count = 2;
+    config.intersection_count = 2;
+    config.disjoint_pairs = 0;
+    config.shallow_bias = 1.6;
+    Rng rng(0xF162006ULL);
+    Ontology ontology =
+        generate_ontology("http://sariadne.example/onto/fig2", config, rng);
+    SARIADNE_ENSURES(ontology.class_count() == 99);
+    SARIADNE_ENSURES(ontology.property_count() == 39);
+    return ontology;
+}
+
+std::vector<Ontology> generate_universe(std::size_t count,
+                                        const OntologyGenConfig& config,
+                                        std::uint64_t seed) {
+    std::vector<Ontology> universe;
+    universe.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Rng rng(seed + i * 0x9E3779B97F4A7C15ULL);
+        universe.push_back(generate_ontology(
+            "http://sariadne.example/onto/" + std::to_string(i), config, rng));
+    }
+    return universe;
+}
+
+}  // namespace sariadne::workload

@@ -1,0 +1,56 @@
+// Synthetic ontology generation. Ontologies are random subsumption trees
+// decorated with equivalence aliases, disjoint sibling pairs and (in the
+// "rich" configuration) intersection definitions — enough structure that
+// classification performs genuine inference. Two presets matter for the
+// reproduction:
+//   * fig2_ontology(): 99 classes / 39 properties, the exact size of the
+//     ontology the paper's Figure 2 reasoner-cost experiment uses;
+//   * generate_universe(): the 22-ontology universe of the §5 directory
+//     experiments.
+// Generation is deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ontology/ontology.hpp"
+#include "support/rng.hpp"
+
+namespace sariadne::workload {
+
+struct OntologyGenConfig {
+    std::size_t class_count = 40;
+    std::size_t property_count = 12;
+    /// Bias of parent selection toward earlier (shallower) classes; 1.0 is
+    /// uniform over existing classes, larger values flatten the tree.
+    double shallow_bias = 2.0;
+    /// Number of equivalence alias classes (in addition to class_count).
+    std::size_t alias_count = 2;
+    /// Number of disjoint sibling pairs to declare (skipped when
+    /// intersections are enabled, to guarantee consistency by construction).
+    std::size_t disjoint_pairs = 3;
+    /// Number of intersection-defined classes (in addition to class_count).
+    std::size_t intersection_count = 0;
+    /// Probability that a tree class receives a second told parent,
+    /// turning the hierarchy into a genuine DAG (exercises interval
+    /// replication in the encoder).
+    double multi_parent_rate = 0.0;
+};
+
+/// Generates one ontology with the given URI. Deterministic in `rng`.
+onto::Ontology generate_ontology(const std::string& uri,
+                                 const OntologyGenConfig& config, Rng& rng);
+
+/// The Figure 2 ontology: exactly 99 OWL classes and 39 properties, with
+/// equivalences and intersection definitions so classification does real
+/// inference work.
+onto::Ontology fig2_ontology();
+
+/// The §5 universe: `count` ontologies named
+/// "http://sariadne.example/onto/<i>", generated from `seed`.
+std::vector<onto::Ontology> generate_universe(std::size_t count,
+                                              const OntologyGenConfig& config,
+                                              std::uint64_t seed);
+
+}  // namespace sariadne::workload

@@ -1,0 +1,277 @@
+#include "workload/service_gen.hpp"
+
+#include "description/amigos_io.hpp"
+#include "ontology/ids.hpp"
+#include "ontology/loader.hpp"
+#include "support/contracts.hpp"
+#include "support/hash.hpp"
+
+namespace sariadne::workload {
+
+using desc::Capability;
+using desc::CapabilityKind;
+using desc::Parameter;
+using desc::ServiceDescription;
+using desc::ServiceRequest;
+using onto::ConceptId;
+
+ServiceWorkload::ServiceWorkload(std::vector<onto::Ontology> universe,
+                                 ServiceGenConfig config)
+    : universe_(std::move(universe)), config_(config) {
+    SARIADNE_EXPECTS(!universe_.empty());
+    children_.resize(universe_.size());
+    for (std::size_t o = 0; o < universe_.size(); ++o) {
+        const onto::Ontology& ontology = universe_[o];
+        children_[o].assign(ontology.class_count(), {});
+        for (ConceptId c = 0; c < ontology.class_count(); ++c) {
+            for (const ConceptId parent : ontology.class_decl(c).told_parents) {
+                children_[o][parent].push_back(c);
+            }
+        }
+    }
+}
+
+std::vector<std::string> ServiceWorkload::ontology_documents() const {
+    std::vector<std::string> docs;
+    docs.reserve(universe_.size());
+    for (const auto& ontology : universe_) {
+        docs.push_back(onto::save_ontology(ontology));
+    }
+    return docs;
+}
+
+std::string ServiceWorkload::qname(const ConceptPick& pick) const {
+    return onto::QualifiedName::join(
+        universe_[pick.ontology].uri(),
+        universe_[pick.ontology].class_name(pick.concept_id));
+}
+
+ServiceWorkload::ConceptPick ServiceWorkload::pick_concept(std::size_t ontology,
+                                                           Rng& rng) const {
+    // Restrict to the tree classes (those with told children structure);
+    // aliases and intersection-defined classes are still reachable through
+    // classification, but advertisement concepts come from the tree so that
+    // descendant sampling is closed.
+    const std::size_t count = universe_[ontology].class_count();
+    return ConceptPick{ontology, static_cast<ConceptId>(rng.below(count))};
+}
+
+ServiceWorkload::ConceptPick ServiceWorkload::descend(const ConceptPick& from,
+                                                      Rng& rng) const {
+    // Random told-tree walk downward: with probability 1/2 stop here, else
+    // step to a random told child. Always yields a descendant-or-self, so
+    // the advertisement concept subsumes it.
+    ConceptPick current = from;
+    while (rng.chance(0.5)) {
+        const auto& kids = children_[current.ontology][current.concept_id];
+        if (kids.empty()) break;
+        current.concept_id = kids[rng.below(kids.size())];
+    }
+    return current;
+}
+
+Rng ServiceWorkload::rng_for(std::size_t index, std::uint64_t stream) const {
+    return Rng(mix64(config_.seed ^ (index * 0x9E3779B97F4A7C15ULL) ^
+                     (stream << 56)));
+}
+
+ServiceDescription ServiceWorkload::service(std::size_t index) const {
+    Rng rng = rng_for(index, 1);
+    const std::size_t o = index % universe_.size();
+
+    ServiceDescription service;
+    service.profile.service_name = "Service" + std::to_string(index);
+    service.profile.provider = "provider" + std::to_string(index % 7);
+    service.middleware = (index % 3 == 0) ? "UPnP" : "WS";
+    service.grounding.protocol = "SOAP";
+    service.grounding.address =
+        "http://host" + std::to_string(index) + ".local/svc";
+
+    for (std::size_t c = 0; c < config_.capabilities_per_service; ++c) {
+        Capability cap;
+        cap.name = c == 0 ? "Cap" + std::to_string(index)
+                          : "Cap" + std::to_string(index) + "_" +
+                                std::to_string(c);
+        cap.kind = CapabilityKind::kProvided;
+        cap.category_qname = qname(pick_concept(o, rng));
+
+        const std::size_t n_inputs = static_cast<std::size_t>(rng.between(
+            static_cast<std::int64_t>(config_.inputs_min),
+            static_cast<std::int64_t>(config_.inputs_max)));
+        for (std::size_t i = 0; i < n_inputs; ++i) {
+            cap.inputs.push_back(Parameter{"in" + std::to_string(i),
+                                           qname(pick_concept(o, rng))});
+        }
+        const std::size_t n_outputs = static_cast<std::size_t>(rng.between(
+            static_cast<std::int64_t>(config_.outputs_min),
+            static_cast<std::int64_t>(config_.outputs_max)));
+        for (std::size_t i = 0; i < n_outputs; ++i) {
+            cap.outputs.push_back(Parameter{"out" + std::to_string(i),
+                                            qname(pick_concept(o, rng))});
+        }
+        service.profile.capabilities.push_back(std::move(cap));
+    }
+
+    for (std::size_t i = 0; i < config_.qos_count; ++i) {
+        service.profile.qos.push_back(desc::QosAttribute{
+            "qos" + std::to_string(i), static_cast<double>(rng.below(100))});
+    }
+    for (std::size_t i = 0; i < config_.context_count; ++i) {
+        service.profile.context.push_back(desc::ContextAttribute{
+            "ctx" + std::to_string(i), "value" + std::to_string(rng.below(10))});
+    }
+    return service;
+}
+
+std::string ServiceWorkload::service_xml(std::size_t index) const {
+    return desc::serialize_service(service(index));
+}
+
+ServiceRequest ServiceWorkload::matching_request(std::size_t index) const {
+    Rng rng = rng_for(index, 2);
+    const ServiceDescription advertised = service(index);
+    const Capability& provided = advertised.profile.capabilities.front();
+    const std::size_t o = index % universe_.size();
+    const onto::Ontology& ontology = universe_[o];
+
+    const auto descend_qname = [&](const std::string& advertised_qname) {
+        const auto parts = onto::QualifiedName::split(advertised_qname);
+        const ConceptId id = ontology.find_class(parts.local_name);
+        SARIADNE_ASSERT(id != onto::kNoConcept);
+        return qname(descend(ConceptPick{o, id}, rng));
+    };
+
+    ServiceRequest request;
+    request.requester = "client" + std::to_string(index);
+    Capability wanted;
+    wanted.name = "Req" + std::to_string(index);
+    wanted.kind = CapabilityKind::kRequired;
+    // Match(provided, wanted) requires, in every clause, the provider-side
+    // concept to subsume the request-side one — descendants-or-self of the
+    // advertisement's concepts guarantee it.
+    wanted.category_qname = descend_qname(provided.category_qname);
+    for (const Parameter& param : provided.inputs) {
+        wanted.inputs.push_back(
+            Parameter{param.name, descend_qname(param.concept_qname)});
+    }
+    for (const Parameter& param : provided.outputs) {
+        wanted.outputs.push_back(
+            Parameter{param.name, descend_qname(param.concept_qname)});
+    }
+    request.capabilities.push_back(std::move(wanted));
+    return request;
+}
+
+std::string ServiceWorkload::matching_request_xml(std::size_t index) const {
+    return desc::serialize_request(matching_request(index));
+}
+
+ServiceRequest ServiceWorkload::random_request(std::uint64_t salt) const {
+    Rng rng(mix64(config_.seed ^ salt ^ 0xABCDEF0123456789ULL));
+    const std::size_t o = rng.below(universe_.size());
+    ServiceRequest request;
+    request.requester = "random-client";
+    Capability wanted;
+    wanted.name = "RandomReq";
+    wanted.kind = CapabilityKind::kRequired;
+    wanted.category_qname = qname(pick_concept(o, rng));
+    wanted.inputs.push_back(Parameter{"in0", qname(pick_concept(o, rng))});
+    wanted.outputs.push_back(Parameter{"out0", qname(pick_concept(o, rng))});
+    request.capabilities.push_back(std::move(wanted));
+    return request;
+}
+
+desc::WsdlDescription ServiceWorkload::wsdl(std::size_t index) const {
+    // Syntactic twin: operation and part names mirror the semantic
+    // capability's structure, types are the concept local names.
+    const ServiceDescription semantic = service(index);
+    const Capability& cap = semantic.profile.capabilities.front();
+
+    desc::WsdlDescription wsdl;
+    wsdl.service_name = semantic.profile.service_name;
+    desc::WsdlOperation op;
+    op.name = cap.name;
+    for (const Parameter& param : cap.inputs) {
+        const auto parts = onto::QualifiedName::split(param.concept_qname);
+        op.inputs.push_back(
+            desc::WsdlPart{param.name, std::string(parts.local_name)});
+    }
+    for (const Parameter& param : cap.outputs) {
+        const auto parts = onto::QualifiedName::split(param.concept_qname);
+        op.outputs.push_back(
+            desc::WsdlPart{param.name, std::string(parts.local_name)});
+    }
+    wsdl.operations.push_back(std::move(op));
+    return wsdl;
+}
+
+std::string ServiceWorkload::wsdl_xml(std::size_t index) const {
+    return desc::serialize_wsdl(wsdl(index));
+}
+
+desc::WsdlDescription ServiceWorkload::wsdl_request(std::size_t index) const {
+    desc::WsdlDescription request = wsdl(index);
+    request.service_name = "Request" + std::to_string(index);
+    return request;
+}
+
+std::string ServiceWorkload::wsdl_request_xml(std::size_t index) const {
+    return desc::serialize_wsdl(wsdl_request(index));
+}
+
+std::pair<Capability, Capability> fig2_capabilities(const onto::Ontology& fig2) {
+    // Provided capability: 7 expected inputs, 3 offered outputs drawn
+    // deterministically from the tree; required capability: descendants
+    // (via told edges) so Match(provided, required) holds.
+    Rng rng(0xF162CAB5ULL);
+    std::vector<std::vector<ConceptId>> children(fig2.class_count());
+    std::size_t tree_count = 0;
+    for (ConceptId c = 0; c < fig2.class_count(); ++c) {
+        for (const ConceptId parent : fig2.class_decl(c).told_parents) {
+            children[parent].push_back(c);
+        }
+        if (fig2.class_decl(c).name[0] == 'C') ++tree_count;
+    }
+
+    const auto pick = [&] {
+        return static_cast<ConceptId>(rng.below(tree_count));
+    };
+    const auto descend = [&](ConceptId from) {
+        ConceptId current = from;
+        while (rng.chance(0.5) && !children[current].empty()) {
+            current = children[current][rng.below(children[current].size())];
+        }
+        return current;
+    };
+    const auto qname = [&](ConceptId id) {
+        return onto::QualifiedName::join(fig2.uri(), fig2.class_name(id));
+    };
+
+    Capability provided;
+    provided.name = "Fig2Provided";
+    provided.kind = CapabilityKind::kProvided;
+    provided.category_qname = qname(0);
+
+    Capability required;
+    required.name = "Fig2Required";
+    required.kind = CapabilityKind::kRequired;
+    required.category_qname = qname(descend(0));
+
+    for (int i = 0; i < 7; ++i) {
+        const ConceptId expected = pick();
+        provided.inputs.push_back(
+            Parameter{"in" + std::to_string(i), qname(expected)});
+        required.inputs.push_back(
+            Parameter{"in" + std::to_string(i), qname(descend(expected))});
+    }
+    for (int i = 0; i < 3; ++i) {
+        const ConceptId offered = pick();
+        provided.outputs.push_back(
+            Parameter{"out" + std::to_string(i), qname(offered)});
+        required.outputs.push_back(
+            Parameter{"out" + std::to_string(i), qname(descend(offered))});
+    }
+    return {provided, required};
+}
+
+}  // namespace sariadne::workload

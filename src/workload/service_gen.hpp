@@ -1,0 +1,91 @@
+// Synthetic service-description and request generation over an ontology
+// universe. Reproduces the §5 experimental setup: descriptions drawing on
+// 22 ontologies, one provided capability per service, plus — for every
+// semantic service — a *matching request* (request concepts are
+// descendants-or-self of the advertisement's, so Match is guaranteed) and
+// a syntactic WSDL twin for the Ariadne baseline. All generation is
+// deterministic per (seed, index).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "description/service.hpp"
+#include "description/wsdl.hpp"
+#include "ontology/ontology.hpp"
+#include "support/rng.hpp"
+
+namespace sariadne::workload {
+
+struct ServiceGenConfig {
+    std::size_t inputs_min = 1;
+    std::size_t inputs_max = 3;
+    std::size_t outputs_min = 1;
+    std::size_t outputs_max = 2;
+    /// Provided capabilities per service (§5 uses 1; the Amigo-S model
+    /// allows several per profile — used by the DAG sensitivity ablation).
+    std::size_t capabilities_per_service = 1;
+    /// QoS / context attributes per description (parser workload realism).
+    std::size_t qos_count = 2;
+    std::size_t context_count = 2;
+    std::uint64_t seed = 0x5EA51DE5ULL;
+};
+
+class ServiceWorkload {
+public:
+    ServiceWorkload(std::vector<onto::Ontology> universe,
+                    ServiceGenConfig config = {});
+
+    const std::vector<onto::Ontology>& ontologies() const noexcept {
+        return universe_;
+    }
+
+    /// Serialized XML of every ontology (for OnlineMatcher-style loads).
+    std::vector<std::string> ontology_documents() const;
+
+    /// Deterministic service #index: one provided capability drawing its
+    /// concepts from ontology (index mod universe size).
+    desc::ServiceDescription service(std::size_t index) const;
+    std::string service_xml(std::size_t index) const;
+
+    /// A request guaranteed to match service #index (request concepts are
+    /// descendants-or-self of the advertisement's concepts).
+    desc::ServiceRequest matching_request(std::size_t index) const;
+    std::string matching_request_xml(std::size_t index) const;
+
+    /// A random request over the universe; may or may not match anything.
+    desc::ServiceRequest random_request(std::uint64_t salt) const;
+
+    /// Syntactic WSDL twin of service #index and the request that conforms
+    /// to it exactly.
+    desc::WsdlDescription wsdl(std::size_t index) const;
+    std::string wsdl_xml(std::size_t index) const;
+    desc::WsdlDescription wsdl_request(std::size_t index) const;
+    std::string wsdl_request_xml(std::size_t index) const;
+
+private:
+    struct ConceptPick {
+        std::size_t ontology;
+        onto::ConceptId concept_id;
+    };
+
+    std::string qname(const ConceptPick& pick) const;
+    ConceptPick pick_concept(std::size_t ontology, Rng& rng) const;
+    ConceptPick descend(const ConceptPick& from, Rng& rng) const;
+    Rng rng_for(std::size_t index, std::uint64_t stream) const;
+
+    std::vector<onto::Ontology> universe_;
+    // Told subclass children per ontology (sampling structure).
+    std::vector<std::vector<std::vector<onto::ConceptId>>> children_;
+    ServiceGenConfig config_;
+};
+
+/// The Figure 2 matching workload: a provided and a required capability
+/// with 7 inputs and 3 outputs each over fig2_ontology(), the required one
+/// guaranteed to match the provided one.
+std::pair<desc::Capability, desc::Capability> fig2_capabilities(
+    const onto::Ontology& fig2);
+
+}  // namespace sariadne::workload

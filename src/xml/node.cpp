@@ -1,0 +1,70 @@
+#include "xml/node.hpp"
+
+#include "support/errors.hpp"
+
+namespace sariadne::xml {
+
+void XmlNode::set_attribute(std::string name, std::string value) {
+    for (auto& [existing, val] : attributes_) {
+        if (existing == name) {
+            val = std::move(value);
+            return;
+        }
+    }
+    attributes_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string_view> XmlNode::attribute(
+    std::string_view name) const noexcept {
+    for (const auto& [attr, value] : attributes_) {
+        if (attr == name) return std::string_view(value);
+    }
+    return std::nullopt;
+}
+
+std::string_view XmlNode::attribute_or(std::string_view name,
+                                       std::string_view fallback) const noexcept {
+    const auto found = attribute(name);
+    return found ? *found : fallback;
+}
+
+std::string_view XmlNode::required_attribute(std::string_view name) const {
+    const auto found = attribute(name);
+    if (!found) {
+        throw LookupError("element <" + name_ + "> is missing required attribute '" +
+                          std::string(name) + "'");
+    }
+    return *found;
+}
+
+const XmlNode* XmlNode::child(std::string_view name) const noexcept {
+    for (const auto& node : children_) {
+        if (node.name() == name) return &node;
+    }
+    return nullptr;
+}
+
+const XmlNode& XmlNode::required_child(std::string_view name) const {
+    const XmlNode* found = child(name);
+    if (found == nullptr) {
+        throw LookupError("element <" + name_ + "> is missing required child <" +
+                          std::string(name) + ">");
+    }
+    return *found;
+}
+
+std::vector<const XmlNode*> XmlNode::children_named(std::string_view name) const {
+    std::vector<const XmlNode*> result;
+    for (const auto& node : children_) {
+        if (node.name() == name) result.push_back(&node);
+    }
+    return result;
+}
+
+std::size_t XmlNode::subtree_size() const noexcept {
+    std::size_t count = 1;
+    for (const auto& node : children_) count += node.subtree_size();
+    return count;
+}
+
+}  // namespace sariadne::xml

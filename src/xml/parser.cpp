@@ -1,0 +1,291 @@
+#include "xml/parser.hpp"
+
+#include <cctype>
+#include <string>
+
+#include "support/errors.hpp"
+
+namespace sariadne::xml {
+
+namespace {
+
+bool is_name_start(char c) noexcept {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool is_name_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+           c == '-' || c == '.';
+}
+
+class Cursor {
+public:
+    explicit Cursor(std::string_view input) noexcept : input_(input) {}
+
+    bool at_end() const noexcept { return pos_ >= input_.size(); }
+
+    char peek() const noexcept {
+        return at_end() ? '\0' : input_[pos_];
+    }
+
+    char peek_at(std::size_t offset) const noexcept {
+        return pos_ + offset >= input_.size() ? '\0' : input_[pos_ + offset];
+    }
+
+    char advance() noexcept {
+        const char c = input_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    bool starts_with(std::string_view prefix) const noexcept {
+        return input_.substr(pos_).starts_with(prefix);
+    }
+
+    void skip(std::size_t count) noexcept {
+        for (std::size_t i = 0; i < count && !at_end(); ++i) advance();
+    }
+
+    void skip_whitespace() noexcept {
+        while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) {
+            advance();
+        }
+    }
+
+    [[noreturn]] void fail(const std::string& message) const {
+        throw ParseError(message, line_, column_);
+    }
+
+    std::size_t line() const noexcept { return line_; }
+    std::size_t column() const noexcept { return column_; }
+
+private:
+    std::string_view input_;
+    std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+    std::size_t column_ = 1;
+};
+
+class Parser {
+public:
+    explicit Parser(std::string_view input) : cursor_(input) {}
+
+    XmlDocument parse_document() {
+        skip_prolog();
+        XmlDocument doc;
+        doc.root = parse_element();
+        skip_misc();
+        if (!cursor_.at_end()) {
+            cursor_.fail("content after the root element");
+        }
+        return doc;
+    }
+
+private:
+    void skip_prolog() {
+        skip_misc();
+        if (cursor_.starts_with("<!DOCTYPE")) {
+            cursor_.fail("DOCTYPE declarations are not supported");
+        }
+    }
+
+    // Skips whitespace, comments, processing instructions and the XML
+    // declaration, in any order.
+    void skip_misc() {
+        for (;;) {
+            cursor_.skip_whitespace();
+            if (cursor_.starts_with("<!--")) {
+                skip_comment();
+            } else if (cursor_.starts_with("<?")) {
+                skip_processing_instruction();
+            } else {
+                return;
+            }
+        }
+    }
+
+    void skip_comment() {
+        cursor_.skip(4);  // "<!--"
+        while (!cursor_.at_end() && !cursor_.starts_with("-->")) cursor_.advance();
+        if (cursor_.at_end()) cursor_.fail("unterminated comment");
+        cursor_.skip(3);
+    }
+
+    void skip_processing_instruction() {
+        cursor_.skip(2);  // "<?"
+        while (!cursor_.at_end() && !cursor_.starts_with("?>")) cursor_.advance();
+        if (cursor_.at_end()) cursor_.fail("unterminated processing instruction");
+        cursor_.skip(2);
+    }
+
+    std::string parse_name() {
+        if (!is_name_start(cursor_.peek())) {
+            cursor_.fail("expected a name");
+        }
+        std::string name;
+        while (is_name_char(cursor_.peek())) name += cursor_.advance();
+        return name;
+    }
+
+    XmlNode parse_element() {
+        if (cursor_.peek() != '<') cursor_.fail("expected '<'");
+        cursor_.advance();
+        XmlNode node(parse_name());
+        parse_attributes(node);
+        cursor_.skip_whitespace();
+        if (cursor_.starts_with("/>")) {
+            cursor_.skip(2);
+            return node;
+        }
+        if (cursor_.peek() != '>') cursor_.fail("expected '>' or '/>'");
+        cursor_.advance();
+        parse_content(node);
+        return node;  // parse_content consumed the matching end tag
+    }
+
+    void parse_attributes(XmlNode& node) {
+        for (;;) {
+            cursor_.skip_whitespace();
+            if (!is_name_start(cursor_.peek())) return;
+            std::string name = parse_name();
+            cursor_.skip_whitespace();
+            if (cursor_.peek() != '=') cursor_.fail("expected '=' after attribute name");
+            cursor_.advance();
+            cursor_.skip_whitespace();
+            const char quote = cursor_.peek();
+            if (quote != '"' && quote != '\'') {
+                cursor_.fail("expected quoted attribute value");
+            }
+            cursor_.advance();
+            std::string value;
+            while (!cursor_.at_end() && cursor_.peek() != quote) {
+                if (cursor_.peek() == '&') {
+                    value += parse_entity();
+                } else {
+                    value += cursor_.advance();
+                }
+            }
+            if (cursor_.at_end()) cursor_.fail("unterminated attribute value");
+            cursor_.advance();  // closing quote
+            node.set_attribute(std::move(name), std::move(value));
+        }
+    }
+
+    void parse_content(XmlNode& node) {
+        std::string text;
+        for (;;) {
+            if (cursor_.at_end()) cursor_.fail("unexpected end of input inside <" +
+                                               node.name() + ">");
+            if (cursor_.starts_with("<!--")) {
+                skip_comment();
+            } else if (cursor_.starts_with("<![CDATA[")) {
+                parse_cdata(text);
+            } else if (cursor_.starts_with("</")) {
+                cursor_.skip(2);
+                const std::string name = parse_name();
+                if (name != node.name()) {
+                    cursor_.fail("mismatched end tag </" + name + "> for <" +
+                                 node.name() + ">");
+                }
+                cursor_.skip_whitespace();
+                if (cursor_.peek() != '>') cursor_.fail("expected '>' in end tag");
+                cursor_.advance();
+                node.set_text(trim(text));
+                return;
+            } else if (cursor_.starts_with("<?")) {
+                skip_processing_instruction();
+            } else if (cursor_.peek() == '<') {
+                node.add_child(parse_element());
+            } else if (cursor_.peek() == '&') {
+                text += parse_entity();
+            } else {
+                text += cursor_.advance();
+            }
+        }
+    }
+
+    void parse_cdata(std::string& out) {
+        cursor_.skip(9);  // "<![CDATA["
+        while (!cursor_.at_end() && !cursor_.starts_with("]]>")) {
+            out += cursor_.advance();
+        }
+        if (cursor_.at_end()) cursor_.fail("unterminated CDATA section");
+        cursor_.skip(3);
+    }
+
+    std::string parse_entity() {
+        cursor_.advance();  // '&'
+        std::string entity;
+        while (!cursor_.at_end() && cursor_.peek() != ';') {
+            entity += cursor_.advance();
+            if (entity.size() > 8) cursor_.fail("entity reference too long");
+        }
+        if (cursor_.at_end()) cursor_.fail("unterminated entity reference");
+        cursor_.advance();  // ';'
+        if (entity == "lt") return "<";
+        if (entity == "gt") return ">";
+        if (entity == "amp") return "&";
+        if (entity == "quot") return "\"";
+        if (entity == "apos") return "'";
+        if (!entity.empty() && entity[0] == '#') {
+            return decode_char_reference(entity);
+        }
+        cursor_.fail("unknown entity '&" + entity + ";'");
+    }
+
+    std::string decode_char_reference(const std::string& entity) {
+        unsigned long code = 0;
+        try {
+            code = entity[1] == 'x' || entity[1] == 'X'
+                       ? std::stoul(entity.substr(2), nullptr, 16)
+                       : std::stoul(entity.substr(1), nullptr, 10);
+        } catch (const std::exception&) {
+            cursor_.fail("malformed character reference '&" + entity + ";'");
+        }
+        return encode_utf8(code);
+    }
+
+    std::string encode_utf8(unsigned long code) {
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x110000) {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            cursor_.fail("character reference out of range");
+        }
+        return out;
+    }
+
+    static std::string trim(const std::string& text) {
+        const auto begin = text.find_first_not_of(" \t\r\n");
+        if (begin == std::string::npos) return {};
+        const auto end = text.find_last_not_of(" \t\r\n");
+        return text.substr(begin, end - begin + 1);
+    }
+
+    Cursor cursor_;
+};
+
+}  // namespace
+
+XmlDocument parse(std::string_view input) {
+    return Parser(input).parse_document();
+}
+
+}  // namespace sariadne::xml

@@ -1,0 +1,19 @@
+// Recursive-descent XML parser. Supports the well-formed subset the
+// discovery documents use: elements, attributes (single- or double-quoted),
+// self-closing tags, character data, the five predefined entities plus
+// decimal/hex character references, comments, CDATA sections, XML
+// declarations and processing instructions (skipped). DOCTYPE is rejected.
+// Errors carry line/column positions.
+#pragma once
+
+#include <string_view>
+
+#include "xml/node.hpp"
+
+namespace sariadne::xml {
+
+/// Parses a complete document. Throws sariadne::ParseError on malformed
+/// input. The input must contain exactly one root element.
+XmlDocument parse(std::string_view input);
+
+}  // namespace sariadne::xml

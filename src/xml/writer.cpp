@@ -1,0 +1,89 @@
+#include "xml/writer.hpp"
+
+namespace sariadne::xml {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text, bool in_attribute) {
+    for (const char c : text) {
+        switch (c) {
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '&': out += "&amp;"; break;
+            case '"':
+                if (in_attribute) out += "&quot;";
+                else out += c;
+                break;
+            default: out += c; break;
+        }
+    }
+}
+
+void write_node(std::string& out, const XmlNode& node, const WriteOptions& options,
+                int depth) {
+    const std::string indent =
+        options.pretty ? std::string(static_cast<std::size_t>(depth) *
+                                         static_cast<std::size_t>(options.indent_width),
+                                     ' ')
+                       : std::string();
+    out += indent;
+    out += '<';
+    out += node.name();
+    for (const auto& [name, value] : node.attributes()) {
+        out += ' ';
+        out += name;
+        out += "=\"";
+        append_escaped(out, value, /*in_attribute=*/true);
+        out += '"';
+    }
+
+    const bool has_children = !node.children().empty();
+    const bool has_text = !node.text().empty();
+    if (!has_children && !has_text) {
+        out += "/>";
+        if (options.pretty) out += '\n';
+        return;
+    }
+
+    out += '>';
+    if (has_text) {
+        append_escaped(out, node.text(), /*in_attribute=*/false);
+    }
+    if (has_children) {
+        if (options.pretty) out += '\n';
+        for (const auto& node_child : node.children()) {
+            write_node(out, node_child, options, depth + 1);
+        }
+        out += indent;
+    }
+    out += "</";
+    out += node.name();
+    out += '>';
+    if (options.pretty) out += '\n';
+}
+
+}  // namespace
+
+std::string write(const XmlNode& root, const WriteOptions& options) {
+    std::string out;
+    if (options.declaration) {
+        out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+        if (options.pretty) out += '\n';
+    }
+    write_node(out, root, options, 0);
+    return out;
+}
+
+std::string escape_text(std::string_view text) {
+    std::string out;
+    append_escaped(out, text, /*in_attribute=*/false);
+    return out;
+}
+
+std::string escape_attribute(std::string_view text) {
+    std::string out;
+    append_escaped(out, text, /*in_attribute=*/true);
+    return out;
+}
+
+}  // namespace sariadne::xml

@@ -1,0 +1,28 @@
+// XML serialization — the inverse of parser.hpp. Used by the workload
+// generators to materialize Amigo-S / ontology / WSDL documents that the
+// benchmarks then parse back, so that the measured parse cost corresponds
+// to a realistic document, not a hand-minified one.
+#pragma once
+
+#include <string>
+
+#include "xml/node.hpp"
+
+namespace sariadne::xml {
+
+struct WriteOptions {
+    bool pretty = true;        ///< newline + indentation between elements
+    int indent_width = 2;      ///< spaces per nesting level when pretty
+    bool declaration = true;   ///< emit <?xml version="1.0"?> header
+};
+
+/// Serializes a node subtree. Attribute and text content are escaped.
+std::string write(const XmlNode& root, const WriteOptions& options = {});
+
+/// Escapes the five predefined XML entities in character data.
+std::string escape_text(std::string_view text);
+
+/// Escapes character data for use inside a double-quoted attribute.
+std::string escape_attribute(std::string_view text);
+
+}  // namespace sariadne::xml

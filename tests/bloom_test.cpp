@@ -1,0 +1,154 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.hpp"
+#include "support/contracts.hpp"
+#include "support/errors.hpp"
+#include "support/rng.hpp"
+
+namespace sariadne::bloom {
+namespace {
+
+std::vector<std::string> uris(std::initializer_list<const char*> items) {
+    return {items.begin(), items.end()};
+}
+
+TEST(BloomFilter, NoFalseNegativesForKeys) {
+    BloomFilter filter;
+    std::vector<Hash128> keys;
+    for (int i = 0; i < 100; ++i) {
+        keys.push_back(BloomFilter::element_key("uri-" + std::to_string(i)));
+        filter.insert(keys.back());
+    }
+    for (const auto& key : keys) {
+        EXPECT_TRUE(filter.possibly_contains(key));
+    }
+}
+
+TEST(BloomFilter, EmptyFilterContainsNothing) {
+    const BloomFilter filter;
+    EXPECT_FALSE(filter.possibly_contains(BloomFilter::element_key("x")));
+    EXPECT_EQ(filter.set_bit_count(), 0u);
+    EXPECT_DOUBLE_EQ(filter.fill_ratio(), 0.0);
+}
+
+TEST(BloomFilter, CoversSubsetsOfInsertedSets) {
+    BloomFilter filter;
+    filter.insert_ontology_set(uris({"http://o/1", "http://o/2", "http://o/3"}));
+    // A request drawing on a subset of the advertised ontologies must pass.
+    const auto subset = uris({"http://o/1", "http://o/3"});
+    EXPECT_TRUE(filter.possibly_covers(subset));
+    // An unrelated ontology must (overwhelmingly likely) fail.
+    EXPECT_FALSE(filter.possibly_covers(uris({"http://other/9"})));
+}
+
+TEST(BloomFilter, SetKeyIsOrderIndependent) {
+    const auto a = BloomFilter::set_key(uris({"u1", "u2", "u3"}));
+    const auto b = BloomFilter::set_key(uris({"u3", "u1", "u2"}));
+    EXPECT_EQ(a.h1, b.h1);
+    EXPECT_EQ(a.h2, b.h2);
+}
+
+TEST(BloomFilter, MergeIsUnion) {
+    BloomFilter a;
+    BloomFilter b;
+    a.insert(BloomFilter::element_key("x"));
+    b.insert(BloomFilter::element_key("y"));
+    a.merge(b);
+    EXPECT_TRUE(a.possibly_contains(BloomFilter::element_key("x")));
+    EXPECT_TRUE(a.possibly_contains(BloomFilter::element_key("y")));
+}
+
+TEST(BloomFilter, MergeRejectsDifferentParams) {
+    BloomFilter a(BloomParams{1024, 4});
+    const BloomFilter b(BloomParams{2048, 4});
+    EXPECT_THROW(a.merge(b), Error);
+}
+
+TEST(BloomFilter, SerializeRoundTrip) {
+    BloomFilter filter(BloomParams{512, 3});
+    filter.insert_ontology_set(uris({"a", "b"}));
+    const auto wire = filter.serialize();
+    const BloomFilter restored = BloomFilter::deserialize(wire);
+    EXPECT_EQ(restored, filter);
+    EXPECT_EQ(restored.params().bits, 512u);
+    EXPECT_EQ(restored.params().hash_count, 3u);
+}
+
+TEST(BloomFilter, DeserializeRejectsGarbage) {
+    EXPECT_THROW(BloomFilter::deserialize(std::vector<std::uint64_t>{}), Error);
+    const std::vector<std::uint64_t> bad{(std::uint64_t{128} << 32) | 2, 0};
+    EXPECT_THROW(BloomFilter::deserialize(bad), Error);  // wrong word count
+}
+
+TEST(BloomFilter, ClearResets) {
+    BloomFilter filter;
+    filter.insert(BloomFilter::element_key("x"));
+    EXPECT_GT(filter.set_bit_count(), 0u);
+    filter.clear();
+    EXPECT_EQ(filter.set_bit_count(), 0u);
+    EXPECT_FALSE(filter.possibly_contains(BloomFilter::element_key("x")));
+}
+
+TEST(BloomFilter, MeasuredFalsePositiveRateNearTheory) {
+    const BloomParams params{2048, 4};
+    BloomFilter filter(params);
+    constexpr int kInserted = 200;
+    for (int i = 0; i < kInserted; ++i) {
+        filter.insert(BloomFilter::element_key("member-" + std::to_string(i)));
+    }
+    int false_positives = 0;
+    constexpr int kProbes = 20000;
+    for (int i = 0; i < kProbes; ++i) {
+        if (filter.possibly_contains(
+                BloomFilter::element_key("absent-" + std::to_string(i)))) {
+            ++false_positives;
+        }
+    }
+    const double measured =
+        static_cast<double>(false_positives) / kProbes;
+    const double expected =
+        BloomFilter::expected_false_positive_rate(params, kInserted);
+    EXPECT_NEAR(measured, expected, 0.02);
+}
+
+TEST(BloomFilter, ExpectedRateMonotoneInInsertions) {
+    const BloomParams params{1024, 4};
+    double prev = 0;
+    for (std::size_t n : {10u, 50u, 100u, 500u}) {
+        const double rate = BloomFilter::expected_false_positive_rate(params, n);
+        EXPECT_GE(rate, prev);
+        prev = rate;
+    }
+    EXPECT_GT(prev, 0.5);  // badly overloaded filter
+}
+
+TEST(BloomFilter, OptimalHashCountFormula) {
+    EXPECT_EQ(BloomFilter::optimal_hash_count(1024, 0), 1u);
+    // m/n = 10 → k ≈ 6.93 → 7.
+    EXPECT_EQ(BloomFilter::optimal_hash_count(1000, 100), 7u);
+    EXPECT_EQ(BloomFilter::optimal_hash_count(64, 100000), 1u);
+    EXPECT_LE(BloomFilter::optimal_hash_count(1u << 30, 1), 32u);
+}
+
+TEST(BloomFilter, FillRatioAndSelfEstimate) {
+    BloomFilter filter(BloomParams{256, 2});
+    for (int i = 0; i < 64; ++i) {
+        filter.insert(BloomFilter::element_key(std::to_string(i)));
+    }
+    EXPECT_GT(filter.fill_ratio(), 0.1);
+    EXPECT_LT(filter.fill_ratio(), 0.9);
+    EXPECT_GT(filter.false_positive_rate(), 0.0);
+    EXPECT_LT(filter.false_positive_rate(), 1.0);
+}
+
+TEST(BloomFilter, ParamValidation) {
+    EXPECT_THROW((BloomFilter(BloomParams{32, 4})), ContractViolation);
+    EXPECT_THROW((BloomFilter(BloomParams{128, 0})), ContractViolation);
+    EXPECT_THROW((BloomFilter(BloomParams{128, 64})), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sariadne::bloom

@@ -1,0 +1,144 @@
+// Composition planning over required capabilities (§2.2).
+#include <gtest/gtest.h>
+
+#include "core/composition.hpp"
+#include "core/discovery_engine.hpp"
+#include "test_helpers.hpp"
+
+namespace sariadne {
+namespace {
+
+namespace th = sariadne::testing;
+
+desc::Capability require(const desc::Capability& provided) {
+    desc::Capability cap = provided;
+    cap.kind = desc::CapabilityKind::kRequired;
+    return cap;
+}
+
+class CompositionFixture : public ::testing::Test {
+protected:
+    CompositionFixture() {
+        engine_.register_ontology(th::media_ontology());
+        engine_.register_ontology(th::server_ontology());
+    }
+
+    DiscoveryEngine engine_;
+};
+
+TEST_F(CompositionFixture, SingleLevelPlan) {
+    engine_.publish(th::workstation_service());
+
+    // A media renderer that needs a video stream source.
+    desc::ServiceDescription renderer;
+    renderer.profile.service_name = "WallScreen";
+    desc::Capability needs = require(th::get_video_stream());
+    renderer.profile.capabilities.push_back(needs);
+
+    CompositionPlanner planner(engine_.directory());
+    const CompositionPlan plan = planner.plan(renderer);
+    EXPECT_TRUE(plan.complete());
+    ASSERT_EQ(plan.steps.size(), 1u);
+    EXPECT_EQ(plan.steps[0].consumer_service, "WallScreen");
+    EXPECT_EQ(plan.steps[0].provider_service, "Workstation");
+    EXPECT_EQ(plan.steps[0].provided_capability, "SendDigitalStream");
+    EXPECT_EQ(plan.steps[0].grounding.address, "http://workstation.local/media");
+}
+
+TEST_F(CompositionFixture, TransitivePlanIsDependencyOrdered) {
+    // Workstation itself requires a game source; a GameVault provides it.
+    desc::ServiceDescription workstation = th::workstation_service();
+    desc::Capability needs_games = require(th::provide_game());
+    needs_games.name = "NeedsGameSource";
+    // Avoid matching the workstation's own ProvideGame by requiring an
+    // output the workstation does not produce.
+    needs_games.outputs[0].concept_qname = th::media("GameResource");
+    workstation.profile.capabilities.push_back(needs_games);
+    engine_.publish(workstation);
+
+    desc::ServiceDescription vault;
+    vault.profile.service_name = "GameVault";
+    vault.grounding.address = "http://vault.local";
+    desc::Capability serves_games = th::provide_game();
+    serves_games.name = "ServeGames";
+    serves_games.outputs[0].concept_qname = th::media("GameResource");
+    vault.profile.capabilities.push_back(serves_games);
+    engine_.publish(vault);
+
+    desc::ServiceDescription renderer;
+    renderer.profile.service_name = "WallScreen";
+    renderer.profile.capabilities.push_back(require(th::get_video_stream()));
+
+    CompositionPlanner planner(engine_.directory());
+    const CompositionPlan plan = planner.plan(renderer);
+    ASSERT_TRUE(plan.complete());
+    ASSERT_EQ(plan.steps.size(), 2u);
+    // Dependency order: the workstation's own requirement resolves first.
+    EXPECT_EQ(plan.steps[0].consumer_service, "Workstation");
+    EXPECT_EQ(plan.steps[0].provider_service, "GameVault");
+    EXPECT_EQ(plan.steps[1].consumer_service, "WallScreen");
+    EXPECT_EQ(plan.steps[1].provider_service, "Workstation");
+}
+
+TEST_F(CompositionFixture, UnsatisfiableRequirementIsReportedAsGap) {
+    desc::ServiceDescription lonely;
+    lonely.profile.service_name = "Lonely";
+    lonely.profile.capabilities.push_back(require(th::get_video_stream()));
+
+    CompositionPlanner planner(engine_.directory());
+    const CompositionPlan plan = planner.plan(lonely);
+    EXPECT_FALSE(plan.complete());
+    ASSERT_EQ(plan.gaps.size(), 1u);
+    EXPECT_EQ(plan.gaps[0].consumer_service, "Lonely");
+    EXPECT_EQ(plan.gaps[0].required_capability, "GetVideoStream");
+    EXPECT_TRUE(plan.steps.empty());
+}
+
+TEST_F(CompositionFixture, CyclicDependencyDetected) {
+    // A requires what only A provides: planning from a consumer of A must
+    // not recurse forever and must name the cycle.
+    desc::ServiceDescription self_feeding = th::workstation_service();
+    desc::Capability needs = require(th::get_video_stream());
+    needs.name = "NeedsOwnStream";
+    self_feeding.profile.capabilities.push_back(needs);
+    engine_.publish(self_feeding);
+
+    desc::ServiceDescription renderer;
+    renderer.profile.service_name = "WallScreen";
+    renderer.profile.capabilities.push_back(require(th::get_video_stream()));
+
+    CompositionPlanner planner(engine_.directory());
+    const CompositionPlan plan = planner.plan(renderer);
+    // The workstation's requirement can only be met by itself => gap.
+    EXPECT_FALSE(plan.complete());
+    ASSERT_EQ(plan.gaps.size(), 1u);
+    EXPECT_EQ(plan.gaps[0].consumer_service, "Workstation");
+    EXPECT_NE(plan.gaps[0].reason.find("cyclic"), std::string::npos);
+    // The renderer's own requirement still resolves.
+    ASSERT_EQ(plan.steps.size(), 1u);
+    EXPECT_EQ(plan.steps[0].consumer_service, "WallScreen");
+}
+
+TEST_F(CompositionFixture, DepthLimitProducesGaps) {
+    engine_.publish(th::workstation_service());
+    desc::ServiceDescription renderer;
+    renderer.profile.service_name = "WallScreen";
+    renderer.profile.capabilities.push_back(require(th::get_video_stream()));
+
+    CompositionPlanner planner(engine_.directory(), /*max_depth=*/0);
+    const CompositionPlan plan = planner.plan(renderer);
+    EXPECT_FALSE(plan.complete());
+    ASSERT_EQ(plan.gaps.size(), 1u);
+    EXPECT_NE(plan.gaps[0].reason.find("depth"), std::string::npos);
+}
+
+TEST_F(CompositionFixture, ServiceWithoutRequirementsYieldsEmptyPlan) {
+    engine_.publish(th::workstation_service());
+    CompositionPlanner planner(engine_.directory());
+    const CompositionPlan plan = planner.plan(th::workstation_service());
+    EXPECT_TRUE(plan.complete());
+    EXPECT_TRUE(plan.steps.empty());
+}
+
+}  // namespace
+}  // namespace sariadne

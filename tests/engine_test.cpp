@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/discovery_engine.hpp"
+#include "description/amigos_io.hpp"
+#include "ontology/loader.hpp"
+#include "support/errors.hpp"
+#include "test_helpers.hpp"
+
+namespace sariadne {
+namespace {
+
+namespace th = sariadne::testing;
+
+TEST(DiscoveryEngine, QuickstartFlow) {
+    DiscoveryEngine engine;
+    engine.register_ontology_xml(onto::save_ontology(th::media_ontology()));
+    engine.register_ontology_xml(onto::save_ontology(th::server_ontology()));
+
+    const auto id =
+        engine.publish(desc::serialize_service(th::workstation_service()));
+    EXPECT_GT(id, 0u);
+
+    desc::ServiceRequest request;
+    request.requester = "pda";
+    request.capabilities.push_back(th::get_video_stream());
+    const auto results = engine.discover(desc::serialize_request(request));
+    ASSERT_EQ(results.size(), 1u);
+    ASSERT_EQ(results[0].size(), 1u);
+    EXPECT_EQ(results[0][0].service_name, "Workstation");
+    EXPECT_EQ(results[0][0].capability_name, "SendDigitalStream");
+    EXPECT_EQ(results[0][0].semantic_distance, 3);
+    EXPECT_EQ(results[0][0].grounding.address, "http://workstation.local/media");
+}
+
+TEST(DiscoveryEngine, WithdrawRemovesService) {
+    DiscoveryEngine engine;
+    engine.register_ontology(th::media_ontology());
+    engine.register_ontology(th::server_ontology());
+    const auto id = engine.publish(th::workstation_service());
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    EXPECT_FALSE(engine.discover(request)[0].empty());
+    EXPECT_TRUE(engine.withdraw(id));
+    EXPECT_TRUE(engine.discover(request)[0].empty());
+    EXPECT_FALSE(engine.withdraw(id));
+}
+
+TEST(DiscoveryEngine, PublishBeforeOntologyFails) {
+    DiscoveryEngine engine;
+    EXPECT_THROW(engine.publish(th::workstation_service()), LookupError);
+}
+
+TEST(DiscoveryEngine, MultiCapabilityRequest) {
+    DiscoveryEngine engine;
+    engine.register_ontology(th::media_ontology());
+    engine.register_ontology(th::server_ontology());
+    engine.publish(th::workstation_service());
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    desc::Capability game = th::provide_game();
+    game.kind = desc::CapabilityKind::kRequired;
+    request.capabilities.push_back(game);
+    desc::Capability impossible = th::get_video_stream();
+    impossible.name = "Impossible";
+    impossible.outputs[0].concept_qname = th::media("Title");
+    request.capabilities.push_back(impossible);
+
+    const auto results = engine.discover(request);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_FALSE(results[0].empty());
+    EXPECT_FALSE(results[1].empty());
+    EXPECT_TRUE(results[2].empty());
+}
+
+TEST(DiscoveryEngine, OntologyEvolutionIsPickedUp) {
+    DiscoveryEngine engine;
+    engine.register_ontology(th::media_ontology());
+    engine.register_ontology(th::server_ontology());
+    engine.publish(th::workstation_service());
+
+    // Version 2 of the server ontology inserts a level between
+    // DigitalServer and MediaServer, increasing the category distance by 1.
+    onto::Ontology v2(th::kServerUri, 2);
+    const auto server = v2.add_class("Server");
+    const auto digital = v2.add_class("DigitalServer");
+    const auto streaming = v2.add_class("StreamingServer");
+    const auto media = v2.add_class("MediaServer");
+    const auto video = v2.add_class("VideoServer");
+    const auto game = v2.add_class("GameServer");
+    v2.add_subclass_of(digital, server);
+    v2.add_subclass_of(streaming, digital);
+    v2.add_subclass_of(media, streaming);
+    v2.add_subclass_of(video, media);
+    v2.add_subclass_of(game, digital);
+    engine.register_ontology(std::move(v2));
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto results = engine.discover(request);
+    ASSERT_FALSE(results[0].empty());
+    EXPECT_EQ(results[0][0].semantic_distance, 4);  // was 3 under version 1
+}
+
+TEST(DiscoveryEngine, RankingPrefersCloserAdvertisement) {
+    DiscoveryEngine engine;
+    engine.register_ontology(th::media_ontology());
+    engine.register_ontology(th::server_ontology());
+    engine.publish(th::workstation_service());
+
+    // A specialized video server matches GetVideoStream at distance 1.
+    desc::ServiceDescription video_service;
+    video_service.profile.service_name = "VideoBox";
+    video_service.grounding.address = "http://videobox.local";
+    desc::Capability cap = th::send_digital_stream();
+    cap.name = "StreamVideo";
+    cap.category_qname = th::server("VideoServer");
+    video_service.profile.capabilities.push_back(cap);
+    engine.publish(video_service);
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto results = engine.discover(request);
+    ASSERT_EQ(results[0].size(), 1u);
+    EXPECT_EQ(results[0][0].service_name, "VideoBox");
+    EXPECT_EQ(results[0][0].semantic_distance, 1);
+}
+
+}  // namespace
+}  // namespace sariadne

@@ -1,0 +1,216 @@
+// Hybrid ad-hoc + infrastructure networking (the paper targets "open
+// pervasive computing environments that integrate heterogeneous wireless
+// network technologies (i.e., ad hoc and infrastructure-based
+// networking)"). Access points form a cheap wired backbone; elections
+// must gravitate onto them; discovery across the backbone must beat the
+// pure-radio path.
+#include <gtest/gtest.h>
+
+#include "ariadne/protocol.hpp"
+#include "description/amigos_io.hpp"
+#include "net/mobility.hpp"
+#include "net/topology.hpp"
+#include "test_helpers.hpp"
+
+namespace sariadne {
+namespace {
+
+namespace th = sariadne::testing;
+using net::NodeId;
+using net::Topology;
+
+TEST(HybridTopology, StructureAndFlags) {
+    Rng rng(5);
+    const Topology topo = Topology::hybrid(20, 4, 0.3, rng);
+    EXPECT_EQ(topo.node_count(), 24u);
+    EXPECT_TRUE(topo.connected());
+    for (NodeId ap = 0; ap < 4; ++ap) {
+        EXPECT_TRUE(topo.is_infrastructure(ap));
+        // Wired full mesh: each AP reaches the other three directly.
+        EXPECT_GE(topo.neighbors(ap).size(), 3u);
+    }
+    for (NodeId m = 4; m < 24; ++m) {
+        EXPECT_FALSE(topo.is_infrastructure(m));
+    }
+}
+
+TEST(HybridTopology, WiredLinksAreCheaperThanRadio) {
+    Rng rng(5);
+    const Topology topo = Topology::hybrid(20, 4, 0.3, rng, /*wired_weight=*/0.2);
+    // AP to AP: direct wired link costs 0.2; hop count is 1.
+    EXPECT_EQ(topo.hop_distance(0, 1), 1);
+    EXPECT_DOUBLE_EQ(topo.path_cost(0, 1), 0.2);
+    // Weighted cost never exceeds unweighted hops.
+    const auto hops = topo.hop_distances(0);
+    const auto costs = topo.path_costs(0);
+    for (NodeId n = 0; n < topo.node_count(); ++n) {
+        ASSERT_GE(hops[n], 0);
+        EXPECT_LE(costs[n], static_cast<double>(hops[n]) + 1e-9);
+    }
+}
+
+TEST(HybridTopology, PathCostRespectsChurn) {
+    Topology topo = Topology::grid(3, 1);  // 0 - 1 - 2, unit weights
+    EXPECT_DOUBLE_EQ(topo.path_cost(0, 2), 2.0);
+    topo.set_up(1, false);
+    EXPECT_LT(topo.path_cost(0, 2), 0);  // unreachable
+}
+
+TEST(HybridTopology, WeightedShortcutPreferred) {
+    // Triangle: 0-1 and 1-2 radio (1.0 each), 0-2 wired 0.3.
+    Topology topo = Topology::grid(3, 1);
+    topo.add_link(0, 2, 0.3);
+    EXPECT_DOUBLE_EQ(topo.path_cost(0, 2), 0.3);
+    EXPECT_DOUBLE_EQ(topo.path_cost(0, 1), 1.0);
+}
+
+TEST(HybridProtocol, ElectionGravitatesOntoAccessPoints) {
+    encoding::KnowledgeBase kb;
+    kb.register_ontology(th::media_ontology());
+    kb.register_ontology(th::server_ontology());
+
+    Rng rng(11);
+    ariadne::ProtocolConfig config;
+    config.adv_period_ms = 500;
+    config.adv_timeout_ms = 1500;
+    config.election_wait_ms = 40;
+
+    ariadne::DiscoveryNetwork network(Topology::hybrid(24, 4, 0.3, rng),
+                                      config, kb);
+    network.start();
+    network.run_for(12000);
+
+    const auto dirs = network.directories();
+    ASSERT_FALSE(dirs.empty());
+    // Every elected directory should be an access point: mains power and
+    // wired degree dominate the fitness of any battery device.
+    for (const NodeId dir : dirs) {
+        EXPECT_TRUE(network.simulator().topology().is_infrastructure(dir))
+            << "directory elected on battery node " << dir;
+    }
+}
+
+TEST(HybridProtocol, DiscoveryAcrossTheWiredBackbone) {
+    encoding::KnowledgeBase kb;
+    kb.register_ontology(th::media_ontology());
+    kb.register_ontology(th::server_ontology());
+
+    Rng rng(13);
+    ariadne::ProtocolConfig config;
+    config.adv_period_ms = 500;
+    config.adv_timeout_ms = 1500;
+    config.election_wait_ms = 40;
+    config.vicinity_hops = 2;
+
+    ariadne::DiscoveryNetwork network(Topology::hybrid(30, 4, 0.25, rng),
+                                      config, kb);
+    network.start();
+    network.run_for(10000);
+    ASSERT_FALSE(network.directories().empty());
+
+    network.publish_service(10,
+                            desc::serialize_service(th::workstation_service()));
+    network.run_for(5000);
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(30, desc::serialize_request(request));
+    network.run_for(10000);
+    const auto& outcome = network.outcome(id);
+    ASSERT_TRUE(outcome.answered);
+    EXPECT_TRUE(outcome.satisfied);
+}
+
+TEST(Mobility, NodesMoveAndLinksRewire) {
+    Rng rng(3);
+    net::Simulator sim(net::Topology::random_geometric(12, 0.4, rng));
+    net::MobilityConfig config;
+    config.speed = 0.2;
+    config.step_ms = 100;
+    config.radio_range = 0.4;
+    config.seed = 9;
+    net::RandomWaypointMobility mobility(sim, config);
+
+    std::vector<net::Position> before;
+    for (net::NodeId n = 0; n < 12; ++n) {
+        before.push_back(sim.topology().position(n));
+    }
+    mobility.start();
+    sim.run(5000);
+
+    EXPECT_GT(mobility.steps(), 10u);
+    EXPECT_GT(mobility.distance_travelled(), 0.5);
+    int moved = 0;
+    for (net::NodeId n = 0; n < 12; ++n) {
+        const auto now = sim.topology().position(n);
+        if (now.x != before[n].x || now.y != before[n].y) ++moved;
+    }
+    EXPECT_GE(moved, 10);
+}
+
+TEST(Mobility, InfrastructureStaysPutAndWiredLinksSurvive) {
+    Rng rng(5);
+    net::Simulator sim(net::Topology::hybrid(16, 4, 0.3, rng));
+    const auto ap_pos = sim.topology().position(0);
+    net::MobilityConfig config;
+    config.speed = 0.3;
+    config.step_ms = 100;
+    config.radio_range = 0.3;
+    net::RandomWaypointMobility mobility(sim, config);
+    mobility.start();
+    sim.run(5000);
+
+    const auto after = sim.topology().position(0);
+    EXPECT_DOUBLE_EQ(after.x, ap_pos.x);
+    EXPECT_DOUBLE_EQ(after.y, ap_pos.y);
+    // Wired backbone intact: AP 0 still reaches AP 3 in one cheap hop.
+    EXPECT_EQ(sim.topology().hop_distance(0, 3), 1);
+    EXPECT_LT(sim.topology().path_cost(0, 3), 1.0);
+}
+
+TEST(Mobility, DiscoverySurvivesMotion) {
+    encoding::KnowledgeBase kb;
+    kb.register_ontology(th::media_ontology());
+    kb.register_ontology(th::server_ontology());
+
+    Rng rng(17);
+    ariadne::ProtocolConfig config;
+    config.adv_period_ms = 500;
+    config.adv_timeout_ms = 1500;
+    config.election_wait_ms = 40;
+    config.republish_period_ms = 2000;
+    config.request_timeout_ms = 3000;
+    config.max_request_retries = 4;
+
+    ariadne::DiscoveryNetwork network(Topology::hybrid(20, 4, 0.3, rng),
+                                      config, kb);
+    net::MobilityConfig motion;
+    motion.speed = 0.03;  // pedestrian pace
+    motion.step_ms = 500;
+    motion.radio_range = 0.3;
+    net::RandomWaypointMobility mobility(network.simulator(), motion);
+    mobility.start();
+    network.start();
+    network.run_for(8000);
+    ASSERT_FALSE(network.directories().empty());
+
+    network.publish_service(10,
+                            desc::serialize_service(th::workstation_service()));
+    network.run_for(4000);
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    int satisfied = 0;
+    for (int i = 0; i < 5; ++i) {
+        const auto id = network.discover(
+            static_cast<net::NodeId>(5 + i * 3),
+            desc::serialize_request(request));
+        network.run_for(8000);
+        if (network.outcome(id).satisfied) ++satisfied;
+    }
+    // Under continuous motion with republish+retry, most requests succeed.
+    EXPECT_GE(satisfied, 4);
+}
+
+}  // namespace
+}  // namespace sariadne

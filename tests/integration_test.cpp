@@ -1,0 +1,148 @@
+// End-to-end integration: the §5 workload (22 ontologies, up to 100
+// services, one provided capability each) through the full pipeline —
+// generate → serialize → parse → publish/classify → query — plus the
+// distributed protocol driving the same directories over the simulator.
+#include <gtest/gtest.h>
+
+#include "ariadne/protocol.hpp"
+#include "core/discovery_engine.hpp"
+#include "description/amigos_io.hpp"
+#include "directory/flat_directory.hpp"
+#include "directory/semantic_directory.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
+
+namespace sariadne {
+namespace {
+
+class Section5Workload : public ::testing::Test {
+protected:
+    Section5Workload()
+        : workload_(workload::generate_universe(22, onto_config(), 2006)) {
+        for (const auto& o : workload_.ontologies()) {
+            kb_.register_ontology(o);
+        }
+    }
+
+    static workload::OntologyGenConfig onto_config() {
+        workload::OntologyGenConfig config;
+        config.class_count = 30;
+        return config;
+    }
+
+    workload::ServiceWorkload workload_;
+    encoding::KnowledgeBase kb_;
+};
+
+TEST_F(Section5Workload, HundredServicesPublishAndAllRequestsSatisfied) {
+    directory::SemanticDirectory directory(kb_);
+    for (std::size_t i = 0; i < 100; ++i) {
+        (void)directory.publish_xml(workload_.service_xml(i));
+    }
+    EXPECT_EQ(directory.service_count(), 100u);
+    EXPECT_EQ(directory.capability_count(), 100u);
+
+    for (std::size_t i = 0; i < 100; i += 7) {
+        const auto result =
+            directory.query_xml(workload_.matching_request_xml(i));
+        EXPECT_TRUE(result.fully_satisfied()) << "request " << i;
+    }
+}
+
+TEST_F(Section5Workload, DagAndFlatDirectoriesAgreeOnAllHundred) {
+    directory::SemanticDirectory semantic(kb_);
+    directory::FlatDirectory flat(kb_);
+    for (std::size_t i = 0; i < 100; ++i) {
+        const auto service = workload_.service(i);
+        semantic.publish(service);
+        flat.publish(service);
+    }
+    for (std::size_t i = 0; i < 100; i += 3) {
+        const auto resolved = desc::resolve_request(
+            workload_.matching_request(i), kb_.registry());
+        const auto from_dag = semantic.query_resolved(resolved);
+        directory::MatchStats stats;
+        directory::QueryTiming timing;
+        const auto from_flat = flat.query(resolved, stats, timing);
+        ASSERT_FALSE(from_dag.per_capability[0].empty()) << i;
+        ASSERT_FALSE(from_flat[0].empty()) << i;
+        EXPECT_EQ(from_dag.per_capability[0][0].semantic_distance,
+                  from_flat[0][0].semantic_distance)
+            << i;
+    }
+}
+
+TEST_F(Section5Workload, ChurnKeepsDirectoryConsistent) {
+    directory::SemanticDirectory directory(kb_);
+    std::vector<directory::ServiceId> ids;
+    for (std::size_t i = 0; i < 60; ++i) {
+        ids.push_back(directory.publish(workload_.service(i)));
+    }
+    // Withdraw every other service.
+    for (std::size_t i = 0; i < 60; i += 2) {
+        EXPECT_TRUE(directory.remove(ids[i]));
+    }
+    EXPECT_EQ(directory.service_count(), 30u);
+
+    // Requests for surviving services still match; requests aimed at
+    // removed services may or may not match others, but must not crash.
+    for (std::size_t i = 1; i < 60; i += 2) {
+        const auto result = directory.query(workload_.matching_request(i));
+        EXPECT_TRUE(result.fully_satisfied()) << "surviving request " << i;
+    }
+    for (std::size_t i = 0; i < 60; i += 2) {
+        EXPECT_NO_THROW((void)directory.query(workload_.matching_request(i)));
+    }
+}
+
+TEST_F(Section5Workload, EndToEndOverSimulatedManet) {
+    ariadne::ProtocolConfig config;
+    config.adv_period_ms = 500;
+    config.adv_timeout_ms = 1000;
+    config.election_wait_ms = 30;
+    config.vicinity_hops = 3;
+
+    Rng rng(77);
+    ariadne::DiscoveryNetwork network(
+        net::Topology::random_geometric(25, 0.3, rng), config, kb_);
+    network.start();
+    network.run_for(6000);  // let the backbone form
+    ASSERT_FALSE(network.directories().empty());
+
+    // 30 providers scattered over the network.
+    for (std::size_t i = 0; i < 30; ++i) {
+        network.publish_service(static_cast<net::NodeId>(i % 25),
+                                workload_.service_xml(i));
+    }
+    network.run_for(6000);
+
+    // Every matching request must be answered and satisfied.
+    std::vector<std::uint64_t> ids;
+    for (std::size_t i = 0; i < 30; i += 5) {
+        ids.push_back(network.discover(static_cast<net::NodeId>((i * 3) % 25),
+                                       workload_.matching_request_xml(i)));
+    }
+    network.run_for(20000);
+    for (const auto id : ids) {
+        const auto& outcome = network.outcome(id);
+        EXPECT_TRUE(outcome.answered) << "request " << id;
+        EXPECT_TRUE(outcome.satisfied) << "request " << id;
+    }
+}
+
+TEST_F(Section5Workload, EngineHandlesFullUniverse) {
+    DiscoveryEngine engine;
+    for (const auto& o : workload_.ontologies()) engine.register_ontology(o);
+    for (std::size_t i = 0; i < 50; ++i) {
+        engine.publish(workload_.service(i));
+    }
+    std::size_t satisfied = 0;
+    for (std::size_t i = 0; i < 50; ++i) {
+        const auto results = engine.discover(workload_.matching_request(i));
+        if (!results[0].empty()) ++satisfied;
+    }
+    EXPECT_EQ(satisfied, 50u);
+}
+
+}  // namespace
+}  // namespace sariadne

@@ -1,0 +1,240 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "description/resolved.hpp"
+#include "encoding/knowledge_base.hpp"
+#include "matching/match.hpp"
+#include "matching/online_matcher.hpp"
+#include "matching/oracles.hpp"
+#include "ontology/loader.hpp"
+#include "test_helpers.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
+
+namespace sariadne::matching {
+namespace {
+
+namespace th = sariadne::testing;
+using desc::ResolvedCapability;
+
+class MatchFixture : public ::testing::Test {
+protected:
+    MatchFixture() : oracle_(kb_) {
+        kb_.register_ontology(th::media_ontology());
+        kb_.register_ontology(th::server_ontology());
+    }
+
+    ResolvedCapability resolve(const desc::Capability& cap) {
+        return desc::resolve_capability(cap, kb_.registry());
+    }
+
+    encoding::KnowledgeBase kb_;
+    EncodedOracle oracle_;
+};
+
+TEST_F(MatchFixture, PaperFigure1ScenarioMatchesWithDistance3) {
+    // The paper's worked example: Match(SendDigitalStream, GetVideoStream)
+    // holds with semantic distance 3.
+    const auto provided = resolve(th::send_digital_stream());
+    const auto required = resolve(th::get_video_stream());
+
+    const MatchOutcome outcome = match_capability(provided, required, oracle_);
+    EXPECT_TRUE(outcome.matched);
+    EXPECT_EQ(outcome.semantic_distance, 3);
+}
+
+TEST_F(MatchFixture, ProvideGameDoesNotMatchVideoRequest) {
+    // ProvideGame expects a GameResource; the PDA offers a VideoResource.
+    const auto provided = resolve(th::provide_game());
+    const auto required = resolve(th::get_video_stream());
+    EXPECT_FALSE(matches(provided, required, oracle_));
+}
+
+TEST_F(MatchFixture, ExactMatchHasDistanceZero) {
+    desc::Capability twin = th::send_digital_stream();
+    twin.kind = desc::CapabilityKind::kRequired;
+    const MatchOutcome outcome =
+        match_capability(resolve(th::send_digital_stream()), resolve(twin),
+                         oracle_);
+    EXPECT_TRUE(outcome.matched);
+    EXPECT_EQ(outcome.semantic_distance, 0);
+}
+
+TEST_F(MatchFixture, MatchIsDirectional) {
+    // GetVideoStream (as an advertisement) cannot substitute
+    // SendDigitalStream: its expected input VideoResource does not subsume
+    // the more general DigitalResource offer.
+    desc::Capability narrowed = th::get_video_stream();
+    narrowed.kind = desc::CapabilityKind::kProvided;
+    desc::Capability wide_request = th::send_digital_stream();
+    wide_request.kind = desc::CapabilityKind::kRequired;
+    EXPECT_FALSE(
+        matches(resolve(narrowed), resolve(wide_request), oracle_));
+}
+
+TEST_F(MatchFixture, UncoveredProviderInputFailsTheMatch) {
+    desc::Capability provided = th::send_digital_stream();
+    provided.inputs.push_back(desc::Parameter{"extra", th::media("Title")});
+    // Request offers only a VideoResource — nothing covers Title.
+    EXPECT_FALSE(
+        matches(resolve(provided), resolve(th::get_video_stream()), oracle_));
+}
+
+TEST_F(MatchFixture, MissingRequestedOutputFailsTheMatch) {
+    desc::Capability required = th::get_video_stream();
+    required.outputs.push_back(
+        desc::Parameter{"extra", th::media("GameResource")});
+    EXPECT_FALSE(
+        matches(resolve(th::send_digital_stream()), resolve(required), oracle_));
+}
+
+TEST_F(MatchFixture, UnrelatedCategoryFailsTheMatch) {
+    desc::Capability required = th::get_video_stream();
+    required.category_qname = th::media("Title");  // different ontology branch
+    EXPECT_FALSE(
+        matches(resolve(th::send_digital_stream()), resolve(required), oracle_));
+}
+
+TEST_F(MatchFixture, InputlessProviderMatchesAnyInputs) {
+    desc::Capability provided = th::send_digital_stream();
+    provided.inputs.clear();
+    EXPECT_TRUE(
+        matches(resolve(provided), resolve(th::get_video_stream()), oracle_));
+}
+
+TEST_F(MatchFixture, OutputlessRequestIsSatisfiedByAnyProvider) {
+    desc::Capability required = th::get_video_stream();
+    required.outputs.clear();
+    EXPECT_TRUE(
+        matches(resolve(th::send_digital_stream()), resolve(required), oracle_));
+}
+
+TEST_F(MatchFixture, EquivalentCapabilitiesDetected) {
+    desc::Capability twin = th::send_digital_stream();
+    twin.name = "CloneCap";
+    EXPECT_TRUE(equivalent_capabilities(resolve(th::send_digital_stream()),
+                                        resolve(twin), oracle_));
+    EXPECT_FALSE(equivalent_capabilities(resolve(th::send_digital_stream()),
+                                         resolve(th::provide_game()), oracle_));
+    // Matching at nonzero distance is not equivalence.
+    desc::Capability specialized = th::get_video_stream();
+    specialized.kind = desc::CapabilityKind::kProvided;
+    EXPECT_FALSE(equivalent_capabilities(
+        resolve(th::send_digital_stream()), resolve(specialized), oracle_));
+}
+
+TEST_F(MatchFixture, DistanceSumsAllThreeClauses) {
+    // Inputs d=1 (DigitalResource ⊒ VideoResource), outputs d=1
+    // (Stream ⊒ VideoStream), category d=2 (DigitalServer ⊒ VideoServer).
+    desc::Capability required = th::get_video_stream();
+    required.outputs[0].concept_qname = th::media("VideoStream");
+    const MatchOutcome outcome = match_capability(
+        resolve(th::send_digital_stream()), resolve(required), oracle_);
+    EXPECT_TRUE(outcome.matched);
+    EXPECT_EQ(outcome.semantic_distance, 4);
+}
+
+TEST_F(MatchFixture, BestPartnerChosenPerExpectedConcept) {
+    // Provider offers both Stream and VideoStream; request expects
+    // VideoStream. The VideoStream output (d=0) must be chosen over the
+    // Stream output (d=1).
+    desc::Capability provided = th::send_digital_stream();
+    provided.outputs.push_back(desc::Parameter{"hd", th::media("VideoStream")});
+    desc::Capability required = th::get_video_stream();
+    required.outputs[0].concept_qname = th::media("VideoStream");
+    const MatchOutcome outcome =
+        match_capability(resolve(provided), resolve(required), oracle_);
+    EXPECT_TRUE(outcome.matched);
+    EXPECT_EQ(outcome.semantic_distance, 3);  // 1 input + 0 output + 2 category
+}
+
+TEST_F(MatchFixture, OracleCountsQueries) {
+    const auto before = oracle_.queries();
+    (void)match_capability(resolve(th::send_digital_stream()),
+                           resolve(th::get_video_stream()), oracle_);
+    EXPECT_GT(oracle_.queries(), before);
+}
+
+// Transitivity property (the DAG algorithms rely on it): if
+// Match(A, B) and Match(B, C) then Match(A, C), over generated workloads.
+class MatchTransitivity : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchTransitivity, ::testing::Range(0, 6));
+
+TEST_P(MatchTransitivity, HoldsOnGeneratedCapabilities) {
+    workload::OntologyGenConfig onto_config;
+    onto_config.class_count = 30;
+    auto universe = workload::generate_universe(2, onto_config,
+                                                7000 + GetParam());
+    encoding::KnowledgeBase kb;
+    for (auto& o : universe) kb.register_ontology(std::move(o));
+    EncodedOracle oracle(kb);
+
+    workload::ServiceGenConfig svc_config;
+    svc_config.seed = 4200 + GetParam();
+    workload::ServiceWorkload workload(
+        workload::generate_universe(2, onto_config, 7000 + GetParam()),
+        svc_config);
+
+    // Build chains: service S, a matching request R1 of S, and a matching
+    // request R2 of R1 treated as an advertisement.
+    int verified = 0;
+    for (std::size_t i = 0; i < 40; ++i) {
+        const auto provided = desc::resolve_capability(
+            workload.service(i).profile.capabilities.front(), kb.registry());
+        auto mid_cap = workload.matching_request(i).capabilities.front();
+        const auto mid = desc::resolve_capability(mid_cap, kb.registry());
+        ASSERT_TRUE(matches(provided, mid, oracle));
+
+        // Narrow `mid` once more to get a third level.
+        auto narrow_cap = mid_cap;
+        const auto narrow =
+            desc::resolve_capability(narrow_cap, kb.registry());
+        if (matches(mid, narrow, oracle)) {
+            EXPECT_TRUE(matches(provided, narrow, oracle))
+                << "transitivity violated at service " << i;
+            ++verified;
+        }
+    }
+    EXPECT_GT(verified, 0);
+}
+
+TEST(OnlineMatcher, MatchesWithTimingBreakdown) {
+    const onto::Ontology fig2 = workload::fig2_ontology();
+    const auto [provided, required] = workload::fig2_capabilities(fig2);
+
+    OnlineMatcher matcher({onto::save_ontology(fig2)},
+                          std::make_unique<reasoner::RuleReasoner>());
+    const MatchOutcome outcome = matcher.match(provided, required);
+    EXPECT_TRUE(outcome.matched);
+
+    const auto& timing = matcher.last_timing();
+    EXPECT_GT(timing.parse_ms, 0.0);
+    EXPECT_GT(timing.load_classify_ms, 0.0);
+    EXPECT_GT(timing.subsumption_queries, 0u);
+    EXPECT_GT(timing.total_ms(), 0.0);
+}
+
+TEST(OnlineMatcher, AgreesWithEncodedPath) {
+    encoding::KnowledgeBase kb;
+    kb.register_ontology(th::media_ontology());
+    kb.register_ontology(th::server_ontology());
+    EncodedOracle oracle(kb);
+    const auto provided =
+        desc::resolve_capability(th::send_digital_stream(), kb.registry());
+    const auto required =
+        desc::resolve_capability(th::get_video_stream(), kb.registry());
+    const MatchOutcome fast = match_capability(provided, required, oracle);
+
+    OnlineMatcher matcher({onto::save_ontology(th::media_ontology()),
+                           onto::save_ontology(th::server_ontology())},
+                          std::make_unique<reasoner::TableauLiteReasoner>());
+    const MatchOutcome slow =
+        matcher.match(th::send_digital_stream(), th::get_video_stream());
+    EXPECT_EQ(fast.matched, slow.matched);
+    EXPECT_EQ(fast.semantic_distance, slow.semantic_distance);
+}
+
+}  // namespace
+}  // namespace sariadne::matching

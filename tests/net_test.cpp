@@ -1,0 +1,194 @@
+#include <any>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/simulator.hpp"
+#include "net/topology.hpp"
+#include "support/rng.hpp"
+
+namespace sariadne::net {
+namespace {
+
+TEST(Topology, GridStructure) {
+    const Topology topo = Topology::grid(4, 3);
+    EXPECT_EQ(topo.node_count(), 12u);
+    EXPECT_EQ(topo.neighbors(0).size(), 2u);   // corner
+    EXPECT_EQ(topo.neighbors(1).size(), 3u);   // edge
+    EXPECT_EQ(topo.neighbors(5).size(), 4u);   // interior
+    EXPECT_TRUE(topo.connected());
+}
+
+TEST(Topology, GridHopDistanceIsManhattan) {
+    const Topology topo = Topology::grid(5, 5);
+    EXPECT_EQ(topo.hop_distance(0, 24), 8);  // (0,0) -> (4,4)
+    EXPECT_EQ(topo.hop_distance(0, 0), 0);
+    EXPECT_EQ(topo.hop_distance(0, 4), 4);
+}
+
+TEST(Topology, RandomGeometricIsConnected) {
+    Rng rng(123);
+    for (int trial = 0; trial < 5; ++trial) {
+        const Topology topo = Topology::random_geometric(30, 0.25, rng);
+        EXPECT_EQ(topo.node_count(), 30u);
+        EXPECT_TRUE(topo.connected());
+    }
+}
+
+TEST(Topology, NodeChurnAffectsReachability) {
+    Topology topo = Topology::grid(3, 1);  // 0 - 1 - 2
+    EXPECT_EQ(topo.hop_distance(0, 2), 2);
+    topo.set_up(1, false);
+    EXPECT_EQ(topo.hop_distance(0, 2), -1);
+    EXPECT_FALSE(topo.connected());
+    topo.set_up(1, true);
+    EXPECT_EQ(topo.hop_distance(0, 2), 2);
+}
+
+TEST(Topology, DistancesFromDownNodeAreUnreachable) {
+    Topology topo = Topology::grid(2, 2);
+    topo.set_up(0, false);
+    const auto dist = topo.hop_distances(0);
+    for (const int d : dist) EXPECT_EQ(d, -1);
+}
+
+class Recorder : public NodeApp {
+public:
+    void on_start(Simulator&, NodeId) override {}
+    void on_message(Simulator& sim, NodeId, const Message& msg) override {
+        received.emplace_back(sim.now(), msg.type);
+    }
+    std::vector<std::pair<SimTime, std::string>> received;
+};
+
+TEST(Simulator, EventsRunInTimeOrder) {
+    Simulator sim(Topology::grid(1, 1));
+    std::vector<int> order;
+    sim.schedule(30, [&] { order.push_back(3); });
+    sim.schedule(10, [&] { order.push_back(1); });
+    sim.schedule(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+}
+
+TEST(Simulator, TiesBreakInScheduleOrder) {
+    Simulator sim(Topology::grid(1, 1));
+    std::vector<int> order;
+    sim.schedule(5, [&] { order.push_back(1); });
+    sim.schedule(5, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, UnicastLatencyScalesWithHops) {
+    Simulator sim(Topology::grid(4, 1), /*per_hop_latency_ms=*/3.0);
+    Recorder app;
+    sim.attach(3, &app);
+    Message msg;
+    msg.type = "ping";
+    sim.unicast(0, 3, std::move(msg));
+    sim.run();
+    ASSERT_EQ(app.received.size(), 1u);
+    EXPECT_DOUBLE_EQ(app.received[0].first, 9.0);  // 3 hops x 3 ms
+    EXPECT_EQ(sim.stats().unicasts, 1u);
+    EXPECT_EQ(sim.stats().link_transmissions, 3u);
+}
+
+TEST(Simulator, UnreachableUnicastIsDropped) {
+    Topology topo = Topology::grid(3, 1);
+    topo.set_up(1, false);
+    Simulator sim(std::move(topo));
+    Recorder app;
+    sim.attach(2, &app);
+    Message msg;
+    msg.type = "ping";
+    sim.unicast(0, 2, std::move(msg));
+    sim.run();
+    EXPECT_TRUE(app.received.empty());
+    EXPECT_EQ(sim.stats().dropped_unreachable, 1u);
+}
+
+TEST(Simulator, BroadcastRespectsTtl) {
+    Simulator sim(Topology::grid(5, 1), 1.0);  // 0-1-2-3-4
+    std::vector<Recorder> apps(5);
+    for (NodeId n = 0; n < 5; ++n) sim.attach(n, &apps[n]);
+    Message msg;
+    msg.type = "adv";
+    sim.broadcast(0, /*ttl_hops=*/2, std::move(msg));
+    sim.run();
+    EXPECT_TRUE(apps[0].received.empty());  // sender excluded
+    EXPECT_EQ(apps[1].received.size(), 1u);
+    EXPECT_EQ(apps[2].received.size(), 1u);
+    EXPECT_TRUE(apps[3].received.empty());
+    EXPECT_TRUE(apps[4].received.empty());
+    EXPECT_DOUBLE_EQ(apps[2].received[0].first, 2.0);
+}
+
+TEST(Simulator, MessageToDownNodeNotDelivered) {
+    Topology topo = Topology::grid(2, 1);
+    Simulator sim(std::move(topo));
+    Recorder app;
+    sim.attach(1, &app);
+    Message msg;
+    msg.type = "ping";
+    sim.unicast(0, 1, std::move(msg));
+    sim.topology().set_up(1, false);  // goes down while in flight
+    sim.run();
+    EXPECT_TRUE(app.received.empty());
+}
+
+TEST(Simulator, SelfUnicastDeliversImmediately) {
+    Simulator sim(Topology::grid(2, 1));
+    Recorder app;
+    sim.attach(0, &app);
+    Message msg;
+    msg.type = "self";
+    sim.unicast(0, 0, std::move(msg));
+    sim.run();
+    ASSERT_EQ(app.received.size(), 1u);
+    EXPECT_DOUBLE_EQ(app.received[0].first, 0.0);
+}
+
+TEST(Simulator, RunUntilBoundsVirtualTime) {
+    Simulator sim(Topology::grid(1, 1));
+    int fired = 0;
+    sim.schedule(10, [&] { ++fired; });
+    sim.schedule(100, [&] { ++fired; });
+    sim.run(50);
+    EXPECT_EQ(fired, 1);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepExecutesBoundedEvents) {
+    Simulator sim(Topology::grid(1, 1));
+    int fired = 0;
+    for (int i = 0; i < 5; ++i) sim.schedule(i, [&] { ++fired; });
+    EXPECT_EQ(sim.step(2), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(sim.idle());
+    EXPECT_EQ(sim.step(100), 3u);
+    EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, TrafficAccountingByType) {
+    Simulator sim(Topology::grid(3, 1));
+    std::vector<Recorder> apps(3);
+    for (NodeId n = 0; n < 3; ++n) sim.attach(n, &apps[n]);
+    Message a;
+    a.type = "alpha";
+    a.size_bytes = 100;
+    sim.unicast(0, 2, std::move(a));
+    Message b;
+    b.type = "beta";
+    sim.broadcast(1, 1, std::move(b));
+    sim.run();
+    EXPECT_EQ(sim.stats().per_type.at("alpha"), 1u);
+    EXPECT_EQ(sim.stats().per_type.at("beta"), 2u);
+    EXPECT_EQ(sim.stats().bytes_transmitted, 200u);  // 2 hops x 100 bytes
+}
+
+}  // namespace
+}  // namespace sariadne::net

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "ontology/loader.hpp"
+#include "ontology/ontology.hpp"
+#include "ontology/registry.hpp"
+#include "support/errors.hpp"
+#include "test_helpers.hpp"
+
+namespace sariadne::onto {
+namespace {
+
+TEST(Ontology, AddClassIsIdempotent) {
+    Ontology o("http://x");
+    const ConceptId a = o.add_class("A");
+    EXPECT_EQ(o.add_class("A"), a);
+    EXPECT_EQ(o.class_count(), 1u);
+}
+
+TEST(Ontology, FindAndRequire) {
+    Ontology o("http://x");
+    o.add_class("A");
+    EXPECT_NE(o.find_class("A"), kNoConcept);
+    EXPECT_EQ(o.find_class("B"), kNoConcept);
+    EXPECT_THROW(o.require_class("B"), LookupError);
+}
+
+TEST(Ontology, AxiomCountTracksEverything) {
+    Ontology o("http://x");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    const auto c = o.add_class("C");
+    const auto d = o.add_class("D");
+    o.add_subclass_of(b, a);
+    o.add_equivalent(c, b);          // counted twice (symmetric storage)
+    o.add_disjoint(c, d);            // counted twice
+    o.define_intersection(d, {a, b});
+    const auto p = o.add_property("p");
+    o.set_property_domain(p, a);
+    o.set_property_range(p, b);
+    EXPECT_EQ(o.axiom_count(), 1u + 2u + 2u + 2u + 2u);
+}
+
+TEST(Ontology, SelfSubclassRejected) {
+    Ontology o("http://x");
+    const auto a = o.add_class("A");
+    EXPECT_THROW(o.add_subclass_of(a, a), ContractViolation);
+}
+
+TEST(Ontology, IntersectionRequiresTwoDistinctParts) {
+    Ontology o("http://x");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    const auto d = o.add_class("D");
+    EXPECT_THROW(o.define_intersection(d, {a, a}), ContractViolation);
+    EXPECT_NO_THROW(o.define_intersection(d, {a, b}));
+}
+
+TEST(OntologyLoader, ParsesFullDocument) {
+    const Ontology o = load_ontology(R"(
+      <ontology uri="http://test/onto" version="4">
+        <class name="A"/>
+        <class name="B"><subClassOf name="A"/></class>
+        <class name="C"><equivalentTo name="B"/></class>
+        <class name="D">
+          <equivalentToIntersection><of name="A"/><of name="B"/></equivalentToIntersection>
+          <disjointWith name="C"/>
+        </class>
+        <property name="p"><domain name="A"/><range name="B"/></property>
+        <property name="q"><subPropertyOf name="p"/></property>
+      </ontology>)");
+    EXPECT_EQ(o.uri(), "http://test/onto");
+    EXPECT_EQ(o.version(), 4u);
+    EXPECT_EQ(o.class_count(), 4u);
+    EXPECT_EQ(o.property_count(), 2u);
+    const auto& b = o.class_decl(o.require_class("B"));
+    ASSERT_EQ(b.told_parents.size(), 1u);
+    EXPECT_EQ(o.class_name(b.told_parents[0]), "A");
+    const auto& d = o.class_decl(o.require_class("D"));
+    EXPECT_EQ(d.intersection_of.size(), 2u);
+    EXPECT_EQ(d.disjoints.size(), 1u);
+}
+
+TEST(OntologyLoader, ForwardReferencesAllowed) {
+    const Ontology o = load_ontology(R"(
+      <ontology uri="http://test/fwd">
+        <class name="Child"><subClassOf name="Parent"/></class>
+        <class name="Parent"/>
+      </ontology>)");
+    const auto& child = o.class_decl(o.require_class("Child"));
+    EXPECT_EQ(o.class_name(child.told_parents[0]), "Parent");
+}
+
+TEST(OntologyLoader, UnknownAxiomFails) {
+    EXPECT_THROW(load_ontology(R"(
+      <ontology uri="u"><class name="A"><broken name="A"/></class></ontology>)"),
+                 ParseError);
+}
+
+TEST(OntologyLoader, UnknownReferenceFails) {
+    EXPECT_THROW(load_ontology(R"(
+      <ontology uri="u"><class name="A"><subClassOf name="Nope"/></class></ontology>)"),
+                 LookupError);
+}
+
+TEST(OntologyLoader, BadVersionFails) {
+    EXPECT_THROW(load_ontology(R"(<ontology uri="u" version="abc"/>)"),
+                 ParseError);
+}
+
+TEST(OntologyLoader, RoundTripPreservesSemantics) {
+    const Ontology original = sariadne::testing::media_ontology();
+    const Ontology reloaded = load_ontology(save_ontology(original));
+    EXPECT_EQ(reloaded.uri(), original.uri());
+    EXPECT_EQ(reloaded.class_count(), original.class_count());
+    EXPECT_EQ(reloaded.property_count(), original.property_count());
+    // Told parents preserved by name.
+    for (ConceptId c = 0; c < original.class_count(); ++c) {
+        const auto& before = original.class_decl(c);
+        const ConceptId mapped = reloaded.require_class(before.name);
+        const auto& after = reloaded.class_decl(mapped);
+        ASSERT_EQ(after.told_parents.size(), before.told_parents.size());
+        for (std::size_t i = 0; i < before.told_parents.size(); ++i) {
+            EXPECT_EQ(reloaded.class_name(after.told_parents[i]),
+                      original.class_name(before.told_parents[i]));
+        }
+    }
+}
+
+TEST(QualifiedName, SplitAndJoin) {
+    const auto parts = QualifiedName::split("http://a/b#Concept");
+    EXPECT_EQ(parts.ontology_uri, "http://a/b");
+    EXPECT_EQ(parts.local_name, "Concept");
+    EXPECT_EQ(QualifiedName::join("http://a/b", "Concept"), "http://a/b#Concept");
+}
+
+TEST(QualifiedName, MalformedInputsFail) {
+    EXPECT_THROW(QualifiedName::split("no-hash"), ParseError);
+    EXPECT_THROW(QualifiedName::split("#leading"), ParseError);
+    EXPECT_THROW(QualifiedName::split("trailing#"), ParseError);
+}
+
+TEST(Registry, AddFindResolve) {
+    OntologyRegistry registry;
+    const OntologyIndex media = registry.add(sariadne::testing::media_ontology());
+    const OntologyIndex server = registry.add(sariadne::testing::server_ontology());
+    EXPECT_EQ(registry.size(), 2u);
+    EXPECT_EQ(registry.find(sariadne::testing::kMediaUri), media);
+    EXPECT_EQ(registry.find("http://unknown"), kNoOntology);
+
+    const ConceptRef ref = registry.resolve(sariadne::testing::media("Stream"));
+    EXPECT_EQ(ref.ontology, media);
+    EXPECT_EQ(registry.qualified_name(ref), sariadne::testing::media("Stream"));
+    EXPECT_NE(server, media);
+}
+
+TEST(Registry, ResolveErrors) {
+    OntologyRegistry registry;
+    registry.add(sariadne::testing::media_ontology());
+    EXPECT_THROW(registry.resolve("http://unknown#X"), LookupError);
+    EXPECT_THROW(registry.resolve(sariadne::testing::media("Nope")), LookupError);
+}
+
+TEST(Registry, ReRegisteringUpgradesInPlace) {
+    OntologyRegistry registry;
+    Ontology v1("http://evolve", 1);
+    v1.add_class("A");
+    const OntologyIndex index = registry.add(std::move(v1));
+    const auto epoch1 = registry.epoch();
+
+    Ontology v2("http://evolve", 2);
+    v2.add_class("A");
+    v2.add_class("B");
+    EXPECT_EQ(registry.add(std::move(v2)), index);
+    EXPECT_GT(registry.epoch(), epoch1);
+    EXPECT_EQ(registry.at(index).version(), 2u);
+    EXPECT_EQ(registry.at(index).class_count(), 2u);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sariadne::onto

@@ -1,0 +1,180 @@
+// Process-model (service conversation) tests: tree construction, XML
+// round trips, and the regular-language compatibility decision.
+#include <gtest/gtest.h>
+
+#include "description/amigos_io.hpp"
+#include "description/conversation.hpp"
+#include "description/process.hpp"
+#include "support/errors.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace sariadne::desc {
+namespace {
+
+Process a(const char* op) { return Process::atomic(op); }
+
+TEST(Process, BuildersAndAlphabet) {
+    const Process p = Process::sequence({
+        a("browse"),
+        Process::repeat(a("addItem")),
+        Process::choice({a("checkout"), a("cancel")}),
+    });
+    const auto alphabet = p.alphabet();
+    EXPECT_EQ(alphabet.size(), 4u);
+    EXPECT_TRUE(std::find(alphabet.begin(), alphabet.end(), "addItem") !=
+                alphabet.end());
+}
+
+TEST(Process, DeepCopyIsIndependent) {
+    Process original = Process::sequence({a("x"), a("y")});
+    Process copy = original;
+    copy.children[0]->operation = "z";
+    EXPECT_EQ(original.children[0]->operation, "x");
+}
+
+TEST(Process, XmlRoundTrip) {
+    const Process p = Process::sequence({
+        a("login"),
+        Process::repeat(Process::choice({a("get"), a("put")})),
+        a("logout"),
+    });
+    const xml::XmlNode node = serialize_process(p);
+    const Process reloaded = parse_process(node);
+    EXPECT_TRUE(conversation_equivalent(p, reloaded));
+}
+
+TEST(Process, ParserRejectsMalformedTrees) {
+    EXPECT_THROW(parse_process(xml::parse("<process/>").root), ParseError);
+    EXPECT_THROW(parse_process(
+                     xml::parse("<process><choice/></process>").root),
+                 ParseError);
+    EXPECT_THROW(
+        parse_process(
+            xml::parse("<process><repeat><atomic op=\"a\"/><atomic op=\"b\"/>"
+                       "</repeat></process>")
+                .root),
+        ParseError);
+    EXPECT_THROW(parse_process(
+                     xml::parse("<process><weird/></process>").root),
+                 ParseError);
+    EXPECT_THROW(parse_process(xml::parse("<wrong/>").root), ParseError);
+}
+
+TEST(Conversation, IdenticalProcessesAreCompatible) {
+    const Process p = Process::sequence({a("x"), a("y")});
+    EXPECT_TRUE(conversation_compatible(p, p));
+    EXPECT_TRUE(conversation_equivalent(p, p));
+}
+
+TEST(Conversation, ClientSubsetOfProviderChoice) {
+    // Client always checks out; provider allows checkout or cancel.
+    const Process client = Process::sequence({a("browse"), a("checkout")});
+    const Process provider = Process::sequence(
+        {a("browse"), Process::choice({a("checkout"), a("cancel")})});
+    EXPECT_TRUE(conversation_compatible(client, provider));
+    EXPECT_FALSE(conversation_compatible(provider, client));
+}
+
+TEST(Conversation, RepeatCoversAnyCount) {
+    const Process provider =
+        Process::sequence({a("open"), Process::repeat(a("read")), a("close")});
+    const Process once =
+        Process::sequence({a("open"), a("read"), a("close")});
+    const Process thrice = Process::sequence(
+        {a("open"), a("read"), a("read"), a("read"), a("close")});
+    const Process none = Process::sequence({a("open"), a("close")});
+    EXPECT_TRUE(conversation_compatible(once, provider));
+    EXPECT_TRUE(conversation_compatible(thrice, provider));
+    EXPECT_TRUE(conversation_compatible(none, provider));
+    // A bounded client can never cover an unbounded provider.
+    EXPECT_FALSE(conversation_compatible(provider, thrice));
+}
+
+TEST(Conversation, OrderMatters) {
+    const Process client = Process::sequence({a("pay"), a("ship")});
+    const Process provider = Process::sequence({a("ship"), a("pay")});
+    EXPECT_FALSE(conversation_compatible(client, provider));
+}
+
+TEST(Conversation, UnknownOperationBreaksCompatibility) {
+    const Process client = Process::sequence({a("x"), a("q")});
+    const Process provider = Process::sequence({a("x"), a("y")});
+    EXPECT_FALSE(conversation_compatible(client, provider));
+}
+
+TEST(Conversation, WitnessNamesTheFailingTrace) {
+    const Process client = Process::sequence({a("browse"), a("steal")});
+    const Process provider = Process::sequence({a("browse"), a("checkout")});
+    const auto witness = incompatibility_witness(client, provider);
+    ASSERT_EQ(witness.size(), 2u);
+    EXPECT_EQ(witness[0], "browse");
+    EXPECT_EQ(witness[1], "steal");
+    EXPECT_TRUE(
+        incompatibility_witness(client, client).empty());
+}
+
+TEST(Conversation, EmptyTraceWitnessReported) {
+    // Client may do nothing (repeat allows zero); provider must act.
+    const Process client = Process::repeat(a("ping"));
+    const Process provider = a("ping");
+    const auto witness = incompatibility_witness(client, provider);
+    ASSERT_EQ(witness.size(), 1u);
+    EXPECT_EQ(witness[0], "<empty>");
+}
+
+TEST(Conversation, NestedChoiceAndRepeatEquivalences) {
+    // (a | b)* is equivalent to (a* b*)* — classic identity.
+    const Process left = Process::repeat(Process::choice({a("a"), a("b")}));
+    const Process right = Process::repeat(Process::sequence(
+        {Process::repeat(a("a")), Process::repeat(a("b"))}));
+    EXPECT_TRUE(conversation_equivalent(left, right));
+}
+
+TEST(Conversation, ServiceDocumentCarriesProcess) {
+    const ServiceDescription service = parse_service(R"(
+      <service name="Shop">
+        <capability name="Sell" kind="provided">
+          <output concept="u#Receipt"/>
+        </capability>
+        <process>
+          <sequence>
+            <atomic op="browse"/>
+            <repeat><atomic op="addItem"/></repeat>
+            <choice><atomic op="checkout"/><atomic op="cancel"/></choice>
+          </sequence>
+        </process>
+      </service>)");
+    ASSERT_TRUE(service.process.has_value());
+
+    const ServiceRequest request = parse_request(R"(
+      <request>
+        <capability name="Buy"><output concept="u#Receipt"/></capability>
+        <process>
+          <sequence>
+            <atomic op="browse"/>
+            <atomic op="addItem"/>
+            <atomic op="checkout"/>
+          </sequence>
+        </process>
+      </request>)");
+    ASSERT_TRUE(request.process.has_value());
+    EXPECT_TRUE(conversation_compatible(*request.process, *service.process));
+
+    // Round trip keeps the processes.
+    const auto service2 = parse_service(serialize_service(service));
+    ASSERT_TRUE(service2.process.has_value());
+    EXPECT_TRUE(conversation_equivalent(*service.process, *service2.process));
+    const auto request2 = parse_request(serialize_request(request));
+    ASSERT_TRUE(request2.process.has_value());
+}
+
+TEST(Conversation, EmptySequenceIsEpsilonLanguage) {
+    const Process epsilon = Process::sequence({});
+    const Process provider = Process::repeat(a("x"));
+    EXPECT_TRUE(conversation_compatible(epsilon, provider));
+    EXPECT_FALSE(conversation_compatible(a("x"), epsilon));
+}
+
+}  // namespace
+}  // namespace sariadne::desc

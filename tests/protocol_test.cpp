@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include "ariadne/protocol.hpp"
+#include "description/amigos_io.hpp"
+#include "test_helpers.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
+
+namespace sariadne::ariadne {
+namespace {
+
+namespace th = sariadne::testing;
+using net::NodeId;
+using net::Topology;
+
+encoding::KnowledgeBase make_kb() {
+    encoding::KnowledgeBase kb;
+    kb.register_ontology(th::media_ontology());
+    kb.register_ontology(th::server_ontology());
+    return kb;
+}
+
+ProtocolConfig fast_config(Protocol protocol) {
+    ProtocolConfig config;
+    config.protocol = protocol;
+    config.adv_period_ms = 500;
+    config.adv_timeout_ms = 1000;
+    config.election_wait_ms = 30;
+    return config;
+}
+
+TEST(Election, TimeoutDrivenElectionProducesDirectories) {
+    auto kb = make_kb();
+    DiscoveryNetwork network(Topology::grid(4, 4),
+                             fast_config(Protocol::kSAriadne), kb);
+    network.start();
+    network.run_for(10000);
+    const auto dirs = network.directories();
+    ASSERT_FALSE(dirs.empty());
+    // Advertisements must suppress further elections: directory count
+    // stabilizes well below the node count.
+    EXPECT_LT(dirs.size(), 16u);
+    for (const NodeId dir : dirs) EXPECT_TRUE(network.is_directory(dir));
+}
+
+TEST(Election, ElectionPrefersFitterNodes) {
+    auto kb = make_kb();
+    DiscoveryNetwork network(Topology::grid(3, 3),
+                             fast_config(Protocol::kSAriadne), kb);
+    network.start();
+    network.run_for(8000);
+    const auto dirs = network.directories();
+    ASSERT_FALSE(dirs.empty());
+    // The elected directory's fitness should not be the network minimum.
+    double min_fitness = 1e18;
+    for (NodeId n = 0; n < 9; ++n) {
+        min_fitness = std::min(min_fitness, network.fitness(n));
+    }
+    for (const NodeId dir : dirs) {
+        EXPECT_GT(network.fitness(dir), min_fitness);
+    }
+}
+
+TEST(Election, StaticAppointmentSuppressesElections) {
+    auto kb = make_kb();
+    DiscoveryNetwork network(Topology::grid(3, 3),
+                             fast_config(Protocol::kSAriadne), kb);
+    network.appoint_directory(4);  // grid center covers all within 2 hops
+    network.start();
+    network.run_for(10000);
+    EXPECT_EQ(network.directories().size(), 1u);
+}
+
+TEST(SAriadne, PublishDiscoverRoundTrip) {
+    auto kb = make_kb();
+    DiscoveryNetwork network(Topology::grid(3, 3),
+                             fast_config(Protocol::kSAriadne), kb);
+    network.appoint_directory(4);
+    network.start();
+    network.run_for(100);
+
+    network.publish_service(
+        0, desc::serialize_service(th::workstation_service()));
+    network.run_for(500);
+
+    desc::ServiceRequest request;
+    request.requester = "pda";
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(8, desc::serialize_request(request));
+    network.run_for(2000);
+
+    const DiscoveryOutcome& outcome = network.outcome(id);
+    ASSERT_TRUE(outcome.answered);
+    EXPECT_TRUE(outcome.satisfied);
+    ASSERT_FALSE(outcome.hits.empty());
+    EXPECT_EQ(outcome.hits[0].capability_name, "SendDigitalStream");
+    EXPECT_EQ(outcome.hits[0].semantic_distance, 3);
+    EXPECT_GT(outcome.response_time_ms(), 0.0);
+}
+
+TEST(SAriadne, RemoteDirectoryReachedViaBloomForwarding) {
+    auto kb = make_kb();
+    // Line topology: directories at both ends, vicinity 2 keeps them from
+    // hearing each other's advertisements directly.
+    DiscoveryNetwork network(Topology::grid(9, 1),
+                             fast_config(Protocol::kSAriadne), kb);
+    network.appoint_directory(0);
+    network.appoint_directory(8);
+    network.start();
+    network.run_for(100);
+
+    // Service lives near directory 8; client asks near directory 0.
+    network.publish_service(7,
+                            desc::serialize_service(th::workstation_service()));
+    network.run_for(3000);  // let summaries propagate
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(1, desc::serialize_request(request));
+    network.run_for(3000);
+
+    const DiscoveryOutcome& outcome = network.outcome(id);
+    ASSERT_TRUE(outcome.answered);
+    EXPECT_TRUE(outcome.satisfied);
+    EXPECT_GE(outcome.directories_asked, 1u);
+}
+
+TEST(SAriadne, BloomFilterPrunesIrrelevantDirectories) {
+    workload::OntologyGenConfig onto_config;
+    onto_config.class_count = 20;
+    auto universe = workload::generate_universe(6, onto_config, 99);
+    encoding::KnowledgeBase kb;
+    for (const auto& o : universe) kb.register_ontology(o);
+    workload::ServiceWorkload workload(std::move(universe));
+
+    DiscoveryNetwork network(Topology::grid(13, 1),
+                             fast_config(Protocol::kSAriadne), kb);
+    network.appoint_directory(0);
+    network.appoint_directory(6);
+    network.appoint_directory(12);
+    network.start();
+    network.run_for(100);
+
+    // Directory 6 gets ontology-0 services, directory 12 ontology-1 ones
+    // (indices 0 and 6 use ontology 0, indices 1 and 7 use ontology 1).
+    network.publish_service(5, workload.service_xml(0));
+    network.publish_service(5, workload.service_xml(6));
+    network.publish_service(11, workload.service_xml(1));
+    network.publish_service(11, workload.service_xml(7));
+    network.run_for(5000);
+
+    // A request over ontology 0 issued near directory 0: the Bloom filter
+    // must route it to directory 6 (and possibly 12 on a false positive,
+    // but never require flooding).
+    const auto before = network.traffic().per_type.count("fwd")
+                            ? network.traffic().per_type.at("fwd")
+                            : 0;
+    const auto id =
+        network.discover(1, workload.matching_request_xml(0));
+    network.run_for(4000);
+    const auto after = network.traffic().per_type.at("fwd");
+
+    const DiscoveryOutcome& outcome = network.outcome(id);
+    ASSERT_TRUE(outcome.answered);
+    EXPECT_TRUE(outcome.satisfied);
+    EXPECT_GE(after - before, 1u);
+    EXPECT_LE(after - before, 2u);  // selective, not a flood beyond peers
+}
+
+TEST(Ariadne, SyntacticProtocolRoundTrip) {
+    workload::OntologyGenConfig onto_config;
+    onto_config.class_count = 20;
+    encoding::KnowledgeBase kb;  // unused by syntactic directories
+    workload::ServiceWorkload workload(
+        workload::generate_universe(2, onto_config, 7));
+
+    DiscoveryNetwork network(Topology::grid(3, 3),
+                             fast_config(Protocol::kAriadne), kb);
+    network.appoint_directory(4);
+    network.start();
+    network.run_for(100);
+
+    network.publish_service(0, workload.wsdl_xml(2));
+    network.run_for(500);
+
+    const auto id = network.discover(8, workload.wsdl_request_xml(2));
+    network.run_for(2000);
+    const DiscoveryOutcome& outcome = network.outcome(id);
+    ASSERT_TRUE(outcome.answered);
+    EXPECT_TRUE(outcome.satisfied);
+    ASSERT_EQ(outcome.hits.size(), 1u);
+    EXPECT_EQ(outcome.hits[0].service_name, "Service2");
+}
+
+TEST(Ariadne, UnmatchedRequestAnsweredUnsatisfied) {
+    workload::OntologyGenConfig onto_config;
+    onto_config.class_count = 20;
+    encoding::KnowledgeBase kb;
+    workload::ServiceWorkload workload(
+        workload::generate_universe(2, onto_config, 7));
+
+    DiscoveryNetwork network(Topology::grid(3, 3),
+                             fast_config(Protocol::kAriadne), kb);
+    network.appoint_directory(4);
+    network.start();
+    network.run_for(100);
+    network.publish_service(0, workload.wsdl_xml(2));
+    network.run_for(500);
+
+    const auto id = network.discover(8, workload.wsdl_request_xml(3));
+    network.run_for(2000);
+    const DiscoveryOutcome& outcome = network.outcome(id);
+    ASSERT_TRUE(outcome.answered);
+    EXPECT_FALSE(outcome.satisfied);
+    EXPECT_TRUE(outcome.hits.empty());
+}
+
+TEST(Protocol, DeferredPublishFlushesAfterElection) {
+    auto kb = make_kb();
+    DiscoveryNetwork network(Topology::grid(3, 3),
+                             fast_config(Protocol::kSAriadne), kb);
+    network.start();
+    // Publish before any directory exists: must be deferred, then flushed
+    // once the first advertisement arrives.
+    network.publish_service(0,
+                            desc::serialize_service(th::workstation_service()));
+    network.run_for(12000);
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(8, desc::serialize_request(request));
+    network.run_for(4000);
+    const DiscoveryOutcome& outcome = network.outcome(id);
+    ASSERT_TRUE(outcome.answered);
+    EXPECT_TRUE(outcome.satisfied);
+}
+
+TEST(SAriadne, EmptyForwardRepliesTriggerReactiveSummaryPull) {
+    // Ontology-level coverage is necessary but not sufficient: directory 8
+    // caches ProvideGame (media+server ontologies), so its summary covers
+    // any media/server request — yet GetVideoStream never matches there.
+    // Repeated empty forwarded answers must trip the reactive pull (§4:
+    // summaries are re-requested "when the percentage of false positives
+    // reaches a given threshold").
+    auto kb = make_kb();
+    ProtocolConfig config = fast_config(Protocol::kSAriadne);
+    config.false_positive_pull_threshold = 2;
+
+    DiscoveryNetwork network(Topology::grid(9, 1), config, kb);
+    network.appoint_directory(0);
+    network.appoint_directory(8);
+    network.start();
+    network.run_for(100);
+
+    desc::ServiceDescription games_only;
+    games_only.profile.service_name = "GamesOnly";
+    games_only.profile.capabilities.push_back(th::provide_game());
+    network.publish_service(7, desc::serialize_service(games_only));
+    network.run_for(2000);
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    for (int i = 0; i < 3; ++i) {
+        (void)network.discover(1, desc::serialize_request(request));
+        network.run_for(2000);
+    }
+    const auto& per_type = network.traffic().per_type;
+    ASSERT_TRUE(per_type.count("fwd"));
+    EXPECT_GE(per_type.at("fwd"), 2u);
+    ASSERT_TRUE(per_type.count("summary-pull"));
+    // At least one pull beyond the election-time exchange.
+    EXPECT_GE(per_type.at("summary-pull"), 2u);
+}
+
+TEST(SAriadne, ForwardedComputeAccumulatesInOutcome) {
+    auto kb = make_kb();
+    DiscoveryNetwork network(Topology::grid(9, 1),
+                             fast_config(Protocol::kSAriadne), kb);
+    network.appoint_directory(0);
+    network.appoint_directory(8);
+    network.start();
+    network.run_for(100);
+    network.publish_service(7,
+                            desc::serialize_service(th::workstation_service()));
+    network.run_for(3000);
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(1, desc::serialize_request(request));
+    network.run_for(5000);
+    const auto& outcome = network.outcome(id);
+    ASSERT_TRUE(outcome.answered);
+    ASSERT_TRUE(outcome.satisfied);
+    // Compute charged by both the local and the remote directory.
+    EXPECT_GT(outcome.directory_compute_ms, 0.0);
+    EXPECT_GE(outcome.directories_asked, 1u);
+}
+
+TEST(Protocol, ResponseTimeIncludesDirectoryCompute) {
+    auto kb = make_kb();
+    DiscoveryNetwork network(Topology::grid(3, 3),
+                             fast_config(Protocol::kSAriadne), kb);
+    network.appoint_directory(4);
+    network.start();
+    network.run_for(100);
+    network.publish_service(0,
+                            desc::serialize_service(th::workstation_service()));
+    network.run_for(500);
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(0, desc::serialize_request(request));
+    network.run_for(2000);
+    const DiscoveryOutcome& outcome = network.outcome(id);
+    ASSERT_TRUE(outcome.answered);
+    EXPECT_GT(outcome.directory_compute_ms, 0.0);
+    EXPECT_GE(outcome.response_time_ms(), outcome.directory_compute_ms);
+}
+
+}  // namespace
+}  // namespace sariadne::ariadne

@@ -1,0 +1,191 @@
+// QoS- and context-aware discovery (§2.2: Amigo-S "enables QoS- and
+// context-awareness for service provisioning").
+#include <gtest/gtest.h>
+
+#include "core/discovery_engine.hpp"
+#include "description/amigos_io.hpp"
+#include "description/process.hpp"
+#include "test_helpers.hpp"
+
+namespace sariadne {
+namespace {
+
+namespace th = sariadne::testing;
+
+desc::ServiceDescription with_profile(const std::string& name, double latency,
+                                      const std::string& location) {
+    desc::ServiceDescription service = th::workstation_service();
+    service.profile.service_name = name;
+    service.profile.qos.clear();
+    service.profile.qos.push_back(desc::QosAttribute{"latencyMs", latency});
+    service.profile.context.clear();
+    service.profile.context.push_back(
+        desc::ContextAttribute{"location", location});
+    return service;
+}
+
+class QosFixture : public ::testing::Test {
+protected:
+    QosFixture() {
+        engine_.register_ontology(th::media_ontology());
+        engine_.register_ontology(th::server_ontology());
+        engine_.publish(with_profile("FastLivingRoom", 10, "livingRoom"));
+        engine_.publish(with_profile("SlowKitchen", 200, "kitchen"));
+    }
+
+    desc::ServiceRequest base_request() {
+        desc::ServiceRequest request;
+        request.capabilities.push_back(th::get_video_stream());
+        return request;
+    }
+
+    DiscoveryEngine engine_;
+};
+
+TEST_F(QosFixture, UnconstrainedRequestSeesBothServices) {
+    const auto results = engine_.discover(base_request());
+    EXPECT_EQ(results[0].size(), 2u);  // equal distance, both returned
+}
+
+TEST_F(QosFixture, QosMaxFiltersSlowService) {
+    auto request = base_request();
+    request.qos_constraints.push_back(desc::QosConstraint{"latencyMs", -1e300, 50});
+    const auto results = engine_.discover(request);
+    ASSERT_EQ(results[0].size(), 1u);
+    EXPECT_EQ(results[0][0].service_name, "FastLivingRoom");
+}
+
+TEST_F(QosFixture, QosMinFiltersFastService) {
+    auto request = base_request();
+    request.qos_constraints.push_back(
+        desc::QosConstraint{"latencyMs", 100, 1e300});
+    const auto results = engine_.discover(request);
+    ASSERT_EQ(results[0].size(), 1u);
+    EXPECT_EQ(results[0][0].service_name, "SlowKitchen");
+}
+
+TEST_F(QosFixture, MissingAttributeFailsConstraint) {
+    auto request = base_request();
+    request.qos_constraints.push_back(
+        desc::QosConstraint{"throughputMbps", 0, 1e300});
+    const auto results = engine_.discover(request);
+    EXPECT_TRUE(results[0].empty());
+}
+
+TEST_F(QosFixture, ContextConstraintSelectsByLocation) {
+    auto request = base_request();
+    request.context_constraints.push_back(
+        desc::ContextConstraint{"location", "kitchen"});
+    const auto results = engine_.discover(request);
+    ASSERT_EQ(results[0].size(), 1u);
+    EXPECT_EQ(results[0][0].service_name, "SlowKitchen");
+}
+
+TEST_F(QosFixture, CombinedConstraintsIntersect) {
+    auto request = base_request();
+    request.qos_constraints.push_back(desc::QosConstraint{"latencyMs", -1e300, 50});
+    request.context_constraints.push_back(
+        desc::ContextConstraint{"location", "kitchen"});
+    const auto results = engine_.discover(request);
+    EXPECT_TRUE(results[0].empty());  // nothing is both fast and in the kitchen
+}
+
+TEST_F(QosFixture, ConstraintsPreferFartherAdmissibleHit) {
+    // A semantically-exact but slow video server vs a farther-but-fast
+    // generic one: the constraint must make the farther hit win.
+    desc::ServiceDescription exact = with_profile("ExactButSlow", 500, "hall");
+    exact.profile.capabilities.clear();
+    desc::Capability cap = th::send_digital_stream();
+    cap.name = "StreamVideo";
+    cap.category_qname = th::server("VideoServer");
+    cap.inputs[0].concept_qname = th::media("VideoResource");
+    exact.profile.capabilities.push_back(cap);
+    engine_.publish(exact);
+
+    auto request = base_request();
+    const auto unconstrained = engine_.discover(request);
+    ASSERT_EQ(unconstrained[0].size(), 1u);
+    EXPECT_EQ(unconstrained[0][0].service_name, "ExactButSlow");
+
+    request.qos_constraints.push_back(desc::QosConstraint{"latencyMs", -1e300, 50});
+    const auto constrained = engine_.discover(request);
+    ASSERT_EQ(constrained[0].size(), 1u);
+    EXPECT_EQ(constrained[0][0].service_name, "FastLivingRoom");
+    EXPECT_GT(constrained[0][0].semantic_distance,
+              unconstrained[0][0].semantic_distance);
+}
+
+TEST_F(QosFixture, ConstraintXmlRoundTrip) {
+    auto request = base_request();
+    request.qos_constraints.push_back(desc::QosConstraint{"latencyMs", 5, 50});
+    request.context_constraints.push_back(
+        desc::ContextConstraint{"location", "livingRoom"});
+    const auto reloaded = desc::parse_request(desc::serialize_request(request));
+    ASSERT_EQ(reloaded.qos_constraints.size(), 1u);
+    EXPECT_DOUBLE_EQ(reloaded.qos_constraints[0].min_value, 5);
+    EXPECT_DOUBLE_EQ(reloaded.qos_constraints[0].max_value, 50);
+    ASSERT_EQ(reloaded.context_constraints.size(), 1u);
+    EXPECT_EQ(reloaded.context_constraints[0].value, "livingRoom");
+
+    const auto results = engine_.discover(desc::serialize_request(request));
+    ASSERT_EQ(results[0].size(), 1u);
+    EXPECT_EQ(results[0][0].service_name, "FastLivingRoom");
+}
+
+TEST_F(QosFixture, ConversationCompatibilityFiltersProviders) {
+    // Two video sources with published process models: one requires
+    // payment before streaming, one streams directly.
+    desc::ServiceDescription pay_first = with_profile("PayFirst", 10, "hall");
+    pay_first.process = desc::Process::sequence(
+        {desc::Process::atomic("pay"), desc::Process::atomic("stream")});
+    engine_.publish(pay_first);
+
+    desc::ServiceDescription direct = with_profile("DirectPlay", 10, "hall");
+    direct.process = desc::Process::sequence(
+        {desc::Process::repeat(desc::Process::atomic("stream"))});
+    engine_.publish(direct);
+
+    // The client intends to just stream.
+    auto request = base_request();
+    request.process = desc::Process::atomic("stream");
+    const auto results = engine_.discover(request);
+    ASSERT_FALSE(results[0].empty());
+    for (const auto& hit : results[0]) {
+        EXPECT_NE(hit.service_name, "PayFirst")
+            << "pay-first protocol cannot realize a bare stream conversation";
+    }
+    // Providers without a process model (the two fixture services) are
+    // kept — they claim nothing about their conversation.
+    bool saw_direct = false;
+    for (const auto& hit : results[0]) {
+        if (hit.service_name == "DirectPlay") saw_direct = true;
+    }
+    EXPECT_TRUE(saw_direct);
+}
+
+TEST(QosConstraint, AdmitsBoundaryValues) {
+    const desc::QosConstraint constraint{"x", 1.0, 2.0};
+    EXPECT_TRUE(constraint.admits(1.0));
+    EXPECT_TRUE(constraint.admits(2.0));
+    EXPECT_FALSE(constraint.admits(0.999));
+    EXPECT_FALSE(constraint.admits(2.001));
+}
+
+TEST(SatisfiesConstraints, DirectChecks) {
+    desc::ServiceProfile profile;
+    profile.qos.push_back(desc::QosAttribute{"latencyMs", 30});
+    profile.context.push_back(desc::ContextAttribute{"room", "lab"});
+
+    desc::ServiceRequest request;
+    EXPECT_TRUE(desc::satisfies_constraints(profile, request));
+
+    request.qos_constraints.push_back(desc::QosConstraint{"latencyMs", 0, 40});
+    request.context_constraints.push_back(desc::ContextConstraint{"room", "lab"});
+    EXPECT_TRUE(desc::satisfies_constraints(profile, request));
+
+    request.context_constraints[0].value = "office";
+    EXPECT_FALSE(desc::satisfies_constraints(profile, request));
+}
+
+}  // namespace
+}  // namespace sariadne

@@ -1,0 +1,328 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "ontology/ontology.hpp"
+#include "reasoner/profiles.hpp"
+#include "reasoner/reasoner.hpp"
+#include "reasoner/taxonomy_cache.hpp"
+#include "support/errors.hpp"
+#include "test_helpers.hpp"
+#include "workload/ontology_gen.hpp"
+
+namespace sariadne::reasoner {
+namespace {
+
+using onto::ConceptId;
+using onto::Ontology;
+
+std::unique_ptr<Reasoner> make_engine(int which) {
+    switch (which) {
+        case 0: return std::make_unique<NaiveClosureReasoner>();
+        case 1: return std::make_unique<RuleReasoner>();
+        default: return std::make_unique<TableauLiteReasoner>();
+    }
+}
+
+class AllEngines : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Engines, AllEngines, ::testing::Values(0, 1, 2),
+                         [](const auto& info) {
+                             switch (info.param) {
+                                 case 0: return "NaiveClosure";
+                                 case 1: return "RuleForward";
+                                 default: return "TableauLite";
+                             }
+                         });
+
+TEST_P(AllEngines, ToldSubsumptionAndTransitivity) {
+    Ontology o("u");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    const auto c = o.add_class("C");
+    o.add_subclass_of(b, a);
+    o.add_subclass_of(c, b);
+
+    const Taxonomy tax = make_engine(GetParam())->classify(o);
+    EXPECT_TRUE(tax.subsumes(a, a));
+    EXPECT_TRUE(tax.subsumes(a, b));
+    EXPECT_TRUE(tax.subsumes(a, c));
+    EXPECT_TRUE(tax.subsumes(b, c));
+    EXPECT_FALSE(tax.subsumes(c, a));
+    EXPECT_FALSE(tax.subsumes(b, a));
+}
+
+TEST_P(AllEngines, DistanceCountsLevels) {
+    Ontology o("u");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    const auto c = o.add_class("C");
+    const auto d = o.add_class("D");
+    o.add_subclass_of(b, a);
+    o.add_subclass_of(c, b);
+    o.add_subclass_of(d, c);
+
+    const Taxonomy tax = make_engine(GetParam())->classify(o);
+    EXPECT_EQ(tax.distance(a, a), 0);
+    EXPECT_EQ(tax.distance(a, b), 1);
+    EXPECT_EQ(tax.distance(a, d), 3);
+    EXPECT_EQ(tax.distance(b, d), 2);
+    EXPECT_EQ(tax.distance(d, a), std::nullopt);
+}
+
+TEST_P(AllEngines, DistanceMeasuredInReducedHierarchy) {
+    // Told shortcut A→C is redundant next to A→B→C; classification removes
+    // it (transitive reduction), so the level distance d(A, C) is 2 — the
+    // paper's "number of levels in the classified hierarchy".
+    Ontology o("u");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    const auto c = o.add_class("C");
+    o.add_subclass_of(b, a);
+    o.add_subclass_of(c, b);
+    o.add_subclass_of(c, a);
+
+    const Taxonomy tax = make_engine(GetParam())->classify(o);
+    EXPECT_EQ(tax.distance(a, c), 2);
+    ASSERT_EQ(tax.direct_parents(c).size(), 1u);  // only B remains direct
+    EXPECT_EQ(tax.direct_parents(c)[0], tax.canonical(b));
+}
+
+TEST_P(AllEngines, DistanceTakesShortestGenuinePath) {
+    // True multi-parent: C below both B (itself below A) and A's sibling R;
+    // both edges are irredundant, so d(Top, C) is the minimum path.
+    Ontology o("u");
+    const auto top = o.add_class("Top");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    const auto r = o.add_class("R");
+    const auto c = o.add_class("C");
+    o.add_subclass_of(a, top);
+    o.add_subclass_of(r, top);
+    o.add_subclass_of(b, a);
+    o.add_subclass_of(c, b);
+    o.add_subclass_of(c, r);
+
+    const Taxonomy tax = make_engine(GetParam())->classify(o);
+    EXPECT_EQ(tax.distance(top, c), 2);  // Top→R→C beats Top→A→B→C
+    EXPECT_EQ(tax.direct_parents(c).size(), 2u);
+}
+
+TEST_P(AllEngines, EquivalenceMergesIntoOneVertex) {
+    Ontology o("u");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    const auto c = o.add_class("C");
+    o.add_equivalent(a, b);
+    o.add_subclass_of(c, b);
+
+    const Taxonomy tax = make_engine(GetParam())->classify(o);
+    EXPECT_EQ(tax.canonical(a), tax.canonical(b));
+    EXPECT_TRUE(tax.subsumes(a, b));
+    EXPECT_TRUE(tax.subsumes(b, a));
+    EXPECT_EQ(tax.distance(a, b), 0);
+    EXPECT_TRUE(tax.subsumes(a, c));
+    EXPECT_EQ(tax.distance(a, c), 1);
+    EXPECT_EQ(tax.representative_count(), 2u);
+}
+
+TEST_P(AllEngines, SubsumptionCycleCollapses) {
+    // A ⊑ B ⊑ C ⊑ A told cycle: all three are equivalent.
+    Ontology o("u");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    const auto c = o.add_class("C");
+    o.add_subclass_of(a, b);
+    o.add_subclass_of(b, c);
+    o.add_subclass_of(c, a);
+
+    const Taxonomy tax = make_engine(GetParam())->classify(o);
+    EXPECT_EQ(tax.canonical(a), tax.canonical(b));
+    EXPECT_EQ(tax.canonical(b), tax.canonical(c));
+    EXPECT_EQ(tax.distance(a, c), 0);
+}
+
+TEST_P(AllEngines, IntersectionIntroduction) {
+    // D ≡ A ⊓ B; X ⊑ A, X ⊑ B  ⇒  X ⊑ D.
+    Ontology o("u");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    const auto d = o.add_class("D");
+    const auto x = o.add_class("X");
+    o.define_intersection(d, {a, b});
+    o.add_subclass_of(x, a);
+    o.add_subclass_of(x, b);
+
+    const Taxonomy tax = make_engine(GetParam())->classify(o);
+    EXPECT_TRUE(tax.subsumes(d, x));
+    EXPECT_TRUE(tax.subsumes(a, d));
+    EXPECT_TRUE(tax.subsumes(b, d));
+    EXPECT_FALSE(tax.subsumes(d, a));
+}
+
+TEST_P(AllEngines, ChainedIntersectionIntroduction) {
+    // D1 ≡ A ⊓ B, D2 ≡ D1 ⊓ C; X below A, B, C must reach D2.
+    Ontology o("u");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    const auto c = o.add_class("C");
+    const auto d1 = o.add_class("D1");
+    const auto d2 = o.add_class("D2");
+    const auto x = o.add_class("X");
+    o.define_intersection(d1, {a, b});
+    o.define_intersection(d2, {d1, c});
+    o.add_subclass_of(x, a);
+    o.add_subclass_of(x, b);
+    o.add_subclass_of(x, c);
+
+    const Taxonomy tax = make_engine(GetParam())->classify(o);
+    EXPECT_TRUE(tax.subsumes(d1, x));
+    EXPECT_TRUE(tax.subsumes(d2, x));
+}
+
+TEST_P(AllEngines, IntersectionOfComparablePartsCreatesEquivalence) {
+    // B ⊑ A and D ≡ A ⊓ B: D is equivalent to B.
+    Ontology o("u");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    const auto d = o.add_class("D");
+    o.add_subclass_of(b, a);
+    o.define_intersection(d, {a, b});
+
+    const Taxonomy tax = make_engine(GetParam())->classify(o);
+    EXPECT_EQ(tax.canonical(d), tax.canonical(b));
+}
+
+TEST_P(AllEngines, DisjointnessViolationThrows) {
+    Ontology o("u");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    const auto x = o.add_class("X");
+    o.add_disjoint(a, b);
+    o.add_subclass_of(x, a);
+    o.add_subclass_of(x, b);
+    auto engine = make_engine(GetParam());
+    EXPECT_THROW(engine->classify(o), InconsistencyError);
+}
+
+TEST_P(AllEngines, DirectDisjointSubsumptionThrows) {
+    Ontology o("u");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    o.add_disjoint(a, b);
+    o.add_subclass_of(a, b);
+    auto engine = make_engine(GetParam());
+    EXPECT_THROW(engine->classify(o), InconsistencyError);
+}
+
+TEST_P(AllEngines, ConsistentDisjointSiblingsPass) {
+    const Taxonomy tax =
+        make_engine(GetParam())->classify(sariadne::testing::media_ontology());
+    EXPECT_GT(tax.representative_count(), 0u);
+}
+
+TEST_P(AllEngines, RootsAndDepths) {
+    Ontology o("u");
+    const auto a = o.add_class("A");
+    const auto b = o.add_class("B");
+    const auto c = o.add_class("C");
+    const auto other = o.add_class("Other");
+    o.add_subclass_of(b, a);
+    o.add_subclass_of(c, b);
+
+    const Taxonomy tax = make_engine(GetParam())->classify(o);
+    const auto roots = tax.roots();
+    EXPECT_EQ(roots.size(), 2u);  // A and Other
+    EXPECT_EQ(tax.depth(a), 0);
+    EXPECT_EQ(tax.depth(other), 0);
+    EXPECT_EQ(tax.depth(b), 1);
+    EXPECT_EQ(tax.depth(c), 2);
+}
+
+TEST_P(AllEngines, StatsAreRecorded) {
+    auto engine = make_engine(GetParam());
+    (void)engine->classify(sariadne::testing::server_ontology());
+    EXPECT_GT(engine->last_stats().facts_derived, 0u);
+}
+
+// Property: the three engines agree bit-for-bit on randomized ontologies.
+class EngineAgreement : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreement,
+                         ::testing::Range(0, 12));
+
+TEST_P(EngineAgreement, AllEnginesProduceIdenticalTaxonomies) {
+    workload::OntologyGenConfig config;
+    config.class_count = 30 + GetParam() * 5;
+    config.alias_count = 2;
+    config.intersection_count = (GetParam() % 2 == 0) ? 3 : 0;
+    config.multi_parent_rate = (GetParam() % 3 == 0) ? 0.2 : 0.0;
+    config.disjoint_pairs = (config.intersection_count > 0 ||
+                             config.multi_parent_rate > 0)
+                                ? 0
+                                : 2;
+    Rng rng(1000 + GetParam());
+    const Ontology o = workload::generate_ontology("u", config, rng);
+
+    NaiveClosureReasoner naive;
+    RuleReasoner rule;
+    TableauLiteReasoner tableau;
+    const Taxonomy t1 = naive.classify(o);
+    const Taxonomy t2 = rule.classify(o);
+    const Taxonomy t3 = tableau.classify(o);
+
+    for (ConceptId a = 0; a < o.class_count(); ++a) {
+        EXPECT_EQ(t1.canonical(a), t2.canonical(a));
+        EXPECT_EQ(t1.canonical(a), t3.canonical(a));
+        for (ConceptId b = 0; b < o.class_count(); ++b) {
+            ASSERT_EQ(t1.subsumes(a, b), t2.subsumes(a, b))
+                << "naive vs rule disagree on (" << o.class_name(a) << ", "
+                << o.class_name(b) << ")";
+            ASSERT_EQ(t1.subsumes(a, b), t3.subsumes(a, b))
+                << "naive vs tableau disagree on (" << o.class_name(a) << ", "
+                << o.class_name(b) << ")";
+            ASSERT_EQ(t1.distance(a, b), t2.distance(a, b));
+            ASSERT_EQ(t1.distance(a, b), t3.distance(a, b));
+        }
+    }
+}
+
+TEST(TaxonomyCache, ClassifiesOncePerVersion) {
+    onto::OntologyRegistry registry;
+    const auto index = registry.add(sariadne::testing::media_ontology());
+    TaxonomyCache cache;
+    (void)cache.taxonomy_of(registry.at(index));
+    (void)cache.taxonomy_of(registry.at(index));
+    EXPECT_EQ(cache.classifications(), 1u);
+
+    onto::Ontology v2 = sariadne::testing::media_ontology();
+    v2.set_version(2);
+    registry.add(std::move(v2));
+    (void)cache.taxonomy_of(registry.at(index));
+    EXPECT_EQ(cache.classifications(), 2u);
+}
+
+TEST(Profiles, Fig2CostStructure) {
+    const onto::Ontology fig2 = workload::fig2_ontology();
+    std::vector<DlReasonerProfile> profiles;
+    profiles.push_back(DlReasonerProfile::racer_like());
+    profiles.push_back(DlReasonerProfile::factpp_like());
+    profiles.push_back(DlReasonerProfile::pellet_like());
+    for (auto& profile : profiles) {
+        const auto cost = profile.model_match(fig2, /*match_queries=*/11);
+        // The paper: 4-5 s total, 76-78 % in load+classify.
+        EXPECT_GT(cost.total_ms(), 3500.0) << profile.name();
+        EXPECT_LT(cost.total_ms(), 5500.0) << profile.name();
+        EXPECT_GT(cost.load_fraction(), 0.70) << profile.name();
+        EXPECT_LT(cost.load_fraction(), 0.85) << profile.name();
+    }
+}
+
+TEST(Fig2Ontology, HasPublishedShape) {
+    const onto::Ontology fig2 = workload::fig2_ontology();
+    EXPECT_EQ(fig2.class_count(), 99u);
+    EXPECT_EQ(fig2.property_count(), 39u);
+}
+
+}  // namespace
+}  // namespace sariadne::reasoner

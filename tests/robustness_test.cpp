@@ -1,0 +1,226 @@
+// Failure-injection and property tests: the parser must never crash on
+// arbitrary bytes, mutated documents must fail cleanly or parse, and the
+// capability DAG must keep its invariants under arbitrary interleavings of
+// inserts and removals.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "description/amigos_io.hpp"
+#include "directory/dag.hpp"
+#include "directory/flat_directory.hpp"
+#include "directory/semantic_directory.hpp"
+#include "matching/oracles.hpp"
+#include "support/rng.hpp"
+#include "test_helpers.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
+#include "xml/parser.hpp"
+
+namespace sariadne {
+namespace {
+
+namespace th = sariadne::testing;
+
+// --- XML fuzzing ------------------------------------------------------------
+
+class XmlFuzz : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzz, ::testing::Range(0, 8));
+
+TEST_P(XmlFuzz, RandomBytesNeverCrashTheParser) {
+    Rng rng(10000 + GetParam());
+    for (int doc = 0; doc < 200; ++doc) {
+        const auto length = static_cast<std::size_t>(rng.below(300));
+        std::string bytes;
+        bytes.reserve(length);
+        for (std::size_t i = 0; i < length; ++i) {
+            bytes += static_cast<char>(rng.below(256));
+        }
+        try {
+            (void)xml::parse(bytes);
+        } catch (const ParseError&) {
+            // expected for almost all inputs
+        }
+    }
+}
+
+TEST_P(XmlFuzz, MutatedDocumentsFailCleanlyOrParse) {
+    workload::OntologyGenConfig config;
+    config.class_count = 20;
+    workload::ServiceWorkload workload(
+        workload::generate_universe(2, config, 77));
+    const std::string original = workload.service_xml(GetParam());
+
+    Rng rng(20000 + GetParam());
+    for (int round = 0; round < 300; ++round) {
+        std::string mutated = original;
+        // 1-4 random single-byte mutations: overwrite, delete or duplicate.
+        const int edits = 1 + static_cast<int>(rng.below(4));
+        for (int e = 0; e < edits && !mutated.empty(); ++e) {
+            const auto pos = rng.below(mutated.size());
+            switch (rng.below(3)) {
+                case 0:
+                    mutated[pos] = static_cast<char>(rng.below(256));
+                    break;
+                case 1:
+                    mutated.erase(pos, 1);
+                    break;
+                default:
+                    mutated.insert(pos, 1, mutated[pos]);
+                    break;
+            }
+        }
+        try {
+            (void)desc::parse_service(mutated);
+        } catch (const Error&) {
+            // ParseError / LookupError are the contract; anything else
+            // (or a crash) fails the test.
+        }
+    }
+}
+
+TEST(XmlFuzz, DeeplyNestedDocumentParses) {
+    std::string text;
+    constexpr int kDepth = 2000;
+    for (int i = 0; i < kDepth; ++i) text += "<n>";
+    for (int i = 0; i < kDepth; ++i) text += "</n>";
+    // Depth is bounded only by stack; 2000 must be fine.
+    const auto doc = xml::parse(text);
+    EXPECT_EQ(doc.root.name(), "n");
+}
+
+TEST(XmlFuzz, HugeAttributeAndTextHandled) {
+    const std::string big(200000, 'x');
+    const auto doc =
+        xml::parse("<a v=\"" + big + "\">" + big + "</a>");
+    EXPECT_EQ(doc.root.attribute_or("v", "").size(), big.size());
+    EXPECT_EQ(doc.root.text().size(), big.size());
+}
+
+// --- DAG invariants under random operations -----------------------------------
+
+class DagProperty : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagProperty, ::testing::Range(0, 6));
+
+TEST_P(DagProperty, InvariantsHoldUnderRandomInsertRemove) {
+    workload::OntologyGenConfig config;
+    config.class_count = 25;
+    auto universe = workload::generate_universe(2, config, 40 + GetParam());
+    encoding::KnowledgeBase kb;
+    for (const auto& o : universe) kb.register_ontology(o);
+    workload::ServiceGenConfig svc_config;
+    svc_config.seed = 50 + GetParam();
+    workload::ServiceWorkload workload(std::move(universe), svc_config);
+    matching::EncodedOracle oracle(kb);
+
+    directory::CapabilityDag dag(FlatSet<onto::OntologyIndex>{0, 1});
+    directory::MatchStats stats;
+    Rng rng(60 + GetParam());
+    std::vector<directory::ServiceId> live;
+
+    for (int op = 0; op < 120; ++op) {
+        if (live.empty() || rng.chance(0.65)) {
+            const auto service_id =
+                static_cast<directory::ServiceId>(op + 1);
+            auto cap = desc::resolve_capability(
+                workload.service(static_cast<std::size_t>(rng.below(60)))
+                    .profile.capabilities.front(),
+                kb.registry(), "svc" + std::to_string(service_id));
+            dag.insert(directory::DagEntry{std::move(cap), service_id}, oracle,
+                       stats);
+            live.push_back(service_id);
+        } else {
+            const auto victim = rng.below(live.size());
+            dag.remove_service(live[victim]);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+        }
+        ASSERT_TRUE(dag.validate(oracle)) << "op " << op << " broke the DAG";
+    }
+    EXPECT_EQ(dag.entry_count(), live.size());
+}
+
+TEST_P(DagProperty, QueryAgreesWithFlatScanUnderChurn) {
+    workload::OntologyGenConfig config;
+    config.class_count = 25;
+    auto universe = workload::generate_universe(3, config, 140 + GetParam());
+    encoding::KnowledgeBase kb;
+    for (const auto& o : universe) kb.register_ontology(o);
+    workload::ServiceGenConfig svc_config;
+    svc_config.seed = 150 + GetParam();
+    workload::ServiceWorkload workload(std::move(universe), svc_config);
+
+    directory::SemanticDirectory semantic(kb);
+    directory::FlatDirectory flat_rebuilt(kb);
+    Rng rng(160 + GetParam());
+
+    std::vector<std::pair<directory::ServiceId, std::size_t>> live;
+    const auto is_live = [&](std::size_t index) {
+        for (const auto& [id, existing] : live) {
+            if (existing == index) return true;
+        }
+        return false;
+    };
+    for (int op = 0; op < 60; ++op) {
+        if (live.empty() || rng.chance(0.7)) {
+            const std::size_t index = rng.below(80);
+            // Re-publishing a live service name would *replace* it in the
+            // directory (re-advertisement semantics) and invalidate the
+            // older handle; keep indices unique for the bookkeeping here.
+            if (is_live(index)) continue;
+            live.emplace_back(semantic.publish(workload.service(index)), index);
+        } else {
+            const auto victim = rng.below(live.size());
+            semantic.remove(live[victim].first);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+        }
+    }
+
+    // Rebuild a flat directory from the surviving services and compare
+    // best distances over many requests.
+    for (const auto& [id, index] : live) {
+        flat_rebuilt.publish(workload.service(index));
+    }
+    for (const auto& [id, index] : live) {
+        const auto resolved = desc::resolve_request(
+            workload.matching_request(index), kb.registry());
+        const auto from_dag = semantic.query_resolved(resolved);
+        directory::MatchStats stats;
+        directory::QueryTiming timing;
+        const auto from_flat = flat_rebuilt.query(resolved, stats, timing);
+        ASSERT_FALSE(from_dag.per_capability[0].empty()) << "index " << index;
+        ASSERT_FALSE(from_flat[0].empty());
+        EXPECT_EQ(from_dag.per_capability[0][0].semantic_distance,
+                  from_flat[0][0].semantic_distance)
+            << "index " << index;
+    }
+}
+
+// --- protocol: malformed documents must not take a directory down --------------
+
+TEST(ProtocolRobustness, DirectorySurvivesMalformedPublishAndRequest) {
+    encoding::KnowledgeBase kb;
+    kb.register_ontology(th::media_ontology());
+    kb.register_ontology(th::server_ontology());
+    directory::SemanticDirectory directory(kb);
+
+    EXPECT_THROW((void)directory.publish_xml("<broken"), ParseError);
+    EXPECT_THROW((void)directory.publish_xml("<service/>"), LookupError);
+    EXPECT_THROW((void)directory.publish_xml(R"(
+        <service name="s"><capability name="c" kind="provided">
+        <output concept="http://nowhere#X"/></capability></service>)"),
+                 LookupError);
+    EXPECT_EQ(directory.service_count(), 0u);
+
+    directory.publish(th::workstation_service());
+    EXPECT_THROW((void)directory.query_xml("not xml at all"), ParseError);
+
+    // A healthy query still works afterwards.
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    EXPECT_TRUE(directory.query(request).fully_satisfied());
+}
+
+}  // namespace
+}  // namespace sariadne

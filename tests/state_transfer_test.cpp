@@ -1,0 +1,164 @@
+// Directory state transfer: export/import bundles and the protocol's
+// graceful handover (the paper's "a directory leaves and the elected one
+// hosts its descriptions" scenario that Figure 7 times).
+#include <gtest/gtest.h>
+
+#include "ariadne/protocol.hpp"
+#include "description/amigos_io.hpp"
+#include "directory/state_transfer.hpp"
+#include "test_helpers.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
+
+namespace sariadne {
+namespace {
+
+namespace th = sariadne::testing;
+
+class StateTransferFixture : public ::testing::Test {
+protected:
+    StateTransferFixture() : source_(kb_), target_(kb_) {
+        kb_.register_ontology(th::media_ontology());
+        kb_.register_ontology(th::server_ontology());
+    }
+
+    encoding::KnowledgeBase kb_;
+    directory::SemanticDirectory source_;
+    directory::SemanticDirectory target_;
+};
+
+TEST_F(StateTransferFixture, ExportImportRoundTrip) {
+    source_.publish(th::workstation_service());
+    desc::ServiceDescription second = th::workstation_service();
+    second.profile.service_name = "Workstation2";
+    source_.publish(second);
+
+    const std::string state = directory::export_state(source_);
+    EXPECT_EQ(directory::import_state(target_, state), 2u);
+    EXPECT_EQ(target_.service_count(), 2u);
+    EXPECT_EQ(target_.capability_count(), 4u);
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto result = target_.query(request);
+    EXPECT_TRUE(result.fully_satisfied());
+    EXPECT_EQ(result.per_capability[0].size(), 2u);  // both workstations
+}
+
+TEST_F(StateTransferFixture, EmptyDirectoryExportsEmptyState) {
+    const std::string state = directory::export_state(source_);
+    EXPECT_EQ(directory::import_state(target_, state), 0u);
+    EXPECT_EQ(target_.service_count(), 0u);
+}
+
+TEST_F(StateTransferFixture, ImportReplacesSameNameServices) {
+    target_.publish(th::workstation_service());
+    source_.publish(th::workstation_service());
+    (void)directory::import_state(target_, directory::export_state(source_));
+    EXPECT_EQ(target_.service_count(), 1u);  // replaced, not duplicated
+}
+
+TEST_F(StateTransferFixture, ImportPreservesGroundingAndProfile) {
+    source_.publish(th::workstation_service());
+    (void)directory::import_state(target_, directory::export_state(source_));
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto result = target_.query(request);
+    ASSERT_FALSE(result.per_capability[0].empty());
+    const auto* service = target_.service(result.per_capability[0][0].service);
+    ASSERT_NE(service, nullptr);
+    EXPECT_EQ(service->grounding.address, "http://workstation.local/media");
+    EXPECT_EQ(service->middleware, "WS");
+}
+
+TEST_F(StateTransferFixture, MalformedStateRejected) {
+    EXPECT_THROW((void)directory::import_state(target_, "<wrong/>"), ParseError);
+    EXPECT_THROW((void)directory::import_state(target_, "garbage"), ParseError);
+    EXPECT_EQ(target_.service_count(), 0u);
+}
+
+// --- protocol-level handover -----------------------------------------------
+
+encoding::KnowledgeBase protocol_kb() {
+    encoding::KnowledgeBase kb;
+    kb.register_ontology(th::media_ontology());
+    kb.register_ontology(th::server_ontology());
+    return kb;
+}
+
+ariadne::ProtocolConfig handover_config() {
+    ariadne::ProtocolConfig config;
+    config.adv_period_ms = 500;
+    config.adv_timeout_ms = 1200;
+    config.election_wait_ms = 30;
+    return config;
+}
+
+TEST(Handover, ResignationTransfersContentToPeerDirectory) {
+    auto kb = protocol_kb();
+    ariadne::DiscoveryNetwork network(net::Topology::grid(9, 1),
+                                      handover_config(), kb);
+    network.appoint_directory(1);
+    network.appoint_directory(7);
+    network.start();
+    network.run_for(200);
+    network.publish_service(0,
+                            desc::serialize_service(th::workstation_service()));
+    network.run_for(1000);
+
+    // Directory 1 (holding the description) resigns gracefully.
+    network.resign_directory(1);
+    network.run_for(2000);
+    EXPECT_FALSE(network.is_directory(1));
+
+    // The content must now be answerable by directory 7, even for a client
+    // right next to the resigned node.
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(0, desc::serialize_request(request));
+    network.run_for(5000);
+    const auto& outcome = network.outcome(id);
+    ASSERT_TRUE(outcome.answered);
+    EXPECT_TRUE(outcome.satisfied);
+}
+
+TEST(Handover, LastDirectoryElectsSuccessorAndHandsOver) {
+    auto kb = protocol_kb();
+    ariadne::DiscoveryNetwork network(net::Topology::grid(3, 3),
+                                      handover_config(), kb);
+    network.appoint_directory(4);
+    network.start();
+    network.run_for(200);
+    network.publish_service(0,
+                            desc::serialize_service(th::workstation_service()));
+    network.run_for(1000);
+
+    network.resign_directory(4);
+    network.run_for(8000);  // election + handover
+
+    const auto dirs = network.directories();
+    ASSERT_FALSE(dirs.empty());
+    EXPECT_FALSE(network.is_directory(4));
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(8, desc::serialize_request(request));
+    network.run_for(5000);
+    const auto& outcome = network.outcome(id);
+    ASSERT_TRUE(outcome.answered);
+    EXPECT_TRUE(outcome.satisfied)
+        << "the successor directory should have inherited the description";
+}
+
+TEST(Handover, ResigningNonDirectoryIsANoOp) {
+    auto kb = protocol_kb();
+    ariadne::DiscoveryNetwork network(net::Topology::grid(2, 2),
+                                      handover_config(), kb);
+    network.appoint_directory(0);
+    network.start();
+    EXPECT_NO_THROW(network.resign_directory(3));
+    EXPECT_TRUE(network.is_directory(0));
+}
+
+}  // namespace
+}  // namespace sariadne

@@ -1,0 +1,218 @@
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+#include "support/flat_set.hpp"
+#include "support/hash.hpp"
+#include "support/interning.hpp"
+#include "support/rng.hpp"
+
+namespace sariadne {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int differences = 0;
+    for (int i = 0; i < 16; ++i) {
+        if (a() != b()) ++differences;
+    }
+    EXPECT_GT(differences, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.below(bound), bound);
+        }
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive) {
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(11);
+    double sum = 0;
+    constexpr int kSamples = 10000;
+    for (int i = 0; i < kSamples; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+    Rng rng(13);
+    double sum = 0;
+    constexpr int kSamples = 20000;
+    for (int i = 0; i < kSamples; ++i) sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / kSamples, 5.0, 0.25);
+}
+
+TEST(Rng, ShufflePermutes) {
+    Rng rng(17);
+    std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+    auto shuffled = values;
+    rng.shuffle(shuffled.begin(), shuffled.end());
+    EXPECT_TRUE(std::is_permutation(values.begin(), values.end(),
+                                    shuffled.begin()));
+}
+
+TEST(Hash, Fnv1aStability) {
+    // Known FNV-1a 64 test vectors.
+    EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
+    EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+}
+
+TEST(Hash, Murmur3DiffersByInput) {
+    const auto a = murmur3_128("hello");
+    const auto b = murmur3_128("hellp");
+    EXPECT_TRUE(a.h1 != b.h1 || a.h2 != b.h2);
+}
+
+TEST(Hash, Murmur3SeedMatters) {
+    const auto a = murmur3_128("hello", 1);
+    const auto b = murmur3_128("hello", 2);
+    EXPECT_TRUE(a.h1 != b.h1 || a.h2 != b.h2);
+}
+
+TEST(Hash, Murmur3HandlesAllTailLengths) {
+    // Exercise every tail-length branch (0..15 bytes past a block).
+    std::set<std::uint64_t> seen;
+    std::string text;
+    for (int len = 0; len < 48; ++len) {
+        seen.insert(murmur3_128(text).h1);
+        text += static_cast<char>('a' + len % 26);
+    }
+    EXPECT_EQ(seen.size(), 48u);
+}
+
+TEST(Hash, CombineUnorderedIsOrderIndependent) {
+    const std::uint64_t a = fnv1a64("x");
+    const std::uint64_t b = fnv1a64("y");
+    const std::uint64_t c = fnv1a64("z");
+    std::uint64_t acc1 = 0;
+    acc1 = combine_unordered(acc1, a);
+    acc1 = combine_unordered(acc1, b);
+    acc1 = combine_unordered(acc1, c);
+    std::uint64_t acc2 = 0;
+    acc2 = combine_unordered(acc2, c);
+    acc2 = combine_unordered(acc2, a);
+    acc2 = combine_unordered(acc2, b);
+    EXPECT_EQ(acc1, acc2);
+}
+
+TEST(StringPool, InternDeduplicates) {
+    StringPool pool;
+    const Symbol a = pool.intern("hello");
+    const Symbol b = pool.intern("hello");
+    const Symbol c = pool.intern("world");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_EQ(pool.text(a), "hello");
+    EXPECT_EQ(pool.text(c), "world");
+}
+
+TEST(StringPool, FindWithoutInserting) {
+    StringPool pool;
+    EXPECT_FALSE(pool.find("missing").valid());
+    pool.intern("present");
+    EXPECT_TRUE(pool.find("present").valid());
+    EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(StringPool, SurvivesGrowth) {
+    // Many SSO-sized strings force rehash/growth; views must stay valid.
+    StringPool pool;
+    std::vector<Symbol> symbols;
+    for (int i = 0; i < 2000; ++i) {
+        symbols.push_back(pool.intern("s" + std::to_string(i)));
+    }
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_EQ(pool.text(symbols[i]), "s" + std::to_string(i));
+        EXPECT_EQ(pool.intern("s" + std::to_string(i)), symbols[i]);
+    }
+}
+
+TEST(FlatSet, InsertAndContains) {
+    FlatSet<int> set;
+    EXPECT_TRUE(set.insert(3));
+    EXPECT_TRUE(set.insert(1));
+    EXPECT_FALSE(set.insert(3));
+    EXPECT_TRUE(set.contains(1));
+    EXPECT_FALSE(set.contains(2));
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FlatSet, NormalizesInitializerList) {
+    const FlatSet<int> set{5, 1, 3, 1, 5};
+    const std::vector<int> expected{1, 3, 5};
+    EXPECT_EQ(set.items(), expected);
+}
+
+TEST(FlatSet, SubsetAndIntersection) {
+    const FlatSet<int> small{1, 3};
+    const FlatSet<int> big{1, 2, 3, 4};
+    const FlatSet<int> other{7, 8};
+    EXPECT_TRUE(small.subset_of(big));
+    EXPECT_FALSE(big.subset_of(small));
+    EXPECT_TRUE(small.intersects(big));
+    EXPECT_FALSE(small.intersects(other));
+    EXPECT_TRUE(FlatSet<int>{}.subset_of(small));
+    EXPECT_FALSE(FlatSet<int>{}.intersects(small));
+}
+
+TEST(FlatSet, Union) {
+    const FlatSet<int> a{1, 3};
+    const FlatSet<int> b{2, 3};
+    const FlatSet<int> u = a.united_with(b);
+    const std::vector<int> expected{1, 2, 3};
+    EXPECT_EQ(u.items(), expected);
+}
+
+TEST(FlatSet, HashOrderIndependent) {
+    const FlatSet<int> a{1, 2, 3};
+    const FlatSet<int> b{3, 2, 1};
+    const auto project = [](int v) { return static_cast<std::uint64_t>(v); };
+    EXPECT_EQ(hash_set(a, project), hash_set(b, project));
+}
+
+TEST(Contracts, ExpectsThrowsOnViolation) {
+    EXPECT_THROW(SARIADNE_EXPECTS(false), ContractViolation);
+    EXPECT_NO_THROW(SARIADNE_EXPECTS(true));
+}
+
+}  // namespace
+}  // namespace sariadne

@@ -1,0 +1,127 @@
+// Shared fixtures: the paper's Figure 1 scenario (a PDA requesting
+// GetVideoStream, a workstation providing SendDigitalStream and
+// ProvideGame over media-resource and server ontologies) plus small
+// utilities used across suites.
+#pragma once
+
+#include <string>
+
+#include "description/capability.hpp"
+#include "description/service.hpp"
+#include "ontology/ontology.hpp"
+
+namespace sariadne::testing {
+
+inline constexpr const char* kMediaUri = "http://amigo.example/onto/media";
+inline constexpr const char* kServerUri = "http://amigo.example/onto/server";
+
+/// Media resource ontology of Figure 1:
+///   Resource
+///     DigitalResource
+///       VideoResource   (MovieResource below it)
+///       SoundResource
+///       GameResource
+///   Stream
+///     VideoStream
+inline onto::Ontology media_ontology() {
+    onto::Ontology o(kMediaUri);
+    const auto resource = o.add_class("Resource");
+    const auto digital = o.add_class("DigitalResource");
+    const auto video = o.add_class("VideoResource");
+    const auto sound = o.add_class("SoundResource");
+    const auto game = o.add_class("GameResource");
+    const auto movie = o.add_class("MovieResource");
+    const auto stream = o.add_class("Stream");
+    const auto video_stream = o.add_class("VideoStream");
+    o.add_subclass_of(digital, resource);
+    o.add_subclass_of(video, digital);
+    o.add_subclass_of(sound, digital);
+    o.add_subclass_of(game, digital);
+    o.add_subclass_of(movie, video);
+    o.add_subclass_of(video_stream, stream);
+    o.add_disjoint(video, sound);
+    const auto title = o.add_class("Title");
+    const auto has_title = o.add_property("hasTitle");
+    o.set_property_domain(has_title, resource);
+    o.set_property_range(has_title, title);
+    return o;
+}
+
+/// Server category ontology of Figure 1:
+///   Server
+///     DigitalServer
+///       MediaServer
+///         VideoServer
+///       GameServer
+inline onto::Ontology server_ontology() {
+    onto::Ontology o(kServerUri);
+    const auto server = o.add_class("Server");
+    const auto digital = o.add_class("DigitalServer");
+    const auto media = o.add_class("MediaServer");
+    const auto video = o.add_class("VideoServer");
+    const auto game = o.add_class("GameServer");
+    o.add_subclass_of(digital, server);
+    o.add_subclass_of(media, digital);
+    o.add_subclass_of(video, media);
+    o.add_subclass_of(game, digital);
+    return o;
+}
+
+inline std::string media(const char* local) {
+    return std::string(kMediaUri) + "#" + local;
+}
+
+inline std::string server(const char* local) {
+    return std::string(kServerUri) + "#" + local;
+}
+
+/// The workstation's generic capability: category DigitalServer, expects a
+/// DigitalResource, offers a Stream.
+inline desc::Capability send_digital_stream() {
+    desc::Capability cap;
+    cap.name = "SendDigitalStream";
+    cap.kind = desc::CapabilityKind::kProvided;
+    cap.category_qname = server("DigitalServer");
+    cap.inputs.push_back(desc::Parameter{"resource", media("DigitalResource")});
+    cap.outputs.push_back(desc::Parameter{"stream", media("Stream")});
+    return cap;
+}
+
+/// The workstation's second capability: category GameServer, expects a
+/// GameResource, offers a Stream.
+inline desc::Capability provide_game() {
+    desc::Capability cap;
+    cap.name = "ProvideGame";
+    cap.kind = desc::CapabilityKind::kProvided;
+    cap.category_qname = server("GameServer");
+    cap.inputs.push_back(desc::Parameter{"game", media("GameResource")});
+    cap.outputs.push_back(desc::Parameter{"stream", media("Stream")});
+    return cap;
+}
+
+/// The PDA's requested capability: category VideoServer, offers a
+/// VideoResource title, expects a Stream.
+inline desc::Capability get_video_stream() {
+    desc::Capability cap;
+    cap.name = "GetVideoStream";
+    cap.kind = desc::CapabilityKind::kRequired;
+    cap.category_qname = server("VideoServer");
+    cap.inputs.push_back(desc::Parameter{"title", media("VideoResource")});
+    cap.outputs.push_back(desc::Parameter{"stream", media("Stream")});
+    return cap;
+}
+
+/// Workstation service description holding both provided capabilities.
+inline desc::ServiceDescription workstation_service() {
+    desc::ServiceDescription service;
+    service.profile.service_name = "Workstation";
+    service.profile.provider = "amigo-home";
+    service.middleware = "WS";
+    service.grounding.protocol = "SOAP";
+    service.grounding.address = "http://workstation.local/media";
+    service.profile.capabilities.push_back(send_digital_stream());
+    service.profile.capabilities.push_back(provide_game());
+    return service;
+}
+
+}  // namespace sariadne::testing

@@ -1,0 +1,156 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "description/amigos_io.hpp"
+#include "encoding/knowledge_base.hpp"
+#include "matching/oracles.hpp"
+#include "ontology/loader.hpp"
+#include "reasoner/reasoner.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
+
+namespace sariadne::workload {
+namespace {
+
+TEST(OntologyGen, RespectsConfiguredSizes) {
+    OntologyGenConfig config;
+    config.class_count = 50;
+    config.property_count = 20;
+    config.alias_count = 3;
+    config.intersection_count = 2;
+    Rng rng(1);
+    const onto::Ontology o = generate_ontology("http://u", config, rng);
+    EXPECT_EQ(o.class_count(), 55u);  // 50 tree + 3 alias + 2 defs
+    EXPECT_EQ(o.property_count(), 20u);
+    EXPECT_EQ(o.uri(), "http://u");
+}
+
+TEST(OntologyGen, GeneratedOntologiesClassifyConsistently) {
+    OntologyGenConfig config;
+    config.class_count = 40;
+    config.disjoint_pairs = 4;
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        Rng rng(seed);
+        const onto::Ontology o = generate_ontology("u", config, rng);
+        reasoner::RuleReasoner engine;
+        EXPECT_NO_THROW(engine.classify(o)) << "seed " << seed;
+    }
+}
+
+TEST(OntologyGen, DeterministicPerSeed) {
+    OntologyGenConfig config;
+    Rng rng1(5);
+    Rng rng2(5);
+    const auto a = generate_ontology("u", config, rng1);
+    const auto b = generate_ontology("u", config, rng2);
+    ASSERT_EQ(a.class_count(), b.class_count());
+    for (onto::ConceptId c = 0; c < a.class_count(); ++c) {
+        EXPECT_EQ(a.class_decl(c).name, b.class_decl(c).name);
+        EXPECT_EQ(a.class_decl(c).told_parents, b.class_decl(c).told_parents);
+    }
+}
+
+TEST(OntologyGen, UniverseHasDistinctUris) {
+    const auto universe = generate_universe(22, {}, 7);
+    EXPECT_EQ(universe.size(), 22u);
+    std::set<std::string> uris;
+    for (const auto& o : universe) uris.insert(o.uri());
+    EXPECT_EQ(uris.size(), 22u);
+}
+
+TEST(ServiceGen, ServicesAreDeterministicAndParseable) {
+    ServiceWorkload workload(generate_universe(4, {}, 3));
+    const auto a = workload.service_xml(17);
+    const auto b = workload.service_xml(17);
+    EXPECT_EQ(a, b);
+    const auto parsed = desc::parse_service(a);
+    EXPECT_EQ(parsed.profile.service_name, "Service17");
+    EXPECT_EQ(parsed.profile.capabilities.size(), 1u);
+}
+
+TEST(ServiceGen, ServicesSpreadAcrossOntologies) {
+    const std::size_t kOntologies = 5;
+    ServiceWorkload workload(generate_universe(kOntologies, {}, 3));
+    encoding::KnowledgeBase kb;
+    for (const auto& o : workload.ontologies()) kb.register_ontology(o);
+
+    std::set<onto::OntologyIndex> used;
+    for (std::size_t i = 0; i < 20; ++i) {
+        const auto resolved = desc::resolve_provided(workload.service(i),
+                                                     kb.registry());
+        for (const auto& cap : resolved) {
+            for (const auto index : cap.ontologies) used.insert(index);
+        }
+    }
+    EXPECT_EQ(used.size(), kOntologies);
+}
+
+TEST(ServiceGen, MatchingRequestAlwaysMatchesItsService) {
+    ServiceWorkload workload(generate_universe(6, {}, 11));
+    encoding::KnowledgeBase kb;
+    for (const auto& o : workload.ontologies()) kb.register_ontology(o);
+    matching::EncodedOracle oracle(kb);
+
+    for (std::size_t i = 0; i < 60; ++i) {
+        const auto provided = desc::resolve_capability(
+            workload.service(i).profile.capabilities.front(), kb.registry());
+        const auto wanted = desc::resolve_capability(
+            workload.matching_request(i).capabilities.front(), kb.registry());
+        EXPECT_TRUE(matching::matches(provided, wanted, oracle))
+            << "service " << i;
+    }
+}
+
+TEST(ServiceGen, WsdlTwinConformsToItsRequest) {
+    ServiceWorkload workload(generate_universe(3, {}, 13));
+    for (std::size_t i = 0; i < 20; ++i) {
+        const auto provided = workload.wsdl(i);
+        const auto request = workload.wsdl_request(i);
+        EXPECT_TRUE(desc::wsdl_conforms(provided, request)) << i;
+        if (i > 0) {
+            EXPECT_FALSE(
+                desc::wsdl_conforms(workload.wsdl(i - 1), request))
+                << "request " << i << " must not conform to service " << i - 1;
+        }
+    }
+}
+
+TEST(ServiceGen, OntologyDocumentsRoundTrip) {
+    ServiceWorkload workload(generate_universe(3, {}, 17));
+    const auto docs = workload.ontology_documents();
+    ASSERT_EQ(docs.size(), 3u);
+    for (const auto& doc : docs) {
+        EXPECT_NO_THROW((void)onto::load_ontology(doc));
+    }
+}
+
+TEST(ServiceGen, RandomRequestIsWellFormed) {
+    ServiceWorkload workload(generate_universe(3, {}, 19));
+    encoding::KnowledgeBase kb;
+    for (const auto& o : workload.ontologies()) kb.register_ontology(o);
+    for (std::uint64_t salt = 0; salt < 10; ++salt) {
+        const auto request = workload.random_request(salt);
+        EXPECT_NO_THROW(
+            (void)desc::resolve_request(request, kb.registry()));
+    }
+}
+
+TEST(Fig2Workload, CapabilitiesHaveSevenInputsThreeOutputs) {
+    const auto fig2 = fig2_ontology();
+    const auto [provided, required] = fig2_capabilities(fig2);
+    EXPECT_EQ(provided.inputs.size(), 7u);
+    EXPECT_EQ(provided.outputs.size(), 3u);
+    EXPECT_EQ(required.inputs.size(), 7u);
+    EXPECT_EQ(required.outputs.size(), 3u);
+
+    encoding::KnowledgeBase kb;
+    kb.register_ontology(fig2);
+    matching::EncodedOracle oracle(kb);
+    EXPECT_TRUE(matching::matches(
+        desc::resolve_capability(provided, kb.registry()),
+        desc::resolve_capability(required, kb.registry()), oracle));
+}
+
+}  // namespace
+}  // namespace sariadne::workload

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "support/errors.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace sariadne::xml {
+namespace {
+
+TEST(XmlParser, MinimalDocument) {
+    const auto doc = parse("<root/>");
+    EXPECT_EQ(doc.root.name(), "root");
+    EXPECT_TRUE(doc.root.children().empty());
+    EXPECT_TRUE(doc.root.text().empty());
+}
+
+TEST(XmlParser, AttributesBothQuoteStyles) {
+    const auto doc = parse(R"(<a x="1" y='two'/>)");
+    EXPECT_EQ(doc.root.attribute_or("x", ""), "1");
+    EXPECT_EQ(doc.root.attribute_or("y", ""), "two");
+    EXPECT_FALSE(doc.root.attribute("z").has_value());
+}
+
+TEST(XmlParser, NestedChildrenInOrder) {
+    const auto doc = parse("<a><b/><c/><b/></a>");
+    ASSERT_EQ(doc.root.children().size(), 3u);
+    EXPECT_EQ(doc.root.children()[0].name(), "b");
+    EXPECT_EQ(doc.root.children()[1].name(), "c");
+    EXPECT_EQ(doc.root.children_named("b").size(), 2u);
+    EXPECT_NE(doc.root.child("c"), nullptr);
+    EXPECT_EQ(doc.root.child("missing"), nullptr);
+}
+
+TEST(XmlParser, TextContentTrimmed) {
+    const auto doc = parse("<a>  hello world\n </a>");
+    EXPECT_EQ(doc.root.text(), "hello world");
+}
+
+TEST(XmlParser, PredefinedEntities) {
+    const auto doc = parse("<a attr=\"&lt;&amp;&quot;\">&gt;&apos;</a>");
+    EXPECT_EQ(doc.root.attribute_or("attr", ""), "<&\"");
+    EXPECT_EQ(doc.root.text(), ">'");
+}
+
+TEST(XmlParser, NumericCharacterReferences) {
+    const auto doc = parse("<a>&#65;&#x42;</a>");
+    EXPECT_EQ(doc.root.text(), "AB");
+}
+
+TEST(XmlParser, Utf8CharacterReference) {
+    const auto doc = parse("<a>&#233;</a>");  // é
+    EXPECT_EQ(doc.root.text(), "\xC3\xA9");
+}
+
+TEST(XmlParser, CommentsSkippedEverywhere) {
+    const auto doc = parse(
+        "<!-- head --><a><!-- inner --><b/><!-- tail --></a><!-- post -->");
+    EXPECT_EQ(doc.root.children().size(), 1u);
+}
+
+TEST(XmlParser, CdataPreserved) {
+    const auto doc = parse("<a><![CDATA[<not><parsed>&amp;]]></a>");
+    EXPECT_EQ(doc.root.text(), "<not><parsed>&amp;");
+}
+
+TEST(XmlParser, DeclarationAndProcessingInstructions) {
+    const auto doc = parse("<?xml version=\"1.0\"?><?pi data?><a/>");
+    EXPECT_EQ(doc.root.name(), "a");
+}
+
+TEST(XmlParser, MismatchedEndTagFails) {
+    EXPECT_THROW(parse("<a></b>"), ParseError);
+}
+
+TEST(XmlParser, UnterminatedElementFails) {
+    EXPECT_THROW(parse("<a><b></b>"), ParseError);
+}
+
+TEST(XmlParser, ContentAfterRootFails) {
+    EXPECT_THROW(parse("<a/><b/>"), ParseError);
+}
+
+TEST(XmlParser, UnknownEntityFails) {
+    EXPECT_THROW(parse("<a>&nope;</a>"), ParseError);
+}
+
+TEST(XmlParser, DoctypeRejected) {
+    EXPECT_THROW(parse("<!DOCTYPE html><a/>"), ParseError);
+}
+
+TEST(XmlParser, ErrorCarriesPosition) {
+    try {
+        parse("<a>\n  <b>\n</a>");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        EXPECT_EQ(e.line(), 3u);
+    }
+}
+
+TEST(XmlParser, RequiredAccessorsThrow) {
+    const auto doc = parse("<a><b/></a>");
+    EXPECT_THROW(doc.root.required_attribute("missing"), LookupError);
+    EXPECT_THROW(doc.root.required_child("missing"), LookupError);
+    EXPECT_NO_THROW(doc.root.required_child("b"));
+}
+
+TEST(XmlWriter, RoundTripsStructure) {
+    XmlNode root("service");
+    root.set_attribute("name", "Media<&>");
+    XmlNode child("capability");
+    child.set_attribute("kind", "provided");
+    child.set_text("some \"text\" & more");
+    root.add_child(std::move(child));
+
+    const std::string text = write(root);
+    const auto doc = parse(text);
+    EXPECT_EQ(doc.root.name(), "service");
+    EXPECT_EQ(doc.root.attribute_or("name", ""), "Media<&>");
+    ASSERT_EQ(doc.root.children().size(), 1u);
+    EXPECT_EQ(doc.root.children()[0].text(), "some \"text\" & more");
+}
+
+TEST(XmlWriter, CompactModeParses) {
+    XmlNode root("a");
+    root.add_child(XmlNode("b"));
+    WriteOptions options;
+    options.pretty = false;
+    options.declaration = false;
+    const std::string text = write(root, options);
+    EXPECT_EQ(text, "<a><b/></a>");
+}
+
+TEST(XmlWriter, EscapeHelpers) {
+    EXPECT_EQ(escape_text("<a&b>"), "&lt;a&amp;b&gt;");
+    EXPECT_EQ(escape_attribute("\"x\""), "&quot;x&quot;");
+}
+
+TEST(XmlNode, SubtreeSize) {
+    const auto doc = parse("<a><b><c/></b><d/></a>");
+    EXPECT_EQ(doc.root.subtree_size(), 4u);
+}
+
+TEST(XmlNode, SetAttributeOverwrites) {
+    XmlNode node("a");
+    node.set_attribute("k", "1");
+    node.set_attribute("k", "2");
+    EXPECT_EQ(node.attributes().size(), 1u);
+    EXPECT_EQ(node.attribute_or("k", ""), "2");
+}
+
+}  // namespace
+}  // namespace sariadne::xml

@@ -1,0 +1,147 @@
+// sariadne_cli — batch command-line front end to the discovery engine.
+//
+// Usage:
+//   sariadne_cli [options]
+//     --ontology FILE     register an ontology document (repeatable)
+//     --publish FILE      publish an Amigo-S service description (repeatable)
+//     --request FILE      answer a service request (repeatable)
+//     --compose FILE      plan the composition rooted at a description
+//     --export-state FILE write the directory content bundle
+//     --import-state FILE load a directory content bundle
+//     --stats             print directory statistics
+//
+// Options execute in command-line order, so `--ontology o.xml --publish
+// s.xml --request r.xml` behaves like a session. Exit code 0 when every
+// request was fully satisfied and every composition complete.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/composition.hpp"
+#include "core/discovery_engine.hpp"
+#include "description/amigos_io.hpp"
+#include "directory/state_transfer.hpp"
+#include "support/errors.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw sariadne::Error("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw sariadne::Error("cannot write '" + path + "'");
+    out << content;
+}
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--ontology F] [--publish F] [--request F] "
+                 "[--compose F] [--export-state F] [--import-state F] "
+                 "[--stats]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage(argv[0]);
+    sariadne::DiscoveryEngine engine;
+    bool all_satisfied = true;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string flag = argv[i];
+            const auto need_value = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    throw sariadne::Error("missing value after " + flag);
+                }
+                return argv[++i];
+            };
+
+            if (flag == "--ontology") {
+                const auto path = need_value();
+                engine.register_ontology_xml(read_file(path));
+                std::printf("registered ontology %s\n", path.c_str());
+            } else if (flag == "--publish") {
+                const auto path = need_value();
+                const auto id = engine.publish(read_file(path));
+                std::printf("published %s as service #%u\n", path.c_str(), id);
+            } else if (flag == "--request") {
+                const auto path = need_value();
+                const auto results = engine.discover(read_file(path));
+                std::printf("request %s:\n", path.c_str());
+                for (std::size_t c = 0; c < results.size(); ++c) {
+                    if (results[c].empty()) {
+                        std::printf("  capability %zu: UNSATISFIED\n", c + 1);
+                        all_satisfied = false;
+                        continue;
+                    }
+                    for (const auto& hit : results[c]) {
+                        std::printf(
+                            "  capability %zu: %s / %s (distance %d) at %s\n",
+                            c + 1, hit.service_name.c_str(),
+                            hit.capability_name.c_str(), hit.semantic_distance,
+                            hit.grounding.address.c_str());
+                    }
+                }
+            } else if (flag == "--compose") {
+                const auto path = need_value();
+                const auto root = sariadne::desc::parse_service(read_file(path));
+                sariadne::CompositionPlanner planner(engine.directory());
+                const auto plan = planner.plan(root);
+                std::printf("composition for %s: %zu step(s), %zu gap(s)\n",
+                            root.profile.service_name.c_str(), plan.steps.size(),
+                            plan.gaps.size());
+                for (const auto& step : plan.steps) {
+                    std::printf("  %s needs %s -> %s/%s (d=%d)\n",
+                                step.consumer_service.c_str(),
+                                step.required_capability.c_str(),
+                                step.provider_service.c_str(),
+                                step.provided_capability.c_str(),
+                                step.semantic_distance);
+                }
+                for (const auto& gap : plan.gaps) {
+                    std::printf("  GAP: %s needs %s: %s\n",
+                                gap.consumer_service.c_str(),
+                                gap.required_capability.c_str(),
+                                gap.reason.c_str());
+                    all_satisfied = false;
+                }
+            } else if (flag == "--export-state") {
+                const auto path = need_value();
+                write_file(path, sariadne::directory::export_state(
+                                     engine.directory()));
+                std::printf("exported directory state to %s\n", path.c_str());
+            } else if (flag == "--import-state") {
+                const auto path = need_value();
+                const auto imported = sariadne::directory::import_state(
+                    engine.directory(), read_file(path));
+                std::printf("imported %zu service(s) from %s\n", imported,
+                            path.c_str());
+            } else if (flag == "--stats") {
+                const auto& dir = engine.directory();
+                std::printf("directory: %zu services, %zu capabilities, "
+                            "%zu DAGs, %llu matches performed\n",
+                            dir.service_count(), dir.capability_count(),
+                            dir.dag_count(),
+                            static_cast<unsigned long long>(
+                                dir.lifetime_stats().capability_matches));
+            } else {
+                return usage(argv[0]);
+            }
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return all_satisfied ? 0 : 3;
+}
