@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dag.dir/ablation_dag.cpp.o"
+  "CMakeFiles/ablation_dag.dir/ablation_dag.cpp.o.d"
+  "ablation_dag"
+  "ablation_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

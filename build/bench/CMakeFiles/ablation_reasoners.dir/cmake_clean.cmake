@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reasoners.dir/ablation_reasoners.cpp.o"
+  "CMakeFiles/ablation_reasoners.dir/ablation_reasoners.cpp.o.d"
+  "ablation_reasoners"
+  "ablation_reasoners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reasoners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

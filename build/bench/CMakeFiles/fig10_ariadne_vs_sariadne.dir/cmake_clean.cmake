@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ariadne_vs_sariadne.dir/fig10_ariadne_vs_sariadne.cpp.o"
+  "CMakeFiles/fig10_ariadne_vs_sariadne.dir/fig10_ariadne_vs_sariadne.cpp.o.d"
+  "fig10_ariadne_vs_sariadne"
+  "fig10_ariadne_vs_sariadne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ariadne_vs_sariadne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

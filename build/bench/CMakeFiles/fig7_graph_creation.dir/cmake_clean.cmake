@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_graph_creation.dir/fig7_graph_creation.cpp.o"
+  "CMakeFiles/fig7_graph_creation.dir/fig7_graph_creation.cpp.o.d"
+  "fig7_graph_creation"
+  "fig7_graph_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_graph_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_publish.dir/fig8_publish.cpp.o"
+  "CMakeFiles/fig8_publish.dir/fig8_publish.cpp.o.d"
+  "fig8_publish"
+  "fig8_publish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_publish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_query_matching.dir/fig9_query_matching.cpp.o"
+  "CMakeFiles/fig9_query_matching.dir/fig9_query_matching.cpp.o.d"
+  "fig9_query_matching"
+  "fig9_query_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_query_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_distributed.dir/scale_distributed.cpp.o"
+  "CMakeFiles/scale_distributed.dir/scale_distributed.cpp.o.d"
+  "scale_distributed"
+  "scale_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

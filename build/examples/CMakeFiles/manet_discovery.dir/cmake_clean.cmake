@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manet_discovery.dir/manet_discovery.cpp.o"
+  "CMakeFiles/manet_discovery.dir/manet_discovery.cpp.o.d"
+  "manet_discovery"
+  "manet_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manet_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_home.dir/media_home.cpp.o"
+  "CMakeFiles/media_home.dir/media_home.cpp.o.d"
+  "media_home"
+  "media_home.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_home.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

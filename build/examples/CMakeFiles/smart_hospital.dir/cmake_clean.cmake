@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_hospital.dir/smart_hospital.cpp.o"
+  "CMakeFiles/smart_hospital.dir/smart_hospital.cpp.o.d"
+  "smart_hospital"
+  "smart_hospital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_hospital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

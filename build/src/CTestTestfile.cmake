@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("xml")
+subdirs("ontology")
+subdirs("reasoner")
+subdirs("encoding")
+subdirs("description")
+subdirs("matching")
+subdirs("bloom")
+subdirs("directory")
+subdirs("net")
+subdirs("workload")
+subdirs("ariadne")
+subdirs("core")

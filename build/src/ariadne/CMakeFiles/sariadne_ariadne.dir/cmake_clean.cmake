@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_ariadne.dir/protocol.cpp.o"
+  "CMakeFiles/sariadne_ariadne.dir/protocol.cpp.o.d"
+  "libsariadne_ariadne.a"
+  "libsariadne_ariadne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_ariadne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

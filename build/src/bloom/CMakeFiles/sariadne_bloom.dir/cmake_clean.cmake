@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_bloom.dir/bloom_filter.cpp.o"
+  "CMakeFiles/sariadne_bloom.dir/bloom_filter.cpp.o.d"
+  "libsariadne_bloom.a"
+  "libsariadne_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_core.dir/composition.cpp.o"
+  "CMakeFiles/sariadne_core.dir/composition.cpp.o.d"
+  "libsariadne_core.a"
+  "libsariadne_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/description/amigos_io.cpp" "src/description/CMakeFiles/sariadne_description.dir/amigos_io.cpp.o" "gcc" "src/description/CMakeFiles/sariadne_description.dir/amigos_io.cpp.o.d"
+  "/root/repo/src/description/conversation.cpp" "src/description/CMakeFiles/sariadne_description.dir/conversation.cpp.o" "gcc" "src/description/CMakeFiles/sariadne_description.dir/conversation.cpp.o.d"
+  "/root/repo/src/description/process.cpp" "src/description/CMakeFiles/sariadne_description.dir/process.cpp.o" "gcc" "src/description/CMakeFiles/sariadne_description.dir/process.cpp.o.d"
+  "/root/repo/src/description/resolved.cpp" "src/description/CMakeFiles/sariadne_description.dir/resolved.cpp.o" "gcc" "src/description/CMakeFiles/sariadne_description.dir/resolved.cpp.o.d"
+  "/root/repo/src/description/service.cpp" "src/description/CMakeFiles/sariadne_description.dir/service.cpp.o" "gcc" "src/description/CMakeFiles/sariadne_description.dir/service.cpp.o.d"
+  "/root/repo/src/description/wsdl.cpp" "src/description/CMakeFiles/sariadne_description.dir/wsdl.cpp.o" "gcc" "src/description/CMakeFiles/sariadne_description.dir/wsdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ontology/CMakeFiles/sariadne_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sariadne_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sariadne_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

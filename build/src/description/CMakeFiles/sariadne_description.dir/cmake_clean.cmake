@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_description.dir/amigos_io.cpp.o"
+  "CMakeFiles/sariadne_description.dir/amigos_io.cpp.o.d"
+  "CMakeFiles/sariadne_description.dir/conversation.cpp.o"
+  "CMakeFiles/sariadne_description.dir/conversation.cpp.o.d"
+  "CMakeFiles/sariadne_description.dir/process.cpp.o"
+  "CMakeFiles/sariadne_description.dir/process.cpp.o.d"
+  "CMakeFiles/sariadne_description.dir/resolved.cpp.o"
+  "CMakeFiles/sariadne_description.dir/resolved.cpp.o.d"
+  "CMakeFiles/sariadne_description.dir/service.cpp.o"
+  "CMakeFiles/sariadne_description.dir/service.cpp.o.d"
+  "CMakeFiles/sariadne_description.dir/wsdl.cpp.o"
+  "CMakeFiles/sariadne_description.dir/wsdl.cpp.o.d"
+  "libsariadne_description.a"
+  "libsariadne_description.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_description.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/directory/dag.cpp" "src/directory/CMakeFiles/sariadne_directory.dir/dag.cpp.o" "gcc" "src/directory/CMakeFiles/sariadne_directory.dir/dag.cpp.o.d"
+  "/root/repo/src/directory/dag_index.cpp" "src/directory/CMakeFiles/sariadne_directory.dir/dag_index.cpp.o" "gcc" "src/directory/CMakeFiles/sariadne_directory.dir/dag_index.cpp.o.d"
+  "/root/repo/src/directory/flat_directory.cpp" "src/directory/CMakeFiles/sariadne_directory.dir/flat_directory.cpp.o" "gcc" "src/directory/CMakeFiles/sariadne_directory.dir/flat_directory.cpp.o.d"
+  "/root/repo/src/directory/semantic_directory.cpp" "src/directory/CMakeFiles/sariadne_directory.dir/semantic_directory.cpp.o" "gcc" "src/directory/CMakeFiles/sariadne_directory.dir/semantic_directory.cpp.o.d"
+  "/root/repo/src/directory/state_transfer.cpp" "src/directory/CMakeFiles/sariadne_directory.dir/state_transfer.cpp.o" "gcc" "src/directory/CMakeFiles/sariadne_directory.dir/state_transfer.cpp.o.d"
+  "/root/repo/src/directory/syntactic_directory.cpp" "src/directory/CMakeFiles/sariadne_directory.dir/syntactic_directory.cpp.o" "gcc" "src/directory/CMakeFiles/sariadne_directory.dir/syntactic_directory.cpp.o.d"
+  "/root/repo/src/directory/taxonomy_directory.cpp" "src/directory/CMakeFiles/sariadne_directory.dir/taxonomy_directory.cpp.o" "gcc" "src/directory/CMakeFiles/sariadne_directory.dir/taxonomy_directory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/matching/CMakeFiles/sariadne_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/sariadne_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/description/CMakeFiles/sariadne_description.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/sariadne_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/reasoner/CMakeFiles/sariadne_reasoner.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/sariadne_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sariadne_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sariadne_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

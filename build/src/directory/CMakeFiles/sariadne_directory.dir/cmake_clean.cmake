@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_directory.dir/dag.cpp.o"
+  "CMakeFiles/sariadne_directory.dir/dag.cpp.o.d"
+  "CMakeFiles/sariadne_directory.dir/dag_index.cpp.o"
+  "CMakeFiles/sariadne_directory.dir/dag_index.cpp.o.d"
+  "CMakeFiles/sariadne_directory.dir/flat_directory.cpp.o"
+  "CMakeFiles/sariadne_directory.dir/flat_directory.cpp.o.d"
+  "CMakeFiles/sariadne_directory.dir/semantic_directory.cpp.o"
+  "CMakeFiles/sariadne_directory.dir/semantic_directory.cpp.o.d"
+  "CMakeFiles/sariadne_directory.dir/state_transfer.cpp.o"
+  "CMakeFiles/sariadne_directory.dir/state_transfer.cpp.o.d"
+  "CMakeFiles/sariadne_directory.dir/syntactic_directory.cpp.o"
+  "CMakeFiles/sariadne_directory.dir/syntactic_directory.cpp.o.d"
+  "CMakeFiles/sariadne_directory.dir/taxonomy_directory.cpp.o"
+  "CMakeFiles/sariadne_directory.dir/taxonomy_directory.cpp.o.d"
+  "libsariadne_directory.a"
+  "libsariadne_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/code_table.cpp" "src/encoding/CMakeFiles/sariadne_encoding.dir/code_table.cpp.o" "gcc" "src/encoding/CMakeFiles/sariadne_encoding.dir/code_table.cpp.o.d"
+  "/root/repo/src/encoding/knowledge_base.cpp" "src/encoding/CMakeFiles/sariadne_encoding.dir/knowledge_base.cpp.o" "gcc" "src/encoding/CMakeFiles/sariadne_encoding.dir/knowledge_base.cpp.o.d"
+  "/root/repo/src/encoding/lin_encoding.cpp" "src/encoding/CMakeFiles/sariadne_encoding.dir/lin_encoding.cpp.o" "gcc" "src/encoding/CMakeFiles/sariadne_encoding.dir/lin_encoding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reasoner/CMakeFiles/sariadne_reasoner.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/sariadne_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sariadne_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sariadne_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_encoding.dir/code_table.cpp.o"
+  "CMakeFiles/sariadne_encoding.dir/code_table.cpp.o.d"
+  "CMakeFiles/sariadne_encoding.dir/knowledge_base.cpp.o"
+  "CMakeFiles/sariadne_encoding.dir/knowledge_base.cpp.o.d"
+  "CMakeFiles/sariadne_encoding.dir/lin_encoding.cpp.o"
+  "CMakeFiles/sariadne_encoding.dir/lin_encoding.cpp.o.d"
+  "libsariadne_encoding.a"
+  "libsariadne_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

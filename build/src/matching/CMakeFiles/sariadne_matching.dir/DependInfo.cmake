@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/match.cpp" "src/matching/CMakeFiles/sariadne_matching.dir/match.cpp.o" "gcc" "src/matching/CMakeFiles/sariadne_matching.dir/match.cpp.o.d"
+  "/root/repo/src/matching/online_matcher.cpp" "src/matching/CMakeFiles/sariadne_matching.dir/online_matcher.cpp.o" "gcc" "src/matching/CMakeFiles/sariadne_matching.dir/online_matcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/description/CMakeFiles/sariadne_description.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/sariadne_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/reasoner/CMakeFiles/sariadne_reasoner.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/sariadne_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sariadne_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sariadne_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

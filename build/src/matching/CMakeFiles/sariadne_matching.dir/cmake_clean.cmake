@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_matching.dir/match.cpp.o"
+  "CMakeFiles/sariadne_matching.dir/match.cpp.o.d"
+  "CMakeFiles/sariadne_matching.dir/online_matcher.cpp.o"
+  "CMakeFiles/sariadne_matching.dir/online_matcher.cpp.o.d"
+  "libsariadne_matching.a"
+  "libsariadne_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_net.dir/mobility.cpp.o"
+  "CMakeFiles/sariadne_net.dir/mobility.cpp.o.d"
+  "CMakeFiles/sariadne_net.dir/simulator.cpp.o"
+  "CMakeFiles/sariadne_net.dir/simulator.cpp.o.d"
+  "CMakeFiles/sariadne_net.dir/topology.cpp.o"
+  "CMakeFiles/sariadne_net.dir/topology.cpp.o.d"
+  "libsariadne_net.a"
+  "libsariadne_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

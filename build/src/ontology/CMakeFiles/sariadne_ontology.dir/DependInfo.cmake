@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ontology/loader.cpp" "src/ontology/CMakeFiles/sariadne_ontology.dir/loader.cpp.o" "gcc" "src/ontology/CMakeFiles/sariadne_ontology.dir/loader.cpp.o.d"
+  "/root/repo/src/ontology/ontology.cpp" "src/ontology/CMakeFiles/sariadne_ontology.dir/ontology.cpp.o" "gcc" "src/ontology/CMakeFiles/sariadne_ontology.dir/ontology.cpp.o.d"
+  "/root/repo/src/ontology/registry.cpp" "src/ontology/CMakeFiles/sariadne_ontology.dir/registry.cpp.o" "gcc" "src/ontology/CMakeFiles/sariadne_ontology.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sariadne_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sariadne_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_ontology.dir/loader.cpp.o"
+  "CMakeFiles/sariadne_ontology.dir/loader.cpp.o.d"
+  "CMakeFiles/sariadne_ontology.dir/ontology.cpp.o"
+  "CMakeFiles/sariadne_ontology.dir/ontology.cpp.o.d"
+  "CMakeFiles/sariadne_ontology.dir/registry.cpp.o"
+  "CMakeFiles/sariadne_ontology.dir/registry.cpp.o.d"
+  "libsariadne_ontology.a"
+  "libsariadne_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reasoner/naive_reasoner.cpp" "src/reasoner/CMakeFiles/sariadne_reasoner.dir/naive_reasoner.cpp.o" "gcc" "src/reasoner/CMakeFiles/sariadne_reasoner.dir/naive_reasoner.cpp.o.d"
+  "/root/repo/src/reasoner/profiles.cpp" "src/reasoner/CMakeFiles/sariadne_reasoner.dir/profiles.cpp.o" "gcc" "src/reasoner/CMakeFiles/sariadne_reasoner.dir/profiles.cpp.o.d"
+  "/root/repo/src/reasoner/rule_reasoner.cpp" "src/reasoner/CMakeFiles/sariadne_reasoner.dir/rule_reasoner.cpp.o" "gcc" "src/reasoner/CMakeFiles/sariadne_reasoner.dir/rule_reasoner.cpp.o.d"
+  "/root/repo/src/reasoner/tableau_reasoner.cpp" "src/reasoner/CMakeFiles/sariadne_reasoner.dir/tableau_reasoner.cpp.o" "gcc" "src/reasoner/CMakeFiles/sariadne_reasoner.dir/tableau_reasoner.cpp.o.d"
+  "/root/repo/src/reasoner/taxonomy.cpp" "src/reasoner/CMakeFiles/sariadne_reasoner.dir/taxonomy.cpp.o" "gcc" "src/reasoner/CMakeFiles/sariadne_reasoner.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ontology/CMakeFiles/sariadne_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sariadne_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sariadne_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_reasoner.dir/naive_reasoner.cpp.o"
+  "CMakeFiles/sariadne_reasoner.dir/naive_reasoner.cpp.o.d"
+  "CMakeFiles/sariadne_reasoner.dir/profiles.cpp.o"
+  "CMakeFiles/sariadne_reasoner.dir/profiles.cpp.o.d"
+  "CMakeFiles/sariadne_reasoner.dir/rule_reasoner.cpp.o"
+  "CMakeFiles/sariadne_reasoner.dir/rule_reasoner.cpp.o.d"
+  "CMakeFiles/sariadne_reasoner.dir/tableau_reasoner.cpp.o"
+  "CMakeFiles/sariadne_reasoner.dir/tableau_reasoner.cpp.o.d"
+  "CMakeFiles/sariadne_reasoner.dir/taxonomy.cpp.o"
+  "CMakeFiles/sariadne_reasoner.dir/taxonomy.cpp.o.d"
+  "libsariadne_reasoner.a"
+  "libsariadne_reasoner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_reasoner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsariadne_reasoner.a"
+)

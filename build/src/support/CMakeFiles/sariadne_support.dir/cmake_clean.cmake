@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_support.dir/hash.cpp.o"
+  "CMakeFiles/sariadne_support.dir/hash.cpp.o.d"
+  "CMakeFiles/sariadne_support.dir/rng.cpp.o"
+  "CMakeFiles/sariadne_support.dir/rng.cpp.o.d"
+  "libsariadne_support.a"
+  "libsariadne_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/ontology_gen.cpp" "src/workload/CMakeFiles/sariadne_workload.dir/ontology_gen.cpp.o" "gcc" "src/workload/CMakeFiles/sariadne_workload.dir/ontology_gen.cpp.o.d"
+  "/root/repo/src/workload/service_gen.cpp" "src/workload/CMakeFiles/sariadne_workload.dir/service_gen.cpp.o" "gcc" "src/workload/CMakeFiles/sariadne_workload.dir/service_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/description/CMakeFiles/sariadne_description.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/sariadne_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sariadne_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sariadne_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

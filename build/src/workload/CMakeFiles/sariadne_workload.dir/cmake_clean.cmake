@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_workload.dir/ontology_gen.cpp.o"
+  "CMakeFiles/sariadne_workload.dir/ontology_gen.cpp.o.d"
+  "CMakeFiles/sariadne_workload.dir/service_gen.cpp.o"
+  "CMakeFiles/sariadne_workload.dir/service_gen.cpp.o.d"
+  "libsariadne_workload.a"
+  "libsariadne_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_xml.dir/node.cpp.o"
+  "CMakeFiles/sariadne_xml.dir/node.cpp.o.d"
+  "CMakeFiles/sariadne_xml.dir/parser.cpp.o"
+  "CMakeFiles/sariadne_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/sariadne_xml.dir/writer.cpp.o"
+  "CMakeFiles/sariadne_xml.dir/writer.cpp.o.d"
+  "libsariadne_xml.a"
+  "libsariadne_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/description_test.dir/description_test.cpp.o"
+  "CMakeFiles/description_test.dir/description_test.cpp.o.d"
+  "description_test"
+  "description_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/description_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/net_test.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sariadne_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ariadne/CMakeFiles/sariadne_ariadne.dir/DependInfo.cmake"
+  "/root/repo/build/src/directory/CMakeFiles/sariadne_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/sariadne_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sariadne_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sariadne_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/sariadne_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/description/CMakeFiles/sariadne_description.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/sariadne_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/reasoner/CMakeFiles/sariadne_reasoner.dir/DependInfo.cmake"
+  "/root/repo/build/src/ontology/CMakeFiles/sariadne_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sariadne_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sariadne_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_transfer_test.dir/state_transfer_test.cpp.o"
+  "CMakeFiles/state_transfer_test.dir/state_transfer_test.cpp.o.d"
+  "state_transfer_test"
+  "state_transfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sariadne_cli.dir/sariadne_cli.cpp.o"
+  "CMakeFiles/sariadne_cli.dir/sariadne_cli.cpp.o.d"
+  "sariadne_cli"
+  "sariadne_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sariadne_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
