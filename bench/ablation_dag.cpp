@@ -49,9 +49,9 @@ SweepPoint run_point(std::size_t ontologies, std::size_t services,
     SweepPoint point;
     point.dags = static_cast<double>(dag.dag_count());
     std::size_t vertices = 0;
-    for (const auto& graph : dag.dags().dags()) {
-        vertices += graph->vertex_count();
-    }
+    dag.dags().for_each_dag([&](const directory::CapabilityDag& graph) {
+        vertices += graph.vertex_count();
+    });
     point.vertices = static_cast<double>(vertices);
 
     constexpr int kRequests = 25;

@@ -1,0 +1,138 @@
+#include "core/discovery_engine.hpp"
+
+#include <future>
+#include <utility>
+
+#include "description/amigos_io.hpp"
+#include "support/errors.hpp"
+#include "support/stopwatch.hpp"
+
+namespace sariadne {
+namespace {
+
+/// Maps the exception taxonomy onto ErrorInfo for the try_* entry points.
+template <typename T, typename Fn>
+Result<T> catching(Fn&& body) {
+    try {
+        return Result<T>(body());
+    } catch (const ParseError& e) {
+        return Result<T>(ErrorInfo{ErrorCode::kParse, e.what()});
+    } catch (const LookupError& e) {
+        return Result<T>(ErrorInfo{ErrorCode::kLookup, e.what()});
+    } catch (const InconsistencyError& e) {
+        return Result<T>(ErrorInfo{ErrorCode::kInconsistency, e.what()});
+    } catch (const VersionMismatchError& e) {
+        return Result<T>(ErrorInfo{ErrorCode::kVersionMismatch, e.what()});
+    } catch (const std::exception& e) {
+        return Result<T>(ErrorInfo{ErrorCode::kInternal, e.what()});
+    }
+}
+
+bool has_constraints(const desc::ServiceRequest& request) {
+    return !request.qos_constraints.empty() ||
+           !request.context_constraints.empty() || request.process.has_value();
+}
+
+}  // namespace
+
+Result<PublishReceipt> DiscoveryEngine::try_publish(
+    std::string_view service_xml) {
+    return catching<PublishReceipt>(
+        [&] { return directory_->publish_xml(service_xml); });
+}
+
+DiscoveryEngine::DiscoveryRows DiscoveryEngine::discover(
+    std::string_view request_xml, const QueryOptions& options) {
+    if (options.parallel) {
+        return to_discoveries(
+            query_parallel(desc::parse_request(request_xml), options));
+    }
+    return to_discoveries(directory_->query_xml(request_xml, options));
+}
+
+DiscoveryEngine::DiscoveryRows DiscoveryEngine::discover(
+    const desc::ServiceRequest& request, const QueryOptions& options) {
+    if (options.parallel) {
+        return to_discoveries(query_parallel(request, options));
+    }
+    return to_discoveries(directory_->query(request, options));
+}
+
+Result<DiscoveryEngine::DiscoveryRows> DiscoveryEngine::try_discover(
+    std::string_view request_xml, const QueryOptions& options) {
+    return catching<DiscoveryRows>(
+        [&] { return discover(request_xml, options); });
+}
+
+directory::QueryResult DiscoveryEngine::query_parallel(
+    const desc::ServiceRequest& request, const QueryOptions& options) {
+    const auto resolved = desc::resolve_request(request, kb_->registry());
+    if (resolved.size() < 2) return directory_->query(request, options);
+
+    const desc::ServiceRequest* constraints =
+        has_constraints(request) ? &request : nullptr;
+
+    Stopwatch stopwatch;
+    directory::QueryResult result;
+    result.per_capability.resize(resolved.size());
+
+    using CapabilityAnswer =
+        std::pair<std::vector<directory::MatchHit>, directory::MatchStats>;
+    std::vector<std::future<CapabilityAnswer>> answers;
+    answers.reserve(resolved.size());
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
+        answers.push_back(pool().submit([this, &resolved, constraints, &options,
+                                         i]() -> CapabilityAnswer {
+            directory::MatchStats stats;
+            auto hits = directory_->query_capability(resolved[i], constraints,
+                                                     options, stats);
+            return {std::move(hits), stats};
+        }));
+    }
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
+        auto [hits, stats] = answers[i].get();
+        result.per_capability[i] = std::move(hits);
+        result.stats.capability_matches += stats.capability_matches;
+        result.stats.concept_queries += stats.concept_queries;
+        result.stats.dags_visited += stats.dags_visited;
+        result.stats.dags_pruned += stats.dags_pruned;
+    }
+    if (options.require_all_capabilities && !result.fully_satisfied()) {
+        for (auto& hits : result.per_capability) hits.clear();
+    }
+    result.timing.match_ms = stopwatch.elapsed_ms();
+    return result;
+}
+
+support::ThreadPool& DiscoveryEngine::pool() {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_) {
+        pool_ = std::make_unique<support::ThreadPool>(
+            support::ThreadPool::default_worker_count());
+    }
+    return *pool_;
+}
+
+DiscoveryEngine::DiscoveryRows DiscoveryEngine::to_discoveries(
+    const directory::QueryResult& result) const {
+    DiscoveryRows out;
+    out.reserve(result.per_capability.size());
+    for (const auto& hits : result.per_capability) {
+        std::vector<Discovery> row;
+        row.reserve(hits.size());
+        for (const auto& hit : hits) {
+            Discovery discovery;
+            discovery.service_name = hit.service_name;
+            discovery.capability_name = hit.capability_name;
+            discovery.semantic_distance = hit.semantic_distance;
+            if (auto grounding = directory_->grounding(hit.service)) {
+                discovery.grounding = std::move(*grounding);
+            }
+            row.push_back(std::move(discovery));
+        }
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
+}  // namespace sariadne

@@ -4,24 +4,39 @@
 //   register_ontology(xml)  — load an ontology (classification + interval
 //                             encoding happen offline, lazily per version)
 //   publish(xml)            — advertise an Amigo-S service description
-//   discover(xml)           — match a service request, ranked by semantic
-//                             distance
+//   discover(xml, options)  — match a service request, ranked by semantic
+//                             distance, tunable via QueryOptions
 //
 // This is the single-node embodiment of the paper's contribution: all
 // semantic reasoning is front-loaded, discovery is numeric code
 // comparison over classified capability DAGs. For the distributed
 // protocol, see ariadne::DiscoveryNetwork, which composes the same
 // directory per elected node.
+//
+// Thread safety mirrors SemanticDirectory: publish / withdraw / discover /
+// try_* may run concurrently from any number of threads; ontology
+// registration must be quiesced. QueryOptions::parallel additionally fans
+// a multi-capability request across the engine's internal worker pool.
+//
+// Error contract: publish/discover (and register_ontology) throw the
+// exception taxonomy of support/errors.hpp (ParseError, LookupError,
+// InconsistencyError, VersionMismatchError). try_publish/try_discover
+// never throw those — they return Result<T> carrying ErrorInfo instead —
+// so network-facing callers get a branchable outcome per message.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "directory/semantic_directory.hpp"
+#include "directory/types.hpp"
 #include "encoding/knowledge_base.hpp"
 #include "ontology/loader.hpp"
+#include "support/result.hpp"
+#include "support/thread_pool.hpp"
 
 namespace sariadne {
 
@@ -36,11 +51,15 @@ struct Discovery {
 
 class DiscoveryEngine {
 public:
+    /// Per requested capability (request order), the ranked hits.
+    using DiscoveryRows = std::vector<std::vector<Discovery>>;
+
     explicit DiscoveryEngine(encoding::EncodingParams params = {})
         : kb_(std::make_unique<encoding::KnowledgeBase>(params)),
           directory_(std::make_unique<directory::SemanticDirectory>(*kb_)) {}
 
     /// Loads an ontology document; re-registering a URI upgrades it.
+    /// Requires quiescence (no concurrent publish/discover traffic).
     void register_ontology_xml(std::string_view ontology_xml) {
         kb_->register_ontology(onto::load_ontology(ontology_xml));
     }
@@ -49,30 +68,38 @@ public:
         kb_->register_ontology(std::move(ontology));
     }
 
+    // --- publish --------------------------------------------------------
     /// Publishes an Amigo-S service description. Returns its handle.
     directory::ServiceId publish(std::string_view service_xml) {
-        return directory_->publish_xml(service_xml).first;
+        return directory_->publish_xml(service_xml).id;
     }
 
     directory::ServiceId publish(desc::ServiceDescription service) {
-        return directory_->publish(std::move(service));
+        return directory_->publish(std::move(service)).id;
     }
+
+    /// Non-throwing publish: the receipt (handle + timing breakdown) on
+    /// success, the classified error otherwise.
+    Result<PublishReceipt> try_publish(std::string_view service_xml);
 
     /// Withdraws a previously published service.
     bool withdraw(directory::ServiceId service) {
         return directory_->remove(service);
     }
 
-    /// Matches a request document; per requested capability, the hits with
-    /// minimal semantic distance (empty inner vector = unsatisfied).
-    std::vector<std::vector<Discovery>> discover(std::string_view request_xml) {
-        return to_discoveries(directory_->query_xml(request_xml));
-    }
+    // --- discover -------------------------------------------------------
+    /// Matches a request document; per requested capability, the ranked
+    /// hits (with default options: every hit at the minimal semantic
+    /// distance; empty inner vector = unsatisfied).
+    DiscoveryRows discover(std::string_view request_xml,
+                           const QueryOptions& options = {});
 
-    std::vector<std::vector<Discovery>> discover(
-        const desc::ServiceRequest& request) {
-        return to_discoveries(directory_->query(request));
-    }
+    DiscoveryRows discover(const desc::ServiceRequest& request,
+                           const QueryOptions& options = {});
+
+    /// Non-throwing discover for network-facing callers.
+    Result<DiscoveryRows> try_discover(std::string_view request_xml,
+                                       const QueryOptions& options = {});
 
     encoding::KnowledgeBase& knowledge_base() noexcept { return *kb_; }
     directory::SemanticDirectory& directory() noexcept { return *directory_; }
@@ -81,30 +108,20 @@ public:
     }
 
 private:
-    std::vector<std::vector<Discovery>> to_discoveries(
-        const directory::QueryResult& result) const {
-        std::vector<std::vector<Discovery>> out;
-        out.reserve(result.per_capability.size());
-        for (const auto& hits : result.per_capability) {
-            std::vector<Discovery> row;
-            row.reserve(hits.size());
-            for (const auto& hit : hits) {
-                Discovery discovery;
-                discovery.service_name = hit.service_name;
-                discovery.capability_name = hit.capability_name;
-                discovery.semantic_distance = hit.semantic_distance;
-                if (const auto* service = directory_->service(hit.service)) {
-                    discovery.grounding = service->grounding;
-                }
-                row.push_back(std::move(discovery));
-            }
-            out.push_back(std::move(row));
-        }
-        return out;
-    }
+    DiscoveryRows to_discoveries(const directory::QueryResult& result) const;
+
+    /// Fans the per-capability matching across the worker pool; falls back
+    /// to the inline path for single-capability requests.
+    directory::QueryResult query_parallel(const desc::ServiceRequest& request,
+                                          const QueryOptions& options);
+
+    /// The engine's worker pool, created on first parallel query.
+    support::ThreadPool& pool();
 
     std::unique_ptr<encoding::KnowledgeBase> kb_;
     std::unique_ptr<directory::SemanticDirectory> directory_;
+    std::mutex pool_mutex_;  ///< guards lazy pool_ creation
+    std::unique_ptr<support::ThreadPool> pool_;
 };
 
 }  // namespace sariadne

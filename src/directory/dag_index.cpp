@@ -1,31 +1,42 @@
 #include "directory/dag_index.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 namespace sariadne::directory {
 
-CapabilityDag& DagIndex::dag_for(const FlatSet<OntologyIndex>& signature) {
-    for (const auto& dag : dags_) {
+CapabilityDag& DagIndex::dag_for_locked(Shard& shard,
+                                        const FlatSet<OntologyIndex>& signature) {
+    for (const auto& dag : shard.dags) {
         if (dag->signature() == signature) return *dag;
     }
-    dags_.push_back(std::make_unique<CapabilityDag>(signature));
-    return *dags_.back();
+    shard.dags.push_back(std::make_unique<CapabilityDag>(signature));
+    shard.dag_count.store(shard.dags.size(), std::memory_order_release);
+    return *shard.dags.back();
 }
 
 void DagIndex::insert(DagEntry entry, matching::DistanceOracle& oracle,
                       MatchStats& stats) {
-    CapabilityDag& dag = dag_for(entry.capability.ontologies);
+    Shard& shard = shards_[shard_of(entry.capability.ontologies)];
+    std::unique_lock lock(shard.mutex);
+    CapabilityDag& dag = dag_for_locked(shard, entry.capability.ontologies);
     dag.insert(std::move(entry), oracle, stats);
 }
 
 std::size_t DagIndex::remove_service(ServiceId service) {
     std::size_t removed = 0;
-    for (const auto& dag : dags_) removed += dag->remove_service(service);
-    dags_.erase(std::remove_if(dags_.begin(), dags_.end(),
-                               [](const std::unique_ptr<CapabilityDag>& dag) {
-                                   return dag->empty();
-                               }),
-                dags_.end());
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+        Shard& shard = shards_[s];
+        std::unique_lock lock(shard.mutex);
+        for (const auto& dag : shard.dags) removed += dag->remove_service(service);
+        shard.dags.erase(
+            std::remove_if(shard.dags.begin(), shard.dags.end(),
+                           [](const std::unique_ptr<CapabilityDag>& dag) {
+                               return dag->empty();
+                           }),
+            shard.dags.end());
+        shard.dag_count.store(shard.dags.size(), std::memory_order_release);
+    }
     return removed;
 }
 
@@ -33,14 +44,19 @@ std::vector<MatchHit> DagIndex::query_all(const ResolvedCapability& request,
                                           matching::DistanceOracle& oracle,
                                           MatchStats& stats) const {
     std::vector<MatchHit> all;
-    for (const auto& dag : dags_) {
-        if (!dag->signature().intersects(request.ontologies)) {
-            ++stats.dags_pruned;
-            continue;
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+        const Shard& shard = shards_[s];
+        if (shard.dag_count.load(std::memory_order_acquire) == 0) continue;
+        std::shared_lock lock(shard.mutex);
+        for (const auto& dag : shard.dags) {
+            if (!dag->signature().intersects(request.ontologies)) {
+                ++stats.dags_pruned;
+                continue;
+            }
+            ++stats.dags_visited;
+            const auto hits = dag->query_all(request, oracle, stats);
+            all.insert(all.end(), hits.begin(), hits.end());
         }
-        ++stats.dags_visited;
-        const auto hits = dag->query_all(request, oracle, stats);
-        all.insert(all.end(), hits.begin(), hits.end());
     }
     return all;
 }
@@ -49,23 +65,54 @@ std::vector<MatchHit> DagIndex::query(const ResolvedCapability& request,
                                       matching::DistanceOracle& oracle,
                                       MatchStats& stats) const {
     std::vector<MatchHit> best;
-    for (const auto& dag : dags_) {
-        if (!dag->signature().intersects(request.ontologies)) {
-            ++stats.dags_pruned;
-            continue;
-        }
-        ++stats.dags_visited;
-        std::vector<MatchHit> hits = dag->query(request, oracle, stats);
-        if (hits.empty()) continue;
-        if (best.empty() || hits.front().semantic_distance <
-                                best.front().semantic_distance) {
-            best = std::move(hits);
-        } else if (hits.front().semantic_distance ==
-                   best.front().semantic_distance) {
-            best.insert(best.end(), hits.begin(), hits.end());
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+        const Shard& shard = shards_[s];
+        if (shard.dag_count.load(std::memory_order_acquire) == 0) continue;
+        std::shared_lock lock(shard.mutex);
+        for (const auto& dag : shard.dags) {
+            if (!dag->signature().intersects(request.ontologies)) {
+                ++stats.dags_pruned;
+                continue;
+            }
+            ++stats.dags_visited;
+            std::vector<MatchHit> hits = dag->query(request, oracle, stats);
+            if (hits.empty()) continue;
+            if (best.empty() || hits.front().semantic_distance <
+                                    best.front().semantic_distance) {
+                best = std::move(hits);
+            } else if (hits.front().semantic_distance ==
+                       best.front().semantic_distance) {
+                best.insert(best.end(), hits.begin(), hits.end());
+            }
         }
     }
     return best;
+}
+
+std::size_t DagIndex::dag_count() const noexcept {
+    std::size_t count = 0;
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+        std::shared_lock lock(shards_[s].mutex);
+        count += shards_[s].dags.size();
+    }
+    return count;
+}
+
+std::size_t DagIndex::entry_count() const noexcept {
+    std::size_t count = 0;
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+        std::shared_lock lock(shards_[s].mutex);
+        for (const auto& dag : shards_[s].dags) count += dag->entry_count();
+    }
+    return count;
+}
+
+void DagIndex::for_each_dag(
+    const std::function<void(const CapabilityDag&)>& visit) const {
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+        std::shared_lock lock(shards_[s].mutex);
+        for (const auto& dag : shards_[s].dags) visit(*dag);
+    }
 }
 
 }  // namespace sariadne::directory

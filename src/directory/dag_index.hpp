@@ -5,9 +5,23 @@
 // the request — the paper's Figure 5 filtering step ("the requested
 // capability uses O1, which filters out DAG2 as it is indexed with only
 // O3") — and probes only their roots.
+//
+// Concurrency: the index is sharded by the root (smallest) ontology of a
+// DAG's signature, each shard guarded by its own std::shared_mutex.
+// Queries — pure reads over interval codes — take shared locks and run
+// fully in parallel with each other; an insert takes the unique lock of
+// the single shard its signature hashes to, so publishes only contend
+// with queries and publishes touching the same shard. remove_service
+// locks shards one at a time (never two locks at once, so no ordering
+// hazard). The DistanceOracle passed in must be private to the calling
+// thread (callers use one per operation).
 #pragma once
 
+#include <atomic>
+#include <cstddef>
+#include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "directory/dag.hpp"
@@ -16,9 +30,17 @@ namespace sariadne::directory {
 
 class DagIndex {
 public:
-    DagIndex() = default;
+    static constexpr std::size_t kDefaultShardCount = 16;
 
-    /// Inserts a provided capability into its signature's DAG.
+    explicit DagIndex(std::size_t shard_count = kDefaultShardCount)
+        : shard_count_(shard_count == 0 ? 1 : shard_count),
+          shards_(std::make_unique<Shard[]>(shard_count_)) {}
+
+    DagIndex(const DagIndex&) = delete;
+    DagIndex& operator=(const DagIndex&) = delete;
+
+    /// Inserts a provided capability into its signature's DAG (unique lock
+    /// on that signature's shard only).
     void insert(DagEntry entry, matching::DistanceOracle& oracle,
                 MatchStats& stats);
 
@@ -28,33 +50,49 @@ public:
 
     /// Queries all candidate DAGs (signature intersects the request's
     /// ontology set) and returns the hits with the globally minimal
-    /// semantic distance.
+    /// semantic distance. Thread-safe against concurrent inserts/removals.
     std::vector<MatchHit> query(const ResolvedCapability& request,
                                 matching::DistanceOracle& oracle,
                                 MatchStats& stats) const;
 
     /// All matching hits across candidate DAGs, any distance (for
-    /// constraint-filtered selection).
+    /// constraint-filtered and top-k selection).
     std::vector<MatchHit> query_all(const ResolvedCapability& request,
                                     matching::DistanceOracle& oracle,
                                     MatchStats& stats) const;
 
-    std::size_t dag_count() const noexcept { return dags_.size(); }
+    std::size_t dag_count() const noexcept;
+    std::size_t entry_count() const noexcept;
+    std::size_t shard_count() const noexcept { return shard_count_; }
 
-    std::size_t entry_count() const noexcept {
-        std::size_t count = 0;
-        for (const auto& dag : dags_) count += dag->entry_count();
-        return count;
-    }
-
-    const std::vector<std::unique_ptr<CapabilityDag>>& dags() const noexcept {
-        return dags_;
-    }
+    /// Visits every live DAG under that shard's reader lock (introspection
+    /// and tests; do not retain the reference past the callback).
+    void for_each_dag(const std::function<void(const CapabilityDag&)>& visit) const;
 
 private:
-    CapabilityDag& dag_for(const FlatSet<OntologyIndex>& signature);
+    struct Shard {
+        mutable std::shared_mutex mutex;
+        std::vector<std::unique_ptr<CapabilityDag>> dags;
+        /// Lock-free emptiness probe: queries skip a shard without touching
+        /// its mutex when no DAG lives there (most shards, for small
+        /// ontology universes). Updated under the unique lock; a query that
+        /// misses a concurrent first-insert simply linearizes before it.
+        std::atomic<std::size_t> dag_count{0};
+    };
 
-    std::vector<std::unique_ptr<CapabilityDag>> dags_;
+    /// A DAG lives in the shard of its signature's smallest ontology
+    /// index; queries intersect against every shard anyway, so the mapping
+    /// only needs to spread unrelated signatures apart.
+    std::size_t shard_of(const FlatSet<OntologyIndex>& signature) const noexcept {
+        if (signature.empty()) return 0;
+        return static_cast<std::size_t>(*signature.begin()) % shard_count_;
+    }
+
+    CapabilityDag& dag_for_locked(Shard& shard,
+                                  const FlatSet<OntologyIndex>& signature);
+
+    std::size_t shard_count_;
+    std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace sariadne::directory

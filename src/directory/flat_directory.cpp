@@ -6,16 +6,15 @@
 
 namespace sariadne::directory {
 
-std::pair<ServiceId, PublishTiming> FlatDirectory::publish_xml(
-    std::string_view xml_text) {
+PublishReceipt FlatDirectory::publish_xml(std::string_view xml_text) {
     Stopwatch stopwatch;
     const desc::ServiceDescription service = desc::parse_service(xml_text);
-    PublishTiming timing;
-    timing.parse_ms = stopwatch.elapsed_ms();
+    PublishReceipt receipt;
+    receipt.timing.parse_ms = stopwatch.elapsed_ms();
     stopwatch.restart();
-    const ServiceId id = publish(service);
-    timing.insert_ms = stopwatch.elapsed_ms();
-    return {id, timing};
+    receipt.id = publish(service);
+    receipt.timing.insert_ms = stopwatch.elapsed_ms();
+    return receipt;
 }
 
 ServiceId FlatDirectory::publish(const desc::ServiceDescription& service) {

@@ -21,7 +21,7 @@ class FlatDirectory {
 public:
     explicit FlatDirectory(encoding::KnowledgeBase& kb) : kb_(&kb), oracle_(kb) {}
 
-    std::pair<ServiceId, PublishTiming> publish_xml(std::string_view xml_text);
+    PublishReceipt publish_xml(std::string_view xml_text);
     ServiceId publish(const desc::ServiceDescription& service);
 
     /// Linear-scan matching: every cached capability is evaluated; hits

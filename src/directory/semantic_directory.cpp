@@ -1,6 +1,7 @@
 #include "directory/semantic_directory.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "description/conversation.hpp"
 #include "support/errors.hpp"
@@ -8,34 +9,24 @@
 
 namespace sariadne::directory {
 
-std::pair<ServiceId, PublishTiming> SemanticDirectory::publish_xml(
-    std::string_view xml_text) {
+PublishReceipt SemanticDirectory::publish_xml(std::string_view xml_text) {
     Stopwatch stopwatch;
     desc::ServiceDescription service = desc::parse_service(xml_text);
-    PublishTiming timing;
-    timing.parse_ms = stopwatch.elapsed_ms();
-    const ServiceId id = publish(std::move(service), &timing);
-    return {id, timing};
+    const double parse_ms = stopwatch.elapsed_ms();
+    PublishReceipt receipt = publish(std::move(service));
+    receipt.timing.parse_ms = parse_ms;
+    return receipt;
 }
 
-ServiceId SemanticDirectory::publish(desc::ServiceDescription service,
-                                     PublishTiming* timing) {
+PublishReceipt SemanticDirectory::publish(desc::ServiceDescription service) {
     Stopwatch stopwatch;
-    // Re-advertisement: a service is identified by its name; a fresh
-    // description replaces the cached one (services periodically re-publish
-    // to their vicinity directory in the protocol).
-    for (const auto& [existing_id, existing] : services_) {
-        if (existing.profile.service_name == service.profile.service_name) {
-            remove(existing_id);
-            break;
-        }
-    }
-    const ServiceId id = next_id_++;
-
+    // Resolve and version-check before touching any shared state: a
+    // rejected description leaves the directory untouched.
     std::vector<desc::ResolvedCapability> provided =
         desc::resolve_provided(service, kb_->registry());
-    MatchStats stats;
-    for (auto& cap : provided) {
+    std::vector<std::vector<std::string>> uri_sets;
+    uri_sets.reserve(provided.size());
+    for (const auto& cap : provided) {
         // §3.2 consistency: a description carrying pre-computed codes must
         // have been encoded against the current ontology versions.
         if (cap.code_version != 0 &&
@@ -46,105 +37,243 @@ ServiceId SemanticDirectory::publish(desc::ServiceDescription service,
                 "' carries codes for a stale ontology version — the "
                 "advertiser must refresh its codes");
         }
-        const std::vector<std::string> uris =
-            desc::ontology_uris(cap, kb_->registry());
-        summary_.insert_ontology_set(uris);
-        dags_.insert(DagEntry{std::move(cap), id}, oracle_, stats);
+        uri_sets.push_back(desc::ontology_uris(cap, kb_->registry()));
     }
-    lifetime_stats_.capability_matches += stats.capability_matches;
-    services_.emplace(id, std::move(service));
-    if (timing != nullptr) timing->insert_ms = stopwatch.elapsed_ms();
-    return id;
+
+    // Re-advertisement: a service is identified by its name; a fresh
+    // description replaces the cached one (services periodically re-publish
+    // to their vicinity directory in the protocol). The scan, erase and
+    // insert are one critical section so two same-name publishers cannot
+    // both survive.
+    const std::string name = service.profile.service_name;
+    ServiceId replaced = 0;
+    ServiceId id = 0;
+    {
+        std::unique_lock lock(services_mutex_);
+        for (const auto& [existing_id, existing] : services_) {
+            if (existing.profile.service_name == name) {
+                replaced = existing_id;
+                break;
+            }
+        }
+        if (replaced != 0) services_.erase(replaced);
+        id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+        services_.emplace(id, std::move(service));
+    }
+    if (replaced != 0) {
+        dags_.remove_service(replaced);
+        rebuild_summary();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(summary_mutex_);
+        for (const auto& uris : uri_sets) summary_.insert_ontology_set(uris);
+    }
+
+    matching::EncodedOracle oracle(*kb_);
+    MatchStats stats;
+    for (auto& cap : provided) {
+        dags_.insert(DagEntry{std::move(cap), id}, oracle, stats);
+    }
+    stats.concept_queries = oracle.queries();
+    accumulate_lifetime(stats);
+
+    PublishReceipt receipt;
+    receipt.id = id;
+    receipt.timing.insert_ms = stopwatch.elapsed_ms();
+    return receipt;
 }
 
 bool SemanticDirectory::remove(ServiceId service) {
-    const auto it = services_.find(service);
-    if (it == services_.end()) return false;
+    {
+        std::unique_lock lock(services_mutex_);
+        const auto it = services_.find(service);
+        if (it == services_.end()) return false;
+        services_.erase(it);
+    }
     dags_.remove_service(service);
-    services_.erase(it);
     rebuild_summary();
     return true;
 }
 
-QueryResult SemanticDirectory::query_xml(std::string_view xml_text) {
+QueryResult SemanticDirectory::query_xml(std::string_view xml_text,
+                                         const QueryOptions& options) const {
     Stopwatch stopwatch;
     const desc::ServiceRequest request = desc::parse_request(xml_text);
     const double parse_ms = stopwatch.elapsed_ms();
-    QueryResult result = query(request);
+    QueryResult result = query(request, options);
     result.timing.parse_ms = parse_ms;
     return result;
 }
 
-QueryResult SemanticDirectory::query(const desc::ServiceRequest& request) {
+QueryResult SemanticDirectory::query(const desc::ServiceRequest& request,
+                                     const QueryOptions& options) const {
     const bool constrained = !request.qos_constraints.empty() ||
                              !request.context_constraints.empty() ||
                              request.process.has_value();
-    if (!constrained) {
-        return query_resolved(desc::resolve_request(request, kb_->registry()));
-    }
-
-    // Constraint-aware path: gather every semantic match, drop hits whose
-    // advertised profile violates a QoS/context constraint or whose
-    // published process cannot realize the client's conversation, then
-    // keep the closest admissible hits per capability. A provider that
-    // publishes no process model claims nothing about its conversation and
-    // is kept (lenient default).
     const auto resolved = desc::resolve_request(request, kb_->registry());
+    const desc::ServiceRequest* constraints = constrained ? &request : nullptr;
+
     QueryResult result;
     Stopwatch stopwatch;
     result.per_capability.reserve(resolved.size());
     for (const auto& cap : resolved) {
-        std::vector<MatchHit> hits = dags_.query_all(cap, oracle_, result.stats);
-        std::erase_if(hits, [&](const MatchHit& hit) {
-            const desc::ServiceDescription* advertised = service(hit.service);
-            if (advertised == nullptr ||
-                !desc::satisfies_constraints(advertised->profile, request)) {
-                return true;
-            }
-            if (request.process.has_value() && advertised->process.has_value() &&
-                !desc::conversation_compatible(*request.process,
-                                               *advertised->process)) {
-                return true;
-            }
-            return false;
-        });
-        if (!hits.empty()) {
-            int best = hits.front().semantic_distance;
-            for (const MatchHit& hit : hits) {
-                best = std::min(best, hit.semantic_distance);
-            }
-            std::erase_if(hits, [best](const MatchHit& hit) {
-                return hit.semantic_distance != best;
-            });
-        }
-        result.per_capability.push_back(std::move(hits));
+        result.per_capability.push_back(
+            query_capability(cap, constraints, options, result.stats));
     }
+    apply_require_all(result, options);
     result.timing.match_ms = stopwatch.elapsed_ms();
-    result.stats.concept_queries = oracle_.queries();
-    lifetime_stats_.capability_matches += result.stats.capability_matches;
     return result;
 }
 
 QueryResult SemanticDirectory::query_resolved(
-    const std::vector<desc::ResolvedCapability>& capabilities) {
+    const std::vector<desc::ResolvedCapability>& capabilities,
+    const QueryOptions& options) const {
     QueryResult result;
     Stopwatch stopwatch;
     result.per_capability.reserve(capabilities.size());
     for (const auto& cap : capabilities) {
-        result.per_capability.push_back(dags_.query(cap, oracle_, result.stats));
+        result.per_capability.push_back(
+            query_capability(cap, nullptr, options, result.stats));
     }
+    apply_require_all(result, options);
     result.timing.match_ms = stopwatch.elapsed_ms();
-    result.stats.concept_queries = oracle_.queries();
-    lifetime_stats_.capability_matches += result.stats.capability_matches;
     return result;
 }
 
+std::vector<MatchHit> SemanticDirectory::query_capability(
+    const desc::ResolvedCapability& capability,
+    const desc::ServiceRequest* constraints, const QueryOptions& options,
+    MatchStats& stats) const {
+    matching::EncodedOracle oracle(*kb_);
+    MatchStats local;
+    std::vector<MatchHit> hits =
+        match_one(capability, constraints, options, oracle, local);
+    local.concept_queries = oracle.queries();
+    stats.capability_matches += local.capability_matches;
+    stats.concept_queries += local.concept_queries;
+    stats.dags_visited += local.dags_visited;
+    stats.dags_pruned += local.dags_pruned;
+    accumulate_lifetime(local);
+    return hits;
+}
+
+std::vector<MatchHit> SemanticDirectory::match_one(
+    const desc::ResolvedCapability& capability,
+    const desc::ServiceRequest* constraints, const QueryOptions& options,
+    matching::DistanceOracle& oracle, MatchStats& stats) const {
+    // Beyond the minimal-distance tier is needed whenever hits may be
+    // re-filtered (constraints, max_distance) or re-ranked (top_k).
+    const bool need_all = options.top_k > 0 || options.max_distance >= 0 ||
+                          constraints != nullptr;
+    std::vector<MatchHit> hits = need_all
+                                     ? dags_.query_all(capability, oracle, stats)
+                                     : dags_.query(capability, oracle, stats);
+
+    if (options.max_distance >= 0) {
+        std::erase_if(hits, [&](const MatchHit& hit) {
+            return hit.semantic_distance > options.max_distance;
+        });
+    }
+
+    if (constraints != nullptr) {
+        // Drop hits whose advertised profile violates a QoS/context
+        // constraint or whose published process cannot realize the
+        // client's conversation. A provider that publishes no process
+        // model claims nothing about its conversation and is kept
+        // (lenient default). The reader lock keeps the descriptions
+        // stable for the duration of the scan.
+        std::shared_lock lock(services_mutex_);
+        std::erase_if(hits, [&](const MatchHit& hit) {
+            const auto it = services_.find(hit.service);
+            if (it == services_.end() ||
+                !desc::satisfies_constraints(it->second.profile, *constraints)) {
+                return true;
+            }
+            if (constraints->process.has_value() &&
+                it->second.process.has_value() &&
+                !desc::conversation_compatible(*constraints->process,
+                                               *it->second.process)) {
+                return true;
+            }
+            return false;
+        });
+    }
+
+    if (need_all && !hits.empty()) {
+        std::stable_sort(hits.begin(), hits.end(),
+                         [](const MatchHit& a, const MatchHit& b) {
+                             return a.semantic_distance < b.semantic_distance;
+                         });
+        if (options.top_k > 0) {
+            if (hits.size() > options.top_k) hits.resize(options.top_k);
+        } else {
+            // Legacy shape: only the minimal-distance tier.
+            const int best = hits.front().semantic_distance;
+            std::erase_if(hits, [best](const MatchHit& hit) {
+                return hit.semantic_distance != best;
+            });
+        }
+    }
+    return hits;
+}
+
+void SemanticDirectory::apply_require_all(QueryResult& result,
+                                          const QueryOptions& options) const {
+    if (!options.require_all_capabilities || result.fully_satisfied()) return;
+    for (auto& hits : result.per_capability) hits.clear();
+}
+
+void SemanticDirectory::accumulate_lifetime(const MatchStats& stats) const noexcept {
+    lifetime_capability_matches_.fetch_add(stats.capability_matches,
+                                           std::memory_order_relaxed);
+    lifetime_concept_queries_.fetch_add(stats.concept_queries,
+                                        std::memory_order_relaxed);
+    lifetime_dags_visited_.fetch_add(stats.dags_visited,
+                                     std::memory_order_relaxed);
+    lifetime_dags_pruned_.fetch_add(stats.dags_pruned,
+                                    std::memory_order_relaxed);
+}
+
+MatchStats SemanticDirectory::lifetime_stats() const noexcept {
+    MatchStats stats;
+    stats.capability_matches =
+        lifetime_capability_matches_.load(std::memory_order_relaxed);
+    stats.concept_queries =
+        lifetime_concept_queries_.load(std::memory_order_relaxed);
+    stats.dags_visited = lifetime_dags_visited_.load(std::memory_order_relaxed);
+    stats.dags_pruned = lifetime_dags_pruned_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+std::size_t SemanticDirectory::service_count() const {
+    std::shared_lock lock(services_mutex_);
+    return services_.size();
+}
+
 const desc::ServiceDescription* SemanticDirectory::service(ServiceId id) const {
+    std::shared_lock lock(services_mutex_);
     const auto it = services_.find(id);
     return it == services_.end() ? nullptr : &it->second;
 }
 
+std::optional<desc::Grounding> SemanticDirectory::grounding(ServiceId id) const {
+    std::shared_lock lock(services_mutex_);
+    const auto it = services_.find(id);
+    if (it == services_.end()) return std::nullopt;
+    return it->second.grounding;
+}
+
+bloom::BloomFilter SemanticDirectory::summary() const {
+    std::lock_guard<std::mutex> lock(summary_mutex_);
+    return summary_;
+}
+
 void SemanticDirectory::rebuild_summary() {
+    // Lock order (summary before services-shared) matches every other path
+    // that holds both; publish touches them one at a time.
+    std::lock_guard<std::mutex> summary_lock(summary_mutex_);
+    std::shared_lock services_lock(services_mutex_);
     summary_.clear();
     for (const auto& [id, service] : services_) {
         const auto provided = desc::resolve_provided(service, kb_->registry());

@@ -5,9 +5,23 @@
 // probing DAG roots with interval-code matching. Also maintains the
 // Bloom-filter summary of its content that the distributed protocol
 // exchanges between directories.
+//
+// Thread safety: publish / publish_xml / remove / query* /
+// query_capability and the introspection counters may be called from any
+// number of threads concurrently. The capability-DAG index is sharded
+// with per-shard reader–writer locks (see DagIndex), so queries — pure
+// reads over interval codes — run fully in parallel and only contend
+// with publishes touching the same shard; the service table and the
+// Bloom summary carry their own locks. Two operations are excluded from
+// the guarantee and require quiescence: registering/upgrading ontologies
+// in the shared KnowledgeBase, and retaining the pointer returned by
+// service() across a concurrent remove/re-publish of that service.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -25,8 +39,9 @@ namespace sariadne::directory {
 
 /// Result of a request against one directory.
 struct QueryResult {
-    /// Best hits per requested capability, in request order. An empty
-    /// inner vector means that capability could not be satisfied.
+    /// Hits per requested capability, in request order (closest first;
+    /// with default QueryOptions, only the minimal-distance tier). An
+    /// empty inner vector means that capability could not be satisfied.
     std::vector<std::vector<MatchHit>> per_capability;
     MatchStats stats;
     QueryTiming timing;
@@ -46,15 +61,18 @@ public:
     /// node set typically share one KB).
     explicit SemanticDirectory(encoding::KnowledgeBase& kb,
                                bloom::BloomParams bloom_params = {})
-        : kb_(&kb), oracle_(kb), summary_(bloom_params) {}
+        : kb_(&kb), summary_(bloom_params) {}
+
+    SemanticDirectory(const SemanticDirectory&) = delete;
+    SemanticDirectory& operator=(const SemanticDirectory&) = delete;
 
     // --- publish --------------------------------------------------------
     /// Parses and publishes an Amigo-S service description document.
     /// Returns the service handle and the Figure 7/8 timing breakdown.
-    std::pair<ServiceId, PublishTiming> publish_xml(std::string_view xml_text);
+    PublishReceipt publish_xml(std::string_view xml_text);
 
-    /// Publishes an already-parsed description (no parse timing).
-    ServiceId publish(desc::ServiceDescription service, PublishTiming* timing = nullptr);
+    /// Publishes an already-parsed description (parse_ms stays 0).
+    PublishReceipt publish(desc::ServiceDescription service);
 
     /// Withdraws a service (departure from the vicinity). Returns false if
     /// the handle is unknown.
@@ -62,49 +80,92 @@ public:
 
     // --- query ----------------------------------------------------------
     /// Parses a request document and matches it (timing includes parse).
-    QueryResult query_xml(std::string_view xml_text);
+    QueryResult query_xml(std::string_view xml_text,
+                          const QueryOptions& options = {}) const;
 
     /// Matches a request. When the request carries QoS/context
     /// constraints, hits are additionally filtered by the advertised
     /// service profiles (Amigo-S QoS-/context-awareness), and the best
-    /// *admissible* distance wins per capability.
-    QueryResult query(const desc::ServiceRequest& request);
+    /// *admissible* distances win per capability.
+    QueryResult query(const desc::ServiceRequest& request,
+                      const QueryOptions& options = {}) const;
 
     /// Matches pre-resolved capabilities (protocol-internal fast path).
     QueryResult query_resolved(
-        const std::vector<desc::ResolvedCapability>& capabilities);
+        const std::vector<desc::ResolvedCapability>& capabilities,
+        const QueryOptions& options = {}) const;
+
+    /// Matches one resolved capability — the unit the parallel query path
+    /// of DiscoveryEngine fans across its worker pool. `constraints`, when
+    /// non-null, applies that request's QoS/context/conversation filters.
+    /// Work counters are accumulated into `stats`. Thread-safe.
+    std::vector<MatchHit> query_capability(
+        const desc::ResolvedCapability& capability,
+        const desc::ServiceRequest* constraints, const QueryOptions& options,
+        MatchStats& stats) const;
 
     // --- introspection ---------------------------------------------------
-    std::size_t service_count() const noexcept { return services_.size(); }
-    std::size_t capability_count() const noexcept { return dags_.entry_count(); }
-    std::size_t dag_count() const noexcept { return dags_.dag_count(); }
+    std::size_t service_count() const;
+    std::size_t capability_count() const { return dags_.entry_count(); }
+    std::size_t dag_count() const { return dags_.dag_count(); }
     const DagIndex& dags() const noexcept { return dags_; }
 
+    /// Pointer into the service table; stays valid only until the service
+    /// is removed or replaced by a re-advertisement. Quiescent use only —
+    /// concurrent readers must copy what they need via grounding() (or
+    /// their own locked accessor) instead of retaining this pointer.
     const desc::ServiceDescription* service(ServiceId id) const;
 
-    /// One past the largest handle ever issued (state-transfer iteration).
-    ServiceId next_service_id() const noexcept { return next_id_; }
+    /// Copy of a service's grounding taken under the reader lock — the
+    /// race-free way to materialize invocation details for a hit while
+    /// publishers may be replacing the service.
+    std::optional<desc::Grounding> grounding(ServiceId id) const;
 
-    /// Bloom summary of the ontology sets used by cached capabilities (§4).
-    const bloom::BloomFilter& summary() const noexcept { return summary_; }
+    /// One past the largest handle ever issued (state-transfer iteration).
+    ServiceId next_service_id() const noexcept {
+        return next_id_.load(std::memory_order_acquire);
+    }
+
+    /// Snapshot of the Bloom summary of the ontology sets used by cached
+    /// capabilities (§4).
+    bloom::BloomFilter summary() const;
 
     /// Rebuilds the summary from live content (after removals — Bloom
     /// filters do not support deletion).
     void rebuild_summary();
 
-    /// Cumulative match statistics across all queries.
-    const MatchStats& lifetime_stats() const noexcept { return lifetime_stats_; }
+    /// Snapshot of the cumulative match statistics across all operations.
+    MatchStats lifetime_stats() const noexcept;
 
     encoding::KnowledgeBase& knowledge_base() noexcept { return *kb_; }
 
 private:
+    /// The per-capability matching kernel behind every query entry point.
+    std::vector<MatchHit> match_one(const desc::ResolvedCapability& capability,
+                                    const desc::ServiceRequest* constraints,
+                                    const QueryOptions& options,
+                                    matching::DistanceOracle& oracle,
+                                    MatchStats& stats) const;
+
+    void accumulate_lifetime(const MatchStats& stats) const noexcept;
+    void apply_require_all(QueryResult& result,
+                           const QueryOptions& options) const;
+
     encoding::KnowledgeBase* kb_;
-    matching::EncodedOracle oracle_;
     DagIndex dags_;
+
+    mutable std::shared_mutex services_mutex_;  ///< guards services_
     std::unordered_map<ServiceId, desc::ServiceDescription> services_;
-    ServiceId next_id_ = 1;
+    std::atomic<ServiceId> next_id_{1};
+
+    mutable std::mutex summary_mutex_;  ///< guards summary_
     bloom::BloomFilter summary_;
-    MatchStats lifetime_stats_;
+
+    /// Lifetime counters, relaxed — totals are exact once writers quiesce.
+    mutable std::atomic<std::uint64_t> lifetime_capability_matches_{0};
+    mutable std::atomic<std::uint64_t> lifetime_concept_queries_{0};
+    mutable std::atomic<std::uint64_t> lifetime_dags_visited_{0};
+    mutable std::atomic<std::uint64_t> lifetime_dags_pruned_{0};
 };
 
 }  // namespace sariadne::directory

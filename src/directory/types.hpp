@@ -1,8 +1,10 @@
 // Shared vocabulary of the directory layer: match hits, statistics and
 // timing breakdowns used by the evaluation harness (Figures 7-10 plot
-// exactly these quantities).
+// exactly these quantities), plus the facade-level QueryOptions /
+// PublishReceipt value types.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -47,3 +49,39 @@ struct QueryTiming {
 };
 
 }  // namespace sariadne::directory
+
+namespace sariadne {
+
+/// Caller-tunable knobs of one discovery query, threaded through
+/// DiscoveryEngine::discover and SemanticDirectory::query. The defaults
+/// reproduce the paper's behavior exactly: per requested capability,
+/// every hit at the minimal semantic distance.
+struct QueryOptions {
+    /// 0 keeps the legacy best-distance-only answer; k > 0 instead returns
+    /// up to k hits per capability, closest (smallest distance) first.
+    std::size_t top_k = 0;
+
+    /// Hits farther than this semantic distance are dropped; negative
+    /// means unlimited.
+    int max_distance = -1;
+
+    /// When set, a request is all-or-nothing: if any requested capability
+    /// has no admissible hit, every per-capability hit list comes back
+    /// empty (the shape of the request is preserved).
+    bool require_all_capabilities = false;
+
+    /// Fan the per-capability matching of a multi-capability request
+    /// across DiscoveryEngine's worker pool. Only honoured by
+    /// DiscoveryEngine; SemanticDirectory itself always matches inline.
+    bool parallel = false;
+};
+
+/// Outcome of publishing a service description: the issued handle plus the
+/// Figure 7/8 timing breakdown. Aggregate, so structured bindings keep
+/// working: `auto [id, timing] = directory.publish_xml(doc);`
+struct PublishReceipt {
+    directory::ServiceId id = 0;
+    directory::PublishTiming timing;
+};
+
+}  // namespace sariadne

@@ -4,6 +4,17 @@ namespace sariadne::encoding {
 
 const CodeTable& KnowledgeBase::code_table(OntologyIndex index) {
     const onto::Ontology& ontology = registry_.at(index);
+    {
+        // Hot path: the table exists and is current — concurrent readers
+        // only share the lock.
+        std::shared_lock lock(tables_mutex_);
+        const auto it = tables_.find(ontology.uri());
+        if (it != tables_.end() && it->second.table &&
+            it->second.version == ontology.version()) {
+            return *it->second.table;
+        }
+    }
+    std::unique_lock lock(tables_mutex_);
     TableEntry& entry = tables_[ontology.uri()];
     if (!entry.table || entry.version != ontology.version()) {
         entry.table = std::make_unique<CodeTable>(

@@ -4,10 +4,19 @@
 // publishes or matches capabilities: all reasoning happened offline when
 // the table was built, so the discovery-time operations are code
 // comparisons (§3.2) — the paper's central performance claim.
+//
+// Thread safety: the read paths (code_table / subsumes / distance /
+// environment_tag) may be called from any number of threads concurrently;
+// the lazy table cache is guarded by a reader–writer lock and a first use
+// builds the table under the writer lock. register_ontology and resolve
+// mutate/read the registry without synchronization — ontology
+// registration must be quiesced against concurrent discovery traffic
+// (directories load their ontologies up front, §3 "off-line").
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -27,6 +36,17 @@ public:
     explicit KnowledgeBase(EncodingParams params = {},
                            std::unique_ptr<reasoner::Reasoner> engine = nullptr)
         : params_(params), taxonomies_(std::move(engine)) {}
+
+    /// Moving requires exclusive access to `other` (no concurrent users);
+    /// the table lock itself is not transferred.
+    KnowledgeBase(KnowledgeBase&& other) noexcept
+        : params_(other.params_),
+          registry_(std::move(other.registry_)),
+          taxonomies_(std::move(other.taxonomies_)),
+          tables_(std::move(other.tables_)) {}
+
+    KnowledgeBase(const KnowledgeBase&) = delete;
+    KnowledgeBase& operator=(const KnowledgeBase&) = delete;
 
     /// Registers (or upgrades) an ontology; classification and encoding
     /// happen lazily on first use.
@@ -95,6 +115,7 @@ private:
     EncodingParams params_;
     onto::OntologyRegistry registry_;
     reasoner::TaxonomyCache taxonomies_;
+    mutable std::shared_mutex tables_mutex_;  ///< guards tables_
     std::unordered_map<std::string, TableEntry> tables_;
 };
 

@@ -5,7 +5,14 @@
 //   TaxonomyOracle — BFS level distance on classified taxonomies; used as
 //                    the correctness reference (encoded results must agree)
 //                    and by the online matcher.
+//
+// Oracles are deliberately *not* thread-safe (they carry a query counter
+// and, for EncodedOracle, a code-table cache): concurrent callers each
+// construct their own — an oracle is two words plus a small vector, and
+// SemanticDirectory materializes one per publish/query operation.
 #pragma once
+
+#include <vector>
 
 #include "encoding/knowledge_base.hpp"
 #include "matching/match.hpp"
@@ -20,11 +27,34 @@ public:
 
     std::optional<int> distance(ConceptRef subsumer, ConceptRef subsumee) override {
         ++queries_;
-        return kb_->distance(subsumer, subsumee);
+        if (subsumer.ontology != subsumee.ontology) return std::nullopt;
+        return table(subsumer.ontology)
+            .distance(subsumer.concept_id, subsumee.concept_id);
     }
 
 private:
+    /// Memoized code-table lookup: the first d() against an ontology pays
+    /// the knowledge base's reader lock; subsequent ones are a version
+    /// compare plus an indexed load. Keeps the contended lock off the
+    /// per-concept hot path under parallel queries.
+    const encoding::CodeTable& table(onto::OntologyIndex index) {
+        if (index >= cache_.size()) cache_.resize(index + 1);
+        CacheEntry& slot = cache_[index];
+        const std::uint32_t version = kb_->registry().at(index).version();
+        if (slot.table == nullptr || slot.version != version) {
+            slot.table = &kb_->code_table(index);
+            slot.version = version;
+        }
+        return *slot.table;
+    }
+
+    struct CacheEntry {
+        const encoding::CodeTable* table = nullptr;
+        std::uint32_t version = 0;
+    };
+
     encoding::KnowledgeBase* kb_;
+    std::vector<CacheEntry> cache_;
 };
 
 class TaxonomyOracle final : public DistanceOracle {

@@ -3,9 +3,16 @@
 // discovery fast path (the paper's central optimization: "semantic
 // reasoning is performed off-line", §3). Re-registering a newer ontology
 // version invalidates its entry lazily.
+//
+// Thread safety: taxonomy_of is serialized by an internal mutex so two
+// threads racing on a cold ontology classify it exactly once; the
+// returned reference stays valid while the cache lives (entries are only
+// replaced on a version upgrade, which requires external quiescence).
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -21,20 +28,33 @@ public:
     explicit TaxonomyCache(std::unique_ptr<Reasoner> engine = nullptr)
         : engine_(engine ? std::move(engine) : std::make_unique<RuleReasoner>()) {}
 
+    /// Moving requires exclusive access to `other` (no concurrent users);
+    /// the mutex itself is not transferred.
+    TaxonomyCache(TaxonomyCache&& other) noexcept
+        : engine_(std::move(other.engine_)),
+          entries_(std::move(other.entries_)),
+          classifications_(other.classifications_.load()) {}
+
+    TaxonomyCache(const TaxonomyCache&) = delete;
+    TaxonomyCache& operator=(const TaxonomyCache&) = delete;
+
     /// Classified taxonomy of `ontology`, computed on first use per
     /// (uri, version). The reference stays valid while the cache lives.
     const Taxonomy& taxonomy_of(const onto::Ontology& ontology) {
+        std::lock_guard<std::mutex> lock(mutex_);
         Entry& entry = entries_[ontology.uri()];
         if (!entry.taxonomy || entry.version != ontology.version()) {
             entry.taxonomy = std::make_unique<Taxonomy>(engine_->classify(ontology));
             entry.version = ontology.version();
-            ++classifications_;
+            classifications_.fetch_add(1, std::memory_order_relaxed);
         }
         return *entry.taxonomy;
     }
 
     /// Number of actual classification runs (cache misses) so far.
-    std::uint64_t classifications() const noexcept { return classifications_; }
+    std::uint64_t classifications() const noexcept {
+        return classifications_.load(std::memory_order_relaxed);
+    }
 
     Reasoner& engine() noexcept { return *engine_; }
 
@@ -45,8 +65,9 @@ private:
     };
 
     std::unique_ptr<Reasoner> engine_;
+    std::mutex mutex_;  ///< guards entries_ (classify-once on cold misses)
     std::unordered_map<std::string, Entry> entries_;
-    std::uint64_t classifications_ = 0;
+    std::atomic<std::uint64_t> classifications_{0};
 };
 
 }  // namespace sariadne::reasoner

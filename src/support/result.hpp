@@ -1,0 +1,79 @@
+// Result<T> — value-or-error return type for the facade's non-throwing
+// entry points (DiscoveryEngine::try_publish / try_discover). Callers on
+// the network path route a request straight into the directory and need a
+// branchable outcome instead of a try/catch per message; the error payload
+// carries a stable code (mapping the exception taxonomy of
+// support/errors.hpp) plus the human-readable message.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sariadne {
+
+/// Stable classification of a recoverable failure.
+enum class ErrorCode {
+    kParse,            ///< malformed XML / description / ontology document
+    kLookup,           ///< unknown ontology URI, concept, or capability
+    kInconsistency,    ///< semantically inconsistent ontology
+    kVersionMismatch,  ///< description encoded against stale ontology codes
+    kInternal,         ///< any other recoverable error
+};
+
+/// The error payload of a failed Result.
+struct ErrorInfo {
+    ErrorCode code = ErrorCode::kInternal;
+    std::string message;
+};
+
+inline const char* to_string(ErrorCode code) noexcept {
+    switch (code) {
+        case ErrorCode::kParse: return "parse";
+        case ErrorCode::kLookup: return "lookup";
+        case ErrorCode::kInconsistency: return "inconsistency";
+        case ErrorCode::kVersionMismatch: return "version-mismatch";
+        case ErrorCode::kInternal: return "internal";
+    }
+    return "unknown";
+}
+
+template <typename T>
+class Result {
+public:
+    Result(T value) : state_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+    Result(ErrorInfo error) : state_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+    bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+    explicit operator bool() const noexcept { return ok(); }
+
+    /// Precondition: ok().
+    T& value() & {
+        assert(ok());
+        return std::get<T>(state_);
+    }
+    const T& value() const& {
+        assert(ok());
+        return std::get<T>(state_);
+    }
+    T&& value() && {
+        assert(ok());
+        return std::get<T>(std::move(state_));
+    }
+
+    /// Precondition: !ok().
+    const ErrorInfo& error() const {
+        assert(!ok());
+        return std::get<ErrorInfo>(state_);
+    }
+
+    T value_or(T fallback) const {
+        return ok() ? std::get<T>(state_) : std::move(fallback);
+    }
+
+private:
+    std::variant<T, ErrorInfo> state_;
+};
+
+}  // namespace sariadne

@@ -1,0 +1,92 @@
+// ThreadPool — a small fixed-size worker pool used by the parallel query
+// path of DiscoveryEngine (and available to benches/tests). Tasks are
+// plain std::function thunks executed FIFO; submit() returns a future for
+// the callable's result. The pool joins its workers on destruction after
+// draining the queue, so submitted tasks never outlive the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sariadne::support {
+
+class ThreadPool {
+public:
+    /// Spawns `worker_count` workers (at least one).
+    explicit ThreadPool(std::size_t worker_count = default_worker_count()) {
+        if (worker_count == 0) worker_count = 1;
+        workers_.reserve(worker_count);
+        for (std::size_t i = 0; i < worker_count; ++i) {
+            workers_.emplace_back([this] { worker_loop(); });
+        }
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        wake_.notify_all();
+        for (std::thread& worker : workers_) worker.join();
+    }
+
+    /// Enqueues a callable; the returned future yields its result (or
+    /// rethrows its exception).
+    template <typename F>
+    auto submit(F&& callable) -> std::future<std::invoke_result_t<F>> {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(callable));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace([task] { (*task)(); });
+        }
+        wake_.notify_one();
+        return result;
+    }
+
+    std::size_t worker_count() const noexcept { return workers_.size(); }
+
+    /// Hardware concurrency clamped to a sane directory-node default.
+    static std::size_t default_worker_count() noexcept {
+        const unsigned hw = std::thread::hardware_concurrency();
+        if (hw == 0) return 2;
+        return hw < 8 ? hw : 8;
+    }
+
+private:
+    void worker_loop() {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty()) return;  // stopping_ and drained
+                task = std::move(queue_.front());
+                queue_.pop();
+            }
+            task();
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::queue<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+}  // namespace sariadne::support

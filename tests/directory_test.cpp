@@ -231,7 +231,7 @@ TEST_F(DirectoryFixture, QueryDoesNoReasoning) {
 }
 
 TEST_F(DirectoryFixture, RemoveWithdrawsService) {
-    const ServiceId id = directory_.publish(th::workstation_service());
+    const ServiceId id = directory_.publish(th::workstation_service()).id;
     desc::ServiceRequest request;
     request.capabilities.push_back(th::get_video_stream());
     EXPECT_TRUE(directory_.query(request).fully_satisfied());
@@ -244,7 +244,7 @@ TEST_F(DirectoryFixture, RemoveWithdrawsService) {
 
 TEST_F(DirectoryFixture, SummaryTracksContent) {
     EXPECT_EQ(directory_.summary().set_bit_count(), 0u);
-    const ServiceId id = directory_.publish(th::workstation_service());
+    const ServiceId id = directory_.publish(th::workstation_service()).id;
     EXPECT_GT(directory_.summary().set_bit_count(), 0u);
     const std::vector<std::string> uris{th::kMediaUri, th::kServerUri};
     EXPECT_TRUE(directory_.summary().possibly_covers(uris));
@@ -264,7 +264,7 @@ TEST_F(DirectoryFixture, UnsatisfiableRequestReturnsEmpty) {
 }
 
 TEST_F(DirectoryFixture, ServiceAccessor) {
-    const ServiceId id = directory_.publish(th::workstation_service());
+    const ServiceId id = directory_.publish(th::workstation_service()).id;
     ASSERT_NE(directory_.service(id), nullptr);
     EXPECT_EQ(directory_.service(id)->profile.service_name, "Workstation");
     EXPECT_EQ(directory_.service(id + 100), nullptr);

@@ -74,7 +74,7 @@ TEST(TaxonomyExtras, EquivalenceClassMembers) {
 TEST_F(ExtrasFixture, StateExportSurvivesSparseHandles) {
     directory::SemanticDirectory source(kb_);
     directory::SemanticDirectory target(kb_);
-    const auto id1 = source.publish(th::workstation_service());
+    const auto id1 = source.publish(th::workstation_service()).id;
     desc::ServiceDescription second = th::workstation_service();
     second.profile.service_name = "W2";
     source.publish(second);

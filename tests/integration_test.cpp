@@ -76,7 +76,7 @@ TEST_F(Section5Workload, ChurnKeepsDirectoryConsistent) {
     directory::SemanticDirectory directory(kb_);
     std::vector<directory::ServiceId> ids;
     for (std::size_t i = 0; i < 60; ++i) {
-        ids.push_back(directory.publish(workload_.service(i)));
+        ids.push_back(directory.publish(workload_.service(i)).id);
     }
     // Withdraw every other service.
     for (std::size_t i = 0; i < 60; i += 2) {

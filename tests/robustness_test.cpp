@@ -169,7 +169,7 @@ TEST_P(DagProperty, QueryAgreesWithFlatScanUnderChurn) {
             // directory (re-advertisement semantics) and invalidate the
             // older handle; keep indices unique for the bookkeeping here.
             if (is_live(index)) continue;
-            live.emplace_back(semantic.publish(workload.service(index)), index);
+            live.emplace_back(semantic.publish(workload.service(index)).id, index);
         } else {
             const auto victim = rng.below(live.size());
             semantic.remove(live[victim].first);
