@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "support/stopwatch.hpp"
 
 namespace sariadne::bench {
@@ -51,6 +52,14 @@ struct ShapeChecks {
         return failed == 0 ? 0 : 1;
     }
 };
+
+/// Prints a JSON snapshot of a metrics registry, labelled, so bench logs
+/// carry the same quantities the CLI's --metrics exposes (machine-grep
+/// friendly: one JSON object on one line).
+inline void emit_metrics(const obs::MetricsRegistry& registry,
+                         const char* label) {
+    std::printf("\nmetrics[%s]: %s\n", label, registry.to_json().c_str());
+}
 
 inline void print_header(const char* title, const char* paper_claim) {
     std::printf("==============================================================\n");

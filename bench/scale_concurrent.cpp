@@ -29,6 +29,7 @@ constexpr std::size_t kQueriesPerThread = 2000;
 
 struct Fixture {
     encoding::KnowledgeBase kb;
+    obs::MetricsRegistry metrics;
     std::unique_ptr<workload::ServiceWorkload> workload;
     std::unique_ptr<directory::SemanticDirectory> directory;
     std::vector<std::vector<desc::ResolvedCapability>> requests;
@@ -41,7 +42,8 @@ struct Fixture {
         for (const auto& o : universe) kb.register_ontology(o);
         workload =
             std::make_unique<workload::ServiceWorkload>(std::move(universe));
-        directory = std::make_unique<directory::SemanticDirectory>(kb);
+        directory = std::make_unique<directory::SemanticDirectory>(
+            kb, bloom::BloomParams{}, &metrics);
         for (std::size_t i = 0; i < kServices; ++i) {
             directory->publish(workload->service(i));
         }
@@ -149,6 +151,7 @@ int main() {
                       target, speedup_at_point, cores);
     }
     checks.check(speedup_at_point >= target, claim);
+    bench::emit_metrics(fixture.metrics, "scale_concurrent");
     std::printf("\n");
     return checks.finish("scale_concurrent");
 }

@@ -28,7 +28,8 @@ struct RunResult {
 };
 
 RunResult run(ariadne::Protocol protocol, std::size_t nodes,
-              workload::ServiceWorkload& workload, encoding::KnowledgeBase& kb) {
+              workload::ServiceWorkload& workload, encoding::KnowledgeBase& kb,
+              obs::MetricsRegistry* metrics = nullptr) {
     ariadne::ProtocolConfig config;
     config.protocol = protocol;
     config.adv_period_ms = 1000;
@@ -37,7 +38,7 @@ RunResult run(ariadne::Protocol protocol, std::size_t nodes,
 
     Rng rng(nodes * 31 + 7);
     ariadne::DiscoveryNetwork network(
-        net::Topology::random_geometric(nodes, 0.35, rng), config, kb);
+        net::Topology::random_geometric(nodes, 0.35, rng), config, kb, metrics);
     network.start();
     network.run_for(15000);
 
@@ -114,11 +115,13 @@ int main() {
     double sa_fwd_large = 0;
     double ar_fwd_large = 0;
     double sa_sat_min = 1.0;
+    obs::MetricsRegistry metrics;  // snapshot of the largest S-Ariadne run
     for (const std::size_t nodes : {16ul, 36ul, 64ul}) {
         const RunResult ariadne_run =
             run(ariadne::Protocol::kAriadne, nodes, workload, kb);
         const RunResult sariadne_run =
-            run(ariadne::Protocol::kSAriadne, nodes, workload, kb);
+            run(ariadne::Protocol::kSAriadne, nodes, workload, kb,
+                nodes == 64 ? &metrics : nullptr);
         std::printf("%7zu %11s | %12.2f %9.0f%% %10.2f | (%zu directories)\n",
                     nodes, "Ariadne", ariadne_run.mean_response_ms,
                     100 * ariadne_run.satisfaction,
@@ -142,6 +145,7 @@ int main() {
     checks.check(sa_fwd_large <= ar_fwd_large,
                  "at 64 nodes, Bloom forwarding sends no more forwards than "
                  "flooding");
+    bench::emit_metrics(metrics, "scale_distributed_64_sariadne");
     std::printf("\n");
     return checks.finish("scale_distributed");
 }

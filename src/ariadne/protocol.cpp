@@ -128,10 +128,47 @@ private:
 // --- construction ------------------------------------------------------------
 
 DiscoveryNetwork::DiscoveryNetwork(net::Topology topology, ProtocolConfig config,
-                                   encoding::KnowledgeBase& kb)
+                                   encoding::KnowledgeBase& kb,
+                                   obs::MetricsRegistry* metrics)
     : sim_(std::make_unique<net::Simulator>(std::move(topology))),
       config_(config),
       kb_(&kb) {
+    if (metrics != nullptr) {
+        metrics_.registry = metrics;
+        metrics_.requests_issued = &metrics->counter("protocol.requests_issued");
+        metrics_.requests_retried =
+            &metrics->counter("protocol.requests_retried");
+        metrics_.requests_expired =
+            &metrics->counter("protocol.requests_expired");
+        metrics_.requests_satisfied =
+            &metrics->counter("protocol.requests_satisfied");
+        metrics_.requests_unsatisfied =
+            &metrics->counter("protocol.requests_unsatisfied");
+        metrics_.responses = &metrics->counter("protocol.responses");
+        metrics_.forwards = &metrics->counter("protocol.forwards");
+        metrics_.elections_started =
+            &metrics->counter("protocol.elections_started");
+        metrics_.directories_elected =
+            &metrics->counter("protocol.directories_elected");
+        metrics_.handovers = &metrics->counter("protocol.handovers");
+        metrics_.summary_pushes = &metrics->counter("protocol.summary_pushes");
+        metrics_.summary_pulls = &metrics->counter("protocol.summary_pulls");
+        metrics_.bloom_false_positives =
+            &metrics->counter("protocol.bloom_false_positives");
+        metrics_.pending_reaped = &metrics->counter("protocol.pending_reaped");
+        metrics_.requests_in_flight =
+            &metrics->gauge("protocol.requests_in_flight");
+        metrics_.directories = &metrics->gauge("protocol.directories");
+        metrics_.retry_backlog = &metrics->gauge("protocol.retry_backlog");
+        metrics_.deferred_publishes =
+            &metrics->gauge("protocol.deferred_publishes");
+        metrics_.deferred_requests =
+            &metrics->gauge("protocol.deferred_requests");
+        metrics_.response_ms = &metrics->histogram("protocol.response_ms");
+        metrics_.directory_compute_ms =
+            &metrics->histogram("protocol.directory_compute_ms");
+        sim_->set_metrics(metrics);
+    }
     const std::size_t n = sim_->topology().node_count();
     nodes_.reserve(n);
     apps_.reserve(n);
@@ -187,6 +224,7 @@ void DiscoveryNetwork::node_check_advertisement(NodeId node) {
 }
 
 void DiscoveryNetwork::node_start_election(NodeId node) {
+    if (metrics_.elections_started) metrics_.elections_started->inc();
     NodeState& state = *nodes_[node];
     state.election_pending = true;
     state.election_started = sim_->now();
@@ -249,8 +287,12 @@ void DiscoveryNetwork::resign_directory(NodeId node) {
 
     if (exported.empty()) return;  // syntactic mode: providers re-publish
 
+    if (metrics_.directories) metrics_.directories->set(
+        static_cast<std::int64_t>(directories().size()));
+
     NodeId successor = directory_for(node);
     if (successor != kNoNode) {
+        if (metrics_.handovers) metrics_.handovers->inc();
         Message msg;
         msg.type = "handover";
         msg.size_bytes = static_cast<std::uint32_t>(exported.size());
@@ -271,10 +313,13 @@ void DiscoveryNetwork::become_directory(NodeId node) {
     state.election_pending = false;
     if (config_.protocol == Protocol::kSAriadne) {
         state.semdir = std::make_unique<directory::SemanticDirectory>(
-            *kb_, config_.bloom);
+            *kb_, config_.bloom, metrics_.registry);
     } else {
         state.syndir = std::make_unique<directory::SyntacticDirectory>();
     }
+    if (metrics_.directories_elected) metrics_.directories_elected->inc();
+    if (metrics_.directories) metrics_.directories->set(
+        static_cast<std::int64_t>(directories().size()));
     directory_advertise(node);
     if (config_.protocol == Protocol::kSAriadne) {
         // §4: "the exchange of Bloom filters is done when new directories
@@ -284,6 +329,7 @@ void DiscoveryNetwork::become_directory(NodeId node) {
         push_summary(node);
         for (const NodeId peer : directories()) {
             if (peer == node) continue;
+            if (metrics_.summary_pulls) metrics_.summary_pulls->inc();
             Message pull;
             pull.type = "summary-pull";
             pull.size_bytes = 8;
@@ -313,6 +359,7 @@ void DiscoveryNetwork::push_summary(NodeId directory_node) {
     const auto wire = state.semdir->summary().serialize();
     for (const NodeId peer : directories()) {
         if (peer == directory_node) continue;
+        if (metrics_.summary_pushes) metrics_.summary_pushes->inc();
         Message push;
         push.type = "summary-push";
         push.payload = SummaryPush{directory_node, wire};
@@ -364,6 +411,7 @@ void DiscoveryNetwork::publish_service(NodeId provider, std::string document_xml
     }
     if (target == kNoNode) {
         state.deferred_publishes.push_back(std::move(document_xml));
+        if (metrics_.deferred_publishes) metrics_.deferred_publishes->add(1);
         return;
     }
     Message pub;
@@ -405,9 +453,15 @@ std::uint64_t DiscoveryNetwork::discover(NodeId client, std::string request_xml)
     DiscoveryOutcome outcome;
     outcome.issued_at = sim_->now();
     outcomes_.emplace(id, outcome);
+    if (metrics_.requests_issued) metrics_.requests_issued->inc();
+    if (metrics_.requests_in_flight) metrics_.requests_in_flight->add(1);
     if (config_.request_timeout_ms > 0) {
         retry_state_.emplace(
             id, RetryState{client, request_xml, config_.max_request_retries});
+        if (metrics_.retry_backlog) {
+            metrics_.retry_backlog->set(
+                static_cast<std::int64_t>(retry_state_.size()));
+        }
         sim_->schedule(config_.request_timeout_ms,
                        [this, id] { check_request_timeout(id); });
     }
@@ -420,6 +474,7 @@ std::uint64_t DiscoveryNetwork::discover(NodeId client, std::string request_xml)
     }
     if (target == kNoNode) {
         state.deferred_requests.emplace_back(id, std::move(request_xml));
+        if (metrics_.deferred_requests) metrics_.deferred_requests->add(1);
         return id;
     }
     Message req;
@@ -553,6 +608,7 @@ void DiscoveryNetwork::handle_request(NodeId self, const Message& msg) {
             return;
         }
         for (const NodeId target : targets) {
+            if (metrics_.forwards) metrics_.forwards->inc();
             Message fwd;
             fwd.type = "fwd";
             fwd.size_bytes =
@@ -601,9 +657,13 @@ void DiscoveryNetwork::handle_forward_reply(NodeId self, const Message& msg) {
         if (!hits.empty()) any_hit = true;
     }
     if (!any_hit && config_.protocol == Protocol::kSAriadne) {
+        // The peer's summary covered the request but its cache had nothing:
+        // a Bloom false positive (or a stale filter).
+        if (metrics_.bloom_false_positives) metrics_.bloom_false_positives->inc();
         if (++state.peer_false_positives[msg.source] >=
             config_.false_positive_pull_threshold) {
             state.peer_false_positives[msg.source] = 0;
+            if (metrics_.summary_pulls) metrics_.summary_pulls->inc();
             Message pull;
             pull.type = "summary-pull";
             pull.size_bytes = 8;
@@ -666,15 +726,29 @@ void DiscoveryNetwork::republish(NodeId provider) {
 void DiscoveryNetwork::check_request_timeout(std::uint64_t request_id) {
     const auto it = outcomes_.find(request_id);
     if (it == outcomes_.end()) return;
-    // Keep retrying while the request is unanswered OR only answered
-    // unsatisfied — under churn an early "nothing found" often comes from a
-    // freshly elected directory that has not been repopulated yet.
-    if (it->second.answered && it->second.satisfied) return;
+    DiscoveryOutcome& outcome = it->second;
+    if (outcome.terminal) return;  // settled; retry state already released
+    // A satisfied answer ends the retry loop. Keep retrying while the
+    // request is unanswered OR only answered unsatisfied — under churn an
+    // early "nothing found" often comes from a freshly elected directory
+    // that has not been repopulated yet.
+    if (outcome.answered && outcome.satisfied) {
+        conclude_request(request_id, outcome, /*expired=*/false);
+        return;
+    }
     const auto retry_it = retry_state_.find(request_id);
     if (retry_it == retry_state_.end()) return;
     RetryState& retry = retry_it->second;
-    if (retry.retries_left <= 0) return;  // give up silently
+    if (retry.retries_left <= 0) {
+        // Retry budget exhausted: give up *loudly*. The silent `return`
+        // this replaces leaked the RetryState entry, left directory-side
+        // PendingRequests waiting on partitioned peers forever, and never
+        // told the client its request was abandoned.
+        conclude_request(request_id, outcome, /*expired=*/true);
+        return;
+    }
     --retry.retries_left;
+    if (metrics_.requests_retried) metrics_.requests_retried->inc();
 
     NodeId target = directory_for(retry.client);
     if (target != kNoNode) {
@@ -688,6 +762,51 @@ void DiscoveryNetwork::check_request_timeout(std::uint64_t request_id) {
                    [this, request_id] { check_request_timeout(request_id); });
 }
 
+void DiscoveryNetwork::conclude_request(std::uint64_t request_id,
+                                        DiscoveryOutcome& outcome,
+                                        bool expired) {
+    if (outcome.terminal) return;
+    outcome.terminal = true;
+    outcome.expired = expired;
+    retry_state_.erase(request_id);
+    // Reap directory-side bookkeeping the request may have left behind: a
+    // forward sent to a peer that partitioned away never gets its reply, so
+    // the PendingRequest would otherwise sit in `pending` forever. Also
+    // purge any still-deferred copy so a late dir-adv does not flush a
+    // request nobody is waiting on.
+    for (const auto& node : nodes_) {
+        if (node->pending.erase(request_id) > 0 && metrics_.pending_reaped) {
+            metrics_.pending_reaped->inc();
+        }
+        const auto deferred = std::erase_if(
+            node->deferred_requests,
+            [request_id](const auto& entry) { return entry.first == request_id; });
+        if (deferred > 0 && metrics_.deferred_requests) {
+            metrics_.deferred_requests->sub(static_cast<std::int64_t>(deferred));
+        }
+    }
+    // Every terminal request lands in exactly one of these three bins, so
+    // issued == satisfied + unsatisfied + expired + in_flight always holds.
+    if (expired) {
+        if (metrics_.requests_expired) metrics_.requests_expired->inc();
+    } else if (outcome.satisfied) {
+        if (metrics_.requests_satisfied) metrics_.requests_satisfied->inc();
+    } else {
+        if (metrics_.requests_unsatisfied) metrics_.requests_unsatisfied->inc();
+    }
+    if (metrics_.requests_in_flight) metrics_.requests_in_flight->sub(1);
+    if (metrics_.retry_backlog) {
+        metrics_.retry_backlog->set(
+            static_cast<std::int64_t>(retry_state_.size()));
+    }
+    if (outcome.answered && metrics_.response_ms) {
+        metrics_.response_ms->observe(outcome.response_time_ms());
+    }
+    if (outcome.answered && metrics_.directory_compute_ms) {
+        metrics_.directory_compute_ms->observe(outcome.directory_compute_ms);
+    }
+}
+
 // --- dispatch -----------------------------------------------------------------
 
 void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
@@ -699,6 +818,7 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
         state.election_pending = false;  // suppress a pending election
         state.known_directory = adv.directory;
         if (!state.pending_handover.empty()) {
+            if (metrics_.handovers) metrics_.handovers->inc();
             Message msg;
             msg.type = "handover";
             msg.size_bytes =
@@ -710,9 +830,17 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
         // Flush work deferred for lack of a directory.
         auto publishes = std::move(state.deferred_publishes);
         state.deferred_publishes.clear();
+        if (metrics_.deferred_publishes && !publishes.empty()) {
+            metrics_.deferred_publishes->sub(
+                static_cast<std::int64_t>(publishes.size()));
+        }
         for (auto& doc : publishes) publish_service(self, std::move(doc));
         auto requests = std::move(state.deferred_requests);
         state.deferred_requests.clear();
+        if (metrics_.deferred_requests && !requests.empty()) {
+            metrics_.deferred_requests->sub(
+                static_cast<std::int64_t>(requests.size()));
+        }
         for (auto& [id, doc] : requests) {
             Message req;
             req.type = "req";
@@ -779,6 +907,7 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
     }
     if (msg.type == "summary-pull") {
         if (state.semdir != nullptr) {
+            if (metrics_.summary_pushes) metrics_.summary_pushes->inc();
             const auto wire = state.semdir->summary().serialize();
             Message push;
             push.type = "summary-push";
@@ -800,14 +929,24 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
         if (it == outcomes_.end()) return;
         DiscoveryOutcome& outcome = it->second;
         // A satisfied answer is final; an unsatisfied one never downgrades
-        // a satisfied outcome obtained from an earlier attempt.
+        // a satisfied outcome obtained from an earlier attempt — and once
+        // terminal (expired or already satisfied) a straggler reply from a
+        // slow directory is ignored entirely.
+        if (outcome.terminal) return;
         if (outcome.answered && outcome.satisfied) return;
+        if (metrics_.responses) metrics_.responses->inc();
         outcome.answered = true;
         outcome.satisfied = response.satisfied;
         outcome.hits = response.hits;
         outcome.answered_at = sim_->now();
         outcome.directory_compute_ms = response.compute_ms;
         outcome.directories_asked = response.directories_asked;
+        // Without a retry budget the first answer is final; with one, only
+        // a satisfying answer ends the loop (the timeout handler concludes
+        // the rest).
+        if (outcome.satisfied || config_.request_timeout_ms <= 0) {
+            conclude_request(response.request_id, outcome, /*expired=*/false);
+        }
         return;
     }
 }

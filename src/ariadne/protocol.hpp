@@ -39,6 +39,7 @@
 #include "directory/syntactic_directory.hpp"
 #include "encoding/knowledge_base.hpp"
 #include "net/simulator.hpp"
+#include "obs/metrics.hpp"
 
 namespace sariadne::ariadne {
 
@@ -73,6 +74,12 @@ struct ProtocolConfig {
 struct DiscoveryOutcome {
     bool answered = false;
     bool satisfied = false;
+    /// Terminal: no further updates will arrive — the request was
+    /// satisfied, ran without a retry budget, or exhausted its retries.
+    bool terminal = false;
+    /// The retry budget ran out without a satisfying answer; the request
+    /// was abandoned (counted in `protocol.requests_expired`).
+    bool expired = false;
     std::vector<directory::MatchHit> hits;
     net::SimTime issued_at = 0;
     net::SimTime answered_at = 0;
@@ -87,9 +94,13 @@ struct DiscoveryOutcome {
 class DiscoveryNetwork {
 public:
     /// `kb` must outlive the network and contain every ontology the
-    /// workload references (semantic mode).
+    /// workload references (semantic mode). When `metrics` is non-null,
+    /// the protocol, its directories and the simulator report into it
+    /// (`protocol.*`, `directory.*`, `sim.*`); the registry must outlive
+    /// the network.
     DiscoveryNetwork(net::Topology topology, ProtocolConfig config,
-                     encoding::KnowledgeBase& kb);
+                     encoding::KnowledgeBase& kb,
+                     obs::MetricsRegistry* metrics = nullptr);
     ~DiscoveryNetwork();
 
     DiscoveryNetwork(const DiscoveryNetwork&) = delete;
@@ -133,6 +144,14 @@ public:
 
     const net::TrafficStats& traffic() const noexcept { return sim_->stats(); }
 
+    /// Live retry-state entries (requests still holding a retry budget);
+    /// drains to zero once every request is satisfied or expired —
+    /// regression surface for the retry-state leak.
+    std::size_t retry_backlog() const noexcept { return retry_state_.size(); }
+
+    /// The attached registry, nullptr when the network is uninstrumented.
+    obs::MetricsRegistry* metrics() const noexcept { return metrics_.registry; }
+
     /// Node fitness used by elections (deterministic pseudo-battery ×
     /// degree); exposed for tests.
     double fitness(net::NodeId node) const;
@@ -161,6 +180,11 @@ private:
     void node_check_advertisement(net::NodeId node);
     void republish(net::NodeId provider);
     void check_request_timeout(std::uint64_t request_id);
+    /// Marks an outcome terminal exactly once: releases its retry state,
+    /// reaps abandoned directory-side pending entries and settles the
+    /// in-flight/expired accounting.
+    void conclude_request(std::uint64_t request_id, DiscoveryOutcome& outcome,
+                          bool expired);
     void node_start_election(net::NodeId node);
     void close_election(net::NodeId initiator);
     void become_directory(net::NodeId node);
@@ -175,9 +199,36 @@ private:
     std::vector<net::NodeId> forward_targets(net::NodeId self,
                                              const std::string& request_xml);
 
+    /// Cached registry handles; all null when uninstrumented.
+    struct Metrics {
+        obs::MetricsRegistry* registry = nullptr;
+        obs::Counter* requests_issued = nullptr;
+        obs::Counter* requests_retried = nullptr;
+        obs::Counter* requests_expired = nullptr;
+        obs::Counter* requests_satisfied = nullptr;
+        obs::Counter* requests_unsatisfied = nullptr;
+        obs::Counter* responses = nullptr;
+        obs::Counter* forwards = nullptr;
+        obs::Counter* elections_started = nullptr;
+        obs::Counter* directories_elected = nullptr;
+        obs::Counter* handovers = nullptr;
+        obs::Counter* summary_pushes = nullptr;
+        obs::Counter* summary_pulls = nullptr;
+        obs::Counter* bloom_false_positives = nullptr;
+        obs::Counter* pending_reaped = nullptr;
+        obs::Gauge* requests_in_flight = nullptr;
+        obs::Gauge* directories = nullptr;
+        obs::Gauge* retry_backlog = nullptr;
+        obs::Gauge* deferred_publishes = nullptr;
+        obs::Gauge* deferred_requests = nullptr;
+        obs::Histogram* response_ms = nullptr;
+        obs::Histogram* directory_compute_ms = nullptr;
+    };
+
     std::unique_ptr<net::Simulator> sim_;
     ProtocolConfig config_;
     encoding::KnowledgeBase* kb_;
+    Metrics metrics_;
     std::vector<std::unique_ptr<NodeState>> nodes_;
     std::vector<std::unique_ptr<App>> apps_;
     std::unordered_map<std::uint64_t, DiscoveryOutcome> outcomes_;

@@ -45,8 +45,12 @@ Hash128 BloomFilter::set_key(std::span<const std::string> uris) noexcept {
 }
 
 void BloomFilter::insert_ontology_set(std::span<const std::string> uris) {
+    // Element keys only: possibly_covers probes per-URI membership, so a
+    // whole-set key would never be queried — inserting it only burned
+    // hash_count extra bits per advertisement and inflated every
+    // summary's false-positive rate (set_key remains available for
+    // callers that do exact-set probes).
     for (const std::string& uri : uris) insert(element_key(uri));
-    insert(set_key(uris));
 }
 
 bool BloomFilter::possibly_covers(
@@ -110,13 +114,28 @@ std::vector<std::uint64_t> BloomFilter::serialize() const {
 }
 
 BloomFilter BloomFilter::deserialize(std::span<const std::uint64_t> data) {
+    // Wire data is peer-controlled: validate with thrown Errors, not
+    // contracts. A zero hash_count would make possibly_contains
+    // vacuously true (every peer "covers" every query) and absurd bit
+    // counts would allocate unboundedly — both must be rejected before
+    // any filter is constructed.
     if (data.empty()) throw Error("empty Bloom filter wire data");
     BloomParams params{static_cast<std::uint32_t>(data[0] >> 32),
                        static_cast<std::uint32_t>(data[0] & 0xFFFFFFFFu)};
-    BloomFilter filter(params);
-    if (data.size() - 1 != filter.words_.size()) {
+    if (params.bits < 64) {
+        throw Error("Bloom filter wire data: bits=" +
+                    std::to_string(params.bits) + " below the 64-bit minimum");
+    }
+    if (params.hash_count < 1 || params.hash_count > 32) {
+        throw Error("Bloom filter wire data: hash_count=" +
+                    std::to_string(params.hash_count) +
+                    " outside [1, 32]");
+    }
+    const std::size_t words = (std::size_t{params.bits} + 63) / 64;
+    if (data.size() - 1 != words) {
         throw Error("Bloom filter wire data has wrong length");
     }
+    BloomFilter filter(params);
     for (std::size_t i = 0; i < filter.words_.size(); ++i) {
         filter.words_[i] = data[i + 1];
     }

@@ -40,9 +40,11 @@ public:
     /// True if the key may have been inserted (no false negatives).
     bool possibly_contains(const Hash128& key) const noexcept;
 
-    /// Inserts every element key and the combined set key of `uris`.
-    /// Inserting the elements too lets membership tests succeed for
-    /// requests using a *subset* of an advertisement's ontologies.
+    /// Inserts the element key of every URI in `uris` — exactly what
+    /// possibly_covers probes, so membership tests succeed for requests
+    /// using any *subset* of an advertisement's ontologies. No combined
+    /// set key is inserted: it would never be queried and only inflates
+    /// the fill ratio.
     void insert_ontology_set(std::span<const std::string> uris);
 
     /// May the directory behind this filter cache a capability relevant to
@@ -50,7 +52,9 @@ public:
     /// possibly present.
     bool possibly_covers(std::span<const std::string> uris) const noexcept;
 
-    /// Order-independent key of a set of URIs.
+    /// Order-independent key of a set of URIs (for callers doing
+    /// exact-set probes; insert_ontology_set itself stores element keys
+    /// only).
     static Hash128 set_key(std::span<const std::string> uris) noexcept;
 
     /// Key of a single URI.

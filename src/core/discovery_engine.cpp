@@ -43,19 +43,41 @@ Result<PublishReceipt> DiscoveryEngine::try_publish(
 
 DiscoveryEngine::DiscoveryRows DiscoveryEngine::discover(
     std::string_view request_xml, const QueryOptions& options) {
-    if (options.parallel) {
-        return to_discoveries(
-            query_parallel(desc::parse_request(request_xml), options));
-    }
-    return to_discoveries(directory_->query_xml(request_xml, options));
+    Stopwatch stopwatch;
+    DiscoveryRows rows =
+        options.parallel
+            ? to_discoveries(
+                  query_parallel(desc::parse_request(request_xml), options))
+            : to_discoveries(directory_->query_xml(request_xml, options));
+    record_discovery(rows, options, stopwatch.elapsed_ms());
+    return rows;
 }
 
 DiscoveryEngine::DiscoveryRows DiscoveryEngine::discover(
     const desc::ServiceRequest& request, const QueryOptions& options) {
-    if (options.parallel) {
-        return to_discoveries(query_parallel(request, options));
+    Stopwatch stopwatch;
+    DiscoveryRows rows = options.parallel
+                             ? to_discoveries(query_parallel(request, options))
+                             : to_discoveries(directory_->query(request, options));
+    record_discovery(rows, options, stopwatch.elapsed_ms());
+    return rows;
+}
+
+void DiscoveryEngine::record_discovery(const DiscoveryRows& rows,
+                                       const QueryOptions& options,
+                                       double elapsed_ms) {
+    engine_metrics_.discoveries->inc();
+    if (options.parallel) engine_metrics_.discoveries_parallel->inc();
+    bool satisfied = !rows.empty();
+    for (const auto& row : rows) {
+        if (row.empty()) satisfied = false;
     }
-    return to_discoveries(directory_->query(request, options));
+    if (satisfied) {
+        engine_metrics_.discoveries_satisfied->inc();
+    } else {
+        engine_metrics_.discoveries_unsatisfied->inc();
+    }
+    engine_metrics_.discover_ms->observe(elapsed_ms);
 }
 
 Result<DiscoveryEngine::DiscoveryRows> DiscoveryEngine::try_discover(
@@ -80,6 +102,7 @@ directory::QueryResult DiscoveryEngine::query_parallel(
         std::pair<std::vector<directory::MatchHit>, directory::MatchStats>;
     std::vector<std::future<CapabilityAnswer>> answers;
     answers.reserve(resolved.size());
+    engine_metrics_.pool_tasks->inc(resolved.size());
     for (std::size_t i = 0; i < resolved.size(); ++i) {
         answers.push_back(pool().submit([this, &resolved, constraints, &options,
                                          i]() -> CapabilityAnswer {
@@ -109,6 +132,8 @@ support::ThreadPool& DiscoveryEngine::pool() {
     if (!pool_) {
         pool_ = std::make_unique<support::ThreadPool>(
             support::ThreadPool::default_worker_count());
+        engine_metrics_.pool_workers->set(
+            static_cast<std::int64_t>(pool_->worker_count()));
     }
     return *pool_;
 }

@@ -34,6 +34,7 @@
 #include "directory/semantic_directory.hpp"
 #include "directory/types.hpp"
 #include "encoding/knowledge_base.hpp"
+#include "obs/metrics.hpp"
 #include "ontology/loader.hpp"
 #include "support/result.hpp"
 #include "support/thread_pool.hpp"
@@ -56,7 +57,20 @@ public:
 
     explicit DiscoveryEngine(encoding::EncodingParams params = {})
         : kb_(std::make_unique<encoding::KnowledgeBase>(params)),
-          directory_(std::make_unique<directory::SemanticDirectory>(*kb_)) {}
+          metrics_(std::make_unique<obs::MetricsRegistry>()),
+          directory_(std::make_unique<directory::SemanticDirectory>(
+              *kb_, bloom::BloomParams{}, metrics_.get())) {
+        engine_metrics_.discoveries = &metrics_->counter("engine.discoveries");
+        engine_metrics_.discoveries_parallel =
+            &metrics_->counter("engine.discoveries{mode=\"parallel\"}");
+        engine_metrics_.discoveries_satisfied =
+            &metrics_->counter("engine.discoveries_satisfied");
+        engine_metrics_.discoveries_unsatisfied =
+            &metrics_->counter("engine.discoveries_unsatisfied");
+        engine_metrics_.pool_tasks = &metrics_->counter("engine.pool_tasks");
+        engine_metrics_.pool_workers = &metrics_->gauge("engine.pool_workers");
+        engine_metrics_.discover_ms = &metrics_->histogram("engine.discover_ms");
+    }
 
     /// Loads an ontology document; re-registering a URI upgrades it.
     /// Requires quiescence (no concurrent publish/discover traffic).
@@ -107,6 +121,13 @@ public:
         return *directory_;
     }
 
+    /// The engine-owned metrics registry: `engine.*` counters plus the
+    /// `directory.*` metrics of the embedded directory. Callers may point
+    /// further components (e.g. a DiscoveryNetwork) at the same registry
+    /// to get one unified exposition.
+    obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
+    const obs::MetricsRegistry& metrics() const noexcept { return *metrics_; }
+
 private:
     DiscoveryRows to_discoveries(const directory::QueryResult& result) const;
 
@@ -118,7 +139,28 @@ private:
     /// The engine's worker pool, created on first parallel query.
     support::ThreadPool& pool();
 
+    /// Classifies one finished discover call into the outcome counters and
+    /// the latency histogram.
+    void record_discovery(const DiscoveryRows& rows, const QueryOptions& options,
+                          double elapsed_ms);
+
+    /// Cached engine-level registry handles (the registry itself is owned,
+    /// so these are always non-null after construction).
+    struct EngineMetrics {
+        obs::Counter* discoveries = nullptr;
+        obs::Counter* discoveries_parallel = nullptr;
+        obs::Counter* discoveries_satisfied = nullptr;
+        obs::Counter* discoveries_unsatisfied = nullptr;
+        obs::Counter* pool_tasks = nullptr;
+        obs::Gauge* pool_workers = nullptr;
+        obs::Histogram* discover_ms = nullptr;
+    };
+
     std::unique_ptr<encoding::KnowledgeBase> kb_;
+    /// Declared before directory_: the directory caches handles into this
+    /// registry at construction and uses them until its own destruction.
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
+    EngineMetrics engine_metrics_;
     std::unique_ptr<directory::SemanticDirectory> directory_;
     std::mutex pool_mutex_;  ///< guards lazy pool_ creation
     std::unique_ptr<support::ThreadPool> pool_;

@@ -18,7 +18,11 @@ CapabilityDag& DagIndex::dag_for_locked(Shard& shard,
 void DagIndex::insert(DagEntry entry, matching::DistanceOracle& oracle,
                       MatchStats& stats) {
     Shard& shard = shards_[shard_of(entry.capability.ontologies)];
-    std::unique_lock lock(shard.mutex);
+    std::unique_lock lock(shard.mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+        if (contention_ != nullptr) contention_->inc();
+        lock.lock();
+    }
     CapabilityDag& dag = dag_for_locked(shard, entry.capability.ontologies);
     dag.insert(std::move(entry), oracle, stats);
 }
@@ -47,7 +51,11 @@ std::vector<MatchHit> DagIndex::query_all(const ResolvedCapability& request,
     for (std::size_t s = 0; s < shard_count_; ++s) {
         const Shard& shard = shards_[s];
         if (shard.dag_count.load(std::memory_order_acquire) == 0) continue;
-        std::shared_lock lock(shard.mutex);
+        std::shared_lock lock(shard.mutex, std::try_to_lock);
+        if (!lock.owns_lock()) {
+            if (contention_ != nullptr) contention_->inc();
+            lock.lock();
+        }
         for (const auto& dag : shard.dags) {
             if (!dag->signature().intersects(request.ontologies)) {
                 ++stats.dags_pruned;
@@ -68,7 +76,11 @@ std::vector<MatchHit> DagIndex::query(const ResolvedCapability& request,
     for (std::size_t s = 0; s < shard_count_; ++s) {
         const Shard& shard = shards_[s];
         if (shard.dag_count.load(std::memory_order_acquire) == 0) continue;
-        std::shared_lock lock(shard.mutex);
+        std::shared_lock lock(shard.mutex, std::try_to_lock);
+        if (!lock.owns_lock()) {
+            if (contention_ != nullptr) contention_->inc();
+            lock.lock();
+        }
         for (const auto& dag : shard.dags) {
             if (!dag->signature().intersects(request.ontologies)) {
                 ++stats.dags_pruned;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "directory/dag.hpp"
+#include "obs/metrics.hpp"
 
 namespace sariadne::directory {
 
@@ -69,6 +70,14 @@ public:
     /// and tests; do not retain the reference past the callback).
     void for_each_dag(const std::function<void(const CapabilityDag&)>& visit) const;
 
+    /// Counts shard-lock acquisitions that could not proceed immediately
+    /// (try-lock failed before blocking) — the observable cost of sharing
+    /// a shard between publishers and queriers. Set once, before the index
+    /// sees concurrent traffic; nullptr disables counting.
+    void set_contention_counter(obs::Counter* counter) noexcept {
+        contention_ = counter;
+    }
+
 private:
     struct Shard {
         mutable std::shared_mutex mutex;
@@ -93,6 +102,7 @@ private:
 
     std::size_t shard_count_;
     std::unique_ptr<Shard[]> shards_;
+    obs::Counter* contention_ = nullptr;
 };
 
 }  // namespace sariadne::directory

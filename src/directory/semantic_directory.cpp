@@ -13,6 +13,7 @@ PublishReceipt SemanticDirectory::publish_xml(std::string_view xml_text) {
     Stopwatch stopwatch;
     desc::ServiceDescription service = desc::parse_service(xml_text);
     const double parse_ms = stopwatch.elapsed_ms();
+    if (metrics_.publish_parse_ms) metrics_.publish_parse_ms->observe(parse_ms);
     PublishReceipt receipt = publish(std::move(service));
     receipt.timing.parse_ms = parse_ms;
     return receipt;
@@ -81,6 +82,11 @@ PublishReceipt SemanticDirectory::publish(desc::ServiceDescription service) {
     PublishReceipt receipt;
     receipt.id = id;
     receipt.timing.insert_ms = stopwatch.elapsed_ms();
+    if (metrics_.publishes) metrics_.publishes->inc();
+    if (metrics_.services && replaced == 0) metrics_.services->add(1);
+    if (metrics_.publish_insert_ms) {
+        metrics_.publish_insert_ms->observe(receipt.timing.insert_ms);
+    }
     return receipt;
 }
 
@@ -93,6 +99,8 @@ bool SemanticDirectory::remove(ServiceId service) {
     }
     dags_.remove_service(service);
     rebuild_summary();
+    if (metrics_.removals) metrics_.removals->inc();
+    if (metrics_.services) metrics_.services->sub(1);
     return true;
 }
 
@@ -101,6 +109,7 @@ QueryResult SemanticDirectory::query_xml(std::string_view xml_text,
     Stopwatch stopwatch;
     const desc::ServiceRequest request = desc::parse_request(xml_text);
     const double parse_ms = stopwatch.elapsed_ms();
+    if (metrics_.query_parse_ms) metrics_.query_parse_ms->observe(parse_ms);
     QueryResult result = query(request, options);
     result.timing.parse_ms = parse_ms;
     return result;
@@ -123,6 +132,10 @@ QueryResult SemanticDirectory::query(const desc::ServiceRequest& request,
     }
     apply_require_all(result, options);
     result.timing.match_ms = stopwatch.elapsed_ms();
+    if (metrics_.queries) metrics_.queries->inc();
+    if (metrics_.query_match_ms) {
+        metrics_.query_match_ms->observe(result.timing.match_ms);
+    }
     return result;
 }
 
@@ -138,6 +151,10 @@ QueryResult SemanticDirectory::query_resolved(
     }
     apply_require_all(result, options);
     result.timing.match_ms = stopwatch.elapsed_ms();
+    if (metrics_.queries) metrics_.queries->inc();
+    if (metrics_.query_match_ms) {
+        metrics_.query_match_ms->observe(result.timing.match_ms);
+    }
     return result;
 }
 
@@ -233,6 +250,16 @@ void SemanticDirectory::accumulate_lifetime(const MatchStats& stats) const noexc
                                      std::memory_order_relaxed);
     lifetime_dags_pruned_.fetch_add(stats.dags_pruned,
                                     std::memory_order_relaxed);
+    // Mirror the same relaxed deltas into the registry so external sinks
+    // see live work counters without a snapshot call.
+    if (metrics_.capability_matches) {
+        metrics_.capability_matches->inc(stats.capability_matches);
+    }
+    if (metrics_.concept_queries) {
+        metrics_.concept_queries->inc(stats.concept_queries);
+    }
+    if (metrics_.dags_visited) metrics_.dags_visited->inc(stats.dags_visited);
+    if (metrics_.dags_pruned) metrics_.dags_pruned->inc(stats.dags_pruned);
 }
 
 MatchStats SemanticDirectory::lifetime_stats() const noexcept {
@@ -270,6 +297,7 @@ bloom::BloomFilter SemanticDirectory::summary() const {
 }
 
 void SemanticDirectory::rebuild_summary() {
+    if (metrics_.summary_rebuilds) metrics_.summary_rebuilds->inc();
     // Lock order (summary before services-shared) matches every other path
     // that holds both; publish touches them one at a time.
     std::lock_guard<std::mutex> summary_lock(summary_mutex_);

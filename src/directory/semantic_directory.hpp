@@ -34,6 +34,7 @@
 #include "directory/types.hpp"
 #include "encoding/knowledge_base.hpp"
 #include "matching/oracles.hpp"
+#include "obs/metrics.hpp"
 
 namespace sariadne::directory {
 
@@ -58,10 +59,40 @@ class SemanticDirectory {
 public:
     /// The directory consults (and shares) a knowledge base of ontologies;
     /// the caller keeps ownership (several directories of one simulated
-    /// node set typically share one KB).
+    /// node set typically share one KB). When `metrics` is non-null the
+    /// directory reports `directory.*` phase latencies and work counters
+    /// into it; several directories may share one registry (their counts
+    /// aggregate). The registry must outlive the directory.
     explicit SemanticDirectory(encoding::KnowledgeBase& kb,
-                               bloom::BloomParams bloom_params = {})
-        : kb_(&kb), summary_(bloom_params) {}
+                               bloom::BloomParams bloom_params = {},
+                               obs::MetricsRegistry* metrics = nullptr)
+        : kb_(&kb), summary_(bloom_params) {
+        if (metrics != nullptr) {
+            metrics_.registry = metrics;
+            metrics_.publishes = &metrics->counter("directory.publishes");
+            metrics_.removals = &metrics->counter("directory.removals");
+            metrics_.queries = &metrics->counter("directory.queries");
+            metrics_.summary_rebuilds =
+                &metrics->counter("directory.summary_rebuilds");
+            metrics_.capability_matches =
+                &metrics->counter("directory.capability_matches");
+            metrics_.concept_queries =
+                &metrics->counter("directory.concept_queries");
+            metrics_.dags_visited = &metrics->counter("directory.dags_visited");
+            metrics_.dags_pruned = &metrics->counter("directory.dags_pruned");
+            metrics_.services = &metrics->gauge("directory.services");
+            metrics_.publish_parse_ms =
+                &metrics->histogram("directory.publish_parse_ms");
+            metrics_.publish_insert_ms =
+                &metrics->histogram("directory.publish_insert_ms");
+            metrics_.query_parse_ms =
+                &metrics->histogram("directory.query_parse_ms");
+            metrics_.query_match_ms =
+                &metrics->histogram("directory.query_match_ms");
+            dags_.set_contention_counter(
+                &metrics->counter("directory.shard_contention"));
+        }
+    }
 
     SemanticDirectory(const SemanticDirectory&) = delete;
     SemanticDirectory& operator=(const SemanticDirectory&) = delete;
@@ -151,7 +182,26 @@ private:
     void apply_require_all(QueryResult& result,
                            const QueryOptions& options) const;
 
+    /// Cached registry handles; all null when uninstrumented.
+    struct Metrics {
+        obs::MetricsRegistry* registry = nullptr;
+        obs::Counter* publishes = nullptr;
+        obs::Counter* removals = nullptr;
+        obs::Counter* queries = nullptr;
+        obs::Counter* summary_rebuilds = nullptr;
+        obs::Counter* capability_matches = nullptr;
+        obs::Counter* concept_queries = nullptr;
+        obs::Counter* dags_visited = nullptr;
+        obs::Counter* dags_pruned = nullptr;
+        obs::Gauge* services = nullptr;
+        obs::Histogram* publish_parse_ms = nullptr;
+        obs::Histogram* publish_insert_ms = nullptr;
+        obs::Histogram* query_parse_ms = nullptr;
+        obs::Histogram* query_match_ms = nullptr;
+    };
+
     encoding::KnowledgeBase* kb_;
+    Metrics metrics_;
     DagIndex dags_;
 
     mutable std::shared_mutex services_mutex_;  ///< guards services_

@@ -2,6 +2,23 @@
 
 namespace sariadne::net {
 
+void Simulator::set_metrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) {
+        metrics_ = Metrics{};
+        return;
+    }
+    metrics_.registry = registry;
+    metrics_.unicasts = &registry->counter("sim.unicasts");
+    metrics_.broadcasts = &registry->counter("sim.broadcasts");
+    metrics_.deliveries = &registry->counter("sim.deliveries");
+    metrics_.link_transmissions = &registry->counter("sim.link_transmissions");
+    metrics_.bytes_transmitted = &registry->counter("sim.bytes_transmitted");
+    metrics_.dropped_unreachable =
+        &registry->counter("sim.dropped_unreachable");
+    metrics_.pending_events = &registry->gauge("sim.pending_events");
+    metrics_.now_ms = &registry->gauge("sim.now_ms");
+}
+
 void Simulator::schedule(SimTime delay_ms, std::function<void()> action) {
     SARIADNE_EXPECTS(delay_ms >= 0);
     events_.push(Event{now_ + delay_ms, next_seq_++, std::move(action)});
@@ -11,6 +28,15 @@ void Simulator::deliver(NodeId to, const Message& msg) {
     if (!topology_.is_up(to)) return;  // went down while in flight
     ++stats_.deliveries;
     ++stats_.per_type[msg.type];
+    if (metrics_.deliveries != nullptr) {
+        metrics_.deliveries->inc();
+        // Per-type counters are looked up on demand: the type universe is
+        // small and stable, and the lookup cost sits on the (simulated)
+        // delivery path, not a real hot path.
+        metrics_.registry
+            ->counter("sim.deliveries{type=\"" + msg.type + "\"}")
+            .inc();
+    }
     if (apps_[to] != nullptr) apps_[to]->on_message(*this, to, msg);
 }
 
@@ -18,6 +44,7 @@ void Simulator::unicast(NodeId from, NodeId to, Message msg) {
     SARIADNE_EXPECTS(from < topology_.node_count());
     SARIADNE_EXPECTS(to < topology_.node_count());
     ++stats_.unicasts;
+    if (metrics_.unicasts != nullptr) metrics_.unicasts->inc();
     msg.source = from;
     if (from == to) {
         schedule(0, [this, to, m = std::move(msg)] { deliver(to, m); });
@@ -26,6 +53,9 @@ void Simulator::unicast(NodeId from, NodeId to, Message msg) {
     const int hops = topology_.hop_distance(from, to);
     if (hops < 0) {
         ++stats_.dropped_unreachable;
+        if (metrics_.dropped_unreachable != nullptr) {
+            metrics_.dropped_unreachable->inc();
+        }
         return;
     }
     // Latency follows the weighted path (wired backbone links are cheaper
@@ -35,6 +65,11 @@ void Simulator::unicast(NodeId from, NodeId to, Message msg) {
     stats_.link_transmissions += static_cast<std::uint64_t>(hops);
     stats_.bytes_transmitted +=
         static_cast<std::uint64_t>(hops) * msg.size_bytes;
+    if (metrics_.link_transmissions != nullptr) {
+        metrics_.link_transmissions->inc(static_cast<std::uint64_t>(hops));
+        metrics_.bytes_transmitted->inc(static_cast<std::uint64_t>(hops) *
+                                        msg.size_bytes);
+    }
     schedule(cost * per_hop_latency_ms_,
              [this, to, m = std::move(msg)] { deliver(to, m); });
 }
@@ -42,6 +77,7 @@ void Simulator::unicast(NodeId from, NodeId to, Message msg) {
 void Simulator::broadcast(NodeId from, std::uint32_t ttl_hops, Message msg) {
     SARIADNE_EXPECTS(from < topology_.node_count());
     ++stats_.broadcasts;
+    if (metrics_.broadcasts != nullptr) metrics_.broadcasts->inc();
     msg.source = from;
     const auto dist = topology_.hop_distances(from);
     for (NodeId node = 0; node < topology_.node_count(); ++node) {
@@ -51,12 +87,16 @@ void Simulator::broadcast(NodeId from, std::uint32_t ttl_hops, Message msg) {
         // predecessor on the flood tree.
         ++stats_.link_transmissions;
         stats_.bytes_transmitted += msg.size_bytes;
+        if (metrics_.link_transmissions != nullptr) {
+            metrics_.link_transmissions->inc();
+            metrics_.bytes_transmitted->inc(msg.size_bytes);
+        }
         schedule(dist[node] * per_hop_latency_ms_,
                  [this, node, m = msg] { deliver(node, m); });
     }
 }
 
-void Simulator::run(SimTime until) {
+void Simulator::drain(SimTime until) {
     while (!events_.empty()) {
         const Event& top = events_.top();
         if (top.time > until) break;
@@ -65,6 +105,24 @@ void Simulator::run(SimTime until) {
         now_ = top.time;
         events_.pop();
         action();
+    }
+    if (metrics_.pending_events != nullptr) {
+        metrics_.pending_events->set(
+            static_cast<std::int64_t>(events_.size()));
+        metrics_.now_ms->set(static_cast<std::int64_t>(now_));
+    }
+}
+
+void Simulator::run() { drain(1e12); }
+
+void Simulator::run(SimTime until) {
+    drain(until);
+    // The window's virtual time elapses in full even when the tail of it
+    // held no events; otherwise back-to-back run() windows would skew
+    // every now()-based staleness check by the idle gap.
+    if (until > now_) now_ = until;
+    if (metrics_.now_ms != nullptr) {
+        metrics_.now_ms->set(static_cast<std::int64_t>(now_));
     }
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "support/contracts.hpp"
 
 namespace sariadne::net {
@@ -90,13 +91,25 @@ public:
     /// (excluding `from`) receives the message at hop-distance latency.
     void broadcast(NodeId from, std::uint32_t ttl_hops, Message msg);
 
-    /// Runs until the event queue drains or virtual time exceeds `until`.
-    void run(SimTime until = 1e12);
+    /// Runs until the event queue drains; the clock stays at the last
+    /// executed event.
+    void run();
+
+    /// Runs every event with time <= `until`, then advances the clock to
+    /// `until` — back-to-back windows `run(t1); run(t2)` tile virtual time
+    /// exactly like a single `run(t2)`, so now()-based staleness checks
+    /// (advertisement timeouts, retry deadlines) see no seam.
+    void run(SimTime until);
 
     /// Drains at most `max_events` events (test stepping).
     std::size_t step(std::size_t max_events);
 
     const TrafficStats& stats() const noexcept { return stats_; }
+
+    /// Mirrors traffic counters into `registry` (live, alongside stats())
+    /// under `sim.*` names; nullptr detaches. The registry must outlive
+    /// the simulator.
+    void set_metrics(obs::MetricsRegistry* registry);
 
     bool idle() const noexcept { return events_.empty(); }
 
@@ -112,6 +125,20 @@ private:
     };
 
     void deliver(NodeId to, const Message& msg);
+    void drain(SimTime until);
+
+    /// Cached handles into the attached registry (nullptr when detached).
+    struct Metrics {
+        obs::MetricsRegistry* registry = nullptr;
+        obs::Counter* unicasts = nullptr;
+        obs::Counter* broadcasts = nullptr;
+        obs::Counter* deliveries = nullptr;
+        obs::Counter* link_transmissions = nullptr;
+        obs::Counter* bytes_transmitted = nullptr;
+        obs::Counter* dropped_unreachable = nullptr;
+        obs::Gauge* pending_events = nullptr;
+        obs::Gauge* now_ms = nullptr;
+    };
 
     Topology topology_;
     std::vector<NodeApp*> apps_;
@@ -120,6 +147,7 @@ private:
     std::uint64_t next_seq_ = 0;
     std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
     TrafficStats stats_;
+    Metrics metrics_;
 };
 
 }  // namespace sariadne::net

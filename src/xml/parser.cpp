@@ -133,6 +133,14 @@ private:
     }
 
     XmlNode parse_element() {
+        // Documents come off the wire (service descriptions, summaries), so
+        // nesting depth is attacker-controlled input for this recursive
+        // parser: cap it well below stack exhaustion — even with
+        // sanitizer-inflated frames — and reject with a ParseError.
+        if (++depth_ > kMaxElementDepth) {
+            cursor_.fail("element nesting deeper than " +
+                         std::to_string(kMaxElementDepth));
+        }
         if (cursor_.peek() != '<') cursor_.fail("expected '<'");
         cursor_.advance();
         XmlNode node(parse_name());
@@ -140,11 +148,13 @@ private:
         cursor_.skip_whitespace();
         if (cursor_.starts_with("/>")) {
             cursor_.skip(2);
+            --depth_;
             return node;
         }
         if (cursor_.peek() != '>') cursor_.fail("expected '>' or '/>'");
         cursor_.advance();
         parse_content(node);
+        --depth_;
         return node;  // parse_content consumed the matching end tag
     }
 
@@ -279,7 +289,10 @@ private:
         return text.substr(begin, end - begin + 1);
     }
 
+    static constexpr int kMaxElementDepth = 512;
+
     Cursor cursor_;
+    int depth_ = 0;
 };
 
 }  // namespace

@@ -83,6 +83,44 @@ TEST(BloomFilter, DeserializeRejectsGarbage) {
     EXPECT_THROW(BloomFilter::deserialize(bad), Error);  // wrong word count
 }
 
+TEST(BloomFilter, DeserializeValidatesWireParams) {
+    // Summaries arrive from peer directories, so the wire params must be
+    // validated as untrusted input (thrown Error), not as caller contracts.
+    const std::vector<std::uint64_t> tiny_bits{(std::uint64_t{32} << 32) | 4, 0};
+    EXPECT_THROW(BloomFilter::deserialize(tiny_bits), Error);
+
+    std::vector<std::uint64_t> zero_hashes(3, 0);
+    zero_hashes[0] = std::uint64_t{128} << 32;  // k = 0: everything "present"
+    EXPECT_THROW(BloomFilter::deserialize(zero_hashes), Error);
+
+    std::vector<std::uint64_t> many_hashes(3, 0);
+    many_hashes[0] = (std::uint64_t{128} << 32) | 33;  // k above the cap
+    EXPECT_THROW(BloomFilter::deserialize(many_hashes), Error);
+
+    // An absurd bit count must be rejected before any allocation happens.
+    const std::vector<std::uint64_t> huge{
+        (std::uint64_t{0xFFFFFFFFu} << 32) | 4, 0};
+    EXPECT_THROW(BloomFilter::deserialize(huge), Error);
+}
+
+TEST(BloomFilter, OntologySetInsertsElementKeysOnly) {
+    const BloomParams params{1024, 4};
+    BloomFilter by_set(params);
+    by_set.insert_ontology_set(uris({"http://o/1", "http://o/2"}));
+
+    BloomFilter by_element(params);
+    by_element.insert(BloomFilter::element_key("http://o/1"));
+    by_element.insert(BloomFilter::element_key("http://o/2"));
+
+    // No combined whole-set key: the filters are bit-identical, and the
+    // fill is pinned to at most k bits per element.
+    EXPECT_EQ(by_set, by_element);
+    EXPECT_LE(by_set.set_bit_count(), std::size_t{2} * params.hash_count);
+    EXPECT_TRUE(by_set.possibly_covers(uris({"http://o/2"})));
+    EXPECT_FALSE(by_set.possibly_contains(
+        BloomFilter::set_key(uris({"http://o/1", "http://o/2"}))));
+}
+
 TEST(BloomFilter, ClearResets) {
     BloomFilter filter;
     filter.insert(BloomFilter::element_key("x"));

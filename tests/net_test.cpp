@@ -1,4 +1,5 @@
 #include <any>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -160,6 +161,39 @@ TEST(Simulator, RunUntilBoundsVirtualTime) {
     EXPECT_EQ(fired, 1);
     sim.run();
     EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockThroughQuietWindows) {
+    Simulator sim(Topology::grid(1, 1));
+    int fired = 0;
+    sim.schedule(10, [&] { ++fired; });
+    sim.run(50);
+    EXPECT_EQ(fired, 1);
+    // The clock lands on the window edge, not on the last executed event,
+    // so now()-relative deadlines see contiguous time across windows.
+    EXPECT_DOUBLE_EQ(sim.now(), 50.0);
+    sim.run(70);  // an entirely quiet window still advances time
+    EXPECT_DOUBLE_EQ(sim.now(), 70.0);
+}
+
+TEST(Simulator, BackToBackWindowsTileLikeOneRun) {
+    const auto count_fires = [](Simulator& sim,
+                                std::initializer_list<SimTime> stops) {
+        int fired = 0;
+        std::function<void()> tick;
+        tick = [&sim, &fired, &tick] {
+            ++fired;
+            sim.schedule(7, tick);
+        };
+        sim.schedule(7, tick);
+        for (const SimTime until : stops) sim.run(until);
+        return fired;
+    };
+    Simulator tiled(Topology::grid(1, 1));
+    Simulator single(Topology::grid(1, 1));
+    EXPECT_EQ(count_fires(tiled, {30, 60, 90}), count_fires(single, {90}));
+    EXPECT_DOUBLE_EQ(tiled.now(), 90.0);
+    EXPECT_DOUBLE_EQ(single.now(), 90.0);
 }
 
 TEST(Simulator, StepExecutesBoundedEvents) {

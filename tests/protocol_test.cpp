@@ -317,5 +317,95 @@ TEST(Protocol, ResponseTimeIncludesDirectoryCompute) {
     EXPECT_GE(outcome.response_time_ms(), outcome.directory_compute_ms);
 }
 
+TEST(Retry, ExhaustedRetriesAreConcludedNotLeaked) {
+    auto kb = make_kb();
+    ProtocolConfig config = fast_config(Protocol::kSAriadne);
+    config.adv_timeout_ms = 1e9;  // no election rescue during the test
+    config.request_timeout_ms = 400;
+    config.max_request_retries = 2;
+
+    obs::MetricsRegistry registry;
+    DiscoveryNetwork network(Topology::grid(3, 1), config, kb, &registry);
+    network.appoint_directory(0);
+    network.start();
+    network.run_for(100);
+    network.publish_service(0,
+                            desc::serialize_service(th::workstation_service()));
+    network.run_for(500);
+
+    // Partition the only directory away, then ask: the request and every
+    // retry go unanswered until the budget runs out.
+    network.simulator().topology().set_up(0, false);
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(2, desc::serialize_request(request));
+    EXPECT_EQ(network.retry_backlog(), 1u);
+    network.run_for(10000);
+
+    const DiscoveryOutcome& outcome = network.outcome(id);
+    EXPECT_TRUE(outcome.terminal);
+    EXPECT_TRUE(outcome.expired);
+    EXPECT_FALSE(outcome.satisfied);
+    // The leak this guards against: retry state must not outlive the
+    // retry budget, and the abandoned request must be counted exactly once.
+    EXPECT_EQ(network.retry_backlog(), 0u);
+    EXPECT_EQ(registry.counter_value("protocol.requests_retried"), 2u);
+    EXPECT_EQ(registry.counter_value("protocol.requests_expired"), 1u);
+    EXPECT_EQ(registry.gauge_value("protocol.requests_in_flight"), 0);
+    EXPECT_EQ(registry.gauge_value("protocol.deferred_requests"), 0);
+}
+
+TEST(Retry, SatisfiedAnswerReleasesRetryStateImmediately) {
+    auto kb = make_kb();
+    ProtocolConfig config = fast_config(Protocol::kSAriadne);
+    config.request_timeout_ms = 400;
+    config.max_request_retries = 2;
+
+    obs::MetricsRegistry registry;
+    DiscoveryNetwork network(Topology::grid(3, 3), config, kb, &registry);
+    network.appoint_directory(4);
+    network.start();
+    network.run_for(100);
+    network.publish_service(0,
+                            desc::serialize_service(th::workstation_service()));
+    network.run_for(500);
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(8, desc::serialize_request(request));
+    network.run_for(2000);
+
+    const DiscoveryOutcome& outcome = network.outcome(id);
+    EXPECT_TRUE(outcome.satisfied);
+    EXPECT_TRUE(outcome.terminal);
+    EXPECT_FALSE(outcome.expired);
+    EXPECT_EQ(network.retry_backlog(), 0u);
+    EXPECT_EQ(registry.counter_value("protocol.requests_satisfied"), 1u);
+    EXPECT_EQ(registry.counter_value("protocol.requests_expired"), 0u);
+    EXPECT_EQ(registry.gauge_value("protocol.requests_in_flight"), 0);
+}
+
+TEST(Protocol, WindowedRunsMatchOneLongRun) {
+    // run_for windows must tile virtual time exactly: the same protocol
+    // over the same topology must elect the same directories and move the
+    // same traffic whether driven in one 9 s run or nine 1 s windows.
+    // Regression for the clock staying at the last event instead of the
+    // window edge, which skewed every now()-relative deadline.
+    auto kb = make_kb();
+    DiscoveryNetwork windowed(Topology::grid(4, 4),
+                              fast_config(Protocol::kSAriadne), kb);
+    DiscoveryNetwork single(Topology::grid(4, 4),
+                            fast_config(Protocol::kSAriadne), kb);
+    windowed.start();
+    single.start();
+    for (int i = 0; i < 9; ++i) windowed.run_for(1000);
+    single.run_for(9000);
+
+    EXPECT_DOUBLE_EQ(windowed.simulator().now(), single.simulator().now());
+    EXPECT_EQ(windowed.directories(), single.directories());
+    EXPECT_EQ(windowed.traffic().per_type, single.traffic().per_type);
+    EXPECT_EQ(windowed.traffic().deliveries, single.traffic().deliveries);
+}
+
 }  // namespace
 }  // namespace sariadne::ariadne

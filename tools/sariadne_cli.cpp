@@ -9,21 +9,31 @@
 //     --export-state FILE write the directory content bundle
 //     --import-state FILE load a directory content bundle
 //     --stats             print directory statistics
+//     --simulate N        run a built-in N-node churn scenario of the
+//                         distributed protocol, reporting into the
+//                         engine's metrics registry
+//     --metrics           print the metrics registry (Prometheus text
+//                         exposition followed by a JSON dump)
 //
 // Options execute in command-line order, so `--ontology o.xml --publish
 // s.xml --request r.xml` behaves like a session. Exit code 0 when every
 // request was fully satisfied and every composition complete.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "ariadne/protocol.hpp"
 #include "core/composition.hpp"
 #include "core/discovery_engine.hpp"
 #include "description/amigos_io.hpp"
 #include "directory/state_transfer.hpp"
 #include "support/errors.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
 
 namespace {
 
@@ -45,9 +55,87 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--ontology F] [--publish F] [--request F] "
                  "[--compose F] [--export-state F] [--import-state F] "
-                 "[--stats]\n",
+                 "[--stats] [--simulate N] [--metrics]\n",
                  argv0);
     return 2;
+}
+
+/// Built-in churn scenario over an N-node grid: elect a directory,
+/// publish a synthetic workload, kill the directory mid-run and keep
+/// issuing requests with a retry budget until traffic drains. Exercises
+/// every instrumented layer — protocol (elections, retries, expiries),
+/// directory (publish/query phases), simulator (per-type traffic) — into
+/// the same registry the engine reports into, so a following --metrics
+/// prints one unified exposition.
+void run_simulation(sariadne::DiscoveryEngine& engine, std::size_t node_count) {
+    using namespace sariadne;
+    if (node_count < 4) node_count = 4;
+    std::size_t width = 2;
+    while (width * width < node_count) ++width;
+
+    workload::OntologyGenConfig onto_config;
+    onto_config.class_count = 24;
+    workload::ServiceWorkload workload(
+        workload::generate_universe(6, onto_config, 20060426));
+    for (const auto& ontology : workload.ontologies()) {
+        engine.register_ontology(ontology);
+    }
+
+    ariadne::ProtocolConfig config;
+    config.adv_period_ms = 500;
+    config.adv_timeout_ms = 1500;
+    config.election_wait_ms = 30;
+    config.republish_period_ms = 2000;
+    config.request_timeout_ms = 1000;
+    config.max_request_retries = 3;
+
+    ariadne::DiscoveryNetwork network(
+        net::Topology::grid(width, (node_count + width - 1) / width), config,
+        engine.knowledge_base(), &engine.metrics());
+    const auto nodes = network.simulator().topology().node_count();
+    network.appoint_directory(static_cast<net::NodeId>(nodes / 2));
+    network.start();
+    network.run_for(500);
+
+    const std::size_t services = std::min<std::size_t>(8, nodes);
+    for (std::size_t i = 0; i < services; ++i) {
+        const std::string xml = workload.service_xml(i);
+        network.publish_service(static_cast<net::NodeId>(i), xml);
+        engine.publish(xml);  // mirror into the local engine directory
+    }
+    network.run_for(2000);
+
+    // Steady traffic, a directory failure mid-run, and recovery.
+    std::size_t tick = 0;
+    bool failed = false;
+    while (network.simulator().now() < 20000) {
+        if (!failed && network.simulator().now() >= 8000) {
+            network.simulator().topology().set_up(
+                static_cast<net::NodeId>(nodes / 2), false);
+            failed = true;
+        }
+        const auto client = static_cast<net::NodeId>(
+            (nodes / 2 + 1 + tick) % nodes);
+        network.discover(client, workload.matching_request_xml(tick % services));
+        engine.discover(workload.matching_request_xml(tick % services));
+        ++tick;
+        network.run_for(1000);
+        if (network.simulator().idle()) break;
+    }
+    network.run_for(20000);  // drain retries and expiries
+
+    std::size_t satisfied = 0;
+    std::size_t expired = 0;
+    for (std::uint64_t id = 1; id <= tick; ++id) {
+        const auto& outcome = network.outcome(id);
+        if (outcome.satisfied) ++satisfied;
+        if (outcome.expired) ++expired;
+    }
+    std::printf(
+        "simulated %zu nodes: %zu requests (%zu satisfied, %zu expired), "
+        "%zu directories, retry backlog %zu\n",
+        nodes, static_cast<std::size_t>(tick), satisfied, expired,
+        network.directories().size(), network.retry_backlog());
 }
 
 }  // namespace
@@ -127,6 +215,14 @@ int main(int argc, char** argv) {
                     engine.directory(), read_file(path));
                 std::printf("imported %zu service(s) from %s\n", imported,
                             path.c_str());
+            } else if (flag == "--simulate") {
+                const auto value = need_value();
+                run_simulation(engine,
+                               static_cast<std::size_t>(
+                                   std::strtoul(value.c_str(), nullptr, 10)));
+            } else if (flag == "--metrics") {
+                std::printf("%s\n", engine.metrics().to_prometheus().c_str());
+                std::printf("%s\n", engine.metrics().to_json().c_str());
             } else if (flag == "--stats") {
                 const auto& dir = engine.directory();
                 std::printf("directory: %zu services, %zu capabilities, "
