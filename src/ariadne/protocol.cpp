@@ -1,7 +1,9 @@
 #include "ariadne/protocol.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <limits>
+#include <unordered_set>
 
 #include "description/amigos_io.hpp"
 #include "description/resolved.hpp"
@@ -36,6 +38,21 @@ struct ElectCandidate {
 };
 
 struct PublishDoc {
+    std::string document;
+    /// Non-zero when the provider expects a `pub-ack`; 0 on legacy
+    /// fire-and-forget publishes (including periodic republications).
+    std::uint64_t pub_id = 0;
+};
+
+struct PubAck {
+    std::uint64_t pub_id;
+};
+
+/// Bounce for a `pub` that landed on a node that lost the directory role:
+/// carries the document back so the provider can re-route immediately
+/// instead of losing the service until the next republish period.
+struct PubNack {
+    std::uint64_t pub_id;
     std::string document;
 };
 
@@ -76,6 +93,12 @@ struct Handover {
 
 constexpr std::uint32_t kHitWireBytes = 64;
 
+/// Receiver-side dedup window: remembered wire sequence ids per node. A
+/// few thousand entries cover every in-flight message many times over;
+/// older ids cannot reappear (duplicates trail their original by at most
+/// the jitter bound).
+constexpr std::size_t kDedupWindow = 4096;
+
 }  // namespace
 
 // --- node state ------------------------------------------------------------
@@ -102,6 +125,32 @@ struct DiscoveryNetwork::NodeState {
     /// Provider-side: documents this node owns and re-advertises.
     std::vector<std::string> owned_services;
     bool republish_scheduled = false;
+
+    /// Acknowledged publishes awaiting their `pub-ack`.
+    struct OutstandingPublish {
+        std::string document;
+        int retries_left = 0;
+        double timeout_ms = 0;   ///< current backoff deadline
+        bool awaiting_ack = false;  ///< false while no directory is reachable
+        std::uint64_t attempt = 0;  ///< invalidates superseded timeout checks
+    };
+    std::unordered_map<std::uint64_t, OutstandingPublish> outstanding_publishes;
+
+    /// Wire-level dedup window (insertion-ordered ring over a hash set).
+    std::unordered_set<std::uint64_t> seen_wire;
+    std::deque<std::uint64_t> seen_wire_order;
+
+    /// True exactly once per wire id: false for a fault-injected
+    /// duplicate delivery of an already-seen send.
+    bool first_delivery(std::uint64_t wire_seq) {
+        if (!seen_wire.insert(wire_seq).second) return false;
+        seen_wire_order.push_back(wire_seq);
+        if (seen_wire_order.size() > kDedupWindow) {
+            seen_wire.erase(seen_wire_order.front());
+            seen_wire_order.pop_front();
+        }
+        return true;
+    }
 
     /// Resigned-directory state awaiting a successor (empty when none).
     std::string pending_handover;
@@ -132,7 +181,8 @@ DiscoveryNetwork::DiscoveryNetwork(net::Topology topology, ProtocolConfig config
                                    obs::MetricsRegistry* metrics)
     : sim_(std::make_unique<net::Simulator>(std::move(topology))),
       config_(config),
-      kb_(&kb) {
+      kb_(&kb),
+      jitter_rng_(config.jitter_seed) {
     if (metrics != nullptr) {
         metrics_.registry = metrics;
         metrics_.requests_issued = &metrics->counter("protocol.requests_issued");
@@ -153,13 +203,28 @@ DiscoveryNetwork::DiscoveryNetwork(net::Topology topology, ProtocolConfig config
         metrics_.handovers = &metrics->counter("protocol.handovers");
         metrics_.summary_pushes = &metrics->counter("protocol.summary_pushes");
         metrics_.summary_pulls = &metrics->counter("protocol.summary_pulls");
+        metrics_.summary_pull_replies =
+            &metrics->counter("protocol.summary_pull_replies");
         metrics_.bloom_false_positives =
             &metrics->counter("protocol.bloom_false_positives");
+        metrics_.bloom_wire_rejected =
+            &metrics->counter("protocol.bloom_wire_rejected");
         metrics_.pending_reaped = &metrics->counter("protocol.pending_reaped");
+        metrics_.publishes_acked =
+            &metrics->counter("protocol.publishes_acked");
+        metrics_.publishes_retried =
+            &metrics->counter("protocol.publishes_retried");
+        metrics_.publishes_expired =
+            &metrics->counter("protocol.publishes_expired");
+        metrics_.publish_nacks = &metrics->counter("protocol.publish_nacks");
+        metrics_.duplicates_dropped =
+            &metrics->counter("protocol.duplicates_dropped");
         metrics_.requests_in_flight =
             &metrics->gauge("protocol.requests_in_flight");
         metrics_.directories = &metrics->gauge("protocol.directories");
         metrics_.retry_backlog = &metrics->gauge("protocol.retry_backlog");
+        metrics_.publish_outstanding =
+            &metrics->gauge("protocol.publish_outstanding");
         metrics_.deferred_publishes =
             &metrics->gauge("protocol.deferred_publishes");
         metrics_.deferred_requests =
@@ -404,6 +469,19 @@ void DiscoveryNetwork::publish_service(NodeId provider, std::string document_xml
         sim_->schedule(config_.republish_period_ms,
                        [this, provider] { republish(provider); });
     }
+    if (config_.publish_ack_timeout_ms > 0) {
+        // Acknowledged publish: park the document in the outstanding table
+        // and let the send/timeout machinery route, retransmit and back
+        // off until the directory acks (or the budget runs out).
+        const std::uint64_t pub_id = next_pub_id_++;
+        state.outstanding_publishes.emplace(
+            pub_id, NodeState::OutstandingPublish{
+                        std::move(document_xml), config_.publish_max_retries,
+                        config_.publish_ack_timeout_ms, false, 0});
+        if (metrics_.publish_outstanding) metrics_.publish_outstanding->add(1);
+        send_publish(provider, pub_id);
+        return;
+    }
     NodeId target = state.known_directory;
     if (target == kNoNode || !nodes_[target]->is_directory ||
         !sim_->topology().is_up(target)) {
@@ -417,14 +495,94 @@ void DiscoveryNetwork::publish_service(NodeId provider, std::string document_xml
     Message pub;
     pub.type = "pub";
     pub.size_bytes = static_cast<std::uint32_t>(document_xml.size());
-    pub.payload = PublishDoc{std::move(document_xml)};
+    pub.payload = PublishDoc{std::move(document_xml), 0};
     sim_->unicast(provider, target, std::move(pub));
+}
+
+void DiscoveryNetwork::send_publish(NodeId provider, std::uint64_t pub_id) {
+    NodeState& state = *nodes_[provider];
+    const auto it = state.outstanding_publishes.find(pub_id);
+    if (it == state.outstanding_publishes.end()) return;  // acked meanwhile
+    NodeState::OutstandingPublish& outstanding = it->second;
+
+    NodeId target = state.known_directory;
+    if (target == kNoNode || !nodes_[target]->is_directory ||
+        !sim_->topology().is_up(target)) {
+        target = directory_for(provider);
+    }
+    outstanding.awaiting_ack = target != kNoNode;
+    if (target != kNoNode) {
+        Message pub;
+        pub.type = "pub";
+        pub.size_bytes =
+            static_cast<std::uint32_t>(outstanding.document.size());
+        pub.payload = PublishDoc{outstanding.document, pub_id};
+        sim_->unicast(provider, target, std::move(pub));
+    }
+    // Arm the timeout either way: with no reachable directory it acts as a
+    // deferral poll that retries routing without consuming the budget.
+    // Jitter desynchronizes providers that lost the same directory, so
+    // their retransmissions do not stampede the successor in lockstep.
+    const double jitter =
+        jitter_rng_.uniform() * 0.25 * outstanding.timeout_ms;
+    const std::uint64_t attempt = ++outstanding.attempt;
+    sim_->schedule(outstanding.timeout_ms + jitter,
+                   [this, provider, pub_id, attempt] {
+                       check_publish_timeout(provider, pub_id, attempt);
+                   });
+}
+
+void DiscoveryNetwork::check_publish_timeout(NodeId provider,
+                                             std::uint64_t pub_id,
+                                             std::uint64_t expected_attempt) {
+    NodeState& state = *nodes_[provider];
+    const auto it = state.outstanding_publishes.find(pub_id);
+    if (it == state.outstanding_publishes.end()) return;  // acked
+    NodeState::OutstandingPublish& outstanding = it->second;
+    if (outstanding.attempt != expected_attempt) return;  // superseded
+    if (!sim_->topology().is_up(provider)) {
+        // Crashed provider: freeze the budget, poll again after recovery.
+        const std::uint64_t attempt = ++outstanding.attempt;
+        sim_->schedule(outstanding.timeout_ms,
+                       [this, provider, pub_id, attempt] {
+                           check_publish_timeout(provider, pub_id, attempt);
+                       });
+        return;
+    }
+    if (outstanding.awaiting_ack) {
+        // A real transmission went unacked: consume a retry and back off.
+        if (outstanding.retries_left <= 0) {
+            state.outstanding_publishes.erase(it);
+            if (metrics_.publish_outstanding) metrics_.publish_outstanding->sub(1);
+            if (metrics_.publishes_expired) metrics_.publishes_expired->inc();
+            return;
+        }
+        --outstanding.retries_left;
+        if (metrics_.publishes_retried) metrics_.publishes_retried->inc();
+        outstanding.timeout_ms =
+            std::min(outstanding.timeout_ms * config_.publish_backoff_factor,
+                     config_.publish_backoff_max_ms);
+    }
+    send_publish(provider, pub_id);
 }
 
 void DiscoveryNetwork::handle_publish(NodeId self, const Message& msg) {
     NodeState& state = *nodes_[self];
-    if (!state.is_directory) return;  // stale routing; drop
     const auto& doc = std::any_cast<const PublishDoc&>(msg.payload);
+    if (!state.is_directory) {
+        // Stale routing — this node lost (or never had) the directory
+        // role. Bounce the document back so the provider re-routes
+        // immediately instead of losing the service until the next
+        // republish period.
+        if (metrics_.publish_nacks) metrics_.publish_nacks->inc();
+        Message nack;
+        nack.type = "pub-nack";
+        nack.size_bytes =
+            16 + static_cast<std::uint32_t>(doc.document.size());
+        nack.payload = PubNack{doc.pub_id, doc.document};
+        sim_->unicast(self, msg.source, std::move(nack));
+        return;
+    }
     if (state.semdir != nullptr) {
         const std::size_t bits_before = state.semdir->summary().set_bit_count();
         state.semdir->publish_xml(doc.document);
@@ -443,6 +601,13 @@ void DiscoveryNetwork::handle_publish(NodeId self, const Message& msg) {
         }
     } else {
         state.syndir->publish_xml(doc.document);
+    }
+    if (doc.pub_id != 0) {
+        Message ack;
+        ack.type = "pub-ack";
+        ack.size_bytes = 16;
+        ack.payload = PubAck{doc.pub_id};
+        sim_->unicast(self, msg.source, std::move(ack));
     }
 }
 
@@ -747,17 +912,26 @@ void DiscoveryNetwork::check_request_timeout(std::uint64_t request_id) {
         conclude_request(request_id, outcome, /*expired=*/true);
         return;
     }
+    const NodeId target = directory_for(retry.client);
+    if (target == kNoNode || !sim_->topology().is_up(retry.client)) {
+        // Fully partitioned (or the client itself is down): a retransmit
+        // cannot reach anything, so consuming a retry here would burn the
+        // budget with no transmission. Defer instead — keep the budget
+        // intact and poll again; if the partition heals, the next check
+        // (or a dir-adv flush) carries a real retransmission.
+        sim_->schedule(
+            config_.request_timeout_ms,
+            [this, request_id] { check_request_timeout(request_id); });
+        return;
+    }
     --retry.retries_left;
     if (metrics_.requests_retried) metrics_.requests_retried->inc();
 
-    NodeId target = directory_for(retry.client);
-    if (target != kNoNode) {
-        Message req;
-        req.type = "req";
-        req.size_bytes = static_cast<std::uint32_t>(retry.document.size());
-        req.payload = Request{request_id, retry.client, retry.document};
-        sim_->unicast(retry.client, target, std::move(req));
-    }
+    Message req;
+    req.type = "req";
+    req.size_bytes = static_cast<std::uint32_t>(retry.document.size());
+    req.payload = Request{request_id, retry.client, retry.document};
+    sim_->unicast(retry.client, target, std::move(req));
     sim_->schedule(config_.request_timeout_ms,
                    [this, request_id] { check_request_timeout(request_id); });
 }
@@ -812,6 +986,15 @@ void DiscoveryNetwork::conclude_request(std::uint64_t request_id,
 void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
     NodeState& state = *nodes_[self];
 
+    // Wire-level dedup: a fault-injected duplicate delivery carries the
+    // wire_seq of the send it echoes. Dropping it here keeps a doubled
+    // pub/req/fwd from double-counting, double-replying or
+    // double-decrementing `outstanding` anywhere below.
+    if (msg.wire_seq != 0 && !state.first_delivery(msg.wire_seq)) {
+        if (metrics_.duplicates_dropped) metrics_.duplicates_dropped->inc();
+        return;
+    }
+
     if (msg.type == "dir-adv") {
         const auto& adv = std::any_cast<const DirAdv&>(msg.payload);
         state.last_adv = sim_->now();
@@ -819,13 +1002,13 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
         state.known_directory = adv.directory;
         if (!state.pending_handover.empty()) {
             if (metrics_.handovers) metrics_.handovers->inc();
-            Message msg;
-            msg.type = "handover";
-            msg.size_bytes =
+            Message handover_msg;
+            handover_msg.type = "handover";
+            handover_msg.size_bytes =
                 static_cast<std::uint32_t>(state.pending_handover.size());
-            msg.payload = Handover{std::move(state.pending_handover)};
+            handover_msg.payload = Handover{std::move(state.pending_handover)};
             state.pending_handover.clear();
-            sim_->unicast(self, adv.directory, std::move(msg));
+            sim_->unicast(self, adv.directory, std::move(handover_msg));
         }
         // Flush work deferred for lack of a directory.
         auto publishes = std::move(state.deferred_publishes);
@@ -907,7 +1090,12 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
     }
     if (msg.type == "summary-pull") {
         if (state.semdir != nullptr) {
-            if (metrics_.summary_pushes) metrics_.summary_pushes->inc();
+            // A pull *reply* is reactive, not proactive: counting it under
+            // summary_pushes would conflate the two flows and break any
+            // comparison against the false_positive_pull_threshold policy.
+            if (metrics_.summary_pull_replies) {
+                metrics_.summary_pull_replies->inc();
+            }
             const auto wire = state.semdir->summary().serialize();
             Message push;
             push.type = "summary-push";
@@ -919,8 +1107,48 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
     }
     if (msg.type == "summary-push") {
         const auto& push = std::any_cast<const SummaryPush&>(msg.payload);
-        state.peer_summaries.insert_or_assign(
-            push.from, bloom::BloomFilter::deserialize(push.wire));
+        // Wire data is peer-controlled: a corrupt or hostile summary must
+        // be contained here, not unwind the simulator event loop.
+        if (auto filter = bloom::BloomFilter::try_deserialize(push.wire)) {
+            state.peer_summaries.insert_or_assign(push.from,
+                                                  *std::move(filter));
+        } else if (metrics_.bloom_wire_rejected) {
+            metrics_.bloom_wire_rejected->inc();
+        }
+        return;
+    }
+    if (msg.type == "pub-ack") {
+        const auto& ack = std::any_cast<const PubAck&>(msg.payload);
+        if (state.outstanding_publishes.erase(ack.pub_id) > 0) {
+            if (metrics_.publish_outstanding) metrics_.publish_outstanding->sub(1);
+            if (metrics_.publishes_acked) metrics_.publishes_acked->inc();
+        }
+        return;
+    }
+    if (msg.type == "pub-nack") {
+        const auto& nack = std::any_cast<const PubNack&>(msg.payload);
+        if (nack.pub_id != 0) {
+            // Acknowledged publish: re-route immediately without consuming
+            // a retry — the nack is routing information, not a loss.
+            if (state.outstanding_publishes.count(nack.pub_id) > 0) {
+                send_publish(self, nack.pub_id);
+            }
+            return;
+        }
+        // Legacy publish: the nack carries the document; route it again
+        // (or defer it for the next dir-adv) without re-adding it to
+        // owned_services.
+        const NodeId target = directory_for(self);
+        if (target == kNoNode) {
+            state.deferred_publishes.push_back(nack.document);
+            if (metrics_.deferred_publishes) metrics_.deferred_publishes->add(1);
+            return;
+        }
+        Message pub;
+        pub.type = "pub";
+        pub.size_bytes = static_cast<std::uint32_t>(nack.document.size());
+        pub.payload = PublishDoc{nack.document, 0};
+        sim_->unicast(self, target, std::move(pub));
         return;
     }
     if (msg.type == "resp") {
@@ -949,6 +1177,21 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
         }
         return;
     }
+}
+
+std::size_t DiscoveryNetwork::publish_backlog() const noexcept {
+    std::size_t total = 0;
+    for (const auto& node : nodes_) total += node->outstanding_publishes.size();
+    return total;
+}
+
+void DiscoveryNetwork::inject_summary_push(net::NodeId from, net::NodeId to,
+                                           std::vector<std::uint64_t> wire) {
+    Message push;
+    push.type = "summary-push";
+    push.size_bytes = static_cast<std::uint32_t>(wire.size() * 8);
+    push.payload = SummaryPush{from, std::move(wire)};
+    sim_->unicast(from, to, std::move(push));
 }
 
 void DiscoveryNetwork::run_for(SimTime duration_ms) {

@@ -68,6 +68,21 @@ struct ProtocolConfig {
     /// Clients re-send unanswered requests after this long (0 = never).
     double request_timeout_ms = 0;
     int max_request_retries = 2;
+    /// Acknowledged publish: when > 0, every publish carries an id the
+    /// serving directory acks (`pub-ack`); unacked publishes are
+    /// retransmitted with exponential backoff plus deterministic jitter,
+    /// re-routed per attempt, up to `publish_max_retries` before the
+    /// attempt is abandoned (the periodic republish remains the long-term
+    /// safety net). 0 = legacy fire-and-forget publish: no ack traffic, no
+    /// retransmit state — byte-identical to the pre-ack protocol.
+    double publish_ack_timeout_ms = 0;
+    int publish_max_retries = 4;
+    double publish_backoff_factor = 2.0;
+    double publish_backoff_max_ms = 8000;
+    /// Seed for protocol-side randomness (retransmit jitter). Jitter is
+    /// only drawn on the acknowledged-publish path, so runs with acks off
+    /// never consult the generator.
+    std::uint64_t jitter_seed = 0x0A11ACEDULL;
 };
 
 /// Result of one discovery request, as observed by the client.
@@ -149,6 +164,18 @@ public:
     /// regression surface for the retry-state leak.
     std::size_t retry_backlog() const noexcept { return retry_state_.size(); }
 
+    /// Outstanding acknowledged publishes across all providers; drains to
+    /// zero once every publish was acked or exhausted its retransmit
+    /// budget (always zero with acks disabled).
+    std::size_t publish_backlog() const noexcept;
+
+    /// Fault-injection hook: delivers a raw `summary-push` wire image from
+    /// `from` to `to` through the simulator, exactly as a (possibly
+    /// hostile or corrupt) peer would. Tests use it to assert that invalid
+    /// wire data is contained instead of unwinding the event loop.
+    void inject_summary_push(net::NodeId from, net::NodeId to,
+                             std::vector<std::uint64_t> wire);
+
     /// The attached registry, nullptr when the network is uninstrumented.
     obs::MetricsRegistry* metrics() const noexcept { return metrics_.registry; }
 
@@ -180,6 +207,12 @@ private:
     void node_check_advertisement(net::NodeId node);
     void republish(net::NodeId provider);
     void check_request_timeout(std::uint64_t request_id);
+    /// Routes an outstanding acknowledged publish to the current nearest
+    /// directory (or arms a deferral poll when none is reachable) and
+    /// schedules its ack-timeout check.
+    void send_publish(net::NodeId provider, std::uint64_t pub_id);
+    void check_publish_timeout(net::NodeId provider, std::uint64_t pub_id,
+                               std::uint64_t expected_attempt);
     /// Marks an outcome terminal exactly once: releases its retry state,
     /// reaps abandoned directory-side pending entries and settles the
     /// in-flight/expired accounting.
@@ -214,11 +247,19 @@ private:
         obs::Counter* handovers = nullptr;
         obs::Counter* summary_pushes = nullptr;
         obs::Counter* summary_pulls = nullptr;
+        obs::Counter* summary_pull_replies = nullptr;
         obs::Counter* bloom_false_positives = nullptr;
+        obs::Counter* bloom_wire_rejected = nullptr;
         obs::Counter* pending_reaped = nullptr;
+        obs::Counter* publishes_acked = nullptr;
+        obs::Counter* publishes_retried = nullptr;
+        obs::Counter* publishes_expired = nullptr;
+        obs::Counter* publish_nacks = nullptr;
+        obs::Counter* duplicates_dropped = nullptr;
         obs::Gauge* requests_in_flight = nullptr;
         obs::Gauge* directories = nullptr;
         obs::Gauge* retry_backlog = nullptr;
+        obs::Gauge* publish_outstanding = nullptr;
         obs::Gauge* deferred_publishes = nullptr;
         obs::Gauge* deferred_requests = nullptr;
         obs::Histogram* response_ms = nullptr;
@@ -234,6 +275,10 @@ private:
     std::unordered_map<std::uint64_t, DiscoveryOutcome> outcomes_;
     std::unordered_map<std::uint64_t, RetryState> retry_state_;
     std::uint64_t next_request_id_ = 1;
+    std::uint64_t next_pub_id_ = 1;
+    /// Retransmit-jitter source; consulted only on acknowledged-publish
+    /// paths so ack-off runs replay the pre-ack protocol exactly.
+    Rng jitter_rng_;
 };
 
 }  // namespace sariadne::ariadne

@@ -142,4 +142,13 @@ BloomFilter BloomFilter::deserialize(std::span<const std::uint64_t> data) {
     return filter;
 }
 
+std::optional<BloomFilter> BloomFilter::try_deserialize(
+    std::span<const std::uint64_t> data) {
+    try {
+        return deserialize(data);
+    } catch (const Error&) {
+        return std::nullopt;
+    }
+}
+
 }  // namespace sariadne::bloom

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -84,6 +85,13 @@ public:
     /// Compact wire form (params + bit words) and its inverse.
     std::vector<std::uint64_t> serialize() const;
     static BloomFilter deserialize(std::span<const std::uint64_t> data);
+
+    /// Non-throwing deserialize for peer-controlled wire data: returns
+    /// nullopt instead of throwing on invalid params or a truncated image,
+    /// so protocol handlers can contain hostile summaries without
+    /// unwinding their event loop.
+    static std::optional<BloomFilter> try_deserialize(
+        std::span<const std::uint64_t> data);
 
     std::size_t set_bit_count() const noexcept;
 

@@ -15,8 +15,38 @@ void Simulator::set_metrics(obs::MetricsRegistry* registry) {
     metrics_.bytes_transmitted = &registry->counter("sim.bytes_transmitted");
     metrics_.dropped_unreachable =
         &registry->counter("sim.dropped_unreachable");
+    metrics_.faults_dropped = &registry->counter("sim.faults_dropped");
+    metrics_.faults_duplicated = &registry->counter("sim.faults_duplicated");
+    metrics_.faults_crashes = &registry->counter("sim.faults_crashes");
+    metrics_.faults_recoveries = &registry->counter("sim.faults_recoveries");
     metrics_.pending_events = &registry->gauge("sim.pending_events");
     metrics_.now_ms = &registry->gauge("sim.now_ms");
+}
+
+void Simulator::set_faults(FaultPlan plan) {
+    faults_ = std::move(plan);
+    fault_rng_ = Rng(faults_.seed);
+    for (const CrashWindow& window : faults_.crashes) {
+        SARIADNE_EXPECTS(window.node < topology_.node_count());
+        SARIADNE_EXPECTS(window.down_at >= 0);
+        const NodeId node = window.node;
+        schedule(window.down_at, [this, node] {
+            topology_.set_up(node, false);
+            ++stats_.faults_crashes;
+            if (metrics_.faults_crashes != nullptr) {
+                metrics_.faults_crashes->inc();
+            }
+        });
+        if (window.up_at > window.down_at) {
+            schedule(window.up_at, [this, node] {
+                topology_.set_up(node, true);
+                ++stats_.faults_recoveries;
+                if (metrics_.faults_recoveries != nullptr) {
+                    metrics_.faults_recoveries->inc();
+                }
+            });
+        }
+    }
 }
 
 void Simulator::schedule(SimTime delay_ms, std::function<void()> action) {
@@ -40,13 +70,56 @@ void Simulator::deliver(NodeId to, const Message& msg) {
     if (apps_[to] != nullptr) apps_[to]->on_message(*this, to, msg);
 }
 
+void Simulator::schedule_delivery(NodeId from, NodeId to, SimTime delay_ms,
+                                  Message msg) {
+    if (!faults_.enabled()) {
+        schedule(delay_ms, [this, to, m = std::move(msg)] { deliver(to, m); });
+        return;
+    }
+    if (faults_.drop != nullptr && faults_.drop(from, to, msg)) {
+        ++stats_.faults_dropped;
+        if (metrics_.faults_dropped != nullptr) metrics_.faults_dropped->inc();
+        return;
+    }
+    // The RNG draw order per delivery is fixed (loss, jitter, dup, dup
+    // jitter) so the fault sequence replays exactly for a given seed.
+    if (faults_.loss_probability > 0 &&
+        fault_rng_.chance(faults_.loss_probability)) {
+        ++stats_.faults_dropped;
+        if (metrics_.faults_dropped != nullptr) metrics_.faults_dropped->inc();
+        return;
+    }
+    if (faults_.latency_jitter_ms > 0) {
+        delay_ms += fault_rng_.uniform() * faults_.latency_jitter_ms;
+    }
+    if (faults_.duplication_probability > 0 &&
+        fault_rng_.chance(faults_.duplication_probability)) {
+        ++stats_.faults_duplicated;
+        if (metrics_.faults_duplicated != nullptr) {
+            metrics_.faults_duplicated->inc();
+        }
+        // The echoed frame trails the original; it carries the same
+        // wire_seq, so deduplicating receivers can recognize it.
+        const double echo_delay =
+            delay_ms + 0.1 +
+            (faults_.latency_jitter_ms > 0
+                 ? fault_rng_.uniform() * faults_.latency_jitter_ms
+                 : 0.0);
+        schedule(echo_delay, [this, to, m = msg] { deliver(to, m); });
+    }
+    schedule(delay_ms, [this, to, m = std::move(msg)] { deliver(to, m); });
+}
+
 void Simulator::unicast(NodeId from, NodeId to, Message msg) {
     SARIADNE_EXPECTS(from < topology_.node_count());
     SARIADNE_EXPECTS(to < topology_.node_count());
     ++stats_.unicasts;
     if (metrics_.unicasts != nullptr) metrics_.unicasts->inc();
     msg.source = from;
+    msg.wire_seq = ++next_wire_seq_;
     if (from == to) {
+        // Loopback never touches the radio, so the fault model does not
+        // apply; deliver directly.
         schedule(0, [this, to, m = std::move(msg)] { deliver(to, m); });
         return;
     }
@@ -70,8 +143,7 @@ void Simulator::unicast(NodeId from, NodeId to, Message msg) {
         metrics_.bytes_transmitted->inc(static_cast<std::uint64_t>(hops) *
                                         msg.size_bytes);
     }
-    schedule(cost * per_hop_latency_ms_,
-             [this, to, m = std::move(msg)] { deliver(to, m); });
+    schedule_delivery(from, to, cost * per_hop_latency_ms_, std::move(msg));
 }
 
 void Simulator::broadcast(NodeId from, std::uint32_t ttl_hops, Message msg) {
@@ -79,6 +151,7 @@ void Simulator::broadcast(NodeId from, std::uint32_t ttl_hops, Message msg) {
     ++stats_.broadcasts;
     if (metrics_.broadcasts != nullptr) metrics_.broadcasts->inc();
     msg.source = from;
+    msg.wire_seq = ++next_wire_seq_;
     const auto dist = topology_.hop_distances(from);
     for (NodeId node = 0; node < topology_.node_count(); ++node) {
         if (node == from || dist[node] < 0) continue;
@@ -91,8 +164,7 @@ void Simulator::broadcast(NodeId from, std::uint32_t ttl_hops, Message msg) {
             metrics_.link_transmissions->inc();
             metrics_.bytes_transmitted->inc(msg.size_bytes);
         }
-        schedule(dist[node] * per_hop_latency_ms_,
-                 [this, node, m = msg] { deliver(node, m); });
+        schedule_delivery(from, node, dist[node] * per_hop_latency_ms_, msg);
     }
 }
 

@@ -25,6 +25,7 @@
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "support/contracts.hpp"
+#include "support/rng.hpp"
 
 namespace sariadne::net {
 
@@ -35,6 +36,50 @@ struct Message {
     std::string type;   ///< protocol dispatch tag
     std::any payload;   ///< protocol-defined content
     std::uint32_t size_bytes = 0;  ///< modeled wire size (traffic accounting)
+    /// Per-send sequence id, assigned by the simulator: every unicast or
+    /// broadcast initiation gets a fresh id, and a fault-injected duplicate
+    /// delivery carries the id of the send it echoes. Receivers deduplicate
+    /// on it; retransmissions are distinct sends and get distinct ids.
+    std::uint64_t wire_seq = 0;
+};
+
+/// One scheduled node outage: the node goes down at `down_at` and (when
+/// `up_at > down_at`) recovers at `up_at`, both in virtual ms from the
+/// moment the plan is installed.
+struct CrashWindow {
+    NodeId node = kNoNode;
+    SimTime down_at = 0;
+    SimTime up_at = 0;  ///< <= down_at means the node never recovers
+};
+
+/// Deterministic fault-injection plan for the radio model. All randomness
+/// is drawn from one seeded support::Rng in event order, so two runs with
+/// the same plan over the same workload produce identical traffic. The
+/// default-constructed plan is inert: no RNG is consulted and the
+/// simulator behaves exactly as without a plan (zero-cost when off).
+struct FaultPlan {
+    std::uint64_t seed = 0x5EEDFA17ULL;
+    /// Probability that a delivery is lost in flight (per receiver for
+    /// broadcasts: each covered node fails its reception independently).
+    double loss_probability = 0;
+    /// Probability that a delivery is duplicated (the receiver hears the
+    /// frame twice, the echo arriving after an extra jitter delay).
+    double duplication_probability = 0;
+    /// Uniform extra latency in [0, latency_jitter_ms) added per delivery.
+    double latency_jitter_ms = 0;
+    /// Scheduled node outages (crash/recover windows).
+    std::vector<CrashWindow> crashes;
+    /// Targeted drop hook for tests: when set and returning true for a
+    /// scheduled delivery, that delivery is dropped (counted under
+    /// faults_dropped). Evaluated before the probabilistic faults and
+    /// without consuming RNG draws, so it never perturbs the random
+    /// sequence of the surrounding plan.
+    std::function<bool(NodeId from, NodeId to, const Message&)> drop;
+
+    bool enabled() const noexcept {
+        return loss_probability > 0 || duplication_probability > 0 ||
+               latency_jitter_ms > 0 || !crashes.empty() || drop != nullptr;
+    }
 };
 
 class Simulator;
@@ -59,7 +104,15 @@ struct TrafficStats {
     std::uint64_t link_transmissions = 0;///< per-hop radio transmissions
     std::uint64_t bytes_transmitted = 0; ///< size-weighted link transmissions
     std::uint64_t dropped_unreachable = 0;
+    std::uint64_t faults_dropped = 0;    ///< deliveries lost to the FaultPlan
+    std::uint64_t faults_duplicated = 0; ///< deliveries echoed by the FaultPlan
+    std::uint64_t faults_crashes = 0;    ///< scheduled node downs executed
+    std::uint64_t faults_recoveries = 0; ///< scheduled node ups executed
     std::map<std::string, std::uint64_t> per_type;  ///< deliveries by tag
+
+    /// Replay determinism check: two runs with the same seed and fault
+    /// plan must produce identical traffic.
+    friend bool operator==(const TrafficStats&, const TrafficStats&) = default;
 };
 
 class Simulator {
@@ -104,6 +157,15 @@ public:
     /// Drains at most `max_events` events (test stepping).
     std::size_t step(std::size_t max_events);
 
+    /// Installs (or replaces) the fault plan: seeds the fault RNG and
+    /// schedules the plan's crash/recover windows relative to now().
+    /// Loss/duplication/jitter apply to every delivery scheduled after the
+    /// call; an inert plan (`FaultPlan{}` with no crashes) restores the
+    /// perfect radio. Counters surface in stats() and as `sim.faults_*`.
+    void set_faults(FaultPlan plan);
+
+    const FaultPlan& faults() const noexcept { return faults_; }
+
     const TrafficStats& stats() const noexcept { return stats_; }
 
     /// Mirrors traffic counters into `registry` (live, alongside stats())
@@ -127,6 +189,12 @@ private:
     void deliver(NodeId to, const Message& msg);
     void drain(SimTime until);
 
+    /// Applies the fault plan to one delivery of `msg` from `from` to `to`
+    /// due at `delay_ms` from now: may drop it, add jitter, or schedule a
+    /// duplicate echo. No-op pass-through when the plan is inert.
+    void schedule_delivery(NodeId from, NodeId to, SimTime delay_ms,
+                           Message msg);
+
     /// Cached handles into the attached registry (nullptr when detached).
     struct Metrics {
         obs::MetricsRegistry* registry = nullptr;
@@ -136,6 +204,10 @@ private:
         obs::Counter* link_transmissions = nullptr;
         obs::Counter* bytes_transmitted = nullptr;
         obs::Counter* dropped_unreachable = nullptr;
+        obs::Counter* faults_dropped = nullptr;
+        obs::Counter* faults_duplicated = nullptr;
+        obs::Counter* faults_crashes = nullptr;
+        obs::Counter* faults_recoveries = nullptr;
         obs::Gauge* pending_events = nullptr;
         obs::Gauge* now_ms = nullptr;
     };
@@ -145,9 +217,12 @@ private:
     double per_hop_latency_ms_;
     SimTime now_ = 0;
     std::uint64_t next_seq_ = 0;
+    std::uint64_t next_wire_seq_ = 0;
     std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
     TrafficStats stats_;
     Metrics metrics_;
+    FaultPlan faults_;
+    Rng fault_rng_;
 };
 
 }  // namespace sariadne::net

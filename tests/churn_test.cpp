@@ -3,6 +3,8 @@
 // pervasive-network dynamics the paper's election scheme targets.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "ariadne/protocol.hpp"
 #include "description/amigos_io.hpp"
 #include "test_helpers.hpp"
@@ -99,7 +101,9 @@ TEST(Churn, ClientRetriesUnansweredRequest) {
 
     const DiscoveryOutcome& outcome = network.outcome(id);
     EXPECT_TRUE(outcome.answered) << "retry should reach the new directory";
-    if (outcome.answered) EXPECT_TRUE(outcome.satisfied);
+    if (outcome.answered) {
+        EXPECT_TRUE(outcome.satisfied);
+    }
 }
 
 TEST(Churn, RecoveredDirectoryResumesAdvertising) {
@@ -143,6 +147,48 @@ TEST(Churn, ProviderChurnDoesNotCrashRepublication) {
     network.run_for(10000);
     EXPECT_TRUE(network.outcome(id).answered);
     EXPECT_TRUE(network.outcome(id).satisfied);
+}
+
+TEST(Churn, LastDirectoryHandoverLossIsHealedByRepublication) {
+    // resign_directory's last-directory path: the resigning node parks its
+    // exported state in pending_handover, triggers an election, and ships
+    // the handover when the successor's dir-adv arrives. If that single
+    // handover message is lost, the successor starts empty — the periodic
+    // provider republish is the safety net that must repopulate it.
+    auto kb = make_kb();
+    DiscoveryNetwork network(Topology::grid(3, 3), churn_config(), kb);
+    network.appoint_directory(4);
+    network.start();
+    network.run_for(500);
+    network.publish_service(0,
+                            desc::serialize_service(th::workstation_service()));
+    network.run_for(1000);
+
+    // Every handover dies in flight (there is exactly one per resignation).
+    auto dropped = std::make_shared<int>(0);
+    net::FaultPlan plan;
+    plan.drop = [dropped](net::NodeId, net::NodeId, const net::Message& msg) {
+        if (msg.type != "handover") return false;
+        ++*dropped;
+        return true;
+    };
+    network.simulator().set_faults(std::move(plan));
+
+    network.resign_directory(4);  // last directory: election + handover
+    network.run_for(15000);       // re-election + periodic republish
+
+    EXPECT_GE(*dropped, 1) << "the handover path was never exercised";
+    ASSERT_FALSE(network.directories().empty());
+    EXPECT_FALSE(network.is_directory(4));
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(8, desc::serialize_request(request));
+    network.run_for(15000);
+    const DiscoveryOutcome& outcome = network.outcome(id);
+    ASSERT_TRUE(outcome.answered);
+    EXPECT_TRUE(outcome.satisfied)
+        << "republication should have repopulated the successor directory";
 }
 
 TEST(Churn, RepublicationDeduplicatesInDirectory) {

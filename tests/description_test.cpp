@@ -137,8 +137,10 @@ TEST(Resolved, ResolveProvidedSkipsRequired) {
 
     const auto provided = resolve_provided(service, registry);
     EXPECT_EQ(provided.size(), 2u);
-    const auto request = resolve_request(
-        ServiceRequest{"pda", {th::get_video_stream()}}, registry);
+    ServiceRequest pda_request;
+    pda_request.requester = "pda";
+    pda_request.capabilities.push_back(th::get_video_stream());
+    const auto request = resolve_request(pda_request, registry);
     EXPECT_EQ(request.size(), 1u);
 }
 

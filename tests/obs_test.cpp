@@ -118,6 +118,40 @@ TEST(Metrics, JsonExposition) {
               std::string::npos);
 }
 
+// Regression: the summary-pull reply handler used to count its reactive
+// push under protocol.summary_pushes, conflating the proactive push flow
+// with pull replies. With two directories — the second appointed after the
+// first — exactly one proactive push (new directory announcing its empty
+// summary to the established peer), one pull, and one reactive reply
+// happen, and each must land in its own counter.
+TEST(MetricsIntegration, SummaryPullRepliesAreNotCountedAsPushes) {
+    namespace th = sariadne::testing;
+
+    encoding::KnowledgeBase kb;
+    kb.register_ontology(th::media_ontology());
+    kb.register_ontology(th::server_ontology());
+
+    ariadne::ProtocolConfig config;
+    config.protocol = ariadne::Protocol::kSAriadne;
+    config.adv_timeout_ms = 1e9;  // no spontaneous elections
+
+    MetricsRegistry registry;
+    ariadne::DiscoveryNetwork network(net::Topology::grid(3, 1), config, kb,
+                                      &registry);
+    network.appoint_directory(0);
+    network.start();
+    network.run_for(200);
+    EXPECT_EQ(registry.counter_value("protocol.summary_pushes"), 0u);
+    EXPECT_EQ(registry.counter_value("protocol.summary_pulls"), 0u);
+    EXPECT_EQ(registry.counter_value("protocol.summary_pull_replies"), 0u);
+
+    network.appoint_directory(2);
+    network.run_for(200);
+    EXPECT_EQ(registry.counter_value("protocol.summary_pushes"), 1u);
+    EXPECT_EQ(registry.counter_value("protocol.summary_pulls"), 1u);
+    EXPECT_EQ(registry.counter_value("protocol.summary_pull_replies"), 1u);
+}
+
 // End-to-end accounting coherence over a churn run: every issued request
 // lands in exactly one terminal bin (satisfied / unsatisfied / expired)
 // or is still in flight, and draining the retry budget leaves no backlog.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "ariadne/protocol.hpp"
+#include "bloom/bloom_filter.hpp"
 #include "description/amigos_io.hpp"
 #include "test_helpers.hpp"
 #include "workload/ontology_gen.hpp"
@@ -333,9 +334,14 @@ TEST(Retry, ExhaustedRetriesAreConcludedNotLeaked) {
                             desc::serialize_service(th::workstation_service()));
     network.run_for(500);
 
-    // Partition the only directory away, then ask: the request and every
-    // retry go unanswered until the budget runs out.
-    network.simulator().topology().set_up(0, false);
+    // The directory stays reachable (so every retry really transmits) but
+    // all request/response traffic is lost in flight: the budget must burn
+    // down and the request must be concluded, not leaked.
+    net::FaultPlan lossy;
+    lossy.drop = [](net::NodeId, net::NodeId, const net::Message& msg) {
+        return msg.type == "req" || msg.type == "resp";
+    };
+    network.simulator().set_faults(std::move(lossy));
     desc::ServiceRequest request;
     request.capabilities.push_back(th::get_video_stream());
     const auto id = network.discover(2, desc::serialize_request(request));
@@ -353,6 +359,53 @@ TEST(Retry, ExhaustedRetriesAreConcludedNotLeaked) {
     EXPECT_EQ(registry.counter_value("protocol.requests_expired"), 1u);
     EXPECT_EQ(registry.gauge_value("protocol.requests_in_flight"), 0);
     EXPECT_EQ(registry.gauge_value("protocol.deferred_requests"), 0);
+}
+
+TEST(Retry, FullPartitionDefersInsteadOfBurningRetries) {
+    // Regression: check_request_timeout used to decrement retries_left and
+    // count requests_retried even when directory_for(client) returned
+    // kNoNode — burning the whole budget with no transmission, so a
+    // partition outlasting retries * timeout expired the request even
+    // though it healed. A partitioned client must defer, keep its budget,
+    // and succeed once the partition heals.
+    auto kb = make_kb();
+    ProtocolConfig config = fast_config(Protocol::kSAriadne);
+    config.adv_timeout_ms = 1e9;  // no election rescue during the test
+    config.request_timeout_ms = 400;
+    config.max_request_retries = 2;
+
+    obs::MetricsRegistry registry;
+    DiscoveryNetwork network(Topology::grid(3, 1), config, kb, &registry);
+    network.appoint_directory(0);
+    network.start();
+    network.run_for(100);
+    network.publish_service(0,
+                            desc::serialize_service(th::workstation_service()));
+    network.run_for(500);
+
+    // Full partition: the only directory is down for far longer than the
+    // whole retry budget (2 * 400 ms).
+    network.simulator().topology().set_up(0, false);
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(2, desc::serialize_request(request));
+    network.run_for(8000);
+    EXPECT_FALSE(network.outcome(id).terminal);
+    EXPECT_EQ(network.retry_backlog(), 1u);
+    EXPECT_EQ(registry.counter_value("protocol.requests_expired"), 0u);
+
+    // Heal: the deferred request must go out with its budget intact.
+    network.simulator().topology().set_up(0, true);
+    network.run_for(8000);
+
+    const DiscoveryOutcome& outcome = network.outcome(id);
+    EXPECT_TRUE(outcome.answered);
+    EXPECT_TRUE(outcome.satisfied);
+    EXPECT_FALSE(outcome.expired);
+    EXPECT_EQ(network.retry_backlog(), 0u);
+    // At most one real retransmission (the one that succeeded after the
+    // heal); the deferral polls during the partition consumed nothing.
+    EXPECT_LE(registry.counter_value("protocol.requests_retried"), 1u);
 }
 
 TEST(Retry, SatisfiedAnswerReleasesRetryStateImmediately) {
@@ -405,6 +458,46 @@ TEST(Protocol, WindowedRunsMatchOneLongRun) {
     EXPECT_EQ(windowed.directories(), single.directories());
     EXPECT_EQ(windowed.traffic().per_type, single.traffic().per_type);
     EXPECT_EQ(windowed.traffic().deliveries, single.traffic().deliveries);
+}
+
+TEST(SAriadne, CorruptSummaryWireIsContainedAndCounted) {
+    // Regression: the summary-push handler fed peer-controlled wire data
+    // straight into BloomFilter::deserialize, whose Error unwound through
+    // the simulator event loop and killed the whole run. A corrupt image
+    // must be dropped, counted, and must not disturb discovery.
+    auto kb = make_kb();
+    obs::MetricsRegistry registry;
+    DiscoveryNetwork network(Topology::grid(3, 1),
+                             fast_config(Protocol::kSAriadne), kb, &registry);
+    network.appoint_directory(0);
+    network.appoint_directory(2);
+    network.start();
+    network.run_for(200);
+    network.publish_service(0,
+                            desc::serialize_service(th::workstation_service()));
+    network.run_for(500);
+
+    // Header claims 1024 bits (16 body words) but carries none: the old
+    // code threw bloom::Error here and aborted the simulation.
+    network.inject_summary_push(2, 0, {(std::uint64_t{1024} << 32) | 4u});
+    // Truncated body: a real serialized filter with its last word cut off.
+    bloom::BloomFilter real({256, 4});
+    const std::string uri = "urn:svc";
+    real.insert(bloom::BloomFilter::set_key({&uri, 1}));
+    auto wire = real.serialize();
+    wire.pop_back();
+    network.inject_summary_push(2, 0, std::move(wire));
+    network.run_for(500);
+
+    EXPECT_EQ(registry.counter_value("protocol.bloom_wire_rejected"), 2u);
+
+    // The receiving directory is still alive and answering.
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(1, desc::serialize_request(request));
+    network.run_for(5000);
+    EXPECT_TRUE(network.outcome(id).answered);
+    EXPECT_TRUE(network.outcome(id).satisfied);
 }
 
 }  // namespace

@@ -27,8 +27,8 @@ std::unique_ptr<Reasoner> make_engine(int which) {
 class AllEngines : public ::testing::TestWithParam<int> {};
 
 INSTANTIATE_TEST_SUITE_P(Engines, AllEngines, ::testing::Values(0, 1, 2),
-                         [](const auto& info) {
-                             switch (info.param) {
+                         [](const auto& param_info) {
+                             switch (param_info.param) {
                                  case 0: return "NaiveClosure";
                                  case 1: return "RuleForward";
                                  default: return "TableauLite";

@@ -15,6 +15,15 @@
 //     --metrics           print the metrics registry (Prometheus text
 //                         exposition followed by a JSON dump)
 //
+// Fault-injection options for --simulate (state them *before* it; they
+// configure the radio of every later simulation):
+//     --loss P            drop each delivery with probability P in [0,1]
+//     --dup P             duplicate each delivery with probability P
+//     --crash N:D:U       crash node N at D ms, recover it at U ms
+//                         (repeatable)
+//     --seed S            seed for the fault-injection RNG (default
+//                         0x5EEDFA17); same seed -> same run
+//
 // Options execute in command-line order, so `--ontology o.xml --publish
 // s.xml --request r.xml` behaves like a session. Exit code 0 when every
 // request was fully satisfied and every composition complete.
@@ -55,9 +64,37 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--ontology F] [--publish F] [--request F] "
                  "[--compose F] [--export-state F] [--import-state F] "
-                 "[--stats] [--simulate N] [--metrics]\n",
+                 "[--stats] [--loss P] [--dup P] [--crash N:D:U] [--seed S] "
+                 "[--simulate N] [--metrics]\n",
                  argv0);
     return 2;
+}
+
+double parse_probability(const std::string& flag, const std::string& value) {
+    char* end = nullptr;
+    const double p = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+        throw sariadne::Error(flag + " needs a probability in [0,1], got '" +
+                              value + "'");
+    }
+    return p;
+}
+
+sariadne::net::CrashWindow parse_crash(const std::string& value) {
+    unsigned long node = 0;
+    double down = 0;
+    double up = 0;
+    if (std::sscanf(value.c_str(), "%lu:%lf:%lf", &node, &down, &up) != 3 ||
+        down < 0 || up <= down) {
+        throw sariadne::Error(
+            "--crash needs NODE:DOWN_MS:UP_MS with DOWN < UP, got '" + value +
+            "'");
+    }
+    sariadne::net::CrashWindow window;
+    window.node = static_cast<sariadne::net::NodeId>(node);
+    window.down_at = down;
+    window.up_at = up;
+    return window;
 }
 
 /// Built-in churn scenario over an N-node grid: elect a directory,
@@ -67,7 +104,8 @@ int usage(const char* argv0) {
 /// directory (publish/query phases), simulator (per-type traffic) — into
 /// the same registry the engine reports into, so a following --metrics
 /// prints one unified exposition.
-void run_simulation(sariadne::DiscoveryEngine& engine, std::size_t node_count) {
+void run_simulation(sariadne::DiscoveryEngine& engine, std::size_t node_count,
+                    const sariadne::net::FaultPlan& faults) {
     using namespace sariadne;
     if (node_count < 4) node_count = 4;
     std::size_t width = 2;
@@ -92,6 +130,7 @@ void run_simulation(sariadne::DiscoveryEngine& engine, std::size_t node_count) {
     ariadne::DiscoveryNetwork network(
         net::Topology::grid(width, (node_count + width - 1) / width), config,
         engine.knowledge_base(), &engine.metrics());
+    if (faults.enabled()) network.simulator().set_faults(faults);
     const auto nodes = network.simulator().topology().node_count();
     network.appoint_directory(static_cast<net::NodeId>(nodes / 2));
     network.start();
@@ -136,6 +175,17 @@ void run_simulation(sariadne::DiscoveryEngine& engine, std::size_t node_count) {
         "%zu directories, retry backlog %zu\n",
         nodes, static_cast<std::size_t>(tick), satisfied, expired,
         network.directories().size(), network.retry_backlog());
+    if (faults.enabled()) {
+        const auto& stats = network.traffic();
+        std::printf(
+            "radio faults (seed %llu): %llu dropped, %llu duplicated, "
+            "%llu crash(es), %llu recover(ies)\n",
+            static_cast<unsigned long long>(faults.seed),
+            static_cast<unsigned long long>(stats.faults_dropped),
+            static_cast<unsigned long long>(stats.faults_duplicated),
+            static_cast<unsigned long long>(stats.faults_crashes),
+            static_cast<unsigned long long>(stats.faults_recoveries));
+    }
 }
 
 }  // namespace
@@ -143,6 +193,7 @@ void run_simulation(sariadne::DiscoveryEngine& engine, std::size_t node_count) {
 int main(int argc, char** argv) {
     if (argc < 2) return usage(argv[0]);
     sariadne::DiscoveryEngine engine;
+    sariadne::net::FaultPlan faults;
     bool all_satisfied = true;
 
     try {
@@ -215,11 +266,21 @@ int main(int argc, char** argv) {
                     engine.directory(), read_file(path));
                 std::printf("imported %zu service(s) from %s\n", imported,
                             path.c_str());
+            } else if (flag == "--loss") {
+                faults.loss_probability = parse_probability(flag, need_value());
+            } else if (flag == "--dup") {
+                faults.duplication_probability =
+                    parse_probability(flag, need_value());
+            } else if (flag == "--crash") {
+                faults.crashes.push_back(parse_crash(need_value()));
+            } else if (flag == "--seed") {
+                faults.seed = std::strtoull(need_value().c_str(), nullptr, 0);
             } else if (flag == "--simulate") {
                 const auto value = need_value();
                 run_simulation(engine,
                                static_cast<std::size_t>(
-                                   std::strtoul(value.c_str(), nullptr, 10)));
+                                   std::strtoul(value.c_str(), nullptr, 10)),
+                               faults);
             } else if (flag == "--metrics") {
                 std::printf("%s\n", engine.metrics().to_prometheus().c_str());
                 std::printf("%s\n", engine.metrics().to_json().c_str());
