@@ -6,9 +6,13 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -59,6 +63,118 @@ struct ShapeChecks {
 inline void emit_metrics(const obs::MetricsRegistry& registry,
                          const char* label) {
     std::printf("\nmetrics[%s]: %s\n", label, registry.to_json().c_str());
+}
+
+/// Throughput + tail latency for one kernel, derived from repeated
+/// batch-amortized samples. The consolidated BENCH_matching.json report is
+/// built from these.
+struct LatencyStats {
+    double ops_per_sec = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+    std::uint64_t samples = 0;
+};
+
+/// Reduces per-operation latency samples (microseconds) to LatencyStats.
+/// Sorts `us_samples` in place.
+inline LatencyStats summarize_us(std::vector<double>& us_samples) {
+    LatencyStats stats;
+    if (us_samples.empty()) return stats;
+    std::sort(us_samples.begin(), us_samples.end());
+    const std::size_t n = us_samples.size();
+    stats.samples = n;
+    stats.p50_us = us_samples[n / 2];
+    stats.p99_us = us_samples[std::min(n - 1, (n * 99) / 100)];
+    // Throughput over the samples at or below p99: scheduler preemptions
+    // on shared runners show up as rare 100x spikes that would otherwise
+    // dominate the mean.
+    const std::size_t kept = std::min(n, (n * 99) / 100 + 1);
+    double total_us = 0;
+    for (std::size_t i = 0; i < kept; ++i) total_us += us_samples[i];
+    stats.ops_per_sec =
+        total_us > 0 ? 1e6 * static_cast<double>(kept) / total_us : 0;
+    return stats;
+}
+
+/// Times `samples` batches of `batch` calls to `body` and reports
+/// per-operation stats. Batching amortizes the stopwatch overhead for
+/// nanosecond-scale kernels; p50/p99 are per-op within a batch.
+inline LatencyStats sample_kernel(int samples, int batch,
+                                  const std::function<void()>& body) {
+    std::vector<double> us;
+    us.reserve(static_cast<std::size_t>(samples));
+    for (int s = 0; s < samples; ++s) {
+        Stopwatch stopwatch;
+        for (int i = 0; i < batch; ++i) body();
+        us.push_back(stopwatch.elapsed_ms() * 1000.0 / batch);
+    }
+    return summarize_us(us);
+}
+
+inline std::string to_json(const LatencyStats& stats) {
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"ops_per_sec\": %.0f, \"p50_us\": %.3f, \"p99_us\": "
+                  "%.3f, \"samples\": %llu}",
+                  stats.ops_per_sec, stats.p50_us, stats.p99_us,
+                  static_cast<unsigned long long>(stats.samples));
+    return buffer;
+}
+
+/// Inserts or replaces one `"name": value` entry in a one-entry-per-line
+/// JSON object file (the consolidated BENCH_matching.json report). Several
+/// benches contribute to the same file, so the update is an upsert: other
+/// benches' entries survive. The format is deliberately line-based — no
+/// JSON parser in the toolchain — so entry values must be single-line.
+inline void upsert_bench_json(const std::string& path, const std::string& name,
+                              const std::string& value_json) {
+    std::vector<std::pair<std::string, std::string>> entries;
+    {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            const auto key_open = line.find('"');
+            if (key_open == std::string::npos) continue;  // brace lines
+            const auto key_close = line.find('"', key_open + 1);
+            const auto colon = line.find(':', key_close);
+            if (key_close == std::string::npos || colon == std::string::npos) {
+                continue;
+            }
+            std::string key =
+                line.substr(key_open + 1, key_close - key_open - 1);
+            std::string value = line.substr(colon + 1);
+            while (!value.empty() &&
+                   (value.back() == ',' || value.back() == ' ' ||
+                    value.back() == '\r')) {
+                value.pop_back();
+            }
+            while (!value.empty() && value.front() == ' ') {
+                value.erase(value.begin());
+            }
+            entries.emplace_back(std::move(key), std::move(value));
+        }
+    }
+    bool replaced = false;
+    for (auto& entry : entries) {
+        if (entry.first == name) {
+            entry.second = value_json;
+            replaced = true;
+        }
+    }
+    if (!replaced) entries.emplace_back(name, value_json);
+
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        out << "  \"" << entries[i].first << "\": " << entries[i].second
+            << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+}
+
+inline void upsert_bench_json(const std::string& path, const std::string& name,
+                              const LatencyStats& stats) {
+    upsert_bench_json(path, name, to_json(stats));
 }
 
 inline void print_header(const char* title, const char* paper_claim) {

@@ -4,6 +4,10 @@
 // Complements the figure benches with per-operation numbers.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "bloom/bloom_filter.hpp"
 #include "description/conversation.hpp"
 #include "directory/flat_directory.hpp"
@@ -83,6 +87,8 @@ void BM_TaxonomyDistance(benchmark::State& state) {
 BENCHMARK(BM_TaxonomyDistance);
 
 void BM_CapabilityMatch(benchmark::State& state) {
+    // Oracle path: no CodeSignatures attached, so match_capability walks
+    // the virtual per-pair DistanceOracle interface.
     auto& f = fixture();
     matching::EncodedOracle oracle(f.kb);
     const auto provided = desc::resolve_capability(
@@ -96,6 +102,24 @@ void BM_CapabilityMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_CapabilityMatch);
 
+void BM_CapabilityMatchFastPath(benchmark::State& state) {
+    // Same pair with fresh CodeSignatures: match_capability dispatches to
+    // the batched flat-array kernel instead of the virtual oracle.
+    auto& f = fixture();
+    matching::EncodedOracle oracle(f.kb);
+    auto provided = desc::resolve_capability(
+        f.workload.service(0).profile.capabilities.front(), f.kb.registry());
+    auto required = desc::resolve_capability(
+        f.workload.matching_request(0).capabilities.front(), f.kb.registry());
+    desc::attach_code_signature(provided, f.kb);
+    desc::attach_code_signature(required, f.kb);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            matching::match_capability(provided, required, oracle));
+    }
+}
+BENCHMARK(BM_CapabilityMatchFastPath);
+
 void BM_DirectoryQuery(benchmark::State& state) {
     auto& f = fixture();
     directory::SemanticDirectory directory(f.kb);
@@ -103,14 +127,16 @@ void BM_DirectoryQuery(benchmark::State& state) {
     for (std::size_t i = 0; i < services; ++i) {
         directory.publish(f.workload.service(i));
     }
+    // Resolve through the KnowledgeBase so the request carries fresh
+    // CodeSignatures, as a resolve-once client would.
     const auto resolved =
-        desc::resolve_request(f.workload.matching_request(3), f.kb.registry());
+        desc::resolve_request(f.workload.matching_request(3), f.kb);
     for (auto _ : state) {
         benchmark::DoNotOptimize(directory.query_resolved(resolved));
     }
     state.counters["services"] = static_cast<double>(services);
 }
-BENCHMARK(BM_DirectoryQuery)->Arg(10)->Arg(100);
+BENCHMARK(BM_DirectoryQuery)->Arg(10)->Arg(100)->Arg(500);
 
 void BM_FlatQuery(benchmark::State& state) {
     auto& f = fixture();
@@ -120,14 +146,14 @@ void BM_FlatQuery(benchmark::State& state) {
         directory.publish(f.workload.service(i));
     }
     const auto resolved =
-        desc::resolve_request(f.workload.matching_request(3), f.kb.registry());
+        desc::resolve_request(f.workload.matching_request(3), f.kb);
     for (auto _ : state) {
         directory::MatchStats stats;
         directory::QueryTiming timing;
         benchmark::DoNotOptimize(directory.query(resolved, stats, timing));
     }
 }
-BENCHMARK(BM_FlatQuery)->Arg(10)->Arg(100);
+BENCHMARK(BM_FlatQuery)->Arg(10)->Arg(100)->Arg(500);
 
 void BM_ServiceXmlParse(benchmark::State& state) {
     auto& f = fixture();
@@ -184,6 +210,74 @@ void BM_BloomInsertAndProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_BloomInsertAndProbe);
 
+/// Consolidated matching-kernel report: ops/sec + p50/p99 per-op latency
+/// for the distance kernel, both match_capability paths and a 500-service
+/// directory query, upserted into BENCH_matching.json (shared with fig9).
+void write_matching_report(const std::string& path) {
+    auto& f = fixture();
+    const auto& table = f.kb.code_table(0);
+    const auto n = static_cast<onto::ConceptId>(table.class_count());
+
+    onto::ConceptId a = 0;
+    onto::ConceptId b = 1;
+    const auto distance_stats = bench::sample_kernel(2000, 512, [&] {
+        benchmark::DoNotOptimize(table.distance(a, b));
+        a = (a + 1) % n;
+        b = (b + 7) % n;
+    });
+    bench::upsert_bench_json(path, "kernel.encoded_distance", distance_stats);
+
+    auto provided = desc::resolve_capability(
+        f.workload.service(0).profile.capabilities.front(), f.kb.registry());
+    auto required = desc::resolve_capability(
+        f.workload.matching_request(0).capabilities.front(), f.kb.registry());
+    matching::EncodedOracle oracle(f.kb);
+    const auto slow_stats = bench::sample_kernel(2000, 256, [&] {
+        benchmark::DoNotOptimize(
+            matching::match_capability(provided, required, oracle));
+    });
+    bench::upsert_bench_json(path, "kernel.capability_match_oracle_path",
+                             slow_stats);
+
+    desc::attach_code_signature(provided, f.kb);
+    desc::attach_code_signature(required, f.kb);
+    const auto fast_stats = bench::sample_kernel(2000, 256, [&] {
+        benchmark::DoNotOptimize(
+            matching::match_capability(provided, required, oracle));
+    });
+    bench::upsert_bench_json(path, "kernel.capability_match_fast_path",
+                             fast_stats);
+
+    directory::SemanticDirectory directory(f.kb);
+    for (std::size_t i = 0; i < 500; ++i) {
+        directory.publish(f.workload.service(i));
+    }
+    const auto resolved =
+        desc::resolve_request(f.workload.matching_request(3), f.kb);
+    const auto query_stats = bench::sample_kernel(1500, 8, [&] {
+        benchmark::DoNotOptimize(directory.query_resolved(resolved));
+    });
+    bench::upsert_bench_json(path, "directory.semantic_query_500",
+                             query_stats);
+
+    std::printf("\nBENCH_matching.json updated (%s):\n", path.c_str());
+    std::printf("  kernel.encoded_distance            %s\n",
+                bench::to_json(distance_stats).c_str());
+    std::printf("  kernel.capability_match_oracle     %s\n",
+                bench::to_json(slow_stats).c_str());
+    std::printf("  kernel.capability_match_fast_path  %s\n",
+                bench::to_json(fast_stats).c_str());
+    std::printf("  directory.semantic_query_500       %s\n",
+                bench::to_json(query_stats).c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    write_matching_report("BENCH_matching.json");
+    return 0;
+}

@@ -696,7 +696,7 @@ std::vector<NodeId> DiscoveryNetwork::forward_targets(
     std::vector<std::string> uris;
     try {
         const desc::ServiceRequest request = desc::parse_request(request_xml);
-        const auto resolved = desc::resolve_request(request, kb_->registry());
+        const auto resolved = desc::resolve_request(request, *kb_);
         FlatSet<onto::OntologyIndex> all;
         for (const auto& cap : resolved) {
             all = all.united_with(cap.ontologies);

@@ -5,17 +5,54 @@
 // request-build) time, never during matching.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "description/service.hpp"
+#include "encoding/interval.hpp"
 #include "ontology/registry.hpp"
 #include "support/flat_set.hpp"
+
+namespace sariadne::encoding {
+class KnowledgeBase;
+}
 
 namespace sariadne::desc {
 
 using onto::ConceptRef;
 using onto::OntologyIndex;
+
+/// One concept of a CodeSignature role: its ontology, its canonical
+/// (representative) concept id, and the span of its packed interval
+/// occurrences inside CodeSignature::intervals.
+struct CodedConceptSpan {
+    OntologyIndex ontology = 0;
+    onto::ConceptId canonical = 0;
+    std::uint32_t begin = 0;  ///< index into CodeSignature::intervals
+    std::uint32_t count = 0;  ///< number of occurrences (sorted by lo)
+};
+
+/// Precomputed flat-layout codes of a resolved capability: per-role arrays
+/// of (ontology, canonical concept, interval span), with every referenced
+/// interval occurrence copied into one contiguous array. Built once at
+/// resolve time; self-contained (owns its interval copies), so it stays
+/// valid even if knowledge-base tables are rebuilt. `environment_tag`
+/// records the combined code-table versions of the ontologies the
+/// capability references (the precise per-set wire tag, compared against
+/// Capability::code_version at publish); `global_tag` records the whole
+/// knowledge-base environment and is what the batched matching kernel
+/// checks per call — one integer compare against the oracle's current
+/// global tag, falling back to the oracle path on mismatch.
+struct CodeSignature {
+    std::vector<CodedConceptSpan> inputs;
+    std::vector<CodedConceptSpan> outputs;
+    std::vector<CodedConceptSpan> properties;
+    std::vector<encoding::CodedInterval> intervals;
+    std::uint64_t environment_tag = 0;
+    std::uint64_t global_tag = 0;
+    bool valid = false;
+};
 
 struct ResolvedCapability {
     std::string name;           ///< capability name (diagnostics)
@@ -33,6 +70,10 @@ struct ResolvedCapability {
     FlatSet<OntologyIndex> ontologies;
 
     std::uint64_t code_version = 0;
+
+    /// Flat-layout fast-path codes (empty/invalid unless attached via
+    /// attach_code_signature or a KnowledgeBase-taking resolve overload).
+    CodeSignature signature;
 };
 
 /// Resolves every concept mention. Throws LookupError on unknown ontology
@@ -53,5 +94,24 @@ std::vector<ResolvedCapability> resolve_request(
 /// registry order — used to key Bloom-filter summaries.
 std::vector<std::string> ontology_uris(const ResolvedCapability& capability,
                                        const onto::OntologyRegistry& registry);
+
+/// Builds `capability.signature` from the knowledge base's current code
+/// tables (building tables lazily as needed). Overwrites any previous
+/// signature; the result carries the knowledge base's environment tag for
+/// the capability's ontology set.
+void attach_code_signature(ResolvedCapability& capability,
+                           encoding::KnowledgeBase& kb);
+
+/// attach_code_signature over a batch.
+void attach_code_signatures(std::vector<ResolvedCapability>& capabilities,
+                            encoding::KnowledgeBase& kb);
+
+/// Resolve + attach signatures in one step (the publish-time path).
+std::vector<ResolvedCapability> resolve_provided(
+    const ServiceDescription& service, encoding::KnowledgeBase& kb);
+
+/// Resolve + attach signatures in one step (the request path).
+std::vector<ResolvedCapability> resolve_request(const ServiceRequest& request,
+                                                encoding::KnowledgeBase& kb);
 
 }  // namespace sariadne::desc

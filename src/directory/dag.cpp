@@ -17,7 +17,144 @@ void erase_value(std::vector<VertexId>& items, VertexId value) {
     items.erase(std::remove(items.begin(), items.end(), value), items.end());
 }
 
+RoleSummary make_role_summary(const std::vector<onto::ConceptRef>& role,
+                              const std::vector<desc::CodedConceptSpan>& spans,
+                              const std::vector<encoding::CodedInterval>& intervals,
+                              bool with_geometry) {
+    RoleSummary s;
+    s.concepts = static_cast<std::uint32_t>(role.size());
+    for (const onto::ConceptRef ref : role) {
+        s.mask |= std::uint64_t{1} << (ref.ontology & 63u);
+        if (s.sole_ontology == -1) {
+            s.sole_ontology = static_cast<std::int64_t>(ref.ontology);
+        } else if (s.sole_ontology != static_cast<std::int64_t>(ref.ontology)) {
+            s.sole_ontology = -2;  // mixed
+        }
+    }
+    if (s.sole_ontology == -2 || role.empty()) s.sole_ontology = -1;
+    if (!with_geometry || role.empty()) return s;
+
+    bool first = true;
+    for (const desc::CodedConceptSpan& span : spans) {
+        double c_lo_min = 0.0, c_lo_max = 0.0, c_hi_min = 0.0, c_hi_max = 0.0;
+        for (std::uint32_t k = 0; k < span.count; ++k) {
+            const encoding::Interval& occ = intervals[span.begin + k].interval;
+            if (k == 0) {
+                c_lo_min = c_lo_max = occ.lo;
+                c_hi_min = c_hi_max = occ.hi;
+            } else {
+                c_lo_min = std::min(c_lo_min, occ.lo);
+                c_lo_max = std::max(c_lo_max, occ.lo);
+                c_hi_min = std::min(c_hi_min, occ.hi);
+                c_hi_max = std::max(c_hi_max, occ.hi);
+            }
+        }
+        if (first) {
+            s.occ_lo_min = c_lo_min;
+            s.occ_lo_max = c_lo_max;
+            s.occ_hi_min = c_hi_min;
+            s.occ_hi_max = c_hi_max;
+            s.maxlo_min = c_lo_max;
+            s.minhi_max = c_hi_min;
+            s.minlo_max = c_lo_min;
+            s.maxhi_min = c_hi_max;
+            first = false;
+        } else {
+            s.occ_lo_min = std::min(s.occ_lo_min, c_lo_min);
+            s.occ_lo_max = std::max(s.occ_lo_max, c_lo_max);
+            s.occ_hi_min = std::min(s.occ_hi_min, c_hi_min);
+            s.occ_hi_max = std::max(s.occ_hi_max, c_hi_max);
+            s.maxlo_min = std::min(s.maxlo_min, c_lo_max);
+            s.minhi_max = std::max(s.minhi_max, c_hi_min);
+            s.minlo_max = std::max(s.minlo_max, c_lo_min);
+            s.maxhi_min = std::min(s.maxhi_min, c_hi_max);
+        }
+    }
+    return s;
+}
+
 }  // namespace
+
+MatchSummary make_match_summary(const ResolvedCapability& capability) {
+    const desc::CodeSignature& sig = capability.signature;
+    const bool geometry =
+        sig.valid && sig.global_tag != 0 &&
+        sig.inputs.size() == capability.inputs.size() &&
+        sig.outputs.size() == capability.outputs.size() &&
+        sig.properties.size() == capability.properties.size();
+    MatchSummary m;
+    m.inputs = make_role_summary(capability.inputs, sig.inputs, sig.intervals,
+                                 geometry);
+    m.outputs = make_role_summary(capability.outputs, sig.outputs,
+                                  sig.intervals, geometry);
+    m.properties = make_role_summary(capability.properties, sig.properties,
+                                     sig.intervals, geometry);
+    m.code_tag = geometry ? sig.global_tag : 0;
+    return m;
+}
+
+bool quick_reject(const MatchSummary& provider, const MatchSummary& requester,
+                  bool codes_fresh) {
+    // Emptiness: a clause that expects concepts fails outright when the
+    // offering side has none (no oracle call could ever find a partner).
+    if (provider.inputs.concepts > 0 && requester.inputs.concepts == 0) {
+        return true;
+    }
+    if (requester.outputs.concepts > 0 && provider.outputs.concepts == 0) {
+        return true;
+    }
+    if (requester.properties.concepts > 0 && provider.properties.concepts == 0) {
+        return true;
+    }
+
+    // Masks: every expected concept needs a partner in its own ontology
+    // (cross-ontology d() is NULL for every oracle), so an ontology bit set
+    // on the expecting side but absent from the offering side is fatal.
+    // Sound regardless of code versions.
+    if ((provider.inputs.mask & ~requester.inputs.mask) != 0) return true;
+    if ((requester.outputs.mask & ~provider.outputs.mask) != 0) return true;
+    if ((requester.properties.mask & ~provider.properties.mask) != 0) {
+        return true;
+    }
+
+    if (!codes_fresh) return false;
+
+    // Geometry: containment op ⊇ or needs op.lo <= or.lo and or.hi <= op.hi.
+    // Only comparable when both sides of the clause draw from the same
+    // single ontology (interval coordinates are per-table).
+    //
+    // Provider-expects clause (inputs): every provider concept must contain
+    // some requester occurrence, so even the provider concept with the
+    // largest minimum-lo (minlo_max) needs a requester occurrence starting
+    // at or after it, and the one with the smallest maximum-hi (maxhi_min)
+    // needs a requester occurrence ending at or before it.
+    const auto reject_provider_expects = [](const RoleSummary& p,
+                                            const RoleSummary& r) {
+        if (p.concepts == 0 || r.concepts == 0) return false;
+        if (p.sole_ontology < 0 || p.sole_ontology != r.sole_ontology) {
+            return false;
+        }
+        return p.minlo_max > r.occ_lo_max || p.maxhi_min < r.occ_hi_min;
+    };
+    // Requester-expects clauses (outputs, properties): every requester
+    // concept must be contained in some provider occurrence — dually, the
+    // requester concept whose occurrences start earliest (maxlo_min) needs
+    // a provider occurrence starting at or before it, and the one ending
+    // latest (minhi_max) needs a provider occurrence ending at or after it.
+    const auto reject_requester_expects = [](const RoleSummary& r,
+                                             const RoleSummary& p) {
+        if (p.concepts == 0 || r.concepts == 0) return false;
+        if (p.sole_ontology < 0 || p.sole_ontology != r.sole_ontology) {
+            return false;
+        }
+        return r.maxlo_min < p.occ_lo_min || r.minhi_max > p.occ_hi_max;
+    };
+    if (reject_provider_expects(provider.inputs, requester.inputs)) return true;
+    if (reject_requester_expects(requester.outputs, provider.outputs)) {
+        return true;
+    }
+    return reject_requester_expects(requester.properties, provider.properties);
+}
 
 void CapabilityDag::add_edge(VertexId from, VertexId to) {
     SARIADNE_EXPECTS(from != to);
@@ -36,6 +173,16 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
                                MatchStats& stats) {
     const ResolvedCapability& cap = entry.capability;
 
+    // Quick-reject context: summaries stamp the whole-environment tag they
+    // were built under, so one oracle read covers both sides.
+    const MatchSummary cap_summary = make_match_summary(cap);
+    const std::uint64_t current_tag = oracle.global_environment_tag();
+    const bool cap_fresh =
+        current_tag != 0 && cap_summary.code_tag == current_tag;
+    const auto vertex_fresh = [&](VertexId v) {
+        return cap_fresh && vertices_[v].summary.code_tag == current_tag;
+    };
+
     // Phase 1 — find the lowest matching ancestors: descend from every
     // matching root; a vertex is a direct predecessor of the new capability
     // if Match(vertex, cap) holds but no child of it also matches.
@@ -44,11 +191,22 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
     std::vector<char> visited_down(vertices_.size(), 0);
     std::queue<VertexId> frontier;
 
-    const auto match_down = [&](VertexId v) {
+    // A quick-rejected vertex is treated exactly like a failed Match (it is
+    // one, provably) — counted as a quick_reject instead of a
+    // capability_match since no oracle work happened.
+    const auto match_down = [&](VertexId v) -> matching::MatchOutcome {
+        if (quick_reject(vertices_[v].summary, cap_summary, vertex_fresh(v))) {
+            ++stats.quick_rejects;
+            return {false, 0};
+        }
         ++stats.capability_matches;
         return matching::match_capability(representative(v), cap, oracle);
     };
-    const auto match_up = [&](VertexId v) {
+    const auto match_up = [&](VertexId v) -> matching::MatchOutcome {
+        if (quick_reject(cap_summary, vertices_[v].summary, vertex_fresh(v))) {
+            ++stats.quick_rejects;
+            return {false, 0};
+        }
         ++stats.capability_matches;
         return matching::match_capability(cap, representative(v), oracle);
     };
@@ -138,6 +296,7 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
     const auto id = static_cast<VertexId>(vertices_.size());
     vertices_.push_back(Vertex{});
     vertices_.back().entries.push_back(std::move(entry));
+    vertices_.back().summary = cap_summary;
     for (const VertexId pred : predecessors) {
         for (const VertexId succ : successors) {
             remove_edge(pred, succ);
@@ -159,7 +318,13 @@ std::size_t CapabilityDag::remove_service(ServiceId service) {
                            [&](const DagEntry& e) { return e.service == service; }),
             vertex.entries.end());
         removed += old_size - vertex.entries.size();
-        if (!vertex.entries.empty()) continue;
+        if (!vertex.entries.empty()) {
+            // The representative may have changed: refresh the summary.
+            if (old_size != vertex.entries.size()) {
+                vertex.summary = make_match_summary(representative(v));
+            }
+            continue;
+        }
 
         // Vertex died: splice parents to children to preserve reachability.
         for (const VertexId parent : vertex.parents) {
@@ -187,8 +352,24 @@ std::vector<MatchHit> CapabilityDag::query_all(
     std::queue<VertexId> frontier;
     std::vector<MatchHit> hits;
 
+    // Quick-reject context, computed once per query: summaries stamp the
+    // whole-environment tag they were built under, so both sides compare
+    // against one oracle read.
+    const MatchSummary request_summary = make_match_summary(request);
+    const std::uint64_t current_tag = oracle.global_environment_tag();
+    const bool request_fresh =
+        current_tag != 0 && request_summary.code_tag == current_tag;
+
     const auto try_vertex = [&](VertexId v) {
         visited[v] = 1;
+        const bool fresh = request_fresh &&
+                           vertices_[v].summary.code_tag == current_tag;
+        if (quick_reject(vertices_[v].summary, request_summary, fresh)) {
+            // Provably no Match at v, hence (by transitivity) none below:
+            // prune the subtree without touching the oracle.
+            ++stats.quick_rejects;
+            return;
+        }
         ++stats.capability_matches;
         const auto outcome =
             matching::match_capability(representative(v), request, oracle);

@@ -35,6 +35,56 @@ struct DagEntry {
 using VertexId = std::uint32_t;
 inline constexpr VertexId kNoVertex = 0xFFFFFFFFu;
 
+/// Quick-reject aggregates of one capability role (inputs, outputs or
+/// properties). The mask and concept count are always meaningful; the
+/// interval fields are only meaningful when the owning MatchSummary carries
+/// a nonzero code_tag (built from a valid CodeSignature) and are only
+/// *comparable* between two summaries whose role concepts live in the same
+/// single ontology (interval coordinates are per-table).
+struct RoleSummary {
+    std::uint64_t mask = 0;        ///< OR of 1 << (ontology % 64)
+    std::uint32_t concepts = 0;    ///< number of concepts in the role
+    std::int64_t sole_ontology = -1;  ///< the one ontology, or −1 if mixed/empty
+
+    // Extremes over all interval occurrences of all role concepts.
+    double occ_lo_min = 0.0;
+    double occ_lo_max = 0.0;
+    double occ_hi_min = 0.0;
+    double occ_hi_max = 0.0;
+
+    // Per-concept aggregates (min/max over concepts of per-concept
+    // extremes) — the tight sides of the necessary containment conditions.
+    double maxlo_min = 0.0;  ///< min over concepts of max occurrence lo
+    double minhi_max = 0.0;  ///< max over concepts of min occurrence hi
+    double minlo_max = 0.0;  ///< max over concepts of min occurrence lo
+    double maxhi_min = 0.0;  ///< min over concepts of max occurrence hi
+};
+
+/// Per-capability quick-reject summary: one RoleSummary per Match clause
+/// plus the whole-environment (global) tag of the CodeSignature the
+/// interval fields were built from (0 = no signature; interval fields
+/// unusable).
+struct MatchSummary {
+    RoleSummary inputs;
+    RoleSummary outputs;
+    RoleSummary properties;
+    std::uint64_t code_tag = 0;
+};
+
+/// Builds the quick-reject summary of a resolved capability. Interval
+/// fields are populated (and code_tag set) only when the capability carries
+/// a valid CodeSignature.
+MatchSummary make_match_summary(const ResolvedCapability& capability);
+
+/// True iff Match(provider, requester) *provably* fails on summaries alone:
+/// a required role is empty on the offering side, an ontology needed by one
+/// side is absent from the other (mask test — always sound), or — when
+/// `codes_fresh` and both sides of a clause draw from the same single
+/// ontology — the interval bounding boxes rule out every containment pair.
+/// Never rejects a pair that Match would accept.
+bool quick_reject(const MatchSummary& provider, const MatchSummary& requester,
+                  bool codes_fresh);
+
 class CapabilityDag {
 public:
     explicit CapabilityDag(FlatSet<OntologyIndex> signature)
@@ -93,6 +143,7 @@ private:
         std::vector<DagEntry> entries;
         std::vector<VertexId> parents;
         std::vector<VertexId> children;
+        MatchSummary summary;  ///< of the representative (entries.front())
         bool alive = true;
     };
 

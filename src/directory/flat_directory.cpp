@@ -19,7 +19,7 @@ PublishReceipt FlatDirectory::publish_xml(std::string_view xml_text) {
 
 ServiceId FlatDirectory::publish(const desc::ServiceDescription& service) {
     const ServiceId id = next_id_++;
-    for (auto& cap : desc::resolve_provided(service, kb_->registry())) {
+    for (auto& cap : desc::resolve_provided(service, *kb_)) {
         entries_.push_back(Entry{std::move(cap), id});
     }
     return id;
@@ -31,7 +31,18 @@ std::vector<std::vector<MatchHit>> FlatDirectory::query(
     Stopwatch stopwatch;
     std::vector<std::vector<MatchHit>> result;
     result.reserve(request.size());
-    for (const auto& wanted : request) {
+    for (const auto& requested : request) {
+        // Sign unsigned request capabilities once so the flat scan measures
+        // the directory organization, not a different matching path than
+        // SemanticDirectory's (Figure 9 compares organizations).
+        desc::ResolvedCapability signed_copy;
+        const desc::ResolvedCapability* wanted_ptr = &requested;
+        if (!requested.signature.valid) {
+            signed_copy = requested;
+            desc::attach_code_signature(signed_copy, *kb_);
+            wanted_ptr = &signed_copy;
+        }
+        const desc::ResolvedCapability& wanted = *wanted_ptr;
         int best = std::numeric_limits<int>::max();
         std::vector<MatchHit> hits;
         for (const Entry& entry : entries_) {

@@ -21,17 +21,19 @@ PublishReceipt SemanticDirectory::publish_xml(std::string_view xml_text) {
 
 PublishReceipt SemanticDirectory::publish(desc::ServiceDescription service) {
     Stopwatch stopwatch;
-    // Resolve and version-check before touching any shared state: a
-    // rejected description leaves the directory untouched.
+    // Resolve (with flat-layout code signatures attached) and version-check
+    // before touching any shared state: a rejected description leaves the
+    // directory untouched.
     std::vector<desc::ResolvedCapability> provided =
-        desc::resolve_provided(service, kb_->registry());
+        desc::resolve_provided(service, *kb_);
     std::vector<std::vector<std::string>> uri_sets;
     uri_sets.reserve(provided.size());
     for (const auto& cap : provided) {
         // §3.2 consistency: a description carrying pre-computed codes must
-        // have been encoded against the current ontology versions.
+        // have been encoded against the current ontology versions (the
+        // attached signature's tag is exactly that environment tag).
         if (cap.code_version != 0 &&
-            cap.code_version != kb_->environment_tag(cap.ontologies)) {
+            cap.code_version != cap.signature.environment_tag) {
             throw VersionMismatchError(
                 "capability '" + cap.name + "' of service '" +
                 service.profile.service_name +
@@ -52,14 +54,14 @@ PublishReceipt SemanticDirectory::publish(desc::ServiceDescription service) {
     {
         std::unique_lock lock(services_mutex_);
         for (const auto& [existing_id, existing] : services_) {
-            if (existing.profile.service_name == name) {
+            if (existing.description.profile.service_name == name) {
                 replaced = existing_id;
                 break;
             }
         }
         if (replaced != 0) services_.erase(replaced);
         id = next_id_.fetch_add(1, std::memory_order_acq_rel);
-        services_.emplace(id, std::move(service));
+        services_.emplace(id, StoredService{std::move(service), uri_sets});
     }
     if (replaced != 0) {
         dags_.remove_service(replaced);
@@ -120,7 +122,7 @@ QueryResult SemanticDirectory::query(const desc::ServiceRequest& request,
     const bool constrained = !request.qos_constraints.empty() ||
                              !request.context_constraints.empty() ||
                              request.process.has_value();
-    const auto resolved = desc::resolve_request(request, kb_->registry());
+    const auto resolved = desc::resolve_request(request, *kb_);
     const desc::ServiceRequest* constraints = constrained ? &request : nullptr;
 
     QueryResult result;
@@ -163,6 +165,11 @@ std::vector<MatchHit> SemanticDirectory::query_capability(
     const desc::ServiceRequest* constraints, const QueryOptions& options,
     MatchStats& stats) const {
     matching::EncodedOracle oracle(*kb_);
+    // Callers that resolved against the bare registry carry no code
+    // signature and take the per-pair oracle path at each vertex, with
+    // mask/emptiness quick rejects only (the geometry needs both sides'
+    // codes). Signing a copy here would cost more than the walk saves;
+    // resolve through the KnowledgeBase to get the batched kernel.
     MatchStats local;
     std::vector<MatchHit> hits =
         match_one(capability, constraints, options, oracle, local);
@@ -171,6 +178,7 @@ std::vector<MatchHit> SemanticDirectory::query_capability(
     stats.concept_queries += local.concept_queries;
     stats.dags_visited += local.dags_visited;
     stats.dags_pruned += local.dags_pruned;
+    stats.quick_rejects += local.quick_rejects;
     accumulate_lifetime(local);
     return hits;
 }
@@ -204,13 +212,14 @@ std::vector<MatchHit> SemanticDirectory::match_one(
         std::erase_if(hits, [&](const MatchHit& hit) {
             const auto it = services_.find(hit.service);
             if (it == services_.end() ||
-                !desc::satisfies_constraints(it->second.profile, *constraints)) {
+                !desc::satisfies_constraints(it->second.description.profile,
+                                             *constraints)) {
                 return true;
             }
             if (constraints->process.has_value() &&
-                it->second.process.has_value() &&
-                !desc::conversation_compatible(*constraints->process,
-                                               *it->second.process)) {
+                it->second.description.process.has_value() &&
+                !desc::conversation_compatible(
+                    *constraints->process, *it->second.description.process)) {
                 return true;
             }
             return false;
@@ -218,15 +227,29 @@ std::vector<MatchHit> SemanticDirectory::match_one(
     }
 
     if (need_all && !hits.empty()) {
-        std::stable_sort(hits.begin(), hits.end(),
-                         [](const MatchHit& a, const MatchHit& b) {
-                             return a.semantic_distance < b.semantic_distance;
-                         });
         if (options.top_k > 0) {
-            if (hits.size() > options.top_k) hits.resize(options.top_k);
+            // Only the top k hits need ordering: partial_sort keeps the
+            // selection O(n log k). Ties break deterministically on
+            // (distance, service, capability) so repeated queries agree.
+            const auto by_rank = [](const MatchHit& a, const MatchHit& b) {
+                if (a.semantic_distance != b.semantic_distance) {
+                    return a.semantic_distance < b.semantic_distance;
+                }
+                if (a.service != b.service) return a.service < b.service;
+                return a.capability_name < b.capability_name;
+            };
+            const std::size_t k = std::min(options.top_k, hits.size());
+            std::partial_sort(hits.begin(),
+                              hits.begin() + static_cast<std::ptrdiff_t>(k),
+                              hits.end(), by_rank);
+            hits.resize(k);
         } else {
-            // Legacy shape: only the minimal-distance tier.
-            const int best = hits.front().semantic_distance;
+            // Legacy shape: only the minimal-distance tier, in traversal
+            // order (no sort needed — a min scan plus one filter pass).
+            int best = hits.front().semantic_distance;
+            for (const MatchHit& hit : hits) {
+                best = std::min(best, hit.semantic_distance);
+            }
             std::erase_if(hits, [best](const MatchHit& hit) {
                 return hit.semantic_distance != best;
             });
@@ -250,6 +273,8 @@ void SemanticDirectory::accumulate_lifetime(const MatchStats& stats) const noexc
                                      std::memory_order_relaxed);
     lifetime_dags_pruned_.fetch_add(stats.dags_pruned,
                                     std::memory_order_relaxed);
+    lifetime_quick_rejects_.fetch_add(stats.quick_rejects,
+                                      std::memory_order_relaxed);
     // Mirror the same relaxed deltas into the registry so external sinks
     // see live work counters without a snapshot call.
     if (metrics_.capability_matches) {
@@ -260,6 +285,7 @@ void SemanticDirectory::accumulate_lifetime(const MatchStats& stats) const noexc
     }
     if (metrics_.dags_visited) metrics_.dags_visited->inc(stats.dags_visited);
     if (metrics_.dags_pruned) metrics_.dags_pruned->inc(stats.dags_pruned);
+    if (metrics_.quick_rejects) metrics_.quick_rejects->inc(stats.quick_rejects);
 }
 
 MatchStats SemanticDirectory::lifetime_stats() const noexcept {
@@ -270,6 +296,7 @@ MatchStats SemanticDirectory::lifetime_stats() const noexcept {
         lifetime_concept_queries_.load(std::memory_order_relaxed);
     stats.dags_visited = lifetime_dags_visited_.load(std::memory_order_relaxed);
     stats.dags_pruned = lifetime_dags_pruned_.load(std::memory_order_relaxed);
+    stats.quick_rejects = lifetime_quick_rejects_.load(std::memory_order_relaxed);
     return stats;
 }
 
@@ -281,14 +308,14 @@ std::size_t SemanticDirectory::service_count() const {
 const desc::ServiceDescription* SemanticDirectory::service(ServiceId id) const {
     std::shared_lock lock(services_mutex_);
     const auto it = services_.find(id);
-    return it == services_.end() ? nullptr : &it->second;
+    return it == services_.end() ? nullptr : &it->second.description;
 }
 
 std::optional<desc::Grounding> SemanticDirectory::grounding(ServiceId id) const {
     std::shared_lock lock(services_mutex_);
     const auto it = services_.find(id);
     if (it == services_.end()) return std::nullopt;
-    return it->second.grounding;
+    return it->second.description.grounding;
 }
 
 bloom::BloomFilter SemanticDirectory::summary() const {
@@ -303,10 +330,12 @@ void SemanticDirectory::rebuild_summary() {
     std::lock_guard<std::mutex> summary_lock(summary_mutex_);
     std::shared_lock services_lock(services_mutex_);
     summary_.clear();
-    for (const auto& [id, service] : services_) {
-        const auto provided = desc::resolve_provided(service, kb_->registry());
-        for (const auto& cap : provided) {
-            summary_.insert_ontology_set(desc::ontology_uris(cap, kb_->registry()));
+    // The per-capability ontology-URI sets were resolved once at publish
+    // time and cached with the description, so a rebuild is a pure
+    // re-insertion — no parsing or resolution per stored service.
+    for (const auto& [id, stored] : services_) {
+        for (const auto& uris : stored.summary_uri_sets) {
+            summary_.insert_ontology_set(uris);
         }
     }
 }

@@ -80,6 +80,7 @@ public:
                 &metrics->counter("directory.concept_queries");
             metrics_.dags_visited = &metrics->counter("directory.dags_visited");
             metrics_.dags_pruned = &metrics->counter("directory.dags_pruned");
+            metrics_.quick_rejects = &metrics->counter("matching.quick_rejects");
             metrics_.services = &metrics->gauge("directory.services");
             metrics_.publish_parse_ms =
                 &metrics->histogram("directory.publish_parse_ms");
@@ -193,6 +194,7 @@ private:
         obs::Counter* concept_queries = nullptr;
         obs::Counter* dags_visited = nullptr;
         obs::Counter* dags_pruned = nullptr;
+        obs::Counter* quick_rejects = nullptr;
         obs::Gauge* services = nullptr;
         obs::Histogram* publish_parse_ms = nullptr;
         obs::Histogram* publish_insert_ms = nullptr;
@@ -204,8 +206,17 @@ private:
     Metrics metrics_;
     DagIndex dags_;
 
+    /// A cached description plus the resolved ontology-URI set of each of
+    /// its provided capabilities, captured at publish time so
+    /// rebuild_summary() re-feeds the Bloom filter without re-resolving
+    /// every stored description (it used to be O(services × resolve)).
+    struct StoredService {
+        desc::ServiceDescription description;
+        std::vector<std::vector<std::string>> summary_uri_sets;
+    };
+
     mutable std::shared_mutex services_mutex_;  ///< guards services_
-    std::unordered_map<ServiceId, desc::ServiceDescription> services_;
+    std::unordered_map<ServiceId, StoredService> services_;
     std::atomic<ServiceId> next_id_{1};
 
     mutable std::mutex summary_mutex_;  ///< guards summary_
@@ -216,6 +227,7 @@ private:
     mutable std::atomic<std::uint64_t> lifetime_concept_queries_{0};
     mutable std::atomic<std::uint64_t> lifetime_dags_visited_{0};
     mutable std::atomic<std::uint64_t> lifetime_dags_pruned_{0};
+    mutable std::atomic<std::uint64_t> lifetime_quick_rejects_{0};
 };
 
 }  // namespace sariadne::directory

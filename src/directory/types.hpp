@@ -23,12 +23,16 @@ struct MatchHit {
 
 /// Work counters for one directory operation. `capability_matches` is the
 /// paper's "number of semantic matches performed" (capability-level Match
-/// evaluations); `concept_queries` counts d() evaluations underneath.
+/// evaluations); `concept_queries` counts d() evaluations underneath;
+/// `quick_rejects` counts DAG vertices skipped by the summary pre-filter
+/// *instead of* a Match evaluation (so capability_matches + quick_rejects
+/// is the number of vertices actually probed).
 struct MatchStats {
     std::uint64_t capability_matches = 0;
     std::uint64_t concept_queries = 0;
     std::uint64_t dags_visited = 0;
     std::uint64_t dags_pruned = 0;
+    std::uint64_t quick_rejects = 0;
 };
 
 /// Wall-clock breakdown of a publish operation (Figure 7/8 series).

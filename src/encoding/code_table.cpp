@@ -1,7 +1,6 @@
 #include "encoding/code_table.hpp"
 
 #include <algorithm>
-#include <limits>
 
 #include "support/contracts.hpp"
 #include "support/errors.hpp"
@@ -14,7 +13,7 @@ namespace {
 struct Builder {
     const reasoner::Taxonomy& taxonomy;
     const EncodingParams& params;
-    std::vector<ConceptCode>& codes;
+    std::vector<std::vector<CodedInterval>>& scratch;
     std::size_t total = 0;
 
     void place(ConceptId rep, const Interval& slot, std::int32_t depth) {
@@ -28,7 +27,7 @@ struct Builder {
             throw Error("interval replication budget exhausted — the classified "
                         "hierarchy has too many multi-parent unfoldings");
         }
-        codes[rep].occurrences.push_back(CodedInterval{slot, depth});
+        scratch[rep].push_back(CodedInterval{slot, depth});
         const auto& kids = taxonomy.direct_children(rep);
         for (std::size_t i = 0; i < kids.size(); ++i) {
             place(kids[i], slot.project(sibling_slot(i, params)), depth + 1);
@@ -55,28 +54,35 @@ CodeTable CodeTable::build(const onto::Ontology& ontology,
     table.canonical_.resize(n);
     for (ConceptId c = 0; c < n; ++c) table.canonical_[c] = taxonomy.canonical(c);
 
-    table.codes_.assign(n, {});
-    Builder builder{taxonomy, params, table.codes_, 0};
+    std::vector<std::vector<CodedInterval>> scratch(n);
+    Builder builder{taxonomy, params, scratch, 0};
     const auto& roots = taxonomy.roots();
     const Interval unit{0.0, 1.0};
     for (std::size_t i = 0; i < roots.size(); ++i) {
         builder.place(roots[i], unit.project(sibling_slot(i, params)), 0);
     }
-    table.total_occurrences_ = builder.total;
 
-    // Keep occurrence lists sorted by depth so distance() can early-exit.
-    for (auto& code : table.codes_) {
-        std::sort(code.occurrences.begin(), code.occurrences.end(),
+    // Pack into CSR: one flat occurrence array + per-representative offsets,
+    // each slice sorted by interval start (the merge kernels' precondition).
+    table.offsets_.assign(n + 1, 0);
+    table.packed_.reserve(builder.total);
+    for (ConceptId rep = 0; rep < n; ++rep) {
+        auto& occurrences = scratch[rep];
+        std::sort(occurrences.begin(), occurrences.end(),
                   [](const CodedInterval& a, const CodedInterval& b) {
-                      return a.depth < b.depth;
+                      return a.interval.lo < b.interval.lo;
                   });
+        table.offsets_[rep] = static_cast<std::uint32_t>(table.packed_.size());
+        table.packed_.insert(table.packed_.end(), occurrences.begin(),
+                             occurrences.end());
     }
+    table.offsets_[n] = static_cast<std::uint32_t>(table.packed_.size());
     return table;
 }
 
-const ConceptCode& CodeTable::code(ConceptId id) const {
+ConceptCode CodeTable::code(ConceptId id) const {
     SARIADNE_EXPECTS(id < canonical_.size());
-    return codes_[canonical_[id]];
+    return ConceptCode{occurrences_of(id)};
 }
 
 bool CodeTable::subsumes(ConceptId subsumer, ConceptId subsumee) const {
@@ -84,12 +90,10 @@ bool CodeTable::subsumes(ConceptId subsumer, ConceptId subsumee) const {
     const ConceptId a = canonical_[subsumer];
     const ConceptId b = canonical_[subsumee];
     if (a == b) return true;
-    for (const CodedInterval& outer : codes_[a].occurrences) {
-        for (const CodedInterval& inner : codes_[b].occurrences) {
-            if (outer.interval.contains(inner.interval)) return true;
-        }
-    }
-    return false;
+    const std::span<const CodedInterval> outer = occurrences_of(a);
+    const std::span<const CodedInterval> inner = occurrences_of(b);
+    return packed_contains(outer.data(), outer.size(), inner.data(),
+                           inner.size());
 }
 
 std::optional<int> CodeTable::distance(ConceptId subsumer,
@@ -98,16 +102,11 @@ std::optional<int> CodeTable::distance(ConceptId subsumer,
     const ConceptId a = canonical_[subsumer];
     const ConceptId b = canonical_[subsumee];
     if (a == b) return 0;
-    int best = std::numeric_limits<int>::max();
-    for (const CodedInterval& outer : codes_[a].occurrences) {
-        for (const CodedInterval& inner : codes_[b].occurrences) {
-            if (inner.depth <= outer.depth) continue;  // can't be nested below
-            if (outer.interval.contains(inner.interval)) {
-                best = std::min(best, inner.depth - outer.depth);
-            }
-        }
-    }
-    if (best == std::numeric_limits<int>::max()) return std::nullopt;
+    const std::span<const CodedInterval> outer = occurrences_of(a);
+    const std::span<const CodedInterval> inner = occurrences_of(b);
+    const int best = packed_distance(outer.data(), outer.size(), inner.data(),
+                                     inner.size());
+    if (best < 0) return std::nullopt;
     return best;
 }
 

@@ -10,6 +10,14 @@
 //                       over containing pairs (equals the taxonomy's
 //                       min-path level distance)
 //
+// Storage is a CSR-packed flat layout: one contiguous CodedInterval array
+// for the whole table plus a per-representative offset array, with each
+// concept's occurrence slice sorted by interval start. Occurrences of one
+// concept are pairwise disjoint (a concept never recurs inside its own
+// unfolded subtree), so subsumes()/distance() run as O(na + nb) two-pointer
+// merges over adjacent memory (see packed_contains / packed_distance in
+// interval.hpp) instead of nested O(na × nb) loops.
+//
 // Code tables carry a version tag derived from (ontology URI, ontology
 // version, encoding parameters); advertisements and requests embed the tag
 // so stale codes are detected after ontology evolution, per the paper.
@@ -17,6 +25,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,16 +38,11 @@ namespace sariadne::encoding {
 
 using onto::ConceptId;
 
-/// One interval occurrence of a concept, tagged with its tree depth.
-struct CodedInterval {
-    Interval interval;
-    std::int32_t depth = 0;
-};
-
-/// All interval occurrences of one concept. Equivalent concepts share the
-/// same occurrence list (their representative's).
+/// All interval occurrences of one concept, viewed into the packed table.
+/// Equivalent concepts share the same occurrence slice (their
+/// representative's). The view stays valid as long as the table lives.
 struct ConceptCode {
-    std::vector<CodedInterval> occurrences;
+    std::span<const CodedInterval> occurrences;
 };
 
 class CodeTable {
@@ -58,12 +62,20 @@ public:
     /// level distance when subsumption holds, std::nullopt otherwise.
     std::optional<int> distance(ConceptId subsumer, ConceptId subsumee) const;
 
-    const ConceptCode& code(ConceptId id) const;
+    ConceptCode code(ConceptId id) const;
 
-    std::size_t class_count() const noexcept { return codes_.size(); }
+    /// Representative of `id`'s equivalence class (the concept whose packed
+    /// slice `id` shares).
+    ConceptId canonical(ConceptId id) const;
+
+    /// The packed occurrence slice of `id`'s equivalence class, sorted by
+    /// interval start. Valid while the table lives.
+    std::span<const CodedInterval> occurrences_of(ConceptId id) const;
+
+    std::size_t class_count() const noexcept { return canonical_.size(); }
 
     /// Total interval occurrences across all concepts (replication metric).
-    std::size_t total_occurrences() const noexcept { return total_occurrences_; }
+    std::size_t total_occurrences() const noexcept { return packed_.size(); }
 
     /// Version tag embedded in advertisements/requests (§3.2 consistency).
     std::uint64_t version_tag() const noexcept { return version_tag_; }
@@ -76,13 +88,24 @@ public:
     static constexpr std::size_t kMaxTotalOccurrences = 1u << 20;
 
 private:
-    std::vector<ConceptId> canonical_;  // concept -> representative
-    std::vector<ConceptCode> codes_;    // indexed by representative id
-    std::size_t total_occurrences_ = 0;
+    std::vector<ConceptId> canonical_;      // concept -> representative
+    std::vector<std::uint32_t> offsets_;    // representative -> packed_ range
+    std::vector<CodedInterval> packed_;     // all occurrences, CSR layout
     std::uint64_t version_tag_ = 0;
     std::string ontology_uri_;
     std::uint32_t ontology_version_ = 0;
     EncodingParams params_;
 };
+
+inline ConceptId CodeTable::canonical(ConceptId id) const {
+    return canonical_[id];
+}
+
+inline std::span<const CodedInterval> CodeTable::occurrences_of(
+    ConceptId id) const {
+    const ConceptId rep = canonical_[id];
+    return std::span<const CodedInterval>(packed_.data() + offsets_[rep],
+                                          offsets_[rep + 1] - offsets_[rep]);
+}
 
 }  // namespace sariadne::encoding

@@ -5,6 +5,9 @@
 // reduces to containment — "a numeric comparison of codes".
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 namespace sariadne::encoding {
 
 struct Interval {
@@ -37,5 +40,75 @@ struct Interval {
 
     friend bool operator==(const Interval&, const Interval&) noexcept = default;
 };
+
+/// One interval occurrence of a concept, tagged with its tree depth in the
+/// spanning-tree unfolding of the classified DAG.
+struct CodedInterval {
+    Interval interval;
+    std::int32_t depth = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Packed-occurrence kernels.
+//
+// Both kernels take two occurrence lists that are (a) sorted by `lo` and
+// (b) pairwise disjoint. Disjointness holds by construction: occurrences of
+// one concept sit at distinct positions of the spanning-tree unfolding, and
+// a concept never appears inside its own subtree (the classified taxonomy is
+// acyclic), so no occurrence of a concept can nest inside another occurrence
+// of the same concept. Under those two facts a single forward merge over
+// (outer, inner) finds every containment pair: each inner interval is
+// contained in at most one outer (outers are disjoint), and once
+// inner.lo >= outer.hi that outer can never contain a later inner.
+// ---------------------------------------------------------------------------
+
+/// True iff some `inner` occurrence is geometrically contained in some
+/// `outer` occurrence. O(na + nb) two-pointer merge, early exit on first hit.
+inline bool packed_contains(const CodedInterval* outer, std::size_t na,
+                            const CodedInterval* inner,
+                            std::size_t nb) noexcept {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < na && j < nb) {
+        if (inner[j].interval.lo < outer[i].interval.lo) {
+            ++j;  // inner starts before this outer: disjoint or contains it
+        } else if (inner[j].interval.lo >= outer[i].interval.hi) {
+            ++i;  // inner starts after this outer ends: outer is done
+        } else if (inner[j].interval.hi <= outer[i].interval.hi) {
+            return true;  // nested-or-disjoint + start inside ⇒ containment
+        } else {
+            ++i;  // inner strictly contains outer[i]; try the next outer
+        }
+    }
+    return false;
+}
+
+/// Minimum depth(inner) − depth(outer) over containing pairs, or −1 when no
+/// `inner` occurrence nests inside an `outer` occurrence. Early exit at the
+/// minimum possible nested distance (1).
+inline int packed_distance(const CodedInterval* outer, std::size_t na,
+                           const CodedInterval* inner,
+                           std::size_t nb) noexcept {
+    int best = -1;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < na && j < nb) {
+        if (inner[j].interval.lo < outer[i].interval.lo) {
+            ++j;
+        } else if (inner[j].interval.lo >= outer[i].interval.hi) {
+            ++i;
+        } else if (inner[j].interval.hi <= outer[i].interval.hi) {
+            const int d = inner[j].depth - outer[i].depth;
+            if (d > 0 && (best < 0 || d < best)) {
+                if (d == 1) return 1;
+                best = d;
+            }
+            ++j;
+        } else {
+            ++i;
+        }
+    }
+    return best;
+}
 
 }  // namespace sariadne::encoding

@@ -14,6 +14,7 @@
 // (directories load their ontologies up front, §3 "off-line").
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -31,6 +32,11 @@ namespace sariadne::encoding {
 using onto::ConceptRef;
 using onto::OntologyIndex;
 
+/// Seed of the environment-tag fold. Anything that recomputes the tag from
+/// cached per-ontology tables (e.g. matching::EncodedOracle) must fold with
+/// the same seed to stay bit-identical with KnowledgeBase::environment_tag.
+inline constexpr std::uint64_t kEnvironmentSeed = 0x5EED0C0DE5ULL;
+
 class KnowledgeBase {
 public:
     explicit KnowledgeBase(EncodingParams params = {},
@@ -43,6 +49,7 @@ public:
         : params_(other.params_),
           registry_(std::move(other.registry_)),
           taxonomies_(std::move(other.taxonomies_)),
+          global_tag_(other.global_tag_.load(std::memory_order_relaxed)),
           tables_(std::move(other.tables_)) {}
 
     KnowledgeBase(const KnowledgeBase&) = delete;
@@ -51,7 +58,9 @@ public:
     /// Registers (or upgrades) an ontology; classification and encoding
     /// happen lazily on first use.
     OntologyIndex register_ontology(onto::Ontology ontology) {
-        return registry_.add(std::move(ontology));
+        const OntologyIndex index = registry_.add(std::move(ontology));
+        global_tag_.store(compute_global_tag(), std::memory_order_release);
+        return index;
     }
 
     const onto::OntologyRegistry& registry() const noexcept { return registry_; }
@@ -91,11 +100,23 @@ public:
     /// version of the codes being used"). Changes whenever any referenced
     /// ontology's version or the encoding parameters change.
     std::uint64_t environment_tag(const FlatSet<OntologyIndex>& ontologies) {
-        std::uint64_t acc = 0x5EED0C0DE5ULL;
+        std::uint64_t acc = kEnvironmentSeed;
         for (const OntologyIndex index : ontologies) {
             acc = combine_unordered(acc, code_table(index).version_tag());
         }
         return mix64(acc);
+    }
+
+    /// Whole-environment tag: one word summarizing every registered
+    /// ontology's (URI, version). This is the coarse freshness check the
+    /// matching fast path compares per call (two integer compares), so it
+    /// is maintained eagerly at registration and read with one atomic
+    /// load. Any registration invalidates all signatures — acceptable
+    /// because registration is quiesced and rare (§3 "off-line"), while
+    /// the per-set overload above stays the precise wire-protocol tag.
+    /// Never 0 (0 is DistanceOracle's "no fast path" sentinel).
+    std::uint64_t environment_tag() const noexcept {
+        return global_tag_.load(std::memory_order_acquire);
     }
 
     /// Number of classification runs performed so far (cache misses) —
@@ -112,9 +133,26 @@ private:
         std::uint32_t version = 0;
     };
 
+    /// Folds (URI, version) of every registered ontology plus the encoding
+    /// parameters. Registry-only on purpose: it must not force lazy table
+    /// builds, and table contents are a function of exactly these inputs.
+    std::uint64_t compute_global_tag() const {
+        std::uint64_t acc = kEnvironmentSeed;
+        for (OntologyIndex i = 0; i < registry_.size(); ++i) {
+            const onto::Ontology& o = registry_.at(i);
+            acc = combine_unordered(
+                acc, mix64(fnv1a64(o.uri()) ^
+                           (std::uint64_t{o.version()} << 32) ^
+                           (std::uint64_t{params_.p} << 8) ^ params_.k));
+        }
+        const std::uint64_t tag = mix64(acc);
+        return tag != 0 ? tag : 1;  // keep 0 free as the sentinel
+    }
+
     EncodingParams params_;
     onto::OntologyRegistry registry_;
     reasoner::TaxonomyCache taxonomies_;
+    std::atomic<std::uint64_t> global_tag_{1};
     mutable std::shared_mutex tables_mutex_;  ///< guards tables_
     std::unordered_map<std::string, TableEntry> tables_;
 };

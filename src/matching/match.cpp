@@ -31,11 +31,87 @@ bool cover_all(const std::vector<ConceptRef>& expected,
     return true;
 }
 
+/// d() on packed signature codes: nullopt across ontologies, 0 within one
+/// equivalence class, otherwise the merge-scan minimum nesting distance
+/// (see packed_distance). Mirrors EncodedOracle::distance exactly.
+inline std::optional<int> coded_distance(const desc::CodeSignature& subsumer_sig,
+                                         const desc::CodedConceptSpan& subsumer,
+                                         const desc::CodeSignature& subsumee_sig,
+                                         const desc::CodedConceptSpan& subsumee) {
+    if (subsumer.ontology != subsumee.ontology) return std::nullopt;
+    if (subsumer.canonical == subsumee.canonical) return 0;
+    const int best = encoding::packed_distance(
+        subsumer_sig.intervals.data() + subsumer.begin, subsumer.count,
+        subsumee_sig.intervals.data() + subsumee.begin, subsumee.count);
+    if (best < 0) return std::nullopt;
+    return best;
+}
+
+/// cover_all on packed signatures — same iteration order, early exits and
+/// pair accounting as the oracle path, but no virtual dispatch and no
+/// pointer-chasing beyond the two flat interval arrays.
+bool cover_all_encoded(const desc::CodeSignature& expected_sig,
+                       const std::vector<desc::CodedConceptSpan>& expected,
+                       const desc::CodeSignature& offered_sig,
+                       const std::vector<desc::CodedConceptSpan>& offered,
+                       bool provider_expects, std::uint64_t& pairs,
+                       int& total) {
+    for (const desc::CodedConceptSpan& want : expected) {
+        int best = std::numeric_limits<int>::max();
+        for (const desc::CodedConceptSpan& have : offered) {
+            ++pairs;
+            const auto d =
+                provider_expects
+                    ? coded_distance(expected_sig, want, offered_sig, have)
+                    : coded_distance(offered_sig, have, expected_sig, want);
+            if (d && *d < best) {
+                best = *d;
+                if (best == 0) break;  // cannot improve
+            }
+        }
+        if (best == std::numeric_limits<int>::max()) return false;
+        total += best;
+    }
+    return true;
+}
+
+/// The batched fast path: the three Match clauses over two CodeSignatures.
+MatchOutcome match_encoded(const ResolvedCapability& provided,
+                           const ResolvedCapability& required,
+                           DistanceOracle& oracle) {
+    const desc::CodeSignature& ps = provided.signature;
+    const desc::CodeSignature& rs = required.signature;
+    std::uint64_t pairs = 0;
+    int total = 0;
+    const bool matched =
+        cover_all_encoded(ps, ps.inputs, rs, rs.inputs,
+                          /*provider_expects=*/true, pairs, total) &&
+        cover_all_encoded(rs, rs.outputs, ps, ps.outputs,
+                          /*provider_expects=*/false, pairs, total) &&
+        cover_all_encoded(rs, rs.properties, ps, ps.properties,
+                          /*provider_expects=*/false, pairs, total);
+    oracle.note_batched_queries(pairs);
+    return matched ? MatchOutcome{true, total} : MatchOutcome{false, 0};
+}
+
 }  // namespace
 
 MatchOutcome match_capability(const ResolvedCapability& provided,
                               const ResolvedCapability& required,
                               DistanceOracle& oracle) {
+    // Fast path: both sides carry signatures built against the knowledge
+    // base's current whole-environment state. The guard is two integer
+    // compares against the oracle's global tag (0 means "no encoded view"
+    // — the DistanceOracle base — and never dispatches); a stale tag only
+    // ever causes fallback to the oracle path, never a wrong answer.
+    const desc::CodeSignature& ps = provided.signature;
+    const desc::CodeSignature& rs = required.signature;
+    const std::uint64_t env = oracle.global_environment_tag();
+    if (ps.valid && rs.valid && env != 0 && ps.global_tag == env &&
+        rs.global_tag == env) {
+        return match_encoded(provided, required, oracle);
+    }
+
     int total = 0;
     // Inputs: the provider's expected inputs must all be supplied; the
     // provider-side (expected) concept subsumes the offered one.

@@ -43,9 +43,32 @@ public:
     virtual std::optional<int> distance(ConceptRef subsumer,
                                         ConceptRef subsumee) = 0;
 
+    /// Combined code-version tag of an ontology set as this oracle sees it
+    /// — the precise per-set tag used at publish-time version validation.
+    /// The base returns 0 (no encoded view), so non-encoded oracles always
+    /// use the d() path.
+    virtual std::uint64_t environment_tag(
+        const FlatSet<onto::OntologyIndex>& ontologies) {
+        (void)ontologies;
+        return 0;
+    }
+
+    /// Whole-environment tag as this oracle sees it. The batched
+    /// flat-layout kernel is taken only when both capabilities carry valid
+    /// CodeSignatures whose global_tag equals this — a single integer
+    /// compare per side, cheap enough for flat-scan inner loops. The base
+    /// returns 0 (no encoded view): with it, the guard never passes.
+    virtual std::uint64_t global_environment_tag() { return 0; }
+
     /// Number of d() evaluations performed — the paper's "number of
     /// semantic matches" cost metric at concept granularity.
     std::uint64_t queries() const noexcept { return queries_; }
+
+    /// Reports concept-pair evaluations done by the batched encoded kernel
+    /// so queries() counts both matching paths identically.
+    void note_batched_queries(std::uint64_t pairs) noexcept {
+        queries_ += pairs;
+    }
 
 protected:
     std::uint64_t queries_ = 0;
@@ -58,7 +81,11 @@ struct MatchOutcome {
 };
 
 /// Evaluates Match(provided, required) and, when it holds, the semantic
-/// distance. Returns {false, 0} otherwise.
+/// distance. Returns {false, 0} otherwise. When both capabilities carry
+/// CodeSignatures whose environment tags match the oracle's current view,
+/// the evaluation runs as a non-virtual batched kernel over the packed
+/// interval arrays (identical results, identical queries() accounting);
+/// otherwise it falls back to per-pair oracle.distance() calls.
 MatchOutcome match_capability(const ResolvedCapability& provided,
                               const ResolvedCapability& required,
                               DistanceOracle& oracle);

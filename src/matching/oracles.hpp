@@ -7,17 +7,19 @@
 //                    and by the online matcher.
 //
 // Oracles are deliberately *not* thread-safe (they carry a query counter
-// and, for EncodedOracle, a code-table cache): concurrent callers each
-// construct their own — an oracle is two words plus a small vector, and
+// and, for EncodedOracle, a code-table cache plus a small distance memo):
+// concurrent callers each construct their own — an oracle is a few KB, and
 // SemanticDirectory materializes one per publish/query operation.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "encoding/knowledge_base.hpp"
 #include "matching/match.hpp"
 #include "ontology/registry.hpp"
 #include "reasoner/taxonomy_cache.hpp"
+#include "support/hash.hpp"
 
 namespace sariadne::matching {
 
@@ -26,35 +28,84 @@ public:
     explicit EncodedOracle(encoding::KnowledgeBase& kb) noexcept : kb_(&kb) {}
 
     std::optional<int> distance(ConceptRef subsumer, ConceptRef subsumee) override {
-        ++queries_;
+        ++queries_;  // counted before the memo: queries() is path-invariant
         if (subsumer.ontology != subsumee.ontology) return std::nullopt;
-        return table(subsumer.ontology)
-            .distance(subsumer.concept_id, subsumee.concept_id);
+        // Per-operation direct-mapped memo: DAG traversal re-asks the same
+        // (subsumer, subsumee) pairs at every level it descends through.
+        // Slots store the exact triple, so a hash collision evicts instead
+        // of answering wrong; staleness is impossible within one oracle
+        // lifetime (ontology registration is quiesced, see header).
+        const std::uint64_t key =
+            mix64((std::uint64_t{subsumer.concept_id} << 32) ^
+                  subsumee.concept_id ^
+                  (std::uint64_t{subsumer.ontology} << 17));
+        MemoEntry& entry = memo_[key & (kMemoSlots - 1)];
+        if (entry.ontology == subsumer.ontology &&
+            entry.subsumer == subsumer.concept_id &&
+            entry.subsumee == subsumee.concept_id) {
+            if (entry.dist < 0) return std::nullopt;
+            return entry.dist;
+        }
+        const auto d = table(subsumer.ontology)
+                           .distance(subsumer.concept_id, subsumee.concept_id);
+        entry = MemoEntry{subsumer.ontology, subsumer.concept_id,
+                          subsumee.concept_id, d ? *d : -1};
+        return d;
+    }
+
+    /// The precise per-set tag attach_code_signature embedded in
+    /// environment_tag: same fold, same seed as
+    /// KnowledgeBase::environment_tag(set), but over the oracle's cached
+    /// table pointers (no reader lock after first touch). Used by
+    /// publish-time version validation, not by the per-match dispatch
+    /// guard (that compares global_environment_tag(), one atomic load).
+    std::uint64_t environment_tag(
+        const FlatSet<onto::OntologyIndex>& ontologies) override {
+        std::uint64_t acc = encoding::kEnvironmentSeed;
+        for (const onto::OntologyIndex index : ontologies) {
+            acc = combine_unordered(acc, table(index).version_tag());
+        }
+        return mix64(acc);
+    }
+
+    /// The knowledge base's eagerly maintained whole-environment tag (one
+    /// atomic load) — what the fast-path dispatch guard compares against
+    /// CodeSignature::global_tag on every match_capability call.
+    std::uint64_t global_environment_tag() override {
+        return kb_->environment_tag();
     }
 
 private:
     /// Memoized code-table lookup: the first d() against an ontology pays
-    /// the knowledge base's reader lock; subsequent ones are a version
-    /// compare plus an indexed load. Keeps the contended lock off the
-    /// per-concept hot path under parallel queries.
+    /// the knowledge base's reader lock; subsequent ones are an indexed
+    /// load. Filled once per ontology — registration requires quiescence
+    /// (see header), so a table pointer cannot go stale within one
+    /// oracle's lifetime. Keeps the contended lock off the per-concept
+    /// hot path under parallel queries.
     const encoding::CodeTable& table(onto::OntologyIndex index) {
         if (index >= cache_.size()) cache_.resize(index + 1);
-        CacheEntry& slot = cache_[index];
-        const std::uint32_t version = kb_->registry().at(index).version();
-        if (slot.table == nullptr || slot.version != version) {
-            slot.table = &kb_->code_table(index);
-            slot.version = version;
-        }
-        return *slot.table;
+        const encoding::CodeTable*& slot = cache_[index];
+        if (slot == nullptr) slot = &kb_->code_table(index);
+        return *slot;
     }
 
-    struct CacheEntry {
-        const encoding::CodeTable* table = nullptr;
-        std::uint32_t version = 0;
+    // All-zero is a *valid* entry — "distance(0, 0) in ontology 0 is 0" —
+    // which is true by reflexivity, so zero-initialization doubles as a
+    // correct warm state and construction is one small memset. Kept small
+    // (one page would be re-cleared per oracle, i.e. per operation): the
+    // DAG re-asks the same pairs level after level within one traversal,
+    // which a 64-slot working set covers.
+    struct MemoEntry {
+        std::uint32_t ontology = 0;
+        std::uint32_t subsumer = 0;
+        std::uint32_t subsumee = 0;
+        std::int32_t dist = 0;  ///< −1 encodes "no subsumption" (nullopt)
     };
+    static constexpr std::size_t kMemoSlots = 64;  // power of two
 
     encoding::KnowledgeBase* kb_;
-    std::vector<CacheEntry> cache_;
+    std::vector<const encoding::CodeTable*> cache_;
+    std::array<MemoEntry, kMemoSlots> memo_{};
 };
 
 class TaxonomyOracle final : public DistanceOracle {

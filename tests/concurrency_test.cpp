@@ -133,6 +133,79 @@ TEST(Concurrency, PublishersAndQueriersDontLoseServicesOrCorrectness) {
     }
 }
 
+TEST(Concurrency, FastPathQueriesAreRaceFreeAndCorrectUnderChurn) {
+    // Fast-path variant of the stress test above: the request capabilities
+    // are resolved through the KnowledgeBase overload so they carry fresh
+    // CodeSignatures, and several query threads share those *same* signed
+    // objects concurrently while publishers churn. The batched kernel and
+    // the quick-reject summaries only ever read the signatures, so this
+    // must be TSan-clean and distance-identical to the seeded reference.
+    StressWorld world(4, 4242);
+    SemanticDirectory directory(world.kb);
+
+    constexpr std::size_t kSeeded = 32;
+    for (std::size_t i = 0; i < kSeeded; ++i) {
+        directory.publish(world.workload.service(i));
+    }
+
+    // Pre-signed shared requests + single-threaded reference distances.
+    std::vector<std::vector<desc::ResolvedCapability>> signed_requests;
+    std::vector<int> expected_best(kSeeded);
+    signed_requests.reserve(kSeeded);
+    for (std::size_t i = 0; i < kSeeded; ++i) {
+        signed_requests.push_back(desc::resolve_request(
+            world.workload.matching_request(i), world.kb));
+        const auto result = directory.query_resolved(signed_requests.back());
+        ASSERT_TRUE(result.fully_satisfied()) << "seed request " << i;
+        expected_best[i] = result.per_capability[0][0].semantic_distance;
+    }
+
+    constexpr std::size_t kPublishers = 3;
+    constexpr std::size_t kPerPublisher = 16;
+    constexpr std::size_t kQueriers = 4;
+    constexpr std::size_t kQueriesEach = 120;
+
+    std::atomic<std::size_t> unsatisfied{0};
+    std::atomic<std::size_t> distance_mismatches{0};
+
+    std::vector<std::thread> threads;
+    for (std::size_t p = 0; p < kPublishers; ++p) {
+        threads.emplace_back([&, p] {
+            for (std::size_t j = 0; j < kPerPublisher; ++j) {
+                const std::size_t index = kSeeded + p * kPerPublisher + j;
+                directory.publish(world.workload.service(index));
+            }
+        });
+    }
+    for (std::size_t q = 0; q < kQueriers; ++q) {
+        threads.emplace_back([&, q] {
+            for (std::size_t j = 0; j < kQueriesEach; ++j) {
+                const std::size_t i = (q * 13 + j) % kSeeded;
+                const auto result =
+                    directory.query_resolved(signed_requests[i]);
+                if (!result.fully_satisfied()) {
+                    unsatisfied.fetch_add(1, std::memory_order_relaxed);
+                    continue;
+                }
+                if (result.per_capability[0][0].semantic_distance >
+                    expected_best[i]) {
+                    distance_mismatches.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+
+    EXPECT_EQ(unsatisfied.load(), 0u);
+    EXPECT_EQ(distance_mismatches.load(), 0u);
+    EXPECT_EQ(directory.service_count(), kSeeded + kPublishers * kPerPublisher);
+
+    // The fast path actually engaged: quick-rejects are part of the
+    // lifetime stats only when signatures were live during the sweep.
+    const MatchStats lifetime = directory.lifetime_stats();
+    EXPECT_GT(lifetime.quick_rejects, 0u);
+}
+
 TEST(Concurrency, ConcurrentRemovalsKeepTheTableConsistent) {
     StressWorld world(3, 77);
     SemanticDirectory directory(world.kb);

@@ -1,0 +1,302 @@
+// Differential coverage for the flat-layout matching fast path: the packed
+// CodeTable kernels, the batched CodeSignature matcher and the DAG
+// quick-reject summaries must be *observationally identical* to the
+// pre-existing oracle path and to the TaxonomyOracle reference (reasoner
+// BFS, no interval codes) on randomized workloads. Any divergence — match
+// verdict, semantic distance, query results, even the concept-query
+// counters — is a bug in the fast path.
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "description/resolved.hpp"
+#include "directory/dag.hpp"
+#include "directory/semantic_directory.hpp"
+#include "matching/oracles.hpp"
+#include "reasoner/taxonomy_cache.hpp"
+#include "test_helpers.hpp"
+#include "workload/ontology_gen.hpp"
+#include "workload/service_gen.hpp"
+
+namespace sariadne::directory {
+namespace {
+
+namespace th = sariadne::testing;
+
+struct World {
+    encoding::KnowledgeBase kb;  // must precede workload (fill order)
+    workload::ServiceWorkload workload;
+
+    World(std::size_t ontologies, std::size_t classes, unsigned seed)
+        : workload(make_universe(ontologies, classes, seed, kb)) {}
+
+private:
+    static std::vector<onto::Ontology> make_universe(std::size_t ontologies,
+                                                     std::size_t classes,
+                                                     unsigned seed,
+                                                     encoding::KnowledgeBase& kb) {
+        workload::OntologyGenConfig config;
+        config.class_count = classes;
+        auto universe = workload::generate_universe(ontologies, config, seed);
+        for (const auto& o : universe) kb.register_ontology(o);
+        return universe;
+    }
+};
+
+/// Signed (CodeSignature attached) and plain resolutions of one capability.
+struct CapPair {
+    desc::ResolvedCapability with_signature;
+    desc::ResolvedCapability plain;
+};
+
+std::vector<CapPair> resolved_pairs(World& world, std::size_t services) {
+    std::vector<CapPair> pairs;
+    for (std::size_t i = 0; i < services; ++i) {
+        const auto service = world.workload.service(i);
+        auto fast = desc::resolve_provided(service, world.kb);
+        auto slow = desc::resolve_provided(service, world.kb.registry());
+        EXPECT_EQ(fast.size(), slow.size());
+        for (std::size_t c = 0; c < fast.size(); ++c) {
+            pairs.push_back(
+                CapPair{std::move(fast[c]), std::move(slow[c])});
+        }
+    }
+    return pairs;
+}
+
+std::vector<CapPair> request_pairs(World& world, std::size_t count) {
+    std::vector<CapPair> pairs;
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto request = world.workload.matching_request(i);
+        auto fast = desc::resolve_request(request, world.kb);
+        auto slow = desc::resolve_request(request, world.kb.registry());
+        EXPECT_EQ(fast.size(), slow.size());
+        for (std::size_t c = 0; c < fast.size(); ++c) {
+            pairs.push_back(
+                CapPair{std::move(fast[c]), std::move(slow[c])});
+        }
+    }
+    return pairs;
+}
+
+TEST(Differential, PackedTableAgreesWithTaxonomyOnEveryConceptPair) {
+    World world(6, 26, 1234);
+    for (onto::OntologyIndex o = 0; o < world.kb.registry().size(); ++o) {
+        const encoding::CodeTable& table = world.kb.code_table(o);
+        const reasoner::Taxonomy& taxonomy = world.kb.taxonomy(o);
+        const auto n = static_cast<onto::ConceptId>(table.class_count());
+        for (onto::ConceptId a = 0; a < n; ++a) {
+            for (onto::ConceptId b = 0; b < n; ++b) {
+                const auto coded = table.distance(a, b);
+                const auto reference = taxonomy.distance(a, b);
+                ASSERT_EQ(coded.has_value(), reference.has_value())
+                    << "ontology " << o << " pair (" << a << ", " << b << ")";
+                if (coded) {
+                    ASSERT_EQ(*coded, *reference)
+                        << "ontology " << o << " pair (" << a << ", " << b
+                        << ")";
+                }
+                ASSERT_EQ(table.subsumes(a, b), coded.has_value());
+            }
+        }
+    }
+}
+
+TEST(Differential, BatchedKernelMatchesOraclePathAndTaxonomyReference) {
+    World world(5, 24, 777);
+    const auto providers = resolved_pairs(world, 25);
+    const auto requests = request_pairs(world, 25);
+    reasoner::TaxonomyCache taxonomies;
+
+    std::size_t matched = 0;
+    for (const CapPair& p : providers) {
+        ASSERT_TRUE(p.with_signature.signature.valid);
+        for (const CapPair& r : requests) {
+            matching::EncodedOracle fast(world.kb);
+            matching::EncodedOracle slow(world.kb);
+            matching::TaxonomyOracle reference(world.kb.registry(), taxonomies);
+            const auto a = matching::match_capability(p.with_signature,
+                                                      r.with_signature, fast);
+            const auto b =
+                matching::match_capability(p.plain, r.plain, slow);
+            const auto c =
+                matching::match_capability(p.plain, r.plain, reference);
+            ASSERT_EQ(a.matched, b.matched) << p.plain.name << " vs "
+                                            << r.plain.name;
+            ASSERT_EQ(a.matched, c.matched) << p.plain.name << " vs "
+                                            << r.plain.name;
+            if (a.matched) {
+                ASSERT_EQ(a.semantic_distance, b.semantic_distance);
+                ASSERT_EQ(a.semantic_distance, c.semantic_distance);
+            }
+            // Stat parity: the batched kernel reports exactly the concept
+            // pairs the per-pair oracle path would have evaluated.
+            ASSERT_EQ(fast.queries(), slow.queries())
+                << p.plain.name << " vs " << r.plain.name;
+            matched += a.matched ? 1 : 0;
+        }
+    }
+    // The workload guarantees matching requests exist, so the test really
+    // exercised both verdicts.
+    EXPECT_GT(matched, 0u);
+    EXPECT_LT(matched, providers.size() * requests.size());
+}
+
+TEST(Differential, QuickRejectNeverRejectsARealMatch) {
+    World world(5, 24, 909);
+    const auto providers = resolved_pairs(world, 30);
+    const auto requests = request_pairs(world, 30);
+    reasoner::TaxonomyCache taxonomies;
+    matching::EncodedOracle tagger(world.kb);
+
+    const std::uint64_t env = tagger.global_environment_tag();
+    ASSERT_NE(env, 0u);
+    std::size_t rejects = 0;
+    for (const CapPair& p : providers) {
+        const MatchSummary ps = make_match_summary(p.with_signature);
+        const bool p_fresh = ps.code_tag == env;
+        ASSERT_TRUE(p_fresh);
+        for (const CapPair& r : requests) {
+            const MatchSummary rs = make_match_summary(r.with_signature);
+            const bool fresh = p_fresh && rs.code_tag == env;
+            if (!quick_reject(ps, rs, fresh)) continue;
+            ++rejects;
+            matching::TaxonomyOracle reference(world.kb.registry(), taxonomies);
+            ASSERT_FALSE(
+                matching::matches(p.plain, r.plain, reference))
+                << "quick_reject dropped a real match: " << p.plain.name
+                << " vs " << r.plain.name;
+        }
+    }
+    // The sweep must actually exercise rejection (cross-ontology pairs
+    // abound in this workload).
+    EXPECT_GT(rejects, 0u);
+}
+
+TEST(Differential, DirectoryQueryAgreesWithTaxonomyBruteForce) {
+    World world(6, 24, 555);
+    constexpr std::size_t kServices = 50;
+
+    SemanticDirectory directory(world.kb);
+    for (std::size_t i = 0; i < kServices; ++i) {
+        directory.publish(world.workload.service(i));
+    }
+
+    // Reference corpus: every provided capability, resolved without
+    // signatures, matched by the reasoner-backed oracle.
+    std::vector<desc::ResolvedCapability> corpus;
+    for (std::size_t i = 0; i < kServices; ++i) {
+        for (auto& cap : desc::resolve_provided(world.workload.service(i),
+                                                world.kb.registry())) {
+            corpus.push_back(std::move(cap));
+        }
+    }
+    reasoner::TaxonomyCache taxonomies;
+
+    using Hit = std::tuple<std::string, std::string, int>;
+    for (std::size_t i = 0; i < kServices; i += 3) {
+        const auto resolved = desc::resolve_request(
+            world.workload.matching_request(i), world.kb.registry());
+        const auto result = directory.query_resolved(resolved);
+        ASSERT_EQ(result.per_capability.size(), resolved.size());
+
+        for (std::size_t c = 0; c < resolved.size(); ++c) {
+            // Brute-force best tier under the taxonomy reference.
+            matching::TaxonomyOracle reference(world.kb.registry(), taxonomies);
+            std::vector<Hit> expected;
+            int best = -1;
+            for (const auto& cap : corpus) {
+                const auto outcome =
+                    matching::match_capability(cap, resolved[c], reference);
+                if (!outcome.matched) continue;
+                if (best < 0 || outcome.semantic_distance < best) {
+                    best = outcome.semantic_distance;
+                    expected.clear();
+                }
+                if (outcome.semantic_distance == best) {
+                    expected.emplace_back(cap.service_name, cap.name, best);
+                }
+            }
+            std::vector<Hit> actual;
+            for (const MatchHit& hit : result.per_capability[c]) {
+                actual.emplace_back(hit.service_name, hit.capability_name,
+                                    hit.semantic_distance);
+            }
+            std::sort(expected.begin(), expected.end());
+            std::sort(actual.begin(), actual.end());
+            ASSERT_EQ(actual, expected) << "request " << i << " capability "
+                                        << c;
+        }
+    }
+}
+
+TEST(Differential, TopKIsADeterministicPrefixOfTheFullRanking) {
+    World world(4, 24, 31337);
+    SemanticDirectory directory(world.kb);
+    for (std::size_t i = 0; i < 40; ++i) {
+        directory.publish(world.workload.service(i));
+    }
+    for (std::size_t i = 0; i < 40; i += 5) {
+        const auto resolved = desc::resolve_request(
+            world.workload.matching_request(i), world.kb.registry());
+        QueryOptions all_options;
+        all_options.top_k = 1000;  // larger than any hit list
+        const auto all = directory.query_resolved(resolved, all_options);
+        QueryOptions top_options;
+        top_options.top_k = 3;
+        const auto top = directory.query_resolved(resolved, top_options);
+        ASSERT_EQ(all.per_capability.size(), top.per_capability.size());
+        for (std::size_t c = 0; c < all.per_capability.size(); ++c) {
+            const auto& full = all.per_capability[c];
+            const auto& prefix = top.per_capability[c];
+            ASSERT_EQ(prefix.size(), std::min<std::size_t>(3, full.size()));
+            for (std::size_t k = 0; k < prefix.size(); ++k) {
+                EXPECT_EQ(prefix[k].service, full[k].service);
+                EXPECT_EQ(prefix[k].capability_name, full[k].capability_name);
+                EXPECT_EQ(prefix[k].semantic_distance,
+                          full[k].semantic_distance);
+            }
+            // The full ranking is sorted by the documented tie-break.
+            for (std::size_t k = 1; k < full.size(); ++k) {
+                const auto rank = [](const MatchHit& h) {
+                    return std::make_tuple(h.semantic_distance, h.service,
+                                           h.capability_name);
+                };
+                EXPECT_LE(rank(full[k - 1]), rank(full[k]));
+            }
+        }
+    }
+}
+
+TEST(Differential, QuickRejectPrunesSiblingCategoriesInsideOneDag) {
+    // Figure 1 world: the workstation provides SendDigitalStream
+    // (DigitalServer, the DAG root) and ProvideGame (GameServer, its
+    // child). A VideoServer request matches the root at distance 3 but can
+    // never match the GameServer branch, and with fresh signatures on both
+    // sides that mismatch is visible on interval boxes alone — the child
+    // vertex is skipped without a Match evaluation.
+    encoding::KnowledgeBase kb;
+    kb.register_ontology(th::media_ontology());
+    kb.register_ontology(th::server_ontology());
+    SemanticDirectory directory(kb);
+    directory.publish(th::workstation_service());
+
+    desc::ServiceRequest request;
+    request.requester = "pda";
+    request.capabilities.push_back(th::get_video_stream());
+
+    const auto result = directory.query(request);
+    ASSERT_EQ(result.per_capability.size(), 1u);
+    ASSERT_EQ(result.per_capability[0].size(), 1u);
+    EXPECT_EQ(result.per_capability[0][0].capability_name,
+              "SendDigitalStream");
+    EXPECT_EQ(result.per_capability[0][0].semantic_distance, 3);
+    EXPECT_GE(result.stats.quick_rejects, 1u);
+}
+
+}  // namespace
+}  // namespace sariadne::directory
