@@ -1,0 +1,31 @@
+// Fuzz target: Amigo-S description loading — the service-advertisement
+// and request documents every node accepts from peers. Exercises both
+// try_parse entry points; on success, round-trips through the serializer
+// and re-parses, asserting the serializer emits documents its own parser
+// accepts (serialize∘parse must be closed on whatever the fuzzer finds).
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "description/amigos_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+    if (const auto service = sariadne::desc::try_parse_service(text);
+        service.ok()) {
+        const std::string again =
+            sariadne::desc::serialize_service(service.value());
+        if (!sariadne::desc::try_parse_service(again).ok()) std::abort();
+    }
+
+    if (const auto request = sariadne::desc::try_parse_request(text);
+        request.ok()) {
+        const std::string again =
+            sariadne::desc::serialize_request(request.value());
+        if (!sariadne::desc::try_parse_request(again).ok()) std::abort();
+    }
+    return 0;
+}

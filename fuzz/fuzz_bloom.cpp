@@ -1,0 +1,37 @@
+// Fuzz target: BloomFilter::try_deserialize — the summary image every
+// directory accepts from the backbone during summary exchange. The wire
+// form is a u64 sequence, so the byte input is reinterpreted in 8-byte
+// words (memcpy, not a cast: the fuzzer's buffer has no alignment
+// guarantee). Accepted filters must round-trip bit-exactly and support
+// the full query surface without faulting.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    std::vector<std::uint64_t> words(size / 8);
+    std::memcpy(words.data(), data, words.size() * 8);
+
+    const auto filter = sariadne::bloom::BloomFilter::try_deserialize(words);
+    if (!filter.has_value()) return 0;
+
+    (void)filter->fill_ratio();
+    (void)filter->false_positive_rate();
+    (void)filter->set_bit_count();
+    const std::vector<std::string> uris = {"http://a#X", "http://b#Y"};
+    (void)filter->possibly_covers(uris);
+
+    // Round-trip: serialize must reproduce the accepted image exactly.
+    const std::vector<std::uint64_t> again = filter->serialize();
+    if (again.size() != words.size() ||
+        std::memcmp(again.data(), words.data(), words.size() * 8) != 0) {
+        std::abort();
+    }
+    return 0;
+}

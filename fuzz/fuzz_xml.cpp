@@ -1,0 +1,27 @@
+// Fuzz target: the XML parser and the WSDL loader layered on it. Both
+// consume peer-controlled text (service descriptions, directory
+// summaries, syntactic-baseline documents), so any abort, leak, or
+// uncaught exception on arbitrary bytes is a bug. The harness asserts
+// the no-throw contract of the try_* entry points by calling them bare:
+// an escaping exception terminates the fuzzer and counts as a crash.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "description/wsdl.hpp"
+#include "xml/parser.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+    const auto doc = sariadne::xml::try_parse(text);
+    if (doc.ok()) {
+        // A parsed document must be walkable without faulting.
+        (void)doc.value().root.name();
+        (void)doc.value().root.children().size();
+    }
+
+    (void)sariadne::desc::try_parse_wsdl(text);
+    return 0;
+}

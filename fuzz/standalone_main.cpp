@@ -1,0 +1,155 @@
+// Standalone driver for toolchains without libFuzzer (GCC). Linked into
+// each fuzz target instead of -fsanitize=fuzzer, it provides main() and
+// feeds LLVMFuzzerTestOneInput two ways:
+//
+//   1. replays every corpus file given on the command line (directories
+//      are expanded recursively) — the regression half;
+//   2. runs `-runs=N` deterministic mutations (splitmix64-seeded byte
+//      flips, truncations, splices) of random corpus entries — a cheap,
+//      non-coverage-guided smoke that still shakes out crashes under
+//      ASan/UBSan builds.
+//
+// Flags mirror the libFuzzer spellings so CI invocations are identical:
+//   fuzz_xml -runs=20000 -seed=1 fuzz/corpus/fuzz_xml
+// Unknown -flags are ignored (so libFuzzer-only options don't error).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+using Bytes = std::vector<std::uint8_t>;
+
+/// Deterministic 64-bit PRNG (splitmix64) — no std::random_device, so a
+/// given (-seed, -runs, corpus) triple always exercises the same inputs.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next() {
+        state_ += 0x9E3779B97F4A7C15ull;
+        std::uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    std::size_t below(std::size_t bound) {
+        return bound == 0 ? 0 : static_cast<std::size_t>(next() % bound);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+Bytes read_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return Bytes(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+}
+
+void collect(const fs::path& path, std::vector<Bytes>& corpus) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+        for (const auto& entry : fs::recursive_directory_iterator(path, ec)) {
+            if (entry.is_regular_file()) corpus.push_back(read_file(entry.path()));
+        }
+    } else if (fs::is_regular_file(path, ec)) {
+        corpus.push_back(read_file(path));
+    } else {
+        std::fprintf(stderr, "standalone fuzz driver: skipping %s\n",
+                     path.string().c_str());
+    }
+}
+
+/// One mutation step: pick an operation and a position. Operations mirror
+/// libFuzzer's basic mutators minus the dictionary/coverage feedback.
+void mutate(Bytes& input, Rng& rng) {
+    switch (rng.below(6)) {
+        case 0:  // flip a random bit
+            if (!input.empty()) {
+                input[rng.below(input.size())] ^=
+                    static_cast<std::uint8_t>(1u << rng.below(8));
+            }
+            break;
+        case 1:  // overwrite a byte with a random value
+            if (!input.empty()) {
+                input[rng.below(input.size())] =
+                    static_cast<std::uint8_t>(rng.next());
+            }
+            break;
+        case 2:  // truncate at a random point
+            if (!input.empty()) input.resize(rng.below(input.size()));
+            break;
+        case 3:  // insert a random byte
+            input.insert(input.begin() +
+                             static_cast<std::ptrdiff_t>(
+                                 rng.below(input.size() + 1)),
+                         static_cast<std::uint8_t>(rng.next()));
+            break;
+        case 4:  // erase a random byte
+            if (!input.empty()) {
+                input.erase(input.begin() +
+                            static_cast<std::ptrdiff_t>(rng.below(input.size())));
+            }
+            break;
+        case 5:  // duplicate a random slice to the end
+            if (!input.empty()) {
+                const std::size_t begin = rng.below(input.size());
+                const std::size_t len =
+                    rng.below(input.size() - begin) + 1;
+                input.insert(input.end(), input.begin() + begin,
+                             input.begin() + begin + len);
+            }
+            break;
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t runs = 10000;
+    std::uint64_t seed = 1;
+    std::vector<Bytes> corpus;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("-runs=", 0) == 0) {
+            runs = std::strtoull(arg.c_str() + 6, nullptr, 10);
+        } else if (arg.rfind("-seed=", 0) == 0) {
+            seed = std::strtoull(arg.c_str() + 6, nullptr, 10);
+        } else if (!arg.empty() && arg[0] == '-') {
+            // Ignore libFuzzer-only flags (-max_total_time=, -artifact_prefix=…)
+        } else {
+            collect(arg, corpus);
+        }
+    }
+
+    for (const Bytes& input : corpus) {
+        LLVMFuzzerTestOneInput(input.data(), input.size());
+    }
+    std::printf("standalone fuzz driver: replayed %zu corpus file(s)\n",
+                corpus.size());
+
+    Rng rng(seed);
+    Bytes scratch;
+    for (std::uint64_t i = 0; i < runs; ++i) {
+        if (!corpus.empty() && rng.below(8) != 0) {
+            scratch = corpus[rng.below(corpus.size())];
+        }  // else keep mutating the previous input ("stacked" mutations)
+        const std::size_t steps = 1 + rng.below(8);
+        for (std::size_t s = 0; s < steps; ++s) mutate(scratch, rng);
+        LLVMFuzzerTestOneInput(scratch.data(), scratch.size());
+    }
+    std::printf("standalone fuzz driver: completed %llu mutated run(s), OK\n",
+                static_cast<unsigned long long>(runs));
+    return 0;
+}

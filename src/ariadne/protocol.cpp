@@ -8,6 +8,7 @@
 #include "description/amigos_io.hpp"
 #include "description/resolved.hpp"
 #include "directory/state_transfer.hpp"
+#include "obs/metric_names.hpp"
 #include "support/contracts.hpp"
 #include "support/hash.hpp"
 #include "support/stopwatch.hpp"
@@ -185,53 +186,53 @@ DiscoveryNetwork::DiscoveryNetwork(net::Topology topology, ProtocolConfig config
       jitter_rng_(config.jitter_seed) {
     if (metrics != nullptr) {
         metrics_.registry = metrics;
-        metrics_.requests_issued = &metrics->counter("protocol.requests_issued");
+        metrics_.requests_issued = &metrics->counter(obs::names::kProtocolRequestsIssued);
         metrics_.requests_retried =
-            &metrics->counter("protocol.requests_retried");
+            &metrics->counter(obs::names::kProtocolRequestsRetried);
         metrics_.requests_expired =
-            &metrics->counter("protocol.requests_expired");
+            &metrics->counter(obs::names::kProtocolRequestsExpired);
         metrics_.requests_satisfied =
-            &metrics->counter("protocol.requests_satisfied");
+            &metrics->counter(obs::names::kProtocolRequestsSatisfied);
         metrics_.requests_unsatisfied =
-            &metrics->counter("protocol.requests_unsatisfied");
-        metrics_.responses = &metrics->counter("protocol.responses");
-        metrics_.forwards = &metrics->counter("protocol.forwards");
+            &metrics->counter(obs::names::kProtocolRequestsUnsatisfied);
+        metrics_.responses = &metrics->counter(obs::names::kProtocolResponses);
+        metrics_.forwards = &metrics->counter(obs::names::kProtocolForwards);
         metrics_.elections_started =
-            &metrics->counter("protocol.elections_started");
+            &metrics->counter(obs::names::kProtocolElectionsStarted);
         metrics_.directories_elected =
-            &metrics->counter("protocol.directories_elected");
-        metrics_.handovers = &metrics->counter("protocol.handovers");
-        metrics_.summary_pushes = &metrics->counter("protocol.summary_pushes");
-        metrics_.summary_pulls = &metrics->counter("protocol.summary_pulls");
+            &metrics->counter(obs::names::kProtocolDirectoriesElected);
+        metrics_.handovers = &metrics->counter(obs::names::kProtocolHandovers);
+        metrics_.summary_pushes = &metrics->counter(obs::names::kProtocolSummaryPushes);
+        metrics_.summary_pulls = &metrics->counter(obs::names::kProtocolSummaryPulls);
         metrics_.summary_pull_replies =
-            &metrics->counter("protocol.summary_pull_replies");
+            &metrics->counter(obs::names::kProtocolSummaryPullReplies);
         metrics_.bloom_false_positives =
-            &metrics->counter("protocol.bloom_false_positives");
+            &metrics->counter(obs::names::kProtocolBloomFalsePositives);
         metrics_.bloom_wire_rejected =
-            &metrics->counter("protocol.bloom_wire_rejected");
-        metrics_.pending_reaped = &metrics->counter("protocol.pending_reaped");
+            &metrics->counter(obs::names::kProtocolBloomWireRejected);
+        metrics_.pending_reaped = &metrics->counter(obs::names::kProtocolPendingReaped);
         metrics_.publishes_acked =
-            &metrics->counter("protocol.publishes_acked");
+            &metrics->counter(obs::names::kProtocolPublishesAcked);
         metrics_.publishes_retried =
-            &metrics->counter("protocol.publishes_retried");
+            &metrics->counter(obs::names::kProtocolPublishesRetried);
         metrics_.publishes_expired =
-            &metrics->counter("protocol.publishes_expired");
-        metrics_.publish_nacks = &metrics->counter("protocol.publish_nacks");
+            &metrics->counter(obs::names::kProtocolPublishesExpired);
+        metrics_.publish_nacks = &metrics->counter(obs::names::kProtocolPublishNacks);
         metrics_.duplicates_dropped =
-            &metrics->counter("protocol.duplicates_dropped");
+            &metrics->counter(obs::names::kProtocolDuplicatesDropped);
         metrics_.requests_in_flight =
-            &metrics->gauge("protocol.requests_in_flight");
-        metrics_.directories = &metrics->gauge("protocol.directories");
-        metrics_.retry_backlog = &metrics->gauge("protocol.retry_backlog");
+            &metrics->gauge(obs::names::kProtocolRequestsInFlight);
+        metrics_.directories = &metrics->gauge(obs::names::kProtocolDirectories);
+        metrics_.retry_backlog = &metrics->gauge(obs::names::kProtocolRetryBacklog);
         metrics_.publish_outstanding =
-            &metrics->gauge("protocol.publish_outstanding");
+            &metrics->gauge(obs::names::kProtocolPublishOutstanding);
         metrics_.deferred_publishes =
-            &metrics->gauge("protocol.deferred_publishes");
+            &metrics->gauge(obs::names::kProtocolDeferredPublishes);
         metrics_.deferred_requests =
-            &metrics->gauge("protocol.deferred_requests");
-        metrics_.response_ms = &metrics->histogram("protocol.response_ms");
+            &metrics->gauge(obs::names::kProtocolDeferredRequests);
+        metrics_.response_ms = &metrics->histogram(obs::names::kProtocolResponseMs);
         metrics_.directory_compute_ms =
-            &metrics->histogram("protocol.directory_compute_ms");
+            &metrics->histogram(obs::names::kProtocolDirectoryComputeMs);
         sim_->set_metrics(metrics);
     }
     const std::size_t n = sim_->topology().node_count();

@@ -1,0 +1,152 @@
+// Ariadne protocol wire codec — the byte-level externalization of every
+// message the discovery protocol exchanges (ariadne/protocol.cpp moves
+// the same payloads in-process through net::Message; this module is the
+// boundary a real deployment would ship them through, and the surface the
+// protocol fuzz target attacks).
+//
+// Format (all integers little-endian):
+//
+//   magic 'S' 'A' | version u8 (=1) | type u8 | payload fields
+//
+// Strings are u32 length + bytes; vectors are u32 count + elements;
+// doubles travel as their IEEE-754 bit pattern in a u64. Every length is
+// validated against the remaining input before it is consumed, so a
+// hostile length cannot trigger an allocation larger than the datagram
+// that claims it. Decoding never throws — try_decode returns
+// Result<WireMessage> with ErrorCode::kParse for any malformed input
+// (see tools/lint_sariadne's wire-decode rule).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/result.hpp"
+
+namespace sariadne::ariadne::wire {
+
+inline constexpr std::uint8_t kMagic0 = 'S';
+inline constexpr std::uint8_t kMagic1 = 'A';
+inline constexpr std::uint8_t kVersion = 1;
+
+/// Wire ids of the protocol's message types (the in-process
+/// net::Message::type strings, numbered). Values are wire format —
+/// append only, never renumber.
+enum class MsgType : std::uint8_t {
+    kDirAdv = 1,           ///< "dir-adv"
+    kElectCall = 2,        ///< "elect-call"
+    kElectCandidate = 3,   ///< "elect-cand"
+    kElectAppoint = 4,     ///< "elect-appoint"
+    kPublish = 5,          ///< "pub"
+    kPubAck = 6,           ///< "pub-ack"
+    kPubNack = 7,          ///< "pub-nack"
+    kRequest = 8,          ///< "req"
+    kResponse = 9,         ///< "resp"
+    kForward = 10,         ///< "fwd"
+    kForwardResponse = 11, ///< "fwd-resp"
+    kSummaryPush = 12,     ///< "summary-push"
+    kSummaryPull = 13,     ///< "summary-pull"
+    kHandover = 14,        ///< "handover"
+};
+
+/// The protocol's in-process type string for a wire id.
+const char* to_string(MsgType type) noexcept;
+
+// --- payloads (field-for-field mirrors of protocol.cpp's) ---------------
+
+struct DirAdv {
+    std::uint32_t directory = 0;
+};
+
+struct ElectCall {
+    std::uint32_t initiator = 0;
+};
+
+struct ElectCandidate {
+    std::uint32_t candidate = 0;
+    double fitness = 0;
+};
+
+struct ElectAppoint {};
+
+struct PublishDoc {
+    std::string document;
+    std::uint64_t pub_id = 0;  ///< 0 = fire-and-forget (no ack expected)
+};
+
+struct PubAck {
+    std::uint64_t pub_id = 0;
+};
+
+struct PubNack {
+    std::uint64_t pub_id = 0;
+    std::string document;
+};
+
+struct Request {
+    std::uint64_t request_id = 0;
+    std::uint32_t client = 0;
+    std::string document;
+};
+
+/// One match hit as it travels in responses.
+struct Hit {
+    std::uint32_t service = 0;
+    std::string service_name;
+    std::string capability_name;
+    std::int32_t semantic_distance = 0;
+};
+
+struct Response {
+    std::uint64_t request_id = 0;
+    std::vector<Hit> hits;
+    bool satisfied = false;
+    double compute_ms = 0;
+    std::uint32_t directories_asked = 0;
+};
+
+struct Forward {
+    std::uint64_t request_id = 0;
+    std::uint32_t origin = 0;
+    std::string document;
+};
+
+struct ForwardResponse {
+    std::uint64_t request_id = 0;
+    std::vector<std::vector<Hit>> per_capability;
+    double compute_ms = 0;
+};
+
+struct SummaryPush {
+    std::uint32_t from = 0;
+    std::vector<std::uint64_t> summary_wire;  ///< BloomFilter::serialize()
+};
+
+struct SummaryPull {};
+
+struct Handover {
+    std::string state_xml;
+};
+
+using Payload =
+    std::variant<DirAdv, ElectCall, ElectCandidate, ElectAppoint, PublishDoc,
+                 PubAck, PubNack, Request, Response, Forward, ForwardResponse,
+                 SummaryPush, SummaryPull, Handover>;
+
+struct WireMessage {
+    MsgType type = MsgType::kDirAdv;
+    Payload payload;
+};
+
+/// Serializes a message. The payload alternative must match `type`
+/// (SARIADNE_EXPECTS enforces it).
+std::vector<std::uint8_t> encode(const WireMessage& message);
+
+/// Parses one complete datagram. Never throws: malformed, truncated, or
+/// trailing-garbage input yields ErrorCode::kParse with a description of
+/// the offending field.
+Result<WireMessage> try_decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace sariadne::ariadne::wire

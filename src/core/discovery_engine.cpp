@@ -4,29 +4,15 @@
 #include <utility>
 
 #include "description/amigos_io.hpp"
+#include "support/catching.hpp"
 #include "support/errors.hpp"
 #include "support/stopwatch.hpp"
 
 namespace sariadne {
-namespace {
 
-/// Maps the exception taxonomy onto ErrorInfo for the try_* entry points.
-template <typename T, typename Fn>
-Result<T> catching(Fn&& body) {
-    try {
-        return Result<T>(body());
-    } catch (const ParseError& e) {
-        return Result<T>(ErrorInfo{ErrorCode::kParse, e.what()});
-    } catch (const LookupError& e) {
-        return Result<T>(ErrorInfo{ErrorCode::kLookup, e.what()});
-    } catch (const InconsistencyError& e) {
-        return Result<T>(ErrorInfo{ErrorCode::kInconsistency, e.what()});
-    } catch (const VersionMismatchError& e) {
-        return Result<T>(ErrorInfo{ErrorCode::kVersionMismatch, e.what()});
-    } catch (const std::exception& e) {
-        return Result<T>(ErrorInfo{ErrorCode::kInternal, e.what()});
-    }
-}
+using support::catching;
+
+namespace {
 
 bool has_constraints(const desc::ServiceRequest& request) {
     return !request.qos_constraints.empty() ||
@@ -128,7 +114,7 @@ directory::QueryResult DiscoveryEngine::query_parallel(
 }
 
 support::ThreadPool& DiscoveryEngine::pool() {
-    std::lock_guard<std::mutex> lock(pool_mutex_);
+    std::lock_guard lock(pool_mutex_);
     if (!pool_) {
         pool_ = std::make_unique<support::ThreadPool>(
             support::ThreadPool::default_worker_count());

@@ -34,8 +34,10 @@
 #include "directory/semantic_directory.hpp"
 #include "directory/types.hpp"
 #include "encoding/knowledge_base.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "ontology/loader.hpp"
+#include "support/lock_rank.hpp"
 #include "support/result.hpp"
 #include "support/thread_pool.hpp"
 
@@ -60,16 +62,16 @@ public:
           metrics_(std::make_unique<obs::MetricsRegistry>()),
           directory_(std::make_unique<directory::SemanticDirectory>(
               *kb_, bloom::BloomParams{}, metrics_.get())) {
-        engine_metrics_.discoveries = &metrics_->counter("engine.discoveries");
+        engine_metrics_.discoveries = &metrics_->counter(obs::names::kEngineDiscoveries);
         engine_metrics_.discoveries_parallel =
-            &metrics_->counter("engine.discoveries{mode=\"parallel\"}");
+            &metrics_->counter(obs::names::kEngineDiscoveriesParallel);
         engine_metrics_.discoveries_satisfied =
-            &metrics_->counter("engine.discoveries_satisfied");
+            &metrics_->counter(obs::names::kEngineDiscoveriesSatisfied);
         engine_metrics_.discoveries_unsatisfied =
-            &metrics_->counter("engine.discoveries_unsatisfied");
-        engine_metrics_.pool_tasks = &metrics_->counter("engine.pool_tasks");
-        engine_metrics_.pool_workers = &metrics_->gauge("engine.pool_workers");
-        engine_metrics_.discover_ms = &metrics_->histogram("engine.discover_ms");
+            &metrics_->counter(obs::names::kEngineDiscoveriesUnsatisfied);
+        engine_metrics_.pool_tasks = &metrics_->counter(obs::names::kEnginePoolTasks);
+        engine_metrics_.pool_workers = &metrics_->gauge(obs::names::kEnginePoolWorkers);
+        engine_metrics_.discover_ms = &metrics_->histogram(obs::names::kEngineDiscoverMs);
     }
 
     /// Loads an ontology document; re-registering a URI upgrades it.
@@ -162,7 +164,9 @@ private:
     std::unique_ptr<obs::MetricsRegistry> metrics_;
     EngineMetrics engine_metrics_;
     std::unique_ptr<directory::SemanticDirectory> directory_;
-    std::mutex pool_mutex_;  ///< guards lazy pool_ creation
+    /// Guards lazy pool_ creation. Outermost rank: held only around the
+    /// pool's construction, released before any task is submitted.
+    support::RankedMutex pool_mutex_{support::LockRank::kEnginePool};
     std::unique_ptr<support::ThreadPool> pool_;
 };
 

@@ -1,6 +1,7 @@
 #include "description/amigos_io.hpp"
 
 #include <charconv>
+#include <cmath>
 
 #include "support/errors.hpp"
 #include "xml/parser.hpp"
@@ -27,6 +28,13 @@ double parse_double(std::string_view text, std::string_view what) {
         std::from_chars(text.data(), text.data() + text.size(), value);
     if (ec != std::errc() || ptr != text.data() + text.size()) {
         throw ParseError("malformed " + std::string(what) + " '" +
+                         std::string(text) + "'");
+    }
+    // from_chars accepts "inf"/"nan" spellings; a NaN or infinite QoS
+    // value would poison every constraint comparison downstream, so the
+    // document is rejected here with a positioned error instead.
+    if (!std::isfinite(value)) {
+        throw ParseError("non-finite " + std::string(what) + " '" +
                          std::string(text) + "'");
     }
     return value;

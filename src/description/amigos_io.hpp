@@ -25,6 +25,7 @@
 #include <string_view>
 
 #include "description/service.hpp"
+#include "support/result.hpp"
 #include "xml/node.hpp"
 
 namespace sariadne::desc {
@@ -34,6 +35,11 @@ ServiceDescription parse_service(const xml::XmlNode& root);
 
 ServiceRequest parse_request(std::string_view xml_text);
 ServiceRequest parse_request(const xml::XmlNode& root);
+
+/// Non-throwing variants for wire-facing callers: classified ErrorInfo
+/// (kParse for malformed documents/values) instead of thrown errors.
+Result<ServiceDescription> try_parse_service(std::string_view xml_text);
+Result<ServiceRequest> try_parse_request(std::string_view xml_text);
 
 std::string serialize_service(const ServiceDescription& service);
 std::string serialize_request(const ServiceRequest& request);

@@ -1,0 +1,25 @@
+// lint:wire-decode — non-throwing description decoders: a directory fed a
+// malformed Amigo-S or WSDL document over the wire gets a classified
+// Result error, never an exception unwinding its event loop.
+#include "description/amigos_io.hpp"
+#include "description/wsdl.hpp"
+#include "support/catching.hpp"
+
+namespace sariadne::desc {
+
+Result<ServiceDescription> try_parse_service(std::string_view xml_text) {
+    return support::catching<ServiceDescription>(
+        [&] { return parse_service(xml_text); });
+}
+
+Result<ServiceRequest> try_parse_request(std::string_view xml_text) {
+    return support::catching<ServiceRequest>(
+        [&] { return parse_request(xml_text); });
+}
+
+Result<WsdlDescription> try_parse_wsdl(std::string_view xml_text) {
+    return support::catching<WsdlDescription>(
+        [&] { return parse_wsdl(xml_text); });
+}
+
+}  // namespace sariadne::desc

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "support/result.hpp"
 #include "xml/node.hpp"
 
 namespace sariadne::desc {
@@ -41,6 +42,9 @@ struct WsdlDescription {
 WsdlDescription parse_wsdl(std::string_view xml_text);
 WsdlDescription parse_wsdl(const xml::XmlNode& root);
 std::string serialize_wsdl(const WsdlDescription& wsdl);
+
+/// Non-throwing variant for wire-facing callers.
+Result<WsdlDescription> try_parse_wsdl(std::string_view xml_text);
 
 /// Syntactic operation conformance: same operation name, and every input
 /// and output part of `required` present in `provided` with exactly equal

@@ -26,6 +26,7 @@
 
 #include "directory/dag.hpp"
 #include "obs/metrics.hpp"
+#include "support/lock_rank.hpp"
 
 namespace sariadne::directory {
 
@@ -80,7 +81,11 @@ public:
 
 private:
     struct Shard {
-        mutable std::shared_mutex mutex;
+        /// All shards share one rank — probes hold a single shard lock at
+        /// a time (remove_service iterates, never nests), and the oracle
+        /// calls made under it only acquire higher-ranked KB locks.
+        mutable support::RankedSharedMutex mutex{
+            support::LockRank::kDagShard};
         std::vector<std::unique_ptr<CapabilityDag>> dags;
         /// Lock-free emptiness probe: queries skip a shard without touching
         /// its mutex when no DAG lives there (most shards, for small

@@ -69,7 +69,7 @@ PublishReceipt SemanticDirectory::publish(desc::ServiceDescription service) {
     }
 
     {
-        std::lock_guard<std::mutex> lock(summary_mutex_);
+        std::lock_guard lock(summary_mutex_);
         for (const auto& uris : uri_sets) summary_.insert_ontology_set(uris);
     }
 
@@ -319,7 +319,7 @@ std::optional<desc::Grounding> SemanticDirectory::grounding(ServiceId id) const 
 }
 
 bloom::BloomFilter SemanticDirectory::summary() const {
-    std::lock_guard<std::mutex> lock(summary_mutex_);
+    std::lock_guard lock(summary_mutex_);
     return summary_;
 }
 
@@ -327,7 +327,7 @@ void SemanticDirectory::rebuild_summary() {
     if (metrics_.summary_rebuilds) metrics_.summary_rebuilds->inc();
     // Lock order (summary before services-shared) matches every other path
     // that holds both; publish touches them one at a time.
-    std::lock_guard<std::mutex> summary_lock(summary_mutex_);
+    std::lock_guard summary_lock(summary_mutex_);
     std::shared_lock services_lock(services_mutex_);
     summary_.clear();
     // The per-capability ontology-URI sets were resolved once at publish

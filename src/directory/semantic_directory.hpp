@@ -34,7 +34,9 @@
 #include "directory/types.hpp"
 #include "encoding/knowledge_base.hpp"
 #include "matching/oracles.hpp"
+#include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
+#include "support/lock_rank.hpp"
 
 namespace sariadne::directory {
 
@@ -69,29 +71,29 @@ public:
         : kb_(&kb), summary_(bloom_params) {
         if (metrics != nullptr) {
             metrics_.registry = metrics;
-            metrics_.publishes = &metrics->counter("directory.publishes");
-            metrics_.removals = &metrics->counter("directory.removals");
-            metrics_.queries = &metrics->counter("directory.queries");
+            metrics_.publishes = &metrics->counter(obs::names::kDirectoryPublishes);
+            metrics_.removals = &metrics->counter(obs::names::kDirectoryRemovals);
+            metrics_.queries = &metrics->counter(obs::names::kDirectoryQueries);
             metrics_.summary_rebuilds =
-                &metrics->counter("directory.summary_rebuilds");
+                &metrics->counter(obs::names::kDirectorySummaryRebuilds);
             metrics_.capability_matches =
-                &metrics->counter("directory.capability_matches");
+                &metrics->counter(obs::names::kDirectoryCapabilityMatches);
             metrics_.concept_queries =
-                &metrics->counter("directory.concept_queries");
-            metrics_.dags_visited = &metrics->counter("directory.dags_visited");
-            metrics_.dags_pruned = &metrics->counter("directory.dags_pruned");
-            metrics_.quick_rejects = &metrics->counter("matching.quick_rejects");
-            metrics_.services = &metrics->gauge("directory.services");
+                &metrics->counter(obs::names::kDirectoryConceptQueries);
+            metrics_.dags_visited = &metrics->counter(obs::names::kDirectoryDagsVisited);
+            metrics_.dags_pruned = &metrics->counter(obs::names::kDirectoryDagsPruned);
+            metrics_.quick_rejects = &metrics->counter(obs::names::kMatchingQuickRejects);
+            metrics_.services = &metrics->gauge(obs::names::kDirectoryServices);
             metrics_.publish_parse_ms =
-                &metrics->histogram("directory.publish_parse_ms");
+                &metrics->histogram(obs::names::kDirectoryPublishParseMs);
             metrics_.publish_insert_ms =
-                &metrics->histogram("directory.publish_insert_ms");
+                &metrics->histogram(obs::names::kDirectoryPublishInsertMs);
             metrics_.query_parse_ms =
-                &metrics->histogram("directory.query_parse_ms");
+                &metrics->histogram(obs::names::kDirectoryQueryParseMs);
             metrics_.query_match_ms =
-                &metrics->histogram("directory.query_match_ms");
+                &metrics->histogram(obs::names::kDirectoryQueryMatchMs);
             dags_.set_contention_counter(
-                &metrics->counter("directory.shard_contention"));
+                &metrics->counter(obs::names::kDirectoryShardContention));
         }
     }
 
@@ -215,11 +217,16 @@ private:
         std::vector<std::vector<std::string>> summary_uri_sets;
     };
 
-    mutable std::shared_mutex services_mutex_;  ///< guards services_
+    /// Guards services_. Ranked above summary: rebuild_summary holds the
+    /// summary lock while it walks the table under this one (shared).
+    mutable support::RankedSharedMutex services_mutex_{
+        support::LockRank::kDirectoryServices};
     std::unordered_map<ServiceId, StoredService> services_;
     std::atomic<ServiceId> next_id_{1};
 
-    mutable std::mutex summary_mutex_;  ///< guards summary_
+    /// Guards summary_; the outermost directory lock (see services_mutex_).
+    mutable support::RankedMutex summary_mutex_{
+        support::LockRank::kDirectorySummary};
     bloom::BloomFilter summary_;
 
     /// Lifetime counters, relaxed — totals are exact once writers quiesce.

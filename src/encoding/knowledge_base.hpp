@@ -25,6 +25,7 @@
 #include "encoding/code_table.hpp"
 #include "ontology/registry.hpp"
 #include "support/flat_set.hpp"
+#include "support/lock_rank.hpp"
 #include "reasoner/taxonomy_cache.hpp"
 
 namespace sariadne::encoding {
@@ -153,7 +154,10 @@ private:
     onto::OntologyRegistry registry_;
     reasoner::TaxonomyCache taxonomies_;
     std::atomic<std::uint64_t> global_tag_{1};
-    mutable std::shared_mutex tables_mutex_;  ///< guards tables_
+    /// Guards tables_. Ranked below the taxonomy-cache mutex: a cold
+    /// code_table build classifies under the writer lock.
+    mutable support::RankedSharedMutex tables_mutex_{
+        support::LockRank::kKnowledgeBaseTables};
     std::unordered_map<std::string, TableEntry> tables_;
 };
 

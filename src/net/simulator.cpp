@@ -1,5 +1,7 @@
 #include "net/simulator.hpp"
 
+#include "obs/metric_names.hpp"
+
 namespace sariadne::net {
 
 void Simulator::set_metrics(obs::MetricsRegistry* registry) {
@@ -8,19 +10,19 @@ void Simulator::set_metrics(obs::MetricsRegistry* registry) {
         return;
     }
     metrics_.registry = registry;
-    metrics_.unicasts = &registry->counter("sim.unicasts");
-    metrics_.broadcasts = &registry->counter("sim.broadcasts");
-    metrics_.deliveries = &registry->counter("sim.deliveries");
-    metrics_.link_transmissions = &registry->counter("sim.link_transmissions");
-    metrics_.bytes_transmitted = &registry->counter("sim.bytes_transmitted");
+    metrics_.unicasts = &registry->counter(obs::names::kSimUnicasts);
+    metrics_.broadcasts = &registry->counter(obs::names::kSimBroadcasts);
+    metrics_.deliveries = &registry->counter(obs::names::kSimDeliveries);
+    metrics_.link_transmissions = &registry->counter(obs::names::kSimLinkTransmissions);
+    metrics_.bytes_transmitted = &registry->counter(obs::names::kSimBytesTransmitted);
     metrics_.dropped_unreachable =
-        &registry->counter("sim.dropped_unreachable");
-    metrics_.faults_dropped = &registry->counter("sim.faults_dropped");
-    metrics_.faults_duplicated = &registry->counter("sim.faults_duplicated");
-    metrics_.faults_crashes = &registry->counter("sim.faults_crashes");
-    metrics_.faults_recoveries = &registry->counter("sim.faults_recoveries");
-    metrics_.pending_events = &registry->gauge("sim.pending_events");
-    metrics_.now_ms = &registry->gauge("sim.now_ms");
+        &registry->counter(obs::names::kSimDroppedUnreachable);
+    metrics_.faults_dropped = &registry->counter(obs::names::kSimFaultsDropped);
+    metrics_.faults_duplicated = &registry->counter(obs::names::kSimFaultsDuplicated);
+    metrics_.faults_crashes = &registry->counter(obs::names::kSimFaultsCrashes);
+    metrics_.faults_recoveries = &registry->counter(obs::names::kSimFaultsRecoveries);
+    metrics_.pending_events = &registry->gauge(obs::names::kSimPendingEvents);
+    metrics_.now_ms = &registry->gauge(obs::names::kSimNowMs);
 }
 
 void Simulator::set_faults(FaultPlan plan) {
@@ -64,7 +66,7 @@ void Simulator::deliver(NodeId to, const Message& msg) {
         // small and stable, and the lookup cost sits on the (simulated)
         // delivery path, not a real hot path.
         metrics_.registry
-            ->counter("sim.deliveries{type=\"" + msg.type + "\"}")
+            ->counter(obs::names::sim_deliveries_by_type(msg.type))
             .inc();
     }
     if (apps_[to] != nullptr) apps_[to]->on_message(*this, to, msg);

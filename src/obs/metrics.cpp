@@ -75,7 +75,7 @@ const std::vector<double>& Histogram::latency_ms_bounds() {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     auto it = counters_.find(name);
     if (it == counters_.end()) {
         it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -85,7 +85,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     auto it = gauges_.find(name);
     if (it == gauges_.end()) {
         it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
@@ -96,7 +96,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       const std::vector<double>& bounds) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
         it = histograms_
@@ -107,25 +107,25 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 }
 
 std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second->value();
 }
 
 std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     const auto it = gauges_.find(name);
     return it == gauges_.end() ? 0 : it->second->value();
 }
 
 const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     const auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::string MetricsRegistry::to_prometheus() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     std::string out;
     for (const auto& [name, counter] : counters_) {
         const auto [metric, labels] = split_labels(name);
@@ -159,7 +159,7 @@ std::string MetricsRegistry::to_prometheus() const {
 }
 
 std::string MetricsRegistry::to_json() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     std::string out = "{";
     bool first = true;
     const auto comma = [&] {

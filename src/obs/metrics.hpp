@@ -32,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "support/lock_rank.hpp"
 #include "support/stopwatch.hpp"
 
 namespace sariadne::obs {
@@ -173,7 +174,9 @@ public:
 private:
     // std::map keeps the exposition deterministically sorted; values are
     // node-allocated unique_ptrs so handles survive rehashing-free.
-    mutable std::mutex mutex_;
+    // Innermost rank in the hierarchy: handle resolution may run under any
+    // other lock, and exposition acquires nothing further.
+    mutable support::RankedMutex mutex_{support::LockRank::kMetricsRegistry};
     std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

@@ -18,6 +18,7 @@
 
 #include "ontology/registry.hpp"
 #include "reasoner/reasoner.hpp"
+#include "support/lock_rank.hpp"
 
 namespace sariadne::reasoner {
 
@@ -41,7 +42,7 @@ public:
     /// Classified taxonomy of `ontology`, computed on first use per
     /// (uri, version). The reference stays valid while the cache lives.
     const Taxonomy& taxonomy_of(const onto::Ontology& ontology) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard lock(mutex_);
         Entry& entry = entries_[ontology.uri()];
         if (!entry.taxonomy || entry.version != ontology.version()) {
             entry.taxonomy = std::make_unique<Taxonomy>(engine_->classify(ontology));
@@ -65,7 +66,9 @@ private:
     };
 
     std::unique_ptr<Reasoner> engine_;
-    std::mutex mutex_;  ///< guards entries_ (classify-once on cold misses)
+    /// Guards entries_ (classify-once on cold misses). Innermost of the
+    /// reasoning chain: held while no other lock is acquired.
+    support::RankedMutex mutex_{support::LockRank::kTaxonomyCache};
     std::unordered_map<std::string, Entry> entries_;
     std::atomic<std::uint64_t> classifications_{0};
 };

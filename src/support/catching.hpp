@@ -1,0 +1,33 @@
+// catching<T> — the one mapping from the exception taxonomy of
+// support/errors.hpp to Result's ErrorInfo. Every non-throwing facade
+// (DiscoveryEngine::try_*, xml::try_parse, desc::try_parse_*) funnels
+// through this function so the exception→code classification cannot
+// drift between entry points.
+#pragma once
+
+#include <exception>
+#include <utility>
+
+#include "support/errors.hpp"
+#include "support/result.hpp"
+
+namespace sariadne::support {
+
+template <typename T, typename Fn>
+Result<T> catching(Fn&& body) {
+    try {
+        return Result<T>(std::forward<Fn>(body)());
+    } catch (const ParseError& e) {
+        return Result<T>(ErrorInfo{ErrorCode::kParse, e.what()});
+    } catch (const LookupError& e) {
+        return Result<T>(ErrorInfo{ErrorCode::kLookup, e.what()});
+    } catch (const InconsistencyError& e) {
+        return Result<T>(ErrorInfo{ErrorCode::kInconsistency, e.what()});
+    } catch (const VersionMismatchError& e) {
+        return Result<T>(ErrorInfo{ErrorCode::kVersionMismatch, e.what()});
+    } catch (const std::exception& e) {
+        return Result<T>(ErrorInfo{ErrorCode::kInternal, e.what()});
+    }
+}
+
+}  // namespace sariadne::support

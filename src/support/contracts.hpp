@@ -7,21 +7,63 @@
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace sariadne {
 
-/// Thrown when a precondition, postcondition or invariant is violated.
+/// What class of contract a ContractViolation reports. kLockRank is raised
+/// by the debug lock-order checker in support/lock_rank.hpp; the other
+/// three map to the SARIADNE_EXPECTS / SARIADNE_ENSURES / SARIADNE_ASSERT
+/// macros below.
+enum class ContractKind {
+    kPrecondition,
+    kPostcondition,
+    kInvariant,
+    kLockRank,
+};
+
+constexpr std::string_view to_string(ContractKind kind) noexcept {
+    switch (kind) {
+        case ContractKind::kPrecondition: return "precondition";
+        case ContractKind::kPostcondition: return "postcondition";
+        case ContractKind::kInvariant: return "invariant";
+        case ContractKind::kLockRank: return "lock-rank";
+    }
+    return "contract";
+}
+
+/// Thrown when a precondition, postcondition, invariant or lock-ordering
+/// rule is violated. Carries the violation structurally (kind, the failed
+/// expression, source location) so checkers and tests can assert on the
+/// exact contract that fired instead of substring-matching what().
 class ContractViolation : public std::logic_error {
 public:
-    explicit ContractViolation(const std::string& what_arg)
-        : std::logic_error(what_arg) {}
+    ContractViolation(ContractKind kind, std::string expression,
+                      std::string file, int line)
+        : std::logic_error(std::string(to_string(kind)) + " failed: " +
+                           expression + " at " + file + ":" +
+                           std::to_string(line)),
+          kind_(kind),
+          expression_(std::move(expression)),
+          file_(std::move(file)),
+          line_(line) {}
+
+    ContractKind kind() const noexcept { return kind_; }
+    const std::string& expression() const noexcept { return expression_; }
+    const std::string& file() const noexcept { return file_; }
+    int line() const noexcept { return line_; }
+
+private:
+    ContractKind kind_;
+    std::string expression_;
+    std::string file_;
+    int line_;
 };
 
 namespace detail {
-[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+[[noreturn]] inline void contract_fail(ContractKind kind, const char* expr,
                                        const char* file, int line) {
-    throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
-                            file + ":" + std::to_string(line));
+    throw ContractViolation(kind, expr, file, line);
 }
 }  // namespace detail
 
@@ -30,20 +72,23 @@ namespace detail {
 #define SARIADNE_EXPECTS(cond)                                              \
     do {                                                                    \
         if (!(cond))                                                        \
-            ::sariadne::detail::contract_fail("precondition", #cond,        \
-                                              __FILE__, __LINE__);          \
+            ::sariadne::detail::contract_fail(                              \
+                ::sariadne::ContractKind::kPrecondition, #cond, __FILE__,   \
+                __LINE__);                                                  \
     } while (false)
 
 #define SARIADNE_ENSURES(cond)                                              \
     do {                                                                    \
         if (!(cond))                                                        \
-            ::sariadne::detail::contract_fail("postcondition", #cond,       \
-                                              __FILE__, __LINE__);          \
+            ::sariadne::detail::contract_fail(                              \
+                ::sariadne::ContractKind::kPostcondition, #cond, __FILE__,  \
+                __LINE__);                                                  \
     } while (false)
 
 #define SARIADNE_ASSERT(cond)                                               \
     do {                                                                    \
         if (!(cond))                                                        \
-            ::sariadne::detail::contract_fail("invariant", #cond,           \
-                                              __FILE__, __LINE__);          \
+            ::sariadne::detail::contract_fail(                              \
+                ::sariadne::ContractKind::kInvariant, #cond, __FILE__,      \
+                __LINE__);                                                  \
     } while (false)

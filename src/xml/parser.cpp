@@ -1,7 +1,9 @@
 #include "xml/parser.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <string>
+#include <string_view>
 
 #include "support/errors.hpp"
 
@@ -249,12 +251,16 @@ private:
     }
 
     std::string decode_char_reference(const std::string& entity) {
+        // Full-range parse: std::stoul would silently stop at the first
+        // invalid digit ("&#12ab;" → 12), accepting malformed references.
+        const bool hex = entity[1] == 'x' || entity[1] == 'X';
+        const std::string_view digits =
+            std::string_view(entity).substr(hex ? 2 : 1);
         unsigned long code = 0;
-        try {
-            code = entity[1] == 'x' || entity[1] == 'X'
-                       ? std::stoul(entity.substr(2), nullptr, 16)
-                       : std::stoul(entity.substr(1), nullptr, 10);
-        } catch (const std::exception&) {
+        const auto [ptr, ec] = std::from_chars(
+            digits.data(), digits.data() + digits.size(), code, hex ? 16 : 10);
+        if (digits.empty() || ec != std::errc() ||
+            ptr != digits.data() + digits.size()) {
             cursor_.fail("malformed character reference '&" + entity + ";'");
         }
         return encode_utf8(code);

@@ -8,6 +8,7 @@
 
 #include <string_view>
 
+#include "support/result.hpp"
 #include "xml/node.hpp"
 
 namespace sariadne::xml {
@@ -15,5 +16,9 @@ namespace sariadne::xml {
 /// Parses a complete document. Throws sariadne::ParseError on malformed
 /// input. The input must contain exactly one root element.
 XmlDocument parse(std::string_view input);
+
+/// Non-throwing variant for wire-facing callers: ErrorCode::kParse (with
+/// the line/column message) instead of a thrown ParseError.
+Result<XmlDocument> try_parse(std::string_view input);
 
 }  // namespace sariadne::xml

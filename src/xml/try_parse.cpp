@@ -1,0 +1,12 @@
+// lint:wire-decode — non-throwing parser entry point: failures surface as
+// Result errors, never as exceptions escaping to the caller.
+#include "support/catching.hpp"
+#include "xml/parser.hpp"
+
+namespace sariadne::xml {
+
+Result<XmlDocument> try_parse(std::string_view input) {
+    return support::catching<XmlDocument>([&] { return parse(input); });
+}
+
+}  // namespace sariadne::xml

@@ -1,0 +1,277 @@
+// lint_sariadne — repo-rule source lint, run as a gating CI job. It
+// enforces the three invariants no off-the-shelf tool knows about:
+//
+//   1. naked-mutex:    no `std::mutex` / `std::shared_mutex` member or
+//                      local declared outside support/lock_rank.hpp — all
+//                      product mutexes are rank-annotated RankedMutex /
+//                      RankedSharedMutex. Suppress a genuine exception
+//                      (e.g. a condition_variable's queue mutex) with a
+//                      `lint:allow-naked-mutex(<reason>)` comment on or
+//                      above the declaration.
+//   2. metric-name:    no quoted metric-name literal passed to
+//                      counter(/gauge(/histogram(/span( under src/ — all
+//                      names come from obs/metric_names.hpp, so the
+//                      exposition surface stays reviewable in one table
+//                      (tests and benches may create ad-hoc metrics).
+//   3. wire-decode:    a file marked `lint:wire-decode` is a wire-facing
+//                      decode path and must not contain a `throw` token —
+//                      malformed bytes surface as Result errors, never as
+//                      exceptions unwinding a network event loop.
+//
+// Usage: lint_sariadne <repo-root>; exits non-zero listing every finding.
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+    std::string file;
+    std::size_t line;
+    std::string rule;
+    std::string message;
+};
+
+bool has_extension(const fs::path& path) {
+    const std::string ext = path.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Strips // and /* */ comments and the contents of string literals
+/// (keeping the quotes), so token scans do not trip on prose. Line
+/// structure is preserved for reporting. String contents are *kept* when
+/// `keep_strings` is set (the metric-name rule needs to see them).
+/// Raw string literals (`R"delim(...)delim"`) are handled explicitly:
+/// their embedded quotes would otherwise invert the string/code state for
+/// the rest of the file.
+std::string strip_comments(const std::string& text, bool keep_strings) {
+    std::string out;
+    out.reserve(text.size());
+    enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+    State state = State::kCode;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        switch (state) {
+            case State::kCode:
+                if (c == '/' && next == '/') {
+                    state = State::kLineComment;
+                    ++i;
+                } else if (c == '/' && next == '*') {
+                    state = State::kBlockComment;
+                    ++i;
+                } else if (c == 'R' && next == '"' &&
+                           (i == 0 || !(std::isalnum(static_cast<unsigned char>(
+                                            text[i - 1])) ||
+                                        text[i - 1] == '_'))) {
+                    // R"delim( ... )delim" — find the opening '(' to learn
+                    // the delimiter, then skip to the matching close.
+                    const std::size_t open = text.find('(', i + 2);
+                    if (open == std::string::npos) {
+                        out += c;  // malformed; fall through as code
+                        break;
+                    }
+                    const std::string closer =
+                        ")" + text.substr(i + 2, open - (i + 2)) + "\"";
+                    const std::size_t close = text.find(closer, open + 1);
+                    const std::size_t end = close == std::string::npos
+                                                ? text.size()
+                                                : close + closer.size();
+                    out += "R\"";
+                    for (std::size_t j = open + 1;
+                         j < (close == std::string::npos ? end : close); ++j) {
+                        if (keep_strings) {
+                            out += text[j];
+                        } else if (text[j] == '\n') {
+                            out += '\n';
+                        }
+                    }
+                    out += '"';
+                    i = end - 1;
+                } else if (c == '"') {
+                    state = State::kString;
+                    out += c;
+                } else if (c == '\'') {
+                    state = State::kChar;
+                    out += c;
+                } else {
+                    out += c;
+                }
+                break;
+            case State::kLineComment:
+                if (c == '\n') {
+                    state = State::kCode;
+                    out += c;
+                }
+                break;
+            case State::kBlockComment:
+                if (c == '*' && next == '/') {
+                    state = State::kCode;
+                    ++i;
+                } else if (c == '\n') {
+                    out += c;
+                }
+                break;
+            case State::kString:
+                if (c == '\\' && next != '\0') {
+                    if (keep_strings) {
+                        out += c;
+                        out += next;
+                    }
+                    ++i;
+                } else if (c == '"') {
+                    state = State::kCode;
+                    out += c;
+                } else {
+                    if (keep_strings) out += c;
+                    if (c == '\n') out += c;  // unterminated; keep lines
+                }
+                break;
+            case State::kChar:
+                if (c == '\\' && next != '\0') {
+                    ++i;
+                } else if (c == '\'') {
+                    state = State::kCode;
+                    out += c;
+                } else if (c == '\n') {
+                    out += c;
+                }
+                break;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream in(text);
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+}
+
+bool is_under(const fs::path& path, const fs::path& root,
+              std::string_view top) {
+    const fs::path rel = path.lexically_relative(root);
+    return !rel.empty() && rel.begin()->string() == top;
+}
+
+void check_naked_mutex(const fs::path& path, const std::string& raw,
+                       const std::string& code, std::vector<Finding>& out) {
+    if (path.filename() == "lock_rank.hpp") return;  // the wrapper itself
+    static const std::regex naked(
+        R"(\bstd::(recursive_)?(timed_)?(shared_)?mutex\b)");
+    const std::vector<std::string> raw_lines = split_lines(raw);
+    const std::vector<std::string> code_lines = split_lines(code);
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+        if (!std::regex_search(code_lines[i], naked)) continue;
+        // Allow `std::lock_guard<std::mutex>`-style template arguments of
+        // RAII helpers only when the guarded object is itself suppressed;
+        // the declaration rule is what matters, so scan for a suppression
+        // marker on this raw line or the two above it.
+        bool suppressed = false;
+        for (std::size_t back = 0; back <= 2 && back <= i; ++back) {
+            if (raw_lines[i - back].find("lint:allow-naked-mutex(") !=
+                std::string::npos) {
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed) {
+            out.push_back(
+                {path.string(), i + 1, "naked-mutex",
+                 "std::mutex outside support/lock_rank.hpp — use "
+                 "RankedMutex/RankedSharedMutex or add "
+                 "lint:allow-naked-mutex(<reason>)"});
+        }
+    }
+}
+
+void check_metric_names(const fs::path& path, const std::string& code,
+                        std::vector<Finding>& out) {
+    if (path.filename() == "metric_names.hpp") return;  // the table itself
+    static const std::regex literal(
+        R"(\b(counter|gauge|histogram|span)\s*\(\s*")");
+    const std::vector<std::string> lines = split_lines(code);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (std::regex_search(lines[i], literal)) {
+            out.push_back({path.string(), i + 1, "metric-name",
+                           "metric-name literal bypasses "
+                           "obs/metric_names.hpp — add the name to the "
+                           "table and reference the constant"});
+        }
+    }
+}
+
+void check_wire_decode(const fs::path& path, const std::string& raw,
+                       const std::string& code, std::vector<Finding>& out) {
+    if (raw.find("lint:wire-decode") == std::string::npos) return;
+    static const std::regex throw_token(R"(\bthrow\b)");
+    const std::vector<std::string> lines = split_lines(code);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (std::regex_search(lines[i], throw_token)) {
+            out.push_back({path.string(), i + 1, "wire-decode",
+                           "`throw` in a lint:wire-decode file — decode "
+                           "paths report failures through Result"});
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc != 2) {
+        std::cerr << "usage: lint_sariadne <repo-root>\n";
+        return 2;
+    }
+    const fs::path root = fs::path(argv[1]);
+    if (!fs::is_directory(root)) {
+        std::cerr << "lint_sariadne: not a directory: " << root << "\n";
+        return 2;
+    }
+
+    std::vector<Finding> findings;
+    for (const std::string_view top :
+         {"src", "tests", "bench", "tools", "fuzz", "examples"}) {
+        const fs::path dir = root / top;
+        if (!fs::is_directory(dir)) continue;
+        for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file() || !has_extension(entry.path())) {
+                continue;
+            }
+            std::ifstream in(entry.path());
+            std::stringstream buffer;
+            buffer << in.rdbuf();
+            const std::string raw = buffer.str();
+            const std::string code = strip_comments(raw, false);
+            const std::string code_with_strings = strip_comments(raw, true);
+
+            check_naked_mutex(entry.path(), raw, code, findings);
+            // Metric names are enforced for product code only; tests and
+            // benches may create ad-hoc metrics.
+            if (is_under(entry.path(), root, "src")) {
+                check_metric_names(entry.path(), code_with_strings, findings);
+            }
+            check_wire_decode(entry.path(), raw, code, findings);
+        }
+    }
+
+    if (findings.empty()) {
+        std::cout << "lint_sariadne: clean\n";
+        return 0;
+    }
+    for (const Finding& f : findings) {
+        std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message << "\n";
+    }
+    std::cerr << "lint_sariadne: " << findings.size() << " finding(s)\n";
+    return 1;
+}
