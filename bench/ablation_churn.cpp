@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ariadne/protocol.hpp"
+#include "ariadne/sim_transport.hpp"
 #include "bench_util.hpp"
 #include "description/amigos_io.hpp"
 #include "workload/ontology_gen.hpp"
@@ -51,12 +52,12 @@ ChurnResult run(double republish_period_ms,
     constexpr double kRunUntil = 40000;
     std::vector<std::pair<std::uint64_t, double>> issued;  // id, time
 
-    double now = network.simulator().now();
+    double now = sim(network).now();
     bool failed = false;
     std::size_t tick = 0;
     while (now < kRunUntil) {
         if (!failed && now >= kFailureAt) {
-            network.simulator().topology().set_up(5, false);
+            sim(network).topology().set_up(5, false);
             failed = true;
         }
         issued.emplace_back(
@@ -65,8 +66,8 @@ ChurnResult run(double republish_period_ms,
             now);
         ++tick;
         network.run_for(1000);
-        now = network.simulator().now();
-        if (network.simulator().idle()) break;
+        now = sim(network).now();
+        if (sim(network).idle()) break;
     }
     network.run_for(30000);  // drain
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ariadne/protocol.hpp"
+#include "ariadne/sim_transport.hpp"
 #include "bench_util.hpp"
 #include "description/amigos_io.hpp"
 #include "workload/ontology_gen.hpp"
@@ -40,7 +41,7 @@ double run(double loss, bool healing, workload::ServiceWorkload& workload,
     plan.loss_probability = loss;
     plan.duplication_probability = 0.10;
     plan.latency_jitter_ms = 15.0;
-    network.simulator().set_faults(std::move(plan));
+    sim(network).set_faults(std::move(plan));
 
     network.appoint_directory(5);
     network.start();

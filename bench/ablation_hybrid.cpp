@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ariadne/protocol.hpp"
+#include "ariadne/sim_transport.hpp"
 #include "bench_util.hpp"
 #include "workload/ontology_gen.hpp"
 #include "workload/service_gen.hpp"
@@ -32,7 +33,7 @@ RunResult run(net::Topology topology, workload::ServiceWorkload& workload,
     config.vicinity_hops = 2;
 
     ariadne::DiscoveryNetwork network(std::move(topology), config, kb);
-    const std::size_t nodes = network.simulator().topology().node_count();
+    const std::size_t nodes = sim(network).topology().node_count();
     network.start();
     network.run_for(15000);
 
@@ -53,7 +54,7 @@ RunResult run(net::Topology topology, workload::ServiceWorkload& workload,
     RunResult result;
     for (const auto dir : network.directories()) {
         ++result.directories;
-        if (network.simulator().topology().is_infrastructure(dir)) {
+        if (sim(network).topology().is_infrastructure(dir)) {
             ++result.directories_on_infrastructure;
         }
     }

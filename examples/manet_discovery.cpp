@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "ariadne/protocol.hpp"
+#include "ariadne/sim_transport.hpp"
 #include "net/mobility.hpp"
 #include "workload/ontology_gen.hpp"
 #include "workload/service_gen.hpp"
@@ -46,7 +47,7 @@ int main() {
     motion.speed = 0.02;
     motion.step_ms = 1000;
     motion.radio_range = 0.28;
-    net::RandomWaypointMobility mobility(network.simulator(), motion);
+    net::RandomWaypointMobility mobility(sim(network), motion);
     mobility.start();
     network.start();
 

@@ -1,0 +1,91 @@
+// In-memory payloads of the 14 protocol messages. These used to be
+// anonymous-namespace structs inside protocol.cpp; they are shared now
+// because two parties besides the protocol itself need them:
+//
+//   * ariadne/wire_bridge.* converts between these structs and the
+//     bounded binary codec (ariadne/wire.*) at the socket boundary, and
+//   * net/event_loop.* re-frames them onto TCP connections.
+//
+// The structs travel inside net::Message::payload as std::any; the
+// Message::type tag selects which one ("dir-adv", "pub", "request", ...).
+// Field layout must stay convertible to the wire structs in
+// ariadne/wire.hpp — wire_bridge.cpp is the single point asserting that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "directory/types.hpp"
+#include "net/topology.hpp"
+
+namespace sariadne::ariadne::msg {
+
+struct DirAdv {
+    net::NodeId directory;
+};
+
+struct ElectCall {
+    net::NodeId initiator;
+};
+
+struct ElectCandidate {
+    net::NodeId candidate;
+    double fitness;
+};
+
+struct PublishDoc {
+    std::string document;
+    /// Non-zero when the provider expects a `pub-ack`; 0 on legacy
+    /// fire-and-forget publishes (including periodic republications).
+    std::uint64_t pub_id = 0;
+};
+
+struct PubAck {
+    std::uint64_t pub_id;
+};
+
+/// Bounce for a `pub` that landed on a node that lost the directory role:
+/// carries the document back so the provider can re-route immediately
+/// instead of losing the service until the next republish period.
+struct PubNack {
+    std::uint64_t pub_id;
+    std::string document;
+};
+
+struct Request {
+    std::uint64_t request_id;
+    net::NodeId client;
+    std::string document;
+};
+
+struct QueryHits {
+    std::uint64_t request_id;
+    std::vector<std::vector<directory::MatchHit>> per_capability;
+    double compute_ms;
+};
+
+struct Response {
+    std::uint64_t request_id;
+    std::vector<directory::MatchHit> hits;
+    bool satisfied;
+    double compute_ms;
+    std::uint32_t directories_asked;
+};
+
+struct Forward {
+    std::uint64_t request_id;
+    net::NodeId origin;
+    std::string document;
+};
+
+struct SummaryPush {
+    net::NodeId from;
+    std::vector<std::uint64_t> wire;
+};
+
+struct Handover {
+    std::string state_xml;
+};
+
+}  // namespace sariadne::ariadne::msg

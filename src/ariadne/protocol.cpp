@@ -5,10 +5,12 @@
 #include <limits>
 #include <unordered_set>
 
+#include "ariadne/messages.hpp"
 #include "description/amigos_io.hpp"
 #include "description/resolved.hpp"
 #include "directory/state_transfer.hpp"
 #include "obs/metric_names.hpp"
+#include "support/catching.hpp"
 #include "support/contracts.hpp"
 #include "support/hash.hpp"
 #include "support/stopwatch.hpp"
@@ -21,76 +23,22 @@ using net::Message;
 using net::NodeId;
 using net::SimTime;
 
+// Payloads moved to ariadne/messages.hpp (shared with the wire bridge and
+// the socket transport); keep the short names the protocol body uses.
+using msg::DirAdv;
+using msg::ElectCall;
+using msg::ElectCandidate;
+using msg::Forward;
+using msg::Handover;
+using msg::PubAck;
+using msg::PublishDoc;
+using msg::PubNack;
+using msg::QueryHits;
+using msg::Request;
+using msg::Response;
+using msg::SummaryPush;
+
 namespace {
-
-// --- message payloads ----------------------------------------------------
-
-struct DirAdv {
-    NodeId directory;
-};
-
-struct ElectCall {
-    NodeId initiator;
-};
-
-struct ElectCandidate {
-    NodeId candidate;
-    double fitness;
-};
-
-struct PublishDoc {
-    std::string document;
-    /// Non-zero when the provider expects a `pub-ack`; 0 on legacy
-    /// fire-and-forget publishes (including periodic republications).
-    std::uint64_t pub_id = 0;
-};
-
-struct PubAck {
-    std::uint64_t pub_id;
-};
-
-/// Bounce for a `pub` that landed on a node that lost the directory role:
-/// carries the document back so the provider can re-route immediately
-/// instead of losing the service until the next republish period.
-struct PubNack {
-    std::uint64_t pub_id;
-    std::string document;
-};
-
-struct Request {
-    std::uint64_t request_id;
-    NodeId client;
-    std::string document;
-};
-
-struct QueryHits {
-    std::uint64_t request_id;
-    std::vector<std::vector<MatchHit>> per_capability;
-    double compute_ms;
-};
-
-struct Response {
-    std::uint64_t request_id;
-    std::vector<MatchHit> hits;
-    bool satisfied;
-    double compute_ms;
-    std::uint32_t directories_asked;
-};
-
-struct Forward {
-    std::uint64_t request_id;
-    NodeId origin;
-    std::string document;
-};
-
-struct SummaryPush {
-    NodeId from;
-    std::vector<std::uint64_t> wire;
-};
-
-struct Handover {
-    std::string state_xml;
-};
 
 constexpr std::uint32_t kHitWireBytes = 64;
 
@@ -161,29 +109,17 @@ struct DiscoveryNetwork::NodeState {
     bool declines_role = false;
 };
 
-class DiscoveryNetwork::App final : public net::NodeApp {
-public:
-    explicit App(DiscoveryNetwork& network) : network_(&network) {}
-
-    void on_start(net::Simulator&, NodeId) override {}
-
-    void on_message(net::Simulator&, NodeId self, const Message& msg) override {
-        network_->handle_message(self, msg);
-    }
-
-private:
-    DiscoveryNetwork* network_;
-};
-
 // --- construction ------------------------------------------------------------
 
-DiscoveryNetwork::DiscoveryNetwork(net::Topology topology, ProtocolConfig config,
+DiscoveryNetwork::DiscoveryNetwork(std::unique_ptr<Transport> transport,
+                                   ProtocolConfig config,
                                    encoding::KnowledgeBase& kb,
                                    obs::MetricsRegistry* metrics)
-    : sim_(std::make_unique<net::Simulator>(std::move(topology))),
+    : transport_(std::move(transport)),
       config_(config),
       kb_(&kb),
       jitter_rng_(config.jitter_seed) {
+    SARIADNE_EXPECTS(transport_ != nullptr);
     if (metrics != nullptr) {
         metrics_.registry = metrics;
         metrics_.requests_issued = &metrics->counter(obs::names::kProtocolRequestsIssued);
@@ -220,6 +156,10 @@ DiscoveryNetwork::DiscoveryNetwork(net::Topology topology, ProtocolConfig config
         metrics_.publish_nacks = &metrics->counter(obs::names::kProtocolPublishNacks);
         metrics_.duplicates_dropped =
             &metrics->counter(obs::names::kProtocolDuplicatesDropped);
+        metrics_.malformed_publishes =
+            &metrics->counter(obs::names::kProtocolMalformedPublishes);
+        metrics_.malformed_requests =
+            &metrics->counter(obs::names::kProtocolMalformedRequests);
         metrics_.requests_in_flight =
             &metrics->gauge(obs::names::kProtocolRequestsInFlight);
         metrics_.directories = &metrics->gauge(obs::names::kProtocolDirectories);
@@ -233,16 +173,15 @@ DiscoveryNetwork::DiscoveryNetwork(net::Topology topology, ProtocolConfig config
         metrics_.response_ms = &metrics->histogram(obs::names::kProtocolResponseMs);
         metrics_.directory_compute_ms =
             &metrics->histogram(obs::names::kProtocolDirectoryComputeMs);
-        sim_->set_metrics(metrics);
+        transport_->set_metrics(metrics);
     }
-    const std::size_t n = sim_->topology().node_count();
+    const std::size_t n = transport_->node_count();
     nodes_.reserve(n);
-    apps_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         nodes_.push_back(std::make_unique<NodeState>());
-        apps_.push_back(std::make_unique<App>(*this));
-        sim_->attach(static_cast<NodeId>(i), apps_.back().get());
     }
+    transport_->set_delivery_handler(
+        [this](NodeId self, const Message& msg) { handle_message(self, msg); });
 }
 
 DiscoveryNetwork::~DiscoveryNetwork() = default;
@@ -254,16 +193,15 @@ double DiscoveryNetwork::fitness(NodeId node) const {
     // report full battery and zero mobility, so the backbone naturally
     // gravitates onto access points when they exist.
     const double battery =
-        sim_->topology().is_infrastructure(node)
+        transport_->is_infrastructure(node)
             ? 1.0
             : 0.25 + 0.75 * static_cast<double>(
                                 mix64(node * 0x9E3779B97F4A7C15ULL +
                                       0xBA77E21ULL) %
                                 1000) /
                          1000.0;
-    const double stability = sim_->topology().is_infrastructure(node) ? 2.0 : 1.0;
-    const double degree =
-        static_cast<double>(sim_->topology().neighbors(node).size());
+    const double stability = transport_->is_infrastructure(node) ? 2.0 : 1.0;
+    const double degree = static_cast<double>(transport_->degree(node));
     return battery * stability * (1.0 + 0.1 * degree);
 }
 
@@ -273,19 +211,19 @@ void DiscoveryNetwork::start() {
         // still exercised.
         const double jitter =
             1.0 + 0.05 * static_cast<double>(node % 11);
-        sim_->schedule(config_.adv_timeout_ms * jitter,
+        transport_->schedule(config_.adv_timeout_ms * jitter,
                        [this, node] { node_check_advertisement(node); });
     }
 }
 
 void DiscoveryNetwork::node_check_advertisement(NodeId node) {
     NodeState& state = *nodes_[node];
-    if (sim_->topology().is_up(node) && !state.is_directory &&
+    if (transport_->is_up(node) && !state.is_directory &&
         !state.election_pending &&
-        sim_->now() - state.last_adv > config_.adv_timeout_ms) {
+        transport_->now() - state.last_adv > config_.adv_timeout_ms) {
         node_start_election(node);
     }
-    sim_->schedule(config_.adv_timeout_ms,
+    transport_->schedule(config_.adv_timeout_ms,
                    [this, node] { node_check_advertisement(node); });
 }
 
@@ -293,7 +231,7 @@ void DiscoveryNetwork::node_start_election(NodeId node) {
     if (metrics_.elections_started) metrics_.elections_started->inc();
     NodeState& state = *nodes_[node];
     state.election_pending = true;
-    state.election_started = sim_->now();
+    state.election_started = transport_->now();
     state.candidates.clear();
     if (!state.declines_role) {
         state.candidates.push_back(ElectCandidate{node, fitness(node)});
@@ -303,9 +241,9 @@ void DiscoveryNetwork::node_start_election(NodeId node) {
     call.type = "elect-call";
     call.payload = ElectCall{node};
     call.size_bytes = 16;
-    sim_->broadcast(node, config_.election_ttl, std::move(call));
+    transport_->broadcast(node, config_.election_ttl, std::move(call));
 
-    sim_->schedule(config_.election_wait_ms,
+    transport_->schedule(config_.election_wait_ms,
                    [this, node] { close_election(node); });
 }
 
@@ -329,7 +267,7 @@ void DiscoveryNetwork::close_election(NodeId initiator) {
         Message appoint;
         appoint.type = "elect-appoint";
         appoint.size_bytes = 8;
-        sim_->unicast(initiator, best->candidate, std::move(appoint));
+        transport_->unicast(initiator, best->candidate, std::move(appoint));
     }
 }
 
@@ -363,7 +301,7 @@ void DiscoveryNetwork::resign_directory(NodeId node) {
         msg.type = "handover";
         msg.size_bytes = static_cast<std::uint32_t>(exported.size());
         msg.payload = Handover{std::move(exported)};
-        sim_->unicast(node, successor, std::move(msg));
+        transport_->unicast(node, successor, std::move(msg));
         return;
     }
     // Last directory standing: elect a successor, hand over when its
@@ -399,7 +337,7 @@ void DiscoveryNetwork::become_directory(NodeId node) {
             Message pull;
             pull.type = "summary-pull";
             pull.size_bytes = 8;
-            sim_->unicast(node, peer, std::move(pull));
+            transport_->unicast(node, peer, std::move(pull));
         }
     }
 }
@@ -407,15 +345,15 @@ void DiscoveryNetwork::become_directory(NodeId node) {
 void DiscoveryNetwork::directory_advertise(NodeId node) {
     NodeState& state = *nodes_[node];
     if (!state.is_directory) return;
-    if (sim_->topology().is_up(node)) {
+    if (transport_->is_up(node)) {
         Message adv;
         adv.type = "dir-adv";
         adv.payload = DirAdv{node};
         adv.size_bytes = 16;
-        sim_->broadcast(node, config_.vicinity_hops, std::move(adv));
-        state.last_adv = sim_->now();  // a directory never elects
+        transport_->broadcast(node, config_.vicinity_hops, std::move(adv));
+        state.last_adv = transport_->now();  // a directory never elects
     }
-    sim_->schedule(config_.adv_period_ms,
+    transport_->schedule(config_.adv_period_ms,
                    [this, node] { directory_advertise(node); });
 }
 
@@ -430,7 +368,7 @@ void DiscoveryNetwork::push_summary(NodeId directory_node) {
         push.type = "summary-push";
         push.payload = SummaryPush{directory_node, wire};
         push.size_bytes = static_cast<std::uint32_t>(wire.size() * 8);
-        sim_->unicast(directory_node, peer, std::move(push));
+        transport_->unicast(directory_node, peer, std::move(push));
     }
     state.publishes_since_push = 0;
 }
@@ -448,7 +386,7 @@ bool DiscoveryNetwork::is_directory(NodeId node) const {
 }
 
 NodeId DiscoveryNetwork::directory_for(NodeId node) const {
-    const auto dist = sim_->topology().hop_distances(node);
+    const auto dist = transport_->hop_distances(node);
     NodeId best = kNoNode;
     int best_hops = std::numeric_limits<int>::max();
     for (const NodeId dir : directories()) {
@@ -462,12 +400,13 @@ NodeId DiscoveryNetwork::directory_for(NodeId node) const {
 
 // --- publish -----------------------------------------------------------------
 
-void DiscoveryNetwork::publish_service(NodeId provider, std::string document_xml) {
+std::uint64_t DiscoveryNetwork::publish_service(NodeId provider,
+                                                std::string document_xml) {
     NodeState& state = *nodes_[provider];
     state.owned_services.push_back(document_xml);
     if (config_.republish_period_ms > 0 && !state.republish_scheduled) {
         state.republish_scheduled = true;
-        sim_->schedule(config_.republish_period_ms,
+        transport_->schedule(config_.republish_period_ms,
                        [this, provider] { republish(provider); });
     }
     if (config_.publish_ack_timeout_ms > 0) {
@@ -481,23 +420,50 @@ void DiscoveryNetwork::publish_service(NodeId provider, std::string document_xml
                         config_.publish_ack_timeout_ms, false, 0});
         if (metrics_.publish_outstanding) metrics_.publish_outstanding->add(1);
         send_publish(provider, pub_id);
-        return;
+        return pub_id;
     }
     NodeId target = state.known_directory;
     if (target == kNoNode || !nodes_[target]->is_directory ||
-        !sim_->topology().is_up(target)) {
+        !transport_->is_up(target)) {
         target = directory_for(provider);
     }
     if (target == kNoNode) {
         state.deferred_publishes.push_back(std::move(document_xml));
         if (metrics_.deferred_publishes) metrics_.deferred_publishes->add(1);
-        return;
+        return 0;
     }
     Message pub;
     pub.type = "pub";
     pub.size_bytes = static_cast<std::uint32_t>(document_xml.size());
     pub.payload = PublishDoc{std::move(document_xml), 0};
-    sim_->unicast(provider, target, std::move(pub));
+    transport_->unicast(provider, target, std::move(pub));
+    return 0;
+}
+
+Result<std::uint64_t> DiscoveryNetwork::try_publish_service(
+    NodeId provider, std::string document_xml) {
+    return support::catching<std::uint64_t>([&]() -> std::uint64_t {
+        if (provider >= nodes_.size()) {
+            throw LookupError("publish from unknown node " +
+                              std::to_string(provider));
+        }
+        // Validate before mutating protocol state, so a malformed document
+        // never enters owned_services / the retransmit machinery.
+        (void)desc::parse_service(document_xml);
+        return publish_service(provider, std::move(document_xml));
+    });
+}
+
+Result<std::uint64_t> DiscoveryNetwork::try_discover(NodeId client,
+                                                     std::string request_xml) {
+    return support::catching<std::uint64_t>([&]() -> std::uint64_t {
+        if (client >= nodes_.size()) {
+            throw LookupError("discover from unknown node " +
+                              std::to_string(client));
+        }
+        (void)desc::parse_request(request_xml);
+        return discover(client, std::move(request_xml));
+    });
 }
 
 void DiscoveryNetwork::send_publish(NodeId provider, std::uint64_t pub_id) {
@@ -508,7 +474,7 @@ void DiscoveryNetwork::send_publish(NodeId provider, std::uint64_t pub_id) {
 
     NodeId target = state.known_directory;
     if (target == kNoNode || !nodes_[target]->is_directory ||
-        !sim_->topology().is_up(target)) {
+        !transport_->is_up(target)) {
         target = directory_for(provider);
     }
     outstanding.awaiting_ack = target != kNoNode;
@@ -518,7 +484,7 @@ void DiscoveryNetwork::send_publish(NodeId provider, std::uint64_t pub_id) {
         pub.size_bytes =
             static_cast<std::uint32_t>(outstanding.document.size());
         pub.payload = PublishDoc{outstanding.document, pub_id};
-        sim_->unicast(provider, target, std::move(pub));
+        transport_->unicast(provider, target, std::move(pub));
     }
     // Arm the timeout either way: with no reachable directory it acts as a
     // deferral poll that retries routing without consuming the budget.
@@ -527,7 +493,7 @@ void DiscoveryNetwork::send_publish(NodeId provider, std::uint64_t pub_id) {
     const double jitter =
         jitter_rng_.uniform() * 0.25 * outstanding.timeout_ms;
     const std::uint64_t attempt = ++outstanding.attempt;
-    sim_->schedule(outstanding.timeout_ms + jitter,
+    transport_->schedule(outstanding.timeout_ms + jitter,
                    [this, provider, pub_id, attempt] {
                        check_publish_timeout(provider, pub_id, attempt);
                    });
@@ -541,10 +507,10 @@ void DiscoveryNetwork::check_publish_timeout(NodeId provider,
     if (it == state.outstanding_publishes.end()) return;  // acked
     NodeState::OutstandingPublish& outstanding = it->second;
     if (outstanding.attempt != expected_attempt) return;  // superseded
-    if (!sim_->topology().is_up(provider)) {
+    if (!transport_->is_up(provider)) {
         // Crashed provider: freeze the budget, poll again after recovery.
         const std::uint64_t attempt = ++outstanding.attempt;
-        sim_->schedule(outstanding.timeout_ms,
+        transport_->schedule(outstanding.timeout_ms,
                        [this, provider, pub_id, attempt] {
                            check_publish_timeout(provider, pub_id, attempt);
                        });
@@ -581,12 +547,24 @@ void DiscoveryNetwork::handle_publish(NodeId self, const Message& msg) {
         nack.size_bytes =
             16 + static_cast<std::uint32_t>(doc.document.size());
         nack.payload = PubNack{doc.pub_id, doc.document};
-        sim_->unicast(self, msg.source, std::move(nack));
+        transport_->unicast(self, msg.source, std::move(nack));
         return;
     }
     if (state.semdir != nullptr) {
         const std::size_t bits_before = state.semdir->summary().set_bit_count();
-        state.semdir->publish_xml(doc.document);
+        // The document is peer input: a malformed description must be
+        // contained here (dropped + counted), not unwind the transport's
+        // event loop. No ack is sent, so an acknowledged publish of a bad
+        // document exhausts its retransmit budget and expires — the
+        // provider-side accounting already handles that.
+        const auto published = support::catching<bool>([&] {
+            state.semdir->publish_xml(doc.document);
+            return true;
+        });
+        if (!published) {
+            if (metrics_.malformed_publishes) metrics_.malformed_publishes->inc();
+            return;
+        }
         // Push the summary whenever it gained bits — i.e. this publish
         // introduced ontology coverage the backbone does not know about.
         // Peers testing a stale filter would otherwise get false
@@ -601,14 +579,21 @@ void DiscoveryNetwork::handle_publish(NodeId self, const Message& msg) {
             push_summary(self);
         }
     } else {
-        state.syndir->publish_xml(doc.document);
+        const auto published = support::catching<bool>([&] {
+            state.syndir->publish_xml(doc.document);
+            return true;
+        });
+        if (!published) {
+            if (metrics_.malformed_publishes) metrics_.malformed_publishes->inc();
+            return;
+        }
     }
     if (doc.pub_id != 0) {
         Message ack;
         ack.type = "pub-ack";
         ack.size_bytes = 16;
         ack.payload = PubAck{doc.pub_id};
-        sim_->unicast(self, msg.source, std::move(ack));
+        transport_->unicast(self, msg.source, std::move(ack));
     }
 }
 
@@ -617,7 +602,7 @@ void DiscoveryNetwork::handle_publish(NodeId self, const Message& msg) {
 std::uint64_t DiscoveryNetwork::discover(NodeId client, std::string request_xml) {
     const std::uint64_t id = next_request_id_++;
     DiscoveryOutcome outcome;
-    outcome.issued_at = sim_->now();
+    outcome.issued_at = transport_->now();
     outcomes_.emplace(id, outcome);
     if (metrics_.requests_issued) metrics_.requests_issued->inc();
     if (metrics_.requests_in_flight) metrics_.requests_in_flight->add(1);
@@ -628,14 +613,14 @@ std::uint64_t DiscoveryNetwork::discover(NodeId client, std::string request_xml)
             metrics_.retry_backlog->set(
                 static_cast<std::int64_t>(retry_state_.size()));
         }
-        sim_->schedule(config_.request_timeout_ms,
+        transport_->schedule(config_.request_timeout_ms,
                        [this, id] { check_request_timeout(id); });
     }
 
     NodeState& state = *nodes_[client];
     NodeId target = state.known_directory;
     if (target == kNoNode || !nodes_[target]->is_directory ||
-        !sim_->topology().is_up(target)) {
+        !transport_->is_up(target)) {
         target = directory_for(client);
     }
     if (target == kNoNode) {
@@ -647,7 +632,7 @@ std::uint64_t DiscoveryNetwork::discover(NodeId client, std::string request_xml)
     req.type = "req";
     req.size_bytes = static_cast<std::uint32_t>(request_xml.size());
     req.payload = Request{id, client, std::move(request_xml)};
-    sim_->unicast(client, target, std::move(req));
+    transport_->unicast(client, target, std::move(req));
     return id;
 }
 
@@ -656,11 +641,15 @@ namespace {
 /// Runs the local query of one directory; returns per-capability hits and
 /// fills `compute_ms` with the real time spent.
 std::vector<std::vector<MatchHit>> local_query(
-    DiscoveryNetwork&, directory::SemanticDirectory* semdir,
+    DiscoveryNetwork& network, directory::SemanticDirectory* semdir,
     directory::SyntacticDirectory* syndir, const std::string& document,
     double& compute_ms) {
     if (semdir != nullptr) {
-        auto result = semdir->query_xml(document);
+        // Skip the XML parse on repeat documents (the dominant per-request
+        // cost on a hot directory — rediscovery and retries resend the
+        // same bytes); resolution and matching always run fresh against
+        // the current knowledge base and directory content.
+        auto result = semdir->query(network.parsed_request(document));
         compute_ms = result.timing.total_ms();
         return std::move(result.per_capability);
     }
@@ -717,6 +706,19 @@ std::vector<NodeId> DiscoveryNetwork::forward_targets(
     return targets;
 }
 
+const desc::ServiceRequest& DiscoveryNetwork::parsed_request(
+    const std::string& document) {
+    const auto it = request_parse_cache_.find(document);
+    if (it != request_parse_cache_.end()) return it->second;
+    // Wholesale reset keeps the memo bounded without eviction bookkeeping:
+    // a hostile peer cycling unique documents degrades to parse-per-request
+    // (the uncached behaviour), never to unbounded memory.
+    if (request_parse_cache_.size() >= 512) request_parse_cache_.clear();
+    return request_parse_cache_
+        .emplace(document, desc::parse_request(document))
+        .first->second;
+}
+
 void DiscoveryNetwork::handle_request(NodeId self, const Message& msg) {
     NodeState& state = *nodes_[self];
     const auto& request = std::any_cast<const Request&>(msg.payload);
@@ -726,7 +728,7 @@ void DiscoveryNetwork::handle_request(NodeId self, const Message& msg) {
         resp.type = "resp";
         resp.payload = Response{request.request_id, {}, false, 0.0, 0};
         resp.size_bytes = 16;
-        sim_->unicast(self, request.client, std::move(resp));
+        transport_->unicast(self, request.client, std::move(resp));
         return;
     }
 
@@ -736,9 +738,24 @@ void DiscoveryNetwork::handle_request(NodeId self, const Message& msg) {
     pending.request_xml = request.document;
 
     double compute_ms = 0;
-    auto per_capability = local_query(*this, state.semdir.get(),
-                                      state.syndir.get(), request.document,
-                                      compute_ms);
+    // The request document is peer input: a malformed one is answered
+    // unsatisfied (and counted) instead of unwinding the event loop, so a
+    // hostile client cannot take the directory down.
+    auto queried =
+        support::catching<std::vector<std::vector<MatchHit>>>([&] {
+            return local_query(*this, state.semdir.get(), state.syndir.get(),
+                               request.document, compute_ms);
+        });
+    if (!queried) {
+        if (metrics_.malformed_requests) metrics_.malformed_requests->inc();
+        Message resp;
+        resp.type = "resp";
+        resp.payload = Response{request.request_id, {}, false, 0.0, 0};
+        resp.size_bytes = 16;
+        transport_->unicast(self, request.client, std::move(resp));
+        return;
+    }
+    auto per_capability = std::move(queried).value();
     pending.compute_ms = compute_ms;
     pending.local_satisfied = all_satisfied(per_capability);
     for (auto& hits : per_capability) {
@@ -749,7 +766,7 @@ void DiscoveryNetwork::handle_request(NodeId self, const Message& msg) {
     if (pending.local_satisfied) {
         // Answer after the (virtual) service time equal to the real compute.
         state.pending.emplace(id, std::move(pending));
-        sim_->schedule(compute_ms, [this, self, id] {
+        transport_->schedule(compute_ms, [this, self, id] {
             auto& stored = nodes_[self]->pending;
             const auto it = stored.find(id);
             if (it == stored.end()) return;
@@ -764,7 +781,7 @@ void DiscoveryNetwork::handle_request(NodeId self, const Message& msg) {
     pending.directories_asked = static_cast<std::uint32_t>(targets.size());
     state.pending.emplace(id, std::move(pending));
 
-    sim_->schedule(compute_ms, [this, self, id, targets] {
+    transport_->schedule(compute_ms, [this, self, id, targets] {
         auto& stored = nodes_[self]->pending;
         const auto it = stored.find(id);
         if (it == stored.end()) return;
@@ -780,7 +797,7 @@ void DiscoveryNetwork::handle_request(NodeId self, const Message& msg) {
             fwd.size_bytes =
                 static_cast<std::uint32_t>(it->second.request_xml.size());
             fwd.payload = Forward{id, self, it->second.request_xml};
-            sim_->unicast(self, target, std::move(fwd));
+            transport_->unicast(self, target, std::move(fwd));
         }
     });
 }
@@ -792,9 +809,19 @@ void DiscoveryNetwork::handle_forward(NodeId self, const Message& msg) {
     reply.request_id = forward.request_id;
     reply.compute_ms = 0;
     if (state.is_directory) {
-        reply.per_capability =
-            local_query(*this, state.semdir.get(), state.syndir.get(),
-                        forward.document, reply.compute_ms);
+        // Forwarded documents come from a peer directory but are still
+        // client-authored: contain malformed ones as an empty reply so the
+        // origin's `outstanding` count always settles.
+        const auto queried =
+            support::catching<bool>([&] {
+                reply.per_capability = local_query(
+                    *this, state.semdir.get(), state.syndir.get(),
+                    forward.document, reply.compute_ms);
+                return true;
+            });
+        if (!queried && metrics_.malformed_requests) {
+            metrics_.malformed_requests->inc();
+        }
     }
     const double compute = reply.compute_ms;
     const NodeId origin = forward.origin;
@@ -802,13 +829,13 @@ void DiscoveryNetwork::handle_forward(NodeId self, const Message& msg) {
     for (const auto& hits : reply.per_capability) {
         hit_count += static_cast<std::uint32_t>(hits.size());
     }
-    sim_->schedule(compute, [this, self, origin, reply = std::move(reply),
+    transport_->schedule(compute, [this, self, origin, reply = std::move(reply),
                              hit_count] {
         Message resp;
         resp.type = "fwd-resp";
         resp.size_bytes = 16 + hit_count * kHitWireBytes;
         resp.payload = reply;
-        sim_->unicast(self, origin, std::move(resp));
+        transport_->unicast(self, origin, std::move(resp));
     });
 }
 
@@ -833,7 +860,7 @@ void DiscoveryNetwork::handle_forward_reply(NodeId self, const Message& msg) {
             Message pull;
             pull.type = "summary-pull";
             pull.size_bytes = 8;
-            sim_->unicast(self, msg.source, std::move(pull));
+            transport_->unicast(self, msg.source, std::move(pull));
         }
     }
 
@@ -860,20 +887,20 @@ void DiscoveryNetwork::finish_request(NodeId directory_node,
         Response{pending.request_id, pending.hits,
                  pending.local_satisfied || !pending.hits.empty(),
                  pending.compute_ms, pending.directories_asked};
-    sim_->unicast(directory_node, pending.client, std::move(resp));
+    transport_->unicast(directory_node, pending.client, std::move(resp));
 }
 
 void DiscoveryNetwork::republish(NodeId provider) {
     NodeState& state = *nodes_[provider];
-    if (!sim_->topology().is_up(provider)) {
+    if (!transport_->is_up(provider)) {
         // Node is down; keep the timer alive so it resumes on recovery.
-        sim_->schedule(config_.republish_period_ms,
+        transport_->schedule(config_.republish_period_ms,
                        [this, provider] { republish(provider); });
         return;
     }
     NodeId target = state.known_directory;
     if (target == kNoNode || !nodes_[target]->is_directory ||
-        !sim_->topology().is_up(target)) {
+        !transport_->is_up(target)) {
         target = directory_for(provider);
     }
     if (target != kNoNode) {
@@ -882,10 +909,10 @@ void DiscoveryNetwork::republish(NodeId provider) {
             pub.type = "pub";
             pub.size_bytes = static_cast<std::uint32_t>(doc.size());
             pub.payload = PublishDoc{doc};
-            sim_->unicast(provider, target, std::move(pub));
+            transport_->unicast(provider, target, std::move(pub));
         }
     }
-    sim_->schedule(config_.republish_period_ms,
+    transport_->schedule(config_.republish_period_ms,
                    [this, provider] { republish(provider); });
 }
 
@@ -914,13 +941,13 @@ void DiscoveryNetwork::check_request_timeout(std::uint64_t request_id) {
         return;
     }
     const NodeId target = directory_for(retry.client);
-    if (target == kNoNode || !sim_->topology().is_up(retry.client)) {
+    if (target == kNoNode || !transport_->is_up(retry.client)) {
         // Fully partitioned (or the client itself is down): a retransmit
         // cannot reach anything, so consuming a retry here would burn the
         // budget with no transmission. Defer instead — keep the budget
         // intact and poll again; if the partition heals, the next check
         // (or a dir-adv flush) carries a real retransmission.
-        sim_->schedule(
+        transport_->schedule(
             config_.request_timeout_ms,
             [this, request_id] { check_request_timeout(request_id); });
         return;
@@ -932,8 +959,8 @@ void DiscoveryNetwork::check_request_timeout(std::uint64_t request_id) {
     req.type = "req";
     req.size_bytes = static_cast<std::uint32_t>(retry.document.size());
     req.payload = Request{request_id, retry.client, retry.document};
-    sim_->unicast(retry.client, target, std::move(req));
-    sim_->schedule(config_.request_timeout_ms,
+    transport_->unicast(retry.client, target, std::move(req));
+    transport_->schedule(config_.request_timeout_ms,
                    [this, request_id] { check_request_timeout(request_id); });
 }
 
@@ -998,7 +1025,7 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
 
     if (msg.type == "dir-adv") {
         const auto& adv = std::any_cast<const DirAdv&>(msg.payload);
-        state.last_adv = sim_->now();
+        state.last_adv = transport_->now();
         state.election_pending = false;  // suppress a pending election
         state.known_directory = adv.directory;
         if (!state.pending_handover.empty()) {
@@ -1009,7 +1036,7 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
                 static_cast<std::uint32_t>(state.pending_handover.size());
             handover_msg.payload = Handover{std::move(state.pending_handover)};
             state.pending_handover.clear();
-            sim_->unicast(self, adv.directory, std::move(handover_msg));
+            transport_->unicast(self, adv.directory, std::move(handover_msg));
         }
         // Flush work deferred for lack of a directory.
         auto publishes = std::move(state.deferred_publishes);
@@ -1030,7 +1057,7 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
             req.type = "req";
             req.size_bytes = static_cast<std::uint32_t>(doc.size());
             req.payload = Request{id, self, std::move(doc)};
-            sim_->unicast(self, adv.directory, std::move(req));
+            transport_->unicast(self, adv.directory, std::move(req));
         }
         return;
     }
@@ -1042,7 +1069,7 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
             adv.type = "dir-adv";
             adv.payload = DirAdv{self};
             adv.size_bytes = 16;
-            sim_->broadcast(self, config_.vicinity_hops, std::move(adv));
+            transport_->broadcast(self, config_.vicinity_hops, std::move(adv));
             return;
         }
         if (state.declines_role) return;  // resigned: not a candidate
@@ -1051,7 +1078,7 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
         cand.type = "elect-cand";
         cand.payload = ElectCandidate{self, fitness(self)};
         cand.size_bytes = 24;
-        sim_->unicast(self, call.initiator, std::move(cand));
+        transport_->unicast(self, call.initiator, std::move(cand));
         return;
     }
     if (msg.type == "elect-cand") {
@@ -1102,7 +1129,7 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
             push.type = "summary-push";
             push.payload = SummaryPush{self, wire};
             push.size_bytes = static_cast<std::uint32_t>(wire.size() * 8);
-            sim_->unicast(self, msg.source, std::move(push));
+            transport_->unicast(self, msg.source, std::move(push));
         }
         return;
     }
@@ -1149,7 +1176,7 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
         pub.type = "pub";
         pub.size_bytes = static_cast<std::uint32_t>(nack.document.size());
         pub.payload = PublishDoc{nack.document, 0};
-        sim_->unicast(self, target, std::move(pub));
+        transport_->unicast(self, target, std::move(pub));
         return;
     }
     if (msg.type == "resp") {
@@ -1167,7 +1194,7 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
         outcome.answered = true;
         outcome.satisfied = response.satisfied;
         outcome.hits = response.hits;
-        outcome.answered_at = sim_->now();
+        outcome.answered_at = transport_->now();
         outcome.directory_compute_ms = response.compute_ms;
         outcome.directories_asked = response.directories_asked;
         // Without a retry budget the first answer is final; with one, only
@@ -1192,11 +1219,11 @@ void DiscoveryNetwork::inject_summary_push(net::NodeId from, net::NodeId to,
     push.type = "summary-push";
     push.size_bytes = static_cast<std::uint32_t>(wire.size() * 8);
     push.payload = SummaryPush{from, std::move(wire)};
-    sim_->unicast(from, to, std::move(push));
+    transport_->unicast(from, to, std::move(push));
 }
 
 void DiscoveryNetwork::run_for(SimTime duration_ms) {
-    sim_->run(sim_->now() + duration_ms);
+    transport_->run_for(duration_ms);
 }
 
 const DiscoveryOutcome& DiscoveryNetwork::outcome(

@@ -1,5 +1,7 @@
 // The S-Ariadne discovery protocol (§4) and its syntactic ancestor Ariadne,
-// implemented over the discrete-event simulator.
+// implemented over the Transport seam (ariadne/transport.hpp): the same
+// protocol logic runs on the discrete-event simulator (SimTransport) and
+// on real sockets (net::EventLoopTransport, hosting sariadne_daemon).
 //
 // Roles and flows:
 //   * Directory backbone — nodes elected on the fly: a node that has not
@@ -34,12 +36,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ariadne/transport.hpp"
 #include "bloom/bloom_filter.hpp"
 #include "directory/semantic_directory.hpp"
 #include "directory/syntactic_directory.hpp"
 #include "encoding/knowledge_base.hpp"
-#include "net/simulator.hpp"
 #include "obs/metrics.hpp"
+#include "support/result.hpp"
+#include "support/rng.hpp"
 
 namespace sariadne::ariadne {
 
@@ -108,11 +112,21 @@ struct DiscoveryOutcome {
 
 class DiscoveryNetwork {
 public:
-    /// `kb` must outlive the network and contain every ontology the
-    /// workload references (semantic mode). When `metrics` is non-null,
-    /// the protocol, its directories and the simulator report into it
-    /// (`protocol.*`, `directory.*`, `sim.*`); the registry must outlive
-    /// the network.
+    /// Primary constructor: the protocol speaks exclusively through
+    /// `transport` (owned). `kb` must outlive the network and contain
+    /// every ontology the workload references (semantic mode). When
+    /// `metrics` is non-null, the protocol, its directories and the
+    /// transport report into it (`protocol.*`, `directory.*`, `sim.*` /
+    /// `transport.*`); the registry must outlive the network.
+    DiscoveryNetwork(std::unique_ptr<Transport> transport,
+                     ProtocolConfig config, encoding::KnowledgeBase& kb,
+                     obs::MetricsRegistry* metrics = nullptr);
+
+    /// Simulator-testbed convenience: builds a SimTransport over
+    /// `topology`. Defined in sim_transport.cpp so neither this header nor
+    /// protocol.cpp depends on net/simulator.hpp; reach the simulator via
+    /// ariadne::sim(network) (sim_transport.hpp) when a test needs faults
+    /// or topology control.
     DiscoveryNetwork(net::Topology topology, ProtocolConfig config,
                      encoding::KnowledgeBase& kb,
                      obs::MetricsRegistry* metrics = nullptr);
@@ -121,7 +135,16 @@ public:
     DiscoveryNetwork(const DiscoveryNetwork&) = delete;
     DiscoveryNetwork& operator=(const DiscoveryNetwork&) = delete;
 
-    net::Simulator& simulator() noexcept { return *sim_; }
+    Transport& transport() noexcept { return *transport_; }
+    const Transport& transport() const noexcept { return *transport_; }
+
+    /// Current time on the transport's clock (virtual or real ms).
+    net::SimTime now() const { return transport_->now(); }
+
+    /// True when the transport has nothing queued (see Transport::idle).
+    bool idle() const { return transport_->idle(); }
+
+    std::size_t node_count() const { return transport_->node_count(); }
 
     /// Starts node timers; call once before run().
     void start();
@@ -139,14 +162,35 @@ public:
     void resign_directory(net::NodeId node);
 
     /// Provider-side publish: ships the description document to the
-    /// nearest directory.
-    void publish_service(net::NodeId provider, std::string document_xml);
+    /// nearest directory. Returns the publish id when acknowledged
+    /// publishing is configured, 0 on fire-and-forget.
+    std::uint64_t publish_service(net::NodeId provider,
+                                  std::string document_xml);
 
     /// Client-side discovery; returns the request id whose outcome can be
     /// read after the simulation ran.
     std::uint64_t discover(net::NodeId client, std::string request_xml);
 
-    /// Runs the simulation for `duration_ms` of virtual time.
+    /// Non-throwing publish for daemon-facing callers (peer input is
+    /// untrusted): validates the document before touching protocol state
+    /// and maps parse/lookup failures to ErrorInfo via support/catching —
+    /// consistent with DiscoveryEngine::try_publish.
+    Result<std::uint64_t> try_publish_service(net::NodeId provider,
+                                              std::string document_xml);
+
+    /// Non-throwing discover; the malformed-request twin of discover().
+    Result<std::uint64_t> try_discover(net::NodeId client,
+                                       std::string request_xml);
+
+    /// Parse-memoized request document. Directories see the same request
+    /// documents repeatedly (periodic rediscovery, retries, forwarded
+    /// copies), and desc::parse_request is pure — the parse depends only
+    /// on the document bytes, never on the knowledge base — so the result
+    /// is cached verbatim with no invalidation concern. Reactor-thread
+    /// only, like every handler (see the Transport threading contract).
+    const desc::ServiceRequest& parsed_request(const std::string& document);
+
+    /// Drives the transport for `duration_ms` (virtual or real ms).
     void run_for(net::SimTime duration_ms);
 
     const DiscoveryOutcome& outcome(std::uint64_t request_id) const;
@@ -157,7 +201,9 @@ public:
     /// Directory serving a node (nearest by hops), kNoNode when none.
     net::NodeId directory_for(net::NodeId node) const;
 
-    const net::TrafficStats& traffic() const noexcept { return sim_->stats(); }
+    const net::TrafficStats& traffic() const noexcept {
+        return transport_->stats();
+    }
 
     /// Live retry-state entries (requests still holding a retry budget);
     /// drains to zero once every request is satisfied or expired —
@@ -170,7 +216,7 @@ public:
     std::size_t publish_backlog() const noexcept;
 
     /// Fault-injection hook: delivers a raw `summary-push` wire image from
-    /// `from` to `to` through the simulator, exactly as a (possibly
+    /// `from` to `to` through the transport, exactly as a (possibly
     /// hostile or corrupt) peer would. Tests use it to assert that invalid
     /// wire data is contained instead of unwinding the event loop.
     void inject_summary_push(net::NodeId from, net::NodeId to,
@@ -185,7 +231,6 @@ public:
 
 private:
     struct NodeState;
-    class App;
 
     struct PendingRequest {
         std::uint64_t request_id = 0;
@@ -256,6 +301,8 @@ private:
         obs::Counter* publishes_expired = nullptr;
         obs::Counter* publish_nacks = nullptr;
         obs::Counter* duplicates_dropped = nullptr;
+        obs::Counter* malformed_publishes = nullptr;
+        obs::Counter* malformed_requests = nullptr;
         obs::Gauge* requests_in_flight = nullptr;
         obs::Gauge* directories = nullptr;
         obs::Gauge* retry_backlog = nullptr;
@@ -266,14 +313,16 @@ private:
         obs::Histogram* directory_compute_ms = nullptr;
     };
 
-    std::unique_ptr<net::Simulator> sim_;
+    std::unique_ptr<Transport> transport_;
     ProtocolConfig config_;
     encoding::KnowledgeBase* kb_;
     Metrics metrics_;
     std::vector<std::unique_ptr<NodeState>> nodes_;
-    std::vector<std::unique_ptr<App>> apps_;
     std::unordered_map<std::uint64_t, DiscoveryOutcome> outcomes_;
     std::unordered_map<std::uint64_t, RetryState> retry_state_;
+    /// parsed_request memo; bounded by wholesale reset (distinct request
+    /// documents in any deployment are few, so eviction order is moot).
+    std::unordered_map<std::string, desc::ServiceRequest> request_parse_cache_;
     std::uint64_t next_request_id_ = 1;
     std::uint64_t next_pub_id_ = 1;
     /// Retransmit-jitter source; consulted only on acknowledged-publish

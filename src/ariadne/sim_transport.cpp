@@ -1,0 +1,16 @@
+#include "ariadne/sim_transport.hpp"
+
+namespace sariadne::ariadne {
+
+// The topology convenience constructor lives here, not in protocol.cpp, so
+// the protocol translation unit never names a concrete transport — the
+// redesign's "protocol compiles against Transport only" property holds at
+// the TU level, not just in the header.
+DiscoveryNetwork::DiscoveryNetwork(net::Topology topology,
+                                   ProtocolConfig config,
+                                   encoding::KnowledgeBase& kb,
+                                   obs::MetricsRegistry* metrics)
+    : DiscoveryNetwork(std::make_unique<SimTransport>(std::move(topology)),
+                       config, kb, metrics) {}
+
+}  // namespace sariadne::ariadne

@@ -1,0 +1,229 @@
+// lint:wire-decode — the decode half faces network bytes and must report
+// failures through Result, never exceptions.
+#include "ariadne/wire_bridge.hpp"
+
+#include <utility>
+
+#include "ariadne/messages.hpp"
+#include "ariadne/wire.hpp"
+
+namespace sariadne::ariadne::wirebridge {
+
+namespace {
+
+using directory::MatchHit;
+
+wire::Hit to_wire(const MatchHit& hit) {
+    return wire::Hit{hit.service, hit.service_name, hit.capability_name,
+                     hit.semantic_distance};
+}
+
+MatchHit from_wire(const wire::Hit& hit) {
+    return MatchHit{hit.service, hit.service_name, hit.capability_name,
+                    hit.semantic_distance};
+}
+
+std::vector<wire::Hit> to_wire(const std::vector<MatchHit>& hits) {
+    std::vector<wire::Hit> out;
+    out.reserve(hits.size());
+    for (const MatchHit& hit : hits) out.push_back(to_wire(hit));
+    return out;
+}
+
+std::vector<MatchHit> from_wire(const std::vector<wire::Hit>& hits) {
+    std::vector<MatchHit> out;
+    out.reserve(hits.size());
+    for (const wire::Hit& hit : hits) out.push_back(from_wire(hit));
+    return out;
+}
+
+ErrorInfo mismatch(const char* type) {
+    return ErrorInfo{ErrorCode::kInternal,
+                     std::string("payload does not match message type \"") +
+                         type + "\""};
+}
+
+/// Non-throwing payload access: nullptr on type mismatch.
+template <typename T>
+const T* payload_as(const net::Message& message) {
+    return std::any_cast<T>(&message.payload);
+}
+
+}  // namespace
+
+Result<std::vector<std::uint8_t>> encode_message(const net::Message& message) {
+    wire::WireMessage wm;
+    const std::string& type = message.type;
+    if (type == "dir-adv") {
+        const auto* p = payload_as<msg::DirAdv>(message);
+        if (p == nullptr) return mismatch("dir-adv");
+        wm.type = wire::MsgType::kDirAdv;
+        wm.payload = wire::DirAdv{p->directory};
+    } else if (type == "elect-call") {
+        const auto* p = payload_as<msg::ElectCall>(message);
+        if (p == nullptr) return mismatch("elect-call");
+        wm.type = wire::MsgType::kElectCall;
+        wm.payload = wire::ElectCall{p->initiator};
+    } else if (type == "elect-cand") {
+        const auto* p = payload_as<msg::ElectCandidate>(message);
+        if (p == nullptr) return mismatch("elect-cand");
+        wm.type = wire::MsgType::kElectCandidate;
+        wm.payload = wire::ElectCandidate{p->candidate, p->fitness};
+    } else if (type == "elect-appoint") {
+        wm.type = wire::MsgType::kElectAppoint;
+        wm.payload = wire::ElectAppoint{};
+    } else if (type == "pub") {
+        const auto* p = payload_as<msg::PublishDoc>(message);
+        if (p == nullptr) return mismatch("pub");
+        wm.type = wire::MsgType::kPublish;
+        wm.payload = wire::PublishDoc{p->document, p->pub_id};
+    } else if (type == "pub-ack") {
+        const auto* p = payload_as<msg::PubAck>(message);
+        if (p == nullptr) return mismatch("pub-ack");
+        wm.type = wire::MsgType::kPubAck;
+        wm.payload = wire::PubAck{p->pub_id};
+    } else if (type == "pub-nack") {
+        const auto* p = payload_as<msg::PubNack>(message);
+        if (p == nullptr) return mismatch("pub-nack");
+        wm.type = wire::MsgType::kPubNack;
+        wm.payload = wire::PubNack{p->pub_id, p->document};
+    } else if (type == "req") {
+        const auto* p = payload_as<msg::Request>(message);
+        if (p == nullptr) return mismatch("req");
+        wm.type = wire::MsgType::kRequest;
+        wm.payload = wire::Request{p->request_id, p->client, p->document};
+    } else if (type == "resp") {
+        const auto* p = payload_as<msg::Response>(message);
+        if (p == nullptr) return mismatch("resp");
+        wm.type = wire::MsgType::kResponse;
+        wm.payload =
+            wire::Response{p->request_id, to_wire(p->hits), p->satisfied,
+                           p->compute_ms, p->directories_asked};
+    } else if (type == "fwd") {
+        const auto* p = payload_as<msg::Forward>(message);
+        if (p == nullptr) return mismatch("fwd");
+        wm.type = wire::MsgType::kForward;
+        wm.payload = wire::Forward{p->request_id, p->origin, p->document};
+    } else if (type == "fwd-resp") {
+        const auto* p = payload_as<msg::QueryHits>(message);
+        if (p == nullptr) return mismatch("fwd-resp");
+        wire::ForwardResponse out;
+        out.request_id = p->request_id;
+        out.compute_ms = p->compute_ms;
+        out.per_capability.reserve(p->per_capability.size());
+        for (const auto& hits : p->per_capability) {
+            out.per_capability.push_back(to_wire(hits));
+        }
+        wm.type = wire::MsgType::kForwardResponse;
+        wm.payload = std::move(out);
+    } else if (type == "summary-push") {
+        const auto* p = payload_as<msg::SummaryPush>(message);
+        if (p == nullptr) return mismatch("summary-push");
+        wm.type = wire::MsgType::kSummaryPush;
+        wm.payload = wire::SummaryPush{p->from, p->wire};
+    } else if (type == "summary-pull") {
+        wm.type = wire::MsgType::kSummaryPull;
+        wm.payload = wire::SummaryPull{};
+    } else if (type == "handover") {
+        const auto* p = payload_as<msg::Handover>(message);
+        if (p == nullptr) return mismatch("handover");
+        wm.type = wire::MsgType::kHandover;
+        wm.payload = wire::Handover{p->state_xml};
+    } else {
+        return ErrorInfo{ErrorCode::kInternal,
+                         "unknown message type \"" + type + "\""};
+    }
+    return wire::encode(wm);
+}
+
+Result<net::Message> try_decode_message(std::span<const std::uint8_t> bytes) {
+    auto decoded = wire::try_decode(bytes);
+    if (!decoded) return decoded.error();
+    wire::WireMessage& wm = decoded.value();
+
+    net::Message message;
+    message.type = wire::to_string(wm.type);
+    message.size_bytes = static_cast<std::uint32_t>(bytes.size());
+    switch (wm.type) {
+        case wire::MsgType::kDirAdv: {
+            auto& p = std::get<wire::DirAdv>(wm.payload);
+            message.payload = msg::DirAdv{p.directory};
+            break;
+        }
+        case wire::MsgType::kElectCall: {
+            auto& p = std::get<wire::ElectCall>(wm.payload);
+            message.payload = msg::ElectCall{p.initiator};
+            break;
+        }
+        case wire::MsgType::kElectCandidate: {
+            auto& p = std::get<wire::ElectCandidate>(wm.payload);
+            message.payload = msg::ElectCandidate{p.candidate, p.fitness};
+            break;
+        }
+        case wire::MsgType::kElectAppoint:
+            break;  // no in-process payload
+        case wire::MsgType::kPublish: {
+            auto& p = std::get<wire::PublishDoc>(wm.payload);
+            message.payload =
+                msg::PublishDoc{std::move(p.document), p.pub_id};
+            break;
+        }
+        case wire::MsgType::kPubAck: {
+            auto& p = std::get<wire::PubAck>(wm.payload);
+            message.payload = msg::PubAck{p.pub_id};
+            break;
+        }
+        case wire::MsgType::kPubNack: {
+            auto& p = std::get<wire::PubNack>(wm.payload);
+            message.payload = msg::PubNack{p.pub_id, std::move(p.document)};
+            break;
+        }
+        case wire::MsgType::kRequest: {
+            auto& p = std::get<wire::Request>(wm.payload);
+            message.payload =
+                msg::Request{p.request_id, p.client, std::move(p.document)};
+            break;
+        }
+        case wire::MsgType::kResponse: {
+            auto& p = std::get<wire::Response>(wm.payload);
+            message.payload =
+                msg::Response{p.request_id, from_wire(p.hits), p.satisfied,
+                              p.compute_ms, p.directories_asked};
+            break;
+        }
+        case wire::MsgType::kForward: {
+            auto& p = std::get<wire::Forward>(wm.payload);
+            message.payload =
+                msg::Forward{p.request_id, p.origin, std::move(p.document)};
+            break;
+        }
+        case wire::MsgType::kForwardResponse: {
+            auto& p = std::get<wire::ForwardResponse>(wm.payload);
+            msg::QueryHits hits;
+            hits.request_id = p.request_id;
+            hits.compute_ms = p.compute_ms;
+            hits.per_capability.reserve(p.per_capability.size());
+            for (const auto& capability : p.per_capability) {
+                hits.per_capability.push_back(from_wire(capability));
+            }
+            message.payload = std::move(hits);
+            break;
+        }
+        case wire::MsgType::kSummaryPush: {
+            auto& p = std::get<wire::SummaryPush>(wm.payload);
+            message.payload =
+                msg::SummaryPush{p.from, std::move(p.summary_wire)};
+            break;
+        }
+        case wire::MsgType::kSummaryPull:
+            break;  // no in-process payload
+        case wire::MsgType::kHandover: {
+            auto& p = std::get<wire::Handover>(wm.payload);
+            message.payload = msg::Handover{std::move(p.state_xml)};
+            break;
+        }
+    }
+    return message;
+}
+
+}  // namespace sariadne::ariadne::wirebridge

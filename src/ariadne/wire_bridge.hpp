@@ -1,0 +1,35 @@
+// Bridge between the protocol's in-process messages (net::Message carrying
+// an ariadne/messages.hpp payload in std::any) and the byte-level wire
+// codec (ariadne/wire.*). This is the single point where the two payload
+// vocabularies meet, so a field drifting between messages.hpp and wire.hpp
+// breaks here at compile time (or as a bridge test failure) instead of
+// silently corrupting traffic. net/event_loop.* frames every socket
+// message through these two functions.
+//
+// Both directions are non-throwing: the decode side faces hostile bytes
+// (lint:wire-decode), and the encode side reports an unknown type string
+// or a payload/type mismatch as ErrorInfo rather than crashing a daemon
+// on a programming error in a caller.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/message.hpp"
+#include "support/result.hpp"
+
+namespace sariadne::ariadne::wirebridge {
+
+/// Serializes `message` (type tag + msg:: payload) into one wire datagram.
+/// Fails with kInternal when the type string is not one of the protocol's
+/// 14 messages or the payload's concrete type does not match the tag.
+Result<std::vector<std::uint8_t>> encode_message(const net::Message& message);
+
+/// Parses one complete datagram into a deliverable net::Message: type
+/// string set from the wire id, payload rebuilt as the msg:: struct,
+/// size_bytes = datagram size. source and wire_seq are left for the
+/// transport to stamp. Never throws; malformed input yields kParse.
+Result<net::Message> try_decode_message(std::span<const std::uint8_t> bytes);
+
+}  // namespace sariadne::ariadne::wirebridge

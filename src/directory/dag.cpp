@@ -292,11 +292,19 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
                   [&](VertexId s) { return visited_down[s] != 0; });
 
     // Phase 3 — wire the new vertex in, removing parent→successor edges
-    // that the new vertex now mediates.
-    const auto id = static_cast<VertexId>(vertices_.size());
-    vertices_.push_back(Vertex{});
-    vertices_.back().entries.push_back(std::move(entry));
-    vertices_.back().summary = cap_summary;
+    // that the new vertex now mediates. Dead slots are recycled first so
+    // the vertex vector tracks live size, not publish history.
+    VertexId id;
+    if (!free_.empty()) {
+        id = free_.back();
+        free_.pop_back();
+        vertices_[id] = Vertex{};
+    } else {
+        id = static_cast<VertexId>(vertices_.size());
+        vertices_.push_back(Vertex{});
+    }
+    vertices_[id].entries.push_back(std::move(entry));
+    vertices_[id].summary = cap_summary;
     for (const VertexId pred : predecessors) {
         for (const VertexId succ : successors) {
             remove_edge(pred, succ);
@@ -338,7 +346,9 @@ std::size_t CapabilityDag::remove_service(ServiceId service) {
         }
         vertex.parents.clear();
         vertex.children.clear();
+        vertex.entries.shrink_to_fit();
         vertex.alive = false;
+        free_.push_back(v);
     }
     return removed;
 }

@@ -156,6 +156,13 @@ private:
 
     FlatSet<OntologyIndex> signature_;
     std::vector<Vertex> vertices_;
+    /// Slots of dead vertices, reused by the next insert. Without reuse a
+    /// republish-heavy workload (remove + insert per refresh) grows
+    /// vertices_ by one dead slot per cycle, and every full-vector walk —
+    /// insert's root/leaf scans, remove_service, entry_count, query_all's
+    /// visited bitmap — degrades linearly with publish *history* instead
+    /// of live directory size.
+    std::vector<VertexId> free_;
 };
 
 }  // namespace sariadne::directory

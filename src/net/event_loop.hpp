@@ -1,0 +1,195 @@
+// EventLoopTransport — the socket implementation of the Transport seam: a
+// single-threaded poll(2) reactor moving the protocol's messages as
+// wire-codec frames (ariadne/wire_bridge.*) over nonblocking TCP.
+//
+// Node model: a star. Node 0 is the hosted node (the daemon's directory);
+// connection slots 1..max_connections are remote peers, assigned a NodeId
+// on accept and released on close. Every inbound frame is delivered to
+// node 0; unicast(0, k, ...) frames onto connection k; broadcast reaches
+// every live connection (any ttl >= 1 — one hop covers the star).
+//
+// Framing: u32 little-endian length prefix + one wire datagram. Reads go
+// through a per-connection bounded buffer into wire-codec decoding; a
+// frame longer than max_frame_bytes or one that fails to decode closes
+// the connection (counted under transport.oversized_frames /
+// transport.decode_errors — a peer that corrupts its framing once can
+// never resynchronize, so dropping the connection is the safe move).
+//
+// Ingress trust boundary: a client-supplied `req.client` / `fwd.origin`
+// field is overwritten with the connection's NodeId, so a peer cannot
+// direct another peer's responses (or spoof a third node) regardless of
+// what it puts on the wire.
+//
+// Backpressure: writes are queued per connection and flushed as the
+// socket drains; once a connection's queue exceeds
+// write_queue_limit_bytes, new frames for it are shed (counted under
+// transport.backpressure_drops) instead of growing the queue — the
+// reactor never blocks on a stalled peer.
+//
+// Threading: run_for()/run_until_stopped() drive everything — accepts,
+// reads, decode, delivery, timers — on the calling thread, satisfying the
+// Transport contract's single-threaded reactor model. The only
+// cross-thread entry points are post() (mutex-guarded queue, rank
+// kTransportQueue, woken through a self-pipe), request_stop(), and the
+// async-signal-safe stop_fd() (a signal handler writes one byte to it —
+// the SIGTERM drain path of sariadne_daemon).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "ariadne/transport.hpp"
+#include "net/message.hpp"
+#include "obs/metrics.hpp"
+#include "support/lock_rank.hpp"
+
+namespace sariadne::net {
+
+struct EventLoopConfig {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral; read back via local_port()
+    /// Connection slots (NodeIds 1..max_connections). Accepts beyond this
+    /// are closed immediately (transport.connections_rejected).
+    std::size_t max_connections = 64;
+    /// Frames longer than this close the connection before any allocation
+    /// sized by the hostile length.
+    std::size_t max_frame_bytes = 1u << 20;
+    /// Per-connection write-queue high watermark (backpressure shed point).
+    std::size_t write_queue_limit_bytes = 4u << 20;
+};
+
+class EventLoopTransport final : public ariadne::Transport {
+public:
+    /// Binds and listens immediately; throws support/errors.hpp Error on
+    /// socket/bind/listen failure.
+    explicit EventLoopTransport(EventLoopConfig config);
+    ~EventLoopTransport() override;
+
+    EventLoopTransport(const EventLoopTransport&) = delete;
+    EventLoopTransport& operator=(const EventLoopTransport&) = delete;
+
+    /// The bound TCP port (resolves an ephemeral-port request).
+    std::uint16_t local_port() const noexcept { return local_port_; }
+
+    /// Thread-safe: enqueues `fn` onto the reactor thread and wakes it.
+    void post(std::function<void()> fn);
+
+    /// Thread-safe: makes run_until_stopped() return after its drain.
+    void request_stop();
+
+    /// File descriptor a signal handler may write one byte to (write(2)
+    /// is async-signal-safe) to trigger request_stop() semantics.
+    int stop_fd() const noexcept { return wake_pipe_[1]; }
+
+    bool stop_requested() const noexcept { return stop_requested_; }
+
+    /// Runs until request_stop() (or a byte on stop_fd()), then drains:
+    /// stops accepting, flushes pending write queues for at most
+    /// `drain_grace_ms`, closes every connection and returns.
+    void run_until_stopped(double drain_grace_ms = 500);
+
+    /// Live connection count (drain/interest introspection).
+    std::size_t live_connections() const noexcept { return live_count_; }
+
+    // --- Transport -------------------------------------------------------
+
+    void set_delivery_handler(DeliveryHandler handler) override;
+    void set_metrics(obs::MetricsRegistry* registry) override;
+    void unicast(NodeId from, NodeId to, Message msg) override;
+    void broadcast(NodeId from, std::uint32_t ttl_hops, Message msg) override;
+    SimTime now() const override;
+    void schedule(SimTime delay_ms, std::function<void()> action) override;
+    void run_for(SimTime duration_ms) override;
+    bool idle() const override;
+    std::size_t node_count() const override {
+        return config_.max_connections + 1;
+    }
+    bool is_up(NodeId node) const override;
+    std::vector<int> hop_distances(NodeId from) const override;
+    bool is_infrastructure(NodeId node) const override {
+        // The hosted daemon node is mains-powered infrastructure; remote
+        // peers report as plain mobile nodes.
+        return node == 0;
+    }
+    std::size_t degree(NodeId node) const override;
+    const TrafficStats& stats() const override { return stats_; }
+
+private:
+    struct Connection {
+        int fd = -1;
+        std::vector<std::uint8_t> read_buf;
+        std::size_t read_pos = 0;  ///< consumed prefix of read_buf
+        std::deque<std::vector<std::uint8_t>> write_queue;
+        std::size_t write_off = 0;  ///< sent prefix of write_queue.front()
+        std::size_t queued_bytes = 0;
+
+        bool live() const noexcept { return fd >= 0; }
+    };
+
+    struct Timer {
+        SimTime due;
+        std::uint64_t seq;
+        std::function<void()> action;
+
+        bool operator>(const Timer& other) const noexcept {
+            return due != other.due ? due > other.due : seq > other.seq;
+        }
+    };
+
+    /// Cached registry handles (all null when detached).
+    struct Metrics {
+        obs::MetricsRegistry* registry = nullptr;
+        obs::Counter* connections_accepted = nullptr;
+        obs::Counter* connections_closed = nullptr;
+        obs::Counter* connections_rejected = nullptr;
+        obs::Gauge* connections_active = nullptr;
+        obs::Counter* frames_sent = nullptr;
+        obs::Counter* frames_received = nullptr;
+        obs::Counter* bytes_sent = nullptr;
+        obs::Counter* bytes_received = nullptr;
+        obs::Counter* decode_errors = nullptr;
+        obs::Counter* oversized_frames = nullptr;
+        obs::Counter* backpressure_drops = nullptr;
+        obs::Gauge* write_queue_bytes = nullptr;
+    };
+
+    /// One reactor iteration: expire timers, drain posts/local deliveries,
+    /// poll with a timeout bounded by `max_wait_ms`, handle ready fds.
+    void step(SimTime max_wait_ms);
+    void run_expired_timers();
+    void drain_posted();
+    void drain_local();
+    void accept_ready();
+    void read_ready(NodeId slot);
+    void flush_writes(NodeId slot);
+    void close_connection(NodeId slot);
+    void enqueue_frame(NodeId to, const Message& msg);
+    void deliver_inbound(NodeId from, Message msg);
+    SimTime next_timer_due() const;
+
+    EventLoopConfig config_;
+    int listen_fd_ = -1;
+    std::uint16_t local_port_ = 0;
+    int wake_pipe_[2] = {-1, -1};
+    std::chrono::steady_clock::time_point epoch_;
+    std::vector<Connection> conns_;  ///< index = NodeId (slot 0 unused)
+    std::size_t live_count_ = 0;
+    DeliveryHandler handler_;
+    std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+    std::uint64_t next_timer_seq_ = 0;
+    std::uint64_t next_wire_seq_ = 0;
+    std::vector<Message> local_;  ///< loopback deliveries to node 0
+    bool stop_requested_ = false;
+    TrafficStats stats_;
+    Metrics metrics_;
+
+    support::RankedMutex post_mutex_{support::LockRank::kTransportQueue};
+    std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace sariadne::net

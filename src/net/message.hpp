@@ -1,0 +1,55 @@
+// Transport-neutral message vocabulary. These types used to live in
+// net/simulator.hpp, but they describe *what* moves between nodes, not
+// *how*: the discrete-event simulator and the real socket transport
+// (net/event_loop.hpp) both deliver `Message`s and account traffic in a
+// `TrafficStats`, and the protocol layer (src/ariadne) must compile
+// against this header alone — never against a concrete transport.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/topology.hpp"
+
+namespace sariadne::net {
+
+/// Milliseconds on the transport's clock: virtual time on the simulator,
+/// real steady-clock time on the socket event loop.
+using SimTime = double;
+
+struct Message {
+    NodeId source = kNoNode;
+    std::string type;   ///< protocol dispatch tag
+    std::any payload;   ///< protocol-defined content
+    std::uint32_t size_bytes = 0;  ///< modeled wire size (traffic accounting)
+    /// Per-send sequence id, assigned by the transport: every unicast or
+    /// broadcast initiation gets a fresh id, and a fault-injected duplicate
+    /// delivery carries the id of the send it echoes. Receivers deduplicate
+    /// on it; retransmissions are distinct sends and get distinct ids.
+    std::uint64_t wire_seq = 0;
+};
+
+/// Traffic counters, aggregated over the run. The simulator fills every
+/// field; the socket transport has no radio, so the link/fault series stay
+/// zero there and `bytes_transmitted` counts real socket bytes.
+struct TrafficStats {
+    std::uint64_t unicasts = 0;          ///< unicast sends
+    std::uint64_t broadcasts = 0;        ///< broadcast initiations
+    std::uint64_t deliveries = 0;        ///< messages handed to the protocol
+    std::uint64_t link_transmissions = 0;///< per-hop radio transmissions
+    std::uint64_t bytes_transmitted = 0; ///< size-weighted link transmissions
+    std::uint64_t dropped_unreachable = 0;
+    std::uint64_t faults_dropped = 0;    ///< deliveries lost to the FaultPlan
+    std::uint64_t faults_duplicated = 0; ///< deliveries echoed by the FaultPlan
+    std::uint64_t faults_crashes = 0;    ///< scheduled node downs executed
+    std::uint64_t faults_recoveries = 0; ///< scheduled node ups executed
+    std::map<std::string, std::uint64_t> per_type;  ///< deliveries by tag
+
+    /// Replay determinism check: two runs with the same seed and fault
+    /// plan must produce identical traffic.
+    friend bool operator==(const TrafficStats&, const TrafficStats&) = default;
+};
+
+}  // namespace sariadne::net

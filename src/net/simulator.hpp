@@ -14,34 +14,19 @@
 // protocol-traffic metrics of the distributed benches.
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <queue>
 #include <string>
 #include <vector>
 
+#include "net/message.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "support/contracts.hpp"
 #include "support/rng.hpp"
 
 namespace sariadne::net {
-
-using SimTime = double;  ///< virtual milliseconds
-
-struct Message {
-    NodeId source = kNoNode;
-    std::string type;   ///< protocol dispatch tag
-    std::any payload;   ///< protocol-defined content
-    std::uint32_t size_bytes = 0;  ///< modeled wire size (traffic accounting)
-    /// Per-send sequence id, assigned by the simulator: every unicast or
-    /// broadcast initiation gets a fresh id, and a fault-injected duplicate
-    /// delivery carries the id of the send it echoes. Receivers deduplicate
-    /// on it; retransmissions are distinct sends and get distinct ids.
-    std::uint64_t wire_seq = 0;
-};
 
 /// One scheduled node outage: the node goes down at `down_at` and (when
 /// `up_at > down_at`) recovers at `up_at`, both in virtual ms from the
@@ -94,25 +79,6 @@ public:
 
     /// Called for each delivered message.
     virtual void on_message(Simulator& sim, NodeId self, const Message& msg) = 0;
-};
-
-/// Traffic counters, aggregated over the run.
-struct TrafficStats {
-    std::uint64_t unicasts = 0;          ///< unicast sends
-    std::uint64_t broadcasts = 0;        ///< broadcast initiations
-    std::uint64_t deliveries = 0;        ///< messages handed to NodeApps
-    std::uint64_t link_transmissions = 0;///< per-hop radio transmissions
-    std::uint64_t bytes_transmitted = 0; ///< size-weighted link transmissions
-    std::uint64_t dropped_unreachable = 0;
-    std::uint64_t faults_dropped = 0;    ///< deliveries lost to the FaultPlan
-    std::uint64_t faults_duplicated = 0; ///< deliveries echoed by the FaultPlan
-    std::uint64_t faults_crashes = 0;    ///< scheduled node downs executed
-    std::uint64_t faults_recoveries = 0; ///< scheduled node ups executed
-    std::map<std::string, std::uint64_t> per_type;  ///< deliveries by tag
-
-    /// Replay determinism check: two runs with the same seed and fault
-    /// plan must produce identical traffic.
-    friend bool operator==(const TrafficStats&, const TrafficStats&) = default;
 };
 
 class Simulator {

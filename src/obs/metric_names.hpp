@@ -126,6 +126,10 @@ inline constexpr std::string_view kProtocolPublishNacks =
     "protocol.publish_nacks";
 inline constexpr std::string_view kProtocolDuplicatesDropped =
     "protocol.duplicates_dropped";
+inline constexpr std::string_view kProtocolMalformedPublishes =
+    "protocol.malformed_publishes";
+inline constexpr std::string_view kProtocolMalformedRequests =
+    "protocol.malformed_requests";
 inline constexpr std::string_view kProtocolRequestsInFlight =
     "protocol.requests_in_flight";
 inline constexpr std::string_view kProtocolDirectories =
@@ -142,5 +146,31 @@ inline constexpr std::string_view kProtocolResponseMs =
     "protocol.response_ms";
 inline constexpr std::string_view kProtocolDirectoryComputeMs =
     "protocol.directory_compute_ms";
+
+// --- transport.* (net/event_loop.cpp) -----------------------------------
+inline constexpr std::string_view kTransportConnectionsAccepted =
+    "transport.connections_accepted";
+inline constexpr std::string_view kTransportConnectionsClosed =
+    "transport.connections_closed";
+inline constexpr std::string_view kTransportConnectionsActive =
+    "transport.connections_active";
+inline constexpr std::string_view kTransportConnectionsRejected =
+    "transport.connections_rejected";
+inline constexpr std::string_view kTransportFramesSent =
+    "transport.frames_sent";
+inline constexpr std::string_view kTransportFramesReceived =
+    "transport.frames_received";
+inline constexpr std::string_view kTransportBytesSent =
+    "transport.bytes_sent";
+inline constexpr std::string_view kTransportBytesReceived =
+    "transport.bytes_received";
+inline constexpr std::string_view kTransportDecodeErrors =
+    "transport.decode_errors";
+inline constexpr std::string_view kTransportOversizedFrames =
+    "transport.oversized_frames";
+inline constexpr std::string_view kTransportBackpressureDrops =
+    "transport.backpressure_drops";
+inline constexpr std::string_view kTransportWriteQueueBytes =
+    "transport.write_queue_bytes";
 
 }  // namespace sariadne::obs::names

@@ -17,6 +17,7 @@
 //   kKnowledgeBaseTables  KnowledgeBase::tables_mutex_
 //   kTaxonomyCache        TaxonomyCache::mutex_
 //   kMetricsRegistry      obs::MetricsRegistry::mutex_
+//   kTransportQueue       net::EventLoopTransport::post_mutex_
 //
 // The two real multi-lock paths this encodes:
 //   * SemanticDirectory::rebuild_summary holds summary before services;
@@ -24,6 +25,9 @@
 //     table (KnowledgeBase reader lock), whose first build classifies
 //     under the TaxonomyCache mutex.
 // Same-rank nesting is forbidden (DagIndex locks shards one at a time).
+// kTransportQueue is the innermost leaf: the event loop's cross-thread
+// post queue is locked only to swap the pending vector, never while
+// calling out into protocol or registry code.
 //
 // support::ThreadPool keeps a naked std::mutex: std::condition_variable
 // requires the concrete type, and its queue mutex is a leaf that never
@@ -65,6 +69,7 @@ enum class LockRank : std::uint8_t {
     kKnowledgeBaseTables = 50,
     kTaxonomyCache = 60,
     kMetricsRegistry = 70,
+    kTransportQueue = 80,
 };
 
 constexpr std::string_view to_string(LockRank rank) noexcept {
@@ -76,6 +81,7 @@ constexpr std::string_view to_string(LockRank rank) noexcept {
         case LockRank::kKnowledgeBaseTables: return "knowledge-base-tables";
         case LockRank::kTaxonomyCache: return "taxonomy-cache";
         case LockRank::kMetricsRegistry: return "metrics-registry";
+        case LockRank::kTransportQueue: return "transport-queue";
     }
     return "unknown-rank";
 }

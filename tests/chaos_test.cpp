@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "ariadne/protocol.hpp"
+#include "ariadne/sim_transport.hpp"
 #include "description/amigos_io.hpp"
 #include "obs/metrics.hpp"
 #include "test_helpers.hpp"
@@ -78,7 +79,7 @@ ChaosRun run_chaos(std::uint64_t seed) {
     obs::MetricsRegistry registry;
     DiscoveryNetwork network(Topology::grid(4, 4), chaos_config(), kb,
                              &registry);
-    network.simulator().set_faults(chaos_plan(seed));
+    sim(network).set_faults(chaos_plan(seed));
     network.appoint_directory(5);
     network.start();
     network.run_for(300);
@@ -105,7 +106,7 @@ ChaosRun run_chaos(std::uint64_t seed) {
 
     // Quiesce: faults off, then drain every outstanding timer so the
     // terminal accounting below is exact, not a race with the clock.
-    network.simulator().set_faults(net::FaultPlan{});
+    sim(network).set_faults(net::FaultPlan{});
     network.run_for(30000);
 
     out.traffic = network.traffic();

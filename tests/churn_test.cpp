@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "ariadne/protocol.hpp"
+#include "ariadne/sim_transport.hpp"
 #include "description/amigos_io.hpp"
 #include "test_helpers.hpp"
 
@@ -44,13 +45,13 @@ TEST(Churn, DirectoryDeathTriggersReElection) {
     ASSERT_EQ(network.directories().size(), 1u);
 
     // The directory dies.
-    network.simulator().topology().set_up(4, false);
+    sim(network).topology().set_up(4, false);
     network.run_for(10000);
 
     // A new directory must have been elected among the survivors.
     std::size_t live_directories = 0;
     for (const NodeId dir : network.directories()) {
-        if (network.simulator().topology().is_up(dir)) ++live_directories;
+        if (sim(network).topology().is_up(dir)) ++live_directories;
     }
     EXPECT_GE(live_directories, 1u);
 }
@@ -67,7 +68,7 @@ TEST(Churn, ContentRecoversViaRepublication) {
     network.run_for(1000);
 
     // Kill the directory holding the only copy of the advertisement.
-    network.simulator().topology().set_up(4, false);
+    sim(network).topology().set_up(4, false);
     network.run_for(15000);  // re-election + periodic re-publish
 
     desc::ServiceRequest request;
@@ -96,7 +97,7 @@ TEST(Churn, ClientRetriesUnansweredRequest) {
     desc::ServiceRequest request;
     request.capabilities.push_back(th::get_video_stream());
     const auto id = network.discover(8, desc::serialize_request(request));
-    network.simulator().topology().set_up(4, false);
+    sim(network).topology().set_up(4, false);
     network.run_for(30000);
 
     const DiscoveryOutcome& outcome = network.outcome(id);
@@ -113,9 +114,9 @@ TEST(Churn, RecoveredDirectoryResumesAdvertising) {
     network.start();
     network.run_for(1000);
 
-    network.simulator().topology().set_up(4, false);
+    sim(network).topology().set_up(4, false);
     network.run_for(3000);
-    network.simulator().topology().set_up(4, true);
+    sim(network).topology().set_up(4, true);
     network.run_for(3000);
 
     // Node 4 is a directory again (never stopped being one) and must be
@@ -136,9 +137,9 @@ TEST(Churn, ProviderChurnDoesNotCrashRepublication) {
                             desc::serialize_service(th::workstation_service()));
     // Provider flaps repeatedly while its republish timer runs.
     for (int i = 0; i < 4; ++i) {
-        network.simulator().topology().set_up(0, false);
+        sim(network).topology().set_up(0, false);
         network.run_for(2500);
-        network.simulator().topology().set_up(0, true);
+        sim(network).topology().set_up(0, true);
         network.run_for(2500);
     }
     desc::ServiceRequest request;
@@ -172,7 +173,7 @@ TEST(Churn, LastDirectoryHandoverLossIsHealedByRepublication) {
         ++*dropped;
         return true;
     };
-    network.simulator().set_faults(std::move(plan));
+    sim(network).set_faults(std::move(plan));
 
     network.resign_directory(4);  // last directory: election + handover
     network.run_for(15000);       // re-election + periodic republish

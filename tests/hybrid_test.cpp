@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "ariadne/protocol.hpp"
+#include "ariadne/sim_transport.hpp"
 #include "description/amigos_io.hpp"
 #include "net/mobility.hpp"
 #include "net/topology.hpp"
@@ -85,7 +86,7 @@ TEST(HybridProtocol, ElectionGravitatesOntoAccessPoints) {
     // Every elected directory should be an access point: mains power and
     // wired degree dominate the fitness of any battery device.
     for (const NodeId dir : dirs) {
-        EXPECT_TRUE(network.simulator().topology().is_infrastructure(dir))
+        EXPECT_TRUE(sim(network).topology().is_infrastructure(dir))
             << "directory elected on battery node " << dir;
     }
 }
@@ -188,7 +189,7 @@ TEST(Mobility, DiscoverySurvivesMotion) {
     motion.speed = 0.03;  // pedestrian pace
     motion.step_ms = 500;
     motion.radio_range = 0.3;
-    net::RandomWaypointMobility mobility(network.simulator(), motion);
+    net::RandomWaypointMobility mobility(sim(network), motion);
     mobility.start();
     network.start();
     network.run_for(8000);

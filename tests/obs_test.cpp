@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "ariadne/protocol.hpp"
+#include "ariadne/sim_transport.hpp"
 #include "description/amigos_io.hpp"
 #include "obs/metrics.hpp"
 #include "test_helpers.hpp"
@@ -186,7 +187,7 @@ TEST(MetricsIntegration, ChurnRunKeepsRequestAccountingCoherent) {
     const std::string request_xml = desc::serialize_request(request);
     std::uint64_t issued = 0;
     for (int tick = 0; tick < 10; ++tick) {
-        if (tick == 5) network.simulator().topology().set_up(5, false);
+        if (tick == 5) sim(network).topology().set_up(5, false);
         network.discover(static_cast<net::NodeId>((tick * 3 + 1) % 16),
                          request_xml);
         ++issued;

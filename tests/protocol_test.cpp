@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "ariadne/protocol.hpp"
+#include "ariadne/sim_transport.hpp"
 #include "bloom/bloom_filter.hpp"
 #include "description/amigos_io.hpp"
 #include "test_helpers.hpp"
@@ -341,7 +342,7 @@ TEST(Retry, ExhaustedRetriesAreConcludedNotLeaked) {
     lossy.drop = [](net::NodeId, net::NodeId, const net::Message& msg) {
         return msg.type == "req" || msg.type == "resp";
     };
-    network.simulator().set_faults(std::move(lossy));
+    sim(network).set_faults(std::move(lossy));
     desc::ServiceRequest request;
     request.capabilities.push_back(th::get_video_stream());
     const auto id = network.discover(2, desc::serialize_request(request));
@@ -385,7 +386,7 @@ TEST(Retry, FullPartitionDefersInsteadOfBurningRetries) {
 
     // Full partition: the only directory is down for far longer than the
     // whole retry budget (2 * 400 ms).
-    network.simulator().topology().set_up(0, false);
+    sim(network).topology().set_up(0, false);
     desc::ServiceRequest request;
     request.capabilities.push_back(th::get_video_stream());
     const auto id = network.discover(2, desc::serialize_request(request));
@@ -395,7 +396,7 @@ TEST(Retry, FullPartitionDefersInsteadOfBurningRetries) {
     EXPECT_EQ(registry.counter_value("protocol.requests_expired"), 0u);
 
     // Heal: the deferred request must go out with its budget intact.
-    network.simulator().topology().set_up(0, true);
+    sim(network).topology().set_up(0, true);
     network.run_for(8000);
 
     const DiscoveryOutcome& outcome = network.outcome(id);
@@ -454,7 +455,7 @@ TEST(Protocol, WindowedRunsMatchOneLongRun) {
     for (int i = 0; i < 9; ++i) windowed.run_for(1000);
     single.run_for(9000);
 
-    EXPECT_DOUBLE_EQ(windowed.simulator().now(), single.simulator().now());
+    EXPECT_DOUBLE_EQ(sim(windowed).now(), sim(single).now());
     EXPECT_EQ(windowed.directories(), single.directories());
     EXPECT_EQ(windowed.traffic().per_type, single.traffic().per_type);
     EXPECT_EQ(windowed.traffic().deliveries, single.traffic().deliveries);

@@ -1,0 +1,544 @@
+// transport_test — the Transport seam. Socket-level behaviours of
+// net::EventLoopTransport over real loopback connections (framing across
+// partial reads, short writes of large frames, peer close, oversized and
+// malformed frame rejection, write-queue backpressure, ingress field
+// rewriting) and the SimTransport equivalence pin: DiscoveryNetwork built
+// through the topology convenience constructor must behave identically —
+// same outcomes, same TrafficStats, same sim.* counters — to one built
+// over an explicit SimTransport, since the former is sugar for the latter.
+#include <gtest/gtest.h>
+
+#include <any>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include "ariadne/messages.hpp"
+#include "ariadne/protocol.hpp"
+#include "description/amigos_io.hpp"
+#include "ariadne/sim_transport.hpp"
+#include "ariadne/wire.hpp"
+#include "net/event_loop.hpp"
+#include "obs/metric_names.hpp"
+#include "obs/metrics.hpp"
+#include "support/lock_rank.hpp"
+#include "test_helpers.hpp"
+
+namespace sariadne::net {
+namespace {
+
+namespace th = sariadne::testing;
+using namespace std::chrono_literals;
+
+/// Runs an EventLoopTransport's reactor on a background thread. Handlers
+/// must be installed before start(); the destructor stops and joins.
+struct LoopRunner {
+    explicit LoopRunner(EventLoopConfig config) : transport(std::move(config)) {}
+
+    ~LoopRunner() {
+        transport.request_stop();
+        if (thread.joinable()) thread.join();
+    }
+
+    void start() {
+        thread = std::thread([this] { transport.run_until_stopped(200); });
+    }
+
+    EventLoopTransport transport;
+    std::thread thread;
+};
+
+/// Minimal blocking wire-codec client — deliberately not the transport's
+/// own code, so both framing implementations check each other.
+class TestClient {
+public:
+    explicit TestClient(std::uint16_t port) {
+        fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+        const int one = 1;
+        if (fd_ >= 0) {
+            ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        }
+    }
+
+    ~TestClient() { close(); }
+
+    bool connected() const noexcept { return fd_ >= 0; }
+
+    void close() {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = -1;
+    }
+
+    static std::vector<std::uint8_t> frame(
+        const ariadne::wire::WireMessage& message) {
+        const std::vector<std::uint8_t> body = ariadne::wire::encode(message);
+        const auto len = static_cast<std::uint32_t>(body.size());
+        std::vector<std::uint8_t> framed(4 + body.size());
+        framed[0] = static_cast<std::uint8_t>(len & 0xFF);
+        framed[1] = static_cast<std::uint8_t>((len >> 8) & 0xFF);
+        framed[2] = static_cast<std::uint8_t>((len >> 16) & 0xFF);
+        framed[3] = static_cast<std::uint8_t>((len >> 24) & 0xFF);
+        std::memcpy(framed.data() + 4, body.data(), body.size());
+        return framed;
+    }
+
+    void send_bytes(const std::uint8_t* data, std::size_t size) {
+        std::size_t off = 0;
+        while (off < size) {
+            const ssize_t sent =
+                ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
+            ASSERT_GT(sent, 0);
+            off += static_cast<std::size_t>(sent);
+        }
+    }
+
+    void send_frame(const ariadne::wire::WireMessage& message) {
+        const auto bytes = frame(message);
+        send_bytes(bytes.data(), bytes.size());
+    }
+
+    /// Blocks for one frame; fails the test on peer close or bad framing.
+    ariadne::wire::WireMessage read_frame() {
+        while (!extractable()) {
+            std::uint8_t chunk[65536];
+            const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (got <= 0) {
+                ADD_FAILURE() << "connection closed while expecting a frame";
+                return {};
+            }
+            buf_.insert(buf_.end(), chunk, chunk + got);
+        }
+        const std::uint32_t len = peek_len();
+        auto decoded =
+            ariadne::wire::try_decode({buf_.data() + 4, len});
+        buf_.erase(buf_.begin(), buf_.begin() + 4 + len);
+        if (!decoded) {
+            ADD_FAILURE() << "malformed frame from transport: "
+                          << decoded.error().message;
+            return {};
+        }
+        return std::move(decoded).value();
+    }
+
+    /// True iff the peer closed the connection (EOF) within `wait`.
+    bool closed_by_peer(std::chrono::milliseconds wait) {
+        timeval tv{};
+        tv.tv_sec = static_cast<long>(wait.count() / 1000);
+        tv.tv_usec = static_cast<long>((wait.count() % 1000) * 1000);
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        std::uint8_t chunk[256];
+        const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+        return got == 0;
+    }
+
+private:
+    bool extractable() const {
+        return buf_.size() >= 4 && buf_.size() - 4 >= peek_len();
+    }
+
+    std::uint32_t peek_len() const {
+        return static_cast<std::uint32_t>(buf_[0]) |
+               (static_cast<std::uint32_t>(buf_[1]) << 8) |
+               (static_cast<std::uint32_t>(buf_[2]) << 16) |
+               (static_cast<std::uint32_t>(buf_[3]) << 24);
+    }
+
+    int fd_ = -1;
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Deliveries recorded across the reactor/test thread boundary.
+struct DeliveryLog {
+    support::RankedMutex mutex{support::LockRank::kTransportQueue};
+    std::vector<Message> messages;
+
+    void push(const Message& message) {
+        std::lock_guard lock(mutex);
+        messages.push_back(message);
+    }
+
+    std::size_t size() {
+        std::lock_guard lock(mutex);
+        return messages.size();
+    }
+
+    Message at(std::size_t index) {
+        std::lock_guard lock(mutex);
+        return messages.at(index);
+    }
+
+    bool wait_for_size(std::size_t expected, std::chrono::milliseconds limit) {
+        const auto deadline = std::chrono::steady_clock::now() + limit;
+        while (std::chrono::steady_clock::now() < deadline) {
+            if (size() >= expected) return true;
+            std::this_thread::sleep_for(1ms);
+        }
+        return size() >= expected;
+    }
+};
+
+std::uint64_t counter_value(obs::MetricsRegistry& registry,
+                            std::string_view name) {
+    return registry.counter(name).value();
+}
+
+TEST(EventLoopTransport, DeliversRequestAndRoutesResponseBack) {
+    LoopRunner runner{EventLoopConfig{}};
+    auto& transport = runner.transport;
+    transport.set_delivery_handler([&](NodeId self, const Message& message) {
+        ASSERT_EQ(self, 0u);
+        if (message.type != "req") return;
+        const auto& request =
+            std::any_cast<const ariadne::msg::Request&>(message.payload);
+        Message reply;
+        reply.type = "resp";
+        reply.size_bytes = 16;
+        reply.payload = ariadne::msg::Response{
+            request.request_id, {}, true, 0.0, 1};
+        transport.unicast(0, message.source, std::move(reply));
+    });
+    runner.start();
+
+    TestClient client(transport.local_port());
+    ASSERT_TRUE(client.connected());
+    ariadne::wire::WireMessage request;
+    request.type = ariadne::wire::MsgType::kRequest;
+    request.payload = ariadne::wire::Request{42, 0, "<request/>"};
+    client.send_frame(request);
+
+    const auto reply = client.read_frame();
+    ASSERT_EQ(reply.type, ariadne::wire::MsgType::kResponse);
+    const auto& response = std::get<ariadne::wire::Response>(reply.payload);
+    EXPECT_EQ(response.request_id, 42u);
+    EXPECT_TRUE(response.satisfied);
+}
+
+TEST(EventLoopTransport, RewritesClientFieldToConnectionId) {
+    DeliveryLog log;
+    LoopRunner runner{EventLoopConfig{}};
+    runner.transport.set_delivery_handler(
+        [&](NodeId, const Message& message) { log.push(message); });
+    runner.start();
+
+    TestClient client(runner.transport.local_port());
+    ASSERT_TRUE(client.connected());
+    ariadne::wire::WireMessage request;
+    request.type = ariadne::wire::MsgType::kRequest;
+    // A spoofed client id: the peer claims to be node 999 so responses
+    // would be directed elsewhere. The transport must overwrite it.
+    request.payload = ariadne::wire::Request{7, 999, "<request/>"};
+    client.send_frame(request);
+
+    ASSERT_TRUE(log.wait_for_size(1, 2000ms));
+    const Message delivered = log.at(0);
+    const auto& parsed =
+        std::any_cast<const ariadne::msg::Request&>(delivered.payload);
+    EXPECT_EQ(parsed.client, delivered.source);
+    EXPECT_NE(parsed.client, 999u);
+}
+
+TEST(EventLoopTransport, ReassemblesFrameFromPartialWrites) {
+    DeliveryLog log;
+    LoopRunner runner{EventLoopConfig{}};
+    runner.transport.set_delivery_handler(
+        [&](NodeId, const Message& message) { log.push(message); });
+    runner.start();
+
+    TestClient client(runner.transport.local_port());
+    ASSERT_TRUE(client.connected());
+    const std::string document(4096, 'd');
+    ariadne::wire::WireMessage publish;
+    publish.type = ariadne::wire::MsgType::kPublish;
+    publish.payload = ariadne::wire::PublishDoc{document, 5};
+    const auto bytes = TestClient::frame(publish);
+
+    // Dribble the frame: a split inside the length prefix, then two body
+    // chunks, with pauses so each arrives as a separate read.
+    client.send_bytes(bytes.data(), 2);
+    std::this_thread::sleep_for(20ms);
+    client.send_bytes(bytes.data() + 2, 100);
+    std::this_thread::sleep_for(20ms);
+    client.send_bytes(bytes.data() + 102, bytes.size() - 102);
+
+    ASSERT_TRUE(log.wait_for_size(1, 2000ms));
+    const Message delivered = log.at(0);
+    EXPECT_EQ(delivered.type, "pub");
+    const auto& doc =
+        std::any_cast<const ariadne::msg::PublishDoc&>(delivered.payload);
+    EXPECT_EQ(doc.document, document);
+    EXPECT_EQ(doc.pub_id, 5u);
+    EXPECT_EQ(log.size(), 1u);  // one frame, not one per chunk
+}
+
+TEST(EventLoopTransport, LargeFrameSurvivesShortWrites) {
+    LoopRunner runner{EventLoopConfig{}};
+    auto& transport = runner.transport;
+    // ~900 KB — larger than the default loopback socket send buffer, so
+    // the reactor's flush necessarily takes several short writes while
+    // the client is still asleep.
+    const std::string state(900 * 1024, 's');
+    transport.set_delivery_handler([&](NodeId, const Message& message) {
+        if (message.type != "req") return;
+        Message reply;
+        reply.type = "handover";
+        reply.size_bytes = static_cast<std::uint32_t>(state.size());
+        reply.payload = ariadne::msg::Handover{state};
+        transport.unicast(0, message.source, std::move(reply));
+    });
+    runner.start();
+
+    TestClient client(transport.local_port());
+    ASSERT_TRUE(client.connected());
+    ariadne::wire::WireMessage request;
+    request.type = ariadne::wire::MsgType::kRequest;
+    request.payload = ariadne::wire::Request{1, 0, "<request/>"};
+    client.send_frame(request);
+    std::this_thread::sleep_for(100ms);  // force the write queue to fill
+
+    const auto reply = client.read_frame();
+    ASSERT_EQ(reply.type, ariadne::wire::MsgType::kHandover);
+    EXPECT_EQ(std::get<ariadne::wire::Handover>(reply.payload).state_xml,
+              state);
+}
+
+TEST(EventLoopTransport, PeerCloseReclaimsSlotForNewConnections) {
+    obs::MetricsRegistry registry;
+    EventLoopConfig config;
+    config.max_connections = 1;  // a single slot: reuse is observable
+    LoopRunner runner{config};
+    runner.transport.set_metrics(&registry);
+    runner.transport.set_delivery_handler([](NodeId, const Message&) {});
+    runner.start();
+
+    auto& closed = registry.counter(obs::names::kTransportConnectionsClosed);
+    auto& accepted =
+        registry.counter(obs::names::kTransportConnectionsAccepted);
+    {
+        TestClient first(runner.transport.local_port());
+        ASSERT_TRUE(first.connected());
+        ariadne::wire::WireMessage ping;
+        ping.type = ariadne::wire::MsgType::kSummaryPull;
+        ping.payload = ariadne::wire::SummaryPull{};
+        first.send_frame(ping);  // guarantees the accept has happened
+        const auto deadline = std::chrono::steady_clock::now() + 2s;
+        while (accepted.value() < 1 &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(1ms);
+        }
+        ASSERT_EQ(accepted.value(), 1u);
+    }  // first closes
+
+    const auto deadline = std::chrono::steady_clock::now() + 2s;
+    while (closed.value() < 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(1ms);
+    }
+    ASSERT_EQ(closed.value(), 1u);
+
+    // The slot must be free again: a second client fits into the single
+    // connection slot instead of being rejected.
+    TestClient second(runner.transport.local_port());
+    ASSERT_TRUE(second.connected());
+    ariadne::wire::WireMessage ping;
+    ping.type = ariadne::wire::MsgType::kSummaryPull;
+    ping.payload = ariadne::wire::SummaryPull{};
+    second.send_frame(ping);
+    const auto deadline2 = std::chrono::steady_clock::now() + 2s;
+    while (accepted.value() < 2 &&
+           std::chrono::steady_clock::now() < deadline2) {
+        std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_EQ(accepted.value(), 2u);
+    EXPECT_EQ(
+        registry.counter(obs::names::kTransportConnectionsRejected).value(),
+        0u);
+}
+
+TEST(EventLoopTransport, OversizedFrameClosesConnection) {
+    obs::MetricsRegistry registry;
+    EventLoopConfig config;
+    config.max_frame_bytes = 1024;
+    LoopRunner runner{config};
+    runner.transport.set_metrics(&registry);
+    runner.transport.set_delivery_handler([](NodeId, const Message&) {});
+    runner.start();
+
+    TestClient client(runner.transport.local_port());
+    ASSERT_TRUE(client.connected());
+    // A frame whose header claims 2 KB: must be rejected on the prefix
+    // alone, before any payload-sized allocation.
+    const std::uint8_t prefix[4] = {0x00, 0x08, 0x00, 0x00};
+    client.send_bytes(prefix, sizeof(prefix));
+
+    EXPECT_TRUE(client.closed_by_peer(2000ms));
+    EXPECT_EQ(
+        registry.counter(obs::names::kTransportOversizedFrames).value(), 1u);
+}
+
+TEST(EventLoopTransport, MalformedFrameClosesConnection) {
+    obs::MetricsRegistry registry;
+    LoopRunner runner{EventLoopConfig{}};
+    runner.transport.set_metrics(&registry);
+    runner.transport.set_delivery_handler([](NodeId, const Message&) {});
+    runner.start();
+
+    TestClient client(runner.transport.local_port());
+    ASSERT_TRUE(client.connected());
+    const std::uint8_t garbage[8] = {0x04, 0x00, 0x00, 0x00,  // length 4
+                                     0xDE, 0xAD, 0xBE, 0xEF};
+    client.send_bytes(garbage, sizeof(garbage));
+
+    EXPECT_TRUE(client.closed_by_peer(2000ms));
+    EXPECT_EQ(registry.counter(obs::names::kTransportDecodeErrors).value(),
+              1u);
+}
+
+TEST(EventLoopTransport, WriteQueueBackpressureShedsFrames) {
+    obs::MetricsRegistry registry;
+    EventLoopConfig config;
+    config.write_queue_limit_bytes = 64 * 1024;
+    LoopRunner runner{config};
+    auto& transport = runner.transport;
+    transport.set_metrics(&registry);
+    const std::string blob(16 * 1024, 'b');
+    transport.set_delivery_handler([&](NodeId, const Message& message) {
+        if (message.type != "req") return;
+        // 32 × 16 KB against a 64 KB queue limit, enqueued back-to-back
+        // within one handler call — before the reactor flushes anything —
+        // so only the first few frames fit and the rest must be shed
+        // rather than queued without bound.
+        for (int i = 0; i < 32; ++i) {
+            Message reply;
+            reply.type = "handover";
+            reply.size_bytes = static_cast<std::uint32_t>(blob.size());
+            reply.payload = ariadne::msg::Handover{blob};
+            transport.unicast(0, message.source, std::move(reply));
+        }
+    });
+    runner.start();
+
+    TestClient client(transport.local_port());
+    ASSERT_TRUE(client.connected());
+    ariadne::wire::WireMessage request;
+    request.type = ariadne::wire::MsgType::kRequest;
+    request.payload = ariadne::wire::Request{1, 0, "<request/>"};
+    client.send_frame(request);
+
+    const auto reply = client.read_frame();  // the frame that fit
+    ASSERT_EQ(reply.type, ariadne::wire::MsgType::kHandover);
+    const auto deadline = std::chrono::steady_clock::now() + 2s;
+    auto& drops =
+        registry.counter(obs::names::kTransportBackpressureDrops);
+    while (drops.value() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_GT(drops.value(), 0u);
+}
+
+// --- SimTransport equivalence -------------------------------------------
+
+encoding::KnowledgeBase make_kb() {
+    encoding::KnowledgeBase kb;
+    kb.register_ontology(th::media_ontology());
+    kb.register_ontology(th::server_ontology());
+    return kb;
+}
+
+/// One deterministic publish/discover run; returns (satisfied, stats,
+/// registry counters) for comparison.
+struct RunResult {
+    bool satisfied = false;
+    TrafficStats stats;
+    std::uint64_t sim_unicasts = 0;
+    std::uint64_t sim_deliveries = 0;
+    std::uint64_t sim_bytes = 0;
+};
+
+RunResult run_scenario(ariadne::DiscoveryNetwork& network,
+                       obs::MetricsRegistry& registry) {
+    network.appoint_directory(4);
+    network.start();
+    network.run_for(100);
+    network.publish_service(
+        0, desc::serialize_service(th::workstation_service()));
+    network.run_for(500);
+    desc::ServiceRequest request;
+    request.requester = "pda";
+    request.capabilities.push_back(th::get_video_stream());
+    const auto id = network.discover(8, desc::serialize_request(request));
+    network.run_for(5000);
+
+    RunResult result;
+    result.satisfied = network.outcome(id).satisfied;
+    result.stats = network.traffic();
+    result.sim_unicasts = counter_value(registry, obs::names::kSimUnicasts);
+    result.sim_deliveries =
+        counter_value(registry, obs::names::kSimDeliveries);
+    result.sim_bytes =
+        counter_value(registry, obs::names::kSimBytesTransmitted);
+    return result;
+}
+
+TEST(SimTransportEquivalence, ConvenienceCtorMatchesExplicitTransport) {
+    ariadne::ProtocolConfig config;
+    config.adv_period_ms = 500;
+    config.adv_timeout_ms = 1000;
+    config.election_wait_ms = 30;
+
+    auto kb_a = make_kb();
+    obs::MetricsRegistry registry_a;
+    ariadne::DiscoveryNetwork convenience(Topology::grid(3, 3), config, kb_a,
+                                          &registry_a);
+    const RunResult via_convenience = run_scenario(convenience, registry_a);
+
+    auto kb_b = make_kb();
+    obs::MetricsRegistry registry_b;
+    ariadne::DiscoveryNetwork explicit_transport(
+        std::make_unique<ariadne::SimTransport>(Topology::grid(3, 3)), config,
+        kb_b, &registry_b);
+    const RunResult via_explicit = run_scenario(explicit_transport, registry_b);
+
+    EXPECT_TRUE(via_convenience.satisfied);
+    EXPECT_TRUE(via_explicit.satisfied);
+    // Byte-identical replay: the convenience constructor is nothing but
+    // SimTransport construction sugar, so every traffic quantity matches.
+    EXPECT_EQ(via_convenience.stats, via_explicit.stats);
+    EXPECT_EQ(via_convenience.sim_unicasts, via_explicit.sim_unicasts);
+    EXPECT_EQ(via_convenience.sim_deliveries, via_explicit.sim_deliveries);
+    EXPECT_EQ(via_convenience.sim_bytes, via_explicit.sim_bytes);
+}
+
+TEST(SimTransportEquivalence, TransportAccessorsForwardToSimulator) {
+    auto kb = make_kb();
+    ariadne::DiscoveryNetwork network(Topology::grid(2, 2),
+                                     ariadne::ProtocolConfig{}, kb);
+    EXPECT_EQ(network.node_count(), 4u);
+    EXPECT_TRUE(network.idle());
+    EXPECT_EQ(network.now(), ariadne::sim(network).now());
+    // The escape hatch reaches the simulator for fault/topology control.
+    ariadne::sim(network).topology().set_up(3, false);
+    EXPECT_FALSE(network.transport().is_up(3));
+}
+
+}  // namespace
+}  // namespace sariadne::net

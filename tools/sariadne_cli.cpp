@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "ariadne/protocol.hpp"
+#include "ariadne/sim_transport.hpp"
 #include "core/composition.hpp"
 #include "core/discovery_engine.hpp"
 #include "description/amigos_io.hpp"
@@ -130,8 +131,8 @@ void run_simulation(sariadne::DiscoveryEngine& engine, std::size_t node_count,
     ariadne::DiscoveryNetwork network(
         net::Topology::grid(width, (node_count + width - 1) / width), config,
         engine.knowledge_base(), &engine.metrics());
-    if (faults.enabled()) network.simulator().set_faults(faults);
-    const auto nodes = network.simulator().topology().node_count();
+    if (faults.enabled()) sim(network).set_faults(faults);
+    const auto nodes = sim(network).topology().node_count();
     network.appoint_directory(static_cast<net::NodeId>(nodes / 2));
     network.start();
     network.run_for(500);
@@ -147,9 +148,9 @@ void run_simulation(sariadne::DiscoveryEngine& engine, std::size_t node_count,
     // Steady traffic, a directory failure mid-run, and recovery.
     std::size_t tick = 0;
     bool failed = false;
-    while (network.simulator().now() < 20000) {
-        if (!failed && network.simulator().now() >= 8000) {
-            network.simulator().topology().set_up(
+    while (sim(network).now() < 20000) {
+        if (!failed && sim(network).now() >= 8000) {
+            sim(network).topology().set_up(
                 static_cast<net::NodeId>(nodes / 2), false);
             failed = true;
         }
@@ -159,7 +160,7 @@ void run_simulation(sariadne::DiscoveryEngine& engine, std::size_t node_count,
         engine.discover(workload.matching_request_xml(tick % services));
         ++tick;
         network.run_for(1000);
-        if (network.simulator().idle()) break;
+        if (sim(network).idle()) break;
     }
     network.run_for(20000);  // drain retries and expiries
 
