@@ -32,17 +32,27 @@ int main() {
         (void)kb.code_table(i);
     }
 
-    std::printf("\n%8s %12s %12s %12s %18s\n", "cached", "parse_ms", "insert_ms",
-                "total_ms", "matches_performed");
+    std::printf("\n%8s %12s %12s %12s %14s %18s\n", "cached", "parse_ms",
+                "insert_ms", "total_ms", "batch_ms/svc", "matches_performed");
 
     double insert_at_10 = 0;
     double insert_at_100 = 0;
     double parse_at_100 = 0;
+    double batch_at_100 = 0;
     for (std::size_t cached = 10; cached <= 100; cached += 10) {
+        // The cache itself is loaded through the bulk path — one
+        // publish_batch per directory, timed to give the amortized
+        // per-service ingest cost next to the one-at-a-time figures.
         directory::SemanticDirectory directory(kb);
+        std::vector<desc::ServiceDescription> warm;
+        warm.reserve(cached);
         for (std::size_t i = 0; i < cached; ++i) {
-            directory.publish(workload.service(i));
+            warm.push_back(workload.service(i));
         }
+        Stopwatch batch_watch;
+        directory.publish_batch(std::move(warm));
+        const double batch_ms_per_service =
+            batch_watch.elapsed_ms() / static_cast<double>(cached);
 
         // Publish (and withdraw) fresh services repeatedly; median timing.
         double parse_ms = 0;
@@ -65,13 +75,14 @@ int main() {
         parse_ms = parses[parses.size() / 2];
         insert_ms = inserts[inserts.size() / 2];
 
-        std::printf("%8zu %12.3f %12.3f %12.3f %18.1f\n", cached, parse_ms,
-                    insert_ms, parse_ms + insert_ms,
-                    static_cast<double>(matches) / 9.0);
+        std::printf("%8zu %12.3f %12.3f %12.3f %14.3f %18.1f\n", cached,
+                    parse_ms, insert_ms, parse_ms + insert_ms,
+                    batch_ms_per_service, static_cast<double>(matches) / 9.0);
         if (cached == 10) insert_at_10 = insert_ms;
         if (cached == 100) {
             insert_at_100 = insert_ms;
             parse_at_100 = parse_ms;
+            batch_at_100 = batch_ms_per_service;
         }
     }
 
@@ -81,6 +92,9 @@ int main() {
                  "insertion cheaper than parsing at 100 cached services");
     checks.check(insert_at_100 < 4.0 * insert_at_10 + 0.05,
                  "insertion time nearly constant in directory size");
+    checks.check(batch_at_100 < 4.0 * (insert_at_100 + 0.05),
+                 "bulk-loading the cache costs no more per service than "
+                 "publishing one service into the warm directory");
     std::printf("\n");
     return checks.finish("fig8_publish");
 }

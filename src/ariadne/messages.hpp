@@ -1,4 +1,4 @@
-// In-memory payloads of the 14 protocol messages. These used to be
+// In-memory payloads of the protocol messages. These used to be
 // anonymous-namespace structs inside protocol.cpp; they are shared now
 // because two parties besides the protocol itself need them:
 //
@@ -51,6 +51,12 @@ struct PubAck {
 struct PubNack {
     std::uint64_t pub_id;
     std::string document;
+};
+
+/// Bulk publish: many documents in one message so the directory takes the
+/// batched ingest path. Per-member pub_ids keep acks/nacks per-document.
+struct PublishBatch {
+    std::vector<PublishDoc> docs;
 };
 
 struct Request {

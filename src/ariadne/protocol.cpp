@@ -31,6 +31,7 @@ using msg::ElectCandidate;
 using msg::Forward;
 using msg::Handover;
 using msg::PubAck;
+using msg::PublishBatch;
 using msg::PublishDoc;
 using msg::PubNack;
 using msg::QueryHits;
@@ -440,6 +441,52 @@ std::uint64_t DiscoveryNetwork::publish_service(NodeId provider,
     return 0;
 }
 
+std::uint64_t DiscoveryNetwork::publish_batch(
+    NodeId provider, std::vector<std::string> documents) {
+    if (documents.empty()) return 0;
+    if (config_.publish_ack_timeout_ms > 0) {
+        std::uint64_t last = 0;
+        for (auto& doc : documents) {
+            last = publish_service(provider, std::move(doc));
+        }
+        return last;
+    }
+    NodeState& state = *nodes_[provider];
+    for (const auto& doc : documents) state.owned_services.push_back(doc);
+    if (config_.republish_period_ms > 0 && !state.republish_scheduled) {
+        state.republish_scheduled = true;
+        transport_->schedule(config_.republish_period_ms,
+                             [this, provider] { republish(provider); });
+    }
+    NodeId target = state.known_directory;
+    if (target == kNoNode || !nodes_[target]->is_directory ||
+        !transport_->is_up(target)) {
+        target = directory_for(provider);
+    }
+    if (target == kNoNode) {
+        for (auto& doc : documents) {
+            state.deferred_publishes.push_back(std::move(doc));
+            if (metrics_.deferred_publishes) {
+                metrics_.deferred_publishes->add(1);
+            }
+        }
+        return 0;
+    }
+    msg::PublishBatch batch;
+    std::size_t bytes = 0;
+    batch.docs.reserve(documents.size());
+    for (auto& doc : documents) {
+        bytes += doc.size();
+        batch.docs.push_back(PublishDoc{std::move(doc), 0});
+    }
+    Message pub;
+    pub.type = "pub-batch";
+    pub.size_bytes = static_cast<std::uint32_t>(bytes);
+    pub.payload = std::move(batch);
+    transport_->unicast(provider, target, std::move(pub));
+    return 0;
+}
+
 Result<std::uint64_t> DiscoveryNetwork::try_publish_service(
     NodeId provider, std::string document_xml) {
     return support::catching<std::uint64_t>([&]() -> std::uint64_t {
@@ -594,6 +641,106 @@ void DiscoveryNetwork::handle_publish(NodeId self, const Message& msg) {
         ack.size_bytes = 16;
         ack.payload = PubAck{doc.pub_id};
         transport_->unicast(self, msg.source, std::move(ack));
+    }
+}
+
+void DiscoveryNetwork::handle_publish_batch(NodeId self, const Message& msg) {
+    NodeState& state = *nodes_[self];
+    const auto& batch = std::any_cast<const PublishBatch&>(msg.payload);
+    const auto ack_doc = [&](std::uint64_t pub_id) {
+        if (pub_id == 0) return;
+        Message ack;
+        ack.type = "pub-ack";
+        ack.size_bytes = 16;
+        ack.payload = PubAck{pub_id};
+        transport_->unicast(self, msg.source, std::move(ack));
+    };
+    if (!state.is_directory) {
+        // Stale routing: bounce every member back individually so each
+        // provider-side retry keeps its own pub_id accounting.
+        for (const PublishDoc& doc : batch.docs) {
+            if (metrics_.publish_nacks) metrics_.publish_nacks->inc();
+            Message nack;
+            nack.type = "pub-nack";
+            nack.size_bytes =
+                16 + static_cast<std::uint32_t>(doc.document.size());
+            nack.payload = PubNack{doc.pub_id, doc.document};
+            transport_->unicast(self, msg.source, std::move(nack));
+        }
+        return;
+    }
+    if (state.semdir == nullptr) {
+        // The flat-directory ablation has no batched ingest path; fall
+        // back to member-at-a-time publishes with per-doc containment.
+        for (const PublishDoc& doc : batch.docs) {
+            const auto published = support::catching<bool>([&] {
+                state.syndir->publish_xml(doc.document);
+                return true;
+            });
+            if (!published) {
+                if (metrics_.malformed_publishes) {
+                    metrics_.malformed_publishes->inc();
+                }
+                continue;
+            }
+            ack_doc(doc.pub_id);
+        }
+        return;
+    }
+    const std::size_t bits_before = state.semdir->summary().set_bit_count();
+    // Parse phase: each document is peer input, contained per member. A
+    // malformed member is dropped (counted, never acked — the provider's
+    // retransmit budget expires it) without poisoning the rest.
+    std::vector<desc::ServiceDescription> parsed;
+    std::vector<const PublishDoc*> parsed_docs;
+    parsed.reserve(batch.docs.size());
+    parsed_docs.reserve(batch.docs.size());
+    for (const PublishDoc& doc : batch.docs) {
+        auto description = support::catching<desc::ServiceDescription>(
+            [&] { return desc::parse_service(doc.document); });
+        if (!description) {
+            if (metrics_.malformed_publishes) metrics_.malformed_publishes->inc();
+            continue;
+        }
+        parsed.push_back(std::move(description).value());
+        parsed_docs.push_back(&doc);
+    }
+    std::size_t published_count = 0;
+    if (!parsed.empty()) {
+        // publish_batch is all-or-nothing; a version-mismatch member
+        // rejects the whole batch, so fall back to member-at-a-time
+        // publishes and let the bad member fail alone.
+        const auto batched = support::catching<bool>([&] {
+            state.semdir->publish_batch(std::move(parsed));
+            return true;
+        });
+        if (batched) {
+            for (const PublishDoc* doc : parsed_docs) ack_doc(doc->pub_id);
+            published_count = parsed_docs.size();
+        } else {
+            for (const PublishDoc* doc : parsed_docs) {
+                const auto published = support::catching<bool>([&] {
+                    state.semdir->publish_xml(doc->document);
+                    return true;
+                });
+                if (!published) {
+                    if (metrics_.malformed_publishes) {
+                        metrics_.malformed_publishes->inc();
+                    }
+                    continue;
+                }
+                ack_doc(doc->pub_id);
+                ++published_count;
+            }
+        }
+    }
+    const bool coverage_grew =
+        state.semdir->summary().set_bit_count() > bits_before;
+    state.publishes_since_push += published_count;
+    if ((published_count > 0 &&
+         state.publishes_since_push >= config_.summary_push_every) ||
+        coverage_grew) {
+        push_summary(self);
     }
 }
 
@@ -1094,6 +1241,10 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
     }
     if (msg.type == "pub") {
         handle_publish(self, msg);
+        return;
+    }
+    if (msg.type == "pub-batch") {
+        handle_publish_batch(self, msg);
         return;
     }
     if (msg.type == "req") {

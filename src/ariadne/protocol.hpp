@@ -167,6 +167,15 @@ public:
     std::uint64_t publish_service(net::NodeId provider,
                                   std::string document_xml);
 
+    /// Provider-side bulk publish: ships every document in one
+    /// "pub-batch" datagram so the directory takes the batched ingest
+    /// path (SemanticDirectory::publish_batch). Fire-and-forget only —
+    /// with acknowledged publishing configured each document needs its
+    /// own retransmit state, so this falls back to per-document
+    /// publish_service and returns the last publish id.
+    std::uint64_t publish_batch(net::NodeId provider,
+                                std::vector<std::string> documents);
+
     /// Client-side discovery; returns the request id whose outcome can be
     /// read after the simulation ran.
     std::uint64_t discover(net::NodeId client, std::string request_xml);
@@ -270,6 +279,7 @@ private:
     void push_summary(net::NodeId directory);
     void handle_message(net::NodeId self, const net::Message& msg);
     void handle_publish(net::NodeId self, const net::Message& msg);
+    void handle_publish_batch(net::NodeId self, const net::Message& msg);
     void handle_request(net::NodeId self, const net::Message& msg);
     void handle_forward(net::NodeId self, const net::Message& msg);
     void handle_forward_reply(net::NodeId self, const net::Message& msg);

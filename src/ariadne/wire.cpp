@@ -188,6 +188,7 @@ const char* to_string(MsgType type) noexcept {
         case MsgType::kSummaryPush: return "summary-push";
         case MsgType::kSummaryPull: return "summary-pull";
         case MsgType::kHandover: return "handover";
+        case MsgType::kPublishBatch: return "pub-batch";
     }
     return "unknown";
 }
@@ -270,6 +271,13 @@ std::vector<std::uint8_t> encode(const WireMessage& message) {
             } else if constexpr (std::is_same_v<P, Handover>) {
                 expect_type(MsgType::kHandover);
                 put_string(out, payload.state_xml);
+            } else if constexpr (std::is_same_v<P, PublishBatch>) {
+                expect_type(MsgType::kPublishBatch);
+                put_u32(out, static_cast<std::uint32_t>(payload.docs.size()));
+                for (const PublishDoc& doc : payload.docs) {
+                    put_u64(out, doc.pub_id);
+                    put_string(out, doc.document);
+                }
             }
         },
         message.payload);
@@ -291,7 +299,7 @@ Result<WireMessage> try_decode(std::span<const std::uint8_t> bytes) {
     const std::uint8_t type_byte = in.u8("type");
     if (in.failed()) return parse_error(in.context());
     if (type_byte < static_cast<std::uint8_t>(MsgType::kDirAdv) ||
-        type_byte > static_cast<std::uint8_t>(MsgType::kHandover)) {
+        type_byte > static_cast<std::uint8_t>(MsgType::kPublishBatch)) {
         return parse_error("type: unknown message type " +
                            std::to_string(int{type_byte}));
     }
@@ -401,6 +409,20 @@ Result<WireMessage> try_decode(std::span<const std::uint8_t> bytes) {
         case MsgType::kHandover: {
             Handover p;
             p.state_xml = in.string("handover.state_xml");
+            message.payload = std::move(p);
+            break;
+        }
+        case MsgType::kPublishBatch: {
+            PublishBatch p;
+            // A doc is at least 12 bytes (u64 pub_id + empty string's u32).
+            const std::uint32_t docs = in.count("pub-batch.docs", 12);
+            p.docs.reserve(docs);
+            for (std::uint32_t i = 0; i < docs && !in.failed(); ++i) {
+                PublishDoc doc;
+                doc.pub_id = in.u64("pub-batch.pub_id");
+                doc.document = in.string("pub-batch.document");
+                p.docs.push_back(std::move(doc));
+            }
             message.payload = std::move(p);
             break;
         }

@@ -49,6 +49,7 @@ enum class MsgType : std::uint8_t {
     kSummaryPush = 12,     ///< "summary-push"
     kSummaryPull = 13,     ///< "summary-pull"
     kHandover = 14,        ///< "handover"
+    kPublishBatch = 15,    ///< "pub-batch"
 };
 
 /// The protocol's in-process type string for a wire id.
@@ -130,10 +131,18 @@ struct Handover {
     std::string state_xml;
 };
 
+/// Bulk publish: many documents in one datagram so the directory can take
+/// the batched ingest path (one service-table critical section, shard-run
+/// DAG locking, at most one summary rebuild). Each member keeps its own
+/// pub_id so acks/nacks stay per-document.
+struct PublishBatch {
+    std::vector<PublishDoc> docs;
+};
+
 using Payload =
     std::variant<DirAdv, ElectCall, ElectCandidate, ElectAppoint, PublishDoc,
                  PubAck, PubNack, Request, Response, Forward, ForwardResponse,
-                 SummaryPush, SummaryPull, Handover>;
+                 SummaryPush, SummaryPull, Handover, PublishBatch>;
 
 struct WireMessage {
     MsgType type = MsgType::kDirAdv;

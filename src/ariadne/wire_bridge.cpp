@@ -129,6 +129,16 @@ Result<std::vector<std::uint8_t>> encode_message(const net::Message& message) {
         if (p == nullptr) return mismatch("handover");
         wm.type = wire::MsgType::kHandover;
         wm.payload = wire::Handover{p->state_xml};
+    } else if (type == "pub-batch") {
+        const auto* p = payload_as<msg::PublishBatch>(message);
+        if (p == nullptr) return mismatch("pub-batch");
+        wire::PublishBatch out;
+        out.docs.reserve(p->docs.size());
+        for (const msg::PublishDoc& doc : p->docs) {
+            out.docs.push_back(wire::PublishDoc{doc.document, doc.pub_id});
+        }
+        wm.type = wire::MsgType::kPublishBatch;
+        wm.payload = std::move(out);
     } else {
         return ErrorInfo{ErrorCode::kInternal,
                          "unknown message type \"" + type + "\""};
@@ -220,6 +230,17 @@ Result<net::Message> try_decode_message(std::span<const std::uint8_t> bytes) {
         case wire::MsgType::kHandover: {
             auto& p = std::get<wire::Handover>(wm.payload);
             message.payload = msg::Handover{std::move(p.state_xml)};
+            break;
+        }
+        case wire::MsgType::kPublishBatch: {
+            auto& p = std::get<wire::PublishBatch>(wm.payload);
+            msg::PublishBatch batch;
+            batch.docs.reserve(p.docs.size());
+            for (wire::PublishDoc& doc : p.docs) {
+                batch.docs.push_back(
+                    msg::PublishDoc{std::move(doc.document), doc.pub_id});
+            }
+            message.payload = std::move(batch);
             break;
         }
     }

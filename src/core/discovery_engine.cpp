@@ -27,6 +27,29 @@ Result<PublishReceipt> DiscoveryEngine::try_publish(
         [&] { return directory_->publish_xml(service_xml); });
 }
 
+std::vector<directory::ServiceId> DiscoveryEngine::publish_batch(
+    std::vector<desc::ServiceDescription> batch) {
+    const auto receipts = directory_->publish_batch(std::move(batch));
+    std::vector<directory::ServiceId> ids;
+    ids.reserve(receipts.size());
+    for (const auto& receipt : receipts) ids.push_back(receipt.id);
+    return ids;
+}
+
+Result<std::vector<PublishReceipt>> DiscoveryEngine::try_publish_batch(
+    std::vector<std::string> service_xmls) {
+    return catching<std::vector<PublishReceipt>>([&] {
+        // Parse the whole batch before publishing any member, preserving
+        // publish_batch's all-or-nothing contract across the parse phase.
+        std::vector<desc::ServiceDescription> batch;
+        batch.reserve(service_xmls.size());
+        for (const std::string& xml : service_xmls) {
+            batch.push_back(desc::parse_service(xml));
+        }
+        return directory_->publish_batch(std::move(batch));
+    });
+}
+
 DiscoveryEngine::DiscoveryRows DiscoveryEngine::discover(
     std::string_view request_xml, const QueryOptions& options) {
     Stopwatch stopwatch;
@@ -105,6 +128,8 @@ directory::QueryResult DiscoveryEngine::query_parallel(
         result.stats.concept_queries += stats.concept_queries;
         result.stats.dags_visited += stats.dags_visited;
         result.stats.dags_pruned += stats.dags_pruned;
+        result.stats.quick_rejects += stats.quick_rejects;
+        result.stats.reachability_prunes += stats.reachability_prunes;
     }
     if (options.require_all_capabilities && !result.fully_satisfied()) {
         for (auto& hits : result.per_capability) hits.clear();

@@ -98,6 +98,19 @@ public:
     /// success, the classified error otherwise.
     Result<PublishReceipt> try_publish(std::string_view service_xml);
 
+    /// Bulk publish of already-parsed descriptions — one service-table
+    /// critical section, one DAG shard lock per shard run, at most one
+    /// summary rebuild (SemanticDirectory::publish_batch). Returns the
+    /// issued handles in batch order.
+    std::vector<directory::ServiceId> publish_batch(
+        std::vector<desc::ServiceDescription> batch);
+
+    /// Non-throwing bulk publish from XML documents. All-or-nothing: a
+    /// parse or version failure in any member rejects the whole batch with
+    /// the directory untouched.
+    Result<std::vector<PublishReceipt>> try_publish_batch(
+        std::vector<std::string> service_xmls);
+
     /// Withdraws a previously published service.
     bool withdraw(directory::ServiceId service) {
         return directory_->remove(service);

@@ -183,24 +183,37 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
         return cap_fresh && vertices_[v].summary.code_tag == current_tag;
     };
 
-    // Phase 1 — find the lowest matching ancestors: descend from every
-    // matching root; a vertex is a direct predecessor of the new capability
-    // if Match(vertex, cap) holds but no child of it also matches.
-    // Transitivity makes pruning at non-matching vertices sound.
-    std::vector<VertexId> predecessors;
-    std::vector<char> visited_down(vertices_.size(), 0);
-    std::queue<VertexId> frontier;
+    // Transitivity-doomed cones. Match(v, cap) failing dooms every
+    // descendant of v downward (Match(v, w) ∧ Match(w, cap) would imply
+    // Match(v, cap)); Match(cap, v) failing dooms every ancestor upward.
+    // Only full oracle failures are folded into the doom sets: a
+    // quick-rejected vertex is just as provably failed, but its
+    // descendants would quick-reject for pennies anyway, and there are
+    // orders of magnitude more quick rejects than oracle probes — ORing a
+    // cone per quick reject costs more than the prunes it buys. Oracle
+    // failures are rare (the summary filter already passed), so the
+    // per-failure cone OR is cheap and the per-encounter doom check stays
+    // a single bitset test. Each encounter of a vertex bumps exactly one
+    // of capability_matches / quick_rejects / reachability_prunes, so the
+    // three-way sum equals the number of probe encounters whether pruning
+    // is on or off.
+    const bool pruning = tuning_.reachability_pruning;
+    support::DynBitset doomed_down;
+    support::DynBitset doomed_up;
 
-    // A quick-rejected vertex is treated exactly like a failed Match (it is
-    // one, provably) — counted as a quick_reject instead of a
-    // capability_match since no oracle work happened.
     const auto match_down = [&](VertexId v) -> matching::MatchOutcome {
         if (quick_reject(vertices_[v].summary, cap_summary, vertex_fresh(v))) {
             ++stats.quick_rejects;
             return {false, 0};
         }
         ++stats.capability_matches;
-        return matching::match_capability(representative(v), cap, oracle);
+        const auto outcome =
+            matching::match_capability(representative(v), cap, oracle);
+        if (pruning && !outcome.matched) {
+            doomed_down.set(v);
+            doomed_down.or_with(vertices_[v].desc);
+        }
+        return outcome;
     };
     const auto match_up = [&](VertexId v) -> matching::MatchOutcome {
         if (quick_reject(cap_summary, vertices_[v].summary, vertex_fresh(v))) {
@@ -208,8 +221,22 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
             return {false, 0};
         }
         ++stats.capability_matches;
-        return matching::match_capability(cap, representative(v), oracle);
+        const auto outcome =
+            matching::match_capability(cap, representative(v), oracle);
+        if (pruning && !outcome.matched) {
+            doomed_up.set(v);
+            doomed_up.or_with(vertices_[v].anc);
+        }
+        return outcome;
     };
+
+    // Phase 1 — find the lowest matching ancestors: descend from every
+    // matching root; a vertex is a direct predecessor of the new capability
+    // if Match(vertex, cap) holds but no child of it also matches.
+    // Transitivity makes pruning at non-matching vertices sound.
+    std::vector<VertexId> predecessors;
+    std::vector<char> visited_down(vertices_.size(), 0);
+    std::queue<VertexId> frontier;
 
     for (VertexId v = 0; v < vertices_.size(); ++v) {
         if (!vertices_[v].alive || !vertices_[v].parents.empty()) continue;
@@ -220,6 +247,7 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
             const auto backward = match_up(v);
             if (backward.matched && backward.semantic_distance == 0) {
                 vertices_[v].entries.push_back(std::move(entry));
+                ++live_entries_;
                 return v;
             }
         }
@@ -236,12 +264,19 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
                 has_matching_child = true;
                 continue;
             }
+            if (pruning && doomed_down.test(child)) {
+                // Provably fails Match(child, cap): an ancestor (or a prior
+                // probe of child itself) already failed.
+                ++stats.reachability_prunes;
+                continue;
+            }
             const auto outcome = match_down(child);
             if (!outcome.matched) continue;
             if (outcome.semantic_distance == 0) {
                 const auto backward = match_up(child);
                 if (backward.matched && backward.semantic_distance == 0) {
                     vertices_[child].entries.push_back(std::move(entry));
+                    ++live_entries_;
                     return child;
                 }
             }
@@ -254,12 +289,17 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
 
     // Phase 2 — find the highest matched descendants: ascend from every
     // leaf the new capability matches; a vertex is a direct successor if
-    // Match(cap, vertex) holds but no parent of it also matches.
+    // Match(cap, vertex) holds but no parent of it also matches. (A leaf
+    // cannot have been visited by the ascent — it has no children — but it
+    // may already be doomed by a failed backward probe in Phase 1.)
     std::vector<VertexId> successors;
     std::vector<char> visited_up(vertices_.size(), 0);
     for (VertexId v = 0; v < vertices_.size(); ++v) {
         if (!vertices_[v].alive || !vertices_[v].children.empty()) continue;
-        if (visited_up[v]) continue;
+        if (pruning && doomed_up.test(v)) {
+            ++stats.reachability_prunes;
+            continue;
+        }
         if (!match_up(v).matched) continue;
         visited_up[v] = 1;
         frontier.push(v);
@@ -271,6 +311,10 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
         for (const VertexId parent : vertices_[v].parents) {
             if (visited_up[parent]) {
                 has_matching_parent = true;
+                continue;
+            }
+            if (pruning && doomed_up.test(parent)) {
+                ++stats.reachability_prunes;
                 continue;
             }
             if (match_up(parent).matched) {
@@ -291,8 +335,7 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
     std::erase_if(successors,
                   [&](VertexId s) { return visited_down[s] != 0; });
 
-    // Phase 3 — wire the new vertex in, removing parent→successor edges
-    // that the new vertex now mediates. Dead slots are recycled first so
+    // Phase 3 — wire the new vertex in. Dead slots are recycled first so
     // the vertex vector tracks live size, not publish history.
     VertexId id;
     if (!free_.empty()) {
@@ -305,52 +348,185 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
     }
     vertices_[id].entries.push_back(std::move(entry));
     vertices_[id].summary = cap_summary;
+    ++live_vertices_;
+    ++live_entries_;
+
+    // Closure of the new vertex from its neighbors' (still-exact) sets:
+    // its ancestors are the predecessors and everything above them, its
+    // descendants the successors and everything below them.
     for (const VertexId pred : predecessors) {
-        for (const VertexId succ : successors) {
-            remove_edge(pred, succ);
-        }
-        add_edge(pred, id);
+        vertices_[id].anc.or_with(vertices_[pred].anc);
+        vertices_[id].anc.set(pred);
     }
+    for (const VertexId succ : successors) {
+        vertices_[id].desc.or_with(vertices_[succ].desc);
+        vertices_[id].desc.set(succ);
+    }
+
+    for (const VertexId pred : predecessors) add_edge(pred, id);
     for (const VertexId succ : successors) add_edge(id, succ);
+
+    // Propagate: every ancestor now also reaches id and id's whole cone;
+    // mirror for descendants. (Predecessors form an antichain — a matching
+    // path between two of them would make every intermediate vertex match,
+    // contradicting the "no matching child" condition — so the new edges
+    // themselves are never redundant; likewise successors.)
+    vertices_[id].anc.for_each_set([&](std::size_t a) {
+        vertices_[a].desc.set(id);
+        vertices_[a].desc.or_with(vertices_[id].desc);
+    });
+    vertices_[id].desc.for_each_set([&](std::size_t d) {
+        vertices_[d].anc.set(id);
+        vertices_[d].anc.or_with(vertices_[id].anc);
+    });
+
+    // Drop every edge the new vertex now mediates: any ancestor's direct
+    // child inside id's cone has a replacement path through id (which
+    // cannot contain the dropped edge — that would close a cycle). This
+    // subsumes the old predecessor×successor removal and keeps the DAG
+    // transitively reduced under insertion: with edges X→P and X→S, wiring
+    // a new C between P and S used to leave the now-redundant X→S behind.
+    vertices_[id].anc.for_each_set([&](std::size_t a) {
+        const std::vector<VertexId> direct = vertices_[a].children;
+        for (const VertexId c : direct) {
+            if (c != id && vertices_[id].desc.test(c)) {
+                remove_edge(static_cast<VertexId>(a), c);
+            }
+        }
+    });
     return id;
 }
 
 std::size_t CapabilityDag::remove_service(ServiceId service) {
     std::size_t removed = 0;
+    bool needs_rebuild = false;
+    // Edges actually created by splicing — the only candidates for
+    // transitive redundancy afterwards (removal never grows reachability,
+    // so a surviving pre-existing edge cannot become redundant).
+    std::vector<std::pair<VertexId, VertexId>> spliced;
+
     for (VertexId v = 0; v < vertices_.size(); ++v) {
         Vertex& vertex = vertices_[v];
         if (!vertex.alive) continue;
         const auto old_size = vertex.entries.size();
+        // The summary only mirrors entries.front(); capture whether that
+        // representative is about to be evicted before erasing.
+        const bool representative_leaving =
+            !vertex.entries.empty() &&
+            vertex.entries.front().service == service;
         vertex.entries.erase(
             std::remove_if(vertex.entries.begin(), vertex.entries.end(),
                            [&](const DagEntry& e) { return e.service == service; }),
             vertex.entries.end());
-        removed += old_size - vertex.entries.size();
+        const std::size_t dropped = old_size - vertex.entries.size();
+        removed += dropped;
+        live_entries_ -= dropped;
         if (!vertex.entries.empty()) {
-            // The representative may have changed: refresh the summary.
-            if (old_size != vertex.entries.size()) {
+            if (representative_leaving) {
                 vertex.summary = make_match_summary(representative(v));
             }
             continue;
         }
 
         // Vertex died: splice parents to children to preserve reachability.
+        // Chained deaths resolve because the loop runs in slot order — a
+        // later-dying parent re-splices its own parents over these edges.
+        // Splices may duplicate paths the surviving graph already has;
+        // those edges are culled against the rebuilt closure below.
         for (const VertexId parent : vertex.parents) {
             erase_value(vertices_[parent].children, v);
             for (const VertexId child : vertex.children) {
-                add_edge(parent, child);
+                if (!contains(vertices_[parent].children, child)) {
+                    vertices_[parent].children.push_back(child);
+                    vertices_[child].parents.push_back(parent);
+                    spliced.emplace_back(parent, child);
+                }
             }
         }
         for (const VertexId child : vertex.children) {
             erase_value(vertices_[child].parents, v);
         }
+        if (vertex.parents.empty() || vertex.children.empty()) {
+            // No path ran *through* a source/sink vertex, so the closure
+            // only loses v itself: clear its bit from both directions.
+            vertex.anc.for_each_set([&](std::size_t a) {
+                vertices_[a].desc.reset(v);
+            });
+            vertex.desc.for_each_set([&](std::size_t d) {
+                vertices_[d].anc.reset(v);
+            });
+        } else {
+            needs_rebuild = true;
+        }
+        vertex.anc.clear();
+        vertex.desc.clear();
         vertex.parents.clear();
         vertex.children.clear();
         vertex.entries.shrink_to_fit();
         vertex.alive = false;
+        --live_vertices_;
         free_.push_back(v);
     }
+
+    // An interior death invalidates the closure wholesale (paths through
+    // the dead vertex may or may not survive via splices): recompute once
+    // for the whole removal, then use the exact closure to drop the splice
+    // edges the surviving graph already implies.
+    if (needs_rebuild) rebuild_reachability();
+    for (const auto& [parent, child] : spliced) {
+        if (!vertices_[parent].alive || !vertices_[child].alive) continue;
+        if (!contains(vertices_[parent].children, child)) continue;
+        if (edge_redundant(parent, child)) remove_edge(parent, child);
+    }
     return removed;
+}
+
+bool CapabilityDag::edge_redundant(VertexId parent, VertexId child) const {
+    // The direct edge is implied iff some *other* child of `parent`
+    // reaches `child` (such a path cannot itself use the direct edge:
+    // sibling → … → parent would close a cycle). Removing an implied edge
+    // leaves the closure — and hence the bitsets — unchanged.
+    for (const VertexId sibling : vertices_[parent].children) {
+        if (sibling != child && is_reachable(sibling, child)) return true;
+    }
+    return false;
+}
+
+void CapabilityDag::rebuild_reachability() {
+    std::vector<std::size_t> pending(vertices_.size(), 0);
+    std::vector<VertexId> order;
+    order.reserve(live_vertices_);
+    std::queue<VertexId> ready;
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+        Vertex& vertex = vertices_[v];
+        vertex.anc.clear();
+        vertex.desc.clear();
+        if (!vertex.alive) continue;
+        pending[v] = vertex.parents.size();
+        if (pending[v] == 0) ready.push(v);
+    }
+    while (!ready.empty()) {
+        const VertexId v = ready.front();
+        ready.pop();
+        order.push_back(v);
+        for (const VertexId child : vertices_[v].children) {
+            if (--pending[child] == 0) ready.push(child);
+        }
+    }
+    SARIADNE_EXPECTS(order.size() == live_vertices_);
+    // Ancestors flow top-down, descendants bottom-up — one pass each.
+    for (const VertexId v : order) {
+        for (const VertexId child : vertices_[v].children) {
+            vertices_[child].anc.or_with(vertices_[v].anc);
+            vertices_[child].anc.set(v);
+        }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        for (const VertexId child : vertices_[*it].children) {
+            vertices_[*it].desc.or_with(vertices_[child].desc);
+            vertices_[*it].desc.set(child);
+        }
+    }
 }
 
 std::vector<MatchHit> CapabilityDag::query_all(
@@ -369,6 +545,16 @@ std::vector<MatchHit> CapabilityDag::query_all(
     const std::uint64_t current_tag = oracle.global_environment_tag();
     const bool request_fresh =
         current_tag != 0 && request_summary.code_tag == current_tag;
+
+    // An oracle-failed vertex dooms its whole descendant cone
+    // (transitivity): a later encounter of a doomed vertex via another
+    // matching parent is settled by one bitset test and counted as a
+    // reachability_prune. Quick-rejected vertices are not folded in —
+    // their descendants quick-reject on their own for less than the cone
+    // OR would cost. Each encountered vertex bumps exactly one of the
+    // three probe counters, pruning on or off.
+    const bool pruning = tuning_.reachability_pruning;
+    support::DynBitset doomed;
 
     const auto try_vertex = [&](VertexId v) {
         visited[v] = 1;
@@ -391,6 +577,8 @@ std::vector<MatchHit> CapabilityDag::query_all(
                                         outcome.semantic_distance});
             }
             frontier.push(v);
+        } else if (pruning) {
+            doomed.or_with(vertices_[v].desc);
         }
     };
 
@@ -401,7 +589,13 @@ std::vector<MatchHit> CapabilityDag::query_all(
         const VertexId v = frontier.front();
         frontier.pop();
         for (const VertexId child : vertices_[v].children) {
-            if (!visited[child]) try_vertex(child);
+            if (visited[child]) continue;
+            if (pruning && doomed.test(child)) {
+                visited[child] = 1;
+                ++stats.reachability_prunes;
+                continue;
+            }
+            try_vertex(child);
         }
     }
     return hits;
@@ -439,20 +633,6 @@ std::vector<VertexId> CapabilityDag::leaf_ids() const {
     return leaves;
 }
 
-std::size_t CapabilityDag::vertex_count() const noexcept {
-    std::size_t count = 0;
-    for (const Vertex& v : vertices_) count += v.alive ? 1 : 0;
-    return count;
-}
-
-std::size_t CapabilityDag::entry_count() const noexcept {
-    std::size_t count = 0;
-    for (const Vertex& v : vertices_) {
-        if (v.alive) count += v.entries.size();
-    }
-    return count;
-}
-
 const std::vector<DagEntry>& CapabilityDag::entries(VertexId vertex) const {
     SARIADNE_EXPECTS(vertex < vertices_.size() && vertices_[vertex].alive);
     return vertices_[vertex].entries;
@@ -469,12 +649,19 @@ const std::vector<VertexId>& CapabilityDag::children(VertexId vertex) const {
 }
 
 bool CapabilityDag::validate(matching::DistanceOracle& oracle) const {
+    std::size_t live_seen = 0;
+    std::size_t entries_seen = 0;
     for (VertexId v = 0; v < vertices_.size(); ++v) {
         const Vertex& vertex = vertices_[v];
         if (!vertex.alive) {
             if (!vertex.parents.empty() || !vertex.children.empty()) return false;
+            // Dead slots must hold no closure bits, or slot reuse would
+            // resurrect stale reachability.
+            if (!vertex.anc.none() || !vertex.desc.none()) return false;
             continue;
         }
+        ++live_seen;
+        entries_seen += vertex.entries.size();
         if (vertex.entries.empty()) return false;
         for (const VertexId child : vertex.children) {
             if (child == v) return false;
@@ -517,7 +704,63 @@ bool CapabilityDag::validate(matching::DistanceOracle& oracle) const {
             if (--pending[child] == 0) ready.push(child);
         }
     }
-    return processed == live;
+    if (processed != live) return false;
+    if (live != live_vertices_ || entries_seen != live_entries_ ||
+        live != live_seen) {
+        return false;
+    }
+
+    // Ground-truth closure via per-vertex BFS (independent of the
+    // incremental bitset maintenance being checked). Acyclicity has been
+    // established above, so the walks terminate.
+    std::vector<support::DynBitset> reach(vertices_.size());
+    std::vector<char> seen(vertices_.size(), 0);
+    std::vector<VertexId> stack;
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+        if (!vertices_[v].alive) continue;
+        std::fill(seen.begin(), seen.end(), 0);
+        stack.assign(vertices_[v].children.begin(),
+                     vertices_[v].children.end());
+        for (const VertexId child : vertices_[v].children) seen[child] = 1;
+        while (!stack.empty()) {
+            const VertexId u = stack.back();
+            stack.pop_back();
+            reach[v].set(u);
+            for (const VertexId next : vertices_[u].children) {
+                if (!seen[next]) {
+                    seen[next] = 1;
+                    stack.push_back(next);
+                }
+            }
+        }
+    }
+
+    // The stored descendant sets must equal BFS reachability exactly, and
+    // the ancestor sets must be their transpose.
+    std::vector<support::DynBitset> reverse(vertices_.size());
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+        if (!vertices_[v].alive) continue;
+        reach[v].for_each_set(
+            [&](std::size_t u) { reverse[u].set(v); });
+    }
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+        if (!vertices_[v].alive) continue;
+        if (!(vertices_[v].desc == reach[v])) return false;
+        if (!(vertices_[v].anc == reverse[v])) return false;
+    }
+
+    // Transitive reduction: no edge may be implied by a sibling's cone.
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+        if (!vertices_[v].alive) continue;
+        for (const VertexId child : vertices_[v].children) {
+            for (const VertexId sibling : vertices_[v].children) {
+                if (sibling != child && reach[sibling].test(child)) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
 }
 
 }  // namespace sariadne::directory

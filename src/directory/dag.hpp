@@ -11,6 +11,15 @@
 // Match(v, C) fails, it fails for every successor of v, so whole
 // sub-hierarchies are pruned without evaluation — that is where the "few
 // semantic matches per request" of Figure 9 comes from.
+//
+// On top of the structural pruning, every vertex carries ancestor and
+// descendant reachability bitsets (DESIGN.md §12), maintained exactly
+// across insert/remove. They answer is_reachable(u, v) in O(1) and drive
+// three things: transitivity-based probe pruning during classification and
+// query (a failed Match dooms a whole cone of the DAG, counted as
+// `reachability_prunes`), suppression of the transitively redundant edges
+// the remove_service splice would otherwise accumulate under churn, and
+// the strict redundant-edge invariant validate() now enforces.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +28,7 @@
 #include "description/resolved.hpp"
 #include "directory/types.hpp"
 #include "matching/match.hpp"
+#include "support/dyn_bitset.hpp"
 #include "support/flat_set.hpp"
 
 namespace sariadne::directory {
@@ -34,6 +44,17 @@ struct DagEntry {
 
 using VertexId = std::uint32_t;
 inline constexpr VertexId kNoVertex = 0xFFFFFFFFu;
+
+/// A/B knobs threaded from SemanticDirectory down to every DAG it owns.
+/// Only the probe-side use of the reachability bitsets is optional: the
+/// bitsets themselves and the redundant-edge suppression they enable are
+/// structural (a correctness fix), so they are always maintained.
+struct DagTuning {
+    /// Skip classification/query probes of vertices provably doomed by an
+    /// earlier failed Match (transitivity), counting them as
+    /// `MatchStats::reachability_prunes` instead.
+    bool reachability_pruning = true;
+};
 
 /// Quick-reject aggregates of one capability role (inputs, outputs or
 /// properties). The mask and concept count are always meaningful; the
@@ -87,8 +108,9 @@ bool quick_reject(const MatchSummary& provider, const MatchSummary& requester,
 
 class CapabilityDag {
 public:
-    explicit CapabilityDag(FlatSet<OntologyIndex> signature)
-        : signature_(std::move(signature)) {}
+    explicit CapabilityDag(FlatSet<OntologyIndex> signature,
+                           DagTuning tuning = {})
+        : signature_(std::move(signature)), tuning_(tuning) {}
 
     /// The ontology set indexing this DAG (§3.3 "graphs are indexed
     /// according to the ontologies being used in the capabilities").
@@ -101,7 +123,8 @@ public:
                     MatchStats& stats);
 
     /// Removes every entry advertised by `service`; empty vertices are
-    /// dropped and their parents reconnected to their children. Returns the
+    /// dropped and their parents reconnected to their children (skipping
+    /// splice edges the surviving graph already implies). Returns the
     /// number of entries removed.
     std::size_t remove_service(ServiceId service);
 
@@ -123,10 +146,16 @@ public:
     std::vector<VertexId> root_ids() const;
     std::vector<VertexId> leaf_ids() const;
 
-    std::size_t vertex_count() const noexcept;  ///< live vertices
-    std::size_t entry_count() const noexcept;   ///< advertised capabilities
+    std::size_t vertex_count() const noexcept { return live_vertices_; }
+    std::size_t entry_count() const noexcept { return live_entries_; }
 
-    bool empty() const noexcept { return entry_count() == 0; }
+    bool empty() const noexcept { return live_entries_ == 0; }
+
+    /// O(1): true iff a directed path `from` → … → `to` exists (a vertex
+    /// reaches itself). Both ids must be live.
+    bool is_reachable(VertexId from, VertexId to) const noexcept {
+        return from == to || vertices_[from].desc.test(to);
+    }
 
     /// Entries of one vertex (test access).
     const std::vector<DagEntry>& entries(VertexId vertex) const;
@@ -134,7 +163,9 @@ public:
     const std::vector<VertexId>& children(VertexId vertex) const;
 
     /// Structural invariant check for tests: every edge implies Match, no
-    /// cycles, no self-edges, parent/child lists mirror each other.
+    /// cycles, no self-edges, no transitively redundant edges, parent/child
+    /// lists mirror each other, live counters agree with a full scan, and
+    /// the reachability bitsets agree with per-vertex BFS ground truth.
     /// Returns true when all invariants hold.
     bool validate(matching::DistanceOracle& oracle) const;
 
@@ -143,6 +174,11 @@ private:
         std::vector<DagEntry> entries;
         std::vector<VertexId> parents;
         std::vector<VertexId> children;
+        /// Exact transitive closure, indexed by VertexId (slot, so dead
+        /// slots own a bit too — always clear): anc holds every vertex with
+        /// a path *to* this one, desc every vertex with a path *from* it.
+        support::DynBitset anc;
+        support::DynBitset desc;
         MatchSummary summary;  ///< of the representative (entries.front())
         bool alive = true;
     };
@@ -154,15 +190,27 @@ private:
     void add_edge(VertexId from, VertexId to);
     void remove_edge(VertexId from, VertexId to);
 
+    /// Recomputes every live vertex's anc/desc from the edge lists (one
+    /// topological pass each way). Dead slots come out empty.
+    void rebuild_reachability();
+
+    /// True iff the graph implies `parent` → `child` without the direct
+    /// edge, i.e. some other child of `parent` reaches `child`. Only valid
+    /// while the bitsets are exact for the current edge set.
+    bool edge_redundant(VertexId parent, VertexId child) const;
+
     FlatSet<OntologyIndex> signature_;
+    DagTuning tuning_;
     std::vector<Vertex> vertices_;
     /// Slots of dead vertices, reused by the next insert. Without reuse a
     /// republish-heavy workload (remove + insert per refresh) grows
     /// vertices_ by one dead slot per cycle, and every full-vector walk —
-    /// insert's root/leaf scans, remove_service, entry_count, query_all's
-    /// visited bitmap — degrades linearly with publish *history* instead
-    /// of live directory size.
+    /// insert's root/leaf scans, remove_service, query_all's visited
+    /// bitmap — degrades linearly with publish *history* instead of live
+    /// directory size.
     std::vector<VertexId> free_;
+    std::size_t live_vertices_ = 0;
+    std::size_t live_entries_ = 0;
 };
 
 }  // namespace sariadne::directory

@@ -1,7 +1,9 @@
 #include "directory/dag_index.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <mutex>
+#include <tuple>
 
 namespace sariadne::directory {
 
@@ -10,7 +12,7 @@ CapabilityDag& DagIndex::dag_for_locked(Shard& shard,
     for (const auto& dag : shard.dags) {
         if (dag->signature() == signature) return *dag;
     }
-    shard.dags.push_back(std::make_unique<CapabilityDag>(signature));
+    shard.dags.push_back(std::make_unique<CapabilityDag>(signature, tuning_));
     shard.dag_count.store(shard.dags.size(), std::memory_order_release);
     return *shard.dags.back();
 }
@@ -27,19 +29,120 @@ void DagIndex::insert(DagEntry entry, matching::DistanceOracle& oracle,
     dag.insert(std::move(entry), oracle, stats);
 }
 
+std::size_t DagIndex::insert_batch(std::vector<DagEntry> entries,
+                                   matching::DistanceOracle& oracle,
+                                   MatchStats& stats) {
+    // The batch ordering contract (DESIGN.md §12): shard-major so each
+    // shard's unique lock is taken once per run; within a shard by
+    // signature so one DAG's insertions are contiguous; within a DAG a
+    // generality-first heuristic (fewer inputs, then more outputs, then
+    // name) so probable ancestors are classified before their descendants
+    // — approximating a topological insert order without paying O(B²)
+    // Match evaluations up front. The order is a deterministic function of
+    // the batch contents, never of arrival order.
+    std::stable_sort(
+        entries.begin(), entries.end(),
+        [&](const DagEntry& a, const DagEntry& b) {
+            const std::size_t sa = shard_of(a.capability.ontologies);
+            const std::size_t sb = shard_of(b.capability.ontologies);
+            if (sa != sb) return sa < sb;
+            const auto& oa = a.capability.ontologies;
+            const auto& ob = b.capability.ontologies;
+            if (!(oa == ob)) {
+                return std::lexicographical_compare(oa.begin(), oa.end(),
+                                                    ob.begin(), ob.end());
+            }
+            if (a.capability.inputs.size() != b.capability.inputs.size()) {
+                return a.capability.inputs.size() <
+                       b.capability.inputs.size();
+            }
+            if (a.capability.outputs.size() != b.capability.outputs.size()) {
+                return a.capability.outputs.size() >
+                       b.capability.outputs.size();
+            }
+            return a.capability.name < b.capability.name;
+        });
+
+    std::size_t i = 0;
+    while (i < entries.size()) {
+        const std::size_t shard_index =
+            shard_of(entries[i].capability.ontologies);
+        std::size_t end = i + 1;
+        while (end < entries.size() &&
+               shard_of(entries[end].capability.ontologies) == shard_index) {
+            ++end;
+        }
+        Shard& shard = shards_[shard_index];
+        std::unique_lock lock(shard.mutex, std::try_to_lock);
+        if (!lock.owns_lock()) {
+            if (contention_ != nullptr) contention_->inc();
+            lock.lock();
+        }
+        for (; i < end; ++i) {
+            CapabilityDag& dag =
+                dag_for_locked(shard, entries[i].capability.ontologies);
+            dag.insert(std::move(entries[i]), oracle, stats);
+        }
+    }
+    return entries.size();
+}
+
+namespace {
+
+void drop_empty_dags_locked(std::vector<std::unique_ptr<CapabilityDag>>& dags,
+                            std::atomic<std::size_t>& dag_count) {
+    dags.erase(std::remove_if(dags.begin(), dags.end(),
+                              [](const std::unique_ptr<CapabilityDag>& dag) {
+                                  return dag->empty();
+                              }),
+               dags.end());
+    dag_count.store(dags.size(), std::memory_order_release);
+}
+
+}  // namespace
+
 std::size_t DagIndex::remove_service(ServiceId service) {
     std::size_t removed = 0;
     for (std::size_t s = 0; s < shard_count_; ++s) {
         Shard& shard = shards_[s];
         std::unique_lock lock(shard.mutex);
         for (const auto& dag : shard.dags) removed += dag->remove_service(service);
-        shard.dags.erase(
-            std::remove_if(shard.dags.begin(), shard.dags.end(),
-                           [](const std::unique_ptr<CapabilityDag>& dag) {
-                               return dag->empty();
-                           }),
-            shard.dags.end());
-        shard.dag_count.store(shard.dags.size(), std::memory_order_release);
+        drop_empty_dags_locked(shard.dags, shard.dag_count);
+    }
+    return removed;
+}
+
+std::size_t DagIndex::remove_service(
+    ServiceId service,
+    const std::vector<FlatSet<OntologyIndex>>& signatures) {
+    // Group the service's publish-time signatures per shard so only the
+    // shards (and inside them only the DAGs) the service actually touched
+    // are locked and scanned.
+    std::vector<std::vector<const FlatSet<OntologyIndex>*>> per_shard(
+        shard_count_);
+    for (const auto& signature : signatures) {
+        auto& bucket = per_shard[shard_of(signature)];
+        const auto dup = std::find_if(
+            bucket.begin(), bucket.end(),
+            [&](const FlatSet<OntologyIndex>* s) { return *s == signature; });
+        if (dup == bucket.end()) bucket.push_back(&signature);
+    }
+    std::size_t removed = 0;
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+        if (per_shard[s].empty()) continue;
+        Shard& shard = shards_[s];
+        std::unique_lock lock(shard.mutex);
+        bool any_emptied = false;
+        for (const auto& dag : shard.dags) {
+            for (const FlatSet<OntologyIndex>* signature : per_shard[s]) {
+                if (dag->signature() == *signature) {
+                    removed += dag->remove_service(service);
+                    any_emptied = any_emptied || dag->empty();
+                    break;
+                }
+            }
+        }
+        if (any_emptied) drop_empty_dags_locked(shard.dags, shard.dag_count);
     }
     return removed;
 }

@@ -34,9 +34,11 @@ class DagIndex {
 public:
     static constexpr std::size_t kDefaultShardCount = 16;
 
-    explicit DagIndex(std::size_t shard_count = kDefaultShardCount)
+    explicit DagIndex(std::size_t shard_count = kDefaultShardCount,
+                      DagTuning tuning = {})
         : shard_count_(shard_count == 0 ? 1 : shard_count),
-          shards_(std::make_unique<Shard[]>(shard_count_)) {}
+          shards_(std::make_unique<Shard[]>(shard_count_)),
+          tuning_(tuning) {}
 
     DagIndex(const DagIndex&) = delete;
     DagIndex& operator=(const DagIndex&) = delete;
@@ -46,9 +48,28 @@ public:
     void insert(DagEntry entry, matching::DistanceOracle& oracle,
                 MatchStats& stats);
 
+    /// Bulk variant for SemanticDirectory::publish_batch: orders the batch
+    /// deterministically — by shard, then signature, then a
+    /// generality-first heuristic (see DESIGN.md §12) — and inserts it
+    /// shard run by shard run, taking each shard's unique lock once per
+    /// run instead of once per capability. Returns the number of entries
+    /// inserted.
+    std::size_t insert_batch(std::vector<DagEntry> entries,
+                             matching::DistanceOracle& oracle,
+                             MatchStats& stats);
+
     /// Removes all capabilities of a service across DAGs; empty DAGs are
     /// dropped. Returns the number of capability entries removed.
     std::size_t remove_service(ServiceId service);
+
+    /// Signature-scoped removal: only the shards/DAGs named by
+    /// `signatures` (the ontology sets the service published under) are
+    /// locked and scanned, so a removal is O(its own capabilities), not
+    /// O(directory). The signatures come from the publish-time record kept
+    /// by SemanticDirectory.
+    std::size_t remove_service(
+        ServiceId service,
+        const std::vector<FlatSet<OntologyIndex>>& signatures);
 
     /// Queries all candidate DAGs (signature intersects the request's
     /// ontology set) and returns the hits with the globally minimal
@@ -107,6 +128,7 @@ private:
 
     std::size_t shard_count_;
     std::unique_ptr<Shard[]> shards_;
+    DagTuning tuning_;
     obs::Counter* contention_ = nullptr;
 };
 

@@ -1,6 +1,7 @@
 #include "directory/semantic_directory.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
 
 #include "description/conversation.hpp"
@@ -19,16 +20,26 @@ PublishReceipt SemanticDirectory::publish_xml(std::string_view xml_text) {
     return receipt;
 }
 
-PublishReceipt SemanticDirectory::publish(desc::ServiceDescription service) {
-    Stopwatch stopwatch;
-    // Resolve (with flat-layout code signatures attached) and version-check
-    // before touching any shared state: a rejected description leaves the
-    // directory untouched.
-    std::vector<desc::ResolvedCapability> provided =
-        desc::resolve_provided(service, *kb_);
+namespace {
+
+/// Everything publish derives from one description before touching shared
+/// state — resolution, version check, summary URI sets and the DAG
+/// signatures the removal path will need later.
+struct PreparedService {
+    desc::ServiceDescription description;
+    std::vector<desc::ResolvedCapability> provided;
     std::vector<std::vector<std::string>> uri_sets;
-    uri_sets.reserve(provided.size());
-    for (const auto& cap : provided) {
+    std::vector<FlatSet<onto::OntologyIndex>> signatures;
+    ServiceId id = 0;
+};
+
+PreparedService prepare_service(desc::ServiceDescription service,
+                                encoding::KnowledgeBase& kb) {
+    PreparedService prepared;
+    prepared.provided = desc::resolve_provided(service, kb);
+    prepared.uri_sets.reserve(prepared.provided.size());
+    prepared.signatures.reserve(prepared.provided.size());
+    for (const auto& cap : prepared.provided) {
         // §3.2 consistency: a description carrying pre-computed codes must
         // have been encoded against the current ontology versions (the
         // attached signature's tag is exactly that environment tag).
@@ -40,42 +51,81 @@ PublishReceipt SemanticDirectory::publish(desc::ServiceDescription service) {
                 "' carries codes for a stale ontology version — the "
                 "advertiser must refresh its codes");
         }
-        uri_sets.push_back(desc::ontology_uris(cap, kb_->registry()));
+        prepared.uri_sets.push_back(desc::ontology_uris(cap, kb.registry()));
+        prepared.signatures.push_back(cap.ontologies);
     }
+    prepared.description = std::move(service);
+    return prepared;
+}
+
+/// Refcount key for one capability's ontology-URI set. The URIs come out
+/// of resolution in a deterministic order, so identical sets always map to
+/// the same key; an order-sensitive false distinction is harmless (it can
+/// only trigger a spare rebuild, never skip a needed one).
+std::string uri_set_key(const std::vector<std::string>& uris) {
+    std::string key;
+    for (const std::string& uri : uris) {
+        key += uri;
+        key += '\n';
+    }
+    return key;
+}
+
+}  // namespace
+
+PublishReceipt SemanticDirectory::publish(desc::ServiceDescription service) {
+    Stopwatch stopwatch;
+    // Resolve (with flat-layout code signatures attached) and version-check
+    // before touching any shared state: a rejected description leaves the
+    // directory untouched.
+    PreparedService prepared = prepare_service(std::move(service), *kb_);
 
     // Re-advertisement: a service is identified by its name; a fresh
     // description replaces the cached one (services periodically re-publish
-    // to their vicinity directory in the protocol). The scan, erase and
+    // to their vicinity directory in the protocol). The lookup, erase and
     // insert are one critical section so two same-name publishers cannot
     // both survive.
-    const std::string name = service.profile.service_name;
+    const std::string name = prepared.description.profile.service_name;
     ServiceId replaced = 0;
+    std::vector<FlatSet<OntologyIndex>> replaced_signatures;
+    std::vector<std::vector<std::string>> replaced_uri_sets;
     ServiceId id = 0;
     {
         std::unique_lock lock(services_mutex_);
-        for (const auto& [existing_id, existing] : services_) {
-            if (existing.description.profile.service_name == name) {
-                replaced = existing_id;
-                break;
-            }
+        const auto named = by_name_.find(name);
+        if (named != by_name_.end()) {
+            replaced = named->second;
+            const auto it = services_.find(replaced);
+            replaced_signatures = std::move(it->second.signatures);
+            replaced_uri_sets = std::move(it->second.summary_uri_sets);
+            services_.erase(it);
         }
-        if (replaced != 0) services_.erase(replaced);
         id = next_id_.fetch_add(1, std::memory_order_acq_rel);
-        services_.emplace(id, StoredService{std::move(service), uri_sets});
+        services_.emplace(id,
+                          StoredService{std::move(prepared.description),
+                                        prepared.uri_sets,
+                                        prepared.signatures});
+        by_name_[name] = id;
     }
-    if (replaced != 0) {
-        dags_.remove_service(replaced);
-        rebuild_summary();
-    }
+    if (replaced != 0) dags_.remove_service(replaced, replaced_signatures);
 
     {
         std::lock_guard lock(summary_mutex_);
-        for (const auto& uris : uri_sets) summary_.insert_ontology_set(uris);
+        // Retain before release so a set the replacement still uses never
+        // transiently drops to zero holders.
+        retain_uri_sets_locked(prepared.uri_sets);
+        if (replaced != 0 && release_uri_sets_locked(replaced_uri_sets)) {
+            rebuild_summary_locked();
+        } else {
+            for (const auto& uris : prepared.uri_sets) {
+                summary_.insert_ontology_set(uris);
+            }
+        }
     }
 
     matching::EncodedOracle oracle(*kb_);
     MatchStats stats;
-    for (auto& cap : provided) {
+    for (auto& cap : prepared.provided) {
         dags_.insert(DagEntry{std::move(cap), id}, oracle, stats);
     }
     stats.concept_queries = oracle.queries();
@@ -92,15 +142,143 @@ PublishReceipt SemanticDirectory::publish(desc::ServiceDescription service) {
     return receipt;
 }
 
+std::vector<PublishReceipt> SemanticDirectory::publish_batch(
+    std::vector<desc::ServiceDescription> batch) {
+    std::vector<PublishReceipt> receipts;
+    if (batch.empty()) return receipts;
+    Stopwatch stopwatch;
+
+    // Resolve and version-check the whole batch before mutating anything:
+    // one bad description rejects the batch with the directory untouched.
+    std::vector<PreparedService> prepared;
+    prepared.reserve(batch.size());
+    for (auto& service : batch) {
+        prepared.push_back(prepare_service(std::move(service), *kb_));
+    }
+
+    // One critical section updates the service table for every member.
+    // Later duplicates of a name (inside the batch or against the cached
+    // table) replace earlier ones, matching sequential publish semantics.
+    struct Replaced {
+        ServiceId id;
+        std::vector<FlatSet<OntologyIndex>> signatures;
+        std::vector<std::vector<std::string>> uri_sets;
+    };
+    std::vector<Replaced> replaced;
+    std::size_t fresh_names = 0;
+    {
+        std::unique_lock lock(services_mutex_);
+        for (auto& p : prepared) {
+            const std::string name = p.description.profile.service_name;
+            const auto named = by_name_.find(name);
+            if (named != by_name_.end()) {
+                const auto it = services_.find(named->second);
+                replaced.push_back(
+                    Replaced{named->second, std::move(it->second.signatures),
+                             std::move(it->second.summary_uri_sets)});
+                services_.erase(it);
+            } else {
+                ++fresh_names;
+            }
+            p.id = next_id_.fetch_add(1, std::memory_order_acq_rel);
+            services_.emplace(p.id,
+                              StoredService{std::move(p.description),
+                                            p.uri_sets,
+                                            p.signatures});
+            by_name_[name] = p.id;
+        }
+    }
+    for (const auto& r : replaced) dags_.remove_service(r.id, r.signatures);
+
+    // Summary maintenance, at most once per batch: every member retains
+    // its URI sets, every replaced service (pre-batch or superseded inside
+    // the batch) releases its own. The batch only needs the full rebuild
+    // when some replaced service held the last reference to a set (Bloom
+    // filters cannot subtract); otherwise the new sets fold in additively.
+    {
+        std::lock_guard summary_lock(summary_mutex_);
+        // Retain before release: a set carried over from a replaced
+        // service to its replacement never transiently reaches zero.
+        for (const auto& p : prepared) retain_uri_sets_locked(p.uri_sets);
+        bool needs_rebuild = false;
+        for (const auto& r : replaced) {
+            if (release_uri_sets_locked(r.uri_sets)) needs_rebuild = true;
+        }
+        if (needs_rebuild) {
+            rebuild_summary_locked();
+        } else {
+            for (const auto& p : prepared) {
+                for (const auto& uris : p.uri_sets) {
+                    summary_.insert_ontology_set(uris);
+                }
+            }
+        }
+    }
+
+    // Members superseded inside their own batch never reach the DAGs
+    // (their table entry is already gone).
+    std::unordered_set<ServiceId> superseded;
+    for (const auto& r : replaced) superseded.insert(r.id);
+
+    std::size_t capability_total = 0;
+    for (const auto& p : prepared) capability_total += p.provided.size();
+    std::vector<DagEntry> entries;
+    entries.reserve(capability_total);
+    for (auto& p : prepared) {
+        if (superseded.count(p.id) != 0) continue;
+        for (auto& cap : p.provided) {
+            entries.push_back(DagEntry{std::move(cap), p.id});
+        }
+    }
+
+    matching::EncodedOracle oracle(*kb_);
+    MatchStats stats;
+    dags_.insert_batch(std::move(entries), oracle, stats);
+    stats.concept_queries = oracle.queries();
+    accumulate_lifetime(stats);
+
+    const double insert_ms = stopwatch.elapsed_ms();
+    const double amortized_ms =
+        insert_ms / static_cast<double>(prepared.size());
+    receipts.reserve(prepared.size());
+    for (const auto& p : prepared) {
+        PublishReceipt receipt;
+        receipt.id = p.id;
+        receipt.timing.insert_ms = amortized_ms;
+        receipts.push_back(receipt);
+        if (metrics_.publish_insert_ms) {
+            metrics_.publish_insert_ms->observe(amortized_ms);
+        }
+    }
+    if (metrics_.publishes) metrics_.publishes->inc(prepared.size());
+    if (metrics_.publish_batches) metrics_.publish_batches->inc();
+    if (metrics_.services && fresh_names > 0) {
+        metrics_.services->add(static_cast<std::int64_t>(fresh_names));
+    }
+    return receipts;
+}
+
 bool SemanticDirectory::remove(ServiceId service) {
+    std::vector<FlatSet<OntologyIndex>> signatures;
+    std::vector<std::vector<std::string>> uri_sets;
     {
         std::unique_lock lock(services_mutex_);
         const auto it = services_.find(service);
         if (it == services_.end()) return false;
+        const auto named =
+            by_name_.find(it->second.description.profile.service_name);
+        if (named != by_name_.end() && named->second == service) {
+            by_name_.erase(named);
+        }
+        signatures = std::move(it->second.signatures);
+        uri_sets = std::move(it->second.summary_uri_sets);
         services_.erase(it);
     }
-    dags_.remove_service(service);
-    rebuild_summary();
+    dags_.remove_service(service, signatures);
+    {
+        std::lock_guard lock(summary_mutex_);
+        if (release_uri_sets_locked(uri_sets)) rebuild_summary_locked();
+    }
     if (metrics_.removals) metrics_.removals->inc();
     if (metrics_.services) metrics_.services->sub(1);
     return true;
@@ -179,6 +357,7 @@ std::vector<MatchHit> SemanticDirectory::query_capability(
     stats.dags_visited += local.dags_visited;
     stats.dags_pruned += local.dags_pruned;
     stats.quick_rejects += local.quick_rejects;
+    stats.reachability_prunes += local.reachability_prunes;
     accumulate_lifetime(local);
     return hits;
 }
@@ -275,6 +454,8 @@ void SemanticDirectory::accumulate_lifetime(const MatchStats& stats) const noexc
                                     std::memory_order_relaxed);
     lifetime_quick_rejects_.fetch_add(stats.quick_rejects,
                                       std::memory_order_relaxed);
+    lifetime_reachability_prunes_.fetch_add(stats.reachability_prunes,
+                                            std::memory_order_relaxed);
     // Mirror the same relaxed deltas into the registry so external sinks
     // see live work counters without a snapshot call.
     if (metrics_.capability_matches) {
@@ -286,6 +467,9 @@ void SemanticDirectory::accumulate_lifetime(const MatchStats& stats) const noexc
     if (metrics_.dags_visited) metrics_.dags_visited->inc(stats.dags_visited);
     if (metrics_.dags_pruned) metrics_.dags_pruned->inc(stats.dags_pruned);
     if (metrics_.quick_rejects) metrics_.quick_rejects->inc(stats.quick_rejects);
+    if (metrics_.reachability_prunes) {
+        metrics_.reachability_prunes->inc(stats.reachability_prunes);
+    }
 }
 
 MatchStats SemanticDirectory::lifetime_stats() const noexcept {
@@ -297,6 +481,8 @@ MatchStats SemanticDirectory::lifetime_stats() const noexcept {
     stats.dags_visited = lifetime_dags_visited_.load(std::memory_order_relaxed);
     stats.dags_pruned = lifetime_dags_pruned_.load(std::memory_order_relaxed);
     stats.quick_rejects = lifetime_quick_rejects_.load(std::memory_order_relaxed);
+    stats.reachability_prunes =
+        lifetime_reachability_prunes_.load(std::memory_order_relaxed);
     return stats;
 }
 
@@ -324,10 +510,14 @@ bloom::BloomFilter SemanticDirectory::summary() const {
 }
 
 void SemanticDirectory::rebuild_summary() {
+    std::lock_guard summary_lock(summary_mutex_);
+    rebuild_summary_locked();
+}
+
+void SemanticDirectory::rebuild_summary_locked() {
     if (metrics_.summary_rebuilds) metrics_.summary_rebuilds->inc();
     // Lock order (summary before services-shared) matches every other path
     // that holds both; publish touches them one at a time.
-    std::lock_guard summary_lock(summary_mutex_);
     std::shared_lock services_lock(services_mutex_);
     summary_.clear();
     // The per-capability ontology-URI sets were resolved once at publish
@@ -338,6 +528,30 @@ void SemanticDirectory::rebuild_summary() {
             summary_.insert_ontology_set(uris);
         }
     }
+}
+
+void SemanticDirectory::retain_uri_sets_locked(
+    const std::vector<std::vector<std::string>>& sets) {
+    for (const auto& uris : sets) ++summary_refcounts_[uri_set_key(uris)];
+}
+
+bool SemanticDirectory::release_uri_sets_locked(
+    const std::vector<std::vector<std::string>>& sets) {
+    bool lost = false;
+    for (const auto& uris : sets) {
+        const auto it = summary_refcounts_.find(uri_set_key(uris));
+        if (it == summary_refcounts_.end()) {
+            // Unknown set: never counted in (should not happen). Rebuild
+            // defensively rather than risk a stale filter.
+            lost = true;
+            continue;
+        }
+        if (--it->second == 0) {
+            summary_refcounts_.erase(it);
+            lost = true;
+        }
+    }
+    return lost;
 }
 
 }  // namespace sariadne::directory

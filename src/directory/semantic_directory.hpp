@@ -67,8 +67,11 @@ public:
     /// aggregate). The registry must outlive the directory.
     explicit SemanticDirectory(encoding::KnowledgeBase& kb,
                                bloom::BloomParams bloom_params = {},
-                               obs::MetricsRegistry* metrics = nullptr)
-        : kb_(&kb), summary_(bloom_params) {
+                               obs::MetricsRegistry* metrics = nullptr,
+                               DagTuning tuning = {})
+        : kb_(&kb),
+          dags_(DagIndex::kDefaultShardCount, tuning),
+          summary_(bloom_params) {
         if (metrics != nullptr) {
             metrics_.registry = metrics;
             metrics_.publishes = &metrics->counter(obs::names::kDirectoryPublishes);
@@ -83,6 +86,10 @@ public:
             metrics_.dags_visited = &metrics->counter(obs::names::kDirectoryDagsVisited);
             metrics_.dags_pruned = &metrics->counter(obs::names::kDirectoryDagsPruned);
             metrics_.quick_rejects = &metrics->counter(obs::names::kMatchingQuickRejects);
+            metrics_.reachability_prunes =
+                &metrics->counter(obs::names::kMatchingReachabilityPrunes);
+            metrics_.publish_batches =
+                &metrics->counter(obs::names::kDirectoryPublishBatches);
             metrics_.services = &metrics->gauge(obs::names::kDirectoryServices);
             metrics_.publish_parse_ms =
                 &metrics->histogram(obs::names::kDirectoryPublishParseMs);
@@ -107,6 +114,20 @@ public:
 
     /// Publishes an already-parsed description (parse_ms stays 0).
     PublishReceipt publish(desc::ServiceDescription service);
+
+    /// Publishes a whole batch in one pass: every description is resolved
+    /// and version-checked up front (a rejected one throws before any
+    /// shared state changes), the service table is updated in a single
+    /// critical section, the capability DAGs take one shard lock per shard
+    /// run (DagIndex::insert_batch), and the Bloom summary is refreshed at
+    /// most once for the whole batch — additively unless a replaced
+    /// service held the last reference to one of its URI sets, one
+    /// rebuild_summary() then — instead of once per
+    /// publish. Receipts come back in batch order; insert_ms is the batch
+    /// cost amortized per service. Later duplicates of a name inside the
+    /// batch replace earlier ones, exactly as sequential publishes would.
+    std::vector<PublishReceipt> publish_batch(
+        std::vector<desc::ServiceDescription> batch);
 
     /// Withdraws a service (departure from the vicinity). Returns false if
     /// the handle is unknown.
@@ -165,7 +186,10 @@ public:
     bloom::BloomFilter summary() const;
 
     /// Rebuilds the summary from live content (after removals — Bloom
-    /// filters do not support deletion).
+    /// filters do not support deletion). Removal paths call this only when
+    /// a departing service held the last reference to one of its URI sets;
+    /// otherwise the filter provably did not change and the O(services)
+    /// walk is skipped (see summary_refcounts_).
     void rebuild_summary();
 
     /// Snapshot of the cumulative match statistics across all operations.
@@ -185,6 +209,18 @@ private:
     void apply_require_all(QueryResult& result,
                            const QueryOptions& options) const;
 
+    /// rebuild_summary() with summary_mutex_ already held by the caller
+    /// (takes services_mutex_ shared internally).
+    void rebuild_summary_locked();
+    /// Counts URI sets into / out of summary_refcounts_. Callers hold
+    /// summary_mutex_. release returns true when some set lost its last
+    /// holder — the Bloom summary now over-approximates and needs a
+    /// rebuild before the next push.
+    void retain_uri_sets_locked(
+        const std::vector<std::vector<std::string>>& sets);
+    bool release_uri_sets_locked(
+        const std::vector<std::vector<std::string>>& sets);
+
     /// Cached registry handles; all null when uninstrumented.
     struct Metrics {
         obs::MetricsRegistry* registry = nullptr;
@@ -197,6 +233,8 @@ private:
         obs::Counter* dags_visited = nullptr;
         obs::Counter* dags_pruned = nullptr;
         obs::Counter* quick_rejects = nullptr;
+        obs::Counter* reachability_prunes = nullptr;
+        obs::Counter* publish_batches = nullptr;
         obs::Gauge* services = nullptr;
         obs::Histogram* publish_parse_ms = nullptr;
         obs::Histogram* publish_insert_ms = nullptr;
@@ -208,26 +246,41 @@ private:
     Metrics metrics_;
     DagIndex dags_;
 
-    /// A cached description plus the resolved ontology-URI set of each of
-    /// its provided capabilities, captured at publish time so
-    /// rebuild_summary() re-feeds the Bloom filter without re-resolving
-    /// every stored description (it used to be O(services × resolve)).
+    /// A cached description plus what publish resolved from it: the
+    /// ontology-URI set of each provided capability (so rebuild_summary()
+    /// re-feeds the Bloom filter without re-resolving — it used to be
+    /// O(services × resolve)) and the ontology signatures the capabilities
+    /// were classified under (so a removal only visits the DAG shards the
+    /// service actually touched instead of the whole index).
     struct StoredService {
         desc::ServiceDescription description;
         std::vector<std::vector<std::string>> summary_uri_sets;
+        std::vector<FlatSet<OntologyIndex>> signatures;
     };
 
-    /// Guards services_. Ranked above summary: rebuild_summary holds the
-    /// summary lock while it walks the table under this one (shared).
+    /// Guards services_ and by_name_. Ranked above summary:
+    /// rebuild_summary holds the summary lock while it walks the table
+    /// under this one (shared).
     mutable support::RankedSharedMutex services_mutex_{
         support::LockRank::kDirectoryServices};
     std::unordered_map<ServiceId, StoredService> services_;
+    /// Re-advertisement index: a service is identified by name, and the
+    /// replacement lookup used to be a linear scan of services_ per
+    /// publish — quadratic across a bulk load.
+    std::unordered_map<std::string, ServiceId> by_name_;
     std::atomic<ServiceId> next_id_{1};
 
     /// Guards summary_; the outermost directory lock (see services_mutex_).
     mutable support::RankedMutex summary_mutex_{
         support::LockRank::kDirectorySummary};
     bloom::BloomFilter summary_;
+    /// How many live services feed each distinct capability URI set into
+    /// the summary (keyed by the set's joined form; guarded by
+    /// summary_mutex_). Under churn the same ontology sets repeat across
+    /// thousands of services, so most removals release no last reference
+    /// and keep the filter as-is instead of paying the O(services)
+    /// rebuild.
+    std::unordered_map<std::string, std::uint64_t> summary_refcounts_;
 
     /// Lifetime counters, relaxed — totals are exact once writers quiesce.
     mutable std::atomic<std::uint64_t> lifetime_capability_matches_{0};
@@ -235,6 +288,7 @@ private:
     mutable std::atomic<std::uint64_t> lifetime_dags_visited_{0};
     mutable std::atomic<std::uint64_t> lifetime_dags_pruned_{0};
     mutable std::atomic<std::uint64_t> lifetime_quick_rejects_{0};
+    mutable std::atomic<std::uint64_t> lifetime_reachability_prunes_{0};
 };
 
 }  // namespace sariadne::directory

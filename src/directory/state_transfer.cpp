@@ -31,12 +31,16 @@ std::size_t import_state(SemanticDirectory& directory,
         throw ParseError("expected <directory-state> root element, got <" +
                          doc.root.name() + ">");
     }
-    std::size_t imported = 0;
+    // One batch publish for the whole handover bundle: a single service-
+    // table critical section and at most one summary rebuild instead of a
+    // rebuild per imported service.
+    std::vector<desc::ServiceDescription> batch;
+    batch.reserve(doc.root.children().size());
     for (const auto& node : doc.root.children()) {
-        desc::ServiceDescription service = desc::parse_service(node);
-        directory.publish(std::move(service));
-        ++imported;
+        batch.push_back(desc::parse_service(node));
     }
+    const std::size_t imported = batch.size();
+    directory.publish_batch(std::move(batch));
     return imported;
 }
 

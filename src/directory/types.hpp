@@ -25,14 +25,19 @@ struct MatchHit {
 /// paper's "number of semantic matches performed" (capability-level Match
 /// evaluations); `concept_queries` counts d() evaluations underneath;
 /// `quick_rejects` counts DAG vertices skipped by the summary pre-filter
-/// *instead of* a Match evaluation (so capability_matches + quick_rejects
-/// is the number of vertices actually probed).
+/// *instead of* a Match evaluation, and `reachability_prunes` vertices
+/// skipped because an earlier failed Match provably dooms them through the
+/// DAG's transitive closure. Every probed vertex bumps exactly one of the
+/// three, so capability_matches + quick_rejects + reachability_prunes is
+/// the number of vertices actually probed — invariant whether pruning is
+/// enabled or not.
 struct MatchStats {
     std::uint64_t capability_matches = 0;
     std::uint64_t concept_queries = 0;
     std::uint64_t dags_visited = 0;
     std::uint64_t dags_pruned = 0;
     std::uint64_t quick_rejects = 0;
+    std::uint64_t reachability_prunes = 0;
 };
 
 /// Wall-clock breakdown of a publish operation (Figure 7/8 series).

@@ -56,6 +56,12 @@ inline constexpr std::string_view kDirectoryQueryMatchMs =
 // --- matching.* ---------------------------------------------------------
 inline constexpr std::string_view kMatchingQuickRejects =
     "matching.quick_rejects";
+inline constexpr std::string_view kMatchingReachabilityPrunes =
+    "matching.reachability_prunes";
+
+// --- directory batch publish (directory/semantic_directory.hpp) ---------
+inline constexpr std::string_view kDirectoryPublishBatches =
+    "directory.publish_batches";
 
 // --- sim.* (net/simulator.cpp) ------------------------------------------
 inline constexpr std::string_view kSimUnicasts = "sim.unicasts";

@@ -1,0 +1,101 @@
+// Grow-on-write dynamic bitset over 64-bit words — the representation
+// behind the capability DAG's per-vertex ancestor/descendant reachability
+// sets (directory/dag.hpp). Bits beyond the stored words read as zero, so
+// sets over a growing id space never need an explicit resize pass: set()
+// widens its own set lazily, test()/reset() treat missing words as empty.
+// All operations are noexcept-safe except the allocating ones (set,
+// or_with), and nothing here is thread-safe — owners synchronize.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sariadne::support {
+
+class DynBitset {
+public:
+    DynBitset() = default;
+
+    /// True iff bit `index` is set (bits past the stored words are 0).
+    bool test(std::size_t index) const noexcept {
+        const std::size_t word = index >> 6;
+        return word < words_.size() &&
+               (words_[word] >> (index & 63u) & 1u) != 0;
+    }
+
+    /// Sets bit `index`, widening the word vector as needed.
+    void set(std::size_t index) {
+        const std::size_t word = index >> 6;
+        if (word >= words_.size()) words_.resize(word + 1, 0);
+        words_[word] |= std::uint64_t{1} << (index & 63u);
+    }
+
+    /// Clears bit `index`; a bit past the stored words is already clear.
+    void reset(std::size_t index) noexcept {
+        const std::size_t word = index >> 6;
+        if (word < words_.size()) {
+            words_[word] &= ~(std::uint64_t{1} << (index & 63u));
+        }
+    }
+
+    /// this |= other.
+    void or_with(const DynBitset& other) {
+        if (other.words_.size() > words_.size()) {
+            words_.resize(other.words_.size(), 0);
+        }
+        for (std::size_t i = 0; i < other.words_.size(); ++i) {
+            words_[i] |= other.words_[i];
+        }
+    }
+
+    void clear() noexcept { words_.clear(); }
+
+    bool none() const noexcept {
+        for (const std::uint64_t word : words_) {
+            if (word != 0) return false;
+        }
+        return true;
+    }
+
+    std::size_t count() const noexcept {
+        std::size_t n = 0;
+        for (const std::uint64_t word : words_) {
+            n += static_cast<std::size_t>(std::popcount(word));
+        }
+        return n;
+    }
+
+    /// Calls `fn(index)` for every set bit, in increasing index order.
+    template <typename Fn>
+    void for_each_set(Fn&& fn) const {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t word = words_[w];
+            while (word != 0) {
+                const int bit = std::countr_zero(word);
+                fn((w << 6) + static_cast<std::size_t>(bit));
+                word &= word - 1;
+            }
+        }
+    }
+
+    friend bool operator==(const DynBitset& a, const DynBitset& b) noexcept {
+        const std::size_t common =
+            a.words_.size() < b.words_.size() ? a.words_.size()
+                                              : b.words_.size();
+        for (std::size_t i = 0; i < common; ++i) {
+            if (a.words_[i] != b.words_[i]) return false;
+        }
+        const auto& longer = a.words_.size() > b.words_.size() ? a : b;
+        for (std::size_t i = common; i < longer.words_.size(); ++i) {
+            if (longer.words_[i] != 0) return false;
+        }
+        return true;
+    }
+
+private:
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace sariadne::support

@@ -166,7 +166,29 @@ std::vector<ariadne::wire::WireMessage> wire_samples() {
     samples.push_back({MsgType::kSummaryPush, SummaryPush{2, {1, 2, 3}}});
     samples.push_back({MsgType::kSummaryPull, SummaryPull{}});
     samples.push_back({MsgType::kHandover, Handover{"<state/>"}});
+    PublishBatch batch;
+    batch.docs.push_back(PublishDoc{"<service name='a'/>", 43});
+    batch.docs.push_back(PublishDoc{"<service name='b'/>", 0});
+    samples.push_back({MsgType::kPublishBatch, batch});
     return samples;
+}
+
+TEST(DecodeRobustness, PublishBatchRoundTripKeepsPerDocIds) {
+    using namespace ariadne::wire;
+    PublishBatch batch;
+    batch.docs.push_back(PublishDoc{"<service name='a'/>", 7});
+    batch.docs.push_back(PublishDoc{"", 0});
+    batch.docs.push_back(PublishDoc{"<service name='c'/>", 9});
+    const auto bytes = encode({MsgType::kPublishBatch, batch});
+    const auto decoded = try_decode(bytes);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value().type, MsgType::kPublishBatch);
+    const auto& round = std::get<PublishBatch>(decoded.value().payload);
+    ASSERT_EQ(round.docs.size(), batch.docs.size());
+    for (std::size_t i = 0; i < batch.docs.size(); ++i) {
+        EXPECT_EQ(round.docs[i].pub_id, batch.docs[i].pub_id);
+        EXPECT_EQ(round.docs[i].document, batch.docs[i].document);
+    }
 }
 
 TEST(DecodeRobustness, WireTruncationsAlwaysReturnErrorForEveryType) {

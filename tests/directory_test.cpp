@@ -252,6 +252,92 @@ TEST_F(DirectoryFixture, SummaryTracksContent) {
     EXPECT_EQ(directory_.summary().set_bit_count(), 0u);
 }
 
+TEST_F(DirectoryFixture, PublishBatchMatchesSequentialPublishes) {
+    // publish_batch must converge to the same directory a sequence of
+    // publishes would: same table, same summary, same query answers.
+    std::vector<desc::ServiceDescription> batch;
+    for (int i = 0; i < 4; ++i) {
+        desc::ServiceDescription service = th::workstation_service();
+        service.profile.service_name = "ws-" + std::to_string(i);
+        batch.push_back(service);
+    }
+
+    SemanticDirectory sequential(kb_);
+    for (const auto& service : batch) sequential.publish(service);
+    const auto receipts = directory_.publish_batch(batch);
+
+    ASSERT_EQ(receipts.size(), batch.size());
+    EXPECT_EQ(directory_.service_count(), sequential.service_count());
+    EXPECT_EQ(directory_.capability_count(), sequential.capability_count());
+    EXPECT_TRUE(directory_.summary() == sequential.summary());
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    const QueryResult batched = directory_.query(request);
+    const QueryResult one_by_one = sequential.query(request);
+    ASSERT_EQ(batched.per_capability.size(), 1u);
+    EXPECT_EQ(batched.per_capability[0].size(),
+              one_by_one.per_capability[0].size());
+}
+
+TEST_F(DirectoryFixture, PublishBatchReplacesDuplicateNamesLikeSequential) {
+    // A duplicate name inside one batch (and against the cached table)
+    // must leave exactly the newest description live, as sequential
+    // re-advertisements would.
+    const ServiceId original = directory_.publish(th::workstation_service()).id;
+
+    std::vector<desc::ServiceDescription> batch;
+    desc::ServiceDescription replacement = th::workstation_service();
+    replacement.grounding.address = "http://workstation.local/v2";
+    batch.push_back(replacement);
+    replacement.grounding.address = "http://workstation.local/v3";
+    batch.push_back(replacement);
+    const auto receipts = directory_.publish_batch(std::move(batch));
+
+    ASSERT_EQ(receipts.size(), 2u);
+    EXPECT_EQ(directory_.service_count(), 1u);
+    EXPECT_EQ(directory_.service(original), nullptr);
+    EXPECT_EQ(directory_.service(receipts[0].id), nullptr);
+    ASSERT_NE(directory_.service(receipts[1].id), nullptr);
+    EXPECT_EQ(directory_.service(receipts[1].id)->grounding.address,
+              "http://workstation.local/v3");
+
+    desc::ServiceRequest request;
+    request.capabilities.push_back(th::get_video_stream());
+    ASSERT_EQ(directory_.query(request).per_capability.size(), 1u);
+    EXPECT_EQ(directory_.query(request).per_capability[0].size(), 1u);
+}
+
+TEST_F(DirectoryFixture, PublishBatchRejectsWholeBatchOnBadMember) {
+    // All-or-nothing: a version-mismatched member leaves the directory
+    // untouched.
+    desc::ServiceDescription good = th::workstation_service();
+    desc::ServiceDescription bad = th::workstation_service();
+    bad.profile.service_name = "Stale";
+    bad.profile.capabilities[0].code_version = 0xDEADBEEF;  // never current
+    std::vector<desc::ServiceDescription> batch{good, bad};
+    EXPECT_THROW(directory_.publish_batch(std::move(batch)),
+                 VersionMismatchError);
+    EXPECT_EQ(directory_.service_count(), 0u);
+    EXPECT_EQ(directory_.summary().set_bit_count(), 0u);
+}
+
+TEST_F(DirectoryFixture, RemovalSkipsSummaryRebuildWhileSetsStillHeld) {
+    // Two services feed identical URI sets into the summary; removing one
+    // must keep the filter exactly equal to a directory that only ever
+    // saw the survivor (refcounted sets — no rebuild, no stale bits).
+    const ServiceId first = directory_.publish(th::workstation_service()).id;
+    desc::ServiceDescription twin = th::workstation_service();
+    twin.profile.service_name = "Workstation-b";
+    directory_.publish(twin);
+
+    SemanticDirectory survivor_only(kb_);
+    survivor_only.publish(twin);
+
+    EXPECT_TRUE(directory_.remove(first));
+    EXPECT_TRUE(directory_.summary() == survivor_only.summary());
+}
+
 TEST_F(DirectoryFixture, UnsatisfiableRequestReturnsEmpty) {
     directory_.publish(th::workstation_service());
     desc::ServiceRequest request;

@@ -14,6 +14,7 @@
 //     --duration-ms D     measured window per worker (default 10000)
 //     --window W          pipelined in-flight ops per worker (default 128)
 //     --publish-ratio R   fraction of ops that are publishes (default 0.05)
+//     --publish-batch B   docs per pub-batch frame (default 1 = plain pub)
 //     --services N        distinct services/request templates (default 8)
 //     --universe N        ontologies (default 6 — must match the daemon)
 //     --classes N         classes per ontology (default 24 — must match)
@@ -62,6 +63,7 @@ struct Options {
     double duration_ms = 10000;
     std::size_t window = 128;
     double publish_ratio = 0.05;
+    std::size_t publish_batch = 1;
     std::size_t services = 8;
     std::size_t universe = 6;
     std::size_t classes = 24;
@@ -74,8 +76,8 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s --port P [--host H] [--threads N] "
                  "[--duration-ms D] [--window W] [--publish-ratio R] "
-                 "[--services N] [--universe N] [--classes N] [--seed S] "
-                 "[--out FILE] [--name KEY]\n",
+                 "[--publish-batch B] [--services N] [--universe N] "
+                 "[--classes N] [--seed S] [--out FILE] [--name KEY]\n",
                  argv0);
     return 2;
 }
@@ -238,6 +240,32 @@ WorkerResult run_worker(const Options& options, const Documents& docs,
                 const std::size_t doc = rng.next() % docs.services.size();
                 ariadne::wire::WireMessage message;
                 if (rng.next() % 1000 < publish_cut) {
+                    if (options.publish_batch > 1) {
+                        // Batched publish: one pub-batch frame carries up
+                        // to B documents, each with its own pub_id so the
+                        // per-doc acks settle individual inflight entries.
+                        const std::size_t room =
+                            options.window - inflight.size();
+                        const std::size_t count =
+                            std::min(options.publish_batch, room);
+                        ariadne::wire::PublishBatch payload;
+                        payload.docs.reserve(count);
+                        const auto staged_at = Clock::now();
+                        for (std::size_t k = 0; k < count; ++k) {
+                            const std::uint64_t doc_id =
+                                k == 0 ? id : id_base | ++seq;
+                            const std::size_t pick =
+                                rng.next() % docs.services.size();
+                            payload.docs.push_back(ariadne::wire::PublishDoc{
+                                docs.services[pick], doc_id});
+                            inflight.emplace(doc_id, staged_at);
+                            ++result.publishes;
+                        }
+                        message.type = ariadne::wire::MsgType::kPublishBatch;
+                        message.payload = std::move(payload);
+                        client.stage(message);
+                        continue;
+                    }
                     message.type = ariadne::wire::MsgType::kPublish;
                     message.payload =
                         ariadne::wire::PublishDoc{docs.services[doc], id};
@@ -285,12 +313,28 @@ WorkerResult run_worker(const Options& options, const Documents& docs,
 /// connection — the measured phase then queries a warm directory.
 void warm_directory(const Options& options, const Documents& docs) {
     WireClient client(options.host, options.port);
-    for (std::size_t i = 0; i < docs.services.size(); ++i) {
-        ariadne::wire::WireMessage message;
-        message.type = ariadne::wire::MsgType::kPublish;
-        message.payload = ariadne::wire::PublishDoc{
-            docs.services[i], static_cast<std::uint64_t>(i) + 1};
-        client.stage(message);
+    if (options.publish_batch > 1) {
+        ariadne::wire::PublishBatch payload;
+        for (std::size_t i = 0; i < docs.services.size(); ++i) {
+            payload.docs.push_back(ariadne::wire::PublishDoc{
+                docs.services[i], static_cast<std::uint64_t>(i) + 1});
+            if (payload.docs.size() == options.publish_batch ||
+                i + 1 == docs.services.size()) {
+                ariadne::wire::WireMessage message;
+                message.type = ariadne::wire::MsgType::kPublishBatch;
+                message.payload = std::move(payload);
+                client.stage(message);
+                payload = {};
+            }
+        }
+    } else {
+        for (std::size_t i = 0; i < docs.services.size(); ++i) {
+            ariadne::wire::WireMessage message;
+            message.type = ariadne::wire::MsgType::kPublish;
+            message.payload = ariadne::wire::PublishDoc{
+                docs.services[i], static_cast<std::uint64_t>(i) + 1};
+            client.stage(message);
+        }
     }
     client.flush();
     std::size_t acked = 0;
@@ -326,6 +370,8 @@ int main(int argc, char** argv) {
             options.window = std::strtoul(next(), nullptr, 10);
         } else if (flag == "--publish-ratio") {
             options.publish_ratio = std::strtod(next(), nullptr);
+        } else if (flag == "--publish-batch") {
+            options.publish_batch = std::strtoul(next(), nullptr, 10);
         } else if (flag == "--services") {
             options.services = std::strtoul(next(), nullptr, 10);
         } else if (flag == "--universe") {
@@ -417,10 +463,10 @@ int main(int argc, char** argv) {
             value, sizeof(value),
             "{\"ops_per_sec\": %.0f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
             "\"samples\": %llu, \"threads\": %zu, \"window\": %zu, "
-            "\"satisfied\": %llu}",
+            "\"publish_batch\": %zu, \"satisfied\": %llu}",
             ops_per_sec, latency.p50_us, latency.p99_us,
             static_cast<unsigned long long>(latency.samples), options.threads,
-            options.window,
+            options.window, options.publish_batch,
             static_cast<unsigned long long>(total.satisfied));
         bench::upsert_bench_json(options.out, options.name, value);
         std::printf("loadgen: wrote %s[%s]\n", options.out.c_str(),
