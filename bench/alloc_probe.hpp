@@ -1,0 +1,113 @@
+// Global-allocation probe for the zero-allocation gates: replaces the
+// global operator new family with malloc wrappers that bump a process-wide
+// counter, so a bench can assert that a steady-state code region performs
+// exactly zero heap allocations (the arena-vs-heap distinction the
+// `matching.query_allocs` metric tracks from the inside, observed from the
+// outside).
+//
+// Include from exactly ONE translation unit per binary: the operators are
+// non-inline definitions (the standard requires replacement functions not
+// be inline), so a second including TU is an ODR violation at link time.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace sariadne::bench_alloc {
+
+inline std::atomic<std::uint64_t> g_allocations{0};
+
+/// Allocations performed by this process so far (monotone).
+inline std::uint64_t allocations() noexcept {
+    return g_allocations.load(std::memory_order_relaxed);
+}
+
+inline void* counted_alloc(std::size_t size) noexcept {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size != 0 ? size : 1);
+}
+
+inline void* counted_aligned_alloc(std::size_t size,
+                                   std::size_t alignment) noexcept {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (alignment < sizeof(void*)) alignment = sizeof(void*);
+    void* p = nullptr;
+    if (::posix_memalign(&p, alignment, size != 0 ? size : alignment) != 0) {
+        return nullptr;
+    }
+    return p;
+}
+
+}  // namespace sariadne::bench_alloc
+
+// The nothrow and (on this toolchain) aligned-nothrow forms forward to the
+// ordinary/aligned replacements per [new.delete], so replacing the four
+// throwing operators below counts every allocation path.
+//
+// noinline keeps the optimizer from folding the malloc/free bodies into
+// call sites, which would both defeat the count and trip
+// -Wmismatched-new-delete (free of a pointer it believes came from a
+// pristine operator new).
+#define SARIADNE_ALLOC_PROBE_FN __attribute__((noinline))
+
+SARIADNE_ALLOC_PROBE_FN void* operator new(std::size_t size) {
+    if (void* p = sariadne::bench_alloc::counted_alloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+SARIADNE_ALLOC_PROBE_FN void* operator new[](std::size_t size) {
+    if (void* p = sariadne::bench_alloc::counted_alloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+SARIADNE_ALLOC_PROBE_FN void* operator new(std::size_t size,
+                                           std::align_val_t alignment) {
+    if (void* p = sariadne::bench_alloc::counted_aligned_alloc(
+            size, static_cast<std::size_t>(alignment))) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+SARIADNE_ALLOC_PROBE_FN void* operator new[](std::size_t size,
+                                             std::align_val_t alignment) {
+    if (void* p = sariadne::bench_alloc::counted_aligned_alloc(
+            size, static_cast<std::size_t>(alignment))) {
+        return p;
+    }
+    throw std::bad_alloc();
+}
+
+SARIADNE_ALLOC_PROBE_FN void operator delete(void* p) noexcept {
+    std::free(p);
+}
+SARIADNE_ALLOC_PROBE_FN void operator delete[](void* p) noexcept {
+    std::free(p);
+}
+SARIADNE_ALLOC_PROBE_FN void operator delete(void* p, std::size_t) noexcept {
+    std::free(p);
+}
+SARIADNE_ALLOC_PROBE_FN void operator delete[](void* p, std::size_t) noexcept {
+    std::free(p);
+}
+SARIADNE_ALLOC_PROBE_FN void operator delete(void* p,
+                                             std::align_val_t) noexcept {
+    std::free(p);
+}
+SARIADNE_ALLOC_PROBE_FN void operator delete[](void* p,
+                                               std::align_val_t) noexcept {
+    std::free(p);
+}
+SARIADNE_ALLOC_PROBE_FN void operator delete(void* p, std::size_t,
+                                             std::align_val_t) noexcept {
+    std::free(p);
+}
+SARIADNE_ALLOC_PROBE_FN void operator delete[](void* p, std::size_t,
+                                               std::align_val_t) noexcept {
+    std::free(p);
+}
+
+#undef SARIADNE_ALLOC_PROBE_FN

@@ -75,6 +75,16 @@ struct LatencyStats {
     std::uint64_t samples = 0;
 };
 
+/// Nearest-rank percentile index into a sorted sample of size n:
+/// ceil(p/100 * n) - 1. For n=1 every percentile reads the sole sample;
+/// for n=100, p50 reads index 49 and p99 index 98 — the n/2-style
+/// shortcuts read one element high for small n, which skews the
+/// BENCH_*.json trajectories that gate future PRs.
+inline std::size_t percentile_index(std::size_t n, unsigned percentile) {
+    const std::size_t rank = (n * percentile + 99) / 100;  // ceil
+    return rank == 0 ? 0 : rank - 1;
+}
+
 /// Reduces per-operation latency samples (microseconds) to LatencyStats.
 /// Sorts `us_samples` in place.
 inline LatencyStats summarize_us(std::vector<double>& us_samples) {
@@ -83,12 +93,12 @@ inline LatencyStats summarize_us(std::vector<double>& us_samples) {
     std::sort(us_samples.begin(), us_samples.end());
     const std::size_t n = us_samples.size();
     stats.samples = n;
-    stats.p50_us = us_samples[n / 2];
-    stats.p99_us = us_samples[std::min(n - 1, (n * 99) / 100)];
+    stats.p50_us = us_samples[percentile_index(n, 50)];
+    stats.p99_us = us_samples[percentile_index(n, 99)];
     // Throughput over the samples at or below p99: scheduler preemptions
     // on shared runners show up as rare 100x spikes that would otherwise
     // dominate the mean.
-    const std::size_t kept = std::min(n, (n * 99) / 100 + 1);
+    const std::size_t kept = percentile_index(n, 99) + 1;
     double total_us = 0;
     for (std::size_t i = 0; i < kept; ++i) total_us += us_samples[i];
     stats.ops_per_sec =

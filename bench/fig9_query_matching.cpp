@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "alloc_probe.hpp"
 #include "bench_util.hpp"
 #include "directory/flat_directory.hpp"
 #include "directory/semantic_directory.hpp"
@@ -44,6 +45,8 @@ int main() {
     double flat_at_100 = 0;
     double overhead_sum = 0;
     int overhead_points = 0;
+    bench::LatencyStats reuse_at_500;
+    std::uint64_t heap_allocs_at_500 = ~0ULL;
 
     // 10..100 reproduces the paper's figure; 200 and 500 extend the sweep
     // to directory sizes where quick-reject pruning has room to work.
@@ -107,14 +110,24 @@ int main() {
 
         // Per-request latency distribution for the consolidated matching
         // report, at the paper's largest point and at the extended points.
+        // The allocating API, the buffer-reusing API and the flat scan are
+        // sampled interleaved (A/B/flat per repetition) so all three see
+        // the same scheduler and cache conditions.
         if (count == 100 || count == 200 || count == 500) {
             std::vector<double> semantic_us;
+            std::vector<double> reuse_us;
             std::vector<double> flat_us;
+            directory::QueryResult reused;
             for (int rep = 0; rep < 9; ++rep) {
                 for (const auto& request : requests) {
                     Stopwatch stopwatch;
                     (void)semantic.query_resolved(request);
                     semantic_us.push_back(stopwatch.elapsed_ms() * 1000.0);
+                }
+                for (const auto& request : requests) {
+                    Stopwatch stopwatch;
+                    semantic.query_resolved(request, {}, reused);
+                    reuse_us.push_back(stopwatch.elapsed_ms() * 1000.0);
                 }
                 for (const auto& request : requests) {
                     directory::MatchStats stats;
@@ -129,8 +142,65 @@ int main() {
                                      "fig9.semantic_query_" + suffix,
                                      bench::summarize_us(semantic_us));
             bench::upsert_bench_json("BENCH_matching.json",
+                                     "fig9.semantic_query_reuse_" + suffix,
+                                     bench::summarize_us(reuse_us));
+            bench::upsert_bench_json("BENCH_matching.json",
                                      "fig9.flat_query_" + suffix,
                                      bench::summarize_us(flat_us));
+        }
+
+        // Tail-latency + allocation gate at the largest point: with warm
+        // buffers the reuse API must answer every query without touching
+        // the heap, and its p99 must stay within 2x of its p50 — the
+        // "nearly constant" claim sharpened into a tail bound.
+        if (count == 500) {
+            directory::QueryResult reused;
+            for (int warm = 0; warm < 4; ++warm) {
+                for (const auto& request : requests) {
+                    semantic.query_resolved(request, {}, reused);
+                }
+            }
+            // Batch-amortized per-op latency, same rationale as
+            // bench::sample_kernel: a sub-microsecond query timed one call
+            // at a time mostly measures scheduler preemptions and timer
+            // granularity. Each sample runs the full request set several
+            // times inside one stopwatch, so every sample measures the
+            // identical workload mix — a partial batch would make the p99
+            // track which requests a batch happened to contain rather
+            // than the matcher's tail — and the window is wide enough
+            // (tens of microseconds) that an OS timer tick landing inside
+            // it is amortized instead of doubling the sample. The vector
+            // is pre-reserved and the stats are reduced after the loop,
+            // so the measured region performs no allocations of its own.
+            constexpr int kGateSamples = 2000;
+            constexpr int kGatePasses = 5;
+            const int gate_batch =
+                kGatePasses * static_cast<int>(requests.size());
+            std::vector<double> gate_us;
+            gate_us.reserve(kGateSamples);
+            const std::uint64_t heap_before = bench_alloc::allocations();
+            for (int s = 0; s < kGateSamples; ++s) {
+                Stopwatch stopwatch;
+                for (int pass = 0; pass < kGatePasses; ++pass) {
+                    for (const auto& request : requests) {
+                        semantic.query_resolved(request, {}, reused);
+                    }
+                }
+                gate_us.push_back(stopwatch.elapsed_ms() * 1000.0 /
+                                  gate_batch);
+            }
+            heap_allocs_at_500 = bench_alloc::allocations() - heap_before;
+            reuse_at_500 = bench::summarize_us(gate_us);
+            bench::upsert_bench_json("BENCH_matching.json",
+                                     "fig9.semantic_query_gate_500",
+                                     reuse_at_500);
+            std::printf(
+                "\n500-service reuse-API gate: p50 %.3fus p99 %.3fus "
+                "(batch-amortized /%d), %llu heap alloc(s) across %d "
+                "queries\n",
+                reuse_at_500.p50_us, reuse_at_500.p99_us, gate_batch,
+                static_cast<unsigned long long>(heap_allocs_at_500),
+                kGateSamples * gate_batch);
         }
     }
 
@@ -147,6 +217,11 @@ int main() {
                  "optimized matching stays within a few milliseconds");
     checks.check(opt_at_100 < 3.0 * opt_at_10 + 0.05,
                  "optimized matching nearly constant in directory size");
+    checks.check(heap_allocs_at_500 == 0,
+                 "warmed-up reuse-API queries at 500 services perform zero "
+                 "heap allocations");
+    checks.check(reuse_at_500.p99_us <= 2.0 * reuse_at_500.p50_us,
+                 "reuse-API p99 within 2x p50 at 500 services");
     std::printf("\n");
     return checks.finish("fig9_query_matching");
 }

@@ -7,11 +7,14 @@
 #include <cstdio>
 #include <vector>
 
+#include "alloc_probe.hpp"
 #include "bench_util.hpp"
 #include "bloom/bloom_filter.hpp"
 #include "description/conversation.hpp"
 #include "directory/flat_directory.hpp"
 #include "directory/semantic_directory.hpp"
+#include "encoding/interval.hpp"
+#include "matching/match.hpp"
 #include "matching/oracles.hpp"
 #include "workload/ontology_gen.hpp"
 #include "workload/service_gen.hpp"
@@ -211,9 +214,14 @@ void BM_BloomInsertAndProbe(benchmark::State& state) {
 BENCHMARK(BM_BloomInsertAndProbe);
 
 /// Consolidated matching-kernel report: ops/sec + p50/p99 per-op latency
-/// for the distance kernel, both match_capability paths and a 500-service
-/// directory query, upserted into BENCH_matching.json (shared with fig9).
-void write_matching_report(const std::string& path) {
+/// for the distance kernel, the raw interval-merge kernels, all three
+/// match_capability entry points and a 500-service directory query (both
+/// the allocating and the buffer-reusing API, sampled interleaved so they
+/// share scheduler/cache conditions), upserted into BENCH_matching.json
+/// (shared with fig9). Returns the zero-allocation gate's exit code:
+/// nonzero when a warmed-up reuse-API query touched the heap or reported a
+/// nonzero MatchStats::scratch_allocs.
+int write_matching_report(const std::string& path) {
     auto& f = fixture();
     const auto& table = f.kb.code_table(0);
     const auto n = static_cast<onto::ConceptId>(table.class_count());
@@ -248,27 +256,137 @@ void write_matching_report(const std::string& path) {
     bench::upsert_bench_json(path, "kernel.capability_match_fast_path",
                              fast_stats);
 
+    // The prechecked kernel the DAG walk dispatches to once it has proven
+    // the freshness guard for a whole query — match_capability minus the
+    // two tag compares and the virtual-call fallback branch.
+    const auto encoded_stats = bench::sample_kernel(2000, 256, [&] {
+        benchmark::DoNotOptimize(
+            matching::match_capability_encoded(provided, required, oracle));
+    });
+    bench::upsert_bench_json(path, "kernel.capability_match_encoded",
+                             encoded_stats);
+
+    // The innermost two-pointer merges over contiguous interval spans —
+    // the vectorizable core every capability match reduces to.
+    bench::LatencyStats merge_stats;
+    const desc::CodeSignature& ps = provided.signature;
+    const desc::CodeSignature& rs = required.signature;
+    if (!ps.inputs.empty() && !rs.inputs.empty()) {
+        const desc::CodedConceptSpan& outer_span = ps.inputs.front();
+        const desc::CodedConceptSpan& inner_span = rs.inputs.front();
+        const encoding::CodedInterval* outer =
+            ps.intervals.data() + outer_span.begin;
+        const encoding::CodedInterval* inner =
+            rs.intervals.data() + inner_span.begin;
+        merge_stats = bench::sample_kernel(2000, 1024, [&] {
+            benchmark::DoNotOptimize(encoding::packed_contains(
+                outer, outer_span.count, inner, inner_span.count));
+            benchmark::DoNotOptimize(encoding::packed_distance(
+                outer, outer_span.count, inner, inner_span.count));
+        });
+        bench::upsert_bench_json(path, "kernel.interval_merge", merge_stats);
+    }
+
     directory::SemanticDirectory directory(f.kb);
     for (std::size_t i = 0; i < 500; ++i) {
         directory.publish(f.workload.service(i));
     }
     const auto resolved =
         desc::resolve_request(f.workload.matching_request(3), f.kb);
-    const auto query_stats = bench::sample_kernel(1500, 8, [&] {
-        benchmark::DoNotOptimize(directory.query_resolved(resolved));
-    });
+
+    // Interleaved A/B: the allocating API (fresh QueryResult per call)
+    // against the reuse API (one QueryResult across the run), alternating
+    // batches so both see the same scheduler and cache conditions.
+    directory::QueryResult reused;
+    std::vector<double> alloc_us;
+    std::vector<double> reuse_us;
+    for (int s = 0; s < 1500; ++s) {
+        {
+            Stopwatch stopwatch;
+            for (int i = 0; i < 8; ++i) {
+                benchmark::DoNotOptimize(directory.query_resolved(resolved));
+            }
+            alloc_us.push_back(stopwatch.elapsed_ms() * 1000.0 / 8);
+        }
+        {
+            Stopwatch stopwatch;
+            for (int i = 0; i < 8; ++i) {
+                directory.query_resolved(resolved, {}, reused);
+                benchmark::DoNotOptimize(reused.stats.capability_matches);
+            }
+            reuse_us.push_back(stopwatch.elapsed_ms() * 1000.0 / 8);
+        }
+    }
+    const auto query_stats = bench::summarize_us(alloc_us);
+    const auto reuse_stats = bench::summarize_us(reuse_us);
     bench::upsert_bench_json(path, "directory.semantic_query_500",
                              query_stats);
+    bench::upsert_bench_json(path, "directory.semantic_query_500_reuse",
+                             reuse_stats);
+
+    // Zero-allocation gate: once the arena chunks and the result buffers
+    // are warm, a reuse-API query must perform no heap allocation at all —
+    // observed from outside via the global operator-new probe and from
+    // inside via MatchStats::scratch_allocs. Warm over several request
+    // shapes so string/vector capacities converge before measuring.
+    std::vector<std::vector<desc::ResolvedCapability>> gate_requests;
+    for (std::size_t r = 0; r < 8; ++r) {
+        gate_requests.push_back(
+            desc::resolve_request(f.workload.matching_request(r * 13), f.kb));
+    }
+    for (int warm = 0; warm < 4; ++warm) {
+        for (const auto& request : gate_requests) {
+            directory.query_resolved(request, {}, reused);
+        }
+    }
+    constexpr int kGateRounds = 32;
+    std::uint64_t scratch_allocs = 0;
+    const std::uint64_t heap_before = bench_alloc::allocations();
+    for (int round = 0; round < kGateRounds; ++round) {
+        for (const auto& request : gate_requests) {
+            directory.query_resolved(request, {}, reused);
+            scratch_allocs += reused.stats.scratch_allocs;
+        }
+    }
+    const std::uint64_t heap_allocs =
+        bench_alloc::allocations() - heap_before;
+    const std::uint64_t gate_queries =
+        static_cast<std::uint64_t>(kGateRounds) * gate_requests.size();
+    char allocs_json[128];
+    std::snprintf(allocs_json, sizeof(allocs_json),
+                  "{\"queries\": %llu, \"heap_allocs\": %llu, "
+                  "\"scratch_allocs\": %llu}",
+                  static_cast<unsigned long long>(gate_queries),
+                  static_cast<unsigned long long>(heap_allocs),
+                  static_cast<unsigned long long>(scratch_allocs));
+    bench::upsert_bench_json(path, "directory.query_allocs_steady_state",
+                             allocs_json);
 
     std::printf("\nBENCH_matching.json updated (%s):\n", path.c_str());
     std::printf("  kernel.encoded_distance            %s\n",
                 bench::to_json(distance_stats).c_str());
+    std::printf("  kernel.interval_merge              %s\n",
+                bench::to_json(merge_stats).c_str());
     std::printf("  kernel.capability_match_oracle     %s\n",
                 bench::to_json(slow_stats).c_str());
     std::printf("  kernel.capability_match_fast_path  %s\n",
                 bench::to_json(fast_stats).c_str());
+    std::printf("  kernel.capability_match_encoded    %s\n",
+                bench::to_json(encoded_stats).c_str());
     std::printf("  directory.semantic_query_500       %s\n",
                 bench::to_json(query_stats).c_str());
+    std::printf("  directory.semantic_query_500_reuse %s\n",
+                bench::to_json(reuse_stats).c_str());
+    std::printf("  directory.query_allocs_steady_state %s\n", allocs_json);
+
+    bench::ShapeChecks checks;
+    checks.check(heap_allocs == 0,
+                 "steady-state reuse-API queries perform zero heap "
+                 "allocations");
+    checks.check(scratch_allocs == 0,
+                 "steady-state queries report zero arena chunk growth "
+                 "(MatchStats::scratch_allocs)");
+    return checks.finish("micro_kernels");
 }
 
 }  // namespace
@@ -278,6 +396,5 @@ int main(int argc, char** argv) {
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    write_matching_report("BENCH_matching.json");
-    return 0;
+    return write_matching_report("BENCH_matching.json");
 }

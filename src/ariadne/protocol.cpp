@@ -783,22 +783,26 @@ std::uint64_t DiscoveryNetwork::discover(NodeId client, std::string request_xml)
     return id;
 }
 
-namespace {
-
-/// Runs the local query of one directory; returns per-capability hits and
-/// fills `compute_ms` with the real time spent.
-std::vector<std::vector<MatchHit>> local_query(
-    DiscoveryNetwork& network, directory::SemanticDirectory* semdir,
+std::vector<std::vector<MatchHit>> DiscoveryNetwork::local_query(
+    directory::SemanticDirectory* semdir,
     directory::SyntacticDirectory* syndir, const std::string& document,
     double& compute_ms) {
     if (semdir != nullptr) {
-        // Skip the XML parse on repeat documents (the dominant per-request
-        // cost on a hot directory — rediscovery and retries resend the
-        // same bytes); resolution and matching always run fresh against
-        // the current knowledge base and directory content.
-        auto result = semdir->query(network.parsed_request(document));
-        compute_ms = result.timing.total_ms();
-        return std::move(result.per_capability);
+        // Skip the XML parse and signature resolution on repeat documents
+        // (the dominant per-request costs on a hot directory — rediscovery
+        // and retries resend the same bytes); matching always runs fresh
+        // against the current directory content, into the reactor's reused
+        // result scratch so a pipelined burst allocates no result buffers.
+        const PreparedRequest& prepared = prepared_request(document);
+        semdir->query_prepared(prepared.request, prepared.resolved, {},
+                               local_query_scratch_);
+        compute_ms = local_query_scratch_.timing.total_ms();
+        std::vector<std::vector<MatchHit>> per_capability;
+        per_capability.reserve(local_query_scratch_.per_capability.size());
+        for (const auto& hits : local_query_scratch_.per_capability) {
+            per_capability.emplace_back(hits.begin(), hits.end());
+        }
+        return per_capability;
     }
     directory::QueryTiming timing;
     auto hits = syndir->query_xml(document, timing);
@@ -807,6 +811,8 @@ std::vector<std::vector<MatchHit>> local_query(
     per_capability.push_back(std::move(hits));
     return per_capability;
 }
+
+namespace {
 
 bool all_satisfied(const std::vector<std::vector<MatchHit>>& per_capability) {
     if (per_capability.empty()) return false;
@@ -853,16 +859,30 @@ std::vector<NodeId> DiscoveryNetwork::forward_targets(
     return targets;
 }
 
-const desc::ServiceRequest& DiscoveryNetwork::parsed_request(
+const DiscoveryNetwork::PreparedRequest& DiscoveryNetwork::prepared_request(
     const std::string& document) {
+    const std::uint64_t env_tag = kb_->environment_tag();
     const auto it = request_parse_cache_.find(document);
-    if (it != request_parse_cache_.end()) return it->second;
+    if (it != request_parse_cache_.end()) {
+        PreparedRequest& prepared = it->second;
+        if (prepared.env_tag != env_tag) {
+            // The knowledge base moved under the memo (ontology registered
+            // or upgraded): the parse is still valid — it depends only on
+            // the document bytes — but the resolution must be redone.
+            prepared.resolved = desc::resolve_request(prepared.request, *kb_);
+            prepared.env_tag = env_tag;
+        }
+        return prepared;
+    }
     // Wholesale reset keeps the memo bounded without eviction bookkeeping:
     // a hostile peer cycling unique documents degrades to parse-per-request
     // (the uncached behaviour), never to unbounded memory.
     if (request_parse_cache_.size() >= 512) request_parse_cache_.clear();
-    return request_parse_cache_
-        .emplace(document, desc::parse_request(document))
+    PreparedRequest prepared;
+    prepared.request = desc::parse_request(document);
+    prepared.resolved = desc::resolve_request(prepared.request, *kb_);
+    prepared.env_tag = env_tag;
+    return request_parse_cache_.emplace(document, std::move(prepared))
         .first->second;
 }
 
@@ -890,7 +910,7 @@ void DiscoveryNetwork::handle_request(NodeId self, const Message& msg) {
     // hostile client cannot take the directory down.
     auto queried =
         support::catching<std::vector<std::vector<MatchHit>>>([&] {
-            return local_query(*this, state.semdir.get(), state.syndir.get(),
+            return local_query(state.semdir.get(), state.syndir.get(),
                                request.document, compute_ms);
         });
     if (!queried) {
@@ -961,9 +981,9 @@ void DiscoveryNetwork::handle_forward(NodeId self, const Message& msg) {
         // origin's `outstanding` count always settles.
         const auto queried =
             support::catching<bool>([&] {
-                reply.per_capability = local_query(
-                    *this, state.semdir.get(), state.syndir.get(),
-                    forward.document, reply.compute_ms);
+                reply.per_capability =
+                    local_query(state.semdir.get(), state.syndir.get(),
+                                forward.document, reply.compute_ms);
                 return true;
             });
         if (!queried && metrics_.malformed_requests) {

@@ -191,13 +191,25 @@ public:
     Result<std::uint64_t> try_discover(net::NodeId client,
                                        std::string request_xml);
 
-    /// Parse-memoized request document. Directories see the same request
-    /// documents repeatedly (periodic rediscovery, retries, forwarded
-    /// copies), and desc::parse_request is pure — the parse depends only
-    /// on the document bytes, never on the knowledge base — so the result
-    /// is cached verbatim with no invalidation concern. Reactor-thread
-    /// only, like every handler (see the Transport threading contract).
-    const desc::ServiceRequest& parsed_request(const std::string& document);
+    /// A request document prepared for matching: parsed once and resolved
+    /// against the knowledge base, so repeat documents (periodic
+    /// rediscovery, retries, forwarded copies) skip both the XML parse and
+    /// the per-capability signature resolution on the query hot path.
+    struct PreparedRequest {
+        desc::ServiceRequest request;
+        std::vector<desc::ResolvedCapability> resolved;
+        /// KnowledgeBase::environment_tag at resolution time; a mismatch
+        /// (ontology registered/upgraded since) forces a re-resolve.
+        std::uint64_t env_tag = 0;
+    };
+
+    /// Parse+resolve-memoized request document. desc::parse_request is
+    /// pure — the parse depends only on the document bytes — so the parsed
+    /// request is cached verbatim; the resolution additionally depends on
+    /// the knowledge base and is stamped with its environment tag and
+    /// refreshed when that tag moves. Reactor-thread only, like every
+    /// handler (see the Transport threading contract).
+    const PreparedRequest& prepared_request(const std::string& document);
 
     /// Drives the transport for `duration_ms` (virtual or real ms).
     void run_for(net::SimTime duration_ms);
@@ -286,6 +298,14 @@ private:
     void finish_request(net::NodeId directory_node, PendingRequest& pending);
     std::vector<net::NodeId> forward_targets(net::NodeId self,
                                              const std::string& request_xml);
+    /// Runs the local query of one directory (semantic or syntactic);
+    /// returns per-capability hits and fills `compute_ms` with the real
+    /// time spent. The semantic branch replays the memoized parse+resolve
+    /// into the reactor's reused QueryResult scratch.
+    std::vector<std::vector<directory::MatchHit>> local_query(
+        directory::SemanticDirectory* semdir,
+        directory::SyntacticDirectory* syndir, const std::string& document,
+        double& compute_ms);
 
     /// Cached registry handles; all null when uninstrumented.
     struct Metrics {
@@ -330,9 +350,13 @@ private:
     std::vector<std::unique_ptr<NodeState>> nodes_;
     std::unordered_map<std::uint64_t, DiscoveryOutcome> outcomes_;
     std::unordered_map<std::uint64_t, RetryState> retry_state_;
-    /// parsed_request memo; bounded by wholesale reset (distinct request
+    /// prepared_request memo; bounded by wholesale reset (distinct request
     /// documents in any deployment are few, so eviction order is moot).
-    std::unordered_map<std::string, desc::ServiceRequest> request_parse_cache_;
+    std::unordered_map<std::string, PreparedRequest> request_parse_cache_;
+    /// Reactor-thread query scratch: one QueryResult reused across every
+    /// local semantic query, so a pipelined request burst recycles the hit
+    /// vectors/strings instead of reallocating them per message.
+    directory::QueryResult local_query_scratch_;
     std::uint64_t next_request_id_ = 1;
     std::uint64_t next_pub_id_ = 1;
     /// Retransmit-jitter source; consulted only on acknowledged-publish

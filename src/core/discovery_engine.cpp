@@ -95,6 +95,41 @@ Result<DiscoveryEngine::DiscoveryRows> DiscoveryEngine::try_discover(
         [&] { return discover(request_xml, options); });
 }
 
+std::vector<DiscoveryEngine::DiscoveryRows> DiscoveryEngine::discover_batch(
+    const std::vector<desc::ServiceRequest>& requests,
+    const QueryOptions& options) {
+    std::vector<DiscoveryRows> all;
+    all.reserve(requests.size());
+    // One QueryResult for the whole burst: query_prepared overwrites it in
+    // place, recycling the per-capability vectors and hit strings, so the
+    // matching itself allocates nothing once the buffers are warm (the
+    // returned DiscoveryRows are fresh — they cross the API boundary).
+    directory::QueryResult scratch;
+    for (const desc::ServiceRequest& request : requests) {
+        Stopwatch stopwatch;
+        directory_->query_prepared(request,
+                                   desc::resolve_request(request, *kb_),
+                                   options, scratch);
+        DiscoveryRows rows = to_discoveries(scratch);
+        record_discovery(rows, options, stopwatch.elapsed_ms());
+        all.push_back(std::move(rows));
+    }
+    return all;
+}
+
+Result<std::vector<DiscoveryEngine::DiscoveryRows>>
+DiscoveryEngine::try_discover_batch(const std::vector<std::string>& request_xmls,
+                                    const QueryOptions& options) {
+    return catching<std::vector<DiscoveryRows>>([&] {
+        std::vector<desc::ServiceRequest> requests;
+        requests.reserve(request_xmls.size());
+        for (const std::string& xml : request_xmls) {
+            requests.push_back(desc::parse_request(xml));
+        }
+        return discover_batch(requests, options);
+    });
+}
+
 directory::QueryResult DiscoveryEngine::query_parallel(
     const desc::ServiceRequest& request, const QueryOptions& options) {
     const auto resolved = desc::resolve_request(request, kb_->registry());
@@ -130,6 +165,7 @@ directory::QueryResult DiscoveryEngine::query_parallel(
         result.stats.dags_pruned += stats.dags_pruned;
         result.stats.quick_rejects += stats.quick_rejects;
         result.stats.reachability_prunes += stats.reachability_prunes;
+        result.stats.scratch_allocs += stats.scratch_allocs;
     }
     if (options.require_all_capabilities && !result.fully_satisfied()) {
         for (auto& hits : result.per_capability) hits.clear();

@@ -130,6 +130,22 @@ public:
     Result<DiscoveryRows> try_discover(std::string_view request_xml,
                                        const QueryOptions& options = {});
 
+    /// Matches a pipelined burst of requests in one call, reusing a single
+    /// QueryResult (and its hit vectors/strings) across the whole burst so
+    /// per-request result-buffer allocations amortize to zero; each request
+    /// still counts as one discovery in the metrics. Answers come back in
+    /// request order.
+    std::vector<DiscoveryRows> discover_batch(
+        const std::vector<desc::ServiceRequest>& requests,
+        const QueryOptions& options = {});
+
+    /// Non-throwing burst discover from XML documents. All-or-nothing on
+    /// parse: a malformed member rejects the whole batch before any
+    /// matching runs.
+    Result<std::vector<DiscoveryRows>> try_discover_batch(
+        const std::vector<std::string>& request_xmls,
+        const QueryOptions& options = {});
+
     encoding::KnowledgeBase& knowledge_base() noexcept { return *kb_; }
     directory::SemanticDirectory& directory() noexcept { return *directory_; }
     const directory::SemanticDirectory& directory() const noexcept {

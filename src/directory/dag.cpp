@@ -1,8 +1,10 @@
 #include "directory/dag.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <queue>
 
+#include "support/arena.hpp"
 #include "support/contracts.hpp"
 
 namespace sariadne::directory {
@@ -16,6 +18,23 @@ bool contains(const std::vector<VertexId>& items, VertexId value) {
 void erase_value(std::vector<VertexId>& items, VertexId value) {
     items.erase(std::remove(items.begin(), items.end(), value), items.end());
 }
+
+/// FIFO over arena storage — the BFS frontier of classification and query
+/// traversals. Pops advance a head index instead of shifting elements; the
+/// backing ArenaVec is recycled wholesale at the arena's next reset.
+struct ArenaQueue {
+    explicit ArenaQueue(support::Arena& arena) : items(arena) {}
+    support::ArenaVec<VertexId> items;
+    std::size_t head = 0;
+
+    bool empty() const noexcept { return head == items.size(); }
+    void push(VertexId v) { items.push_back(v); }
+    VertexId pop() noexcept { return items[head++]; }
+    void restart() noexcept {
+        items.clear();
+        head = 0;
+    }
+};
 
 RoleSummary make_role_summary(const std::vector<onto::ConceptRef>& role,
                               const std::vector<desc::CodedConceptSpan>& spans,
@@ -198,34 +217,53 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
     // three-way sum equals the number of probe encounters whether pruning
     // is on or off.
     const bool pruning = tuning_.reachability_pruning;
-    support::DynBitset doomed_down;
-    support::DynBitset doomed_up;
 
+    // All classification scratch (doom bitsets, visited maps, BFS frontier,
+    // predecessor/successor lists) lives in the per-thread arena; the reset
+    // here recycles the chunks the previous operation grew.
+    support::Arena& arena = support::query_scratch_arena();
+    arena.reset();
+    support::ArenaBitset doomed_down(arena, vertices_.size());
+    support::ArenaBitset doomed_up(arena, vertices_.size());
+
+    // Per-vertex dispatch hoisting: a fresh vertex summary (code_tag ==
+    // current nonzero tag) proves both CodeSignatures valid and stamped
+    // with the oracle's tag — exactly match_capability's fast-path guard —
+    // so the encoded kernel is entered directly, skipping the per-call
+    // virtual tag probe. Identical outcomes and queries() accounting.
     const auto match_down = [&](VertexId v) -> matching::MatchOutcome {
-        if (quick_reject(vertices_[v].summary, cap_summary, vertex_fresh(v))) {
+        const bool fresh = vertex_fresh(v);
+        if (quick_reject(vertices_[v].summary, cap_summary, fresh)) {
             ++stats.quick_rejects;
             return {false, 0};
         }
         ++stats.capability_matches;
         const auto outcome =
-            matching::match_capability(representative(v), cap, oracle);
+            fresh ? matching::match_capability_encoded(representative(v), cap,
+                                                       oracle)
+                  : matching::match_capability(representative(v), cap, oracle);
         if (pruning && !outcome.matched) {
             doomed_down.set(v);
-            doomed_down.or_with(vertices_[v].desc);
+            doomed_down.or_with_clamped(vertices_[v].desc.words(),
+                                        vertices_[v].desc.word_count());
         }
         return outcome;
     };
     const auto match_up = [&](VertexId v) -> matching::MatchOutcome {
-        if (quick_reject(cap_summary, vertices_[v].summary, vertex_fresh(v))) {
+        const bool fresh = vertex_fresh(v);
+        if (quick_reject(cap_summary, vertices_[v].summary, fresh)) {
             ++stats.quick_rejects;
             return {false, 0};
         }
         ++stats.capability_matches;
         const auto outcome =
-            matching::match_capability(cap, representative(v), oracle);
+            fresh ? matching::match_capability_encoded(cap, representative(v),
+                                                       oracle)
+                  : matching::match_capability(cap, representative(v), oracle);
         if (pruning && !outcome.matched) {
             doomed_up.set(v);
-            doomed_up.or_with(vertices_[v].anc);
+            doomed_up.or_with_clamped(vertices_[v].anc.words(),
+                                      vertices_[v].anc.word_count());
         }
         return outcome;
     };
@@ -234,9 +272,10 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
     // matching root; a vertex is a direct predecessor of the new capability
     // if Match(vertex, cap) holds but no child of it also matches.
     // Transitivity makes pruning at non-matching vertices sound.
-    std::vector<VertexId> predecessors;
-    std::vector<char> visited_down(vertices_.size(), 0);
-    std::queue<VertexId> frontier;
+    support::ArenaVec<VertexId> predecessors(arena);
+    char* visited_down = arena.alloc_array<char>(vertices_.size());
+    std::memset(visited_down, 0, vertices_.size());
+    ArenaQueue frontier(arena);
 
     for (VertexId v = 0; v < vertices_.size(); ++v) {
         if (!vertices_[v].alive || !vertices_[v].parents.empty()) continue;
@@ -256,8 +295,7 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
     }
 
     while (!frontier.empty()) {
-        const VertexId v = frontier.front();
-        frontier.pop();
+        const VertexId v = frontier.pop();
         bool has_matching_child = false;
         for (const VertexId child : vertices_[v].children) {
             if (visited_down[child]) {
@@ -292,8 +330,10 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
     // Match(cap, vertex) holds but no parent of it also matches. (A leaf
     // cannot have been visited by the ascent — it has no children — but it
     // may already be doomed by a failed backward probe in Phase 1.)
-    std::vector<VertexId> successors;
-    std::vector<char> visited_up(vertices_.size(), 0);
+    support::ArenaVec<VertexId> successors(arena);
+    char* visited_up = arena.alloc_array<char>(vertices_.size());
+    std::memset(visited_up, 0, vertices_.size());
+    frontier.restart();
     for (VertexId v = 0; v < vertices_.size(); ++v) {
         if (!vertices_[v].alive || !vertices_[v].children.empty()) continue;
         if (pruning && doomed_up.test(v)) {
@@ -305,8 +345,7 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
         frontier.push(v);
     }
     while (!frontier.empty()) {
-        const VertexId v = frontier.front();
-        frontier.pop();
+        const VertexId v = frontier.pop();
         bool has_matching_parent = false;
         for (const VertexId parent : vertices_[v].parents) {
             if (visited_up[parent]) {
@@ -332,8 +371,11 @@ VertexId CapabilityDag::insert(DagEntry entry, matching::DistanceOracle& oracle,
     // (all such vertices sit under a matching root, by transitivity), so
     // dropping flagged successors removes exactly the cycle-forming edges;
     // reachability is preserved because those vertices already sit above.
-    std::erase_if(successors,
-                  [&](VertexId s) { return visited_down[s] != 0; });
+    std::size_t kept = 0;
+    for (std::size_t k = 0; k < successors.size(); ++k) {
+        if (visited_down[successors[k]] == 0) successors[kept++] = successors[k];
+    }
+    successors.truncate(kept);
 
     // Phase 3 — wire the new vertex in. Dead slots are recycled first so
     // the vertex vector tracks live size, not publish history.
@@ -529,14 +571,15 @@ void CapabilityDag::rebuild_reachability() {
     }
 }
 
-std::vector<MatchHit> CapabilityDag::query_all(
-    const ResolvedCapability& request, matching::DistanceOracle& oracle,
-    MatchStats& stats) const {
+void CapabilityDag::query_all_into(const ResolvedCapability& request,
+                                   matching::DistanceOracle& oracle,
+                                   MatchStats& stats, support::Arena& arena,
+                                   support::ArenaVec<RawHit>& hits) const {
     // Collect all matching vertices reachable from matching roots, pruning
     // sub-hierarchies whose top fails (sound by transitivity of Match).
-    std::vector<char> visited(vertices_.size(), 0);
-    std::queue<VertexId> frontier;
-    std::vector<MatchHit> hits;
+    char* visited = arena.alloc_array<char>(vertices_.size());
+    std::memset(visited, 0, vertices_.size());
+    ArenaQueue frontier(arena);
 
     // Quick-reject context, computed once per query: summaries stamp the
     // whole-environment tag they were built under, so both sides compare
@@ -554,7 +597,7 @@ std::vector<MatchHit> CapabilityDag::query_all(
     // OR would cost. Each encountered vertex bumps exactly one of the
     // three probe counters, pruning on or off.
     const bool pruning = tuning_.reachability_pruning;
-    support::DynBitset doomed;
+    support::ArenaBitset doomed(arena, vertices_.size());
 
     const auto try_vertex = [&](VertexId v) {
         visited[v] = 1;
@@ -567,18 +610,33 @@ std::vector<MatchHit> CapabilityDag::query_all(
             return;
         }
         ++stats.capability_matches;
+        // `fresh` proves both CodeSignatures valid and stamped with the
+        // oracle's current nonzero tag — match_capability's fast-path
+        // guard — so the encoded kernel is entered directly, skipping the
+        // per-vertex virtual tag probe (identical outcome and accounting).
         const auto outcome =
-            matching::match_capability(representative(v), request, oracle);
+            fresh ? matching::match_capability_encoded(representative(v),
+                                                       request, oracle)
+                  : matching::match_capability(representative(v), request,
+                                               oracle);
         if (outcome.matched) {
             for (const DagEntry& entry : vertices_[v].entries) {
-                hits.push_back(MatchHit{entry.service,
-                                        entry.capability.service_name,
-                                        entry.capability.name,
-                                        outcome.semantic_distance});
+                // Pin the names into the arena: the DagEntry strings die
+                // with a concurrent remove once the shard lock drops.
+                const std::string& svc = entry.capability.service_name;
+                const std::string& cap = entry.capability.name;
+                hits.push_back(RawHit{
+                    entry.service,
+                    std::string_view(arena.copy_bytes(svc.data(), svc.size()),
+                                     svc.size()),
+                    std::string_view(arena.copy_bytes(cap.data(), cap.size()),
+                                     cap.size()),
+                    outcome.semantic_distance});
             }
             frontier.push(v);
         } else if (pruning) {
-            doomed.or_with(vertices_[v].desc);
+            doomed.or_with_clamped(vertices_[v].desc.words(),
+                                   vertices_[v].desc.word_count());
         }
     };
 
@@ -586,8 +644,7 @@ std::vector<MatchHit> CapabilityDag::query_all(
         if (vertices_[v].alive && vertices_[v].parents.empty()) try_vertex(v);
     }
     while (!frontier.empty()) {
-        const VertexId v = frontier.front();
-        frontier.pop();
+        const VertexId v = frontier.pop();
         for (const VertexId child : vertices_[v].children) {
             if (visited[child]) continue;
             if (pruning && doomed.test(child)) {
@@ -597,6 +654,22 @@ std::vector<MatchHit> CapabilityDag::query_all(
             }
             try_vertex(child);
         }
+    }
+}
+
+std::vector<MatchHit> CapabilityDag::query_all(
+    const ResolvedCapability& request, matching::DistanceOracle& oracle,
+    MatchStats& stats) const {
+    support::Arena& arena = support::query_scratch_arena();
+    arena.reset();
+    support::ArenaVec<RawHit> raw(arena);
+    query_all_into(request, oracle, stats, arena, raw);
+    std::vector<MatchHit> hits;
+    hits.reserve(raw.size());
+    for (const RawHit& hit : raw) {
+        hits.push_back(MatchHit{hit.service, std::string(hit.service_name),
+                                std::string(hit.capability_name),
+                                hit.semantic_distance});
     }
     return hits;
 }

@@ -23,11 +23,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "description/resolved.hpp"
 #include "directory/types.hpp"
 #include "matching/match.hpp"
+#include "support/arena.hpp"
 #include "support/dyn_bitset.hpp"
 #include "support/flat_set.hpp"
 
@@ -40,6 +42,18 @@ using onto::OntologyIndex;
 struct DagEntry {
     ResolvedCapability capability;
     ServiceId service = 0;
+};
+
+/// Allocation-free match hit: the name fields view bytes copied into the
+/// query's scratch arena (pinned under the shard lock — the DagEntry
+/// strings they mirror may die once the lock drops). A RawHit is only
+/// valid until the owning arena's next reset; callers materialize into
+/// MatchHit (caller-owned strings) before returning across the API.
+struct RawHit {
+    ServiceId service = 0;
+    std::string_view service_name;
+    std::string_view capability_name;
+    int semantic_distance = 0;
 };
 
 using VertexId = std::uint32_t;
@@ -142,6 +156,16 @@ public:
     std::vector<MatchHit> query_all(const ResolvedCapability& request,
                                     matching::DistanceOracle& oracle,
                                     MatchStats& stats) const;
+
+    /// The zero-allocation traversal behind both query flavors: identical
+    /// probe order, pruning and stats to query_all, but every piece of
+    /// scratch (visited map, BFS frontier, doom bitset, hit names) lives
+    /// in `arena`, and hits append to the caller's arena-backed list as
+    /// RawHits. Never resets the arena — the caller owns reset points.
+    void query_all_into(const ResolvedCapability& request,
+                        matching::DistanceOracle& oracle, MatchStats& stats,
+                        support::Arena& arena,
+                        support::ArenaVec<RawHit>& hits) const;
 
     std::vector<VertexId> root_ids() const;
     std::vector<VertexId> leaf_ids() const;

@@ -14,6 +14,8 @@ CapabilityDag& DagIndex::dag_for_locked(Shard& shard,
     }
     shard.dags.push_back(std::make_unique<CapabilityDag>(signature, tuning_));
     shard.dag_count.store(shard.dags.size(), std::memory_order_release);
+    shard.ontology_mask.fetch_or(ontology_mask_of(signature),
+                                 std::memory_order_release);
     return *shard.dags.back();
 }
 
@@ -90,13 +92,20 @@ std::size_t DagIndex::insert_batch(std::vector<DagEntry> entries,
 namespace {
 
 void drop_empty_dags_locked(std::vector<std::unique_ptr<CapabilityDag>>& dags,
-                            std::atomic<std::size_t>& dag_count) {
+                            std::atomic<std::size_t>& dag_count,
+                            std::atomic<std::uint64_t>& ontology_mask) {
     dags.erase(std::remove_if(dags.begin(), dags.end(),
                               [](const std::unique_ptr<CapabilityDag>& dag) {
                                   return dag->empty();
                               }),
                dags.end());
     dag_count.store(dags.size(), std::memory_order_release);
+    // Recompute the skip mask exactly from the survivors — removal is the
+    // one operation where the grow-only fetch_or would go stale the wrong
+    // way (keeping dead bits is safe but erodes the filter over churn).
+    std::uint64_t mask = 0;
+    for (const auto& dag : dags) mask |= ontology_mask_of(dag->signature());
+    ontology_mask.store(mask, std::memory_order_release);
 }
 
 }  // namespace
@@ -107,7 +116,8 @@ std::size_t DagIndex::remove_service(ServiceId service) {
         Shard& shard = shards_[s];
         std::unique_lock lock(shard.mutex);
         for (const auto& dag : shard.dags) removed += dag->remove_service(service);
-        drop_empty_dags_locked(shard.dags, shard.dag_count);
+        drop_empty_dags_locked(shard.dags, shard.dag_count,
+                               shard.ontology_mask);
     }
     return removed;
 }
@@ -142,18 +152,34 @@ std::size_t DagIndex::remove_service(
                 }
             }
         }
-        if (any_emptied) drop_empty_dags_locked(shard.dags, shard.dag_count);
+        if (any_emptied) {
+            drop_empty_dags_locked(shard.dags, shard.dag_count,
+                                   shard.ontology_mask);
+        }
     }
     return removed;
 }
 
-std::vector<MatchHit> DagIndex::query_all(const ResolvedCapability& request,
-                                          matching::DistanceOracle& oracle,
-                                          MatchStats& stats) const {
-    std::vector<MatchHit> all;
+void DagIndex::query_all_into(const ResolvedCapability& request,
+                              matching::DistanceOracle& oracle,
+                              MatchStats& stats, support::Arena& arena,
+                              support::ArenaVec<RawHit>& hits) const {
+    const std::uint64_t request_mask = ontology_mask_of(request.ontologies);
     for (std::size_t s = 0; s < shard_count_; ++s) {
         const Shard& shard = shards_[s];
-        if (shard.dag_count.load(std::memory_order_acquire) == 0) continue;
+        const std::size_t dag_count =
+            shard.dag_count.load(std::memory_order_acquire);
+        if (dag_count == 0) continue;
+        if ((shard.ontology_mask.load(std::memory_order_acquire) &
+             request_mask) == 0) {
+            // Every DAG here would fail the signature-intersects test —
+            // account for them as pruned (same stats as visiting the
+            // shard) but skip the lock acquisition entirely. On a
+            // 500-service directory the shared-lock round trips on
+            // non-candidate shards dominate the fixed per-query cost.
+            stats.dags_pruned += dag_count;
+            continue;
+        }
         std::shared_lock lock(shard.mutex, std::try_to_lock);
         if (!lock.owns_lock()) {
             if (contention_ != nullptr) contention_->inc();
@@ -165,9 +191,24 @@ std::vector<MatchHit> DagIndex::query_all(const ResolvedCapability& request,
                 continue;
             }
             ++stats.dags_visited;
-            const auto hits = dag->query_all(request, oracle, stats);
-            all.insert(all.end(), hits.begin(), hits.end());
+            dag->query_all_into(request, oracle, stats, arena, hits);
         }
+    }
+}
+
+std::vector<MatchHit> DagIndex::query_all(const ResolvedCapability& request,
+                                          matching::DistanceOracle& oracle,
+                                          MatchStats& stats) const {
+    support::Arena& arena = support::query_scratch_arena();
+    arena.reset();
+    support::ArenaVec<RawHit> raw(arena);
+    query_all_into(request, oracle, stats, arena, raw);
+    std::vector<MatchHit> all;
+    all.reserve(raw.size());
+    for (const RawHit& hit : raw) {
+        all.push_back(MatchHit{hit.service, std::string(hit.service_name),
+                               std::string(hit.capability_name),
+                               hit.semantic_distance});
     }
     return all;
 }
@@ -176,9 +217,17 @@ std::vector<MatchHit> DagIndex::query(const ResolvedCapability& request,
                                       matching::DistanceOracle& oracle,
                                       MatchStats& stats) const {
     std::vector<MatchHit> best;
+    const std::uint64_t request_mask = ontology_mask_of(request.ontologies);
     for (std::size_t s = 0; s < shard_count_; ++s) {
         const Shard& shard = shards_[s];
-        if (shard.dag_count.load(std::memory_order_acquire) == 0) continue;
+        const std::size_t dag_count =
+            shard.dag_count.load(std::memory_order_acquire);
+        if (dag_count == 0) continue;
+        if ((shard.ontology_mask.load(std::memory_order_acquire) &
+             request_mask) == 0) {
+            stats.dags_pruned += dag_count;  // same accounting as query_all_into
+            continue;
+        }
         std::shared_lock lock(shard.mutex, std::try_to_lock);
         if (!lock.owns_lock()) {
             if (contention_ != nullptr) contention_->inc();

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <shared_mutex>
@@ -29,6 +30,19 @@
 #include "support/lock_rank.hpp"
 
 namespace sariadne::directory {
+
+/// Folds an ontology set into a 64-bit presence mask (index mod 64).
+/// Two sets whose masks are disjoint share no ontology; the converse does
+/// not hold (indices 64 apart collide), which is the safe direction for a
+/// skip filter.
+inline std::uint64_t ontology_mask_of(
+    const FlatSet<OntologyIndex>& ontologies) noexcept {
+    std::uint64_t mask = 0;
+    for (const OntologyIndex index : ontologies) {
+        mask |= std::uint64_t{1} << (index & 63U);
+    }
+    return mask;
+}
 
 class DagIndex {
 public:
@@ -84,6 +98,17 @@ public:
                                     matching::DistanceOracle& oracle,
                                     MatchStats& stats) const;
 
+    /// Zero-allocation variant: appends every matching hit as RawHits into
+    /// the caller's arena-backed list (names pinned into `arena` under each
+    /// shard's reader lock). Identical traversal, pruning and stats to
+    /// query_all; the caller owns arena reset points. All selection
+    /// (best-tier, top-k, max-distance) happens on the RawHits afterwards —
+    /// query() is equivalent to the minimal-distance tier of this result.
+    void query_all_into(const ResolvedCapability& request,
+                        matching::DistanceOracle& oracle, MatchStats& stats,
+                        support::Arena& arena,
+                        support::ArenaVec<RawHit>& hits) const;
+
     std::size_t dag_count() const noexcept;
     std::size_t entry_count() const noexcept;
     std::size_t shard_count() const noexcept { return shard_count_; }
@@ -113,6 +138,17 @@ private:
         /// ontology universes). Updated under the unique lock; a query that
         /// misses a concurrent first-insert simply linearizes before it.
         std::atomic<std::size_t> dag_count{0};
+        /// Union of ontology_mask() over the signatures of the shard's
+        /// DAGs. Queries skip the shard — mutex untouched — when this is
+        /// disjoint from the request's mask: the union being a superset of
+        /// every signature, disjointness proves the per-DAG intersects()
+        /// test would have pruned every DAG here. Bit collisions (index
+        /// folded mod 64) only ever keep a shard visitable, never skip a
+        /// live candidate. Maintained under the unique lock (grown on DAG
+        /// creation, recomputed exactly when empty DAGs are dropped); a
+        /// query racing a first insert linearizes before it, as with
+        /// dag_count.
+        std::atomic<std::uint64_t> ontology_mask{0};
     };
 
     /// A DAG lives in the shard of its signature's smallest ontology

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "description/conversation.hpp"
+#include "support/arena.hpp"
 #include "support/errors.hpp"
 #include "support/stopwatch.hpp"
 
@@ -297,51 +298,74 @@ QueryResult SemanticDirectory::query_xml(std::string_view xml_text,
 
 QueryResult SemanticDirectory::query(const desc::ServiceRequest& request,
                                      const QueryOptions& options) const {
+    QueryResult result;
+    query_prepared(request, desc::resolve_request(request, *kb_), options,
+                   result);
+    return result;
+}
+
+void SemanticDirectory::query_prepared(
+    const desc::ServiceRequest& request,
+    const std::vector<desc::ResolvedCapability>& resolved,
+    const QueryOptions& options, QueryResult& out) const {
     const bool constrained = !request.qos_constraints.empty() ||
                              !request.context_constraints.empty() ||
                              request.process.has_value();
-    const auto resolved = desc::resolve_request(request, *kb_);
-    const desc::ServiceRequest* constraints = constrained ? &request : nullptr;
-
-    QueryResult result;
-    Stopwatch stopwatch;
-    result.per_capability.reserve(resolved.size());
-    for (const auto& cap : resolved) {
-        result.per_capability.push_back(
-            query_capability(cap, constraints, options, result.stats));
-    }
-    apply_require_all(result, options);
-    result.timing.match_ms = stopwatch.elapsed_ms();
-    if (metrics_.queries) metrics_.queries->inc();
-    if (metrics_.query_match_ms) {
-        metrics_.query_match_ms->observe(result.timing.match_ms);
-    }
-    return result;
+    run_query(constrained ? &request : nullptr, resolved, options, out);
 }
 
 QueryResult SemanticDirectory::query_resolved(
     const std::vector<desc::ResolvedCapability>& capabilities,
     const QueryOptions& options) const {
     QueryResult result;
+    run_query(nullptr, capabilities, options, result);
+    return result;
+}
+
+void SemanticDirectory::query_resolved(
+    const std::vector<desc::ResolvedCapability>& capabilities,
+    const QueryOptions& options, QueryResult& out) const {
+    run_query(nullptr, capabilities, options, out);
+}
+
+void SemanticDirectory::run_query(
+    const desc::ServiceRequest* constraints,
+    const std::vector<desc::ResolvedCapability>& resolved,
+    const QueryOptions& options, QueryResult& out) const {
     Stopwatch stopwatch;
-    result.per_capability.reserve(capabilities.size());
-    for (const auto& cap : capabilities) {
-        result.per_capability.push_back(
-            query_capability(cap, nullptr, options, result.stats));
+    out.stats = MatchStats{};
+    out.timing = QueryTiming{};
+    // Recycle the per-capability vectors (and their MatchHit strings):
+    // resize only moves when the request shape changes, so a caller that
+    // keeps one QueryResult across a burst allocates nothing steady-state.
+    if (out.per_capability.size() != resolved.size()) {
+        out.per_capability.resize(resolved.size());
     }
-    apply_require_all(result, options);
-    result.timing.match_ms = stopwatch.elapsed_ms();
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
+        query_capability_into(resolved[i], constraints, options, out.stats,
+                              out.per_capability[i]);
+    }
+    apply_require_all(out, options);
+    out.timing.match_ms = stopwatch.elapsed_ms();
     if (metrics_.queries) metrics_.queries->inc();
     if (metrics_.query_match_ms) {
-        metrics_.query_match_ms->observe(result.timing.match_ms);
+        metrics_.query_match_ms->observe(out.timing.match_ms);
     }
-    return result;
 }
 
 std::vector<MatchHit> SemanticDirectory::query_capability(
     const desc::ResolvedCapability& capability,
     const desc::ServiceRequest* constraints, const QueryOptions& options,
     MatchStats& stats) const {
+    std::vector<MatchHit> hits;
+    query_capability_into(capability, constraints, options, stats, hits);
+    return hits;
+}
+
+void SemanticDirectory::query_capability_into(
+    const desc::ResolvedCapability& capability,
+    const desc::ServiceRequest* constraints, const QueryOptions& options,
+    MatchStats& stats, std::vector<MatchHit>& out) const {
     matching::EncodedOracle oracle(*kb_);
     // Callers that resolved against the bare registry carry no code
     // signature and take the per-pair oracle path at each vertex, with
@@ -349,8 +373,7 @@ std::vector<MatchHit> SemanticDirectory::query_capability(
     // codes). Signing a copy here would cost more than the walk saves;
     // resolve through the KnowledgeBase to get the batched kernel.
     MatchStats local;
-    std::vector<MatchHit> hits =
-        match_one(capability, constraints, options, oracle, local);
+    match_one_into(capability, constraints, options, oracle, local, out);
     local.concept_queries = oracle.queries();
     stats.capability_matches += local.capability_matches;
     stats.concept_queries += local.concept_queries;
@@ -358,29 +381,44 @@ std::vector<MatchHit> SemanticDirectory::query_capability(
     stats.dags_pruned += local.dags_pruned;
     stats.quick_rejects += local.quick_rejects;
     stats.reachability_prunes += local.reachability_prunes;
+    stats.scratch_allocs += local.scratch_allocs;
     accumulate_lifetime(local);
-    return hits;
 }
 
-std::vector<MatchHit> SemanticDirectory::match_one(
+void SemanticDirectory::match_one_into(
     const desc::ResolvedCapability& capability,
     const desc::ServiceRequest* constraints, const QueryOptions& options,
-    matching::DistanceOracle& oracle, MatchStats& stats) const {
-    // Beyond the minimal-distance tier is needed whenever hits may be
-    // re-filtered (constraints, max_distance) or re-ranked (top_k).
-    const bool need_all = options.top_k > 0 || options.max_distance >= 0 ||
-                          constraints != nullptr;
-    std::vector<MatchHit> hits = need_all
-                                     ? dags_.query_all(capability, oracle, stats)
-                                     : dags_.query(capability, oracle, stats);
+    matching::DistanceOracle& oracle, MatchStats& stats,
+    std::vector<MatchHit>& out) const {
+    // All scratch for this capability lives in the thread's arena; reset
+    // recycles the chunks previous queries grew, and the chunk-count delta
+    // is the query's allocation bill (0 steady-state, gated in CI).
+    support::Arena& arena = support::query_scratch_arena();
+    arena.reset();
+    const std::uint64_t allocs_before = arena.chunk_allocs();
 
+    support::ArenaVec<RawHit> hits(arena);
+    dags_.query_all_into(capability, oracle, stats, arena, hits);
+    // (The former dags_.query() fast path is subsumed: per-DAG best-tier
+    // merging visits exactly the vertices query_all_into visits, so stats
+    // are identical and selection below reproduces its result.)
+
+    // max_distance is *inclusive*: a hit at exactly max_distance survives.
+    // This is the only distance-bound filter site on any query path — the
+    // oracle path, the encoded kernel and its memo never see the bound
+    // (they compute distances; admissibility is decided here), so the
+    // boundary rule cannot diverge between resolution paths.
+    std::size_t kept = 0;
     if (options.max_distance >= 0) {
-        std::erase_if(hits, [&](const MatchHit& hit) {
-            return hit.semantic_distance > options.max_distance;
-        });
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            if (hits[i].semantic_distance <= options.max_distance) {
+                hits[kept++] = hits[i];
+            }
+        }
+        hits.truncate(kept);
     }
 
-    if (constraints != nullptr) {
+    if (constraints != nullptr && !hits.empty()) {
         // Drop hits whose advertised profile violates a QoS/context
         // constraint or whose published process cannot realize the
         // client's conversation. A provider that publishes no process
@@ -388,53 +426,91 @@ std::vector<MatchHit> SemanticDirectory::match_one(
         // (lenient default). The reader lock keeps the descriptions
         // stable for the duration of the scan.
         std::shared_lock lock(services_mutex_);
-        std::erase_if(hits, [&](const MatchHit& hit) {
-            const auto it = services_.find(hit.service);
+        kept = 0;
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            const auto it = services_.find(hits[i].service);
             if (it == services_.end() ||
                 !desc::satisfies_constraints(it->second.description.profile,
                                              *constraints)) {
-                return true;
+                continue;
             }
             if (constraints->process.has_value() &&
                 it->second.description.process.has_value() &&
                 !desc::conversation_compatible(
                     *constraints->process, *it->second.description.process)) {
-                return true;
+                continue;
             }
-            return false;
-        });
+            hits[kept++] = hits[i];
+        }
+        hits.truncate(kept);
     }
 
-    if (need_all && !hits.empty()) {
+    // Deterministic rank shared by *both* selection modes: (distance,
+    // service, capability). top_k=1 and the default best-tier answer lead
+    // with the identical hit — the tie-break rule is pinned by
+    // differential_test.
+    const auto by_rank = [](const RawHit& a, const RawHit& b) {
+        if (a.semantic_distance != b.semantic_distance) {
+            return a.semantic_distance < b.semantic_distance;
+        }
+        if (a.service != b.service) return a.service < b.service;
+        return a.capability_name < b.capability_name;
+    };
+
+    if (!hits.empty()) {
         if (options.top_k > 0) {
-            // Only the top k hits need ordering: partial_sort keeps the
-            // selection O(n log k). Ties break deterministically on
-            // (distance, service, capability) so repeated queries agree.
-            const auto by_rank = [](const MatchHit& a, const MatchHit& b) {
-                if (a.semantic_distance != b.semantic_distance) {
-                    return a.semantic_distance < b.semantic_distance;
-                }
-                if (a.service != b.service) return a.service < b.service;
-                return a.capability_name < b.capability_name;
-            };
+            // Bounded max-heap selection: O(n log k) like partial_sort but
+            // over the arena (no internal buffer), and the heap never
+            // exceeds k entries. sort_heap leaves the winners in ascending
+            // rank — element-for-element what partial_sort produced.
             const std::size_t k = std::min(options.top_k, hits.size());
-            std::partial_sort(hits.begin(),
-                              hits.begin() + static_cast<std::ptrdiff_t>(k),
-                              hits.end(), by_rank);
-            hits.resize(k);
+            RawHit* heap = hits.begin();
+            std::make_heap(heap, heap + k, by_rank);
+            for (std::size_t i = k; i < hits.size(); ++i) {
+                if (by_rank(hits[i], heap[0])) {
+                    std::pop_heap(heap, heap + k, by_rank);
+                    heap[k - 1] = hits[i];
+                    std::push_heap(heap, heap + k, by_rank);
+                }
+            }
+            std::sort_heap(heap, heap + k, by_rank);
+            hits.truncate(k);
         } else {
-            // Legacy shape: only the minimal-distance tier, in traversal
-            // order (no sort needed — a min scan plus one filter pass).
-            int best = hits.front().semantic_distance;
-            for (const MatchHit& hit : hits) {
+            // Default shape: only the minimal-distance tier — min scan,
+            // one compaction pass, then the same deterministic order as
+            // the top-k path (all distances equal, so rank reduces to
+            // (service, capability)).
+            int best = hits[0].semantic_distance;
+            for (const RawHit& hit : hits) {
                 best = std::min(best, hit.semantic_distance);
             }
-            std::erase_if(hits, [best](const MatchHit& hit) {
-                return hit.semantic_distance != best;
-            });
+            kept = 0;
+            for (std::size_t i = 0; i < hits.size(); ++i) {
+                if (hits[i].semantic_distance == best) hits[kept++] = hits[i];
+            }
+            hits.truncate(kept);
+            std::sort(hits.begin(), hits.end(), by_rank);
         }
     }
-    return hits;
+
+    // Materialize into the caller's vector, recycling element strings
+    // (assign reuses capacity). Shrinking destroys only the excess
+    // elements; growth constructs — both cold-path events under a
+    // steady workload.
+    if (out.size() > hits.size()) {
+        out.resize(hits.size());
+    }
+    while (out.size() < hits.size()) out.emplace_back();
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        MatchHit& dst = out[i];
+        dst.service = hits[i].service;
+        dst.service_name.assign(hits[i].service_name.data(),
+                                hits[i].service_name.size());
+        dst.capability_name.assign(hits[i].capability_name.data(),
+                                   hits[i].capability_name.size());
+        dst.semantic_distance = hits[i].semantic_distance;
+    }
+    stats.scratch_allocs += arena.chunk_allocs() - allocs_before;
 }
 
 void SemanticDirectory::apply_require_all(QueryResult& result,
@@ -456,6 +532,8 @@ void SemanticDirectory::accumulate_lifetime(const MatchStats& stats) const noexc
                                       std::memory_order_relaxed);
     lifetime_reachability_prunes_.fetch_add(stats.reachability_prunes,
                                             std::memory_order_relaxed);
+    lifetime_scratch_allocs_.fetch_add(stats.scratch_allocs,
+                                       std::memory_order_relaxed);
     // Mirror the same relaxed deltas into the registry so external sinks
     // see live work counters without a snapshot call.
     if (metrics_.capability_matches) {
@@ -470,6 +548,7 @@ void SemanticDirectory::accumulate_lifetime(const MatchStats& stats) const noexc
     if (metrics_.reachability_prunes) {
         metrics_.reachability_prunes->inc(stats.reachability_prunes);
     }
+    if (metrics_.query_allocs) metrics_.query_allocs->inc(stats.scratch_allocs);
 }
 
 MatchStats SemanticDirectory::lifetime_stats() const noexcept {
@@ -483,6 +562,8 @@ MatchStats SemanticDirectory::lifetime_stats() const noexcept {
     stats.quick_rejects = lifetime_quick_rejects_.load(std::memory_order_relaxed);
     stats.reachability_prunes =
         lifetime_reachability_prunes_.load(std::memory_order_relaxed);
+    stats.scratch_allocs =
+        lifetime_scratch_allocs_.load(std::memory_order_relaxed);
     return stats;
 }
 

@@ -88,6 +88,8 @@ public:
             metrics_.quick_rejects = &metrics->counter(obs::names::kMatchingQuickRejects);
             metrics_.reachability_prunes =
                 &metrics->counter(obs::names::kMatchingReachabilityPrunes);
+            metrics_.query_allocs =
+                &metrics->counter(obs::names::kMatchingQueryAllocs);
             metrics_.publish_batches =
                 &metrics->counter(obs::names::kDirectoryPublishBatches);
             metrics_.services = &metrics->gauge(obs::names::kDirectoryServices);
@@ -150,6 +152,27 @@ public:
         const std::vector<desc::ResolvedCapability>& capabilities,
         const QueryOptions& options = {}) const;
 
+    /// Reuse variant of query_resolved: fills `out` in place, recycling
+    /// its vectors and strings, so a caller that keeps one QueryResult
+    /// across a request burst performs no steady-state heap allocations
+    /// (the per-request scratch lives in the thread's arena; results
+    /// materialize into `out`'s retained capacity). `out` is fully
+    /// overwritten — previous hits, stats and timing do not leak through.
+    void query_resolved(
+        const std::vector<desc::ResolvedCapability>& capabilities,
+        const QueryOptions& options, QueryResult& out) const;
+
+    /// Matches a request whose capabilities were already resolved (the
+    /// daemon's prepared-request path: the protocol memoizes parse +
+    /// resolve per document and replays this with the cached resolution,
+    /// amortizing signature resolution across a pipelined burst).
+    /// `request` still supplies the QoS/context/conversation constraints;
+    /// `resolved` must be its capabilities resolved against this
+    /// directory's knowledge base.
+    void query_prepared(const desc::ServiceRequest& request,
+                        const std::vector<desc::ResolvedCapability>& resolved,
+                        const QueryOptions& options, QueryResult& out) const;
+
     /// Matches one resolved capability — the unit the parallel query path
     /// of DiscoveryEngine fans across its worker pool. `constraints`, when
     /// non-null, applies that request's QoS/context/conversation filters.
@@ -158,6 +181,13 @@ public:
         const desc::ResolvedCapability& capability,
         const desc::ServiceRequest* constraints, const QueryOptions& options,
         MatchStats& stats) const;
+
+    /// Reuse variant: fills `out` (cleared first) instead of returning a
+    /// fresh vector, recycling its element strings.
+    void query_capability_into(const desc::ResolvedCapability& capability,
+                               const desc::ServiceRequest* constraints,
+                               const QueryOptions& options, MatchStats& stats,
+                               std::vector<MatchHit>& out) const;
 
     // --- introspection ---------------------------------------------------
     std::size_t service_count() const;
@@ -198,12 +228,21 @@ public:
     encoding::KnowledgeBase& knowledge_base() noexcept { return *kb_; }
 
 private:
-    /// The per-capability matching kernel behind every query entry point.
-    std::vector<MatchHit> match_one(const desc::ResolvedCapability& capability,
-                                    const desc::ServiceRequest* constraints,
-                                    const QueryOptions& options,
-                                    matching::DistanceOracle& oracle,
-                                    MatchStats& stats) const;
+    /// The per-capability matching kernel behind every query entry point:
+    /// one arena-scratch DAG traversal, then max-distance compaction,
+    /// constraint filtering and top-k / best-tier selection on the RawHits
+    /// before materializing into `out` (capacity-recycling assign).
+    void match_one_into(const desc::ResolvedCapability& capability,
+                        const desc::ServiceRequest* constraints,
+                        const QueryOptions& options,
+                        matching::DistanceOracle& oracle, MatchStats& stats,
+                        std::vector<MatchHit>& out) const;
+
+    /// Shared body of the query_* entry points: matches every capability
+    /// into `out` (recycled), applies require_all, stamps timing/metrics.
+    void run_query(const desc::ServiceRequest* constraints,
+                   const std::vector<desc::ResolvedCapability>& resolved,
+                   const QueryOptions& options, QueryResult& out) const;
 
     void accumulate_lifetime(const MatchStats& stats) const noexcept;
     void apply_require_all(QueryResult& result,
@@ -234,6 +273,7 @@ private:
         obs::Counter* dags_pruned = nullptr;
         obs::Counter* quick_rejects = nullptr;
         obs::Counter* reachability_prunes = nullptr;
+        obs::Counter* query_allocs = nullptr;
         obs::Counter* publish_batches = nullptr;
         obs::Gauge* services = nullptr;
         obs::Histogram* publish_parse_ms = nullptr;
@@ -289,6 +329,7 @@ private:
     mutable std::atomic<std::uint64_t> lifetime_dags_pruned_{0};
     mutable std::atomic<std::uint64_t> lifetime_quick_rejects_{0};
     mutable std::atomic<std::uint64_t> lifetime_reachability_prunes_{0};
+    mutable std::atomic<std::uint64_t> lifetime_scratch_allocs_{0};
 };
 
 }  // namespace sariadne::directory

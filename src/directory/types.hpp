@@ -38,6 +38,11 @@ struct MatchStats {
     std::uint64_t dags_pruned = 0;
     std::uint64_t quick_rejects = 0;
     std::uint64_t reachability_prunes = 0;
+    /// Heap allocations charged to query scratch during this operation —
+    /// the per-query delta of the scratch arena's chunk count (see
+    /// support/arena.hpp). Cold queries may grow the arena; the steady
+    /// state must report 0 (gated by micro_kernels' allocation check).
+    std::uint64_t scratch_allocs = 0;
 };
 
 /// Wall-clock breakdown of a publish operation (Figure 7/8 series).

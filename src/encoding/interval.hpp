@@ -1,8 +1,9 @@
-// Numeric interval used to encode classified concept hierarchies (§3.2 of
-// the paper, after Constantinescu & Faltings). Intervals are half-open
-// [lo, hi) sub-ranges of the unit interval; by construction they are either
-// nested or disjoint, never partially overlapping, so subsumption checking
-// reduces to containment — "a numeric comparison of codes".
+// lint:hot-path — numeric interval used to encode classified concept
+// hierarchies (§3.2 of the paper, after Constantinescu & Faltings).
+// Intervals are half-open [lo, hi) sub-ranges of the unit interval; by
+// construction they are either nested or disjoint, never partially
+// overlapping, so subsumption checking reduces to containment — "a numeric
+// comparison of codes".
 #pragma once
 
 #include <cstddef>
@@ -64,9 +65,30 @@ struct CodedInterval {
 
 /// True iff some `inner` occurrence is geometrically contained in some
 /// `outer` occurrence. O(na + nb) two-pointer merge, early exit on first hit.
+/// Single-occurrence concepts (the overwhelmingly common case for
+/// tree-shaped ontologies) take branch-light fast paths whose conditions
+/// replicate the merge decisions exactly — including the empty-interval
+/// edge (lo == hi encodes exhausted precision), where plain containment
+/// (`olo <= ilo && ihi <= ohi`) would diverge from the merge.
 inline bool packed_contains(const CodedInterval* outer, std::size_t na,
                             const CodedInterval* inner,
                             std::size_t nb) noexcept {
+    if (na == 1) {
+        const double olo = outer[0].interval.lo;
+        const double ohi = outer[0].interval.hi;
+        if (nb == 1) {
+            const double ilo = inner[0].interval.lo;
+            return ilo >= olo && ilo < ohi && inner[0].interval.hi <= ohi;
+        }
+        // The merge decides the sole outer at the first inner that does
+        // not start strictly before it; inner occurrences are sorted by lo.
+        for (std::size_t j = 0; j < nb; ++j) {
+            const double ilo = inner[j].interval.lo;
+            if (ilo < olo) continue;
+            return ilo < ohi && inner[j].interval.hi <= ohi;
+        }
+        return false;
+    }
     std::size_t i = 0;
     std::size_t j = 0;
     while (i < na && j < nb) {
@@ -89,6 +111,27 @@ inline bool packed_contains(const CodedInterval* outer, std::size_t na,
 inline int packed_distance(const CodedInterval* outer, std::size_t na,
                            const CodedInterval* inner,
                            std::size_t nb) noexcept {
+    if (na == 1) {
+        // Same single-outer specialization as packed_contains: a contained
+        // inner records its depth delta and scanning continues; an inner
+        // that starts at/after the outer's end, or strictly contains it,
+        // exhausts the sole outer (merge case 2 / case 4 ⇒ ++i ⇒ done).
+        const double olo = outer[0].interval.lo;
+        const double ohi = outer[0].interval.hi;
+        const int odepth = outer[0].depth;
+        int single_best = -1;
+        for (std::size_t j = 0; j < nb; ++j) {
+            const double ilo = inner[j].interval.lo;
+            if (ilo < olo) continue;
+            if (ilo >= ohi || inner[j].interval.hi > ohi) break;
+            const int d = inner[j].depth - odepth;
+            if (d > 0 && (single_best < 0 || d < single_best)) {
+                if (d == 1) return 1;
+                single_best = d;
+            }
+        }
+        return single_best;
+    }
     int best = -1;
     std::size_t i = 0;
     std::size_t j = 0;

@@ -120,6 +120,15 @@ public:
         return global_tag_.load(std::memory_order_acquire);
     }
 
+    /// Read-only handle on the whole-environment tag word itself. Encoded
+    /// oracles register this with DistanceOracle so the per-match dispatch
+    /// guard is a plain load through a data pointer instead of a virtual
+    /// call — the tag's lifetime is the knowledge base's, which outlives
+    /// every oracle constructed over it.
+    const std::atomic<std::uint64_t>& environment_tag_word() const noexcept {
+        return global_tag_;
+    }
+
     /// Number of classification runs performed so far (cache misses) —
     /// lets tests assert that the discovery fast path does no reasoning.
     std::uint64_t classification_runs() const noexcept {

@@ -31,41 +31,68 @@ bool cover_all(const std::vector<ConceptRef>& expected,
     return true;
 }
 
-/// d() on packed signature codes: nullopt across ontologies, 0 within one
-/// equivalence class, otherwise the merge-scan minimum nesting distance
-/// (see packed_distance). Mirrors EncodedOracle::distance exactly.
-inline std::optional<int> coded_distance(const desc::CodeSignature& subsumer_sig,
-                                         const desc::CodedConceptSpan& subsumer,
-                                         const desc::CodeSignature& subsumee_sig,
-                                         const desc::CodedConceptSpan& subsumee) {
-    if (subsumer.ontology != subsumee.ontology) return std::nullopt;
+/// d() on packed signature codes with −1 for the oracle's nullopt: −1
+/// across ontologies, 0 within one equivalence class, otherwise the
+/// merge-scan minimum nesting distance (see packed_distance, whose no-pair
+/// answer is already −1). Mirrors EncodedOracle::distance exactly; the
+/// sentinel keeps std::optional construction out of the innermost loop.
+inline int coded_distance(const encoding::CodedInterval* subsumer_base,
+                          const desc::CodedConceptSpan& subsumer,
+                          const encoding::CodedInterval* subsumee_base,
+                          const desc::CodedConceptSpan& subsumee) noexcept {
+    if (subsumer.ontology != subsumee.ontology) return -1;
     if (subsumer.canonical == subsumee.canonical) return 0;
-    const int best = encoding::packed_distance(
-        subsumer_sig.intervals.data() + subsumer.begin, subsumer.count,
-        subsumee_sig.intervals.data() + subsumee.begin, subsumee.count);
-    if (best < 0) return std::nullopt;
-    return best;
+    return encoding::packed_distance(subsumer_base + subsumer.begin,
+                                     subsumer.count,
+                                     subsumee_base + subsumee.begin,
+                                     subsumee.count);
 }
 
 /// cover_all on packed signatures — same iteration order, early exits and
 /// pair accounting as the oracle path, but no virtual dispatch and no
-/// pointer-chasing beyond the two flat interval arrays.
-bool cover_all_encoded(const desc::CodeSignature& expected_sig,
+/// pointer-chasing beyond the two flat interval arrays. The subsumption
+/// direction is a template parameter so the per-pair direction branch
+/// compiles away (the call sites fix it statically anyway). always_inline
+/// matters: the clause-shape fast path below pushes the body past the
+/// inliner's default budget, and an out-of-line call per clause costs more
+/// than the whole 1x1 case.
+template <bool kProviderExpects>
+[[gnu::always_inline]] inline bool cover_all_encoded(const desc::CodeSignature& expected_sig,
                        const std::vector<desc::CodedConceptSpan>& expected,
                        const desc::CodeSignature& offered_sig,
                        const std::vector<desc::CodedConceptSpan>& offered,
-                       bool provider_expects, std::uint64_t& pairs,
-                       int& total) {
+                       std::uint64_t& pairs, int& total) {
+    const encoding::CodedInterval* expected_base =
+        expected_sig.intervals.data();
+    const encoding::CodedInterval* offered_base = offered_sig.intervals.data();
+    if (expected.size() == 1 && offered.size() == 1) {
+        // One expected concept against one offered concept — the dominant
+        // clause shape (capabilities rarely carry more than a couple of
+        // concepts per role). Same single pair the generic loop would
+        // evaluate, without the loop or best-tracking machinery.
+        ++pairs;
+        const int d = kProviderExpects
+                          ? coded_distance(expected_base, expected[0],
+                                           offered_base, offered[0])
+                          : coded_distance(offered_base, offered[0],
+                                           expected_base, expected[0]);
+        if (d < 0) return false;
+        total += d;
+        return true;
+    }
+    const desc::CodedConceptSpan* offered_begin = offered.data();
+    const desc::CodedConceptSpan* offered_end = offered_begin + offered.size();
     for (const desc::CodedConceptSpan& want : expected) {
         int best = std::numeric_limits<int>::max();
-        for (const desc::CodedConceptSpan& have : offered) {
+        for (const desc::CodedConceptSpan* have = offered_begin;
+             have != offered_end; ++have) {
             ++pairs;
-            const auto d =
-                provider_expects
-                    ? coded_distance(expected_sig, want, offered_sig, have)
-                    : coded_distance(offered_sig, have, expected_sig, want);
-            if (d && *d < best) {
-                best = *d;
+            const int d =
+                kProviderExpects
+                    ? coded_distance(expected_base, want, offered_base, *have)
+                    : coded_distance(offered_base, *have, expected_base, want);
+            if (d >= 0 && d < best) {
+                best = d;
                 if (best == 0) break;  // cannot improve
             }
         }
@@ -75,26 +102,25 @@ bool cover_all_encoded(const desc::CodeSignature& expected_sig,
     return true;
 }
 
-/// The batched fast path: the three Match clauses over two CodeSignatures.
-MatchOutcome match_encoded(const ResolvedCapability& provided,
-                           const ResolvedCapability& required,
-                           DistanceOracle& oracle) {
+}  // namespace
+
+MatchOutcome match_capability_encoded(const ResolvedCapability& provided,
+                                      const ResolvedCapability& required,
+                                      DistanceOracle& oracle) {
     const desc::CodeSignature& ps = provided.signature;
     const desc::CodeSignature& rs = required.signature;
     std::uint64_t pairs = 0;
     int total = 0;
     const bool matched =
-        cover_all_encoded(ps, ps.inputs, rs, rs.inputs,
-                          /*provider_expects=*/true, pairs, total) &&
-        cover_all_encoded(rs, rs.outputs, ps, ps.outputs,
-                          /*provider_expects=*/false, pairs, total) &&
-        cover_all_encoded(rs, rs.properties, ps, ps.properties,
-                          /*provider_expects=*/false, pairs, total);
+        cover_all_encoded</*kProviderExpects=*/true>(ps, ps.inputs, rs,
+                                                     rs.inputs, pairs, total) &&
+        cover_all_encoded</*kProviderExpects=*/false>(
+            rs, rs.outputs, ps, ps.outputs, pairs, total) &&
+        cover_all_encoded</*kProviderExpects=*/false>(
+            rs, rs.properties, ps, ps.properties, pairs, total);
     oracle.note_batched_queries(pairs);
     return matched ? MatchOutcome{true, total} : MatchOutcome{false, 0};
 }
-
-}  // namespace
 
 MatchOutcome match_capability(const ResolvedCapability& provided,
                               const ResolvedCapability& required,
@@ -109,7 +135,7 @@ MatchOutcome match_capability(const ResolvedCapability& provided,
     const std::uint64_t env = oracle.global_environment_tag();
     if (ps.valid && rs.valid && env != 0 && ps.global_tag == env &&
         rs.global_tag == env) {
-        return match_encoded(provided, required, oracle);
+        return match_capability_encoded(provided, required, oracle);
     }
 
     int total = 0;

@@ -20,6 +20,7 @@
 // (0 = exact fit) and orders capabilities inside the directory DAGs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -56,9 +57,16 @@ public:
     /// Whole-environment tag as this oracle sees it. The batched
     /// flat-layout kernel is taken only when both capabilities carry valid
     /// CodeSignatures whose global_tag equals this — a single integer
-    /// compare per side, cheap enough for flat-scan inner loops. The base
-    /// returns 0 (no encoded view): with it, the guard never passes.
-    virtual std::uint64_t global_environment_tag() { return 0; }
+    /// compare per side, cheap enough for flat-scan inner loops. Without
+    /// an encoded view the answer is 0: with it, the guard never passes.
+    /// Deliberately non-virtual: match_capability evaluates this guard on
+    /// every call, and a data-pointer load beats a virtual dispatch there;
+    /// encoded oracles install their tag word at construction.
+    std::uint64_t global_environment_tag() const noexcept {
+        return global_tag_word_ != nullptr
+                   ? global_tag_word_->load(std::memory_order_acquire)
+                   : 0;
+    }
 
     /// Number of d() evaluations performed — the paper's "number of
     /// semantic matches" cost metric at concept granularity.
@@ -72,6 +80,10 @@ public:
 
 protected:
     std::uint64_t queries_ = 0;
+    /// The environment-tag word backing global_environment_tag(), owned by
+    /// the knowledge base the oracle was constructed over (which outlives
+    /// it). nullptr = no encoded view.
+    const std::atomic<std::uint64_t>* global_tag_word_ = nullptr;
 };
 
 /// Result of one capability match.
@@ -89,6 +101,19 @@ struct MatchOutcome {
 MatchOutcome match_capability(const ResolvedCapability& provided,
                               const ResolvedCapability& required,
                               DistanceOracle& oracle);
+
+/// The prechecked encoded kernel behind match_capability's fast path: the
+/// three Match clauses evaluated directly over the two packed
+/// CodeSignatures, no virtual tag probe. Callers must have established the
+/// dispatch guard themselves — both signatures valid and carrying the
+/// oracle's current nonzero global environment tag. The DAG hot path
+/// proves this once per query from its freshness summaries
+/// (summary.code_tag == current tag ⇒ guard holds) instead of re-deriving
+/// it per vertex. Results and queries() accounting are identical to
+/// match_capability on the same inputs.
+MatchOutcome match_capability_encoded(const ResolvedCapability& provided,
+                                      const ResolvedCapability& required,
+                                      DistanceOracle& oracle);
 
 /// Convenience: true iff Match(provided, required) holds.
 inline bool matches(const ResolvedCapability& provided,

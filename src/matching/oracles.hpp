@@ -13,7 +13,6 @@
 #pragma once
 
 #include <array>
-#include <vector>
 
 #include "encoding/knowledge_base.hpp"
 #include "matching/match.hpp"
@@ -25,7 +24,9 @@ namespace sariadne::matching {
 
 class EncodedOracle final : public DistanceOracle {
 public:
-    explicit EncodedOracle(encoding::KnowledgeBase& kb) noexcept : kb_(&kb) {}
+    explicit EncodedOracle(encoding::KnowledgeBase& kb) noexcept : kb_(&kb) {
+        global_tag_word_ = &kb.environment_tag_word();
+    }
 
     std::optional<int> distance(ConceptRef subsumer, ConceptRef subsumee) override {
         ++queries_;  // counted before the memo: queries() is path-invariant
@@ -68,22 +69,19 @@ public:
         return mix64(acc);
     }
 
-    /// The knowledge base's eagerly maintained whole-environment tag (one
-    /// atomic load) — what the fast-path dispatch guard compares against
-    /// CodeSignature::global_tag on every match_capability call.
-    std::uint64_t global_environment_tag() override {
-        return kb_->environment_tag();
-    }
-
 private:
     /// Memoized code-table lookup: the first d() against an ontology pays
     /// the knowledge base's reader lock; subsequent ones are an indexed
     /// load. Filled once per ontology — registration requires quiescence
     /// (see header), so a table pointer cannot go stale within one
     /// oracle's lifetime. Keeps the contended lock off the per-concept
-    /// hot path under parallel queries.
+    /// hot path under parallel queries. The cache is a fixed inline array
+    /// (oracles are constructed per operation — a vector here would be a
+    /// heap allocation on every query, breaking the zero-alloc steady
+    /// state); environments with more ontologies than slots fall back to
+    /// the knowledge-base lookup for the overflow indices.
     const encoding::CodeTable& table(onto::OntologyIndex index) {
-        if (index >= cache_.size()) cache_.resize(index + 1);
+        if (index >= kTableSlots) return kb_->code_table(index);
         const encoding::CodeTable*& slot = cache_[index];
         if (slot == nullptr) slot = &kb_->code_table(index);
         return *slot;
@@ -102,9 +100,10 @@ private:
         std::int32_t dist = 0;  ///< −1 encodes "no subsumption" (nullopt)
     };
     static constexpr std::size_t kMemoSlots = 64;  // power of two
+    static constexpr std::size_t kTableSlots = 64;
 
     encoding::KnowledgeBase* kb_;
-    std::vector<const encoding::CodeTable*> cache_;
+    std::array<const encoding::CodeTable*, kTableSlots> cache_{};
     std::array<MemoEntry, kMemoSlots> memo_{};
 };
 

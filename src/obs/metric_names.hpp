@@ -58,6 +58,8 @@ inline constexpr std::string_view kMatchingQuickRejects =
     "matching.quick_rejects";
 inline constexpr std::string_view kMatchingReachabilityPrunes =
     "matching.reachability_prunes";
+inline constexpr std::string_view kMatchingQueryAllocs =
+    "matching.query_allocs";
 
 // --- directory batch publish (directory/semantic_directory.hpp) ---------
 inline constexpr std::string_view kDirectoryPublishBatches =

@@ -80,6 +80,11 @@ public:
         }
     }
 
+    /// Raw word storage, for bulk operations (e.g. OR-ing into a
+    /// fixed-capacity arena bitset). Bits past word_count() read as zero.
+    const std::uint64_t* words() const noexcept { return words_.data(); }
+    std::size_t word_count() const noexcept { return words_.size(); }
+
     friend bool operator==(const DynBitset& a, const DynBitset& b) noexcept {
         const std::size_t common =
             a.words_.size() < b.words_.size() ? a.words_.size()

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstddef>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -131,6 +132,96 @@ TEST(Concurrency, PublishersAndQueriersDontLoseServicesOrCorrectness) {
                 << "request " << i << " capability " << c;
         }
     }
+}
+
+TEST(Concurrency, ReuseApiArenaLifecycleIsSafeUnderPublishRemoveChurn) {
+    // The zero-allocation query path: each querier thread holds ONE
+    // QueryResult and funnels every query through the buffer-reusing
+    // overload, so its thread-local arena is reset and re-bumped thousands
+    // of times while publishers add services and removers retract them.
+    // Under TSan this pins down (a) that arena scratch never crosses
+    // threads, (b) that hits materialized into the caller's QueryResult
+    // are deep copies that survive both the next arena reset and the
+    // removal of the service they name, and (c) that a warmed-up thread
+    // stops growing its arena (scratch_allocs settles to 0) even as the
+    // directory churns underneath it.
+    StressWorld world(5, 4031);
+    SemanticDirectory directory(world.kb);
+
+    constexpr std::size_t kSeeded = 40;
+    for (std::size_t i = 0; i < kSeeded; ++i) {
+        directory.publish(world.workload.service(i));
+    }
+
+    // Churn population: published and removed repeatedly while queries run.
+    constexpr std::size_t kChurn = 30;
+    constexpr std::size_t kQueriers = 4;
+    constexpr std::size_t kQueriesEach = 300;
+
+    std::vector<std::vector<desc::ResolvedCapability>> requests;
+    for (std::size_t i = 0; i < kSeeded; ++i) {
+        requests.push_back(desc::resolve_request(
+            world.workload.matching_request(i), world.kb));
+    }
+
+    std::atomic<std::size_t> unsatisfied{0};
+    std::atomic<std::size_t> stale_copies{0};
+    std::atomic<std::uint64_t> tail_scratch_allocs{0};
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> threads;
+    threads.emplace_back([&] {  // publish/remove churn
+        for (int round = 0; round < 12; ++round) {
+            std::vector<ServiceId> ids;
+            for (std::size_t j = 0; j < kChurn; ++j) {
+                ids.push_back(
+                    directory.publish(world.workload.service(kSeeded + j)).id);
+            }
+            for (const ServiceId id : ids) directory.remove(id);
+        }
+        stop.store(true, std::memory_order_release);
+    });
+    for (std::size_t q = 0; q < kQueriers; ++q) {
+        threads.emplace_back([&, q] {
+            QueryResult reused;  // one buffer for the thread's lifetime
+            std::vector<MatchHit> snapshot;
+            std::uint64_t tail = 0;
+            for (std::size_t j = 0; j < kQueriesEach; ++j) {
+                const std::size_t i = (q * 17 + j) % kSeeded;
+                directory.query_resolved(requests[i], {}, reused);
+                if (!reused.fully_satisfied()) {
+                    unsatisfied.fetch_add(1, std::memory_order_relaxed);
+                    continue;
+                }
+                // Copy a hit out, run another query (arena reset + rebump),
+                // then check the copy — catches any materialization that
+                // aliases arena memory instead of deep-copying.
+                snapshot.assign(reused.per_capability[0].begin(),
+                                reused.per_capability[0].end());
+                const std::string name = snapshot[0].service_name;
+                const std::string cap = snapshot[0].capability_name;
+                directory.query_resolved(requests[(i + 1) % kSeeded], {},
+                                         reused);
+                if (snapshot[0].service_name != name ||
+                    snapshot[0].capability_name != cap) {
+                    stale_copies.fetch_add(1, std::memory_order_relaxed);
+                }
+                // Second half of the run: the arena footprint must have
+                // stabilized regardless of concurrent churn.
+                if (j >= kQueriesEach / 2) {
+                    tail += reused.stats.scratch_allocs;
+                }
+            }
+            tail_scratch_allocs.fetch_add(tail, std::memory_order_relaxed);
+        });
+    }
+    for (auto& thread : threads) thread.join();
+
+    EXPECT_EQ(unsatisfied.load(), 0u);
+    EXPECT_EQ(stale_copies.load(), 0u);
+    EXPECT_EQ(tail_scratch_allocs.load(), 0u);
+    EXPECT_TRUE(stop.load());
+    EXPECT_EQ(directory.service_count(), kSeeded);  // churn fully retracted
 }
 
 TEST(Concurrency, FastPathQueriesAreRaceFreeAndCorrectUnderChurn) {

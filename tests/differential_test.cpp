@@ -272,6 +272,73 @@ TEST(Differential, TopKIsADeterministicPrefixOfTheFullRanking) {
     }
 }
 
+TEST(Differential, BoundedHeapTopKMatchesPartialSortForEveryK) {
+    // The top-k selector is a bounded max-heap (replace-root on a full
+    // heap, sort_heap at the end). This sweep pins it element-for-element
+    // to the selection partial_sort would make on the full ranking, for
+    // every k from 1 through past the hit-list size — the heap and the
+    // sort must agree not just on the set but on the order, including ties
+    // broken by (distance, service, capability_name).
+    World world(4, 24, 90210);
+    SemanticDirectory directory(world.kb);
+    for (std::size_t i = 0; i < 40; ++i) {
+        directory.publish(world.workload.service(i));
+    }
+    const auto rank = [](const MatchHit& h) {
+        return std::make_tuple(h.semantic_distance, h.service,
+                               h.capability_name);
+    };
+    for (std::size_t i = 0; i < 40; i += 7) {
+        const auto resolved = desc::resolve_request(
+            world.workload.matching_request(i), world.kb.registry());
+        QueryOptions all_options;
+        all_options.top_k = 100000;  // larger than any hit list
+        const auto all = directory.query_resolved(resolved, all_options);
+        for (std::size_t c = 0; c < all.per_capability.size(); ++c) {
+            std::vector<MatchHit> reference(all.per_capability[c].begin(),
+                                            all.per_capability[c].end());
+            for (std::size_t k = 1; k <= reference.size() + 2; ++k) {
+                std::vector<MatchHit> expected = reference;
+                std::partial_sort(
+                    expected.begin(),
+                    expected.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            std::min(k, expected.size())),
+                    expected.end(),
+                    [&](const MatchHit& a, const MatchHit& b) {
+                        return rank(a) < rank(b);
+                    });
+                expected.resize(std::min(k, expected.size()));
+
+                QueryOptions top_options;
+                top_options.top_k = k;
+                const auto top =
+                    directory.query_resolved(resolved, top_options);
+                ASSERT_LT(c, top.per_capability.size());
+                const auto& actual = top.per_capability[c];
+                ASSERT_EQ(actual.size(), expected.size())
+                    << "request " << i << " capability " << c << " k=" << k;
+                for (std::size_t h = 0; h < expected.size(); ++h) {
+                    EXPECT_EQ(rank(actual[h]), rank(expected[h]))
+                        << "request " << i << " capability " << c
+                        << " k=" << k << " position " << h;
+                }
+                // k == 1 is the min-scan degenerate case: the single hit
+                // must be the global rank minimum, exactly what a
+                // first-hit min scan over the raw hits would keep.
+                if (k == 1 && !expected.empty()) {
+                    const auto min_it = std::min_element(
+                        reference.begin(), reference.end(),
+                        [&](const MatchHit& a, const MatchHit& b) {
+                            return rank(a) < rank(b);
+                        });
+                    EXPECT_EQ(rank(actual[0]), rank(*min_it));
+                }
+            }
+        }
+    }
+}
+
 TEST(Differential, QuickRejectPrunesSiblingCategoriesInsideOneDag) {
     // Figure 1 world: the workstation provides SendDigitalStream
     // (DigitalServer, the DAG root) and ProvideGame (GameServer, its

@@ -156,6 +156,44 @@ TEST_F(MatchFixture, OracleCountsQueries) {
     EXPECT_GT(oracle_.queries(), before);
 }
 
+TEST(EncodedOracle, MemoCollisionsAndEvictionsNeverChangeAnswers) {
+    // The oracle's distance memo is a 64-slot direct-mapped table: with
+    // far more live (subsumer, subsumee) pairs than slots, most queries
+    // collide into occupied slots and evict. A collision must only ever
+    // cost a recompute — answering from a slot holding a *different* pair
+    // would be silent corruption. Sweep every ordered pair of a
+    // 120-concept ontology twice (28,800 queries over 64 slots), checking
+    // each answer against the unmemoized code-table ground truth; the
+    // second pass re-asks pairs whose slots have long been reused.
+    workload::OntologyGenConfig config;
+    config.class_count = 120;
+    auto universe = workload::generate_universe(1, config, 99);
+    encoding::KnowledgeBase kb;
+    for (auto& o : universe) kb.register_ontology(std::move(o));
+    const std::uint32_t concepts =
+        static_cast<std::uint32_t>(kb.ontology(0).class_count());
+    ASSERT_GE(concepts, 100u);
+
+    EncodedOracle oracle(kb);
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::uint32_t a = 0; a < concepts; ++a) {
+            for (std::uint32_t b = 0; b < concepts; ++b) {
+                const onto::ConceptRef subsumer{0, a};
+                const onto::ConceptRef subsumee{0, b};
+                const auto expected = kb.distance(subsumer, subsumee);
+                const auto actual = oracle.distance(subsumer, subsumee);
+                ASSERT_EQ(actual.has_value(), expected.has_value())
+                    << "pass " << pass << " pair (" << a << ", " << b << ")";
+                if (expected.has_value()) {
+                    ASSERT_EQ(*actual, *expected)
+                        << "pass " << pass << " pair (" << a << ", " << b
+                        << ")";
+                }
+            }
+        }
+    }
+}
+
 // Transitivity property (the DAG algorithms rely on it): if
 // Match(A, B) and Match(B, C) then Match(A, C), over generated workloads.
 class MatchTransitivity : public ::testing::TestWithParam<int> {};

@@ -104,6 +104,53 @@ TEST_F(RankedProvidersFixture, MaxDistanceComposesWithBestTierDefault) {
     EXPECT_EQ(results[0][0].service_name, "Specific");
 }
 
+TEST_F(RankedProvidersFixture, MaxDistanceBoundaryIsInclusiveOnEveryPath) {
+    // The pinned contract: a hit at semantic distance exactly equal to
+    // max_distance is KEPT (<=, not <), on every query path — top-k
+    // selection, the best-tier min scan, and both the signature-carrying
+    // and registry-only request resolutions. The farthest provider here
+    // sits at distance 3, so max_distance = 3 must keep all three hits
+    // and max_distance = 2 must be the first value that drops one.
+    QueryOptions at_bound;
+    at_bound.top_k = 10;
+    at_bound.max_distance = 3;
+    const auto kept = engine_.discover(video_request(), at_bound);
+    ASSERT_EQ(kept[0].size(), 3u);
+    EXPECT_EQ(kept[0].back().semantic_distance, 3);  // exactly at the bound
+
+    QueryOptions below;
+    below.top_k = 10;
+    below.max_distance = 2;
+    const auto dropped = engine_.discover(video_request(), below);
+    EXPECT_EQ(dropped[0].size(), 2u);
+
+    // Best-tier path (no top_k): the minimum-distance hit is at 1, so a
+    // bound of exactly 1 keeps it and 0 drops it.
+    QueryOptions tier_bound;
+    tier_bound.max_distance = 1;
+    ASSERT_EQ(engine_.discover(video_request(), tier_bound)[0].size(), 1u);
+    tier_bound.max_distance = 0;
+    EXPECT_TRUE(engine_.discover(video_request(), tier_bound)[0].empty());
+
+    // Same boundary through the directory facade on a pre-resolved request
+    // (the daemon's path) — signatures attached, encoded fast path taken.
+    const auto resolved = desc::resolve_request(
+        video_request(), engine_.knowledge_base());
+    QueryOptions resolved_bound;
+    resolved_bound.top_k = 10;
+    resolved_bound.max_distance = 3;
+    const auto via_directory =
+        engine_.directory().query_resolved(resolved, resolved_bound);
+    ASSERT_EQ(via_directory.per_capability.size(), 1u);
+    EXPECT_EQ(via_directory.per_capability[0].size(), 3u);
+    resolved_bound.max_distance = 2;
+    EXPECT_EQ(engine_.directory()
+                  .query_resolved(resolved, resolved_bound)
+                  .per_capability[0]
+                  .size(),
+              2u);
+}
+
 TEST_F(RankedProvidersFixture, RequireAllCapabilitiesIsAllOrNothing) {
     desc::ServiceRequest request = video_request();
     desc::Capability impossible = th::get_video_stream();

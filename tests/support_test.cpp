@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "support/arena.hpp"
 #include "support/contracts.hpp"
 #include "support/flat_set.hpp"
 #include "support/hash.hpp"
@@ -207,6 +208,120 @@ TEST(FlatSet, HashOrderIndependent) {
     const FlatSet<int> b{3, 2, 1};
     const auto project = [](int v) { return static_cast<std::uint64_t>(v); };
     EXPECT_EQ(hash_set(a, project), hash_set(b, project));
+}
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+    support::Arena arena;
+    auto* a = arena.alloc_array<std::uint64_t>(4);
+    auto* b = arena.alloc_array<char>(3);
+    auto* c = arena.alloc_array<std::uint32_t>(2);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(std::uint64_t),
+              0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % alignof(std::uint32_t),
+              0u);
+    // Writes through one allocation never alias another.
+    for (int i = 0; i < 4; ++i) a[i] = 0xA1A1A1A1A1A1A1A1ULL;
+    b[0] = 'x';
+    c[0] = 0xC2C2C2C2u;
+    c[1] = 0xC3C3C3C3u;
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(a[i], 0xA1A1A1A1A1A1A1A1ULL);
+    EXPECT_EQ(b[0], 'x');
+}
+
+TEST(Arena, ResetRetainsChunksAndStopsAllocating) {
+    support::Arena arena(1024);
+    // Establish a footprint bigger than the first chunk so reset() has
+    // several chunks to replay.
+    for (int round = 0; round < 3; ++round) {
+        (void)arena.alloc_array<char>(5000);
+        arena.reset();
+    }
+    const std::uint64_t warm = arena.chunk_allocs();
+    const std::size_t retained = arena.retained_bytes();
+    EXPECT_GT(warm, 0u);
+    // Steady state: the identical footprint must be served entirely from
+    // retained chunks — the counter that feeds MatchStats::scratch_allocs
+    // must not move.
+    for (int round = 0; round < 10; ++round) {
+        (void)arena.alloc_array<char>(5000);
+        arena.reset();
+    }
+    EXPECT_EQ(arena.chunk_allocs(), warm);
+    EXPECT_EQ(arena.retained_bytes(), retained);
+}
+
+TEST(Arena, CopyBytesPinsAStableCopy) {
+    support::Arena arena;
+    std::string source = "transient-name";
+    const char* pinned = arena.copy_bytes(source.data(), source.size());
+    std::fill(source.begin(), source.end(), '?');  // mutate the original
+    EXPECT_EQ(std::string(pinned, 14), "transient-name");
+}
+
+TEST(ArenaVec, GrowthPreservesContentsAcrossDoubling) {
+    support::Arena arena;
+    support::ArenaVec<int> vec(arena);
+    EXPECT_TRUE(vec.empty());
+    for (int i = 0; i < 1000; ++i) vec.push_back(i * 3);
+    ASSERT_EQ(vec.size(), 1000u);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(vec[i], i * 3);
+    vec.truncate(10);
+    EXPECT_EQ(vec.size(), 10u);
+    EXPECT_EQ(vec.back(), 27);
+    vec.pop_back();
+    EXPECT_EQ(vec.size(), 9u);
+    vec.clear();
+    EXPECT_TRUE(vec.empty());
+}
+
+TEST(ArenaVec, ReusedAfterResetWithoutNewChunks) {
+    support::Arena arena;
+    {
+        support::ArenaVec<int> warmup(arena);
+        for (int i = 0; i < 500; ++i) warmup.push_back(i);
+    }
+    arena.reset();
+    const std::uint64_t warm = arena.chunk_allocs();
+    for (int round = 0; round < 5; ++round) {
+        support::ArenaVec<int> vec(arena);
+        for (int i = 0; i < 500; ++i) vec.push_back(i);
+        EXPECT_EQ(vec.size(), 500u);
+        arena.reset();
+    }
+    EXPECT_EQ(arena.chunk_allocs(), warm);
+}
+
+TEST(ArenaBitset, SetTestClearWithinCapacity) {
+    support::Arena arena;
+    support::ArenaBitset bits(arena, 200);
+    EXPECT_FALSE(bits.test(0));
+    EXPECT_FALSE(bits.test(199));
+    bits.set(0);
+    bits.set(63);
+    bits.set(64);
+    bits.set(199);
+    EXPECT_TRUE(bits.test(0));
+    EXPECT_TRUE(bits.test(63));
+    EXPECT_TRUE(bits.test(64));
+    EXPECT_TRUE(bits.test(199));
+    EXPECT_FALSE(bits.test(1));
+    EXPECT_FALSE(bits.test(198));
+    // Out-of-capacity reads are defined (zero), never UB.
+    EXPECT_FALSE(bits.test(100000));
+    bits.clear();
+    EXPECT_FALSE(bits.test(63));
+    EXPECT_FALSE(bits.test(199));
+}
+
+TEST(ArenaBitset, OrWithClampedStopsAtCapacity) {
+    support::Arena arena;
+    support::ArenaBitset bits(arena, 64);  // exactly one word
+    const std::uint64_t other[2] = {0b1010, ~0ULL};
+    bits.or_with_clamped(other, 2);  // second word must be ignored
+    EXPECT_TRUE(bits.test(1));
+    EXPECT_TRUE(bits.test(3));
+    EXPECT_FALSE(bits.test(0));
+    EXPECT_FALSE(bits.test(2));
 }
 
 TEST(Contracts, ExpectsThrowsOnViolation) {

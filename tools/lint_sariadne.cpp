@@ -17,6 +17,14 @@
 //                      decode path and must not contain a `throw` token —
 //                      malformed bytes surface as Result errors, never as
 //                      exceptions unwinding a network event loop.
+//   4. hot-path:       a file marked `lint:hot-path` sits on the
+//                      zero-allocation query path and must not name
+//                      `std::vector<...>` or `std::string` in code — those
+//                      types heap-allocate on growth; scratch lives in the
+//                      per-query Arena (ArenaVec/ArenaBitset) instead.
+//                      Suppress a cold-path exception (setup, error
+//                      reporting) with `lint:allow-hot-path-alloc(<reason>)`
+//                      on or above the line.
 //
 // Usage: lint_sariadne <repo-root>; exits non-zero listing every finding.
 #include <cctype>
@@ -225,6 +233,35 @@ void check_wire_decode(const fs::path& path, const std::string& raw,
     }
 }
 
+void check_hot_path(const fs::path& path, const std::string& raw,
+                    const std::string& code, std::vector<Finding>& out) {
+    // The rule text below names its own tokens; exempt this linter by
+    // filename rather than contorting the patterns.
+    if (path.filename() == "lint_sariadne.cpp") return;
+    if (raw.find("lint:hot-path") == std::string::npos) return;
+    static const std::regex allocating(R"(\bstd::vector\s*<|\bstd::string\b)");
+    const std::vector<std::string> raw_lines = split_lines(raw);
+    const std::vector<std::string> code_lines = split_lines(code);
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+        if (!std::regex_search(code_lines[i], allocating)) continue;
+        bool suppressed = false;
+        for (std::size_t back = 0; back <= 2 && back <= i; ++back) {
+            if (raw_lines[i - back].find("lint:allow-hot-path-alloc(") !=
+                std::string::npos) {
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed) {
+            out.push_back(
+                {path.string(), i + 1, "hot-path",
+                 "std::vector/std::string in a lint:hot-path file — use the "
+                 "query Arena (ArenaVec/ArenaBitset) or add "
+                 "lint:allow-hot-path-alloc(<reason>)"});
+        }
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,6 +298,7 @@ int main(int argc, char** argv) {
                 check_metric_names(entry.path(), code_with_strings, findings);
             }
             check_wire_decode(entry.path(), raw, code, findings);
+            check_hot_path(entry.path(), raw, code, findings);
         }
     }
 
