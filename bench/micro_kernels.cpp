@@ -287,6 +287,69 @@ int write_matching_report(const std::string& path) {
         bench::upsert_bench_json(path, "kernel.interval_merge", merge_stats);
     }
 
+    // Skewed-list skip phases: a few late outer occurrences against a
+    // dense inner list, so the merge is one long ++j run — the case the
+    // galloped dispatch exists for. No containment by construction, so
+    // both kernels traverse their full skip distance. Linear baseline and
+    // dispatching entry point sampled in alternating batches so they share
+    // scheduler and cache conditions.
+    std::vector<encoding::CodedInterval> sparse_outer;
+    for (int k = 0; k < 4; ++k) {
+        encoding::CodedInterval ci;
+        ci.interval.lo = 0.95 + 0.01 * k;
+        ci.interval.hi = ci.interval.lo + 0.001;
+        ci.depth = 1;
+        sparse_outer.push_back(ci);
+    }
+    std::vector<encoding::CodedInterval> dense_inner;
+    for (int k = 0; k < 2048; ++k) {
+        encoding::CodedInterval ci;
+        ci.interval.lo = static_cast<double>(k) * (0.9 / 2048.0);
+        ci.interval.hi = ci.interval.lo + 1e-5;
+        ci.depth = 5;
+        dense_inner.push_back(ci);
+    }
+    const bool skew_linear_verdict = encoding::packed_contains_linear(
+        sparse_outer.data(), sparse_outer.size(), dense_inner.data(),
+        dense_inner.size());
+    const bool skew_dispatch_verdict = encoding::packed_contains(
+        sparse_outer.data(), sparse_outer.size(), dense_inner.data(),
+        dense_inner.size());
+    std::vector<double> skew_linear_us;
+    std::vector<double> skew_galloped_us;
+    for (int s = 0; s < 1200; ++s) {
+        {
+            Stopwatch stopwatch;
+            for (int i = 0; i < 64; ++i) {
+                benchmark::DoNotOptimize(encoding::packed_contains_linear(
+                    sparse_outer.data(), sparse_outer.size(),
+                    dense_inner.data(), dense_inner.size()));
+                benchmark::DoNotOptimize(encoding::packed_distance_linear(
+                    sparse_outer.data(), sparse_outer.size(),
+                    dense_inner.data(), dense_inner.size()));
+            }
+            skew_linear_us.push_back(stopwatch.elapsed_ms() * 1000.0 / 64);
+        }
+        {
+            Stopwatch stopwatch;
+            for (int i = 0; i < 64; ++i) {
+                benchmark::DoNotOptimize(encoding::packed_contains(
+                    sparse_outer.data(), sparse_outer.size(),
+                    dense_inner.data(), dense_inner.size()));
+                benchmark::DoNotOptimize(encoding::packed_distance(
+                    sparse_outer.data(), sparse_outer.size(),
+                    dense_inner.data(), dense_inner.size()));
+            }
+            skew_galloped_us.push_back(stopwatch.elapsed_ms() * 1000.0 / 64);
+        }
+    }
+    const auto skew_linear_stats = bench::summarize_us(skew_linear_us);
+    const auto skew_galloped_stats = bench::summarize_us(skew_galloped_us);
+    bench::upsert_bench_json(path, "kernel.interval_skip_linear",
+                             skew_linear_stats);
+    bench::upsert_bench_json(path, "kernel.interval_skip_galloped",
+                             skew_galloped_stats);
+
     directory::SemanticDirectory directory(f.kb);
     for (std::size_t i = 0; i < 500; ++i) {
         directory.publish(f.workload.service(i));
@@ -373,6 +436,10 @@ int write_matching_report(const std::string& path) {
                 bench::to_json(fast_stats).c_str());
     std::printf("  kernel.capability_match_encoded    %s\n",
                 bench::to_json(encoded_stats).c_str());
+    std::printf("  kernel.interval_skip_linear        %s\n",
+                bench::to_json(skew_linear_stats).c_str());
+    std::printf("  kernel.interval_skip_galloped      %s\n",
+                bench::to_json(skew_galloped_stats).c_str());
     std::printf("  directory.semantic_query_500       %s\n",
                 bench::to_json(query_stats).c_str());
     std::printf("  directory.semantic_query_500_reuse %s\n",
@@ -386,6 +453,17 @@ int write_matching_report(const std::string& path) {
     checks.check(scratch_allocs == 0,
                  "steady-state queries report zero arena chunk growth "
                  "(MatchStats::scratch_allocs)");
+    checks.check(skew_linear_verdict == skew_dispatch_verdict &&
+                     !skew_dispatch_verdict,
+                 "galloped dispatch agrees with the linear kernel on the "
+                 "skewed no-containment lists");
+    checks.check(encoding::gallop_worthwhile(sparse_outer.size(),
+                                             dense_inner.size()),
+                 "the skewed shape (4 vs 2048) clears the galloping "
+                 "dispatch gate");
+    checks.check(skew_galloped_stats.p50_us <= skew_linear_stats.p50_us,
+                 "galloped skip phases are no slower than the linear "
+                 "merge on 4-vs-2048 skew (p50)");
     return checks.finish("micro_kernels");
 }
 

@@ -1,0 +1,50 @@
+// Fuzz target: the exact-summary image codecs — the snapshot
+// (try_decode_summary) and word-granular delta (try_decode_delta) bytes a
+// directory accepts from backbone peers inside kSummaryBitmap /
+// kSummaryDelta frames. Every byte sequence must map to a validated value
+// or a Result error; accepted images must satisfy the encode∘decode
+// closure: re-encoding a decoded value yields bytes the decoder accepts
+// again as an equal value. Any escaping exception, abort, or overread
+// under ASan is a finding.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "summary/interval_summary.hpp"
+#include "summary/summary_wire.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+    namespace summary = sariadne::summary;
+    const std::span<const std::uint8_t> bytes(data, size);
+
+    const auto snapshot = summary::try_decode_summary(bytes);
+    if (snapshot.ok()) {
+        const std::vector<std::uint8_t> again =
+            summary::encode_summary(snapshot.value());
+        const auto redecoded = summary::try_decode_summary(again);
+        if (!redecoded.ok() || !(redecoded.value() == snapshot.value())) {
+            std::abort();
+        }
+    }
+
+    const auto delta = summary::try_decode_delta(bytes);
+    if (delta.ok()) {
+        const std::vector<std::uint8_t> again =
+            summary::encode_delta(delta.value());
+        const auto redecoded = summary::try_decode_delta(again);
+        if (!redecoded.ok() ||
+            redecoded.value().base_version != delta.value().base_version ||
+            redecoded.value().new_version != delta.value().new_version ||
+            redecoded.value().entries.size() != delta.value().entries.size()) {
+            std::abort();
+        }
+    }
+
+    // The two magics are disjoint ('I','S' vs 'I','D'): no input may be
+    // accepted by both decoders.
+    if (snapshot.ok() && delta.ok()) std::abort();
+    return 0;
+}

@@ -90,6 +90,22 @@ struct SummaryPush {
     std::vector<std::uint64_t> wire;
 };
 
+/// Full exact-summary snapshot (interval backend). The image is the
+/// summary codec's bounded format (summary/summary_wire.hpp), carried
+/// opaquely past the outer frame.
+struct SummaryBitmap {
+    net::NodeId from;
+    std::vector<std::uint8_t> image;
+};
+
+/// Since-version word runs against the receiver's held exact summary;
+/// directories fall back to SummaryBitmap when the delta would outweigh
+/// the snapshot.
+struct SummaryDelta {
+    net::NodeId from;
+    std::vector<std::uint8_t> image;
+};
+
 struct Handover {
     std::string state_xml;
 };

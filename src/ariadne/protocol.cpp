@@ -10,6 +10,7 @@
 #include "description/resolved.hpp"
 #include "directory/state_transfer.hpp"
 #include "obs/metric_names.hpp"
+#include "summary/summary_wire.hpp"
 #include "support/catching.hpp"
 #include "support/contracts.hpp"
 #include "support/hash.hpp"
@@ -65,6 +66,13 @@ struct DiscoveryNetwork::NodeState {
     std::unique_ptr<directory::SyntacticDirectory> syndir;
     std::unordered_map<NodeId, bloom::BloomFilter> peer_summaries;
     std::unordered_map<NodeId, std::size_t> peer_false_positives;
+    /// Interval backend: exact peer summaries keyed by directory, the
+    /// snapshot of our own summary as the backbone last saw it (delta
+    /// base), and whether any push went out yet (first push is always a
+    /// full snapshot).
+    std::unordered_map<NodeId, summary::IntervalSummary> peer_exact_summaries;
+    summary::IntervalSummary last_pushed_summary;
+    bool summary_pushed_once = false;
     std::size_t publishes_since_push = 0;
 
     std::unordered_map<std::uint64_t, PendingRequest> pending;
@@ -147,6 +155,12 @@ DiscoveryNetwork::DiscoveryNetwork(std::unique_ptr<Transport> transport,
             &metrics->counter(obs::names::kProtocolBloomFalsePositives);
         metrics_.bloom_wire_rejected =
             &metrics->counter(obs::names::kProtocolBloomWireRejected);
+        metrics_.summary_bytes_sent =
+            &metrics->counter(obs::names::kProtocolSummaryBytesSent);
+        metrics_.summary_delta_pushes =
+            &metrics->counter(obs::names::kProtocolSummaryDeltaPushes);
+        metrics_.forwards_saved_exact =
+            &metrics->counter(obs::names::kProtocolForwardsSavedExact);
         metrics_.pending_reaped = &metrics->counter(obs::names::kProtocolPendingReaped);
         metrics_.publishes_acked =
             &metrics->counter(obs::names::kProtocolPublishesAcked);
@@ -288,6 +302,9 @@ void DiscoveryNetwork::resign_directory(NodeId node) {
     state.semdir.reset();
     state.syndir.reset();
     state.peer_summaries.clear();
+    state.peer_exact_summaries.clear();
+    state.last_pushed_summary = summary::IntervalSummary{};
+    state.summary_pushed_once = false;
     state.last_adv = -1e18;  // eligible to detect a directory-less vicinity
 
     if (exported.empty()) return;  // syntactic mode: providers re-publish
@@ -318,7 +335,9 @@ void DiscoveryNetwork::become_directory(NodeId node) {
     state.election_pending = false;
     if (config_.protocol == Protocol::kSAriadne) {
         state.semdir = std::make_unique<directory::SemanticDirectory>(
-            *kb_, config_.bloom, metrics_.registry);
+            *kb_,
+            directory::SummaryConfig{config_.summary_backend, config_.bloom},
+            metrics_.registry);
     } else {
         state.syndir = std::make_unique<directory::SyntacticDirectory>();
     }
@@ -361,16 +380,79 @@ void DiscoveryNetwork::directory_advertise(NodeId node) {
 void DiscoveryNetwork::push_summary(NodeId directory_node) {
     NodeState& state = *nodes_[directory_node];
     if (state.semdir == nullptr) return;
+    if (config_.summary_backend == summary::SummaryBackend::kInterval) {
+        push_exact_summary(directory_node);
+        return;
+    }
     const auto wire = state.semdir->summary().serialize();
     for (const NodeId peer : directories()) {
         if (peer == directory_node) continue;
         if (metrics_.summary_pushes) metrics_.summary_pushes->inc();
+        if (metrics_.summary_bytes_sent) {
+            metrics_.summary_bytes_sent->inc(
+                static_cast<std::uint64_t>(wire.size() * 8));
+        }
         Message push;
         push.type = "summary-push";
         push.payload = SummaryPush{directory_node, wire};
         push.size_bytes = static_cast<std::uint32_t>(wire.size() * 8);
         transport_->unicast(directory_node, peer, std::move(push));
     }
+    state.publishes_since_push = 0;
+}
+
+void DiscoveryNetwork::push_exact_summary(NodeId directory_node) {
+    NodeState& state = *nodes_[directory_node];
+    summary::IntervalSummary current = state.semdir->interval_summary();
+    // Nothing changed since the backbone last heard from us: every delta
+    // would be empty and every snapshot redundant (late-elected peers pull
+    // their own copy), so skip the fan-out entirely.
+    if (state.summary_pushed_once &&
+        current.version() == state.last_pushed_summary.version()) {
+        state.publishes_since_push = 0;
+        return;
+    }
+    std::vector<std::uint8_t> image;
+    bool is_delta = false;
+    if (state.summary_pushed_once) {
+        // Delta against the last pushed image; fall back to the full
+        // snapshot when the delta would not actually be smaller. A peer
+        // that missed the base version detects the gap on apply and
+        // re-pulls a snapshot, so one shared base is sufficient.
+        std::vector<std::uint8_t> delta_image = summary::encode_delta(
+            summary::diff_summary(state.last_pushed_summary, current));
+        std::vector<std::uint8_t> snap_image = summary::encode_summary(current);
+        if (delta_image.size() < snap_image.size()) {
+            image = std::move(delta_image);
+            is_delta = true;
+        } else {
+            image = std::move(snap_image);
+        }
+    } else {
+        image = summary::encode_summary(current);
+    }
+    for (const NodeId peer : directories()) {
+        if (peer == directory_node) continue;
+        if (metrics_.summary_pushes) metrics_.summary_pushes->inc();
+        if (metrics_.summary_bytes_sent) {
+            metrics_.summary_bytes_sent->inc(
+                static_cast<std::uint64_t>(image.size()));
+        }
+        if (is_delta && metrics_.summary_delta_pushes) {
+            metrics_.summary_delta_pushes->inc();
+        }
+        Message push;
+        push.type = is_delta ? "summary-delta" : "summary-bitmap";
+        push.size_bytes = static_cast<std::uint32_t>(8 + image.size());
+        if (is_delta) {
+            push.payload = msg::SummaryDelta{directory_node, image};
+        } else {
+            push.payload = msg::SummaryBitmap{directory_node, image};
+        }
+        transport_->unicast(directory_node, peer, std::move(push));
+    }
+    state.last_pushed_summary = std::move(current);
+    state.summary_pushed_once = true;
     state.publishes_since_push = 0;
 }
 
@@ -598,7 +680,11 @@ void DiscoveryNetwork::handle_publish(NodeId self, const Message& msg) {
         return;
     }
     if (state.semdir != nullptr) {
+        const bool exact =
+            config_.summary_backend == summary::SummaryBackend::kInterval;
         const std::size_t bits_before = state.semdir->summary().set_bit_count();
+        const std::uint64_t version_before =
+            exact ? state.semdir->interval_summary_version() : 0;
         // The document is peer input: a malformed description must be
         // contained here (dropped + counted), not unwind the transport's
         // event loop. No ack is sent, so an acknowledged publish of a bad
@@ -618,9 +704,13 @@ void DiscoveryNetwork::handle_publish(NodeId self, const Message& msg) {
         // *negatives*, which (unlike false positives) the reactive
         // exchange cannot repair. Pushes are bounded by the number of
         // distinct ontology sets, and the batch threshold still forces a
-        // periodic refresh.
+        // periodic refresh. The exact backend watches its summary version
+        // instead: it changes at concept granularity (a new code inside an
+        // already-covered ontology moves it where Bloom bits would not),
+        // and the delta encoding keeps those extra pushes small.
         const bool coverage_grew =
-            state.semdir->summary().set_bit_count() > bits_before;
+            exact ? state.semdir->interval_summary_version() != version_before
+                  : state.semdir->summary().set_bit_count() > bits_before;
         if (++state.publishes_since_push >= config_.summary_push_every ||
             coverage_grew) {
             push_summary(self);
@@ -687,7 +777,11 @@ void DiscoveryNetwork::handle_publish_batch(NodeId self, const Message& msg) {
         }
         return;
     }
+    const bool exact =
+        config_.summary_backend == summary::SummaryBackend::kInterval;
     const std::size_t bits_before = state.semdir->summary().set_bit_count();
+    const std::uint64_t version_before =
+        exact ? state.semdir->interval_summary_version() : 0;
     // Parse phase: each document is peer input, contained per member. A
     // malformed member is dropped (counted, never acked — the provider's
     // retransmit budget expires it) without poisoning the rest.
@@ -735,7 +829,8 @@ void DiscoveryNetwork::handle_publish_batch(NodeId self, const Message& msg) {
         }
     }
     const bool coverage_grew =
-        state.semdir->summary().set_bit_count() > bits_before;
+        exact ? state.semdir->interval_summary_version() != version_before
+              : state.semdir->summary().set_bit_count() > bits_before;
     state.publishes_since_push += published_count;
     if ((published_count > 0 &&
          state.publishes_since_push >= config_.summary_push_every) ||
@@ -832,6 +927,44 @@ std::vector<NodeId> DiscoveryNetwork::forward_targets(
         for (const NodeId dir : directories()) {
             if (dir != self) targets.push_back(dir);
         }
+        return targets;
+    }
+    if (config_.summary_backend == summary::SummaryBackend::kInterval) {
+        // Exact routing: forward only to peers whose interval summary
+        // proves some cached capability could subsume every required
+        // output/property concept. Build the probe once per request;
+        // covers() is a bitmap intersection per peer.
+        summary::RequestProbe probe;
+        try {
+            const desc::ServiceRequest request =
+                desc::parse_request(request_xml);
+            const auto resolved = desc::resolve_request(request, *kb_);
+            probe = summary::build_request_probe(resolved, *kb_);
+        } catch (const Error&) {
+            return targets;  // unresolvable request: nothing to forward
+        }
+        for (const auto& [peer, peer_summary] : state.peer_exact_summaries) {
+            if (!nodes_[peer]->is_directory) continue;
+            if (peer_summary.covers(probe)) {
+                targets.push_back(peer);
+                continue;
+            }
+            // Count the forwards concept-granular routing saves over
+            // URI-granular: the peer holds every probed ontology (so a
+            // Bloom summary would have said yes) but none of the
+            // subsuming concept codes.
+            bool ontology_level_pass = true;
+            for (const summary::ProbeConcept& pc : probe.concepts) {
+                if (peer_summary.find_entry(pc.uri) == nullptr) {
+                    ontology_level_pass = false;
+                    break;
+                }
+            }
+            if (ontology_level_pass && metrics_.forwards_saved_exact) {
+                metrics_.forwards_saved_exact->inc();
+            }
+        }
+        std::sort(targets.begin(), targets.end());
         return targets;
     }
     // S-Ariadne: only peers whose Bloom summary covers the request's
@@ -1018,8 +1151,14 @@ void DiscoveryNetwork::handle_forward_reply(NodeId self, const Message& msg) {
     }
     if (!any_hit && config_.protocol == Protocol::kSAriadne) {
         // The peer's summary covered the request but its cache had nothing:
-        // a Bloom false positive (or a stale filter).
-        if (metrics_.bloom_false_positives) metrics_.bloom_false_positives->inc();
+        // a Bloom false positive (or a stale filter). The exact backend has
+        // no false positives by construction — an empty reply there can
+        // only mean staleness, so the pull-threshold repair stays armed for
+        // both backends but the false-positive counter is Bloom-only.
+        if (config_.summary_backend == summary::SummaryBackend::kBloom &&
+            metrics_.bloom_false_positives) {
+            metrics_.bloom_false_positives->inc();
+        }
         if (++state.peer_false_positives[msg.source] >=
             config_.false_positive_pull_threshold) {
             state.peer_false_positives[msg.source] = 0;
@@ -1295,7 +1434,30 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
             if (metrics_.summary_pull_replies) {
                 metrics_.summary_pull_replies->inc();
             }
+            if (config_.summary_backend ==
+                summary::SummaryBackend::kInterval) {
+                // Pull replies are always a full snapshot: the puller
+                // either has no copy yet (fresh election) or detected a
+                // version gap a delta cannot bridge.
+                auto image = summary::encode_summary(
+                    state.semdir->interval_summary());
+                if (metrics_.summary_bytes_sent) {
+                    metrics_.summary_bytes_sent->inc(
+                        static_cast<std::uint64_t>(image.size()));
+                }
+                Message push;
+                push.type = "summary-bitmap";
+                push.size_bytes =
+                    static_cast<std::uint32_t>(8 + image.size());
+                push.payload = msg::SummaryBitmap{self, std::move(image)};
+                transport_->unicast(self, msg.source, std::move(push));
+                return;
+            }
             const auto wire = state.semdir->summary().serialize();
+            if (metrics_.summary_bytes_sent) {
+                metrics_.summary_bytes_sent->inc(
+                    static_cast<std::uint64_t>(wire.size() * 8));
+            }
             Message push;
             push.type = "summary-push";
             push.payload = SummaryPush{self, wire};
@@ -1313,6 +1475,45 @@ void DiscoveryNetwork::handle_message(NodeId self, const Message& msg) {
                                                   *std::move(filter));
         } else if (metrics_.bloom_wire_rejected) {
             metrics_.bloom_wire_rejected->inc();
+        }
+        return;
+    }
+    if (msg.type == "summary-bitmap") {
+        const auto& push =
+            std::any_cast<const msg::SummaryBitmap&>(msg.payload);
+        // The image is peer-controlled bytes: the bounded summary decoder
+        // either yields an invariant-checked summary or a parse error that
+        // is counted and dropped (same containment as Bloom pushes).
+        if (auto decoded = summary::try_decode_summary(push.image)) {
+            state.peer_exact_summaries.insert_or_assign(
+                push.from, std::move(decoded).value());
+        } else if (metrics_.bloom_wire_rejected) {
+            metrics_.bloom_wire_rejected->inc();
+        }
+        return;
+    }
+    if (msg.type == "summary-delta") {
+        const auto& push =
+            std::any_cast<const msg::SummaryDelta&>(msg.payload);
+        auto decoded = summary::try_decode_delta(push.image);
+        if (!decoded) {
+            if (metrics_.bloom_wire_rejected) metrics_.bloom_wire_rejected->inc();
+            return;
+        }
+        auto held = state.peer_exact_summaries.find(push.from);
+        summary::DeltaApply applied = summary::DeltaApply::kGap;
+        if (held != state.peer_exact_summaries.end()) {
+            applied = held->second.apply_delta(decoded.value());
+        }
+        if (applied == summary::DeltaApply::kGap) {
+            // Missed the delta's base version (packet loss, late election,
+            // or no copy at all): re-pull a full snapshot. kDuplicate is
+            // the idempotent case — a re-delivered delta changes nothing.
+            if (metrics_.summary_pulls) metrics_.summary_pulls->inc();
+            Message pull;
+            pull.type = "summary-pull";
+            pull.size_bytes = 8;
+            transport_->unicast(self, msg.source, std::move(pull));
         }
         return;
     }
@@ -1390,6 +1591,20 @@ void DiscoveryNetwork::inject_summary_push(net::NodeId from, net::NodeId to,
     push.type = "summary-push";
     push.size_bytes = static_cast<std::uint32_t>(wire.size() * 8);
     push.payload = SummaryPush{from, std::move(wire)};
+    transport_->unicast(from, to, std::move(push));
+}
+
+void DiscoveryNetwork::inject_summary_image(net::NodeId from, net::NodeId to,
+                                            bool delta,
+                                            std::vector<std::uint8_t> image) {
+    Message push;
+    push.type = delta ? "summary-delta" : "summary-bitmap";
+    push.size_bytes = static_cast<std::uint32_t>(8 + image.size());
+    if (delta) {
+        push.payload = msg::SummaryDelta{from, std::move(image)};
+    } else {
+        push.payload = msg::SummaryBitmap{from, std::move(image)};
+    }
     transport_->unicast(from, to, std::move(push));
 }
 

@@ -42,6 +42,7 @@
 #include "directory/syntactic_directory.hpp"
 #include "encoding/knowledge_base.hpp"
 #include "obs/metrics.hpp"
+#include "summary/interval_summary.hpp"
 #include "support/result.hpp"
 #include "support/rng.hpp"
 
@@ -60,6 +61,12 @@ struct ProtocolConfig {
     std::uint32_t vicinity_hops = 2;
     std::uint32_t election_ttl = 2;
     bloom::BloomParams bloom{};     ///< summary parameters (semantic mode)
+    /// Which directory-summary backend semantic directories maintain and
+    /// exchange: Bloom filters over ontology URIs (default, byte-identical
+    /// to the pre-exact protocol) or exact interval bitmaps over concept
+    /// codes ("summary-bitmap"/"summary-delta" pushes, zero routing false
+    /// positives at concept granularity).
+    summary::SummaryBackend summary_backend = summary::SummaryBackend::kBloom;
     std::size_t summary_push_every = 8;  ///< publishes between summary pushes
     /// Forwarded requests answered empty before a fresh summary is pulled
     /// (the paper's reactive exchange on false-positive threshold).
@@ -243,6 +250,12 @@ public:
     void inject_summary_push(net::NodeId from, net::NodeId to,
                              std::vector<std::uint64_t> wire);
 
+    /// Exact-backend twin of inject_summary_push: delivers a raw
+    /// `summary-bitmap` (delta=false) or `summary-delta` (delta=true)
+    /// image, bypassing the directory-side encoder.
+    void inject_summary_image(net::NodeId from, net::NodeId to, bool delta,
+                              std::vector<std::uint8_t> image);
+
     /// The attached registry, nullptr when the network is uninstrumented.
     obs::MetricsRegistry* metrics() const noexcept { return metrics_.registry; }
 
@@ -289,6 +302,10 @@ private:
     void become_directory(net::NodeId node);
     void directory_advertise(net::NodeId node);
     void push_summary(net::NodeId directory);
+    /// Interval-backend push: full "summary-bitmap" on the first push,
+    /// then "summary-delta" since the last pushed version unless the delta
+    /// image would outweigh the snapshot.
+    void push_exact_summary(net::NodeId directory);
     void handle_message(net::NodeId self, const net::Message& msg);
     void handle_publish(net::NodeId self, const net::Message& msg);
     void handle_publish_batch(net::NodeId self, const net::Message& msg);
@@ -325,6 +342,9 @@ private:
         obs::Counter* summary_pull_replies = nullptr;
         obs::Counter* bloom_false_positives = nullptr;
         obs::Counter* bloom_wire_rejected = nullptr;
+        obs::Counter* summary_bytes_sent = nullptr;
+        obs::Counter* summary_delta_pushes = nullptr;
+        obs::Counter* forwards_saved_exact = nullptr;
         obs::Counter* pending_reaped = nullptr;
         obs::Counter* publishes_acked = nullptr;
         obs::Counter* publishes_retried = nullptr;

@@ -165,6 +165,24 @@ std::vector<Hit> read_hits(Reader& in, const char* field) {
     return hits;
 }
 
+/// Length-prefixed opaque byte image (summary snapshots/deltas). The
+/// length is validated like a string's, so a hostile count cannot size an
+/// allocation beyond the datagram.
+std::vector<std::uint8_t> read_image(Reader& in, const char* field) {
+    const std::uint32_t len = in.u32(field);
+    std::vector<std::uint8_t> image;
+    if (in.failed()) return image;
+    if (len > in.remaining()) {
+        in.fail(field, "image length exceeds remaining input");
+        return image;
+    }
+    image.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+        image.push_back(in.u8(field));
+    }
+    return image;
+}
+
 ErrorInfo parse_error(std::string message) {
     return ErrorInfo{ErrorCode::kParse,
                      "wire decode failed: " + std::move(message)};
@@ -189,6 +207,8 @@ const char* to_string(MsgType type) noexcept {
         case MsgType::kSummaryPull: return "summary-pull";
         case MsgType::kHandover: return "handover";
         case MsgType::kPublishBatch: return "pub-batch";
+        case MsgType::kSummaryBitmap: return "summary-bitmap";
+        case MsgType::kSummaryDelta: return "summary-delta";
     }
     return "unknown";
 }
@@ -278,6 +298,18 @@ std::vector<std::uint8_t> encode(const WireMessage& message) {
                     put_u64(out, doc.pub_id);
                     put_string(out, doc.document);
                 }
+            } else if constexpr (std::is_same_v<P, SummaryBitmap>) {
+                expect_type(MsgType::kSummaryBitmap);
+                put_u32(out, payload.from);
+                put_u32(out, static_cast<std::uint32_t>(payload.image.size()));
+                out.insert(out.end(), payload.image.begin(),
+                           payload.image.end());
+            } else if constexpr (std::is_same_v<P, SummaryDelta>) {
+                expect_type(MsgType::kSummaryDelta);
+                put_u32(out, payload.from);
+                put_u32(out, static_cast<std::uint32_t>(payload.image.size()));
+                out.insert(out.end(), payload.image.begin(),
+                           payload.image.end());
             }
         },
         message.payload);
@@ -299,7 +331,7 @@ Result<WireMessage> try_decode(std::span<const std::uint8_t> bytes) {
     const std::uint8_t type_byte = in.u8("type");
     if (in.failed()) return parse_error(in.context());
     if (type_byte < static_cast<std::uint8_t>(MsgType::kDirAdv) ||
-        type_byte > static_cast<std::uint8_t>(MsgType::kPublishBatch)) {
+        type_byte > static_cast<std::uint8_t>(MsgType::kSummaryDelta)) {
         return parse_error("type: unknown message type " +
                            std::to_string(int{type_byte}));
     }
@@ -423,6 +455,20 @@ Result<WireMessage> try_decode(std::span<const std::uint8_t> bytes) {
                 doc.document = in.string("pub-batch.document");
                 p.docs.push_back(std::move(doc));
             }
+            message.payload = std::move(p);
+            break;
+        }
+        case MsgType::kSummaryBitmap: {
+            SummaryBitmap p;
+            p.from = in.u32("summary-bitmap.from");
+            p.image = read_image(in, "summary-bitmap.image");
+            message.payload = std::move(p);
+            break;
+        }
+        case MsgType::kSummaryDelta: {
+            SummaryDelta p;
+            p.from = in.u32("summary-delta.from");
+            p.image = read_image(in, "summary-delta.image");
             message.payload = std::move(p);
             break;
         }

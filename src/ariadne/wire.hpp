@@ -50,6 +50,8 @@ enum class MsgType : std::uint8_t {
     kSummaryPull = 13,     ///< "summary-pull"
     kHandover = 14,        ///< "handover"
     kPublishBatch = 15,    ///< "pub-batch"
+    kSummaryBitmap = 16,   ///< "summary-bitmap"
+    kSummaryDelta = 17,    ///< "summary-delta"
 };
 
 /// The protocol's in-process type string for a wire id.
@@ -139,10 +141,27 @@ struct PublishBatch {
     std::vector<PublishDoc> docs;
 };
 
+/// Full exact-summary snapshot. The image is the summary codec's own
+/// bounded format (summary/summary_wire.hpp) carried opaquely: the outer
+/// frame validates only the byte length, the inner decoder re-validates
+/// structure, so a hostile image is rejected at exactly one layer.
+struct SummaryBitmap {
+    std::uint32_t from = 0;
+    std::vector<std::uint8_t> image;  ///< summary::encode_summary()
+};
+
+/// Since-version word runs against the receiver's held summary; falls
+/// back to SummaryBitmap when the delta would outweigh the snapshot.
+struct SummaryDelta {
+    std::uint32_t from = 0;
+    std::vector<std::uint8_t> image;  ///< summary::encode_delta()
+};
+
 using Payload =
     std::variant<DirAdv, ElectCall, ElectCandidate, ElectAppoint, PublishDoc,
                  PubAck, PubNack, Request, Response, Forward, ForwardResponse,
-                 SummaryPush, SummaryPull, Handover, PublishBatch>;
+                 SummaryPush, SummaryPull, Handover, PublishBatch,
+                 SummaryBitmap, SummaryDelta>;
 
 struct WireMessage {
     MsgType type = MsgType::kDirAdv;

@@ -121,6 +121,16 @@ Result<std::vector<std::uint8_t>> encode_message(const net::Message& message) {
         if (p == nullptr) return mismatch("summary-push");
         wm.type = wire::MsgType::kSummaryPush;
         wm.payload = wire::SummaryPush{p->from, p->wire};
+    } else if (type == "summary-bitmap") {
+        const auto* p = payload_as<msg::SummaryBitmap>(message);
+        if (p == nullptr) return mismatch("summary-bitmap");
+        wm.type = wire::MsgType::kSummaryBitmap;
+        wm.payload = wire::SummaryBitmap{p->from, p->image};
+    } else if (type == "summary-delta") {
+        const auto* p = payload_as<msg::SummaryDelta>(message);
+        if (p == nullptr) return mismatch("summary-delta");
+        wm.type = wire::MsgType::kSummaryDelta;
+        wm.payload = wire::SummaryDelta{p->from, p->image};
     } else if (type == "summary-pull") {
         wm.type = wire::MsgType::kSummaryPull;
         wm.payload = wire::SummaryPull{};
@@ -223,6 +233,16 @@ Result<net::Message> try_decode_message(std::span<const std::uint8_t> bytes) {
             auto& p = std::get<wire::SummaryPush>(wm.payload);
             message.payload =
                 msg::SummaryPush{p.from, std::move(p.summary_wire)};
+            break;
+        }
+        case wire::MsgType::kSummaryBitmap: {
+            auto& p = std::get<wire::SummaryBitmap>(wm.payload);
+            message.payload = msg::SummaryBitmap{p.from, std::move(p.image)};
+            break;
+        }
+        case wire::MsgType::kSummaryDelta: {
+            auto& p = std::get<wire::SummaryDelta>(wm.payload);
+            message.payload = msg::SummaryDelta{p.from, std::move(p.image)};
             break;
         }
         case wire::MsgType::kSummaryPull:

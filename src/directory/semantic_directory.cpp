@@ -31,15 +31,18 @@ struct PreparedService {
     std::vector<desc::ResolvedCapability> provided;
     std::vector<std::vector<std::string>> uri_sets;
     std::vector<FlatSet<onto::OntologyIndex>> signatures;
+    std::vector<summary::CapabilityProjection> projections;
     ServiceId id = 0;
 };
 
 PreparedService prepare_service(desc::ServiceDescription service,
-                                encoding::KnowledgeBase& kb) {
+                                encoding::KnowledgeBase& kb,
+                                bool project_codes) {
     PreparedService prepared;
     prepared.provided = desc::resolve_provided(service, kb);
     prepared.uri_sets.reserve(prepared.provided.size());
     prepared.signatures.reserve(prepared.provided.size());
+    if (project_codes) prepared.projections.reserve(prepared.provided.size());
     for (const auto& cap : prepared.provided) {
         // §3.2 consistency: a description carrying pre-computed codes must
         // have been encoded against the current ontology versions (the
@@ -54,6 +57,9 @@ PreparedService prepare_service(desc::ServiceDescription service,
         }
         prepared.uri_sets.push_back(desc::ontology_uris(cap, kb.registry()));
         prepared.signatures.push_back(cap.ontologies);
+        if (project_codes) {
+            prepared.projections.push_back(summary::project_capability(cap, kb));
+        }
     }
     prepared.description = std::move(service);
     return prepared;
@@ -79,7 +85,9 @@ PublishReceipt SemanticDirectory::publish(desc::ServiceDescription service) {
     // Resolve (with flat-layout code signatures attached) and version-check
     // before touching any shared state: a rejected description leaves the
     // directory untouched.
-    PreparedService prepared = prepare_service(std::move(service), *kb_);
+    PreparedService prepared = prepare_service(
+        std::move(service), *kb_,
+        summary_backend_ == summary::SummaryBackend::kInterval);
 
     // Re-advertisement: a service is identified by its name; a fresh
     // description replaces the cached one (services periodically re-publish
@@ -90,6 +98,7 @@ PublishReceipt SemanticDirectory::publish(desc::ServiceDescription service) {
     ServiceId replaced = 0;
     std::vector<FlatSet<OntologyIndex>> replaced_signatures;
     std::vector<std::vector<std::string>> replaced_uri_sets;
+    std::vector<summary::CapabilityProjection> replaced_projections;
     ServiceId id = 0;
     {
         std::unique_lock lock(services_mutex_);
@@ -99,13 +108,15 @@ PublishReceipt SemanticDirectory::publish(desc::ServiceDescription service) {
             const auto it = services_.find(replaced);
             replaced_signatures = std::move(it->second.signatures);
             replaced_uri_sets = std::move(it->second.summary_uri_sets);
+            replaced_projections = std::move(it->second.projections);
             services_.erase(it);
         }
         id = next_id_.fetch_add(1, std::memory_order_acq_rel);
         services_.emplace(id,
                           StoredService{std::move(prepared.description),
                                         prepared.uri_sets,
-                                        prepared.signatures});
+                                        prepared.signatures,
+                                        prepared.projections});
         by_name_[name] = id;
     }
     if (replaced != 0) dags_.remove_service(replaced, replaced_signatures);
@@ -120,6 +131,21 @@ PublishReceipt SemanticDirectory::publish(desc::ServiceDescription service) {
         } else {
             for (const auto& uris : prepared.uri_sets) {
                 summary_.insert_ontology_set(uris);
+            }
+        }
+        if (summary_backend_ == summary::SummaryBackend::kInterval) {
+            if (exact_tag_conflict_locked(prepared.projections)) {
+                // Codes crossed a table generation: re-project everything
+                // (the table already holds the new service, so the rebuild
+                // covers it; the replaced one is already gone).
+                rebuild_interval_summary_locked();
+            } else {
+                for (const auto& proj : prepared.projections) {
+                    exact_summary_.retain_projection(proj);
+                }
+                for (const auto& proj : replaced_projections) {
+                    exact_summary_.release_projection(proj);
+                }
             }
         }
     }
@@ -153,8 +179,11 @@ std::vector<PublishReceipt> SemanticDirectory::publish_batch(
     // one bad description rejects the batch with the directory untouched.
     std::vector<PreparedService> prepared;
     prepared.reserve(batch.size());
+    const bool project_codes =
+        summary_backend_ == summary::SummaryBackend::kInterval;
     for (auto& service : batch) {
-        prepared.push_back(prepare_service(std::move(service), *kb_));
+        prepared.push_back(
+            prepare_service(std::move(service), *kb_, project_codes));
     }
 
     // One critical section updates the service table for every member.
@@ -164,6 +193,7 @@ std::vector<PublishReceipt> SemanticDirectory::publish_batch(
         ServiceId id;
         std::vector<FlatSet<OntologyIndex>> signatures;
         std::vector<std::vector<std::string>> uri_sets;
+        std::vector<summary::CapabilityProjection> projections;
     };
     std::vector<Replaced> replaced;
     std::size_t fresh_names = 0;
@@ -176,7 +206,8 @@ std::vector<PublishReceipt> SemanticDirectory::publish_batch(
                 const auto it = services_.find(named->second);
                 replaced.push_back(
                     Replaced{named->second, std::move(it->second.signatures),
-                             std::move(it->second.summary_uri_sets)});
+                             std::move(it->second.summary_uri_sets),
+                             std::move(it->second.projections)});
                 services_.erase(it);
             } else {
                 ++fresh_names;
@@ -185,7 +216,8 @@ std::vector<PublishReceipt> SemanticDirectory::publish_batch(
             services_.emplace(p.id,
                               StoredService{std::move(p.description),
                                             p.uri_sets,
-                                            p.signatures});
+                                            p.signatures,
+                                            p.projections});
             by_name_[name] = p.id;
         }
     }
@@ -211,6 +243,32 @@ std::vector<PublishReceipt> SemanticDirectory::publish_batch(
             for (const auto& p : prepared) {
                 for (const auto& uris : p.uri_sets) {
                     summary_.insert_ontology_set(uris);
+                }
+            }
+        }
+        if (summary_backend_ == summary::SummaryBackend::kInterval) {
+            bool conflict = false;
+            for (const auto& p : prepared) {
+                if (exact_tag_conflict_locked(p.projections)) {
+                    conflict = true;
+                    break;
+                }
+            }
+            if (conflict) {
+                rebuild_interval_summary_locked();
+            } else {
+                // Same retain-before-release discipline as the URI sets:
+                // codes carried from a replaced service to its replacement
+                // never transiently drop to zero.
+                for (const auto& p : prepared) {
+                    for (const auto& proj : p.projections) {
+                        exact_summary_.retain_projection(proj);
+                    }
+                }
+                for (const auto& r : replaced) {
+                    for (const auto& proj : r.projections) {
+                        exact_summary_.release_projection(proj);
+                    }
                 }
             }
         }
@@ -262,6 +320,7 @@ std::vector<PublishReceipt> SemanticDirectory::publish_batch(
 bool SemanticDirectory::remove(ServiceId service) {
     std::vector<FlatSet<OntologyIndex>> signatures;
     std::vector<std::vector<std::string>> uri_sets;
+    std::vector<summary::CapabilityProjection> projections;
     {
         std::unique_lock lock(services_mutex_);
         const auto it = services_.find(service);
@@ -273,12 +332,19 @@ bool SemanticDirectory::remove(ServiceId service) {
         }
         signatures = std::move(it->second.signatures);
         uri_sets = std::move(it->second.summary_uri_sets);
+        projections = std::move(it->second.projections);
         services_.erase(it);
     }
     dags_.remove_service(service, signatures);
     {
         std::lock_guard lock(summary_mutex_);
         if (release_uri_sets_locked(uri_sets)) rebuild_summary_locked();
+        // Exact-summary removal is refcount-exact: no rebuild, ever. The
+        // cached projections are kept consistent with the summary's table
+        // generation by the publish-path conflict check.
+        for (const auto& proj : projections) {
+            exact_summary_.release_projection(proj);
+        }
     }
     if (metrics_.removals) metrics_.removals->inc();
     if (metrics_.services) metrics_.services->sub(1);
@@ -633,6 +699,57 @@ bool SemanticDirectory::release_uri_sets_locked(
         }
     }
     return lost;
+}
+
+summary::IntervalSummary SemanticDirectory::interval_summary() const {
+    std::lock_guard lock(summary_mutex_);
+    return exact_summary_.snapshot();
+}
+
+std::uint64_t SemanticDirectory::interval_summary_version() const {
+    std::lock_guard lock(summary_mutex_);
+    return exact_summary_.version();
+}
+
+std::size_t SemanticDirectory::interval_code_count() const {
+    std::lock_guard lock(summary_mutex_);
+    return exact_summary_.code_count();
+}
+
+std::size_t SemanticDirectory::summary_refcount_entries() const {
+    std::lock_guard lock(summary_mutex_);
+    return summary_refcounts_.size();
+}
+
+bool SemanticDirectory::exact_tag_conflict_locked(
+    const std::vector<summary::CapabilityProjection>& projections) const {
+    for (const auto& proj : projections) {
+        if (exact_summary_.tag_conflict(proj)) return true;
+    }
+    return false;
+}
+
+void SemanticDirectory::rebuild_interval_summary_locked() {
+    if (metrics_.summary_rebuilds) metrics_.summary_rebuilds->inc();
+    // Unlike the Bloom rebuild, this one re-resolves every description:
+    // the trigger is a code-table generation change, which invalidates the
+    // cached canonical codes themselves, not just the summary. It takes
+    // the service table exclusively (same summary→services lock order as
+    // rebuild_summary_locked) so the refreshed projections can be written
+    // back. Rare by design — ontology registration is quiesced.
+    std::unique_lock services_lock(services_mutex_);
+    exact_summary_.clear_retaining_version();
+    for (auto& [id, stored] : services_) {
+        stored.projections.clear();
+        const auto resolved = desc::resolve_provided(stored.description, *kb_);
+        stored.projections.reserve(resolved.size());
+        for (const auto& cap : resolved) {
+            stored.projections.push_back(summary::project_capability(cap, *kb_));
+        }
+        for (const auto& proj : stored.projections) {
+            exact_summary_.retain_projection(proj);
+        }
+    }
 }
 
 }  // namespace sariadne::directory

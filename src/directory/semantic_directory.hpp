@@ -36,6 +36,7 @@
 #include "matching/oracles.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
+#include "summary/interval_summary.hpp"
 #include "support/lock_rank.hpp"
 
 namespace sariadne::directory {
@@ -57,6 +58,24 @@ struct QueryResult {
     }
 };
 
+/// Which routing summary the directory maintains. The Bloom filter is
+/// always kept (it is the default wire format and the state-transfer
+/// snapshot); selecting the interval backend additionally maintains the
+/// exact concept-code summary that the protocol pushes instead.
+struct SummaryConfig {
+    summary::SummaryBackend backend = summary::SummaryBackend::kBloom;
+    bloom::BloomParams bloom{};
+
+    SummaryConfig() = default;
+    /// Implicit from BloomParams so legacy `SemanticDirectory(kb, params)`
+    /// call sites keep compiling (and keep the Bloom backend).
+    SummaryConfig(bloom::BloomParams bloom_params)  // NOLINT(runtime/explicit)
+        : bloom(bloom_params) {}
+    SummaryConfig(summary::SummaryBackend backend_,
+                  bloom::BloomParams bloom_params = {})
+        : backend(backend_), bloom(bloom_params) {}
+};
+
 class SemanticDirectory {
 public:
     /// The directory consults (and shares) a knowledge base of ontologies;
@@ -66,12 +85,13 @@ public:
     /// into it; several directories may share one registry (their counts
     /// aggregate). The registry must outlive the directory.
     explicit SemanticDirectory(encoding::KnowledgeBase& kb,
-                               bloom::BloomParams bloom_params = {},
+                               SummaryConfig summary_config = {},
                                obs::MetricsRegistry* metrics = nullptr,
                                DagTuning tuning = {})
         : kb_(&kb),
           dags_(DagIndex::kDefaultShardCount, tuning),
-          summary_(bloom_params) {
+          summary_(summary_config.bloom),
+          summary_backend_(summary_config.backend) {
         if (metrics != nullptr) {
             metrics_.registry = metrics;
             metrics_.publishes = &metrics->counter(obs::names::kDirectoryPublishes);
@@ -215,6 +235,28 @@ public:
     /// capabilities (§4).
     bloom::BloomFilter summary() const;
 
+    /// Which summary backend this directory maintains for routing.
+    summary::SummaryBackend summary_backend() const noexcept {
+        return summary_backend_;
+    }
+
+    /// Snapshot of the exact concept-code summary (no refcounts). Empty
+    /// unless the interval backend is selected.
+    summary::IntervalSummary interval_summary() const;
+
+    /// Content version of the exact summary — the protocol's cheap
+    /// "coverage changed since last push" probe. 0 under the Bloom backend.
+    std::uint64_t interval_summary_version() const;
+
+    /// Distinct (ontology, role, code) bits in the exact summary —
+    /// drain-to-zero churn assertions in tests.
+    std::size_t interval_code_count() const;
+
+    /// Live keys in the Bloom URI-set refcount map. Churn regression tests
+    /// pin this to baseline: zero-count keys must be erased on release or
+    /// long remove/republish runs grow the map unboundedly.
+    std::size_t summary_refcount_entries() const;
+
     /// Rebuilds the summary from live content (after removals — Bloom
     /// filters do not support deletion). Removal paths call this only when
     /// a departing service held the last reference to one of its URI sets;
@@ -260,6 +302,18 @@ private:
     bool release_uri_sets_locked(
         const std::vector<std::vector<std::string>>& sets);
 
+    /// True when some projection was produced under a different code-table
+    /// generation than the exact summary's entries — the env-tag
+    /// invalidation trigger. Caller holds summary_mutex_.
+    bool exact_tag_conflict_locked(
+        const std::vector<summary::CapabilityProjection>& projections) const;
+
+    /// Re-resolves every cached service against the current knowledge base,
+    /// refreshes the cached projections, and rebuilds the exact summary
+    /// from scratch (env-tag invalidation path). Caller holds
+    /// summary_mutex_; takes services_mutex_ unique internally.
+    void rebuild_interval_summary_locked();
+
     /// Cached registry handles; all null when uninstrumented.
     struct Metrics {
         obs::MetricsRegistry* registry = nullptr;
@@ -296,6 +350,10 @@ private:
         desc::ServiceDescription description;
         std::vector<std::vector<std::string>> summary_uri_sets;
         std::vector<FlatSet<OntologyIndex>> signatures;
+        /// Per-capability provided-side code projections (interval backend
+        /// only) — lets remove/replace release exact-summary codes without
+        /// re-resolving the description.
+        std::vector<summary::CapabilityProjection> projections;
     };
 
     /// Guards services_ and by_name_. Ranked above summary:
@@ -321,6 +379,12 @@ private:
     /// and keep the filter as-is instead of paying the O(services)
     /// rebuild.
     std::unordered_map<std::string, std::uint64_t> summary_refcounts_;
+    /// Exact concept-code summary (interval backend only; guarded by
+    /// summary_mutex_). Carries its own per-(ontology, role, code)
+    /// refcounts, so removals release exactly and never rebuild unless a
+    /// code-table generation change invalidates the projections.
+    summary::IntervalSummary exact_summary_;
+    const summary::SummaryBackend summary_backend_;
 
     /// Lifetime counters, relaxed — totals are exact once writers quiesce.
     mutable std::atomic<std::uint64_t> lifetime_capability_matches_{0};

@@ -70,9 +70,13 @@ struct CodedInterval {
 /// replicate the merge decisions exactly — including the empty-interval
 /// edge (lo == hi encodes exhausted precision), where plain containment
 /// (`olo <= ilo && ihi <= ohi`) would diverge from the merge.
-inline bool packed_contains(const CodedInterval* outer, std::size_t na,
-                            const CodedInterval* inner,
-                            std::size_t nb) noexcept {
+///
+/// This is the linear baseline; packed_contains below gallops the skip
+/// phases when one list dwarfs the other, and the differential tests pin
+/// the two to identical results.
+inline bool packed_contains_linear(const CodedInterval* outer, std::size_t na,
+                                   const CodedInterval* inner,
+                                   std::size_t nb) noexcept {
     if (na == 1) {
         const double olo = outer[0].interval.lo;
         const double ohi = outer[0].interval.hi;
@@ -107,10 +111,10 @@ inline bool packed_contains(const CodedInterval* outer, std::size_t na,
 
 /// Minimum depth(inner) − depth(outer) over containing pairs, or −1 when no
 /// `inner` occurrence nests inside an `outer` occurrence. Early exit at the
-/// minimum possible nested distance (1).
-inline int packed_distance(const CodedInterval* outer, std::size_t na,
-                           const CodedInterval* inner,
-                           std::size_t nb) noexcept {
+/// minimum possible nested distance (1). Linear baseline of packed_distance.
+inline int packed_distance_linear(const CodedInterval* outer, std::size_t na,
+                                  const CodedInterval* inner,
+                                  std::size_t nb) noexcept {
     if (na == 1) {
         // Same single-outer specialization as packed_contains: a contained
         // inner records its depth delta and scanning continues; an inner
@@ -152,6 +156,164 @@ inline int packed_distance(const CodedInterval* outer, std::size_t na,
         }
     }
     return best;
+}
+
+// ---------------------------------------------------------------------------
+// Galloped variants.
+//
+// When one occurrence list dwarfs the other, the linear merge spends almost
+// all its iterations in the two skip cases (++j while inner starts before
+// the current outer, ++i while the current inner starts at/after an outer's
+// end). Both skips advance a pointer to the first element crossing a bound
+// in a sorted sequence, so they can be replaced by exponential + binary
+// search without changing which (outer, inner) pairs reach the containment
+// test: skipped inners start before every remaining outer (outers are
+// sorted and disjoint, so their lo never decreases), and skipped outers end
+// at/before every remaining inner's start (disjoint sorted intervals also
+// have non-decreasing hi). The galloped merge therefore returns exactly the
+// linear answer in O(min · log max) worst case — and the exponential probe
+// keeps short skips at a couple of comparisons, so it never loses more than
+// a constant factor on balanced inputs either.
+// ---------------------------------------------------------------------------
+
+namespace interval_detail {
+
+/// First k in [from+1, n) with v[k].interval.lo >= bound; n when none.
+/// Precondition: v[from].interval.lo < bound (the skip condition held).
+inline std::size_t gallop_first_lo_ge(const CodedInterval* v, std::size_t from,
+                                      std::size_t n, double bound) noexcept {
+    std::size_t step = 1;
+    std::size_t prev = from;                // known < bound
+    std::size_t probe = from + step;
+    while (probe < n && v[probe].interval.lo < bound) {
+        prev = probe;
+        step <<= 1;
+        probe = from + step;
+    }
+    std::size_t lo = prev + 1;
+    std::size_t hi = probe < n ? probe : n;  // v[hi] >= bound or hi == n
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (v[mid].interval.lo < bound) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+/// First k in [from+1, n) with v[k].interval.hi > bound; n when none.
+/// Precondition: v[from].interval.hi <= bound. Valid because disjoint
+/// sorted intervals have non-decreasing hi (v[k].hi <= v[k+1].lo < v[k+1].hi).
+inline std::size_t gallop_first_hi_gt(const CodedInterval* v, std::size_t from,
+                                      std::size_t n, double bound) noexcept {
+    std::size_t step = 1;
+    std::size_t prev = from;                // known <= bound
+    std::size_t probe = from + step;
+    while (probe < n && v[probe].interval.hi <= bound) {
+        prev = probe;
+        step <<= 1;
+        probe = from + step;
+    }
+    std::size_t lo = prev + 1;
+    std::size_t hi = probe < n ? probe : n;
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (v[mid].interval.hi <= bound) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+}  // namespace interval_detail
+
+/// packed_contains_linear with galloped skip phases; identical results.
+inline bool packed_contains_galloped(const CodedInterval* outer,
+                                     std::size_t na,
+                                     const CodedInterval* inner,
+                                     std::size_t nb) noexcept {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < na && j < nb) {
+        const double ilo = inner[j].interval.lo;
+        if (ilo < outer[i].interval.lo) {
+            j = interval_detail::gallop_first_lo_ge(inner, j, nb,
+                                                    outer[i].interval.lo);
+        } else if (ilo >= outer[i].interval.hi) {
+            i = interval_detail::gallop_first_hi_gt(outer, i, na, ilo);
+        } else if (inner[j].interval.hi <= outer[i].interval.hi) {
+            return true;
+        } else {
+            ++i;  // inner strictly contains outer[i]; rare, step linearly
+        }
+    }
+    return false;
+}
+
+/// packed_distance_linear with galloped skip phases; identical results.
+inline int packed_distance_galloped(const CodedInterval* outer, std::size_t na,
+                                    const CodedInterval* inner,
+                                    std::size_t nb) noexcept {
+    int best = -1;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < na && j < nb) {
+        const double ilo = inner[j].interval.lo;
+        if (ilo < outer[i].interval.lo) {
+            j = interval_detail::gallop_first_lo_ge(inner, j, nb,
+                                                    outer[i].interval.lo);
+        } else if (ilo >= outer[i].interval.hi) {
+            i = interval_detail::gallop_first_hi_gt(outer, i, na, ilo);
+        } else if (inner[j].interval.hi <= outer[i].interval.hi) {
+            const int d = inner[j].depth - outer[i].depth;
+            if (d > 0 && (best < 0 || d < best)) {
+                if (d == 1) return 1;
+                best = d;
+            }
+            ++j;
+        } else {
+            ++i;
+        }
+    }
+    return best;
+}
+
+/// Galloping pays for its binary searches only when the skips are long:
+/// one side must be at least this many times the other ...
+inline constexpr std::size_t kGallopRatio = 8;
+/// ... and the longer side at least this long (tiny lists fit in a couple
+/// of cache lines; the linear merge wins on constants there).
+inline constexpr std::size_t kGallopMinLength = 16;
+
+inline bool gallop_worthwhile(std::size_t na, std::size_t nb) noexcept {
+    const std::size_t longer = na > nb ? na : nb;
+    const std::size_t shorter = na > nb ? nb : na;
+    return longer >= kGallopMinLength && longer >= kGallopRatio * shorter;
+}
+
+/// Dispatching entry points — the names the match kernel calls. Skewed
+/// list pairs take the galloped merge, everything else the linear one
+/// (including its single-occurrence fast paths).
+inline bool packed_contains(const CodedInterval* outer, std::size_t na,
+                            const CodedInterval* inner,
+                            std::size_t nb) noexcept {
+    if (gallop_worthwhile(na, nb)) {
+        return packed_contains_galloped(outer, na, inner, nb);
+    }
+    return packed_contains_linear(outer, na, inner, nb);
+}
+
+inline int packed_distance(const CodedInterval* outer, std::size_t na,
+                           const CodedInterval* inner,
+                           std::size_t nb) noexcept {
+    if (gallop_worthwhile(na, nb)) {
+        return packed_distance_galloped(outer, na, inner, nb);
+    }
+    return packed_distance_linear(outer, na, inner, nb);
 }
 
 }  // namespace sariadne::encoding

@@ -154,6 +154,12 @@ inline constexpr std::string_view kProtocolResponseMs =
     "protocol.response_ms";
 inline constexpr std::string_view kProtocolDirectoryComputeMs =
     "protocol.directory_compute_ms";
+inline constexpr std::string_view kProtocolSummaryBytesSent =
+    "protocol.summary_bytes_sent";
+inline constexpr std::string_view kProtocolSummaryDeltaPushes =
+    "protocol.summary_delta_pushes";
+inline constexpr std::string_view kProtocolForwardsSavedExact =
+    "protocol.forwards_saved_exact";
 
 // --- transport.* (net/event_loop.cpp) -----------------------------------
 inline constexpr std::string_view kTransportConnectionsAccepted =

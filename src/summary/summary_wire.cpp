@@ -1,0 +1,314 @@
+// lint:wire-decode — summary-image decoders must never throw: these bytes
+// arrive from the network inside kSummaryBitmap/kSummaryDelta frames and a
+// malformed image must degrade into a Result error the protocol layer can
+// count and drop.
+#include "summary/summary_wire.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace sariadne::summary {
+
+namespace {
+
+constexpr std::uint8_t kMagic0 = 'I';
+constexpr std::uint8_t kSnapshotMagic1 = 'S';
+constexpr std::uint8_t kDeltaMagic1 = 'D';
+constexpr std::uint8_t kFormatVersion = 1;
+
+/// Minimum encoded footprint of one slot (u32 index + u64 word) and one
+/// entry (u32 uri_len + u64 tag + two u32 slot counts) — the denominators
+/// for count-vs-remaining validation.
+constexpr std::size_t kSlotBytes = 12;
+constexpr std::size_t kMinEntryBytes = 4 + 8 + 4 + 4;
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+    out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+    put_u32(out, static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounded little-endian reader, mirroring wire.cpp: every accessor
+/// length-checks before touching bytes and latches a parse error instead
+/// of throwing.
+class Reader {
+public:
+    explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+    bool failed() const noexcept { return failed_; }
+    const std::string& error() const noexcept { return error_; }
+    std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+    void fail(std::string message) {
+        if (!failed_) {
+            failed_ = true;
+            error_ = std::move(message);
+        }
+    }
+
+    std::uint8_t u8(const char* field) {
+        if (!require(1, field)) return 0;
+        return bytes_[pos_++];
+    }
+
+    std::uint32_t u32(const char* field) {
+        if (!require(4, field)) return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            v |= std::uint32_t{bytes_[pos_ + i]} << (8 * i);
+        }
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t u64(const char* field) {
+        if (!require(8, field)) return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v |= std::uint64_t{bytes_[pos_ + i]} << (8 * i);
+        }
+        pos_ += 8;
+        return v;
+    }
+
+    std::string string(const char* field) {
+        const std::uint32_t len = u32(field);
+        if (failed_) return {};
+        if (len > remaining()) {
+            fail(std::string(field) + ": length exceeds input");
+            return {};
+        }
+        std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+        pos_ += len;
+        return out;
+    }
+
+    /// Reads a count and validates it against the bytes actually left, so
+    /// a hostile count cannot drive a giant reserve.
+    std::uint32_t count(const char* field, std::size_t min_element_bytes) {
+        const std::uint32_t n = u32(field);
+        if (failed_) return 0;
+        if (min_element_bytes != 0 && n > remaining() / min_element_bytes) {
+            fail(std::string(field) + ": count exceeds input");
+            return 0;
+        }
+        return n;
+    }
+
+private:
+    bool require(std::size_t n, const char* field) {
+        if (failed_) return false;
+        if (remaining() < n) {
+            fail(std::string(field) + ": truncated");
+            return false;
+        }
+        return true;
+    }
+
+    std::span<const std::uint8_t> bytes_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+    std::string error_;
+};
+
+ErrorInfo parse_error(const Reader& in) {
+    return ErrorInfo{ErrorCode::kParse, "summary image: " + in.error()};
+}
+
+bool check_header(Reader& in, std::uint8_t magic1) {
+    const std::uint8_t m0 = in.u8("magic");
+    const std::uint8_t m1 = in.u8("magic");
+    if (in.failed()) return false;
+    if (m0 != kMagic0 || m1 != magic1) {
+        in.fail("bad magic");
+        return false;
+    }
+    const std::uint8_t version = in.u8("format-version");
+    if (in.failed()) return false;
+    if (version != kFormatVersion) {
+        in.fail("unsupported format version");
+        return false;
+    }
+    return true;
+}
+
+void encode_slots(std::vector<std::uint8_t>& out,
+                  const std::vector<SparseBitmap::Slot>& slots) {
+    put_u32(out, static_cast<std::uint32_t>(slots.size()));
+    for (const SparseBitmap::Slot& slot : slots) {
+        put_u32(out, slot.index);
+        put_u64(out, slot.word);
+    }
+}
+
+/// Reads one role's slot list. `allow_zero_words` distinguishes delta
+/// images (word 0 clears a slot) from snapshots (words must be nonzero).
+std::vector<SparseBitmap::Slot> decode_slots(Reader& in, const char* field,
+                                             bool allow_zero_words) {
+    std::vector<SparseBitmap::Slot> slots;
+    const std::uint32_t n = in.count(field, kSlotBytes);
+    if (in.failed()) return slots;
+    slots.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        SparseBitmap::Slot slot;
+        slot.index = in.u32(field);
+        slot.word = in.u64(field);
+        if (in.failed()) return slots;
+        if (slot.index >= SparseBitmap::kMaxWordIndex) {
+            in.fail(std::string(field) + ": word index out of range");
+            return slots;
+        }
+        if (!allow_zero_words && slot.word == 0) {
+            in.fail(std::string(field) + ": zero word in snapshot");
+            return slots;
+        }
+        if (!slots.empty() && slots.back().index >= slot.index) {
+            in.fail(std::string(field) + ": unsorted word indices");
+            return slots;
+        }
+        slots.push_back(slot);
+    }
+    return slots;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_summary(const IntervalSummary& summary) {
+    std::vector<std::uint8_t> out;
+    put_u8(out, kMagic0);
+    put_u8(out, kSnapshotMagic1);
+    put_u8(out, kFormatVersion);
+    put_u64(out, summary.version());
+    put_u32(out, static_cast<std::uint32_t>(summary.entries().size()));
+    for (const IntervalSummary::Entry& entry : summary.entries()) {
+        put_string(out, entry.uri);
+        put_u64(out, entry.code_tag);
+        for (int r = 0; r < kRoleCount; ++r) {
+            encode_slots(out, entry.bits[r].leaves());
+        }
+    }
+    return out;
+}
+
+Result<IntervalSummary> try_decode_summary(
+    std::span<const std::uint8_t> bytes) {
+    Reader in(bytes);
+    if (!check_header(in, kSnapshotMagic1)) return parse_error(in);
+    IntervalSummary summary;
+    summary.set_version(in.u64("summary.version"));
+    const std::uint32_t entry_count = in.count("summary.entries", kMinEntryBytes);
+    if (in.failed()) return parse_error(in);
+    std::string previous_uri;
+    for (std::uint32_t e = 0; e < entry_count; ++e) {
+        const std::string uri = in.string("summary.entry.uri");
+        const std::uint64_t code_tag = in.u64("summary.entry.tag");
+        if (in.failed()) return parse_error(in);
+        if (uri.empty()) {
+            in.fail("summary.entry.uri: empty");
+            return parse_error(in);
+        }
+        if (e > 0 && previous_uri >= uri) {
+            in.fail("summary.entry.uri: unsorted entries");
+            return parse_error(in);
+        }
+        std::array<SparseBitmap, kRoleCount> bits;
+        bool any = false;
+        for (int r = 0; r < kRoleCount; ++r) {
+            std::vector<SparseBitmap::Slot> slots =
+                decode_slots(in, "summary.entry.words", /*allow_zero_words=*/false);
+            if (in.failed()) return parse_error(in);
+            any = any || !slots.empty();
+            if (!SparseBitmap::from_leaves(std::move(slots), bits[r])) {
+                in.fail("summary.entry.words: invalid leaves");
+                return parse_error(in);
+            }
+        }
+        if (!any) {
+            in.fail("summary.entry: empty entry");
+            return parse_error(in);
+        }
+        // Rebuild the entry via the maintenance-free mutators so internal
+        // invariants (sorted entries) hold by construction.
+        for (int r = 0; r < kRoleCount; ++r) {
+            const std::uint64_t version_before = summary.version();
+            bits[r].for_each_bit([&](std::uint32_t bit) {
+                summary.retain(uri, code_tag, static_cast<Role>(r), bit);
+            });
+            summary.set_version(version_before);
+        }
+        previous_uri = uri;
+    }
+    if (in.failed()) return parse_error(in);
+    if (in.remaining() != 0) {
+        in.fail("trailing bytes");
+        return parse_error(in);
+    }
+    return summary.snapshot();  // drop the rebuild refcounts
+}
+
+std::vector<std::uint8_t> encode_delta(const SummaryDelta& delta) {
+    std::vector<std::uint8_t> out;
+    put_u8(out, kMagic0);
+    put_u8(out, kDeltaMagic1);
+    put_u8(out, kFormatVersion);
+    put_u64(out, delta.base_version);
+    put_u64(out, delta.new_version);
+    put_u32(out, static_cast<std::uint32_t>(delta.entries.size()));
+    for (const SummaryDelta::Entry& entry : delta.entries) {
+        put_string(out, entry.uri);
+        put_u64(out, entry.code_tag);
+        for (int r = 0; r < kRoleCount; ++r) {
+            encode_slots(out, entry.words[r]);
+        }
+    }
+    return out;
+}
+
+Result<SummaryDelta> try_decode_delta(std::span<const std::uint8_t> bytes) {
+    Reader in(bytes);
+    if (!check_header(in, kDeltaMagic1)) return parse_error(in);
+    SummaryDelta delta;
+    delta.base_version = in.u64("delta.base-version");
+    delta.new_version = in.u64("delta.new-version");
+    const std::uint32_t entry_count = in.count("delta.entries", kMinEntryBytes);
+    if (in.failed()) return parse_error(in);
+    delta.entries.reserve(entry_count);
+    for (std::uint32_t e = 0; e < entry_count; ++e) {
+        SummaryDelta::Entry entry;
+        entry.uri = in.string("delta.entry.uri");
+        entry.code_tag = in.u64("delta.entry.tag");
+        if (in.failed()) return parse_error(in);
+        if (entry.uri.empty()) {
+            in.fail("delta.entry.uri: empty");
+            return parse_error(in);
+        }
+        if (!delta.entries.empty() && delta.entries.back().uri >= entry.uri) {
+            in.fail("delta.entry.uri: unsorted entries");
+            return parse_error(in);
+        }
+        for (int r = 0; r < kRoleCount; ++r) {
+            entry.words[r] =
+                decode_slots(in, "delta.entry.words", /*allow_zero_words=*/true);
+            if (in.failed()) return parse_error(in);
+        }
+        delta.entries.push_back(std::move(entry));
+    }
+    if (in.remaining() != 0) {
+        in.fail("trailing bytes");
+        return parse_error(in);
+    }
+    return delta;
+}
+
+}  // namespace sariadne::summary

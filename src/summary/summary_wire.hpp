@@ -1,0 +1,33 @@
+// Byte codec for exact-summary images: the full `summary-bitmap` snapshot
+// and the since-version `summary-delta` word runs. These images travel as
+// opaque length-prefixed payloads inside the outer protocol frames
+// (wire.hpp kSummaryBitmap / kSummaryDelta), so this is the layer that
+// must survive arbitrary bytes: decoding never throws and every count is
+// validated against the remaining input before allocation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "summary/interval_summary.hpp"
+#include "support/result.hpp"
+
+namespace sariadne::summary {
+
+/// Serializes a summary snapshot (entries + tags + leaf words + version).
+/// Only bitmap leaves are shipped; upper trie levels are derived on decode.
+std::vector<std::uint8_t> encode_summary(const IntervalSummary& summary);
+
+/// Decodes a snapshot image. Rejects malformed input (bad magic, unsorted
+/// entries or words, zero words, out-of-range indices, trailing bytes)
+/// without throwing.
+Result<IntervalSummary> try_decode_summary(std::span<const std::uint8_t> bytes);
+
+/// Serializes a word-granular delta (diff_summary output).
+std::vector<std::uint8_t> encode_delta(const SummaryDelta& delta);
+
+/// Decodes a delta image; zero words are legal here (they clear a slot).
+Result<SummaryDelta> try_decode_delta(std::span<const std::uint8_t> bytes);
+
+}  // namespace sariadne::summary

@@ -188,5 +188,24 @@ TEST(BloomFilter, ParamValidation) {
     EXPECT_THROW((BloomFilter(BloomParams{128, 64})), ContractViolation);
 }
 
+TEST(BloomFilter, CoversEdgeCases) {
+    // The routing predicate's degenerate inputs: a fresh (all-zero) filter
+    // can cover nothing, and an empty URI list is vacuously covered by any
+    // filter — "every URI is possibly present" over zero URIs.
+    BloomFilter empty_filter;
+    const auto one = uris({"urn:a"});
+    EXPECT_FALSE(empty_filter.possibly_covers(one));
+    EXPECT_TRUE(empty_filter.possibly_covers({}));
+
+    BloomFilter filter;
+    filter.insert_ontology_set(uris({"urn:a", "urn:b"}));
+    EXPECT_TRUE(filter.possibly_covers({}));
+    // Subset probes succeed (element keys, not a combined set key).
+    EXPECT_TRUE(filter.possibly_covers(one));
+    EXPECT_TRUE(filter.possibly_covers(uris({"urn:a", "urn:b"})));
+    // A superset containing a never-inserted URI fails the conjunction.
+    EXPECT_FALSE(filter.possibly_covers(uris({"urn:a", "urn:missing"})));
+}
+
 }  // namespace
 }  // namespace sariadne::bloom

@@ -7,6 +7,8 @@
 // counters — is a bug in the fast path.
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <random>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -363,6 +365,100 @@ TEST(Differential, QuickRejectPrunesSiblingCategoriesInsideOneDag) {
               "SendDigitalStream");
     EXPECT_EQ(result.per_capability[0][0].semantic_distance, 3);
     EXPECT_GE(result.stats.quick_rejects, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Galloped interval kernels vs the linear merge they replace.
+// ---------------------------------------------------------------------------
+
+/// Random occurrence list satisfying the kernel preconditions — sorted by
+/// lo, pairwise disjoint (so hi is non-decreasing too) — with occasional
+/// zero-width intervals standing in for exhausted encoding precision.
+/// Cells sit on a shared 1/4096 grid so independently drawn lists produce
+/// genuine containments, partial-overlap-free by construction.
+std::vector<encoding::CodedInterval> random_occurrences(std::mt19937& rng,
+                                                        std::size_t target) {
+    constexpr double kCell = 1.0 / 4096.0;
+    std::uniform_int_distribution<int> span_log(0, 6);
+    std::uniform_int_distribution<int> coin(0, 9);
+    std::vector<encoding::CodedInterval> out;
+    std::size_t pos = 0;
+    while (pos < 4096 && out.size() < target * 3) {
+        const std::size_t span = std::size_t{1} << span_log(rng);
+        if (coin(rng) < 2) {  // gap
+            pos += span;
+            continue;
+        }
+        encoding::CodedInterval ci;
+        ci.interval.lo = static_cast<double>(pos) * kCell;
+        const bool empty = coin(rng) == 0;
+        ci.interval.hi =
+            empty ? ci.interval.lo
+                  : static_cast<double>(pos + std::min(span, 4096 - pos)) * kCell;
+        ci.depth = 12 - span_log(rng) + coin(rng) % 3;
+        out.push_back(ci);
+        pos += span;
+    }
+    // Random subsequence down to the target length: a subsequence of a
+    // sorted disjoint list is still sorted and disjoint.
+    while (out.size() > target) {
+        std::uniform_int_distribution<std::size_t> pick(0, out.size() - 1);
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(pick(rng)));
+    }
+    return out;
+}
+
+TEST(Differential, GallopedKernelsMatchLinearOnEverySkew) {
+    // The galloped skip phases must be observationally identical to the
+    // linear merge on every size mix — balanced pairs (where the wrapper
+    // dispatches linear), the skewed pairs that trip gallop_worthwhile,
+    // and degenerate single-element lists that take the fast paths.
+    const std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+        {1, 1},   {1, 64},  {64, 1},  {3, 512}, {512, 3},
+        {16, 16}, {2, 200}, {200, 2}, {48, 48}, {1, 500},
+    };
+    std::mt19937 rng(20260808);
+    int containments = 0;
+    for (const auto& [na, nb] : shapes) {
+        for (int round = 0; round < 40; ++round) {
+            const auto outer = random_occurrences(rng, na);
+            const auto inner = random_occurrences(rng, nb);
+            const bool lin = encoding::packed_contains_linear(
+                outer.data(), outer.size(), inner.data(), inner.size());
+            ASSERT_EQ(encoding::packed_contains_galloped(
+                          outer.data(), outer.size(), inner.data(),
+                          inner.size()),
+                      lin)
+                << "contains diverged at shape (" << na << ", " << nb << ")";
+            ASSERT_EQ(encoding::packed_contains(outer.data(), outer.size(),
+                                                inner.data(), inner.size()),
+                      lin);
+            const int lin_d = encoding::packed_distance_linear(
+                outer.data(), outer.size(), inner.data(), inner.size());
+            ASSERT_EQ(encoding::packed_distance_galloped(
+                          outer.data(), outer.size(), inner.data(),
+                          inner.size()),
+                      lin_d)
+                << "distance diverged at shape (" << na << ", " << nb << ")";
+            ASSERT_EQ(encoding::packed_distance(outer.data(), outer.size(),
+                                                inner.data(), inner.size()),
+                      lin_d);
+            containments += lin ? 1 : 0;
+        }
+    }
+    // The sweep is only meaningful if both verdicts actually occur.
+    EXPECT_GT(containments, 20);
+}
+
+TEST(Differential, GallopDispatchGateIsSizeDriven) {
+    using encoding::gallop_worthwhile;
+    EXPECT_FALSE(gallop_worthwhile(1, 1));
+    EXPECT_FALSE(gallop_worthwhile(8, 8));
+    EXPECT_FALSE(gallop_worthwhile(15, 1));   // longer side below minimum
+    EXPECT_FALSE(gallop_worthwhile(64, 16));  // skew below the ratio
+    EXPECT_TRUE(gallop_worthwhile(16, 2));
+    EXPECT_TRUE(gallop_worthwhile(2, 16));    // symmetric
+    EXPECT_TRUE(gallop_worthwhile(512, 3));
 }
 
 }  // namespace

@@ -17,6 +17,15 @@
 //                      decode path and must not contain a `throw` token —
 //                      malformed bytes surface as Result errors, never as
 //                      exceptions unwinding a network event loop.
+//   5. fuzz-coverage:  every `try_decode*` decoder defined under src/
+//                      lives in a file marked `lint:wire-decode`, and the
+//                      decoder's name must be exercised by at least one
+//                      fuzz/*.cpp harness — a wire decoder nobody fuzzes
+//                      is an untested attack surface.
+//   6. fuzz-corpus:    every fuzz/fuzz_*.cpp target ships a non-empty
+//                      seed directory fuzz/corpus/<target>/, so the
+//                      fixed-seed CI smoke replays real frames instead of
+//                      starting from nothing.
 //   4. hot-path:       a file marked `lint:hot-path` sits on the
 //                      zero-allocation query path and must not name
 //                      `std::vector<...>` or `std::string` in code — those
@@ -262,6 +271,38 @@ void check_hot_path(const fs::path& path, const std::string& raw,
     }
 }
 
+struct DecoderDef {
+    std::string name;
+    std::string file;
+    std::size_t line;
+};
+
+/// Finds `Result<...> try_decode*(` definitions/declarations in a src/
+/// translation unit. Call sites never carry the Result return type, so
+/// this matches the decoder surface itself, not its users.
+void collect_decoders(const fs::path& path, const std::string& raw,
+                      const std::string& code,
+                      std::vector<DecoderDef>& decoders,
+                      std::vector<Finding>& out) {
+    const std::string ext = path.extension().string();
+    if (ext != ".cpp" && ext != ".cc") return;
+    static const std::regex def(R"(\bResult<[\w:<>,\s]+>\s+(try_decode\w*)\s*\()");
+    const std::vector<std::string> lines = split_lines(code);
+    bool defines_decoder = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::smatch match;
+        if (!std::regex_search(lines[i], match, def)) continue;
+        defines_decoder = true;
+        decoders.push_back({match[1].str(), path.string(), i + 1});
+    }
+    if (defines_decoder &&
+        raw.find("lint:wire-decode") == std::string::npos) {
+        out.push_back({path.string(), 1, "fuzz-coverage",
+                       "file defines a try_decode* wire decoder but lacks "
+                       "the lint:wire-decode marker"});
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -276,6 +317,8 @@ int main(int argc, char** argv) {
     }
 
     std::vector<Finding> findings;
+    std::vector<DecoderDef> decoders;
+    std::string fuzz_sources;  // concatenated fuzz/*.cpp, for rule 5
     for (const std::string_view top :
          {"src", "tests", "bench", "tools", "fuzz", "examples"}) {
         const fs::path dir = root / top;
@@ -299,6 +342,52 @@ int main(int argc, char** argv) {
             }
             check_wire_decode(entry.path(), raw, code, findings);
             check_hot_path(entry.path(), raw, code, findings);
+            if (is_under(entry.path(), root, "src")) {
+                collect_decoders(entry.path(), raw, code, decoders, findings);
+            }
+            if (is_under(entry.path(), root, "fuzz")) {
+                fuzz_sources += code;
+                fuzz_sources += '\n';
+            }
+        }
+    }
+
+    // Rule 5: every src/ wire decoder must be named by a fuzz harness.
+    for (const DecoderDef& decoder : decoders) {
+        const std::regex named(R"(\b)" + decoder.name + R"(\b)");
+        if (!std::regex_search(fuzz_sources, named)) {
+            findings.push_back(
+                {decoder.file, decoder.line, "fuzz-coverage",
+                 "wire decoder `" + decoder.name +
+                     "` is not exercised by any fuzz/*.cpp harness"});
+        }
+    }
+
+    // Rule 6: every fuzz target ships committed seeds.
+    const fs::path fuzz_dir = root / "fuzz";
+    if (fs::is_directory(fuzz_dir)) {
+        for (const auto& entry : fs::directory_iterator(fuzz_dir)) {
+            const std::string name = entry.path().filename().string();
+            if (!entry.is_regular_file() || name.rfind("fuzz_", 0) != 0 ||
+                entry.path().extension() != ".cpp") {
+                continue;
+            }
+            const fs::path corpus = fuzz_dir / "corpus" / entry.path().stem();
+            bool has_seed = false;
+            if (fs::is_directory(corpus)) {
+                for (const auto& seed : fs::directory_iterator(corpus)) {
+                    if (seed.is_regular_file() && seed.file_size() > 0) {
+                        has_seed = true;
+                        break;
+                    }
+                }
+            }
+            if (!has_seed) {
+                findings.push_back(
+                    {entry.path().string(), 1, "fuzz-corpus",
+                     "fuzz target has no non-empty seed corpus at " +
+                         corpus.string()});
+            }
         }
     }
 
