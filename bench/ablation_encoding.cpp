@@ -13,7 +13,7 @@
 
 #include "bench_util.hpp"
 #include "encoding/code_table.hpp"
-#include "encoding/knowledge_base.hpp"
+#include "reasoner/knowledge_base.hpp"
 #include "encoding/lin_encoding.hpp"
 #include "reasoner/reasoner.hpp"
 #include "workload/ontology_gen.hpp"

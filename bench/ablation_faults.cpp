@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "ariadne/protocol.hpp"
-#include "ariadne/sim_transport.hpp"
+#include "net/sim_transport.hpp"
 #include "bench_util.hpp"
 #include "description/amigos_io.hpp"
 #include "workload/ontology_gen.hpp"

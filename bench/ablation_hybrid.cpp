@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "ariadne/protocol.hpp"
-#include "ariadne/sim_transport.hpp"
+#include "net/sim_transport.hpp"
 #include "bench_util.hpp"
 #include "workload/ontology_gen.hpp"
 #include "workload/service_gen.hpp"

@@ -15,7 +15,7 @@
 #include <memory>
 
 #include "bench_util.hpp"
-#include "matching/online_matcher.hpp"
+#include "description/online_matcher.hpp"
 #include "ontology/loader.hpp"
 #include "reasoner/profiles.hpp"
 #include "workload/ontology_gen.hpp"

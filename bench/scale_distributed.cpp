@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ariadne/protocol.hpp"
+#include "net/topology.hpp"
 #include "bench_util.hpp"
 #include "workload/ontology_gen.hpp"
 #include "workload/service_gen.hpp"

@@ -10,7 +10,7 @@
 #include <cstdio>
 
 #include "ariadne/protocol.hpp"
-#include "ariadne/sim_transport.hpp"
+#include "net/sim_transport.hpp"
 #include "net/mobility.hpp"
 #include "workload/ontology_gen.hpp"
 #include "workload/service_gen.hpp"

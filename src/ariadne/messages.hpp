@@ -16,8 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "ariadne/transport_types.hpp"
 #include "directory/types.hpp"
-#include "net/topology.hpp"
 
 namespace sariadne::ariadne::msg {
 

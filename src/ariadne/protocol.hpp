@@ -40,11 +40,18 @@
 #include "bloom/bloom_filter.hpp"
 #include "directory/semantic_directory.hpp"
 #include "directory/syntactic_directory.hpp"
-#include "encoding/knowledge_base.hpp"
+#include "reasoner/knowledge_base.hpp"
 #include "obs/metrics.hpp"
 #include "summary/interval_summary.hpp"
 #include "support/result.hpp"
 #include "support/rng.hpp"
+
+// Fwd decl only: the Topology-taking convenience constructor is
+// declared here but defined in net/sim_transport.cpp, so this header
+// never includes the higher net layer.
+namespace sariadne::net {
+class Topology;
+}  // namespace sariadne::net
 
 namespace sariadne::ariadne {
 
@@ -130,9 +137,9 @@ public:
                      obs::MetricsRegistry* metrics = nullptr);
 
     /// Simulator-testbed convenience: builds a SimTransport over
-    /// `topology`. Defined in sim_transport.cpp so neither this header nor
+    /// `topology`. Defined in net/sim_transport.cpp so neither this header nor
     /// protocol.cpp depends on net/simulator.hpp; reach the simulator via
-    /// ariadne::sim(network) (sim_transport.hpp) when a test needs faults
+    /// ariadne::sim(network) (net/sim_transport.hpp) when a test needs faults
     /// or topology control.
     DiscoveryNetwork(net::Topology topology, ProtocolConfig config,
                      encoding::KnowledgeBase& kb,

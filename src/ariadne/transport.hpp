@@ -3,7 +3,7 @@
 // interface, so the same protocol logic runs unchanged on
 //
 //   * ariadne::SimTransport        — the deterministic discrete-event
-//     simulator testbed (ariadne/sim_transport.hpp); byte-identical to
+//     simulator testbed (net/sim_transport.hpp); byte-identical to
 //     the pre-seam behaviour, all fault injection preserved, and
 //   * net::EventLoopTransport      — a poll-based nonblocking-socket
 //     event loop moving the same messages as wire-codec frames over real
@@ -37,8 +37,7 @@
 #include <functional>
 #include <vector>
 
-#include "net/message.hpp"
-#include "net/topology.hpp"
+#include "ariadne/transport_types.hpp"
 #include "obs/metrics.hpp"
 
 namespace sariadne::ariadne {

@@ -1,9 +1,12 @@
-// Transport-neutral message vocabulary. These types used to live in
-// net/simulator.hpp, but they describe *what* moves between nodes, not
-// *how*: the discrete-event simulator and the real socket transport
-// (net/event_loop.hpp) both deliver `Message`s and account traffic in a
-// `TrafficStats`, and the protocol layer (src/ariadne) must compile
-// against this header alone — never against a concrete transport.
+// Transport-neutral vocabulary shared by the protocol layer and every
+// concrete transport. These types describe *what* moves between nodes,
+// not *how*: the discrete-event simulator (net/simulator.hpp) and the
+// real socket transport (net/event_loop.hpp) both address `NodeId`s,
+// deliver `Message`s, and account traffic in a `TrafficStats`. They live
+// in src/ariadne (below src/net in the layer DAG) so the protocol layer
+// compiles against this header alone — never against a concrete
+// transport — and they stay in namespace sariadne::net because they name
+// the network-facing contract, wherever a transport implements it.
 #pragma once
 
 #include <any>
@@ -11,9 +14,10 @@
 #include <map>
 #include <string>
 
-#include "net/topology.hpp"
-
 namespace sariadne::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
 
 /// Milliseconds on the transport's clock: virtual time on the simulator,
 /// real steady-clock time on the socket event loop.

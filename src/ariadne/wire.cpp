@@ -316,7 +316,7 @@ std::vector<std::uint8_t> encode(const WireMessage& message) {
     return out;
 }
 
-Result<WireMessage> try_decode(std::span<const std::uint8_t> bytes) {
+Result<WireMessage> try_decode(std::span<const std::uint8_t> bytes) noexcept {
     Reader in(bytes);
     const std::uint8_t m0 = in.u8("magic[0]");
     const std::uint8_t m1 = in.u8("magic[1]");

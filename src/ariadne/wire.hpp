@@ -14,7 +14,7 @@
 // hostile length cannot trigger an allocation larger than the datagram
 // that claims it. Decoding never throws — try_decode returns
 // Result<WireMessage> with ErrorCode::kParse for any malformed input
-// (see tools/lint_sariadne's wire-decode rule).
+// (see sariadne-analyze's wire-decode rule).
 #pragma once
 
 #include <cstdint>
@@ -175,6 +175,6 @@ std::vector<std::uint8_t> encode(const WireMessage& message);
 /// Parses one complete datagram. Never throws: malformed, truncated, or
 /// trailing-garbage input yields ErrorCode::kParse with a description of
 /// the offending field.
-Result<WireMessage> try_decode(std::span<const std::uint8_t> bytes);
+Result<WireMessage> try_decode(std::span<const std::uint8_t> bytes) noexcept;
 
 }  // namespace sariadne::ariadne::wire

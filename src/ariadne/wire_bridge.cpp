@@ -156,7 +156,8 @@ Result<std::vector<std::uint8_t>> encode_message(const net::Message& message) {
     return wire::encode(wm);
 }
 
-Result<net::Message> try_decode_message(std::span<const std::uint8_t> bytes) {
+Result<net::Message> try_decode_message(
+    std::span<const std::uint8_t> bytes) noexcept {
     auto decoded = wire::try_decode(bytes);
     if (!decoded) return decoded.error();
     wire::WireMessage& wm = decoded.value();

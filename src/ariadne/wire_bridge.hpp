@@ -16,7 +16,7 @@
 #include <span>
 #include <vector>
 
-#include "net/message.hpp"
+#include "ariadne/transport_types.hpp"
 #include "support/result.hpp"
 
 namespace sariadne::ariadne::wirebridge {
@@ -30,6 +30,7 @@ Result<std::vector<std::uint8_t>> encode_message(const net::Message& message);
 /// string set from the wire id, payload rebuilt as the msg:: struct,
 /// size_bytes = datagram size. source and wire_seq are left for the
 /// transport to stamp. Never throws; malformed input yields kParse.
-Result<net::Message> try_decode_message(std::span<const std::uint8_t> bytes);
+Result<net::Message> try_decode_message(
+    std::span<const std::uint8_t> bytes) noexcept;
 
 }  // namespace sariadne::ariadne::wirebridge

@@ -143,7 +143,7 @@ BloomFilter BloomFilter::deserialize(std::span<const std::uint64_t> data) {
 }
 
 std::optional<BloomFilter> BloomFilter::try_deserialize(
-    std::span<const std::uint64_t> data) {
+    std::span<const std::uint64_t> data) noexcept {
     try {
         return deserialize(data);
     } catch (const Error&) {

@@ -91,7 +91,7 @@ public:
     /// so protocol handlers can contain hostile summaries without
     /// unwinding their event loop.
     static std::optional<BloomFilter> try_deserialize(
-        std::span<const std::uint64_t> data);
+        std::span<const std::uint64_t> data) noexcept;
 
     std::size_t set_bit_count() const noexcept;
 

@@ -33,7 +33,7 @@
 
 #include "directory/semantic_directory.hpp"
 #include "directory/types.hpp"
-#include "encoding/knowledge_base.hpp"
+#include "reasoner/knowledge_base.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"
 #include "ontology/loader.hpp"

@@ -38,8 +38,9 @@ ServiceRequest parse_request(const xml::XmlNode& root);
 
 /// Non-throwing variants for wire-facing callers: classified ErrorInfo
 /// (kParse for malformed documents/values) instead of thrown errors.
-Result<ServiceDescription> try_parse_service(std::string_view xml_text);
-Result<ServiceRequest> try_parse_request(std::string_view xml_text);
+Result<ServiceDescription> try_parse_service(
+    std::string_view xml_text) noexcept;
+Result<ServiceRequest> try_parse_request(std::string_view xml_text) noexcept;
 
 std::string serialize_service(const ServiceDescription& service);
 std::string serialize_request(const ServiceRequest& request);

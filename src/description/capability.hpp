@@ -12,12 +12,9 @@
 #include <string>
 #include <vector>
 
-namespace sariadne::desc {
+#include "encoding/capability_kind.hpp"
 
-enum class CapabilityKind : std::uint8_t {
-    kProvided,  ///< offered by the service
-    kRequired,  ///< sought from other networked services
-};
+namespace sariadne::desc {
 
 /// A named input or output parameter typed by an ontology concept.
 struct Parameter {

@@ -1,5 +1,6 @@
-#include "matching/online_matcher.hpp"
+#include "description/online_matcher.hpp"
 
+#include "description/resolved.hpp"
 #include "ontology/loader.hpp"
 #include "support/stopwatch.hpp"
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "description/capability.hpp"
 #include "matching/match.hpp"
 #include "reasoner/reasoner.hpp"
 

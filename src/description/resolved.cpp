@@ -1,6 +1,6 @@
 #include "description/resolved.hpp"
 
-#include "encoding/knowledge_base.hpp"
+#include "reasoner/knowledge_base.hpp"
 
 namespace sariadne::desc {
 

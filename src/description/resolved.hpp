@@ -1,80 +1,22 @@
-// ResolvedCapability — a capability whose qualified concept names have been
-// resolved against an ontology registry into ConceptRefs, with the set of
-// ontologies it draws from precomputed. This is the form the matchers and
-// directory DAGs operate on: resolution happens once at publish (or
-// request-build) time, never during matching.
+// Resolution of Amigo-S documents into ResolvedCapability (see
+// encoding/resolved.hpp for the data types): qualified concept names are
+// looked up against an ontology registry once at publish (or
+// request-build) time, never during matching. The KnowledgeBase-taking
+// overloads additionally attach flat-layout code signatures for the
+// batched matching kernel.
 #pragma once
 
-#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "description/service.hpp"
-#include "encoding/interval.hpp"
-#include "ontology/registry.hpp"
-#include "support/flat_set.hpp"
+#include "encoding/resolved.hpp"
 
 namespace sariadne::encoding {
 class KnowledgeBase;
 }
 
 namespace sariadne::desc {
-
-using onto::ConceptRef;
-using onto::OntologyIndex;
-
-/// One concept of a CodeSignature role: its ontology, its canonical
-/// (representative) concept id, and the span of its packed interval
-/// occurrences inside CodeSignature::intervals.
-struct CodedConceptSpan {
-    OntologyIndex ontology = 0;
-    onto::ConceptId canonical = 0;
-    std::uint32_t begin = 0;  ///< index into CodeSignature::intervals
-    std::uint32_t count = 0;  ///< number of occurrences (sorted by lo)
-};
-
-/// Precomputed flat-layout codes of a resolved capability: per-role arrays
-/// of (ontology, canonical concept, interval span), with every referenced
-/// interval occurrence copied into one contiguous array. Built once at
-/// resolve time; self-contained (owns its interval copies), so it stays
-/// valid even if knowledge-base tables are rebuilt. `environment_tag`
-/// records the combined code-table versions of the ontologies the
-/// capability references (the precise per-set wire tag, compared against
-/// Capability::code_version at publish); `global_tag` records the whole
-/// knowledge-base environment and is what the batched matching kernel
-/// checks per call — one integer compare against the oracle's current
-/// global tag, falling back to the oracle path on mismatch.
-struct CodeSignature {
-    std::vector<CodedConceptSpan> inputs;
-    std::vector<CodedConceptSpan> outputs;
-    std::vector<CodedConceptSpan> properties;
-    std::vector<encoding::CodedInterval> intervals;
-    std::uint64_t environment_tag = 0;
-    std::uint64_t global_tag = 0;
-    bool valid = false;
-};
-
-struct ResolvedCapability {
-    std::string name;           ///< capability name (diagnostics)
-    std::string service_name;   ///< owning service (empty for requests)
-    CapabilityKind kind = CapabilityKind::kProvided;
-
-    std::vector<ConceptRef> inputs;
-    std::vector<ConceptRef> outputs;
-    /// Properties with the category folded in (paper §2.3: the category is
-    /// matched as one of the required/provided properties).
-    std::vector<ConceptRef> properties;
-
-    /// Ontologies referenced by any concept above — the DAG index key and
-    /// the Bloom-filter summary unit (§3.3, §4).
-    FlatSet<OntologyIndex> ontologies;
-
-    std::uint64_t code_version = 0;
-
-    /// Flat-layout fast-path codes (empty/invalid unless attached via
-    /// attach_code_signature or a KnowledgeBase-taking resolve overload).
-    CodeSignature signature;
-};
 
 /// Resolves every concept mention. Throws LookupError on unknown ontology
 /// URIs or class names. `service_name` tags the result for diagnostics.

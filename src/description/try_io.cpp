@@ -7,17 +7,18 @@
 
 namespace sariadne::desc {
 
-Result<ServiceDescription> try_parse_service(std::string_view xml_text) {
+Result<ServiceDescription> try_parse_service(
+    std::string_view xml_text) noexcept {
     return support::catching<ServiceDescription>(
         [&] { return parse_service(xml_text); });
 }
 
-Result<ServiceRequest> try_parse_request(std::string_view xml_text) {
+Result<ServiceRequest> try_parse_request(std::string_view xml_text) noexcept {
     return support::catching<ServiceRequest>(
         [&] { return parse_request(xml_text); });
 }
 
-Result<WsdlDescription> try_parse_wsdl(std::string_view xml_text) {
+Result<WsdlDescription> try_parse_wsdl(std::string_view xml_text) noexcept {
     return support::catching<WsdlDescription>(
         [&] { return parse_wsdl(xml_text); });
 }

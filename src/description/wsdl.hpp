@@ -44,7 +44,7 @@ WsdlDescription parse_wsdl(const xml::XmlNode& root);
 std::string serialize_wsdl(const WsdlDescription& wsdl);
 
 /// Non-throwing variant for wire-facing callers.
-Result<WsdlDescription> try_parse_wsdl(std::string_view xml_text);
+Result<WsdlDescription> try_parse_wsdl(std::string_view xml_text) noexcept;
 
 /// Syntactic operation conformance: same operation name, and every input
 /// and output part of `required` present in `provided` with exactly equal

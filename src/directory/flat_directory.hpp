@@ -12,7 +12,7 @@
 #include "description/amigos_io.hpp"
 #include "description/resolved.hpp"
 #include "directory/types.hpp"
-#include "encoding/knowledge_base.hpp"
+#include "reasoner/knowledge_base.hpp"
 #include "matching/oracles.hpp"
 
 namespace sariadne::directory {

@@ -32,7 +32,7 @@
 #include "description/resolved.hpp"
 #include "directory/dag_index.hpp"
 #include "directory/types.hpp"
-#include "encoding/knowledge_base.hpp"
+#include "reasoner/knowledge_base.hpp"
 #include "matching/oracles.hpp"
 #include "obs/metric_names.hpp"
 #include "obs/metrics.hpp"

@@ -16,7 +16,7 @@
 
 #include "description/resolved.hpp"
 #include "directory/types.hpp"
-#include "encoding/knowledge_base.hpp"
+#include "reasoner/knowledge_base.hpp"
 
 namespace sariadne::directory {
 

@@ -1,0 +1,18 @@
+// CapabilityKind — provided vs required, split out of
+// description/capability.hpp as a micro-header so the encoding layer's
+// resolved-capability data types (encoding/resolved.hpp) can name the
+// enum without reaching up into the description layer. Stays in
+// namespace sariadne::desc: it is vocabulary of the Amigo-S capability
+// model, wherever the layer DAG makes it live.
+#pragma once
+
+#include <cstdint>
+
+namespace sariadne::desc {
+
+enum class CapabilityKind : std::uint8_t {
+    kProvided,  ///< offered by the service
+    kRequired,  ///< sought from other networked services
+};
+
+}  // namespace sariadne::desc

@@ -32,7 +32,7 @@
 #include "encoding/interval.hpp"
 #include "encoding/lin_encoding.hpp"
 #include "ontology/ontology.hpp"
-#include "reasoner/taxonomy.hpp"
+#include "ontology/taxonomy.hpp"
 
 namespace sariadne::encoding {
 

@@ -24,7 +24,7 @@
 #include <cstdint>
 #include <optional>
 
-#include "description/resolved.hpp"
+#include "encoding/resolved.hpp"
 #include "ontology/ids.hpp"
 
 namespace sariadne::matching {

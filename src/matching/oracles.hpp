@@ -14,7 +14,7 @@
 
 #include <array>
 
-#include "encoding/knowledge_base.hpp"
+#include "reasoner/knowledge_base.hpp"
 #include "matching/match.hpp"
 #include "ontology/registry.hpp"
 #include "reasoner/taxonomy_cache.hpp"

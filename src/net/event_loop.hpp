@@ -44,7 +44,7 @@
 #include <vector>
 
 #include "ariadne/transport.hpp"
-#include "net/message.hpp"
+#include "ariadne/transport_types.hpp"
 #include "obs/metrics.hpp"
 #include "support/lock_rank.hpp"
 

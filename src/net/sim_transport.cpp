@@ -1,4 +1,4 @@
-#include "ariadne/sim_transport.hpp"
+#include "net/sim_transport.hpp"
 
 namespace sariadne::ariadne {
 

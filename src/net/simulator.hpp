@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "net/message.hpp"
+#include "ariadne/transport_types.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "support/contracts.hpp"

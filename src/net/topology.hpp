@@ -9,13 +9,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "ariadne/transport_types.hpp"
 #include "support/contracts.hpp"
 #include "support/rng.hpp"
 
 namespace sariadne::net {
-
-using NodeId = std::uint32_t;
-inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
 
 struct Position {
     double x = 0;

@@ -1,7 +1,7 @@
 // The metric-name table. Every metric a src/ component creates in an
 // obs::MetricsRegistry is declared here, so the full exposition surface is
 // reviewable in one place and renames cannot silently fork a series
-// (dashboards key on these strings). tools/lint_sariadne enforces the
+// (dashboards key on these strings). sariadne-analyze enforces the
 // rule: no quoted name literal may be passed to counter()/gauge()/
 // histogram()/span() anywhere under src/ — call sites reference these
 // constants (tests and benches may still create ad-hoc metrics).

@@ -1,4 +1,4 @@
-#include "reasoner/taxonomy.hpp"
+#include "ontology/taxonomy.hpp"
 
 #include <algorithm>
 #include <queue>

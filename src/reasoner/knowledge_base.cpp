@@ -1,4 +1,4 @@
-#include "encoding/knowledge_base.hpp"
+#include "reasoner/knowledge_base.hpp"
 
 namespace sariadne::encoding {
 

@@ -15,7 +15,7 @@
 #include <string_view>
 
 #include "ontology/ontology.hpp"
-#include "reasoner/taxonomy.hpp"
+#include "ontology/taxonomy.hpp"
 
 namespace sariadne::reasoner {
 

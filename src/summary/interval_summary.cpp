@@ -4,8 +4,8 @@
 #include <cassert>
 #include <unordered_set>
 
-#include "description/resolved.hpp"
-#include "encoding/knowledge_base.hpp"
+#include "encoding/resolved.hpp"
+#include "reasoner/knowledge_base.hpp"
 
 namespace sariadne::summary {
 

@@ -202,7 +202,7 @@ std::vector<std::uint8_t> encode_summary(const IntervalSummary& summary) {
 }
 
 Result<IntervalSummary> try_decode_summary(
-    std::span<const std::uint8_t> bytes) {
+    std::span<const std::uint8_t> bytes) noexcept {
     Reader in(bytes);
     if (!check_header(in, kSnapshotMagic1)) return parse_error(in);
     IntervalSummary summary;
@@ -275,7 +275,8 @@ std::vector<std::uint8_t> encode_delta(const SummaryDelta& delta) {
     return out;
 }
 
-Result<SummaryDelta> try_decode_delta(std::span<const std::uint8_t> bytes) {
+Result<SummaryDelta> try_decode_delta(
+    std::span<const std::uint8_t> bytes) noexcept {
     Reader in(bytes);
     if (!check_header(in, kDeltaMagic1)) return parse_error(in);
     SummaryDelta delta;

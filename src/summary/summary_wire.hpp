@@ -22,12 +22,14 @@ std::vector<std::uint8_t> encode_summary(const IntervalSummary& summary);
 /// Decodes a snapshot image. Rejects malformed input (bad magic, unsorted
 /// entries or words, zero words, out-of-range indices, trailing bytes)
 /// without throwing.
-Result<IntervalSummary> try_decode_summary(std::span<const std::uint8_t> bytes);
+Result<IntervalSummary> try_decode_summary(
+    std::span<const std::uint8_t> bytes) noexcept;
 
 /// Serializes a word-granular delta (diff_summary output).
 std::vector<std::uint8_t> encode_delta(const SummaryDelta& delta);
 
 /// Decodes a delta image; zero words are legal here (they clear a slot).
-Result<SummaryDelta> try_decode_delta(std::span<const std::uint8_t> bytes);
+Result<SummaryDelta> try_decode_delta(
+    std::span<const std::uint8_t> bytes) noexcept;
 
 }  // namespace sariadne::summary

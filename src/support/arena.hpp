@@ -12,7 +12,7 @@
 // each thread uses its own arena (see query_scratch_arena()).
 //
 // This header intentionally avoids std::vector/std::string (enforced by
-// lint_sariadne's hot-path rule): chunks form an intrusive singly-linked
+// sariadne-analyze's hot-path rules): chunks form an intrusive singly-linked
 // list carved from ::operator new.
 #pragma once
 
@@ -126,6 +126,7 @@ private:
         std::size_t chunk_bytes = next_chunk_bytes_;
         while (chunk_bytes < bytes + alignment) chunk_bytes *= 2;
         next_chunk_bytes_ = chunk_bytes * 2;
+        // lint:allow-hot-path-alloc(amortized cold path; queries reuse chunks)
         auto* raw = static_cast<char*>(
             ::operator new(sizeof(Chunk) + chunk_bytes));
         ++chunk_allocs_;

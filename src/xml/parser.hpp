@@ -19,6 +19,6 @@ XmlDocument parse(std::string_view input);
 
 /// Non-throwing variant for wire-facing callers: ErrorCode::kParse (with
 /// the line/column message) instead of a thrown ParseError.
-Result<XmlDocument> try_parse(std::string_view input);
+Result<XmlDocument> try_parse(std::string_view input) noexcept;
 
 }  // namespace sariadne::xml

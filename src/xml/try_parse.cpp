@@ -5,7 +5,7 @@
 
 namespace sariadne::xml {
 
-Result<XmlDocument> try_parse(std::string_view input) {
+Result<XmlDocument> try_parse(std::string_view input) noexcept {
     return support::catching<XmlDocument>([&] { return parse(input); });
 }
 

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "encoding/code_table.hpp"
-#include "encoding/knowledge_base.hpp"
+#include "reasoner/knowledge_base.hpp"
 #include "encoding/lin_encoding.hpp"
 #include "reasoner/reasoner.hpp"
 #include "support/errors.hpp"

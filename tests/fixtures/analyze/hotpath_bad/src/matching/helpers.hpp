@@ -1,0 +1,15 @@
+#pragma once
+#include <string>
+
+namespace fixture {
+
+inline int deeper_helper(int x) {
+    std::string label = "x";
+    return x + static_cast<int>(label.size());
+}
+
+inline int deep_helper(int x) {
+    return deeper_helper(x);
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+#pragma once
+// lint:hot-path — the fixture match kernel must stay allocation-free.
+#include "matching/helpers.hpp"
+
+namespace fixture {
+
+inline int match_kernel(int x) {
+    return deep_helper(x);
+}
+
+inline int kernel_throwing(int x) {
+    if (x < 0) throw x;
+    return x;
+}
+
+}  // namespace fixture

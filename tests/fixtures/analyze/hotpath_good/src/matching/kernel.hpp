@@ -1,0 +1,19 @@
+#pragma once
+// lint:hot-path — reader locks and suppressed cold paths are allowed.
+#include <shared_mutex>
+#include <string>
+
+namespace fixture {
+
+inline int reader_kernel(std::shared_mutex& table_mutex, int x) {
+    std::shared_lock<std::shared_mutex> guard(table_mutex);
+    return x;
+}
+
+inline int cold_setup(int x) {
+    // lint:allow-hot-path-alloc(setup path, measured cold)
+    std::string label(static_cast<std::size_t>(x), 'a');
+    return static_cast<int>(label.size());
+}
+
+}  // namespace fixture

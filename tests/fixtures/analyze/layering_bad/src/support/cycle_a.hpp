@@ -1,0 +1,2 @@
+#pragma once
+#include "support/cycle_b.hpp"

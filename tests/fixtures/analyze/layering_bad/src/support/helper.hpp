@@ -1,0 +1,3 @@
+#pragma once
+#include "directory/types.hpp"
+#include "directory/types.hpp"

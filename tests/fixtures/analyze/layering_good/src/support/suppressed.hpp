@@ -1,0 +1,3 @@
+#pragma once
+// lint:allow-layer(historical exception, tracked for removal)
+#include "directory/types.hpp"

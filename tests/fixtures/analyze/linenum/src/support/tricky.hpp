@@ -1,0 +1,11 @@
+#pragma once
+/* multi-line
+   block comment
+   spanning lines */
+#include <mutex>
+
+inline const char* kText =
+    "line one \
+continued";
+
+std::mutex naked;

@@ -1,0 +1,19 @@
+#include "directory/shard.hpp"
+
+namespace fixture {
+
+void Shard::high_then_low() {
+    std::lock_guard<support::RankedMutex> cache_guard(cache_mutex_);
+    touch_low();
+}
+
+void Shard::touch_low() {
+    std::lock_guard<support::RankedMutex> shard_guard(shard_mutex_);
+}
+
+void Shard::both_inverted() {
+    std::lock_guard<support::RankedMutex> cache_guard(cache_mutex_);
+    std::lock_guard<support::RankedMutex> shard_guard(shard_mutex_);
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+#pragma once
+
+namespace fixture {
+
+class Shard {
+public:
+    void high_then_low();
+    void touch_low();
+    void both_inverted();
+
+private:
+    support::RankedMutex cache_mutex_{support::LockRank::kTaxonomyCache};
+    support::RankedMutex shard_mutex_{support::LockRank::kDagShard};
+};
+
+}  // namespace fixture

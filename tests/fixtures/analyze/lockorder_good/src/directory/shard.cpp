@@ -1,0 +1,16 @@
+#include "directory/shard.hpp"
+
+namespace fixture {
+
+void Shard::low_then_high() {
+    std::lock_guard<support::RankedMutex> shard_guard(shard_mutex_);
+    std::lock_guard<support::RankedMutex> cache_guard(cache_mutex_);
+}
+
+void Shard::suppressed_inversion() {
+    std::lock_guard<support::RankedMutex> cache_guard(cache_mutex_);
+    // lint:allow-lock-order(fixture: proven safe by trylock fallback)
+    std::lock_guard<support::RankedMutex> shard_guard(shard_mutex_);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+#pragma once
+
+namespace fixture {
+
+class Shard {
+public:
+    void low_then_high();
+    void suppressed_inversion();
+
+private:
+    support::RankedMutex cache_mutex_{support::LockRank::kTaxonomyCache};
+    support::RankedMutex shard_mutex_{support::LockRank::kDagShard};
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+#pragma once
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace fixture {
+
+template <typename T>
+struct Result {
+    T value;
+};
+
+struct Frame {
+    std::uint32_t id = 0;
+};
+
+Result<Frame> try_decode_frame(
+    std::span<const std::uint8_t> bytes) noexcept;
+std::optional<Frame> try_parse_frame(
+    std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace fixture

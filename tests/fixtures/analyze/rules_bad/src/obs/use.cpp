@@ -1,0 +1,5 @@
+#include "obs/metrics.hpp"
+
+void record_fixture() {
+    counter("adhoc.metric");
+}

@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "ariadne/protocol.hpp"
-#include "ariadne/sim_transport.hpp"
+#include "net/sim_transport.hpp"
 #include "description/amigos_io.hpp"
 #include "net/mobility.hpp"
 #include "net/topology.hpp"

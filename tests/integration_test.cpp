@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "ariadne/protocol.hpp"
+#include "net/topology.hpp"
 #include "core/discovery_engine.hpp"
 #include "description/amigos_io.hpp"
 #include "directory/flat_directory.hpp"

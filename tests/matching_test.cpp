@@ -3,9 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "description/resolved.hpp"
-#include "encoding/knowledge_base.hpp"
+#include "reasoner/knowledge_base.hpp"
 #include "matching/match.hpp"
-#include "matching/online_matcher.hpp"
+#include "description/online_matcher.hpp"
 #include "matching/oracles.hpp"
 #include "ontology/loader.hpp"
 #include "test_helpers.hpp"

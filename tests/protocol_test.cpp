@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "ariadne/protocol.hpp"
-#include "ariadne/sim_transport.hpp"
+#include "net/sim_transport.hpp"
 #include "bloom/bloom_filter.hpp"
 #include "description/amigos_io.hpp"
 #include "test_helpers.hpp"

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "ariadne/protocol.hpp"
+#include "net/topology.hpp"
 #include "description/amigos_io.hpp"
 #include "directory/state_transfer.hpp"
 #include "test_helpers.hpp"

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "ariadne/protocol.hpp"
+#include "net/topology.hpp"
 #include "description/amigos_io.hpp"
 #include "description/resolved.hpp"
 #include "directory/semantic_directory.hpp"

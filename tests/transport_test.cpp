@@ -26,7 +26,7 @@
 #include "ariadne/messages.hpp"
 #include "ariadne/protocol.hpp"
 #include "description/amigos_io.hpp"
-#include "ariadne/sim_transport.hpp"
+#include "net/sim_transport.hpp"
 #include "ariadne/wire.hpp"
 #include "net/event_loop.hpp"
 #include "obs/metric_names.hpp"

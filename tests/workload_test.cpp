@@ -3,7 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "description/amigos_io.hpp"
-#include "encoding/knowledge_base.hpp"
+#include "description/resolved.hpp"
+#include "reasoner/knowledge_base.hpp"
 #include "matching/oracles.hpp"
 #include "ontology/loader.hpp"
 #include "reasoner/reasoner.hpp"

@@ -1,0 +1,215 @@
+#include "analyze/model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace sariadne::analyze {
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string strip_comments(const std::string& text, bool keep_strings) {
+    std::string out;
+    out.reserve(text.size());
+    enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+    State state = State::kCode;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        // Newlines are emitted unconditionally, before any state handling,
+        // so no lexer state can ever swallow one. A line comment also ends
+        // here; every other state persists across the line break.
+        if (c == '\n') {
+            if (state == State::kLineComment) state = State::kCode;
+            out += '\n';
+            continue;
+        }
+        switch (state) {
+            case State::kCode:
+                if (c == '/' && next == '/') {
+                    state = State::kLineComment;
+                    out += ' ';  // keep token adjacency: `a//x` != `ax`
+                    ++i;
+                } else if (c == '/' && next == '*') {
+                    state = State::kBlockComment;
+                    out += ' ';
+                    ++i;
+                } else if (c == 'R' && next == '"' &&
+                           (i == 0 || !is_ident_char(text[i - 1]))) {
+                    // R"delim( ... )delim" — find the opening '(' to learn
+                    // the delimiter, then skip to the matching close,
+                    // emitting every newline of the body.
+                    const std::size_t open = text.find('(', i + 2);
+                    if (open == std::string::npos) {
+                        out += c;  // malformed; fall through as code
+                        break;
+                    }
+                    const std::string closer =
+                        ")" + text.substr(i + 2, open - (i + 2)) + "\"";
+                    const std::size_t close = text.find(closer, open + 1);
+                    const std::size_t end = close == std::string::npos
+                                                ? text.size()
+                                                : close + closer.size();
+                    out += "R\"";
+                    for (std::size_t j = open + 1;
+                         j < (close == std::string::npos ? end : close); ++j) {
+                        if (text[j] == '\n') {
+                            out += '\n';
+                        } else if (keep_strings) {
+                            out += text[j];
+                        }
+                    }
+                    out += '"';
+                    i = end - 1;
+                } else if (c == '"') {
+                    state = State::kString;
+                    out += c;
+                } else if (c == '\'') {
+                    state = State::kChar;
+                    out += c;
+                } else {
+                    out += c;
+                }
+                break;
+            case State::kLineComment:
+                break;
+            case State::kBlockComment:
+                if (c == '*' && next == '/') {
+                    state = State::kCode;
+                    ++i;
+                }
+                break;
+            case State::kString:
+                if (c == '\\') {
+                    // Consume the escape pair — unless the next char is a
+                    // newline (a phase-2 line splice): leave it for the
+                    // unconditional newline emission above, or the stripped
+                    // text would report every later finding one line short.
+                    if (keep_strings) {
+                        out += c;
+                        if (next != '\0' && next != '\n') out += next;
+                    }
+                    if (next != '\0' && next != '\n') ++i;
+                } else if (c == '"') {
+                    state = State::kCode;
+                    out += c;
+                } else if (keep_strings) {
+                    out += c;
+                }
+                break;
+            case State::kChar:
+                if (c == '\\') {
+                    if (next != '\0' && next != '\n') ++i;
+                } else if (c == '\'') {
+                    state = State::kCode;
+                    out += c;
+                }
+                break;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream in(text);
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+}
+
+std::size_t SourceFile::line_of(std::size_t offset) const {
+    const auto it = std::upper_bound(line_starts.begin(), line_starts.end(),
+                                     offset);
+    return static_cast<std::size_t>(it - line_starts.begin());
+}
+
+bool SourceFile::suppressed(std::size_t line, std::string_view marker) const {
+    if (line == 0) return false;
+    const std::size_t idx = line - 1;
+    const std::string want = std::string(marker) + "(";
+    for (std::size_t back = 0; back <= 2 && back <= idx; ++back) {
+        if (idx - back >= raw_lines.size()) continue;
+        if (raw_lines[idx - back].find(want) != std::string::npos) return true;
+    }
+    return false;
+}
+
+bool SourceFile::marked(std::string_view marker) const {
+    return raw.find(marker) != std::string::npos;
+}
+
+const SourceFile* Repo::find(std::string_view rel) const {
+    const auto it = by_rel.find(std::string(rel));
+    return it == by_rel.end() ? nullptr : &files[it->second];
+}
+
+namespace {
+
+bool has_source_extension(const fs::path& path) {
+    const std::string ext = path.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+Repo load_repo(const fs::path& root) {
+    Repo repo;
+    repo.root = root;
+    for (const std::string_view top :
+         {"src", "tests", "bench", "tools", "fuzz", "examples"}) {
+        const fs::path dir = root / top;
+        if (!fs::is_directory(dir)) continue;
+        auto it = fs::recursive_directory_iterator(dir);
+        const auto end = fs::end(it);
+        for (; it != end; ++it) {
+            if (it->is_directory() && it->path().filename() == "fixtures") {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (!it->is_regular_file() || !has_source_extension(it->path())) {
+                continue;
+            }
+            SourceFile file;
+            file.path = it->path();
+            file.rel = it->path().lexically_relative(root).generic_string();
+            file.top = std::string(top);
+            file.stem = it->path().stem().string();
+            {
+                const fs::path rel = it->path().lexically_relative(root);
+                auto part = rel.begin();
+                if (part != rel.end()) ++part;  // skip the top component
+                if (file.top == "src" && part != rel.end() &&
+                    std::next(part) != rel.end()) {
+                    file.layer = part->string();
+                }
+            }
+            std::ifstream in(file.path, std::ios::binary);
+            std::stringstream buffer;
+            buffer << in.rdbuf();
+            file.raw = buffer.str();
+            file.code = strip_comments(file.raw, false);
+            file.code_with_strings = strip_comments(file.raw, true);
+            file.raw_lines = split_lines(file.raw);
+            file.code_lines = split_lines(file.code);
+            file.line_starts.push_back(0);
+            for (std::size_t i = 0; i < file.code.size(); ++i) {
+                if (file.code[i] == '\n') file.line_starts.push_back(i + 1);
+            }
+            repo.files.push_back(std::move(file));
+        }
+    }
+    std::sort(repo.files.begin(), repo.files.end(),
+              [](const SourceFile& a, const SourceFile& b) {
+                  return a.rel < b.rel;
+              });
+    for (std::size_t i = 0; i < repo.files.size(); ++i) {
+        repo.by_rel[repo.files[i].rel] = i;
+    }
+    return repo;
+}
+
+}  // namespace sariadne::analyze

@@ -1,0 +1,83 @@
+// analyze/model — source model shared by every sariadne-analyze pass.
+//
+// The analyzer is deliberately dependency-free (stdlib only) so it can be
+// built with a bare `g++ -std=c++20` in CI before any project library
+// exists. Each scanned file is loaded once and stripped once; passes work
+// on the stripped views so token scans never trip on prose in comments or
+// string literals.
+//
+// Line-number contract: `strip_comments` emits *every* newline of its
+// input, whatever lexer state it is in (comment, string literal,
+// backslash-spliced string, raw string). Offsets into the stripped text
+// therefore map to raw line numbers exactly — see stripper_notes.md in
+// DESIGN.md §15 for the historical bug this replaces.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sariadne::analyze {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+    std::string file;   // repo-relative path, '/'-separated
+    std::size_t line;   // 1-based
+    std::string rule;   // stable rule id, e.g. "layer-order"
+    std::string message;
+};
+
+/// Strips // and /* */ comments (each replaced by a single space so token
+/// adjacency is preserved) and the contents of string/char literals
+/// (keeping the quotes). When `keep_strings` is set, string contents are
+/// kept (the metric-name rule needs to see them). Every '\n' of the input
+/// is emitted regardless of state, so line structure is always preserved —
+/// including across multi-line block comments and backslash-newline
+/// splices inside string literals.
+std::string strip_comments(const std::string& text, bool keep_strings);
+
+std::vector<std::string> split_lines(const std::string& text);
+
+struct SourceFile {
+    fs::path path;          // absolute
+    std::string rel;        // repo-relative, '/'-separated
+    std::string top;        // first path component: src, tests, tools, ...
+    std::string layer;      // second component under src/ ("" otherwise)
+    std::string stem;       // filename without extension, for .hpp/.cpp pairing
+    std::string raw;
+    std::string code;               // stripped, string contents removed
+    std::string code_with_strings;  // stripped, string contents kept
+    std::vector<std::string> raw_lines;
+    std::vector<std::string> code_lines;
+    std::vector<std::size_t> line_starts;  // offset of each line start in `code`
+
+    /// 1-based line of a char offset into `code`.
+    std::size_t line_of(std::size_t offset) const;
+
+    /// True when `marker(` appears on the raw line `line` or the two raw
+    /// lines above it — the shared `lint:allow-*(<reason>)` style.
+    bool suppressed(std::size_t line, std::string_view marker) const;
+
+    bool marked(std::string_view marker) const;  // e.g. "lint:hot-path"
+};
+
+struct Repo {
+    fs::path root;
+    std::vector<SourceFile> files;
+    std::map<std::string, std::size_t> by_rel;  // rel path -> index
+
+    const SourceFile* find(std::string_view rel) const;
+};
+
+/// Loads every .cpp/.hpp/.h/.cc under the standard tops (src, tests,
+/// bench, tools, fuzz, examples), skipping any directory named "fixtures"
+/// so committed seeded-violation trees never count against the real repo.
+Repo load_repo(const fs::path& root);
+
+bool is_ident_char(char c);
+
+}  // namespace sariadne::analyze

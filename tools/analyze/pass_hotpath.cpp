@@ -1,0 +1,118 @@
+// Flow-aware hot-path purity. Every function defined in a file marked
+// `lint:hot-path` is an entry point; the pass walks the call-graph
+// approximation and flags reachable heap allocation (new, make_unique/
+// make_shared, std::vector, std::string), `throw`, and mutex acquisition
+// outside the allowed reader set (shared_lock) — wherever they live, so a
+// helper in an unmarked file cannot reintroduce per-query allocations
+// invisibly. Cold-path exceptions are suppressed at the offending site:
+// `lint:allow-hot-path-alloc(<reason>)`, `lint:allow-hot-path-throw(...)`
+// or `lint:allow-hot-path-lock(...)` on or above the line.
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/passes.hpp"
+
+namespace sariadne::analyze {
+
+std::vector<Finding> run_hotpath_pass(const Repo& repo,
+                                      const FunctionIndex& index) {
+    std::vector<Finding> findings;
+
+    // Entry points: every function defined in a lint:hot-path file.
+    std::vector<std::size_t> entries;
+    for (std::size_t di = 0; di < index.defs.size(); ++di) {
+        if (repo.files[index.defs[di].file].marked("lint:hot-path")) {
+            entries.push_back(di);
+        }
+    }
+    if (entries.empty()) return findings;
+
+    // BFS with parent pointers for chain reporting. The first entry to
+    // reach a def owns its chain; findings are deduped per site.
+    std::map<std::size_t, std::size_t> parent;  // def -> caller def
+    std::map<std::size_t, std::size_t> root;    // def -> entry def
+    std::deque<std::size_t> queue;
+    for (const std::size_t entry : entries) {
+        if (root.count(entry) != 0) continue;
+        root[entry] = entry;
+        queue.push_back(entry);
+    }
+    while (!queue.empty()) {
+        const std::size_t di = queue.front();
+        queue.pop_front();
+        const FunctionDef& def = index.defs[di];
+        for (const BodyEvent& ev : def.events) {
+            if (ev.kind != BodyEvent::Kind::kCall) continue;
+            for (const std::size_t callee : index.resolve(def, ev)) {
+                if (root.count(callee) != 0) continue;
+                root[callee] = root[di];
+                parent[callee] = di;
+                queue.push_back(callee);
+            }
+        }
+    }
+
+    const auto chain_string = [&](std::size_t di) {
+        std::vector<std::string> names;
+        for (std::size_t cur = di; names.size() < 16;) {
+            names.push_back(index.defs[cur].display());
+            const auto it = parent.find(cur);
+            if (it == parent.end()) break;
+            cur = it->second;
+        }
+        std::string out;
+        for (auto it = names.rbegin(); it != names.rend(); ++it) {
+            if (!out.empty()) out += " -> ";
+            out += *it;
+        }
+        return out;
+    };
+
+    std::set<std::string> dedup;
+    for (const auto& [di, entry] : root) {
+        const FunctionDef& def = index.defs[di];
+        const SourceFile& file = repo.files[def.file];
+        for (const BodyEvent& ev : def.events) {
+            const std::size_t line = file.line_of(ev.offset);
+            std::string what;
+            std::string marker;
+            switch (ev.kind) {
+                case BodyEvent::Kind::kAlloc:
+                    what = "heap allocation (" + ev.what + ")";
+                    marker = "lint:allow-hot-path-alloc";
+                    break;
+                case BodyEvent::Kind::kThrow:
+                    what = "`throw`";
+                    marker = "lint:allow-hot-path-throw";
+                    break;
+                case BodyEvent::Kind::kGuard:
+                    if (ev.guard_type == "shared_lock") continue;  // reader
+                    what = "mutex acquisition (" + ev.guard_type + ")";
+                    marker = "lint:allow-hot-path-lock";
+                    break;
+                default:
+                    continue;
+            }
+            if (file.suppressed(line, marker)) continue;
+            const std::string key =
+                file.rel + ":" + std::to_string(line) + ":" + what;
+            if (!dedup.insert(key).second) continue;
+            std::string message = what + " reachable from lint:hot-path "
+                                         "entry point " +
+                                  index.defs[entry].display();
+            if (di != entry) {
+                message += " via " + chain_string(di);
+            }
+            message += " — hoist it off the hot path or add " + marker +
+                       "(<reason>)";
+            findings.push_back({file.rel, line, "hot-path-flow", message});
+        }
+    }
+
+    return findings;
+}
+
+}  // namespace sariadne::analyze

@@ -1,0 +1,240 @@
+// Layer-DAG enforcement: the intended architecture is a total order over
+// the src/ subsystems; any `#include` from a lower layer into a higher
+// one (or into tests/tools/bench/fuzz/examples) is an upward edge and a
+// finding. File-level include cycles and duplicate includes are flagged
+// too. Suppress a justified exception with `lint:allow-layer(<reason>)`
+// on the include line or the two lines above it.
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/passes.hpp"
+
+namespace sariadne::analyze {
+
+const std::vector<std::string>& layer_order() {
+    static const std::vector<std::string> kOrder = {
+        "support",  "obs",      "xml",     "ontology", "encoding",
+        "reasoner", "matching", "bloom",   "summary",  "description",
+        "directory", "core",    "ariadne", "net",      "workload",
+    };
+    return kOrder;
+}
+
+namespace {
+
+constexpr int kTopRank = 1000;  // tests/tools/bench/fuzz/examples
+
+int rank_of_layer(const std::string& layer) {
+    const auto& order = layer_order();
+    const auto it = std::find(order.begin(), order.end(), layer);
+    return it == order.end() ? -1
+                             : static_cast<int>(it - order.begin());
+}
+
+struct IncludeEdge {
+    std::size_t file;      // includer index
+    std::size_t line;      // 1-based
+    std::string target;    // include path as written
+    std::string first;     // first path component ("" when no '/')
+};
+
+std::vector<IncludeEdge> collect_includes(const Repo& repo) {
+    static const std::regex include_re(
+        R"(^\s*#\s*include\s*\"([^\"]+)\")");
+    std::vector<IncludeEdge> edges;
+    for (std::size_t fi = 0; fi < repo.files.size(); ++fi) {
+        const SourceFile& file = repo.files[fi];
+        // Include paths are string literals, so scan the stripped view
+        // that keeps string contents (comments still removed).
+        const std::vector<std::string> lines =
+            split_lines(file.code_with_strings);
+        for (std::size_t li = 0; li < lines.size(); ++li) {
+            std::smatch match;
+            if (!std::regex_search(lines[li], match, include_re)) {
+                continue;
+            }
+            IncludeEdge edge;
+            edge.file = fi;
+            edge.line = li + 1;
+            edge.target = match[1].str();
+            const std::size_t slash = edge.target.find('/');
+            if (slash != std::string::npos) {
+                edge.first = edge.target.substr(0, slash);
+            }
+            edges.push_back(std::move(edge));
+        }
+    }
+    return edges;
+}
+
+/// Resolves an include path to a repo file index, or npos. src/ headers
+/// are included relative to src/; tests/tools/bench include their own
+/// helpers relative to the repo root or their own directory.
+std::size_t resolve_include(const Repo& repo, const SourceFile& from,
+                            const std::string& target) {
+    const auto try_rel = [&](const std::string& rel) -> std::size_t {
+        const auto it = repo.by_rel.find(rel);
+        return it == repo.by_rel.end() ? static_cast<std::size_t>(-1)
+                                       : it->second;
+    };
+    std::size_t hit = try_rel("src/" + target);
+    if (hit != static_cast<std::size_t>(-1)) return hit;
+    hit = try_rel(target);
+    if (hit != static_cast<std::size_t>(-1)) return hit;
+    // Same-directory include ("bench_util.hpp").
+    const std::size_t slash = from.rel.rfind('/');
+    if (slash != std::string::npos) {
+        hit = try_rel(from.rel.substr(0, slash + 1) + target);
+        if (hit != static_cast<std::size_t>(-1)) return hit;
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+std::vector<Finding> run_layer_pass(const Repo& repo) {
+    std::vector<Finding> findings;
+    const std::set<std::string> known_tops = {"tests", "bench", "tools",
+                                              "fuzz", "examples"};
+    const std::vector<IncludeEdge> edges = collect_includes(repo);
+
+    // Upward / unknown-layer includes.
+    for (const IncludeEdge& edge : edges) {
+        const SourceFile& from = repo.files[edge.file];
+        if (edge.first.empty()) continue;
+        const int to_rank = rank_of_layer(edge.first);
+        const int from_rank =
+            from.top == "src" ? rank_of_layer(from.layer) : kTopRank;
+        if (to_rank < 0) {
+            if (known_tops.count(edge.first) != 0) {
+                // Including tests/tools/bench from anywhere in src/ is
+                // upward by definition; between the top pseudo-layers it
+                // is allowed (they are one shared rank).
+                if (from.top == "src" &&
+                    !from.suppressed(edge.line, "lint:allow-layer")) {
+                    findings.push_back(
+                        {from.rel, edge.line, "layer-order",
+                         "src/" + from.layer + " includes \"" + edge.target +
+                             "\" from the " + edge.first +
+                             " pseudo-layer above every src layer"});
+                }
+                continue;
+            }
+            // An unknown first component only matters when it names a
+            // real src/ subsystem that is missing from the layer table.
+            const bool is_src_dir =
+                repo.by_rel.lower_bound("src/" + edge.first + "/") !=
+                    repo.by_rel.end() &&
+                repo.by_rel.lower_bound("src/" + edge.first + "/")
+                        ->first.rfind("src/" + edge.first + "/", 0) == 0;
+            if (is_src_dir &&
+                !from.suppressed(edge.line, "lint:allow-layer")) {
+                findings.push_back(
+                    {from.rel, edge.line, "layer-unknown",
+                     "include \"" + edge.target + "\" names src/" +
+                         edge.first +
+                         ", which is not in the layer table in "
+                         "tools/analyze/pass_layers.cpp — add it at the "
+                         "right rank"});
+            }
+            continue;
+        }
+        if (from.top != "src") continue;  // top pseudo-layers see all
+        if (from_rank < 0) {
+            if (!from.suppressed(edge.line, "lint:allow-layer")) {
+                findings.push_back(
+                    {from.rel, edge.line, "layer-unknown",
+                     "file lives in src/" + from.layer +
+                         ", which is not in the layer table in "
+                         "tools/analyze/pass_layers.cpp — add it at the "
+                         "right rank"});
+            }
+            continue;
+        }
+        if (to_rank > from_rank &&
+            !from.suppressed(edge.line, "lint:allow-layer")) {
+            findings.push_back(
+                {from.rel, edge.line, "layer-order",
+                 "upward include: src/" + from.layer + " (rank " +
+                     std::to_string(from_rank) + ") includes \"" +
+                     edge.target + "\" from layer " + edge.first +
+                     " (rank " + std::to_string(to_rank) +
+                     ") — invert the dependency or add "
+                     "lint:allow-layer(<reason>)"});
+        }
+    }
+
+    // Duplicate includes of the same path within one file.
+    {
+        std::map<std::pair<std::size_t, std::string>, std::size_t> seen;
+        for (const IncludeEdge& edge : edges) {
+            const auto key = std::make_pair(edge.file, edge.target);
+            const auto it = seen.find(key);
+            if (it == seen.end()) {
+                seen.emplace(key, edge.line);
+            } else {
+                findings.push_back(
+                    {repo.files[edge.file].rel, edge.line,
+                     "include-duplicate",
+                     "duplicate include of \"" + edge.target +
+                         "\" (first at line " + std::to_string(it->second) +
+                         ")"});
+            }
+        }
+    }
+
+    // File-level include cycles (resolved repo-internal edges only).
+    {
+        std::map<std::size_t, std::vector<std::pair<std::size_t, std::size_t>>>
+            graph;  // file -> [(target file, line)]
+        for (const IncludeEdge& edge : edges) {
+            const std::size_t to =
+                resolve_include(repo, repo.files[edge.file], edge.target);
+            if (to != static_cast<std::size_t>(-1) && to != edge.file) {
+                graph[edge.file].emplace_back(to, edge.line);
+            }
+        }
+        // Iterative DFS with colors; report each back edge once.
+        std::map<std::size_t, int> color;  // 0 white, 1 grey, 2 black
+        std::set<std::pair<std::size_t, std::size_t>> reported;
+        for (const auto& [start, unused] : graph) {
+            (void)unused;
+            if (color[start] != 0) continue;
+            std::vector<std::pair<std::size_t, std::size_t>> stack;
+            stack.emplace_back(start, 0);
+            color[start] = 1;
+            while (!stack.empty()) {
+                auto& [node, next] = stack.back();
+                const auto& out = graph[node];
+                if (next >= out.size()) {
+                    color[node] = 2;
+                    stack.pop_back();
+                    continue;
+                }
+                const auto [to, line] = out[next++];
+                if (color[to] == 1) {
+                    if (reported.emplace(node, to).second &&
+                        !repo.files[node].suppressed(line,
+                                                     "lint:allow-layer")) {
+                        findings.push_back(
+                            {repo.files[node].rel, line, "include-cycle",
+                             "include cycle: " + repo.files[node].rel +
+                                 " -> " + repo.files[to].rel +
+                                 " closes a loop back to an includer"});
+                    }
+                } else if (color[to] == 0) {
+                    color[to] = 1;
+                    stack.emplace_back(to, 0);
+                }
+            }
+        }
+    }
+
+    return findings;
+}
+
+}  // namespace sariadne::analyze

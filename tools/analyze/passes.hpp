@@ -1,0 +1,48 @@
+// analyze/passes — the four analysis passes of sariadne-analyze.
+//
+//   rules    — per-file repo rules (naked-mutex, metric-name, wire-decode
+//              throw/noexcept, hot-path tokens, fuzz coverage + corpus)
+//   layers   — layer-DAG include enforcement + include cycles/duplicates
+//   locks    — static lock-order analysis over the call-graph
+//              approximation, cross-checked against the runtime
+//              LockRank constants in src/support/lock_rank.hpp
+//   hotpath  — flow-aware hot-path purity from lint:hot-path entry points
+//
+// Every pass returns findings only; the driver owns reporting, baselines
+// and exit codes.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/callgraph.hpp"
+#include "analyze/model.hpp"
+
+namespace sariadne::analyze {
+
+std::vector<Finding> run_rules_pass(const Repo& repo);
+std::vector<Finding> run_layer_pass(const Repo& repo);
+std::vector<Finding> run_lock_pass(const Repo& repo,
+                                   const FunctionIndex& index);
+std::vector<Finding> run_hotpath_pass(const Repo& repo,
+                                      const FunctionIndex& index);
+
+/// The intended layer order, lowest first. Pseudo-layers for the
+/// non-src tops (tests, tools, bench, fuzz, examples) sit above all of
+/// them and are not listed here.
+const std::vector<std::string>& layer_order();
+
+/// The analyzer's own copy of the lock hierarchy. Must stay identical to
+/// `enum class LockRank` in src/support/lock_rank.hpp — the lock pass
+/// emits a `lock-rank-drift` finding (and tests/lint_test.cpp asserts
+/// equality) whenever the two disagree.
+const std::vector<std::pair<std::string, int>>& static_lock_ranks();
+
+/// Parses the runtime `enum class LockRank` constants out of
+/// src/support/lock_rank.hpp of the scanned repo. Empty when the repo
+/// has no such file (fixture trees).
+std::vector<std::pair<std::string, int>> parse_runtime_lock_ranks(
+    const Repo& repo);
+
+}  // namespace sariadne::analyze

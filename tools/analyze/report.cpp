@@ -1,0 +1,157 @@
+#include "analyze/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace sariadne::analyze {
+
+std::vector<std::string> load_baseline(const fs::path& path) {
+    std::vector<std::string> entries;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto first = line.find_first_not_of(" \t");
+        if (first == std::string::npos) continue;
+        const auto last = line.find_last_not_of(" \t\r");
+        line = line.substr(first, last - first + 1);
+        if (line.empty() || line[0] == '#') continue;
+        entries.push_back(line);
+    }
+    return entries;
+}
+
+std::size_t apply_baseline(const std::vector<std::string>& baseline,
+                           std::vector<Finding>& findings) {
+    if (baseline.empty()) return 0;
+    const std::set<std::string> entries(baseline.begin(), baseline.end());
+    const std::size_t before = findings.size();
+    findings.erase(
+        std::remove_if(findings.begin(), findings.end(),
+                       [&](const Finding& f) {
+                           return entries.count(f.file + ":" + f.rule) != 0;
+                       }),
+        findings.end());
+    return before - findings.size();
+}
+
+void print_report(std::ostream& out, const std::vector<PassResult>& passes,
+                  std::size_t files_scanned, std::size_t functions_indexed,
+                  std::size_t baselined, double total_ms) {
+    std::size_t total = 0;
+    for (const PassResult& pass : passes) {
+        for (const Finding& f : pass.findings) {
+            out << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+        }
+        total += pass.findings.size();
+    }
+    out << "\n  pass        findings      time\n"
+        << "  ----------  --------  --------\n";
+    for (const PassResult& pass : passes) {
+        out << "  " << std::left << std::setw(10) << pass.name << std::right
+            << "  " << std::setw(8) << pass.findings.size() << "  "
+            << std::setw(6) << std::fixed << std::setprecision(0) << pass.ms
+            << "ms\n";
+    }
+    out << "\nsariadne-analyze: " << files_scanned << " files, "
+        << functions_indexed << " functions, " << std::fixed
+        << std::setprecision(0) << total_ms << "ms total — ";
+    if (total == 0) {
+        out << "clean";
+        if (baselined > 0) out << " (" << baselined << " baselined)";
+        out << "\n";
+    } else {
+        out << total << " finding(s)\n";
+    }
+}
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    std::ostringstream hex;
+                    hex << "\\u" << std::hex << std::setw(4)
+                        << std::setfill('0') << static_cast<int>(c);
+                    out += hex.str();
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string to_sarif_json(const std::vector<PassResult>& passes) {
+    std::set<std::string> rules;
+    for (const PassResult& pass : passes) {
+        for (const Finding& f : pass.findings) rules.insert(f.rule);
+    }
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"sariadne-analyze\",\n"
+        << "          \"rules\": [";
+    bool first = true;
+    for (const std::string& rule : rules) {
+        out << (first ? "" : ",") << "\n            {\"id\": \""
+            << json_escape(rule) << "\"}";
+        first = false;
+    }
+    out << (rules.empty() ? "" : "\n          ") << "]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"results\": [";
+    first = true;
+    for (const PassResult& pass : passes) {
+        for (const Finding& f : pass.findings) {
+            out << (first ? "" : ",") << "\n        {\n"
+                << "          \"ruleId\": \"" << json_escape(f.rule)
+                << "\",\n"
+                << "          \"level\": \"error\",\n"
+                << "          \"message\": {\"text\": \""
+                << json_escape(f.message) << "\"},\n"
+                << "          \"properties\": {\"pass\": \""
+                << json_escape(pass.name) << "\"},\n"
+                << "          \"locations\": [\n"
+                << "            {\n"
+                << "              \"physicalLocation\": {\n"
+                << "                \"artifactLocation\": {\"uri\": \""
+                << json_escape(f.file) << "\"},\n"
+                << "                \"region\": {\"startLine\": " << f.line
+                << "}\n"
+                << "              }\n"
+                << "            }\n"
+                << "          ]\n"
+                << "        }";
+            first = false;
+        }
+    }
+    out << (first ? "" : "\n      ") << "]\n"
+        << "    }\n"
+        << "  ]\n"
+        << "}\n";
+    return out.str();
+}
+
+}  // namespace sariadne::analyze

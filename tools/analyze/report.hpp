@@ -1,0 +1,38 @@
+// analyze/report — finding presentation: the per-pass summary table, the
+// SARIF-shaped JSON artifact, and the committed baseline filter.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analyze/model.hpp"
+
+namespace sariadne::analyze {
+
+struct PassResult {
+    std::string name;
+    std::vector<Finding> findings;
+    double ms = 0.0;
+};
+
+/// Loads `file:rule` entries (one per line, '#' comments) from a baseline
+/// file. Entries are matched against findings by file and rule so line
+/// churn does not invalidate them. The committed baseline is empty at
+/// HEAD; the mechanism exists for incremental bring-up on branches.
+std::vector<std::string> load_baseline(const fs::path& path);
+
+/// Removes findings matched by the baseline; returns how many were
+/// filtered out.
+std::size_t apply_baseline(const std::vector<std::string>& baseline,
+                           std::vector<Finding>& findings);
+
+/// Human-readable findings + per-pass summary table.
+void print_report(std::ostream& out, const std::vector<PassResult>& passes,
+                  std::size_t files_scanned, std::size_t functions_indexed,
+                  std::size_t baselined, double total_ms);
+
+/// SARIF-shaped JSON (version 2.1.0, one run, one result per finding).
+std::string to_sarif_json(const std::vector<PassResult>& passes);
+
+}  // namespace sariadne::analyze

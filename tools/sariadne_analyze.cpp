@@ -1,0 +1,110 @@
+// sariadne-analyze — whole-repo architectural & lock-order static
+// analyzer, run as a gating CI job. Successor to lint_sariadne: the
+// per-file repo rules live on in the `rules` pass, joined by three
+// cross-file passes (see tools/analyze/passes.hpp and DESIGN.md §15):
+//
+//   layers   — layer-DAG include enforcement over src/tools/tests/fuzz
+//   locks    — static lock-order analysis cross-checked against the
+//              runtime LockRank constants
+//   hotpath  — flow-aware purity from every lint:hot-path entry point
+//
+// Usage: sariadne-analyze <repo-root> [--json <out.sarif.json>]
+//                         [--baseline <file>]
+// Exits 0 when clean, 1 listing every finding, 2 on usage errors. The
+// default baseline is <root>/tools/analyze/baseline.txt when present —
+// committed empty at HEAD.
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/callgraph.hpp"
+#include "analyze/model.hpp"
+#include "analyze/passes.hpp"
+#include "analyze/report.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    namespace analyze = sariadne::analyze;
+    namespace fs = std::filesystem;
+
+    fs::path root;
+    fs::path json_out;
+    fs::path baseline_path;
+    bool baseline_set = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_out = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+            baseline_set = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "usage: sariadne-analyze <repo-root> "
+                         "[--json <out>] [--baseline <file>]\n";
+            return 2;
+        } else if (root.empty()) {
+            root = arg;
+        } else {
+            std::cerr << "usage: sariadne-analyze <repo-root> "
+                         "[--json <out>] [--baseline <file>]\n";
+            return 2;
+        }
+    }
+    if (root.empty() || !fs::is_directory(root)) {
+        std::cerr << "sariadne-analyze: not a directory: " << root << "\n";
+        return 2;
+    }
+    if (!baseline_set) baseline_path = root / "tools" / "analyze" / "baseline.txt";
+
+    const auto t0 = Clock::now();
+    const analyze::Repo repo = analyze::load_repo(root);
+    const analyze::FunctionIndex index = analyze::build_function_index(repo);
+
+    std::vector<analyze::PassResult> passes;
+    const auto run = [&](const std::string& name, auto&& fn) {
+        const auto start = Clock::now();
+        analyze::PassResult result;
+        result.name = name;
+        result.findings = fn();
+        result.ms = ms_since(start);
+        passes.push_back(std::move(result));
+    };
+    run("rules", [&] { return analyze::run_rules_pass(repo); });
+    run("layers", [&] { return analyze::run_layer_pass(repo); });
+    run("locks", [&] { return analyze::run_lock_pass(repo, index); });
+    run("hotpath", [&] { return analyze::run_hotpath_pass(repo, index); });
+
+    const std::vector<std::string> baseline =
+        analyze::load_baseline(baseline_path);
+    std::size_t baselined = 0;
+    for (analyze::PassResult& pass : passes) {
+        baselined += analyze::apply_baseline(baseline, pass.findings);
+    }
+
+    if (!json_out.empty()) {
+        std::ofstream out(json_out);
+        out << analyze::to_sarif_json(passes);
+    }
+
+    std::size_t total = 0;
+    for (const analyze::PassResult& pass : passes) {
+        total += pass.findings.size();
+    }
+    analyze::print_report(total == 0 ? std::cout : std::cerr, passes,
+                          repo.files.size(), index.defs.size(), baselined,
+                          ms_since(t0));
+    return total == 0 ? 0 : 1;
+}

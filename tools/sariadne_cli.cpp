@@ -36,7 +36,7 @@
 #include <vector>
 
 #include "ariadne/protocol.hpp"
-#include "ariadne/sim_transport.hpp"
+#include "net/sim_transport.hpp"
 #include "core/composition.hpp"
 #include "core/discovery_engine.hpp"
 #include "description/amigos_io.hpp"

@@ -40,7 +40,7 @@
 #include <netinet/in.h>
 
 #include "ariadne/protocol.hpp"
-#include "encoding/knowledge_base.hpp"
+#include "reasoner/knowledge_base.hpp"
 #include "net/event_loop.hpp"
 #include "obs/metrics.hpp"
 #include "support/errors.hpp"
